@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+//! The mobile workforce-management application (paper §2, Fig. 1) —
+//! built **six ways**, plus its server side and a code-metrics
+//! analyzer.
+//!
+//! The paper's evaluation (§5) argues portability, complexity and
+//! maintainability by comparing the *native* implementation of the
+//! application's platform blocks (Fig. 2) with the *proxy-based* one
+//! (Figs. 8/9). This crate is that corpus:
+//!
+//! | module | role |
+//! |---|---|
+//! | [`model`] | shared domain types (tasks, agent configuration) |
+//! | [`server`] | the server-side application (tracking, request assignment, activity log) |
+//! | [`logic`] | platform-neutral business logic used by the proxy variants |
+//! | [`native_android`] | native Android variant — Intent/IntentReceiver machinery in the open (Fig. 2(a)) |
+//! | [`native_android_v1`] | the same app after the forced m5→1.0 migration (`PendingIntent` rewrite) |
+//! | [`native_s60`] | native S60 variant — hand-written exit detection / re-registration / timeout (Fig. 2(b)) |
+//! | [`native_webview`] | native WebView variant — app-rolled wrapper + notification polling |
+//! | [`proxy_app`] | the proxy variant — one implementation, all platforms (Figs. 8/9) |
+//! | [`scenario`] | a reusable simulation scenario driving any variant |
+//! | [`metrics`] | code metrics over the variants' sources (LoC, platform-API references, similarity) |
+
+pub mod logic;
+pub mod metrics;
+pub mod model;
+pub mod native_android;
+pub mod native_android_v1;
+pub mod native_s60;
+pub mod native_webview;
+pub mod proxy_app;
+pub mod scenario;
+pub mod server;
+
+pub use model::{AgentConfig, Task};
+pub use scenario::{Scenario, ScenarioOutcome};

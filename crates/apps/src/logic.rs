@@ -1,0 +1,188 @@
+//! Platform-neutral business logic.
+//!
+//! The paper's portability claim (§5): with proxies, "business logic for
+//! handling proximity alerts … is now concentrated at one place" and
+//! "the code around the API is also similar". This module is that one
+//! place — the proxy variants on all three platforms reuse it verbatim,
+//! while each native variant has to re-implement the equivalent inline.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use mobivine::api::{CallProxy, HttpProxy, SmsProxy};
+use mobivine::error::ProxyError;
+use mobivine::types::ProximityEvent;
+
+use crate::model::{ActivityEntry, AgentConfig, Task};
+
+/// An observable log of application-level events, shared by every
+/// variant so tests and benches can assert behavioural equivalence
+/// across platforms and implementation styles.
+#[derive(Default)]
+pub struct AppEvents {
+    log: Mutex<Vec<String>>,
+}
+
+impl fmt::Debug for AppEvents {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AppEvents")
+            .field("count", &self.log.lock().len())
+            .finish()
+    }
+}
+
+impl AppEvents {
+    /// Creates an empty log.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Records an event.
+    pub fn record(&self, event: impl Into<String>) {
+        self.log.lock().push(event.into());
+    }
+
+    /// Snapshot of the log.
+    pub fn snapshot(&self) -> Vec<String> {
+        self.log.lock().clone()
+    }
+
+    /// Number of events whose label starts with `prefix`.
+    pub fn count_prefix(&self, prefix: &str) -> usize {
+        self.log
+            .lock()
+            .iter()
+            .filter(|e| e.starts_with(prefix))
+            .count()
+    }
+}
+
+/// The shared device-side business logic of the workforce app.
+pub struct WorkforceLogic {
+    config: AgentConfig,
+    events: Arc<AppEvents>,
+    sms: Arc<dyn SmsProxy>,
+    http: Arc<dyn HttpProxy>,
+    call: Option<Arc<dyn CallProxy>>,
+}
+
+impl fmt::Debug for WorkforceLogic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkforceLogic")
+            .field("agent", &self.config.agent_id)
+            .finish()
+    }
+}
+
+impl WorkforceLogic {
+    /// Assembles the logic from the uniform proxies. `call` is optional
+    /// because some platforms (S60) expose no call interface.
+    pub fn new(
+        config: AgentConfig,
+        events: Arc<AppEvents>,
+        sms: Arc<dyn SmsProxy>,
+        http: Arc<dyn HttpProxy>,
+        call: Option<Arc<dyn CallProxy>>,
+    ) -> Self {
+        Self {
+            config,
+            events,
+            sms,
+            http,
+            call,
+        }
+    }
+
+    /// The agent configuration.
+    pub fn config(&self) -> &AgentConfig {
+        &self.config
+    }
+
+    /// The business logic invoked on each proximity boundary crossing —
+    /// the body of `proximityEvent` in the paper's Fig. 8.
+    pub fn handle_proximity(&self, task: &Task, event: &ProximityEvent) {
+        if event.entering {
+            self.events
+                .record(format!("arrived:site-{}", task.id));
+            let _ = self.sms.send_text_message(
+                &self.config.supervisor_msisdn,
+                &format!(
+                    "Agent {} arrived at site {} ({})",
+                    self.config.agent_id, task.id, task.description
+                ),
+                None,
+            );
+            self.events.record(format!("sms:arrival-site-{}", task.id));
+            self.log_activity(
+                event.current_location.timestamp_ms,
+                format!("arrived site {}", task.id),
+            );
+        } else {
+            self.events.record(format!("departed:site-{}", task.id));
+            self.log_activity(
+                event.current_location.timestamp_ms,
+                format!("left site {}", task.id),
+            );
+            let body = serde_json::json!({
+                "agent_id": self.config.agent_id,
+                "task_id": task.id,
+            })
+            .to_string();
+            let _ = self.http.request(
+                "POST",
+                &format!("http://{}/task-complete", self.config.server_host),
+                body.as_bytes(),
+            );
+            self.events
+                .record(format!("task-complete:site-{}", task.id));
+        }
+    }
+
+    /// Fetches the agent's open tasks from the server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates proxy transport errors.
+    pub fn fetch_tasks(&self) -> Result<Vec<Task>, ProxyError> {
+        let url = format!(
+            "http://{}/tasks?agent={}",
+            self.config.server_host, self.config.agent_id
+        );
+        let response = self.http.request("GET", &url, &[])?;
+        let tasks: Vec<Task> = serde_json::from_slice(&response.body).unwrap_or_default();
+        self.events.record(format!("tasks-fetched:{}", tasks.len()));
+        Ok(tasks)
+    }
+
+    /// Quick communication with the region supervisor: voice call where
+    /// the platform supports it, SMS fallback otherwise (the S60 gap).
+    pub fn contact_supervisor(&self, note: &str) {
+        if let Some(call) = &self.call {
+            if call.make_a_call(&self.config.supervisor_msisdn).is_ok() {
+                self.events.record("supervisor-contact:call");
+                return;
+            }
+            self.events.record("supervisor-contact:call-failed");
+        }
+        let _ = self
+            .sms
+            .send_text_message(&self.config.supervisor_msisdn, note, None);
+        self.events.record("supervisor-contact:sms");
+    }
+
+    fn log_activity(&self, at_ms: u64, event: String) {
+        let entry = ActivityEntry {
+            agent_id: self.config.agent_id,
+            at_ms,
+            event,
+        };
+        let _ = self.http.request(
+            "POST",
+            &format!("http://{}/activity-log", self.config.server_host),
+            &serde_json::to_vec(&entry).expect("entry serializes"),
+        );
+        self.events.record("activity-logged");
+    }
+}

@@ -1,0 +1,93 @@
+//! Shared domain types of the workforce-management solution.
+
+use serde::{Deserialize, Serialize};
+
+/// A field task: visit a site and perform work there.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// Task identifier.
+    pub id: u64,
+    /// Site latitude, degrees.
+    pub latitude: f64,
+    /// Site longitude, degrees.
+    pub longitude: f64,
+    /// Radius of the site region, metres.
+    pub radius_m: f64,
+    /// Work description.
+    pub description: String,
+}
+
+/// Configuration of one field agent's device-side application.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AgentConfig {
+    /// Agent identifier.
+    pub agent_id: u64,
+    /// The agent's phone number.
+    pub msisdn: String,
+    /// The region supervisor's phone number (for `sendSms` /
+    /// `makeACall` quick communication, Fig. 1).
+    pub supervisor_msisdn: String,
+    /// Host name of the server-side application.
+    pub server_host: String,
+}
+
+impl AgentConfig {
+    /// A ready-made configuration for agent `agent_id` against the
+    /// default simulated server.
+    pub fn for_agent(agent_id: u64) -> Self {
+        Self {
+            agent_id,
+            msisdn: format!("+91-98-AGENT-{agent_id}"),
+            supervisor_msisdn: "+91-98-SUPERVISOR".to_owned(),
+            server_host: "wfm.example".to_owned(),
+        }
+    }
+}
+
+/// An entry in the activity log sent to the server.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActivityEntry {
+    /// Reporting agent.
+    pub agent_id: u64,
+    /// Virtual time of the event, ms.
+    pub at_ms: u64,
+    /// What happened (`arrived site 3`, `left site 3`, …).
+    pub event: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_serializes_to_json() {
+        let task = Task {
+            id: 3,
+            latitude: 28.5,
+            longitude: 77.3,
+            radius_m: 100.0,
+            description: "inspect transformer".into(),
+        };
+        let json = serde_json::to_string(&task).unwrap();
+        let back: Task = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, task);
+    }
+
+    #[test]
+    fn agent_config_defaults() {
+        let config = AgentConfig::for_agent(7);
+        assert_eq!(config.msisdn, "+91-98-AGENT-7");
+        assert_eq!(config.server_host, "wfm.example");
+    }
+
+    #[test]
+    fn activity_entry_round_trips() {
+        let entry = ActivityEntry {
+            agent_id: 1,
+            at_ms: 42_000,
+            event: "arrived site 3".into(),
+        };
+        let json = serde_json::to_string(&entry).unwrap();
+        assert_eq!(serde_json::from_str::<ActivityEntry>(&json).unwrap(), entry);
+    }
+}

@@ -1,0 +1,341 @@
+//! The **native S60** variant of the workforce app — the paper's
+//! Fig. 2(b), faithfully verbose.
+//!
+//! JSR-179 proximity is single-shot with no exit events and no
+//! expiration, so the application itself must keep a location listener
+//! running, compute distances to detect exits, re-register the
+//! proximity listener for re-entries, and check its own timeout — the
+//! exact machinery of the paper's listing, here once *per task*.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
+
+use parking_lot::Mutex;
+
+use mobivine_s60::io::Connector;
+use mobivine_s60::location::{
+    Coordinates, Criteria, LocationListener, LocationProvider, ProximityListener, NO_REQUIREMENT,
+};
+use mobivine_s60::messaging::{MessageConnection, MessageType};
+use mobivine_s60::midlet::Midlet;
+use mobivine_s60::S60Platform;
+
+use crate::logic::AppEvents;
+use crate::model::{ActivityEntry, AgentConfig, Task};
+
+/// The S60-native workforce MIDlet.
+pub struct NativeS60App {
+    config: AgentConfig,
+    events: Arc<AppEvents>,
+    tasks: Vec<Task>,
+    machines: Vec<Arc<ManualProximityMachine>>,
+}
+
+impl NativeS60App {
+    /// Creates the MIDlet for `config`.
+    pub fn new(config: AgentConfig, events: Arc<AppEvents>) -> Self {
+        Self {
+            config,
+            events,
+            tasks: Vec::new(),
+            machines: Vec::new(),
+        }
+    }
+
+    /// The tasks fetched during `startApp`.
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Quick communication with the supervisor. S60 exposes **no call
+    /// interface** (paper §4.1), so the native app can only SMS.
+    pub fn contact_supervisor(&self, platform: &S60Platform, note: &str) {
+        let url = format!("sms://{}", self.config.supervisor_msisdn);
+        if let Ok(connection) = MessageConnection::open_client(platform, &url) {
+            let mut message = connection.new_message(MessageType::Text);
+            message.set_payload_text(note);
+            if connection.send(&message).is_ok() {
+                self.events.record("supervisor-contact:sms");
+            }
+        }
+    }
+
+    fn fetch_tasks(&mut self, platform: &S60Platform) {
+        let url = format!(
+            "http://{}/tasks?agent={}",
+            self.config.server_host, self.config.agent_id
+        );
+        match Connector::open_http(platform, &url) {
+            Ok(connection) => match connection.read_fully() {
+                Ok(body) => {
+                    self.tasks = serde_json::from_str(&body).unwrap_or_default();
+                    self.events
+                        .record(format!("tasks-fetched:{}", self.tasks.len()));
+                }
+                Err(_e) => {
+                    // Handle S60 specific exceptions
+                }
+            },
+            Err(_e) => {
+                // Handle S60 specific exceptions
+            }
+        }
+    }
+}
+
+/// The per-task proximity machinery of Fig. 2(b): one object playing
+/// both `ProximityListener` and `LocationListener`.
+struct ManualProximityMachine {
+    platform: S60Platform,
+    config: AgentConfig,
+    events: Arc<AppEvents>,
+    task: Task,
+    coordinates: Coordinates,
+    radius: f32,
+    start_time_s: u64,
+    time_out_s: i64,
+    entering: AtomicBool,
+    provider: Arc<LocationProvider>,
+    self_ref: Mutex<Weak<ManualProximityMachine>>,
+}
+
+impl ManualProximityMachine {
+    fn install(
+        platform: &S60Platform,
+        config: &AgentConfig,
+        events: &Arc<AppEvents>,
+        task: &Task,
+        time_out_s: i64,
+    ) -> Option<Arc<Self>> {
+        // registering for proximity events — Fig. 2(b)'s startApp body.
+        let mut criteria = Criteria::new();
+        criteria.set_preferred_response_time(NO_REQUIREMENT);
+        criteria.set_vertical_accuracy(50);
+        let provider = match LocationProvider::get_instance(platform, criteria) {
+            Ok(provider) => Arc::new(provider),
+            Err(_e) => {
+                // Handle S60 specific exceptions
+                return None;
+            }
+        };
+        let machine = Arc::new(ManualProximityMachine {
+            platform: platform.clone(),
+            config: config.clone(),
+            events: Arc::clone(events),
+            task: task.clone(),
+            coordinates: Coordinates::new(task.latitude, task.longitude, 0.0),
+            radius: task.radius_m as f32,
+            start_time_s: platform.device().clock().now_secs(),
+            time_out_s,
+            entering: AtomicBool::new(false),
+            provider,
+            self_ref: Mutex::new(Weak::new()),
+        });
+        *machine.self_ref.lock() = Arc::downgrade(&machine);
+        machine.provider.set_location_listener(
+            Some(Arc::clone(&machine) as Arc<dyn LocationListener>),
+            -1,
+            -1,
+            -1,
+        );
+        if LocationProvider::add_proximity_listener(
+            platform,
+            Arc::clone(&machine) as Arc<dyn ProximityListener>,
+            machine.coordinates,
+            machine.radius,
+        )
+        .is_err()
+        {
+            // Handle S60 specific exceptions
+            return None;
+        }
+        Some(machine)
+    }
+
+    fn timed_out(&self) -> bool {
+        if self.time_out_s < 0 {
+            return false;
+        }
+        let current_time = self.platform.device().clock().now_secs();
+        (current_time - self.start_time_s) as i64 > self.time_out_s
+    }
+
+    fn stop_everything(&self) {
+        self.provider
+            .set_location_listener(None, -1, -1, -1);
+        if let Some(me) = self.self_ref.lock().upgrade() {
+            let listener: Arc<dyn ProximityListener> = me;
+            LocationProvider::remove_proximity_listener(&self.platform, &listener);
+        }
+    }
+
+    fn business_logic_entry(&self, at_ms: u64) {
+        self.events.record(format!("arrived:site-{}", self.task.id));
+        // SMS the supervisor through the full JSR-120 ceremony.
+        let url = format!("sms://{}", self.config.supervisor_msisdn);
+        if let Ok(connection) = MessageConnection::open_client(&self.platform, &url) {
+            let mut message = connection.new_message(MessageType::Text);
+            message.set_payload_text(&format!(
+                "Agent {} arrived at site {} ({})",
+                self.config.agent_id, self.task.id, self.task.description
+            ));
+            if connection.send(&message).is_ok() {
+                self.events
+                    .record(format!("sms:arrival-site-{}", self.task.id));
+            }
+        }
+        self.post_activity(at_ms, format!("arrived site {}", self.task.id));
+    }
+
+    fn business_logic_exit(&self, at_ms: u64) {
+        self.events
+            .record(format!("departed:site-{}", self.task.id));
+        self.post_activity(at_ms, format!("left site {}", self.task.id));
+        let body = serde_json::json!({
+            "agent_id": self.config.agent_id,
+            "task_id": self.task.id,
+        })
+        .to_string();
+        if let Ok(mut connection) = Connector::open_http(
+            &self.platform,
+            &format!("http://{}/task-complete", self.config.server_host),
+        ) {
+            let _ = connection.set_request_method("POST");
+            let _ = connection.write_body(body.as_bytes());
+            if connection.response_code().is_ok() {
+                self.events
+                    .record(format!("task-complete:site-{}", self.task.id));
+            }
+        }
+    }
+
+    fn post_activity(&self, at_ms: u64, event: String) {
+        let entry = ActivityEntry {
+            agent_id: self.config.agent_id,
+            at_ms,
+            event,
+        };
+        if let Ok(mut connection) = Connector::open_http(
+            &self.platform,
+            &format!("http://{}/activity-log", self.config.server_host),
+        ) {
+            let _ = connection.set_request_method("POST");
+            let _ = connection.write_body(&serde_json::to_vec(&entry).expect("entry serializes"));
+            if connection.response_code().is_ok() {
+                self.events.record("activity-logged");
+            }
+        }
+    }
+}
+
+impl ProximityListener for ManualProximityMachine {
+    fn proximity_event(
+        &self,
+        _coordinates: &Coordinates,
+        location: &mobivine_s60::location::Location,
+    ) {
+        if self.timed_out() {
+            // time out — Fig. 2(b) tears everything down here.
+            self.stop_everything();
+            return;
+        }
+        self.entering.store(true, Ordering::SeqCst);
+        self.business_logic_entry(location.timestamp_ms());
+    }
+}
+
+impl LocationListener for ManualProximityMachine {
+    fn location_updated(
+        &self,
+        _provider: &LocationProvider,
+        location: &mobivine_s60::location::Location,
+    ) {
+        if self.timed_out() {
+            self.stop_everything();
+            return;
+        }
+        if !self.entering.load(Ordering::SeqCst) {
+            return;
+        }
+        if !location.is_valid() {
+            return;
+        }
+        let here = location.qualified_coordinates();
+        let distance = here.distance(&self.coordinates);
+        if distance > self.radius {
+            self.entering.store(false, Ordering::SeqCst);
+            self.business_logic_exit(location.timestamp_ms());
+            // re-register for the next entry — the manual re-arm the
+            // proxy model hides.
+            if let Some(me) = self.self_ref.lock().upgrade() {
+                if LocationProvider::add_proximity_listener(
+                    &self.platform,
+                    me as Arc<dyn ProximityListener>,
+                    self.coordinates,
+                    self.radius,
+                )
+                .is_err()
+                {
+                    // Handle S60 specific exceptions
+                }
+            }
+        }
+    }
+}
+
+impl Midlet for NativeS60App {
+    fn start_app(&mut self, platform: &S60Platform) {
+        if !self.machines.is_empty() {
+            return; // resumed; registrations persist
+        }
+        self.fetch_tasks(platform);
+        for task in self.tasks.clone() {
+            if let Some(machine) = ManualProximityMachine::install(
+                platform,
+                &self.config,
+                &self.events,
+                &task,
+                -1,
+            ) {
+                self.machines.push(machine);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Scenario, ScenarioOutcome};
+    use mobivine_s60::midlet::MidletHost;
+
+    #[test]
+    fn native_s60_app_full_scenario() {
+        let scenario = Scenario::two_site_patrol(1);
+        let platform = S60Platform::new(scenario.device.clone());
+        let events = AppEvents::new();
+        let app = NativeS60App::new(scenario.config.clone(), Arc::clone(&events));
+        let mut host = MidletHost::new(app, platform);
+        host.start().unwrap();
+        assert_eq!(host.midlet().tasks().len(), 2);
+        scenario.device.advance_ms(scenario.patrol_duration_ms());
+        assert_eq!(events.count_prefix("arrived:"), 2);
+        assert_eq!(events.count_prefix("departed:"), 2);
+        scenario.device.advance_ms(1_000);
+        assert_eq!(
+            ScenarioOutcome::collect(&scenario),
+            ScenarioOutcome::expected_two_site()
+        );
+    }
+
+    #[test]
+    fn contact_supervisor_is_sms_only_on_s60() {
+        let scenario = Scenario::two_site_patrol(2);
+        let platform = S60Platform::new(scenario.device.clone());
+        let events = AppEvents::new();
+        let app = NativeS60App::new(scenario.config.clone(), Arc::clone(&events));
+        app.contact_supervisor(&platform, "need parts");
+        assert_eq!(events.count_prefix("supervisor-contact:sms"), 1);
+        assert_eq!(events.count_prefix("supervisor-contact:call"), 0);
+    }
+}

@@ -1,0 +1,324 @@
+//! The **native WebView** variant of the workforce app.
+//!
+//! Without MobiVine, a WebView developer must hand-roll everything the
+//! paper's §4.1 pipeline provides: an application-specific Java bridge
+//! object exposed through `addJavaScriptInterface`, a home-grown
+//! queue standing in for the Notification Table (Java callbacks cannot
+//! reach JavaScript), and a manual polling loop in the page. This
+//! module is that hand-rolled version, business logic entangled with
+//! the plumbing.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use mobivine_android::context::{service_names, Context, SystemService};
+use mobivine_android::http::HttpUriRequest;
+use mobivine_android::intent::{Intent, IntentFilter, IntentReceiver};
+use mobivine_android::location::KEY_PROXIMITY_ENTERING;
+use mobivine_webview::bridge::{args, BridgeError, JavaScriptInterface};
+use mobivine_webview::{JsValue, WebView};
+
+use crate::logic::AppEvents;
+use crate::model::{ActivityEntry, AgentConfig, Task};
+
+const ACTION_BASE: &str = "com.acme.wfm.webview.PROXIMITY";
+
+/// The hand-written application bridge: one grab-bag Java object doing
+/// HTTP, SMS and proximity registration for this one app.
+pub struct AppBridge {
+    ctx: Context,
+    /// The home-grown notification queue (what MobiVine generalizes
+    /// into the Notification Table).
+    proximity_queue: Arc<Mutex<Vec<JsValue>>>,
+}
+
+impl AppBridge {
+    /// Creates the bridge over an Android context.
+    pub fn new(ctx: Context) -> Self {
+        Self {
+            ctx,
+            proximity_queue: Arc::new(Mutex::new(Vec::new())),
+        }
+    }
+}
+
+struct QueueingReceiver {
+    action: String,
+    task_id: u64,
+    queue: Arc<Mutex<Vec<JsValue>>>,
+}
+
+impl IntentReceiver for QueueingReceiver {
+    fn on_receive_intent(&self, _ctxt: &Context, intent: &Intent) {
+        if intent.action() != self.action {
+            return;
+        }
+        let entering = intent.get_boolean_extra(KEY_PROXIMITY_ENTERING, false);
+        self.queue.lock().push(JsValue::object([
+            ("taskId", self.task_id.into()),
+            ("entering", entering.into()),
+        ]));
+    }
+}
+
+impl JavaScriptInterface for AppBridge {
+    fn call(&self, method: &str, call_args: &[JsValue]) -> Result<JsValue, BridgeError> {
+        match method {
+            "httpGet" => {
+                let url = args::string(call_args, 0)?;
+                let request = HttpUriRequest::get(&url)
+                    .map_err(|e| BridgeError::bridge(e.to_string()))?;
+                let response = self
+                    .ctx
+                    .http_client()
+                    .execute(&request)
+                    .map_err(|e| BridgeError::bridge(e.to_string()))?;
+                Ok(JsValue::Str(response.body_text()))
+            }
+            "httpPost" => {
+                let url = args::string(call_args, 0)?;
+                let body = args::string(call_args, 1)?;
+                let request = HttpUriRequest::post(&url, body.into_bytes())
+                    .map_err(|e| BridgeError::bridge(e.to_string()))?;
+                let response = self
+                    .ctx
+                    .http_client()
+                    .execute(&request)
+                    .map_err(|e| BridgeError::bridge(e.to_string()))?;
+                Ok(JsValue::Number(response.status as f64))
+            }
+            "sendSms" => {
+                let destination = args::string(call_args, 0)?;
+                let text = args::string(call_args, 1)?;
+                match self.ctx.get_system_service(service_names::SMS_SERVICE) {
+                    Ok(SystemService::Sms(sms)) => {
+                        sms.send_text_message(&destination, None, &text, None)
+                            .map_err(|e| BridgeError::bridge(e.to_string()))?;
+                        Ok(JsValue::Bool(true))
+                    }
+                    _ => Err(BridgeError::bridge("sms service unavailable")),
+                }
+            }
+            "addProximityAlert" => {
+                let latitude = args::number(call_args, 0)?;
+                let longitude = args::number(call_args, 1)?;
+                let radius = args::number(call_args, 2)?;
+                let task_id = args::number(call_args, 3)? as u64;
+                let action = format!("{ACTION_BASE}.{task_id}");
+                let receiver = Arc::new(QueueingReceiver {
+                    action: action.clone(),
+                    task_id,
+                    queue: Arc::clone(&self.proximity_queue),
+                });
+                self.ctx
+                    .register_receiver(receiver, IntentFilter::new(&action));
+                match self.ctx.get_system_service(service_names::LOCATION_SERVICE) {
+                    Ok(SystemService::Location(lm)) => {
+                        lm.add_proximity_alert(
+                            latitude,
+                            longitude,
+                            radius as f32,
+                            -1,
+                            Intent::new(&action),
+                        )
+                        .map_err(|e| BridgeError::bridge(e.to_string()))?;
+                        Ok(JsValue::Bool(true))
+                    }
+                    _ => Err(BridgeError::bridge("location service unavailable")),
+                }
+            }
+            "pollProximity" => {
+                let drained: Vec<JsValue> = std::mem::take(&mut *self.proximity_queue.lock());
+                Ok(JsValue::Array(drained))
+            }
+            other => Err(BridgeError::bridge(format!("AppBridge has no method {other}"))),
+        }
+    }
+}
+
+/// The page-side application: fetches tasks, registers alerts through
+/// the bridge, and runs its own polling loop.
+pub struct NativeWebViewApp {
+    config: AgentConfig,
+    events: Arc<AppEvents>,
+    tasks: Arc<Mutex<Vec<Task>>>,
+    polling: Arc<AtomicBool>,
+}
+
+impl NativeWebViewApp {
+    /// Creates the page application for `config`.
+    pub fn new(config: AgentConfig, events: Arc<AppEvents>) -> Self {
+        Self {
+            config,
+            events,
+            tasks: Arc::new(Mutex::new(Vec::new())),
+            polling: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// The tasks fetched during [`NativeWebViewApp::start`].
+    pub fn tasks(&self) -> Vec<Task> {
+        self.tasks.lock().clone()
+    }
+
+    /// `JSInit`: injects the bridge, fetches tasks, registers alerts
+    /// and starts the hand-rolled polling loop.
+    pub fn start(&self, webview: &WebView) {
+        webview.add_javascript_interface(
+            Arc::new(AppBridge::new(webview.context().clone())),
+            "AppBridge",
+        );
+        let bridge = webview
+            .js_interface("AppBridge")
+            .expect("bridge was just injected");
+        // Fetch tasks over the bridge.
+        let url = format!(
+            "http://{}/tasks?agent={}",
+            self.config.server_host, self.config.agent_id
+        );
+        if let Ok(body) = bridge.invoke("httpGet", &[JsValue::Str(url)]) {
+            let tasks: Vec<Task> =
+                serde_json::from_str(body.as_str().unwrap_or("[]")).unwrap_or_default();
+            self.events.record(format!("tasks-fetched:{}", tasks.len()));
+            *self.tasks.lock() = tasks;
+        }
+        // Register the alerts.
+        for task in self.tasks.lock().iter() {
+            let _ = bridge.invoke(
+                "addProximityAlert",
+                &[
+                    task.latitude.into(),
+                    task.longitude.into(),
+                    task.radius_m.into(),
+                    task.id.into(),
+                ],
+            );
+        }
+        // The manual polling loop (what MobiVine's notifHandler does
+        // generically).
+        self.polling.store(true, Ordering::SeqCst);
+        schedule_poll(
+            webview.context().device().clone(),
+            bridge,
+            self.config.clone(),
+            Arc::clone(&self.tasks),
+            Arc::clone(&self.events),
+            Arc::clone(&self.polling),
+        );
+    }
+
+    /// Stops the polling loop.
+    pub fn stop(&self) {
+        self.polling.store(false, Ordering::SeqCst);
+    }
+}
+
+fn schedule_poll(
+    device: mobivine_device::Device,
+    bridge: mobivine_webview::webview::JsInterfaceHandle,
+    config: AgentConfig,
+    tasks: Arc<Mutex<Vec<Task>>>,
+    events: Arc<AppEvents>,
+    polling: Arc<AtomicBool>,
+) {
+    let fire_at = device.now_ms() + 500;
+    let queue = Arc::clone(device.events());
+    queue.schedule_at(fire_at, "native-webview-poll", move |_| {
+        if !polling.load(Ordering::SeqCst) {
+            return;
+        }
+        if let Ok(JsValue::Array(notifications)) = bridge.invoke("pollProximity", &[]) {
+            for notification in notifications {
+                let task_id = notification.get("taskId").as_number().unwrap_or(0.0) as u64;
+                let entering = notification.get("entering").as_bool().unwrap_or(false);
+                let task = tasks.lock().iter().find(|t| t.id == task_id).cloned();
+                let Some(task) = task else { continue };
+                // Business logic inline in the poll loop — the
+                // entanglement the proxy model untangles.
+                if entering {
+                    events.record(format!("arrived:site-{}", task.id));
+                    let _ = bridge.invoke(
+                        "sendSms",
+                        &[
+                            JsValue::str(&config.supervisor_msisdn),
+                            JsValue::Str(format!(
+                                "Agent {} arrived at site {} ({})",
+                                config.agent_id, task.id, task.description
+                            )),
+                        ],
+                    );
+                    events.record(format!("sms:arrival-site-{}", task.id));
+                    post_activity(&bridge, &config, &events, device.now_ms(), format!("arrived site {}", task.id));
+                } else {
+                    events.record(format!("departed:site-{}", task.id));
+                    post_activity(&bridge, &config, &events, device.now_ms(), format!("left site {}", task.id));
+                    let body = serde_json::json!({
+                        "agent_id": config.agent_id,
+                        "task_id": task.id,
+                    })
+                    .to_string();
+                    let _ = bridge.invoke(
+                        "httpPost",
+                        &[
+                            JsValue::Str(format!("http://{}/task-complete", config.server_host)),
+                            JsValue::Str(body),
+                        ],
+                    );
+                    events.record(format!("task-complete:site-{}", task.id));
+                }
+            }
+        }
+        schedule_poll(device, bridge, config, tasks, events, polling);
+    });
+}
+
+fn post_activity(
+    bridge: &mobivine_webview::webview::JsInterfaceHandle,
+    config: &AgentConfig,
+    events: &Arc<AppEvents>,
+    at_ms: u64,
+    event: String,
+) {
+    let entry = ActivityEntry {
+        agent_id: config.agent_id,
+        at_ms,
+        event,
+    };
+    let _ = bridge.invoke(
+        "httpPost",
+        &[
+            JsValue::Str(format!("http://{}/activity-log", config.server_host)),
+            JsValue::Str(serde_json::to_string(&entry).expect("entry serializes")),
+        ],
+    );
+    events.record("activity-logged");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Scenario, ScenarioOutcome};
+    use mobivine_android::{AndroidPlatform, SdkVersion};
+
+    #[test]
+    fn native_webview_app_full_scenario() {
+        let scenario = Scenario::two_site_patrol(1);
+        let platform = AndroidPlatform::new(scenario.device.clone(), SdkVersion::M5Rc15);
+        let webview = WebView::new(platform.new_context());
+        let events = AppEvents::new();
+        let app = NativeWebViewApp::new(scenario.config.clone(), Arc::clone(&events));
+        app.start(&webview);
+        assert_eq!(app.tasks().len(), 2);
+        scenario.device.advance_ms(scenario.patrol_duration_ms());
+        assert_eq!(events.count_prefix("arrived:"), 2);
+        assert_eq!(events.count_prefix("departed:"), 2);
+        scenario.device.advance_ms(1_000);
+        assert_eq!(
+            ScenarioOutcome::collect(&scenario),
+            ScenarioOutcome::expected_two_site()
+        );
+        app.stop();
+    }
+}

@@ -1,0 +1,201 @@
+//! The **proxy** variant of the workforce app — the paper's Figs. 8
+//! and 9.
+//!
+//! One implementation, every platform. The uniform proxy APIs mean the
+//! registration code, the callback signature and the business logic are
+//! byte-for-byte identical whether the app runs on Android, S60 or
+//! WebView; only the one-line runtime construction differs. Compare
+//! with the three hand-written native variants in this crate.
+
+use std::sync::Arc;
+
+use mobivine::registry::Mobivine;
+use mobivine::types::{ProximityEvent, SharedProximityListener};
+
+use crate::logic::{AppEvents, WorkforceLogic};
+use crate::model::{AgentConfig, Task};
+
+/// The proxy-based workforce app. Platform-independent: construct it
+/// with any [`Mobivine`] runtime.
+pub struct ProxyWorkforceApp {
+    runtime: Mobivine,
+    logic: Arc<WorkforceLogic>,
+    events: Arc<AppEvents>,
+    tasks: Vec<Task>,
+    listeners: Vec<SharedProximityListener>,
+}
+
+impl ProxyWorkforceApp {
+    /// Assembles the app over a platform runtime.
+    ///
+    /// # Errors
+    ///
+    /// Propagates proxy-construction errors. The Call proxy is treated
+    /// as optional — on S60 the app degrades to SMS-only supervisor
+    /// contact without any platform-specific code.
+    pub fn new(
+        runtime: Mobivine,
+        config: AgentConfig,
+        events: Arc<AppEvents>,
+    ) -> Result<Self, mobivine::error::ProxyError> {
+        let sms = runtime.sms()?;
+        let http = runtime.http()?;
+        let call = runtime.call().ok();
+        let logic = Arc::new(WorkforceLogic::new(
+            config,
+            Arc::clone(&events),
+            sms,
+            http,
+            call,
+        ));
+        Ok(Self {
+            runtime,
+            logic,
+            events,
+            tasks: Vec::new(),
+            listeners: Vec::new(),
+        })
+    }
+
+    /// The tasks fetched during [`ProxyWorkforceApp::start`].
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// The observable event log.
+    pub fn events(&self) -> &Arc<AppEvents> {
+        &self.events
+    }
+
+    /// Fetches tasks and registers one proximity alert per task —
+    /// the entire Fig. 8 body.
+    ///
+    /// # Errors
+    ///
+    /// Propagates proxy errors.
+    pub fn start(&mut self) -> Result<(), mobivine::error::ProxyError> {
+        self.tasks = self.logic.fetch_tasks()?;
+        let location = self.runtime.location()?;
+        for task in &self.tasks {
+            // registering for proximity events
+            let logic = Arc::clone(&self.logic);
+            let task_for_listener = task.clone();
+            let listener: SharedProximityListener = Arc::new(move |event: &ProximityEvent| {
+                /* business logic for handling proximity events */
+                logic.handle_proximity(&task_for_listener, event);
+            });
+            location.add_proximity_alert(
+                task.latitude,
+                task.longitude,
+                0.0,
+                task.radius_m,
+                -1,
+                Arc::clone(&listener),
+            )?;
+            self.listeners.push(listener);
+        }
+        Ok(())
+    }
+
+    /// Quick communication with the supervisor — call where supported,
+    /// SMS fallback, decided by the logic layer, not the platform.
+    pub fn contact_supervisor(&self, note: &str) {
+        self.logic.contact_supervisor(note);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Scenario, ScenarioOutcome};
+    use mobivine_android::{AndroidPlatform, SdkVersion};
+    use mobivine_s60::S60Platform;
+    use mobivine_webview::WebView;
+
+    fn run_scenario(make_runtime: impl FnOnce(&Scenario) -> Mobivine) -> (Scenario, Arc<AppEvents>) {
+        let scenario = Scenario::two_site_patrol(1);
+        let runtime = make_runtime(&scenario);
+        let events = AppEvents::new();
+        let mut app =
+            ProxyWorkforceApp::new(runtime, scenario.config.clone(), Arc::clone(&events)).unwrap();
+        app.start().unwrap();
+        assert_eq!(app.tasks().len(), 2);
+        scenario.device.advance_ms(scenario.patrol_duration_ms());
+        scenario.device.advance_ms(1_000);
+        (scenario, events)
+    }
+
+    fn assert_expected(scenario: &Scenario, events: &AppEvents) {
+        assert_eq!(events.count_prefix("arrived:"), 2);
+        assert_eq!(events.count_prefix("departed:"), 2);
+        assert_eq!(events.count_prefix("task-complete:"), 2);
+        assert_eq!(
+            ScenarioOutcome::collect(scenario),
+            ScenarioOutcome::expected_two_site()
+        );
+    }
+
+    #[test]
+    fn same_app_runs_on_android() {
+        let (scenario, events) = run_scenario(|s| {
+            let platform = AndroidPlatform::new(s.device.clone(), SdkVersion::M5Rc15);
+            Mobivine::for_android(platform.new_context())
+        });
+        assert_expected(&scenario, &events);
+    }
+
+    #[test]
+    fn same_app_runs_on_android_1_0_unchanged() {
+        // The maintenance experiment: not one line of app code changes.
+        let (scenario, events) = run_scenario(|s| {
+            let platform = AndroidPlatform::new(s.device.clone(), SdkVersion::V1_0);
+            Mobivine::for_android(platform.new_context())
+        });
+        assert_expected(&scenario, &events);
+    }
+
+    #[test]
+    fn same_app_runs_on_s60() {
+        let (scenario, events) = run_scenario(|s| {
+            Mobivine::for_s60(S60Platform::new(s.device.clone()))
+        });
+        assert_expected(&scenario, &events);
+    }
+
+    #[test]
+    fn same_app_runs_on_webview() {
+        let (scenario, events) = run_scenario(|s| {
+            let platform = AndroidPlatform::new(s.device.clone(), SdkVersion::M5Rc15);
+            Mobivine::for_webview(Arc::new(WebView::new(platform.new_context())))
+        });
+        assert_expected(&scenario, &events);
+    }
+
+    #[test]
+    fn supervisor_contact_degrades_gracefully_per_platform() {
+        // Android: call succeeds.
+        let scenario = Scenario::two_site_patrol(3);
+        let platform = AndroidPlatform::new(scenario.device.clone(), SdkVersion::M5Rc15);
+        let events = AppEvents::new();
+        let app = ProxyWorkforceApp::new(
+            Mobivine::for_android(platform.new_context()),
+            scenario.config.clone(),
+            Arc::clone(&events),
+        )
+        .unwrap();
+        app.contact_supervisor("need parts");
+        assert_eq!(events.count_prefix("supervisor-contact:call"), 1);
+
+        // S60: same call site, SMS fallback — no app change.
+        let scenario = Scenario::two_site_patrol(4);
+        let events = AppEvents::new();
+        let app = ProxyWorkforceApp::new(
+            Mobivine::for_s60(S60Platform::new(scenario.device.clone())),
+            scenario.config.clone(),
+            Arc::clone(&events),
+        )
+        .unwrap();
+        app.contact_supervisor("need parts");
+        assert_eq!(events.count_prefix("supervisor-contact:sms"), 1);
+    }
+}

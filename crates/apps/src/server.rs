@@ -1,0 +1,276 @@
+//! The server-side application (paper Fig. 1, right half).
+//!
+//! "Each device-side component … communicates with the server side
+//! application that does the tasks of book-keeping, request allocation,
+//! etc." Built "using Web standards": JSON over HTTP routes on the
+//! simulated network.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use mobivine_device::net::{HttpResponse, Method, SimNetwork};
+
+use crate::model::{ActivityEntry, Task};
+
+/// A recorded agent position.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrackPoint {
+    /// Reporting agent.
+    pub agent_id: u64,
+    /// Latitude, degrees.
+    pub latitude: f64,
+    /// Longitude, degrees.
+    pub longitude: f64,
+    /// Report time, virtual ms.
+    pub at_ms: u64,
+}
+
+#[derive(Debug, Default)]
+struct ServerState {
+    tasks: Vec<(u64, Task)>, // (assigned agent, task)
+    completed: Vec<(u64, u64)>, // (agent, task id)
+    activity: Vec<ActivityEntry>,
+    tracks: Vec<TrackPoint>,
+}
+
+/// The workforce-management server: agent tracking, request assignment
+/// and activity logging.
+#[derive(Clone, Default)]
+pub struct WfmServer {
+    state: Arc<Mutex<ServerState>>,
+}
+
+impl std::fmt::Debug for WfmServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock();
+        f.debug_struct("WfmServer")
+            .field("tasks", &state.tasks.len())
+            .field("activity", &state.activity.len())
+            .finish()
+    }
+}
+
+impl WfmServer {
+    /// Creates an empty server.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Assigns `task` to `agent_id` (the dispatcher's "request
+    /// assignment" role).
+    pub fn assign_task(&self, agent_id: u64, task: Task) {
+        self.state.lock().tasks.push((agent_id, task));
+    }
+
+    /// Open tasks currently assigned to `agent_id`.
+    pub fn tasks_for(&self, agent_id: u64) -> Vec<Task> {
+        let state = self.state.lock();
+        state
+            .tasks
+            .iter()
+            .filter(|(a, t)| *a == agent_id && !state.completed.contains(&(*a, t.id)))
+            .map(|(_, t)| t.clone())
+            .collect()
+    }
+
+    /// The activity log, in arrival order.
+    pub fn activity_log(&self) -> Vec<ActivityEntry> {
+        self.state.lock().activity.clone()
+    }
+
+    /// All recorded track points for `agent_id`.
+    pub fn track(&self, agent_id: u64) -> Vec<TrackPoint> {
+        self.state
+            .lock()
+            .tracks
+            .iter()
+            .filter(|t| t.agent_id == agent_id)
+            .cloned()
+            .collect()
+    }
+
+    /// Tasks `agent_id` has completed.
+    pub fn completed_tasks(&self, agent_id: u64) -> Vec<u64> {
+        self.state
+            .lock()
+            .completed
+            .iter()
+            .filter(|(a, _)| *a == agent_id)
+            .map(|(_, t)| *t)
+            .collect()
+    }
+
+    /// Installs the HTTP routes on `network` under `host`.
+    ///
+    /// Routes: `GET /tasks?agent=N`, `POST /activity-log`,
+    /// `POST /report-location`, `POST /task-complete`.
+    pub fn install(&self, network: &SimNetwork, host: &str) {
+        let state = Arc::clone(&self.state);
+        network.register_route(host, Method::Get, "/tasks", move |req| {
+            let agent_id: Option<u64> = req
+                .url
+                .query
+                .as_deref()
+                .and_then(|q| {
+                    q.split('&')
+                        .find_map(|kv| kv.strip_prefix("agent="))
+                        .and_then(|v| v.parse().ok())
+                });
+            match agent_id {
+                Some(agent_id) => {
+                    let state = state.lock();
+                    let tasks: Vec<&Task> = state
+                        .tasks
+                        .iter()
+                        .filter(|(a, t)| *a == agent_id && !state.completed.contains(&(*a, t.id)))
+                        .map(|(_, t)| t)
+                        .collect();
+                    HttpResponse::ok(serde_json::to_vec(&tasks).expect("tasks serialize"))
+                }
+                None => HttpResponse::status_only(400),
+            }
+        });
+
+        let state = Arc::clone(&self.state);
+        network.register_route(host, Method::Post, "/activity-log", move |req| {
+            match serde_json::from_slice::<ActivityEntry>(&req.body) {
+                Ok(entry) => {
+                    state.lock().activity.push(entry);
+                    HttpResponse::ok("logged")
+                }
+                Err(_) => HttpResponse::status_only(400),
+            }
+        });
+
+        let state = Arc::clone(&self.state);
+        network.register_route(host, Method::Post, "/report-location", move |req| {
+            match serde_json::from_slice::<TrackPoint>(&req.body) {
+                Ok(point) => {
+                    state.lock().tracks.push(point);
+                    HttpResponse::ok("tracked")
+                }
+                Err(_) => HttpResponse::status_only(400),
+            }
+        });
+
+        let state = Arc::clone(&self.state);
+        network.register_route(host, Method::Post, "/task-complete", move |req| {
+            #[derive(Deserialize)]
+            struct Complete {
+                agent_id: u64,
+                task_id: u64,
+            }
+            match serde_json::from_slice::<Complete>(&req.body) {
+                Ok(c) => {
+                    state.lock().completed.push((c.agent_id, c.task_id));
+                    HttpResponse::ok("completed")
+                }
+                Err(_) => HttpResponse::status_only(400),
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobivine_device::net::HttpRequest;
+    use mobivine_device::Device;
+
+    fn task(id: u64) -> Task {
+        Task {
+            id,
+            latitude: 28.5,
+            longitude: 77.3,
+            radius_m: 100.0,
+            description: format!("task {id}"),
+        }
+    }
+
+    fn installed() -> (Device, WfmServer) {
+        let device = Device::builder().build();
+        let server = WfmServer::new();
+        server.install(device.network(), "wfm.example");
+        (device, server)
+    }
+
+    #[test]
+    fn tasks_route_filters_by_agent_and_completion() {
+        let (device, server) = installed();
+        server.assign_task(1, task(10));
+        server.assign_task(1, task(11));
+        server.assign_task(2, task(20));
+        let req = HttpRequest::get("http://wfm.example/tasks?agent=1").unwrap();
+        let (resp, _) = device.network().execute(&req).unwrap();
+        let tasks: Vec<Task> = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(tasks.len(), 2);
+
+        // Complete one and re-query.
+        let body = serde_json::json!({"agent_id": 1, "task_id": 10}).to_string();
+        let req = HttpRequest::post("http://wfm.example/task-complete", body).unwrap();
+        device.network().execute(&req).unwrap();
+        let req = HttpRequest::get("http://wfm.example/tasks?agent=1").unwrap();
+        let (resp, _) = device.network().execute(&req).unwrap();
+        let tasks: Vec<Task> = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(tasks.len(), 1);
+        assert_eq!(tasks[0].id, 11);
+        assert_eq!(server.completed_tasks(1), vec![10]);
+    }
+
+    #[test]
+    fn tasks_route_requires_agent_parameter() {
+        let (device, _server) = installed();
+        let req = HttpRequest::get("http://wfm.example/tasks").unwrap();
+        let (resp, _) = device.network().execute(&req).unwrap();
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn activity_log_accumulates() {
+        let (device, server) = installed();
+        let entry = ActivityEntry {
+            agent_id: 1,
+            at_ms: 1000,
+            event: "arrived".into(),
+        };
+        let req = HttpRequest::post(
+            "http://wfm.example/activity-log",
+            serde_json::to_vec(&entry).unwrap(),
+        )
+        .unwrap();
+        device.network().execute(&req).unwrap();
+        assert_eq!(server.activity_log(), vec![entry]);
+    }
+
+    #[test]
+    fn malformed_posts_are_400() {
+        let (device, server) = installed();
+        let req = HttpRequest::post("http://wfm.example/activity-log", "not json").unwrap();
+        let (resp, _) = device.network().execute(&req).unwrap();
+        assert_eq!(resp.status, 400);
+        assert!(server.activity_log().is_empty());
+    }
+
+    #[test]
+    fn track_points_recorded_per_agent() {
+        let (device, server) = installed();
+        for (agent, t) in [(1u64, 100u64), (2, 200), (1, 300)] {
+            let point = TrackPoint {
+                agent_id: agent,
+                latitude: 28.0,
+                longitude: 77.0,
+                at_ms: t,
+            };
+            let req = HttpRequest::post(
+                "http://wfm.example/report-location",
+                serde_json::to_vec(&point).unwrap(),
+            )
+            .unwrap();
+            device.network().execute(&req).unwrap();
+        }
+        assert_eq!(server.track(1).len(), 2);
+        assert_eq!(server.track(2).len(), 1);
+    }
+}

@@ -1,0 +1,70 @@
+//! Ablation: where does proxy overhead come from?
+//!
+//! With native costs zeroed, the remaining time *is* the
+//! de-fragmentation machinery. The paper attributes proxy overhead to
+//! "a few extra calls dealing with data-type conversions, platform
+//! specific attributes and other small de-fragmentation logic" (§5);
+//! this bench decomposes it:
+//!
+//! - `property_bag` — the `setProperty` validation layer,
+//! - `type_conversion` — platform Location → common Location mapping
+//!   (measured via `getLocation` minus the bare platform call),
+//! - `bridge_marshalling` — the WebView JsValue round trip,
+//! - `enrichment` — a unit-conversion decorator on top of the proxy.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mobivine::enrich::UnitLocationProxy;
+use mobivine::property::PropertyValue;
+use mobivine::registry::Mobivine;
+use mobivine::types::AngleUnit;
+use mobivine_android::{AndroidPlatform, SdkVersion};
+use mobivine_bench::harness::{AndroidFixture, WebViewFixture};
+use mobivine_device::latency::LatencyModel;
+use mobivine_device::{Device, GeoPoint};
+
+fn bench_layers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+
+    // Bare platform call vs proxied call (Android, zero native cost).
+    let fixture = AndroidFixture::new(LatencyModel::zero());
+    group.bench_function("android/bare_platform_getLocation", |b| {
+        b.iter(|| fixture.native_get_location())
+    });
+    group.bench_function("android/proxied_getLocation", |b| {
+        b.iter(|| fixture.proxy_get_location())
+    });
+
+    // The property-bag layer alone.
+    let device = Device::builder().position(GeoPoint::new(28.5, 77.3)).build();
+    let platform = AndroidPlatform::new(device, SdkVersion::M5Rc15);
+    let runtime = Mobivine::for_android(platform.new_context());
+    let proxy = runtime.location().expect("location proxy");
+    group.bench_function("android/set_property_validated", |b| {
+        b.iter(|| {
+            proxy
+                .set_property("provider", PropertyValue::str("gps"))
+                .expect("valid property")
+        })
+    });
+
+    // Bridge marshalling: WebView proxied call vs Android proxied call
+    // is the JsValue round-trip cost.
+    let webview = WebViewFixture::new(LatencyModel::zero());
+    group.bench_function("webview/proxied_getLocation", |b| {
+        b.iter(|| webview.proxy_get_location())
+    });
+
+    // Enrichment decorator on top.
+    let enriched = UnitLocationProxy::new(Arc::clone(&proxy), AngleUnit::Radians);
+    group.bench_function("android/enriched_getLocation_radians", |b| {
+        b.iter(|| enriched.get_coordinates().expect("coordinates"))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_layers);
+criterion_main!(benches);

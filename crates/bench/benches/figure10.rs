@@ -1,0 +1,77 @@
+//! Criterion version of Figure 10 — nine (platform, API) pairs, with
+//! and without proxies, at bench scale (the paper's native costs read
+//! as microseconds so the full suite completes quickly).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mobivine_bench::harness::{AndroidFixture, S60Fixture, WebViewFixture};
+use mobivine_device::latency::LatencyModel;
+
+fn bench_android(c: &mut Criterion) {
+    let fixture = AndroidFixture::new(LatencyModel::bench_android());
+    let mut group = c.benchmark_group("figure10/android");
+    group.bench_function("addProximityAlert/without_proxy", |b| {
+        b.iter(|| fixture.native_add_proximity_alert())
+    });
+    group.bench_function("addProximityAlert/with_proxy", |b| {
+        b.iter(|| fixture.proxy_add_proximity_alert())
+    });
+    group.bench_function("getLocation/without_proxy", |b| {
+        b.iter(|| fixture.native_get_location())
+    });
+    group.bench_function("getLocation/with_proxy", |b| {
+        b.iter(|| fixture.proxy_get_location())
+    });
+    group.bench_function("sendSMS/without_proxy", |b| {
+        b.iter(|| fixture.native_send_sms())
+    });
+    group.bench_function("sendSMS/with_proxy", |b| b.iter(|| fixture.proxy_send_sms()));
+    group.finish();
+}
+
+fn bench_webview(c: &mut Criterion) {
+    let fixture = WebViewFixture::new(LatencyModel::bench_webview());
+    let mut group = c.benchmark_group("figure10/webview");
+    group.bench_function("addProximityAlert/without_proxy", |b| {
+        b.iter(|| fixture.native_add_proximity_alert())
+    });
+    group.bench_function("addProximityAlert/with_proxy", |b| {
+        b.iter(|| fixture.proxy_add_proximity_alert())
+    });
+    group.bench_function("getLocation/without_proxy", |b| {
+        b.iter(|| fixture.native_get_location())
+    });
+    group.bench_function("getLocation/with_proxy", |b| {
+        b.iter(|| fixture.proxy_get_location())
+    });
+    group.bench_function("sendSMS/without_proxy", |b| {
+        b.iter(|| fixture.native_send_sms())
+    });
+    group.bench_function("sendSMS/with_proxy", |b| b.iter(|| fixture.proxy_send_sms()));
+    group.finish();
+}
+
+fn bench_s60(c: &mut Criterion) {
+    let fixture = S60Fixture::new(LatencyModel::bench_s60());
+    let mut group = c.benchmark_group("figure10/s60");
+    group.bench_function("addProximityAlert/without_proxy", |b| {
+        b.iter(|| fixture.native_add_proximity_alert())
+    });
+    group.bench_function("addProximityAlert/with_proxy", |b| {
+        b.iter(|| fixture.proxy_add_proximity_alert())
+    });
+    group.bench_function("getLocation/without_proxy", |b| {
+        b.iter(|| fixture.native_get_location())
+    });
+    group.bench_function("getLocation/with_proxy", |b| {
+        b.iter(|| fixture.proxy_get_location())
+    });
+    group.bench_function("sendSMS/without_proxy", |b| {
+        b.iter(|| fixture.native_send_sms())
+    });
+    group.bench_function("sendSMS/with_proxy", |b| b.iter(|| fixture.proxy_send_sms()));
+    group.finish();
+}
+
+criterion_group!(benches, bench_android, bench_webview, bench_s60);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! End-to-end ablation: the complete two-site workforce patrol, native
+//! vs proxy, per platform. This measures what an application actually
+//! pays for adopting MobiVine over a whole run (registration + every
+//! delivered alert + SMS + HTTP), not just single invocations.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use mobivine::registry::Mobivine;
+use mobivine_android::activity::ActivityHost;
+use mobivine_android::{AndroidPlatform, SdkVersion};
+use mobivine_apps::logic::AppEvents;
+use mobivine_apps::native_android::NativeAndroidApp;
+use mobivine_apps::native_s60::NativeS60App;
+use mobivine_apps::proxy_app::ProxyWorkforceApp;
+use mobivine_apps::scenario::Scenario;
+use mobivine_s60::midlet::MidletHost;
+use mobivine_s60::S60Platform;
+
+fn native_android_run(scenario: Scenario) {
+    let platform = AndroidPlatform::new(scenario.device.clone(), SdkVersion::M5Rc15);
+    let events = AppEvents::new();
+    let app = NativeAndroidApp::new(scenario.config.clone(), events);
+    let mut host = ActivityHost::new(app, platform.new_context());
+    host.launch().expect("launch");
+    scenario.device.advance_ms(scenario.patrol_duration_ms());
+}
+
+fn proxy_android_run(scenario: Scenario) {
+    let platform = AndroidPlatform::new(scenario.device.clone(), SdkVersion::M5Rc15);
+    let events = AppEvents::new();
+    let mut app = ProxyWorkforceApp::new(
+        Mobivine::for_android(platform.new_context()),
+        scenario.config.clone(),
+        events,
+    )
+    .expect("construct");
+    app.start().expect("start");
+    scenario.device.advance_ms(scenario.patrol_duration_ms());
+}
+
+fn native_s60_run(scenario: Scenario) {
+    let platform = S60Platform::new(scenario.device.clone());
+    let events = AppEvents::new();
+    let app = NativeS60App::new(scenario.config.clone(), events);
+    let mut host = MidletHost::new(app, platform);
+    host.start().expect("start");
+    scenario.device.advance_ms(scenario.patrol_duration_ms());
+}
+
+fn proxy_s60_run(scenario: Scenario) {
+    let events = AppEvents::new();
+    let mut app = ProxyWorkforceApp::new(
+        Mobivine::for_s60(S60Platform::new(scenario.device.clone())),
+        scenario.config.clone(),
+        events,
+    )
+    .expect("construct");
+    app.start().expect("start");
+    scenario.device.advance_ms(scenario.patrol_duration_ms());
+}
+
+fn bench_scenarios(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario/two_site_patrol");
+    group.sample_size(20);
+    group.bench_function("android/native", |b| {
+        b.iter_batched(
+            || Scenario::two_site_patrol(1),
+            native_android_run,
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("android/proxy", |b| {
+        b.iter_batched(
+            || Scenario::two_site_patrol(1),
+            proxy_android_run,
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("s60/native", |b| {
+        b.iter_batched(
+            || Scenario::two_site_patrol(1),
+            native_s60_run,
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("s60/proxy", |b| {
+        b.iter_batched(
+            || Scenario::two_site_patrol(1),
+            proxy_s60_run,
+            BatchSize::SmallInput,
+        )
+    });
+    // WebView proxy path (no native WebView batch: its polling loop is
+    // the dominant cost and identical either way).
+    group.bench_function("webview/proxy", |b| {
+        b.iter_batched(
+            || Scenario::two_site_patrol(1),
+            |scenario| {
+                let platform =
+                    AndroidPlatform::new(scenario.device.clone(), SdkVersion::M5Rc15);
+                let webview = Arc::new(mobivine_webview::WebView::new(platform.new_context()));
+                let events = AppEvents::new();
+                let mut app = ProxyWorkforceApp::new(
+                    Mobivine::for_webview(webview),
+                    scenario.config.clone(),
+                    events,
+                )
+                .expect("construct");
+                app.start().expect("start");
+                scenario.device.advance_ms(scenario.patrol_duration_ms());
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scenarios);
+criterion_main!(benches);

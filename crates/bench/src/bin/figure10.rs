@@ -1,0 +1,66 @@
+//! Regenerates the paper's Figure 10 at paper scale.
+//!
+//! Usage: `cargo run -p mobivine-bench --bin figure10 [--runs N]
+//! [--scale paper|bench|zero]`
+//!
+//! Native API costs are calibrated to the paper's handset measurements;
+//! the proxy overhead on top is real measured Rust. The paper's values
+//! are printed alongside each measured pair.
+
+use mobivine_bench::figure10::{render_table, run_figure10, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut runs: u32 = 10; // the paper averages ten executions
+    let mut scale = Scale::Paper;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--runs" => {
+                runs = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(runs);
+                i += 2;
+            }
+            "--scale" => {
+                scale = match args.get(i + 1).map(String::as_str) {
+                    Some("bench") => Scale::Bench,
+                    Some("zero") => Scale::ZeroCost,
+                    _ => Scale::Paper,
+                };
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!("running figure 10 at {scale:?} scale, {runs} executions per API ...");
+    let rows = run_figure10(scale, runs);
+    print!("{}", render_table(&rows));
+
+    let max_overhead = rows
+        .iter()
+        .map(Figure10RowExt::overhead)
+        .fold(0.0f64, f64::max);
+    println!(
+        "\nmax relative proxy overhead: {:.1}% (paper max: 5.5%)",
+        max_overhead * 100.0
+    );
+    println!(
+        "conclusion: the overhead of the proxy is a small fraction of the corresponding native interface"
+    );
+}
+
+trait Figure10RowExt {
+    fn overhead(&self) -> f64;
+}
+
+impl Figure10RowExt for mobivine_bench::figure10::Figure10Row {
+    fn overhead(&self) -> f64 {
+        self.overhead_fraction()
+    }
+}

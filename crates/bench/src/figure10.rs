@@ -1,0 +1,278 @@
+//! Figure 10 regeneration.
+//!
+//! The paper times `addProximityAlert`, `getLocation` and `sendSMS`
+//! with and without proxies on Android, Android WebView and Nokia S60,
+//! averaging ten executions per API. The native costs are calibrated to
+//! the paper's bars (see [`mobivine_device::latency`]); the proxy
+//! overhead on top is genuinely measured Rust.
+
+use std::fmt;
+use std::time::Instant;
+
+use mobivine_device::latency::LatencyModel;
+
+use crate::harness::{AndroidFixture, S60Fixture, WebViewFixture};
+
+/// Which latency calibration a run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Millisecond-scale native costs, exactly the paper's Figure 10
+    /// values — a full run takes a few seconds of wall time.
+    Paper,
+    /// The same values read as microseconds — for Criterion runs.
+    Bench,
+    /// Zero native cost — isolates pure proxy overhead (the ablation).
+    ZeroCost,
+}
+
+impl Scale {
+    fn android(&self) -> LatencyModel {
+        match self {
+            Scale::Paper => LatencyModel::paper_android(),
+            Scale::Bench => LatencyModel::bench_android(),
+            Scale::ZeroCost => LatencyModel::zero(),
+        }
+    }
+
+    fn webview(&self) -> LatencyModel {
+        match self {
+            Scale::Paper => LatencyModel::paper_webview(),
+            Scale::Bench => LatencyModel::bench_webview(),
+            Scale::ZeroCost => LatencyModel::zero(),
+        }
+    }
+
+    fn s60(&self) -> LatencyModel {
+        match self {
+            Scale::Paper => LatencyModel::paper_s60(),
+            Scale::Bench => LatencyModel::bench_s60(),
+            Scale::ZeroCost => LatencyModel::zero(),
+        }
+    }
+}
+
+/// One bar pair of Figure 10.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure10Row {
+    /// Platform label, as the figure prints it.
+    pub platform: &'static str,
+    /// API label, as the figure prints it.
+    pub api: &'static str,
+    /// Mean native invocation time, ms ("Without Proxy").
+    pub without_proxy_ms: f64,
+    /// Mean proxied invocation time, ms ("With Proxy").
+    pub with_proxy_ms: f64,
+    /// The paper's reported values `(without, with)` for comparison.
+    pub paper_ms: (f64, f64),
+}
+
+impl Figure10Row {
+    /// Relative proxy overhead of the measured pair.
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.without_proxy_ms <= 0.0 {
+            return 0.0;
+        }
+        (self.with_proxy_ms - self.without_proxy_ms) / self.without_proxy_ms
+    }
+}
+
+impl fmt::Display for Figure10Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<16} {:<18} {:>10.3} {:>10.3} {:>8.1}% (paper: {:.1} / {:.1})",
+            self.platform,
+            self.api,
+            self.without_proxy_ms,
+            self.with_proxy_ms,
+            self.overhead_fraction() * 100.0,
+            self.paper_ms.0,
+            self.paper_ms.1,
+        )
+    }
+}
+
+/// Times `f` over `runs` executions and returns the mean per-call time
+/// in milliseconds — "for each API we took an average of ten
+/// executions".
+pub fn mean_ms<F: FnMut()>(runs: u32, mut f: F) -> f64 {
+    let start = Instant::now();
+    for _ in 0..runs {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1000.0 / runs as f64
+}
+
+/// The paper's Figure 10 values, `(platform, api, without, with)`.
+pub const PAPER_VALUES: [(&str, &str, f64, f64); 9] = [
+    ("Android", "addProximityAlert", 53.6, 55.4),
+    ("Android", "getLocation", 15.5, 17.3),
+    ("Android", "sendSMS", 52.7, 55.8),
+    ("Android WebView", "addProximityAlert", 78.4, 80.5),
+    ("Android WebView", "getLocation", 120.0, 121.7),
+    ("Android WebView", "sendSMS", 91.6, 91.8),
+    ("Nokia S60", "addProximityAlert", 141.0, 146.8),
+    ("Nokia S60", "getLocation", 140.8, 148.5),
+    ("Nokia S60", "sendSMS", 15.6, 16.1),
+];
+
+fn paper_pair(platform: &str, api: &str) -> (f64, f64) {
+    PAPER_VALUES
+        .iter()
+        .find(|(p, a, _, _)| *p == platform && *a == api)
+        .map(|(_, _, w, wp)| (*w, *wp))
+        .expect("paper table covers all nine pairs")
+}
+
+/// Runs the full Figure 10 measurement: nine (platform, API) pairs,
+/// each averaged over `runs` executions, at the given scale.
+pub fn run_figure10(scale: Scale, runs: u32) -> Vec<Figure10Row> {
+    let mut rows = Vec::with_capacity(9);
+
+    let android = AndroidFixture::new(scale.android());
+    rows.push(Figure10Row {
+        platform: "Android",
+        api: "addProximityAlert",
+        without_proxy_ms: mean_ms(runs, || android.native_add_proximity_alert()),
+        with_proxy_ms: mean_ms(runs, || android.proxy_add_proximity_alert()),
+        paper_ms: paper_pair("Android", "addProximityAlert"),
+    });
+    rows.push(Figure10Row {
+        platform: "Android",
+        api: "getLocation",
+        without_proxy_ms: mean_ms(runs, || android.native_get_location()),
+        with_proxy_ms: mean_ms(runs, || android.proxy_get_location()),
+        paper_ms: paper_pair("Android", "getLocation"),
+    });
+    rows.push(Figure10Row {
+        platform: "Android",
+        api: "sendSMS",
+        without_proxy_ms: mean_ms(runs, || android.native_send_sms()),
+        with_proxy_ms: mean_ms(runs, || android.proxy_send_sms()),
+        paper_ms: paper_pair("Android", "sendSMS"),
+    });
+
+    let webview = WebViewFixture::new(scale.webview());
+    rows.push(Figure10Row {
+        platform: "Android WebView",
+        api: "addProximityAlert",
+        without_proxy_ms: mean_ms(runs, || webview.native_add_proximity_alert()),
+        with_proxy_ms: mean_ms(runs, || webview.proxy_add_proximity_alert()),
+        paper_ms: paper_pair("Android WebView", "addProximityAlert"),
+    });
+    rows.push(Figure10Row {
+        platform: "Android WebView",
+        api: "getLocation",
+        without_proxy_ms: mean_ms(runs, || webview.native_get_location()),
+        with_proxy_ms: mean_ms(runs, || webview.proxy_get_location()),
+        paper_ms: paper_pair("Android WebView", "getLocation"),
+    });
+    rows.push(Figure10Row {
+        platform: "Android WebView",
+        api: "sendSMS",
+        without_proxy_ms: mean_ms(runs, || webview.native_send_sms()),
+        with_proxy_ms: mean_ms(runs, || webview.proxy_send_sms()),
+        paper_ms: paper_pair("Android WebView", "sendSMS"),
+    });
+
+    let s60 = S60Fixture::new(scale.s60());
+    rows.push(Figure10Row {
+        platform: "Nokia S60",
+        api: "addProximityAlert",
+        without_proxy_ms: mean_ms(runs, || s60.native_add_proximity_alert()),
+        with_proxy_ms: mean_ms(runs, || s60.proxy_add_proximity_alert()),
+        paper_ms: paper_pair("Nokia S60", "addProximityAlert"),
+    });
+    rows.push(Figure10Row {
+        platform: "Nokia S60",
+        api: "getLocation",
+        without_proxy_ms: mean_ms(runs, || s60.native_get_location()),
+        with_proxy_ms: mean_ms(runs, || s60.proxy_get_location()),
+        paper_ms: paper_pair("Nokia S60", "getLocation"),
+    });
+    rows.push(Figure10Row {
+        platform: "Nokia S60",
+        api: "sendSMS",
+        without_proxy_ms: mean_ms(runs, || s60.native_send_sms()),
+        with_proxy_ms: mean_ms(runs, || s60.proxy_send_sms()),
+        paper_ms: paper_pair("Nokia S60", "sendSMS"),
+    });
+
+    rows
+}
+
+/// Renders the table the `figure10` binary prints.
+pub fn render_table(rows: &[Figure10Row]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Figure 10 — Time taken for invoking APIs on Android, Android WebView and Nokia S60\n",
+    );
+    out.push_str(&format!(
+        "{:<16} {:<18} {:>10} {:>10} {:>9}\n",
+        "Platform", "API", "w/o proxy", "w/ proxy", "overhead"
+    ));
+    for row in rows {
+        out.push_str(&row.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table_has_nine_pairs_all_with_small_overhead() {
+        assert_eq!(PAPER_VALUES.len(), 9);
+        for (_, _, without, with) in PAPER_VALUES {
+            assert!(with > without, "the paper's proxy always costs something");
+            let overhead = (with - without) / without;
+            assert!(overhead < 0.12, "paper overhead is under 12%: {overhead}");
+        }
+    }
+
+    #[test]
+    fn zero_cost_run_measures_pure_proxy_overhead() {
+        // With native costs zeroed, everything is proxy overhead — it
+        // must be tiny in absolute terms (well under a millisecond per
+        // call on any host).
+        let rows = run_figure10(Scale::ZeroCost, 5);
+        assert_eq!(rows.len(), 9);
+        for row in &rows {
+            assert!(
+                row.with_proxy_ms < 5.0,
+                "{} {} proxy path took {} ms",
+                row.platform,
+                row.api,
+                row.with_proxy_ms
+            );
+        }
+    }
+
+    #[test]
+    fn bench_scale_reproduces_the_figures_shape() {
+        // At bench scale (µs-calibrated native costs) the proxied path
+        // must cost at least as much as the native path in aggregate —
+        // the proxy adds work, it cannot remove any. Aggregated across
+        // all nine pairs with a tolerance so scheduler noise under
+        // parallel test execution cannot flake the assertion.
+        let rows = run_figure10(Scale::Bench, 30);
+        let native: f64 = rows.iter().map(|r| r.without_proxy_ms).sum();
+        let proxied: f64 = rows.iter().map(|r| r.with_proxy_ms).sum();
+        assert!(
+            proxied >= native * 0.7,
+            "proxied total {proxied} ms vs native total {native} ms"
+        );
+    }
+
+    #[test]
+    fn render_table_includes_all_rows() {
+        let rows = run_figure10(Scale::ZeroCost, 1);
+        let table = render_table(&rows);
+        assert!(table.contains("Android WebView"));
+        assert!(table.contains("Nokia S60"));
+        assert!(table.contains("addProximityAlert"));
+        assert_eq!(table.lines().count(), 2 + 9);
+    }
+}

@@ -1,0 +1,14 @@
+#![warn(missing_docs)]
+//! Benchmark harness for the MobiVine evaluation (paper §5).
+//!
+//! [`figure10`] regenerates the paper's only quantitative artifact —
+//! Figure 10, "Time taken for invoking APIs on Android, Android WebView
+//! and Nokia S60" with and without proxies — by timing real invocations
+//! against each simulated platform with its native-API cost calibrated
+//! to the paper's measurements. [`harness`] holds the per-platform
+//! setup shared by the report binary and the Criterion benches.
+
+pub mod figure10;
+pub mod harness;
+
+pub use figure10::{run_figure10, Figure10Row, Scale};

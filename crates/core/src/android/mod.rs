@@ -1,0 +1,30 @@
+//! Android binding modules — the implementation plane for the Android
+//! platform.
+//!
+//! Two pieces of de-fragmentation work happen here (paper §4.1):
+//!
+//! 1. **Platform-specific attributes as properties** — the application
+//!    `context` and location `provider` arrive via `setProperty`, never
+//!    through the common API.
+//! 2. **Callback adaptation** — `addProximityAlert` hides Android's
+//!    `Intent`/`IntentReceiver` machinery behind the common
+//!    `ProximityListener`: the proxy creates the intent, registers the
+//!    receiver, and invokes `proximityEvent` when alerts arrive, so "the
+//!    use of Intent and IntentReceiver is hidden from the application
+//!    developer".
+//!
+//! The module also absorbs platform evolution (§5, Maintenance): on
+//! SDK 1.0 the proxy transparently switches to the `PendingIntent`
+//! overload of `addProximityAlert` — applications need no change.
+
+mod call;
+mod http;
+mod location;
+mod pim;
+mod sms;
+
+pub use call::AndroidCallProxy;
+pub use http::AndroidHttpProxy;
+pub use location::AndroidLocationProxy;
+pub use pim::{AndroidCalendarProxy, AndroidContactsProxy};
+pub use sms::AndroidSmsProxy;

@@ -1,0 +1,163 @@
+//! The uniform proxy APIs.
+//!
+//! These traits are MobiVine's consistent interface surface (the
+//! "Consistent APIs" box of the paper's Fig. 4): one method shape per
+//! capability, identical across Android, S60 and WebView bindings.
+//! Platform-mandated attributes travel through
+//! [`set_property`](ProxyBase::set_property) instead of the method
+//! signatures.
+
+use std::sync::Arc;
+
+use crate::error::ProxyError;
+use crate::property::PropertyValue;
+use crate::types::{
+    CalendarRecord, CallProgress, ContactRecord, DeliveryListener, HttpResult, Location,
+    SharedProximityListener,
+};
+
+/// Behaviour common to every proxy: the generic property mechanism.
+pub trait ProxyBase: Send + Sync {
+    /// `setProperty(key, value)` — platform-specific configuration,
+    /// validated against the proxy's binding-plane descriptor.
+    ///
+    /// # Errors
+    ///
+    /// See [`crate::property::PropertyBag::set`].
+    fn set_property(&self, key: &str, value: PropertyValue) -> Result<(), ProxyError>;
+}
+
+/// The uniform Location proxy (paper Fig. 8/9).
+pub trait LocationProxy: ProxyBase {
+    /// `addProximityAlert(latitude, longitude, altitude, radius, timer,
+    /// proximityListener)` — uniform semantics on every platform:
+    /// repeated **enter and exit** events until `timer_s` seconds of
+    /// registration lifetime elapse (negative = unlimited).
+    ///
+    /// # Errors
+    ///
+    /// Uniform [`ProxyError`]s; platform exceptions are wrapped with
+    /// provenance.
+    fn add_proximity_alert(
+        &self,
+        latitude: f64,
+        longitude: f64,
+        altitude: f64,
+        radius: f64,
+        timer_s: i64,
+        listener: SharedProximityListener,
+    ) -> Result<(), ProxyError>;
+
+    /// Removes a previously registered listener (by identity). Returns
+    /// `true` if it was registered.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProxyError`] if the platform rejects the removal.
+    fn remove_proximity_alert(
+        &self,
+        listener: &SharedProximityListener,
+    ) -> Result<bool, ProxyError>;
+
+    /// `getLocation()` — a fresh fix in the common [`Location`]
+    /// structure.
+    ///
+    /// # Errors
+    ///
+    /// [`ProxyError`] with kind `Unavailable` when no fix is possible.
+    fn get_location(&self) -> Result<Location, ProxyError>;
+}
+
+/// The uniform SMS proxy.
+pub trait SmsProxy: ProxyBase {
+    /// `sendTextMessage(destination, text, deliveryListener)` — returns
+    /// a message id; the optional listener fires once with the final
+    /// delivery outcome.
+    ///
+    /// # Errors
+    ///
+    /// Uniform [`ProxyError`]s (security, illegal argument, I/O).
+    fn send_text_message(
+        &self,
+        destination: &str,
+        text: &str,
+        delivery_listener: Option<Arc<dyn DeliveryListener>>,
+    ) -> Result<u64, ProxyError>;
+}
+
+/// The uniform Call proxy. Not available on S60 (the registry returns
+/// [`crate::error::ProxyErrorKind::UnsupportedOnPlatform`]).
+pub trait CallProxy: ProxyBase {
+    /// `makeACall(number)` — starts dialing, returns a call id.
+    ///
+    /// # Errors
+    ///
+    /// Uniform [`ProxyError`]s.
+    fn make_a_call(&self, number: &str) -> Result<u64, ProxyError>;
+
+    /// Current progress of a placed call.
+    ///
+    /// # Errors
+    ///
+    /// `IllegalArgument` for unknown call ids.
+    fn call_progress(&self, call_id: u64) -> Result<CallProgress, ProxyError>;
+
+    /// `endCall(callId)`.
+    ///
+    /// # Errors
+    ///
+    /// `IllegalArgument` for unknown or already-ended calls.
+    fn end_call(&self, call_id: u64) -> Result<(), ProxyError>;
+}
+
+/// The uniform HTTP proxy.
+pub trait HttpProxy: ProxyBase {
+    /// `request(method, url, body)` — synchronous round trip in the
+    /// common [`HttpResult`] structure. Transport failures are errors;
+    /// HTTP error statuses are successful results.
+    ///
+    /// # Errors
+    ///
+    /// Uniform [`ProxyError`]s (`Io` for transport failures).
+    fn request(&self, method: &str, url: &str, body: &[u8]) -> Result<HttpResult, ProxyError>;
+}
+
+/// The uniform Contacts proxy (paper future work, §7).
+pub trait ContactsProxy: ProxyBase {
+    /// `findContacts(query)` — case-insensitive name search.
+    ///
+    /// # Errors
+    ///
+    /// Uniform [`ProxyError`]s.
+    fn find_contacts(&self, query: &str) -> Result<Vec<ContactRecord>, ProxyError>;
+}
+
+/// The uniform Calendar proxy (paper future work, §7).
+pub trait CalendarProxy: ProxyBase {
+    /// `entriesBetween(from, to)` — entries overlapping the interval.
+    ///
+    /// # Errors
+    ///
+    /// Uniform [`ProxyError`]s.
+    fn entries_between(&self, from_ms: u64, to_ms: u64)
+        -> Result<Vec<CalendarRecord>, ProxyError>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The traits must stay object-safe: applications hold proxies as
+    // `Arc<dyn LocationProxy>` etc. so the same business logic compiles
+    // against every platform binding (the portability claim).
+    #[test]
+    fn traits_are_object_safe() {
+        fn assert_obj<T: ?Sized>() {}
+        assert_obj::<dyn LocationProxy>();
+        assert_obj::<dyn SmsProxy>();
+        assert_obj::<dyn CallProxy>();
+        assert_obj::<dyn HttpProxy>();
+        assert_obj::<dyn ContactsProxy>();
+        assert_obj::<dyn CalendarProxy>();
+    }
+}

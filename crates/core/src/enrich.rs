@@ -1,0 +1,387 @@
+//! Proxy enrichment (paper §3.3).
+//!
+//! "A proxy can be enriched by adding extra functionality on top of the
+//! native one": unit conversion for location output, retry coordination
+//! for calls, and security/policy modules providing "a layer of trust,
+//! authentication and access control". Enrichments are decorators over
+//! the uniform traits, so they compose with any platform binding.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use mobivine_device::Device;
+
+use crate::api::{CallProxy, LocationProxy, ProxyBase, SmsProxy};
+use crate::error::{ProxyError, ProxyErrorKind};
+use crate::property::PropertyValue;
+use crate::types::{
+    AngleUnit, CallProgress, DeliveryListener, Location, SharedProximityListener,
+};
+
+/// Location enrichment: output in configurable angle units.
+pub struct UnitLocationProxy {
+    inner: Arc<dyn LocationProxy>,
+    unit: AngleUnit,
+}
+
+impl UnitLocationProxy {
+    /// Wraps `inner`, emitting coordinates in `unit` from
+    /// [`UnitLocationProxy::get_coordinates`].
+    pub fn new(inner: Arc<dyn LocationProxy>, unit: AngleUnit) -> Self {
+        Self { inner, unit }
+    }
+
+    /// The enriched accessor: `(latitude, longitude)` in the configured
+    /// unit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying proxy's errors.
+    pub fn get_coordinates(&self) -> Result<(f64, f64), ProxyError> {
+        let location = self.inner.get_location()?;
+        Ok(location.in_unit(self.unit))
+    }
+}
+
+impl ProxyBase for UnitLocationProxy {
+    fn set_property(&self, key: &str, value: PropertyValue) -> Result<(), ProxyError> {
+        self.inner.set_property(key, value)
+    }
+}
+
+impl LocationProxy for UnitLocationProxy {
+    fn add_proximity_alert(
+        &self,
+        latitude: f64,
+        longitude: f64,
+        altitude: f64,
+        radius: f64,
+        timer_s: i64,
+        listener: SharedProximityListener,
+    ) -> Result<(), ProxyError> {
+        self.inner
+            .add_proximity_alert(latitude, longitude, altitude, radius, timer_s, listener)
+    }
+
+    fn remove_proximity_alert(
+        &self,
+        listener: &SharedProximityListener,
+    ) -> Result<bool, ProxyError> {
+        self.inner.remove_proximity_alert(listener)
+    }
+
+    fn get_location(&self) -> Result<Location, ProxyError> {
+        self.inner.get_location()
+    }
+}
+
+/// Call enrichment: "proxy for invoking 'Call' can provide the utility
+/// for coordinating the number of retries in case the callee is
+/// unreachable" (§3.3).
+pub struct RetryingCallProxy {
+    inner: Arc<dyn CallProxy>,
+    device: Device,
+    max_retries: u32,
+    /// How long to wait (virtual ms) for a call to settle per attempt.
+    settle_ms: u64,
+}
+
+impl RetryingCallProxy {
+    /// Wraps `inner`; redials up to `max_retries` additional times when
+    /// a call ends without connecting. The decorator drives the
+    /// device's virtual clock while waiting for each attempt to settle
+    /// (it is a *coordinator*, not a pass-through).
+    pub fn new(inner: Arc<dyn CallProxy>, device: Device, max_retries: u32) -> Self {
+        Self {
+            inner,
+            device,
+            max_retries,
+            settle_ms: 45_000,
+        }
+    }
+
+    /// Overrides the per-attempt settle window.
+    pub fn with_settle_ms(mut self, settle_ms: u64) -> Self {
+        self.settle_ms = settle_ms;
+        self
+    }
+
+    /// Dials with retry coordination. Returns
+    /// `(call_id, attempts_used, connected)` for the final attempt.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying proxy's errors from any attempt.
+    pub fn call_with_retries(&self, number: &str) -> Result<(u64, u32, bool), ProxyError> {
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            let id = self.inner.make_a_call(number)?;
+            // Wait for the attempt to settle (connect or end).
+            let deadline = self.device.now_ms() + self.settle_ms;
+            loop {
+                match self.inner.call_progress(id)? {
+                    CallProgress::Connected => return Ok((id, attempts, true)),
+                    CallProgress::Ended => break,
+                    CallProgress::Connecting => {
+                        if self.device.now_ms() >= deadline {
+                            let _ = self.inner.end_call(id);
+                            break;
+                        }
+                        self.device.advance_ms(500);
+                    }
+                }
+            }
+            if attempts > self.max_retries {
+                return Ok((id, attempts, false));
+            }
+        }
+    }
+}
+
+impl ProxyBase for RetryingCallProxy {
+    fn set_property(&self, key: &str, value: PropertyValue) -> Result<(), ProxyError> {
+        self.inner.set_property(key, value)
+    }
+}
+
+impl CallProxy for RetryingCallProxy {
+    fn make_a_call(&self, number: &str) -> Result<u64, ProxyError> {
+        let (id, _attempts, _connected) = self.call_with_retries(number)?;
+        Ok(id)
+    }
+
+    fn call_progress(&self, call_id: u64) -> Result<CallProgress, ProxyError> {
+        self.inner.call_progress(call_id)
+    }
+
+    fn end_call(&self, call_id: u64) -> Result<(), ProxyError> {
+        self.inner.end_call(call_id)
+    }
+}
+
+/// A simple access-control policy for the security enrichment.
+#[derive(Debug, Default)]
+pub struct AccessPolicy {
+    denied_interfaces: Mutex<Vec<String>>,
+    audit: Mutex<Vec<String>>,
+}
+
+impl AccessPolicy {
+    /// An allow-everything policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Denies every invocation of `interface` (e.g. `"sms"`).
+    pub fn deny(&self, interface: &str) {
+        self.denied_interfaces.lock().push(interface.to_owned());
+    }
+
+    /// Checks and records an invocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProxyErrorKind::PolicyDenied`] when the interface is
+    /// denied.
+    pub fn check(&self, interface: &str, operation: &str) -> Result<(), ProxyError> {
+        self.audit.lock().push(format!("{interface}.{operation}"));
+        if self.denied_interfaces.lock().iter().any(|d| d == interface) {
+            return Err(ProxyError::new(
+                ProxyErrorKind::PolicyDenied,
+                format!("policy denies access to {interface}"),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The audit trail of attempted invocations.
+    pub fn audit_log(&self) -> Vec<String> {
+        self.audit.lock().clone()
+    }
+}
+
+/// Security/policy enrichment over an SMS proxy.
+pub struct PolicySmsProxy {
+    inner: Arc<dyn SmsProxy>,
+    policy: Arc<AccessPolicy>,
+}
+
+impl PolicySmsProxy {
+    /// Gates `inner` behind `policy`.
+    pub fn new(inner: Arc<dyn SmsProxy>, policy: Arc<AccessPolicy>) -> Self {
+        Self { inner, policy }
+    }
+}
+
+impl ProxyBase for PolicySmsProxy {
+    fn set_property(&self, key: &str, value: PropertyValue) -> Result<(), ProxyError> {
+        self.inner.set_property(key, value)
+    }
+}
+
+impl SmsProxy for PolicySmsProxy {
+    fn send_text_message(
+        &self,
+        destination: &str,
+        text: &str,
+        delivery_listener: Option<Arc<dyn DeliveryListener>>,
+    ) -> Result<u64, ProxyError> {
+        self.policy.check("sms", "sendTextMessage")?;
+        self.inner
+            .send_text_message(destination, text, delivery_listener)
+    }
+}
+
+/// Security/policy enrichment over a Location proxy.
+pub struct PolicyLocationProxy {
+    inner: Arc<dyn LocationProxy>,
+    policy: Arc<AccessPolicy>,
+}
+
+impl PolicyLocationProxy {
+    /// Gates `inner` behind `policy`.
+    pub fn new(inner: Arc<dyn LocationProxy>, policy: Arc<AccessPolicy>) -> Self {
+        Self { inner, policy }
+    }
+}
+
+impl ProxyBase for PolicyLocationProxy {
+    fn set_property(&self, key: &str, value: PropertyValue) -> Result<(), ProxyError> {
+        self.inner.set_property(key, value)
+    }
+}
+
+impl LocationProxy for PolicyLocationProxy {
+    fn add_proximity_alert(
+        &self,
+        latitude: f64,
+        longitude: f64,
+        altitude: f64,
+        radius: f64,
+        timer_s: i64,
+        listener: SharedProximityListener,
+    ) -> Result<(), ProxyError> {
+        self.policy.check("location", "addProximityAlert")?;
+        self.inner
+            .add_proximity_alert(latitude, longitude, altitude, radius, timer_s, listener)
+    }
+
+    fn remove_proximity_alert(
+        &self,
+        listener: &SharedProximityListener,
+    ) -> Result<bool, ProxyError> {
+        self.policy.check("location", "removeProximityAlert")?;
+        self.inner.remove_proximity_alert(listener)
+    }
+
+    fn get_location(&self) -> Result<Location, ProxyError> {
+        self.policy.check("location", "getLocation")?;
+        self.inner.get_location()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::android::{AndroidCallProxy, AndroidLocationProxy, AndroidSmsProxy};
+    use mobivine_android::{AndroidPlatform, SdkVersion};
+    use mobivine_device::call::CalleeProfile;
+    use mobivine_device::{Device, GeoPoint};
+
+    const HOME: GeoPoint = GeoPoint {
+        latitude: 28.5355,
+        longitude: 77.3910,
+        altitude: 0.0,
+    };
+
+    fn android(device: Device) -> AndroidPlatform {
+        AndroidPlatform::new(device, SdkVersion::M5Rc15)
+    }
+
+    fn location_proxy(platform: &AndroidPlatform) -> Arc<dyn LocationProxy> {
+        let proxy = AndroidLocationProxy::new();
+        proxy
+            .set_property("context", PropertyValue::opaque(platform.new_context()))
+            .unwrap();
+        Arc::new(proxy)
+    }
+
+    #[test]
+    fn unit_enrichment_converts_to_radians() {
+        let device = Device::builder().position(HOME).build();
+        device.gps().set_noise_enabled(false);
+        let platform = android(device);
+        let enriched =
+            UnitLocationProxy::new(location_proxy(&platform), AngleUnit::Radians);
+        let (lat, lon) = enriched.get_coordinates().unwrap();
+        assert!((lat - HOME.latitude.to_radians()).abs() < 1e-9);
+        assert!((lon - HOME.longitude.to_radians()).abs() < 1e-9);
+        // The trait surface is unchanged.
+        let raw = enriched.get_location().unwrap();
+        assert!((raw.latitude - HOME.latitude).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retry_enrichment_redials_unreachable_callee() {
+        let device = Device::builder().build();
+        device
+            .call_switch()
+            .set_callee_profile("+flaky", CalleeProfile::Unreachable);
+        let platform = android(device.clone());
+        let base = AndroidCallProxy::new();
+        base.set_property("context", PropertyValue::opaque(platform.new_context()))
+            .unwrap();
+        let retrying = RetryingCallProxy::new(Arc::new(base), device, 2).with_settle_ms(5_000);
+        let (_id, attempts, connected) = retrying.call_with_retries("+flaky").unwrap();
+        assert_eq!(attempts, 3, "initial attempt plus two retries");
+        assert!(!connected);
+    }
+
+    #[test]
+    fn retry_enrichment_succeeds_first_time_for_reachable_callee() {
+        let device = Device::builder().build();
+        let platform = android(device.clone());
+        let base = AndroidCallProxy::new();
+        base.set_property("context", PropertyValue::opaque(platform.new_context()))
+            .unwrap();
+        let retrying = RetryingCallProxy::new(Arc::new(base), device, 3).with_settle_ms(10_000);
+        let (_id, attempts, connected) = retrying.call_with_retries("+fine").unwrap();
+        assert_eq!(attempts, 1);
+        assert!(connected);
+    }
+
+    #[test]
+    fn policy_enrichment_denies_and_audits() {
+        let device = Device::builder().msisdn("+me").build();
+        device.smsc().register_address("+sup");
+        let platform = android(device);
+        let base = AndroidSmsProxy::new();
+        base.set_property("context", PropertyValue::opaque(platform.new_context()))
+            .unwrap();
+        let policy = Arc::new(AccessPolicy::new());
+        let gated = PolicySmsProxy::new(Arc::new(base), Arc::clone(&policy));
+        gated.send_text_message("+sup", "ok", None).unwrap();
+        policy.deny("sms");
+        let err = gated.send_text_message("+sup", "blocked", None).unwrap_err();
+        assert_eq!(err.kind(), ProxyErrorKind::PolicyDenied);
+        assert_eq!(
+            policy.audit_log(),
+            vec!["sms.sendTextMessage", "sms.sendTextMessage"]
+        );
+    }
+
+    #[test]
+    fn policy_enrichment_gates_location() {
+        let device = Device::builder().position(HOME).build();
+        let platform = android(device);
+        let policy = Arc::new(AccessPolicy::new());
+        policy.deny("location");
+        let gated = PolicyLocationProxy::new(location_proxy(&platform), policy);
+        assert_eq!(
+            gated.get_location().unwrap_err().kind(),
+            ProxyErrorKind::PolicyDenied
+        );
+    }
+}

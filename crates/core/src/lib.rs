@@ -1,0 +1,68 @@
+#![warn(missing_docs)]
+//! # MobiVine — a middleware layer that de-fragments mobile platform interfaces
+//!
+//! Reproduction of *MobiVine: A Middleware Layer to Handle Fragmentation
+//! of Platform Interfaces for Mobile Applications* (IBM Research Report
+//! RI 09009 / MIDDLEWARE 2009).
+//!
+//! Mobile platforms expose the same capabilities — location, SMS, calls,
+//! HTTP — through interfaces that differ in name, parameter order and
+//! types, callback style, exception sets and platform-mandated
+//! attributes. MobiVine absorbs that heterogeneity behind **M-Proxies**:
+//! uniform, semantically structured interfaces with per-platform binding
+//! modules.
+//!
+//! This crate provides:
+//!
+//! - the uniform proxy APIs ([`api::LocationProxy`], [`api::SmsProxy`],
+//!   [`api::CallProxy`], [`api::HttpProxy`], plus the future-work
+//!   [`api::ContactsProxy`] and [`api::CalendarProxy`]),
+//! - the platform-neutral data types ([`types::Location`],
+//!   [`types::ProximityEvent`], …) and error model ([`error::ProxyError`]
+//!   with stable error codes for the JavaScript bridge),
+//! - the generic `setProperty` mechanism ([`property::PropertyBag`]),
+//!   validated against the proxy's binding-plane descriptor,
+//! - binding modules for three platforms ([`android`], [`s60`],
+//!   [`webview`]) — each absorbing its platform's quirks exactly as §4.1
+//!   describes (Intent/IntentReceiver adaptation on Android, single-shot
+//!   → repeated-alert emulation on S60, the wrapper/notification-table/
+//!   polling pipeline on WebView),
+//! - proxy enrichment decorators ([`enrich`]: unit conversion, call
+//!   retries, policy gating — §3.3), and
+//! - a [`registry::Mobivine`] runtime facade constructing proxies per
+//!   platform from the standard descriptor catalog.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use mobivine::registry::Mobivine;
+//! use mobivine::api::LocationProxy;
+//! use mobivine::property::PropertyValue;
+//! use mobivine_android::{AndroidPlatform, SdkVersion};
+//! use mobivine_device::Device;
+//!
+//! let device = Device::builder().build();
+//! let platform = AndroidPlatform::new(device, SdkVersion::M5Rc15);
+//! let runtime = Mobivine::for_android(platform.new_context());
+//! let location = runtime.location()?;
+//! location.set_property("provider", PropertyValue::str("gps"))?;
+//! let fix = location.get_location()?;
+//! assert!(fix.timestamp_ms == 0);
+//! # Ok::<(), mobivine::error::ProxyError>(())
+//! ```
+
+pub mod android;
+pub mod api;
+pub mod enrich;
+pub mod error;
+pub mod property;
+pub mod registry;
+pub mod s60;
+pub mod types;
+pub mod webview;
+
+pub use api::{CallProxy, HttpProxy, LocationProxy, SmsProxy};
+pub use error::{ProxyError, ProxyErrorKind};
+pub use registry::Mobivine;
+pub use types::{Location, ProximityEvent, ProximityListener};

@@ -1,0 +1,303 @@
+//! The MobiVine runtime facade and proxy registry.
+//!
+//! Applications obtain proxies from a [`Mobivine`] runtime bound to
+//! their platform. The registry consults the standard descriptor
+//! catalog: interfaces without a binding on the running platform (Call
+//! on S60, PIM on WebView) fail with
+//! [`crate::error::ProxyErrorKind::UnsupportedOnPlatform`] rather than a
+//! missing symbol — MobiVine removes "the requirement of the proxy set
+//! being determined by the least common denominator of functionalities
+//! across different platforms" (§3.3).
+
+use std::fmt;
+use std::sync::Arc;
+
+use mobivine_android::context::Context;
+use mobivine_proxydl::{PlatformId, ProxyDescriptor};
+use mobivine_s60::S60Platform;
+use mobivine_webview::WebView;
+
+use crate::android::{
+    AndroidCalendarProxy, AndroidCallProxy, AndroidContactsProxy, AndroidHttpProxy,
+    AndroidLocationProxy, AndroidSmsProxy,
+};
+use crate::api::{
+    CalendarProxy, CallProxy, ContactsProxy, HttpProxy, LocationProxy, ProxyBase, SmsProxy,
+};
+use crate::error::{ProxyError, ProxyErrorKind};
+use crate::property::PropertyValue;
+use crate::s60::{S60CalendarProxy, S60ContactsProxy, S60HttpProxy, S60LocationProxy, S60SmsProxy};
+use crate::webview::proxies::{
+    WebViewCallProxy, WebViewHttpProxy, WebViewLocationProxy, WebViewSmsProxy,
+};
+use crate::webview::wrappers::install_wrappers;
+
+enum Target {
+    Android(Context),
+    S60(S60Platform),
+    WebView(Arc<WebView>),
+}
+
+/// The MobiVine runtime for one application on one platform.
+pub struct Mobivine {
+    target: Target,
+    catalog: Vec<ProxyDescriptor>,
+}
+
+impl fmt::Debug for Mobivine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mobivine")
+            .field("platform", &self.platform_id().id().to_owned())
+            .field("catalog", &self.catalog.len())
+            .finish()
+    }
+}
+
+impl Mobivine {
+    /// Binds the runtime to an Android application context.
+    pub fn for_android(ctx: Context) -> Self {
+        Self {
+            target: Target::Android(ctx),
+            catalog: mobivine_proxydl::catalog::standard_catalog(),
+        }
+    }
+
+    /// Binds the runtime to an S60 platform.
+    pub fn for_s60(platform: S60Platform) -> Self {
+        Self {
+            target: Target::S60(platform),
+            catalog: mobivine_proxydl::catalog::standard_catalog(),
+        }
+    }
+
+    /// Binds the runtime to a WebView page, installing the Java
+    /// wrappers (the plug-in's `addJavaScriptInterface` injection).
+    pub fn for_webview(webview: Arc<WebView>) -> Self {
+        install_wrappers(&webview);
+        Self {
+            target: Target::WebView(webview),
+            catalog: mobivine_proxydl::catalog::standard_catalog(),
+        }
+    }
+
+    /// The platform this runtime targets.
+    pub fn platform_id(&self) -> PlatformId {
+        match &self.target {
+            Target::Android(_) => PlatformId::Android,
+            Target::S60(_) => PlatformId::NokiaS60,
+            Target::WebView(_) => PlatformId::AndroidWebView,
+        }
+    }
+
+    /// The descriptor catalog backing this runtime.
+    pub fn catalog(&self) -> &[ProxyDescriptor] {
+        &self.catalog
+    }
+
+    /// Whether `interface` (descriptor name, e.g. `"Call"`) has a
+    /// binding on the running platform.
+    pub fn supports(&self, interface: &str) -> bool {
+        let platform = self.platform_id();
+        self.catalog
+            .iter()
+            .find(|d| d.name == interface)
+            .is_some_and(|d| d.binding_for(&platform).is_some())
+    }
+
+    fn unsupported(&self, interface: &str) -> ProxyError {
+        ProxyError::new(
+            ProxyErrorKind::UnsupportedOnPlatform,
+            format!(
+                "interface {interface} has no binding on platform {}",
+                self.platform_id().id()
+            ),
+        )
+    }
+
+    /// Constructs the Location proxy.
+    ///
+    /// # Errors
+    ///
+    /// `UnsupportedOnPlatform` if the catalog has no binding, or any
+    /// construction error from the binding module.
+    pub fn location(&self) -> Result<Arc<dyn LocationProxy>, ProxyError> {
+        if !self.supports("Location") {
+            return Err(self.unsupported("Location"));
+        }
+        match &self.target {
+            Target::Android(ctx) => {
+                let proxy = AndroidLocationProxy::new();
+                proxy.set_property("context", PropertyValue::opaque(ctx.clone()))?;
+                Ok(Arc::new(proxy))
+            }
+            Target::S60(platform) => Ok(Arc::new(S60LocationProxy::new(platform.clone()))),
+            Target::WebView(webview) => Ok(Arc::new(WebViewLocationProxy::new(webview)?)),
+        }
+    }
+
+    /// Constructs the SMS proxy.
+    ///
+    /// # Errors
+    ///
+    /// As [`Mobivine::location`].
+    pub fn sms(&self) -> Result<Arc<dyn SmsProxy>, ProxyError> {
+        if !self.supports("SMS") {
+            return Err(self.unsupported("SMS"));
+        }
+        match &self.target {
+            Target::Android(ctx) => {
+                let proxy = AndroidSmsProxy::new();
+                proxy.set_property("context", PropertyValue::opaque(ctx.clone()))?;
+                Ok(Arc::new(proxy))
+            }
+            Target::S60(platform) => Ok(Arc::new(S60SmsProxy::new(platform.clone()))),
+            Target::WebView(webview) => Ok(Arc::new(WebViewSmsProxy::new(webview)?)),
+        }
+    }
+
+    /// Constructs the Call proxy.
+    ///
+    /// # Errors
+    ///
+    /// `UnsupportedOnPlatform` on S60 ("the core functionality was not
+    /// exposed on the S60 platform", §4.1).
+    pub fn call(&self) -> Result<Arc<dyn CallProxy>, ProxyError> {
+        if !self.supports("Call") {
+            return Err(self.unsupported("Call"));
+        }
+        match &self.target {
+            Target::Android(ctx) => {
+                let proxy = AndroidCallProxy::new();
+                proxy.set_property("context", PropertyValue::opaque(ctx.clone()))?;
+                Ok(Arc::new(proxy))
+            }
+            Target::S60(_) => Err(self.unsupported("Call")),
+            Target::WebView(webview) => Ok(Arc::new(WebViewCallProxy::new(webview)?)),
+        }
+    }
+
+    /// Constructs the HTTP proxy.
+    ///
+    /// # Errors
+    ///
+    /// As [`Mobivine::location`].
+    pub fn http(&self) -> Result<Arc<dyn HttpProxy>, ProxyError> {
+        if !self.supports("Http") {
+            return Err(self.unsupported("Http"));
+        }
+        match &self.target {
+            Target::Android(ctx) => {
+                let proxy = AndroidHttpProxy::new();
+                proxy.set_property("context", PropertyValue::opaque(ctx.clone()))?;
+                Ok(Arc::new(proxy))
+            }
+            Target::S60(platform) => Ok(Arc::new(S60HttpProxy::new(platform.clone()))),
+            Target::WebView(webview) => Ok(Arc::new(WebViewHttpProxy::new(webview)?)),
+        }
+    }
+
+    /// Constructs the Contacts proxy (extension feature).
+    ///
+    /// # Errors
+    ///
+    /// `UnsupportedOnPlatform` on WebView (no binding in the catalog).
+    pub fn contacts(&self) -> Result<Arc<dyn ContactsProxy>, ProxyError> {
+        if !self.supports("Contacts") {
+            return Err(self.unsupported("Contacts"));
+        }
+        match &self.target {
+            Target::Android(ctx) => {
+                let proxy = AndroidContactsProxy::new();
+                proxy.set_property("context", PropertyValue::opaque(ctx.clone()))?;
+                Ok(Arc::new(proxy))
+            }
+            Target::S60(platform) => Ok(Arc::new(S60ContactsProxy::new(platform.clone()))),
+            Target::WebView(_) => Err(self.unsupported("Contacts")),
+        }
+    }
+
+    /// Constructs the Calendar proxy (extension feature).
+    ///
+    /// # Errors
+    ///
+    /// `UnsupportedOnPlatform` on WebView (no binding in the catalog).
+    pub fn calendar(&self) -> Result<Arc<dyn CalendarProxy>, ProxyError> {
+        if !self.supports("Calendar") {
+            return Err(self.unsupported("Calendar"));
+        }
+        match &self.target {
+            Target::Android(ctx) => {
+                let proxy = AndroidCalendarProxy::new();
+                proxy.set_property("context", PropertyValue::opaque(ctx.clone()))?;
+                Ok(Arc::new(proxy))
+            }
+            Target::S60(platform) => Ok(Arc::new(S60CalendarProxy::new(platform.clone()))),
+            Target::WebView(_) => Err(self.unsupported("Calendar")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobivine_android::{AndroidPlatform, SdkVersion};
+    use mobivine_device::Device;
+
+    fn android_runtime() -> Mobivine {
+        let platform = AndroidPlatform::new(Device::builder().build(), SdkVersion::M5Rc15);
+        Mobivine::for_android(platform.new_context())
+    }
+
+    #[test]
+    fn android_supports_all_paper_interfaces() {
+        let runtime = android_runtime();
+        for interface in ["Location", "SMS", "Call", "Http", "Contacts", "Calendar"] {
+            assert!(runtime.supports(interface), "{interface}");
+        }
+        assert!(runtime.location().is_ok());
+        assert!(runtime.sms().is_ok());
+        assert!(runtime.call().is_ok());
+        assert!(runtime.http().is_ok());
+        assert!(runtime.contacts().is_ok());
+        assert!(runtime.calendar().is_ok());
+    }
+
+    #[test]
+    fn s60_has_no_call_proxy() {
+        let runtime = Mobivine::for_s60(S60Platform::new(Device::builder().build()));
+        assert!(!runtime.supports("Call"));
+        let err = match runtime.call() {
+            Err(err) => err,
+            Ok(_) => panic!("call proxy must not exist on S60"),
+        };
+        assert_eq!(err.kind(), ProxyErrorKind::UnsupportedOnPlatform);
+        assert!(runtime.location().is_ok());
+        assert!(runtime.sms().is_ok());
+        assert!(runtime.http().is_ok());
+    }
+
+    #[test]
+    fn webview_runtime_installs_wrappers() {
+        let platform = AndroidPlatform::new(Device::builder().build(), SdkVersion::M5Rc15);
+        let webview = Arc::new(WebView::new(platform.new_context()));
+        let runtime = Mobivine::for_webview(Arc::clone(&webview));
+        assert_eq!(webview.interface_names().len(), 4);
+        assert!(runtime.location().is_ok());
+        assert!(runtime.call().is_ok());
+        assert!(runtime.contacts().is_err());
+    }
+
+    #[test]
+    fn platform_ids_reported() {
+        assert_eq!(android_runtime().platform_id(), PlatformId::Android);
+        assert_eq!(
+            Mobivine::for_s60(S60Platform::new(Device::builder().build())).platform_id(),
+            PlatformId::NokiaS60
+        );
+    }
+
+    #[test]
+    fn catalog_is_the_standard_one() {
+        assert_eq!(android_runtime().catalog().len(), 6);
+    }
+}

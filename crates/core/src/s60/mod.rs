@@ -1,0 +1,27 @@
+//! Nokia S60 binding modules — the implementation plane for S60/J2ME.
+//!
+//! The heaviest de-fragmentation in the system lives here: JSR-179
+//! proximity monitoring is **single-shot** (one `proximityEvent` on
+//! entering, then the listener is removed; no exit events, no
+//! expiration), while the uniform [`crate::api::LocationProxy`] promises
+//! Android-style **repeated enter/exit alerts with a lifetime**. The
+//! S60 location binding emulates the richer semantics with exactly the
+//! machinery the paper's Fig. 2(b) shows application developers writing
+//! by hand — a location listener watching for the exit boundary, prompt
+//! re-registration of the proximity listener for the next entry, and a
+//! timeout guard — except the proxy hides all of it.
+//!
+//! There is **no Call binding**: "Call proxy could not be created in
+//! this case because the core functionality was not exposed on the S60
+//! platform" (§4.1). The registry surfaces this as
+//! [`crate::error::ProxyErrorKind::UnsupportedOnPlatform`].
+
+mod http;
+mod location;
+mod pim;
+mod sms;
+
+pub use http::S60HttpProxy;
+pub use location::S60LocationProxy;
+pub use pim::{S60CalendarProxy, S60ContactsProxy};
+pub use sms::S60SmsProxy;

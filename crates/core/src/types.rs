@@ -1,0 +1,250 @@
+//! Platform-neutral data types.
+//!
+//! "Now there is a common definition of callback parameter for receiving
+//! alert notifications … we have defined common 'ProximityListener' and
+//! 'Location' structures for both Android and S60 platforms" (paper
+//! §3.1/§4.1). These are those common structures: whichever platform a
+//! proxy binds to, applications see exactly these types.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Angle unit for location output — the proxy-enrichment example of
+/// §3.3 ("proxy for fetching location information can be made to offer
+/// output in various formats - radians, degrees, etc.").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AngleUnit {
+    /// Degrees (the default).
+    #[default]
+    Degrees,
+    /// Radians.
+    Radians,
+}
+
+/// The common location structure.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Location {
+    /// Latitude, degrees.
+    pub latitude: f64,
+    /// Longitude, degrees.
+    pub longitude: f64,
+    /// Altitude, metres.
+    pub altitude: f64,
+    /// Horizontal accuracy (1-sigma), metres.
+    pub accuracy_m: f64,
+    /// Fix time, virtual ms.
+    pub timestamp_ms: u64,
+    /// Ground speed, m/s.
+    pub speed_mps: f64,
+    /// Course over ground, degrees from north.
+    pub course_deg: f64,
+}
+
+impl Location {
+    /// Returns a copy with latitude/longitude expressed in `unit`
+    /// (enrichment helper; the canonical representation stays degrees).
+    pub fn in_unit(&self, unit: AngleUnit) -> (f64, f64) {
+        match unit {
+            AngleUnit::Degrees => (self.latitude, self.longitude),
+            AngleUnit::Radians => (self.latitude.to_radians(), self.longitude.to_radians()),
+        }
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "({:.6}, {:.6}) ±{:.0}m @t={}ms",
+            self.latitude, self.longitude, self.accuracy_m, self.timestamp_ms
+        )
+    }
+}
+
+/// A proximity alert delivered through the common
+/// [`ProximityListener`]. Field-for-field the paper's uniform callback:
+/// `proximityEvent(refLatitude, refLongitude, refAltitude,
+/// currentLocation, entering)` (Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProximityEvent {
+    /// Registered region center latitude.
+    pub ref_latitude: f64,
+    /// Registered region center longitude.
+    pub ref_longitude: f64,
+    /// Registered region center altitude.
+    pub ref_altitude: f64,
+    /// The device's location when the boundary was crossed.
+    pub current_location: Location,
+    /// `true` on entering the region, `false` on exiting.
+    pub entering: bool,
+}
+
+/// The common proximity callback.
+pub trait ProximityListener: Send + Sync {
+    /// Invoked on every enter/exit boundary crossing, uniformly across
+    /// platforms (the S60 binding emulates exits and repetition; see
+    /// [`crate::s60`]).
+    fn proximity_event(&self, event: &ProximityEvent);
+}
+
+/// Blanket adapter so plain closures can serve as proximity listeners.
+impl<F> ProximityListener for F
+where
+    F: Fn(&ProximityEvent) + Send + Sync,
+{
+    fn proximity_event(&self, event: &ProximityEvent) {
+        self(event);
+    }
+}
+
+/// Delivery outcome for a sent message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeliveryOutcome {
+    /// The message reached the recipient.
+    Delivered,
+    /// The network could not deliver it.
+    Failed,
+}
+
+/// The common SMS delivery-report callback.
+pub trait DeliveryListener: Send + Sync {
+    /// Invoked once with the final outcome of a sent message.
+    fn delivery_event(&self, message_id: u64, outcome: DeliveryOutcome);
+}
+
+impl<F> DeliveryListener for F
+where
+    F: Fn(u64, DeliveryOutcome) + Send + Sync,
+{
+    fn delivery_event(&self, message_id: u64, outcome: DeliveryOutcome) {
+        self(message_id, outcome);
+    }
+}
+
+/// Common call progress states (a de-fragmented subset every platform
+/// can report).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CallProgress {
+    /// Call setup or ringing.
+    Connecting,
+    /// Two-way audio established.
+    Connected,
+    /// Terminated (hang-up, busy, unreachable, no answer).
+    Ended,
+}
+
+/// The common HTTP response structure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResult {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response headers.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl HttpResult {
+    /// Body as (lossy) UTF-8 text.
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// Whether the status is 2xx.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+/// A contact record (future-work Contacts proxy).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContactRecord {
+    /// Display name.
+    pub name: String,
+    /// Phone numbers, primary first.
+    pub numbers: Vec<String>,
+}
+
+/// A calendar record (future-work Calendar proxy).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CalendarRecord {
+    /// Entry title.
+    pub title: String,
+    /// Start, virtual ms.
+    pub start_ms: u64,
+    /// End, virtual ms.
+    pub end_ms: u64,
+    /// Location text.
+    pub location: String,
+}
+
+/// Shared handle type for proximity listeners (registration and removal
+/// key off pointer identity, as in the S60 native API).
+pub type SharedProximityListener = Arc<dyn ProximityListener>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn location_unit_conversion() {
+        let loc = Location {
+            latitude: 180.0,
+            longitude: 90.0,
+            ..Location::default()
+        };
+        let (lat_rad, lon_rad) = loc.in_unit(AngleUnit::Radians);
+        assert!((lat_rad - std::f64::consts::PI).abs() < 1e-12);
+        assert!((lon_rad - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert_eq!(loc.in_unit(AngleUnit::Degrees), (180.0, 90.0));
+    }
+
+    #[test]
+    fn closures_are_proximity_listeners() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let hit = Arc::new(AtomicBool::new(false));
+        let h = Arc::clone(&hit);
+        let listener: SharedProximityListener = Arc::new(move |_e: &ProximityEvent| {
+            h.store(true, Ordering::SeqCst);
+        });
+        listener.proximity_event(&ProximityEvent {
+            ref_latitude: 0.0,
+            ref_longitude: 0.0,
+            ref_altitude: 0.0,
+            current_location: Location::default(),
+            entering: true,
+        });
+        assert!(hit.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn http_result_helpers() {
+        let ok = HttpResult {
+            status: 204,
+            headers: vec![],
+            body: b"done".to_vec(),
+        };
+        assert!(ok.is_success());
+        assert_eq!(ok.body_text(), "done");
+        let err = HttpResult {
+            status: 404,
+            headers: vec![],
+            body: vec![],
+        };
+        assert!(!err.is_success());
+    }
+
+    #[test]
+    fn location_display_is_compact() {
+        let loc = Location {
+            latitude: 28.5355,
+            longitude: 77.391,
+            accuracy_m: 5.0,
+            timestamp_ms: 1200,
+            ..Location::default()
+        };
+        let s = loc.to_string();
+        assert!(s.contains("28.5355"));
+        assert!(s.contains("t=1200ms"));
+    }
+}

@@ -1,0 +1,24 @@
+//! Android WebView binding modules — the implementation plane for
+//! JavaScript applications.
+//!
+//! Follows the paper's three-step procedure (§4.1, Fig. 6):
+//!
+//! 1. **JavaScript proxy objects** — Java "Wrapper" classes
+//!    ([`wrappers`]) connect the JavaScript proxies to the native
+//!    platform; they are injected through `addJavaScriptInterface` and a
+//!    wrapper factory ([`wrappers::install_wrappers`]).
+//! 2. **JavaScript proxy interfaces** — [`proxies`] implement the
+//!    uniform proxy traits by invoking the wrapper handle (`swi` in the
+//!    figure); native exceptions cross the bridge as **error codes**.
+//! 3. **Callback support** — asynchronous notifications (proximity
+//!    alerts, delivery reports) are stored in the WebView's Notification
+//!    Table keyed by the id returned from the originating invocation and
+//!    retrieved by each proxy's polling `notifHandler`.
+
+pub mod proxies;
+pub mod wrappers;
+
+pub use proxies::{
+    WebViewCallProxy, WebViewHttpProxy, WebViewLocationProxy, WebViewSmsProxy,
+};
+pub use wrappers::install_wrappers;

@@ -1,0 +1,492 @@
+//! Java "Wrapper" classes for the WebView bridge (Fig. 6, step 1).
+//!
+//! Each wrapper adapts one Android proxy to the
+//! [`JavaScriptInterface`] calling convention: dynamically-typed
+//! arguments in, dynamically-typed results out, exceptions as error
+//! codes, and asynchronous callbacks redirected into the WebView's
+//! [`NotificationTable`] (JavaScript cannot receive Java callbacks
+//! directly — paper footnote 8).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use mobivine_webview::bridge::{args, BridgeError, ErrorCode, JavaScriptInterface};
+use mobivine_webview::notification::{NotificationId, NotificationTable};
+use mobivine_webview::{JsValue, WebView};
+
+use crate::android::{
+    AndroidCallProxy, AndroidHttpProxy, AndroidLocationProxy, AndroidSmsProxy,
+};
+use crate::api::{CallProxy, HttpProxy, LocationProxy, ProxyBase, SmsProxy};
+use crate::error::{ProxyError, ProxyErrorKind};
+use crate::property::PropertyValue;
+use crate::types::{DeliveryOutcome, Location, ProximityEvent, SharedProximityListener};
+
+/// Interface names the wrappers are injected under.
+pub mod interface_names {
+    /// The location wrapper's JavaScript global.
+    pub const LOCATION: &str = "LocationWrapper";
+    /// The SMS wrapper's JavaScript global.
+    pub const SMS: &str = "SmsWrapper";
+    /// The call wrapper's JavaScript global.
+    pub const CALL: &str = "CallWrapper";
+    /// The HTTP wrapper's JavaScript global.
+    pub const HTTP: &str = "HttpWrapper";
+}
+
+/// Maps a uniform proxy error onto the bridge's error-code channel.
+fn to_bridge(e: ProxyError) -> BridgeError {
+    let code = match e.kind() {
+        ProxyErrorKind::Security | ProxyErrorKind::PolicyDenied => ErrorCode::Security,
+        ProxyErrorKind::IllegalArgument
+        | ProxyErrorKind::UnknownProperty
+        | ProxyErrorKind::BadPropertyValue
+        | ProxyErrorKind::MissingProperty => ErrorCode::IllegalArgument,
+        ProxyErrorKind::Unavailable => ErrorCode::Remote,
+        ProxyErrorKind::Io => ErrorCode::Io,
+        ProxyErrorKind::UnsupportedOnPlatform => ErrorCode::ApiRemoved,
+    };
+    BridgeError {
+        code,
+        message: e.message().to_owned(),
+    }
+}
+
+/// Renders the common [`Location`] as the JavaScript object shape the
+/// WebView proxies expose.
+pub fn location_to_js(location: &Location) -> JsValue {
+    JsValue::object([
+        ("latitude", location.latitude.into()),
+        ("longitude", location.longitude.into()),
+        ("altitude", location.altitude.into()),
+        ("accuracy", location.accuracy_m.into()),
+        ("time", location.timestamp_ms.into()),
+        ("speed", location.speed_mps.into()),
+        ("bearing", location.course_deg.into()),
+    ])
+}
+
+/// Parses the JavaScript object shape back into the common
+/// [`Location`].
+pub fn location_from_js(value: &JsValue) -> Location {
+    Location {
+        latitude: value.get("latitude").as_number().unwrap_or(0.0),
+        longitude: value.get("longitude").as_number().unwrap_or(0.0),
+        altitude: value.get("altitude").as_number().unwrap_or(0.0),
+        accuracy_m: value.get("accuracy").as_number().unwrap_or(0.0),
+        timestamp_ms: value.get("time").as_number().unwrap_or(0.0) as u64,
+        speed_mps: value.get("speed").as_number().unwrap_or(0.0),
+        course_deg: value.get("bearing").as_number().unwrap_or(0.0),
+    }
+}
+
+/// Renders a proximity event as a notification object.
+pub fn proximity_event_to_js(event: &ProximityEvent) -> JsValue {
+    JsValue::object([
+        ("refLatitude", event.ref_latitude.into()),
+        ("refLongitude", event.ref_longitude.into()),
+        ("refAltitude", event.ref_altitude.into()),
+        ("entering", event.entering.into()),
+        ("currentLocation", location_to_js(&event.current_location)),
+    ])
+}
+
+/// Parses a notification object back into a proximity event.
+pub fn proximity_event_from_js(value: &JsValue) -> ProximityEvent {
+    ProximityEvent {
+        ref_latitude: value.get("refLatitude").as_number().unwrap_or(0.0),
+        ref_longitude: value.get("refLongitude").as_number().unwrap_or(0.0),
+        ref_altitude: value.get("refAltitude").as_number().unwrap_or(0.0),
+        entering: value.get("entering").as_bool().unwrap_or(false),
+        current_location: location_from_js(&value.get("currentLocation")),
+    }
+}
+
+/// The `LocationWrapper` Java class.
+pub struct LocationWrapper {
+    proxy: AndroidLocationProxy,
+    table: Arc<NotificationTable>,
+    registrations: Mutex<HashMap<u64, SharedProximityListener>>,
+}
+
+impl LocationWrapper {
+    fn new(proxy: AndroidLocationProxy, table: Arc<NotificationTable>) -> Self {
+        Self {
+            proxy,
+            table,
+            registrations: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl JavaScriptInterface for LocationWrapper {
+    fn call(&self, method: &str, call_args: &[JsValue]) -> Result<JsValue, BridgeError> {
+        match method {
+            "setProperty" => {
+                let key = args::string(call_args, 0)?;
+                let value = args::string(call_args, 1)?;
+                self.proxy
+                    .set_property(&key, PropertyValue::str(&value))
+                    .map_err(to_bridge)?;
+                Ok(JsValue::Undefined)
+            }
+            "getLocation" => {
+                let location = self.proxy.get_location().map_err(to_bridge)?;
+                Ok(location_to_js(&location))
+            }
+            "addProximityAlert" => {
+                let latitude = args::number(call_args, 0)?;
+                let longitude = args::number(call_args, 1)?;
+                let altitude = args::number(call_args, 2)?;
+                let radius = args::number(call_args, 3)?;
+                let timer = args::number(call_args, 4)? as i64;
+                // Allocate the notification-table row whose id is
+                // returned to the JavaScript side for polling.
+                let notif_id = self.table.allocate();
+                let table = Arc::clone(&self.table);
+                let listener: SharedProximityListener = Arc::new(move |e: &ProximityEvent| {
+                    table.post(notif_id, proximity_event_to_js(e));
+                });
+                self.proxy
+                    .add_proximity_alert(
+                        latitude,
+                        longitude,
+                        altitude,
+                        radius,
+                        timer,
+                        Arc::clone(&listener),
+                    )
+                    .map_err(to_bridge)?;
+                self.registrations
+                    .lock()
+                    .insert(notif_id_raw(notif_id), listener);
+                Ok(JsValue::Number(notif_id_raw(notif_id) as f64))
+            }
+            "removeProximityAlert" => {
+                let raw = args::number(call_args, 0)? as u64;
+                let listener = self.registrations.lock().remove(&raw);
+                match listener {
+                    Some(listener) => {
+                        let removed = self
+                            .proxy
+                            .remove_proximity_alert(&listener)
+                            .map_err(to_bridge)?;
+                        Ok(JsValue::Bool(removed))
+                    }
+                    None => Ok(JsValue::Bool(false)),
+                }
+            }
+            other => Err(BridgeError::bridge(format!(
+                "LocationWrapper has no method {other}"
+            ))),
+        }
+    }
+}
+
+fn notif_id_raw(id: NotificationId) -> u64 {
+    id.raw()
+}
+
+/// The `SmsWrapper` Java class (the worked example of Fig. 6).
+pub struct SmsWrapper {
+    proxy: AndroidSmsProxy,
+    table: Arc<NotificationTable>,
+}
+
+impl SmsWrapper {
+    fn new(proxy: AndroidSmsProxy, table: Arc<NotificationTable>) -> Self {
+        Self { proxy, table }
+    }
+}
+
+impl JavaScriptInterface for SmsWrapper {
+    fn call(&self, method: &str, call_args: &[JsValue]) -> Result<JsValue, BridgeError> {
+        match method {
+            "setProperty" => {
+                let key = args::string(call_args, 0)?;
+                let value = args::string(call_args, 1)?;
+                self.proxy
+                    .set_property(&key, PropertyValue::str(&value))
+                    .map_err(to_bridge)?;
+                Ok(JsValue::Undefined)
+            }
+            // `sendTextMsg` in Fig. 6: all parameters except the
+            // callback cross the bridge; a Callback object posts the
+            // delivery notification under the returned id.
+            "sendTextMessage" => {
+                let destination = args::string(call_args, 0)?;
+                let text = args::string(call_args, 1)?;
+                let want_report = args::bool_or(call_args, 2, false);
+                let (notif_raw, listener) = if want_report {
+                    let notif_id = self.table.allocate();
+                    let table = Arc::clone(&self.table);
+                    let listener: Arc<dyn crate::types::DeliveryListener> =
+                        Arc::new(move |id: u64, outcome: DeliveryOutcome| {
+                            table.post(
+                                notif_id,
+                                JsValue::object([
+                                    ("messageId", id.into()),
+                                    (
+                                        "delivered",
+                                        (outcome == DeliveryOutcome::Delivered).into(),
+                                    ),
+                                ]),
+                            );
+                        });
+                    (Some(notif_id_raw(notif_id)), Some(listener))
+                } else {
+                    (None, None)
+                };
+                let message_id = self
+                    .proxy
+                    .send_text_message(&destination, &text, listener)
+                    .map_err(to_bridge)?;
+                Ok(JsValue::object([
+                    ("messageId", message_id.into()),
+                    (
+                        "notifId",
+                        notif_raw.map(JsValue::from).unwrap_or(JsValue::Null),
+                    ),
+                ]))
+            }
+            other => Err(BridgeError::bridge(format!(
+                "SmsWrapper has no method {other}"
+            ))),
+        }
+    }
+}
+
+/// The `CallWrapper` Java class.
+pub struct CallWrapper {
+    proxy: AndroidCallProxy,
+}
+
+impl JavaScriptInterface for CallWrapper {
+    fn call(&self, method: &str, call_args: &[JsValue]) -> Result<JsValue, BridgeError> {
+        match method {
+            "setProperty" => {
+                let key = args::string(call_args, 0)?;
+                let value = args::string(call_args, 1)?;
+                self.proxy
+                    .set_property(&key, PropertyValue::str(&value))
+                    .map_err(to_bridge)?;
+                Ok(JsValue::Undefined)
+            }
+            "makeACall" => {
+                let number = args::string(call_args, 0)?;
+                let id = self.proxy.make_a_call(&number).map_err(to_bridge)?;
+                Ok(JsValue::Number(id as f64))
+            }
+            "callProgress" => {
+                let id = args::number(call_args, 0)? as u64;
+                let progress = self.proxy.call_progress(id).map_err(to_bridge)?;
+                Ok(JsValue::str(match progress {
+                    crate::types::CallProgress::Connecting => "connecting",
+                    crate::types::CallProgress::Connected => "connected",
+                    crate::types::CallProgress::Ended => "ended",
+                }))
+            }
+            "endCall" => {
+                let id = args::number(call_args, 0)? as u64;
+                self.proxy.end_call(id).map_err(to_bridge)?;
+                Ok(JsValue::Undefined)
+            }
+            other => Err(BridgeError::bridge(format!(
+                "CallWrapper has no method {other}"
+            ))),
+        }
+    }
+}
+
+/// The `HttpWrapper` Java class.
+pub struct HttpWrapper {
+    proxy: AndroidHttpProxy,
+}
+
+impl JavaScriptInterface for HttpWrapper {
+    fn call(&self, method: &str, call_args: &[JsValue]) -> Result<JsValue, BridgeError> {
+        match method {
+            "setProperty" => {
+                let key = args::string(call_args, 0)?;
+                let value = args::string(call_args, 1)?;
+                self.proxy
+                    .set_property(&key, PropertyValue::str(&value))
+                    .map_err(to_bridge)?;
+                Ok(JsValue::Undefined)
+            }
+            "request" => {
+                let http_method = args::string(call_args, 0)?;
+                let url = args::string(call_args, 1)?;
+                let body = args::string(call_args, 2).unwrap_or_default();
+                let result = self
+                    .proxy
+                    .request(&http_method, &url, body.as_bytes())
+                    .map_err(to_bridge)?;
+                Ok(JsValue::object([
+                    ("status", JsValue::Number(result.status as f64)),
+                    ("body", JsValue::Str(result.body_text())),
+                ]))
+            }
+            other => Err(BridgeError::bridge(format!(
+                "HttpWrapper has no method {other}"
+            ))),
+        }
+    }
+}
+
+/// The wrapper factory (`SmsWrapperFactory` generalized): constructs
+/// every wrapper over Android proxies bound to the WebView's context and
+/// injects them with `addJavaScriptInterface`. Idempotent per WebView —
+/// re-installation replaces the wrappers.
+pub fn install_wrappers(webview: &WebView) {
+    let ctx = webview.context().clone();
+    let table = Arc::clone(webview.notifications());
+
+    let location_proxy = AndroidLocationProxy::new();
+    location_proxy
+        .set_property("context", PropertyValue::opaque(ctx.clone()))
+        .expect("catalog declares the context property");
+    webview.add_javascript_interface(
+        Arc::new(LocationWrapper::new(location_proxy, Arc::clone(&table))),
+        interface_names::LOCATION,
+    );
+
+    let sms_proxy = AndroidSmsProxy::new();
+    sms_proxy
+        .set_property("context", PropertyValue::opaque(ctx.clone()))
+        .expect("catalog declares the context property");
+    webview.add_javascript_interface(
+        Arc::new(SmsWrapper::new(sms_proxy, table)),
+        interface_names::SMS,
+    );
+
+    let call_proxy = AndroidCallProxy::new();
+    call_proxy
+        .set_property("context", PropertyValue::opaque(ctx.clone()))
+        .expect("catalog declares the context property");
+    webview.add_javascript_interface(
+        Arc::new(CallWrapper { proxy: call_proxy }),
+        interface_names::CALL,
+    );
+
+    let http_proxy = AndroidHttpProxy::new();
+    http_proxy
+        .set_property("context", PropertyValue::opaque(ctx))
+        .expect("catalog declares the context property");
+    webview.add_javascript_interface(
+        Arc::new(HttpWrapper { proxy: http_proxy }),
+        interface_names::HTTP,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobivine_android::{AndroidPlatform, SdkVersion};
+    use mobivine_device::Device;
+
+    fn webview() -> (AndroidPlatform, WebView) {
+        let platform = AndroidPlatform::new(
+            Device::builder().msisdn("+91-me").build(),
+            SdkVersion::M5Rc15,
+        );
+        let webview = WebView::new(platform.new_context());
+        install_wrappers(&webview);
+        (platform, webview)
+    }
+
+    #[test]
+    fn factory_installs_all_wrappers() {
+        let (_platform, webview) = webview();
+        assert_eq!(
+            webview.interface_names(),
+            vec!["CallWrapper", "HttpWrapper", "LocationWrapper", "SmsWrapper"]
+        );
+    }
+
+    #[test]
+    fn location_round_trips_js_shape() {
+        let loc = Location {
+            latitude: 28.5,
+            longitude: 77.3,
+            altitude: 210.0,
+            accuracy_m: 5.0,
+            timestamp_ms: 1234,
+            speed_mps: 2.0,
+            course_deg: 45.0,
+        };
+        assert_eq!(location_from_js(&location_to_js(&loc)), loc);
+    }
+
+    #[test]
+    fn proximity_event_round_trips_js_shape() {
+        let event = ProximityEvent {
+            ref_latitude: 1.0,
+            ref_longitude: 2.0,
+            ref_altitude: 3.0,
+            entering: true,
+            current_location: Location {
+                latitude: 1.1,
+                ..Location::default()
+            },
+        };
+        assert_eq!(proximity_event_from_js(&proximity_event_to_js(&event)), event);
+    }
+
+    #[test]
+    fn sms_wrapper_returns_message_and_notif_ids() {
+        let (platform, webview) = webview();
+        platform.device().smsc().register_address("+91-sup");
+        let sms = webview.js_interface(interface_names::SMS).unwrap();
+        let out = sms
+            .invoke(
+                "sendTextMessage",
+                &[
+                    JsValue::str("+91-sup"),
+                    JsValue::str("hello"),
+                    JsValue::Bool(true),
+                ],
+            )
+            .unwrap();
+        assert!(out.get("messageId").as_number().unwrap() > 0.0);
+        let notif_raw = out.get("notifId").as_number().unwrap() as u64;
+        // After delivery, the notification appears in the table.
+        platform.device().advance_ms(1_000);
+        let id = NotificationId::from_raw(notif_raw).unwrap();
+        let pending = webview.notifications().take(id);
+        assert_eq!(pending.len(), 1);
+        assert_eq!(pending[0].get("delivered"), JsValue::Bool(true));
+    }
+
+    #[test]
+    fn security_errors_cross_as_error_codes() {
+        use mobivine_android::permissions::PermissionSet;
+        let platform = AndroidPlatform::with_permissions(
+            Device::builder().build(),
+            SdkVersion::M5Rc15,
+            PermissionSet::new(),
+        );
+        let webview = WebView::new(platform.new_context());
+        install_wrappers(&webview);
+        let sms = webview.js_interface(interface_names::SMS).unwrap();
+        let err = sms
+            .invoke(
+                "sendTextMessage",
+                &[JsValue::str("+1"), JsValue::str("x"), JsValue::Bool(false)],
+            )
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::Security);
+    }
+
+    #[test]
+    fn unknown_method_is_bridge_error() {
+        let (_platform, webview) = webview();
+        let http = webview.js_interface(interface_names::HTTP).unwrap();
+        assert_eq!(
+            http.invoke("download", &[]).unwrap_err().code,
+            ErrorCode::Bridge
+        );
+    }
+}

@@ -1,0 +1,203 @@
+//! On-device calendar store.
+//!
+//! Companion substrate to [`crate::contacts`] for the paper's
+//! future-work "calendaring" interface (§7).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use parking_lot::Mutex;
+
+/// Identifier of a calendar entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EntryId(u64);
+
+/// A calendar entry on the device.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CalendarEntry {
+    /// Store-assigned identifier.
+    pub id: EntryId,
+    /// Title shown to the user.
+    pub title: String,
+    /// Start, in virtual milliseconds.
+    pub start_ms: u64,
+    /// End, in virtual milliseconds (must be ≥ start).
+    pub end_ms: u64,
+    /// Free-form location text.
+    pub location: String,
+}
+
+/// Error adding a calendar entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CalendarError {
+    /// End time precedes start time.
+    EndBeforeStart,
+}
+
+impl fmt::Display for CalendarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CalendarError::EndBeforeStart => write!(f, "entry end precedes start"),
+        }
+    }
+}
+
+impl std::error::Error for CalendarError {}
+
+/// The device's calendar database.
+///
+/// # Example
+///
+/// ```
+/// use mobivine_device::calendar::CalendarStore;
+///
+/// let store = CalendarStore::new();
+/// store.add("Site visit", 1_000, 2_000, "Depot 4")?;
+/// assert_eq!(store.entries_between(0, 1_500).len(), 1);
+/// # Ok::<(), mobivine_device::calendar::CalendarError>(())
+/// ```
+#[derive(Default)]
+pub struct CalendarStore {
+    state: Mutex<StoreState>,
+}
+
+#[derive(Default)]
+struct StoreState {
+    next_id: u64,
+    entries: BTreeMap<EntryId, CalendarEntry>,
+}
+
+impl fmt::Debug for CalendarStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CalendarStore")
+            .field("count", &self.state.lock().entries.len())
+            .finish()
+    }
+}
+
+impl CalendarStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CalendarError::EndBeforeStart`] if `end_ms < start_ms`.
+    pub fn add(
+        &self,
+        title: &str,
+        start_ms: u64,
+        end_ms: u64,
+        location: &str,
+    ) -> Result<EntryId, CalendarError> {
+        if end_ms < start_ms {
+            return Err(CalendarError::EndBeforeStart);
+        }
+        let mut state = self.state.lock();
+        state.next_id += 1;
+        let id = EntryId(state.next_id);
+        state.entries.insert(
+            id,
+            CalendarEntry {
+                id,
+                title: title.to_owned(),
+                start_ms,
+                end_ms,
+                location: location.to_owned(),
+            },
+        );
+        Ok(id)
+    }
+
+    /// Fetches an entry by id.
+    pub fn get(&self, id: EntryId) -> Option<CalendarEntry> {
+        self.state.lock().entries.get(&id).cloned()
+    }
+
+    /// Removes an entry; returns it if it existed.
+    pub fn remove(&self, id: EntryId) -> Option<CalendarEntry> {
+        self.state.lock().entries.remove(&id)
+    }
+
+    /// Entries overlapping the closed interval `[from_ms, to_ms]`, in id
+    /// order.
+    pub fn entries_between(&self, from_ms: u64, to_ms: u64) -> Vec<CalendarEntry> {
+        self.state
+            .lock()
+            .entries
+            .values()
+            .filter(|e| e.start_ms <= to_ms && e.end_ms >= from_ms)
+            .cloned()
+            .collect()
+    }
+
+    /// The next entry starting at or after `now_ms`, if any.
+    pub fn next_after(&self, now_ms: u64) -> Option<CalendarEntry> {
+        self.state
+            .lock()
+            .entries
+            .values()
+            .filter(|e| e.start_ms >= now_ms)
+            .min_by_key(|e| e.start_ms)
+            .cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_query_overlap() {
+        let store = CalendarStore::new();
+        store.add("A", 100, 200, "x").unwrap();
+        store.add("B", 300, 400, "y").unwrap();
+        assert_eq!(store.entries_between(150, 160).len(), 1);
+        assert_eq!(store.entries_between(0, 1_000).len(), 2);
+        assert!(store.entries_between(201, 299).is_empty());
+    }
+
+    #[test]
+    fn overlap_is_inclusive_at_edges() {
+        let store = CalendarStore::new();
+        store.add("Edge", 100, 200, "x").unwrap();
+        assert_eq!(store.entries_between(200, 300).len(), 1);
+        assert_eq!(store.entries_between(0, 100).len(), 1);
+    }
+
+    #[test]
+    fn rejects_end_before_start() {
+        let store = CalendarStore::new();
+        assert_eq!(
+            store.add("Bad", 200, 100, ""),
+            Err(CalendarError::EndBeforeStart)
+        );
+    }
+
+    #[test]
+    fn zero_length_entries_allowed() {
+        let store = CalendarStore::new();
+        assert!(store.add("Ping", 100, 100, "").is_ok());
+    }
+
+    #[test]
+    fn next_after_picks_earliest_future_entry() {
+        let store = CalendarStore::new();
+        store.add("Later", 500, 600, "").unwrap();
+        store.add("Sooner", 300, 350, "").unwrap();
+        assert_eq!(store.next_after(100).unwrap().title, "Sooner");
+        assert_eq!(store.next_after(400).unwrap().title, "Later");
+        assert!(store.next_after(700).is_none());
+    }
+
+    #[test]
+    fn remove_deletes() {
+        let store = CalendarStore::new();
+        let id = store.add("Gone", 1, 2, "").unwrap();
+        assert!(store.remove(id).is_some());
+        assert!(store.get(id).is_none());
+    }
+}

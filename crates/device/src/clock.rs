@@ -1,0 +1,143 @@
+//! Virtual time for the simulated handset.
+//!
+//! All platform behaviour (GPS fixes, SMS delivery, proximity-alert
+//! expiration) is driven off [`SimClock`] rather than the wall clock, so
+//! tests and benchmarks are deterministic. The clock only moves when
+//! [`SimClock::advance_ms`] (or [`SimClock::advance_to`]) is called; the
+//! device's event scheduler is pumped as part of the same advance (see
+//! [`crate::device::Device::advance_ms`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shareable, monotonically advancing virtual clock.
+///
+/// Cloning a `SimClock` yields a handle to the *same* underlying time
+/// source; all components of one [`crate::Device`] share one clock.
+///
+/// # Example
+///
+/// ```
+/// use mobivine_device::clock::SimClock;
+///
+/// let clock = SimClock::new();
+/// assert_eq!(clock.now_ms(), 0);
+/// clock.advance_ms(250);
+/// let handle = clock.clone();
+/// assert_eq!(handle.now_ms(), 250);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    now_ms: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a clock starting at `start_ms` milliseconds.
+    pub fn starting_at(start_ms: u64) -> Self {
+        let clock = Self::new();
+        clock.now_ms.store(start_ms, Ordering::SeqCst);
+        clock
+    }
+
+    /// Current virtual time in milliseconds since simulation start.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms.load(Ordering::SeqCst)
+    }
+
+    /// Current virtual time in whole seconds (the granularity used by the
+    /// paper's S60 code fragments, which divide `currentTimeMillis` by
+    /// 1000).
+    pub fn now_secs(&self) -> u64 {
+        self.now_ms() / 1000
+    }
+
+    /// Advances the clock by `delta_ms` milliseconds and returns the new
+    /// time.
+    pub fn advance_ms(&self, delta_ms: u64) -> u64 {
+        self.now_ms.fetch_add(delta_ms, Ordering::SeqCst) + delta_ms
+    }
+
+    /// Advances the clock to an absolute time.
+    ///
+    /// Returns `true` if the clock moved. A target in the past is ignored
+    /// (virtual time is monotone), returning `false`.
+    pub fn advance_to(&self, target_ms: u64) -> bool {
+        let mut current = self.now_ms.load(Ordering::SeqCst);
+        loop {
+            if target_ms <= current {
+                return false;
+            }
+            match self.now_ms.compare_exchange(
+                current,
+                target_ms,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return true,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        assert_eq!(SimClock::new().now_ms(), 0);
+    }
+
+    #[test]
+    fn starting_at_sets_origin() {
+        assert_eq!(SimClock::starting_at(5_000).now_ms(), 5_000);
+    }
+
+    #[test]
+    fn advance_accumulates() {
+        let clock = SimClock::new();
+        clock.advance_ms(10);
+        clock.advance_ms(15);
+        assert_eq!(clock.now_ms(), 25);
+    }
+
+    #[test]
+    fn clones_share_time() {
+        let clock = SimClock::new();
+        let other = clock.clone();
+        clock.advance_ms(42);
+        assert_eq!(other.now_ms(), 42);
+        other.advance_ms(8);
+        assert_eq!(clock.now_ms(), 50);
+    }
+
+    #[test]
+    fn advance_to_is_monotone() {
+        let clock = SimClock::new();
+        assert!(clock.advance_to(100));
+        assert!(!clock.advance_to(50));
+        assert_eq!(clock.now_ms(), 100);
+        assert!(!clock.advance_to(100));
+    }
+
+    #[test]
+    fn now_secs_truncates() {
+        let clock = SimClock::new();
+        clock.advance_ms(1_999);
+        assert_eq!(clock.now_secs(), 1);
+        clock.advance_ms(1);
+        assert_eq!(clock.now_secs(), 2);
+    }
+
+    #[test]
+    fn clock_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimClock>();
+    }
+}

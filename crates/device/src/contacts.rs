@@ -1,0 +1,191 @@
+//! On-device contact store.
+//!
+//! The paper lists "contact list information" among the platform
+//! interfaces it plans to cover in future work (§7). We implement the
+//! substrate here and expose Contacts proxies as an extension feature in
+//! the core crate.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use parking_lot::Mutex;
+
+/// Identifier of a stored contact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ContactId(u64);
+
+/// A stored contact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Contact {
+    /// Store-assigned identifier.
+    pub id: ContactId,
+    /// Display name.
+    pub name: String,
+    /// Phone numbers, first is primary.
+    pub numbers: Vec<String>,
+    /// Email addresses.
+    pub emails: Vec<String>,
+}
+
+/// The device's contact database.
+///
+/// # Example
+///
+/// ```
+/// use mobivine_device::contacts::ContactStore;
+///
+/// let store = ContactStore::new();
+/// let id = store.add("Region Supervisor", &["+91-11-5550100"], &[]);
+/// let found = store.find_by_name("supervisor");
+/// assert_eq!(found.len(), 1);
+/// assert_eq!(found[0].id, id);
+/// ```
+#[derive(Default)]
+pub struct ContactStore {
+    state: Mutex<StoreState>,
+}
+
+#[derive(Default)]
+struct StoreState {
+    next_id: u64,
+    contacts: BTreeMap<ContactId, Contact>,
+}
+
+impl fmt::Debug for ContactStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ContactStore")
+            .field("count", &self.len())
+            .finish()
+    }
+}
+
+impl ContactStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored contacts.
+    pub fn len(&self) -> usize {
+        self.state.lock().contacts.len()
+    }
+
+    /// Returns `true` if the store has no contacts.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Adds a contact and returns its id.
+    pub fn add(&self, name: &str, numbers: &[&str], emails: &[&str]) -> ContactId {
+        let mut state = self.state.lock();
+        state.next_id += 1;
+        let id = ContactId(state.next_id);
+        state.contacts.insert(
+            id,
+            Contact {
+                id,
+                name: name.to_owned(),
+                numbers: numbers.iter().map(|s| (*s).to_owned()).collect(),
+                emails: emails.iter().map(|s| (*s).to_owned()).collect(),
+            },
+        );
+        id
+    }
+
+    /// Fetches a contact by id.
+    pub fn get(&self, id: ContactId) -> Option<Contact> {
+        self.state.lock().contacts.get(&id).cloned()
+    }
+
+    /// Removes a contact; returns it if it existed.
+    pub fn remove(&self, id: ContactId) -> Option<Contact> {
+        self.state.lock().contacts.remove(&id)
+    }
+
+    /// Case-insensitive substring search over names, in id order.
+    pub fn find_by_name(&self, needle: &str) -> Vec<Contact> {
+        let needle = needle.to_lowercase();
+        self.state
+            .lock()
+            .contacts
+            .values()
+            .filter(|c| c.name.to_lowercase().contains(&needle))
+            .cloned()
+            .collect()
+    }
+
+    /// Finds the contact owning a phone number (exact match).
+    pub fn find_by_number(&self, number: &str) -> Option<Contact> {
+        self.state
+            .lock()
+            .contacts
+            .values()
+            .find(|c| c.numbers.iter().any(|n| n == number))
+            .cloned()
+    }
+
+    /// All contacts in id order.
+    pub fn all(&self) -> Vec<Contact> {
+        self.state.lock().contacts.values().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get() {
+        let store = ContactStore::new();
+        let id = store.add("Asha", &["+1"], &["asha@example.com"]);
+        let c = store.get(id).unwrap();
+        assert_eq!(c.name, "Asha");
+        assert_eq!(c.numbers, vec!["+1"]);
+        assert_eq!(c.emails, vec!["asha@example.com"]);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let store = ContactStore::new();
+        let a = store.add("A", &[], &[]);
+        let b = store.add("B", &[], &[]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn remove_deletes() {
+        let store = ContactStore::new();
+        let id = store.add("Gone", &[], &[]);
+        assert!(store.remove(id).is_some());
+        assert!(store.get(id).is_none());
+        assert!(store.remove(id).is_none());
+    }
+
+    #[test]
+    fn name_search_is_case_insensitive_substring() {
+        let store = ContactStore::new();
+        store.add("Region Supervisor", &[], &[]);
+        store.add("Agent Seven", &[], &[]);
+        assert_eq!(store.find_by_name("SUPER").len(), 1);
+        assert_eq!(store.find_by_name("e").len(), 2);
+        assert!(store.find_by_name("zzz").is_empty());
+    }
+
+    #[test]
+    fn number_lookup_is_exact() {
+        let store = ContactStore::new();
+        store.add("Asha", &["+91-123", "+91-456"], &[]);
+        assert_eq!(store.find_by_number("+91-456").unwrap().name, "Asha");
+        assert!(store.find_by_number("+91-4").is_none());
+    }
+
+    #[test]
+    fn len_and_all() {
+        let store = ContactStore::new();
+        assert!(store.is_empty());
+        store.add("A", &[], &[]);
+        store.add("B", &[], &[]);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.all().len(), 2);
+    }
+}

@@ -1,0 +1,303 @@
+//! Deterministic event scheduler.
+//!
+//! Components of the simulated handset (the GPS engine, the SMSC, the call
+//! switch, the network) register callbacks to fire at absolute virtual
+//! times. [`crate::device::Device::advance_ms`] pumps due events in timestamp
+//! order; ties break by insertion order, so runs are fully deterministic.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use parking_lot::Mutex;
+
+/// A callback scheduled to run at a virtual time.
+type EventFn = Box<dyn FnOnce(u64) + Send>;
+
+struct ScheduledEvent {
+    fire_at_ms: u64,
+    seq: u64,
+    label: &'static str,
+    callback: EventFn,
+}
+
+impl fmt::Debug for ScheduledEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScheduledEvent")
+            .field("fire_at_ms", &self.fire_at_ms)
+            .field("seq", &self.seq)
+            .field("label", &self.label)
+            .finish()
+    }
+}
+
+impl PartialEq for ScheduledEvent {
+    fn eq(&self, other: &Self) -> bool {
+        self.fire_at_ms == other.fire_at_ms && self.seq == other.seq
+    }
+}
+
+impl Eq for ScheduledEvent {}
+
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ScheduledEvent {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        // BinaryHeap is a max-heap; invert so the earliest event (and for
+        // ties, the earliest-inserted) pops first.
+        other
+            .fire_at_ms
+            .cmp(&self.fire_at_ms)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Identifier of a scheduled event, used to cancel it.
+///
+/// ```
+/// use mobivine_device::event::EventQueue;
+///
+/// let queue = EventQueue::new();
+/// let id = queue.schedule_at(10, "tick", |_| {});
+/// assert!(queue.cancel(id));
+/// assert!(!queue.cancel(id));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(u64);
+
+struct QueueState {
+    heap: BinaryHeap<ScheduledEvent>,
+    cancelled: Vec<u64>,
+    next_seq: u64,
+}
+
+/// A thread-safe priority queue of virtual-time events.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::{Arc, Mutex};
+/// use mobivine_device::event::EventQueue;
+///
+/// let queue = EventQueue::new();
+/// let fired = Arc::new(Mutex::new(Vec::new()));
+/// let sink = Arc::clone(&fired);
+/// queue.schedule_at(20, "b", move |at| sink.lock().unwrap().push(at));
+/// let sink = Arc::clone(&fired);
+/// queue.schedule_at(10, "a", move |at| sink.lock().unwrap().push(at));
+/// queue.run_until(25);
+/// assert_eq!(*fired.lock().unwrap(), vec![10, 20]);
+/// ```
+pub struct EventQueue {
+    state: Mutex<QueueState>,
+}
+
+impl fmt::Debug for EventQueue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = self.state.lock();
+        f.debug_struct("EventQueue")
+            .field("pending", &state.heap.len())
+            .finish()
+    }
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                heap: BinaryHeap::new(),
+                cancelled: Vec::new(),
+                next_seq: 0,
+            }),
+        }
+    }
+
+    /// Schedules `callback` to fire at absolute virtual time
+    /// `fire_at_ms`. The callback receives the fire time.
+    pub fn schedule_at<F>(&self, fire_at_ms: u64, label: &'static str, callback: F) -> EventId
+    where
+        F: FnOnce(u64) + Send + 'static,
+    {
+        let mut state = self.state.lock();
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        state.heap.push(ScheduledEvent {
+            fire_at_ms,
+            seq,
+            label,
+            callback: Box::new(callback),
+        });
+        EventId(seq)
+    }
+
+    /// Cancels a scheduled event.
+    ///
+    /// Returns `true` if the event was still pending; `false` if it had
+    /// already fired or been cancelled.
+    pub fn cancel(&self, id: EventId) -> bool {
+        let mut state = self.state.lock();
+        let pending = state.heap.iter().any(|e| e.seq == id.0);
+        if pending && !state.cancelled.contains(&id.0) {
+            state.cancelled.push(id.0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of pending (not yet fired, not cancelled) events.
+    pub fn pending(&self) -> usize {
+        let state = self.state.lock();
+        state
+            .heap
+            .iter()
+            .filter(|e| !state.cancelled.contains(&e.seq))
+            .count()
+    }
+
+    /// Virtual time of the next pending event, if any.
+    pub fn next_fire_time(&self) -> Option<u64> {
+        let state = self.state.lock();
+        state
+            .heap
+            .iter()
+            .filter(|e| !state.cancelled.contains(&e.seq))
+            .map(|e| e.fire_at_ms)
+            .min()
+    }
+
+    /// Fires, in order, every event with `fire_at_ms <= now_ms`.
+    ///
+    /// Returns the number of callbacks executed. Callbacks may schedule
+    /// further events; newly scheduled events that are also due within
+    /// `now_ms` fire in the same call.
+    pub fn run_until(&self, now_ms: u64) -> usize {
+        let mut fired = 0;
+        loop {
+            let event = {
+                let mut state = self.state.lock();
+                match state.heap.peek() {
+                    Some(next) if next.fire_at_ms <= now_ms => {
+                        let event = state.heap.pop().expect("peeked event must pop");
+                        if let Some(pos) = state.cancelled.iter().position(|&s| s == event.seq) {
+                            state.cancelled.swap_remove(pos);
+                            continue;
+                        }
+                        event
+                    }
+                    _ => break,
+                }
+            };
+            // Run outside the lock so callbacks can schedule/cancel.
+            (event.callback)(event.fire_at_ms);
+            fired += 1;
+        }
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    #[test]
+    fn fires_in_timestamp_order() {
+        let queue = EventQueue::new();
+        let order = Arc::new(StdMutex::new(Vec::new()));
+        for (t, tag) in [(30u64, "c"), (10, "a"), (20, "b")] {
+            let order = Arc::clone(&order);
+            queue.schedule_at(t, "test", move |_| order.lock().unwrap().push(tag));
+        }
+        queue.run_until(100);
+        assert_eq!(*order.lock().unwrap(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let queue = EventQueue::new();
+        let order = Arc::new(StdMutex::new(Vec::new()));
+        for tag in ["first", "second", "third"] {
+            let order = Arc::clone(&order);
+            queue.schedule_at(5, "tie", move |_| order.lock().unwrap().push(tag));
+        }
+        queue.run_until(5);
+        assert_eq!(*order.lock().unwrap(), vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn run_until_is_inclusive() {
+        let queue = EventQueue::new();
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&count);
+        queue.schedule_at(10, "edge", move |_| {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(queue.run_until(9), 0);
+        assert_eq!(queue.run_until(10), 1);
+    }
+
+    #[test]
+    fn cancelled_event_does_not_fire() {
+        let queue = EventQueue::new();
+        let count = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&count);
+        let id = queue.schedule_at(10, "cancel-me", move |_| {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(queue.cancel(id));
+        assert_eq!(queue.run_until(100), 0);
+        assert_eq!(count.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn cancel_after_fire_returns_false() {
+        let queue = EventQueue::new();
+        let id = queue.schedule_at(10, "fires", |_| {});
+        queue.run_until(10);
+        assert!(!queue.cancel(id));
+    }
+
+    #[test]
+    fn callbacks_can_schedule_more_events() {
+        let queue = Arc::new(EventQueue::new());
+        let count = Arc::new(AtomicUsize::new(0));
+        let q = Arc::clone(&queue);
+        let c = Arc::clone(&count);
+        queue.schedule_at(10, "outer", move |at| {
+            let c2 = Arc::clone(&c);
+            q.schedule_at(at + 5, "inner", move |_| {
+                c2.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        // Inner event (t=15) is due within the same run_until(20).
+        assert_eq!(queue.run_until(20), 2);
+        assert_eq!(count.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn pending_and_next_fire_time() {
+        let queue = EventQueue::new();
+        assert_eq!(queue.pending(), 0);
+        assert_eq!(queue.next_fire_time(), None);
+        let id = queue.schedule_at(40, "later", |_| {});
+        queue.schedule_at(30, "sooner", |_| {});
+        assert_eq!(queue.pending(), 2);
+        assert_eq!(queue.next_fire_time(), Some(30));
+        queue.cancel(id);
+        assert_eq!(queue.pending(), 1);
+        assert_eq!(queue.next_fire_time(), Some(30));
+    }
+}

@@ -1,0 +1,210 @@
+//! Geodesic primitives: points, distance, bearing, destination.
+//!
+//! Proximity alerts — the interface the paper uses as its running example —
+//! need distance computations between the device's position and a reference
+//! coordinate. We use the haversine great-circle formulas on a spherical
+//! Earth, which is what mobile location stacks of the paper's era used for
+//! proximity radii of a few hundred metres.
+
+/// Mean Earth radius in metres (IUGG).
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
+
+/// A geographic point: latitude/longitude in degrees, optional altitude in
+/// metres.
+///
+/// # Example
+///
+/// ```
+/// use mobivine_device::geo::GeoPoint;
+///
+/// let delhi = GeoPoint::new(28.6139, 77.2090);
+/// let mumbai = GeoPoint::new(19.0760, 72.8777);
+/// let km = delhi.distance_m(&mumbai) / 1000.0;
+/// assert!((km - 1150.0).abs() < 50.0, "Delhi-Mumbai is ~1150 km, got {km}");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GeoPoint {
+    /// Latitude in degrees, positive north. Valid range is `[-90, 90]`.
+    pub latitude: f64,
+    /// Longitude in degrees, positive east. Valid range is `[-180, 180]`.
+    pub longitude: f64,
+    /// Altitude above the reference ellipsoid, in metres.
+    pub altitude: f64,
+}
+
+impl GeoPoint {
+    /// Creates a point at sea level.
+    pub fn new(latitude: f64, longitude: f64) -> Self {
+        Self {
+            latitude,
+            longitude,
+            altitude: 0.0,
+        }
+    }
+
+    /// Creates a point with an explicit altitude in metres.
+    pub fn with_altitude(latitude: f64, longitude: f64, altitude: f64) -> Self {
+        Self {
+            latitude,
+            longitude,
+            altitude,
+        }
+    }
+
+    /// Returns `true` if latitude and longitude are within their valid
+    /// ranges and finite.
+    pub fn is_valid(&self) -> bool {
+        self.latitude.is_finite()
+            && self.longitude.is_finite()
+            && self.altitude.is_finite()
+            && (-90.0..=90.0).contains(&self.latitude)
+            && (-180.0..=180.0).contains(&self.longitude)
+    }
+
+    /// Great-circle (haversine) distance to `other`, in metres. Altitude is
+    /// ignored, matching the behaviour of the platform proximity APIs.
+    pub fn distance_m(&self, other: &GeoPoint) -> f64 {
+        let lat1 = self.latitude.to_radians();
+        let lat2 = other.latitude.to_radians();
+        let dlat = (other.latitude - self.latitude).to_radians();
+        let dlon = (other.longitude - self.longitude).to_radians();
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+        let c = 2.0 * a.sqrt().asin();
+        EARTH_RADIUS_M * c
+    }
+
+    /// Initial bearing from `self` toward `other`, in degrees clockwise
+    /// from true north, normalized to `[0, 360)`.
+    pub fn bearing_deg(&self, other: &GeoPoint) -> f64 {
+        let lat1 = self.latitude.to_radians();
+        let lat2 = other.latitude.to_radians();
+        let dlon = (other.longitude - self.longitude).to_radians();
+        let y = dlon.sin() * lat2.cos();
+        let x = lat1.cos() * lat2.sin() - lat1.sin() * lat2.cos() * dlon.cos();
+        let theta = y.atan2(x).to_degrees();
+        (theta + 360.0) % 360.0
+    }
+
+    /// The point reached by travelling `distance_m` metres from `self`
+    /// along the great circle with initial bearing `bearing_deg` (degrees
+    /// from north). Altitude is preserved.
+    pub fn destination(&self, bearing_deg: f64, distance_m: f64) -> GeoPoint {
+        let delta = distance_m / EARTH_RADIUS_M;
+        let theta = bearing_deg.to_radians();
+        let lat1 = self.latitude.to_radians();
+        let lon1 = self.longitude.to_radians();
+        let lat2 = (lat1.sin() * delta.cos() + lat1.cos() * delta.sin() * theta.cos()).asin();
+        let lon2 = lon1
+            + (theta.sin() * delta.sin() * lat1.cos()).atan2(delta.cos() - lat1.sin() * lat2.sin());
+        let mut lon_deg = lon2.to_degrees();
+        // Normalize longitude into [-180, 180].
+        if lon_deg > 180.0 {
+            lon_deg -= 360.0;
+        } else if lon_deg < -180.0 {
+            lon_deg += 360.0;
+        }
+        GeoPoint {
+            latitude: lat2.to_degrees(),
+            longitude: lon_deg,
+            altitude: self.altitude,
+        }
+    }
+
+    /// Linear interpolation between `self` and `other` (`t` in `[0, 1]`).
+    ///
+    /// Good enough for the short legs used by waypoint movement models;
+    /// interpolates lat/lon/alt component-wise.
+    pub fn lerp(&self, other: &GeoPoint, t: f64) -> GeoPoint {
+        let t = t.clamp(0.0, 1.0);
+        GeoPoint {
+            latitude: self.latitude + (other.latitude - self.latitude) * t,
+            longitude: self.longitude + (other.longitude - self.longitude) * t,
+            altitude: self.altitude + (other.altitude - self.altitude) * t,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, eps: f64) -> bool {
+        (a - b).abs() <= eps
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let p = GeoPoint::new(28.6, 77.2);
+        assert!(p.distance_m(&p) < 1e-6);
+    }
+
+    #[test]
+    fn one_degree_latitude_is_about_111_km() {
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(1.0, 0.0);
+        let d = a.distance_m(&b);
+        assert!(close(d, 111_195.0, 100.0), "got {d}");
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = GeoPoint::new(28.6139, 77.2090);
+        let b = GeoPoint::new(19.0760, 72.8777);
+        assert!(close(a.distance_m(&b), b.distance_m(&a), 1e-6));
+    }
+
+    #[test]
+    fn bearing_due_north_is_zero() {
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(1.0, 0.0);
+        assert!(close(a.bearing_deg(&b), 0.0, 1e-9));
+    }
+
+    #[test]
+    fn bearing_due_east_is_ninety() {
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(0.0, 1.0);
+        assert!(close(a.bearing_deg(&b), 90.0, 1e-9));
+    }
+
+    #[test]
+    fn destination_round_trips_distance() {
+        let start = GeoPoint::new(28.5355, 77.3910);
+        let dest = start.destination(45.0, 500.0);
+        assert!(close(start.distance_m(&dest), 500.0, 0.5));
+    }
+
+    #[test]
+    fn destination_preserves_altitude() {
+        let start = GeoPoint::with_altitude(10.0, 10.0, 222.0);
+        assert_eq!(start.destination(10.0, 100.0).altitude, 222.0);
+    }
+
+    #[test]
+    fn validity_checks_ranges() {
+        assert!(GeoPoint::new(90.0, 180.0).is_valid());
+        assert!(!GeoPoint::new(90.1, 0.0).is_valid());
+        assert!(!GeoPoint::new(0.0, -180.1).is_valid());
+        assert!(!GeoPoint::new(f64::NAN, 0.0).is_valid());
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = GeoPoint::with_altitude(1.0, 2.0, 3.0);
+        let b = GeoPoint::with_altitude(5.0, 6.0, 7.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        let mid = a.lerp(&b, 0.5);
+        assert!(close(mid.latitude, 3.0, 1e-12));
+        assert!(close(mid.longitude, 4.0, 1e-12));
+        assert!(close(mid.altitude, 5.0, 1e-12));
+    }
+
+    #[test]
+    fn lerp_clamps_t() {
+        let a = GeoPoint::new(0.0, 0.0);
+        let b = GeoPoint::new(10.0, 10.0);
+        assert_eq!(a.lerp(&b, -1.0), a);
+        assert_eq!(a.lerp(&b, 2.0), b);
+    }
+}

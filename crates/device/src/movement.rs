@@ -1,0 +1,317 @@
+//! Movement models driving the simulated GPS engine.
+//!
+//! The paper's motivating application is *mobile workforce management*:
+//! field agents move around a region and the application reacts to
+//! proximity. The movement model answers "where is the device at virtual
+//! time t?" deterministically (the random walk is seeded).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::geo::GeoPoint;
+
+/// A deterministic function from virtual time to position.
+///
+/// # Example
+///
+/// ```
+/// use mobivine_device::geo::GeoPoint;
+/// use mobivine_device::movement::MovementModel;
+///
+/// let home = GeoPoint::new(28.5, 77.3);
+/// let mut model = MovementModel::linear(home, 45.0, 2.0); // 2 m/s NE
+/// let origin = model.position_at(0, home);
+/// let later = model.position_at(10_000, home); // 10 s later
+/// assert!((origin.distance_m(&later) - 20.0).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MovementModel {
+    kind: Kind,
+}
+
+#[derive(Debug, Clone)]
+enum Kind {
+    Stationary,
+    Linear {
+        start: Option<GeoPoint>,
+        bearing_deg: f64,
+        speed_mps: f64,
+    },
+    Waypoints {
+        route: Vec<GeoPoint>,
+        speed_mps: f64,
+        loop_route: bool,
+    },
+    RandomWalk {
+        seed: u64,
+        step_m: f64,
+        step_interval_ms: u64,
+        cache: Vec<GeoPoint>,
+    },
+}
+
+impl MovementModel {
+    /// The device never moves.
+    pub fn stationary() -> Self {
+        Self {
+            kind: Kind::Stationary,
+        }
+    }
+
+    /// Constant-velocity travel from `start` along `bearing_deg` at
+    /// `speed_mps` metres per second.
+    pub fn linear(start: GeoPoint, bearing_deg: f64, speed_mps: f64) -> Self {
+        Self {
+            kind: Kind::Linear {
+                start: Some(start),
+                bearing_deg,
+                speed_mps,
+            },
+        }
+    }
+
+    /// Constant-speed travel along a polyline of waypoints. The device
+    /// starts at the first waypoint at t=0 and stops at the last.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `route` is empty or `speed_mps` is not positive.
+    pub fn waypoints(route: Vec<GeoPoint>, speed_mps: f64) -> Self {
+        assert!(!route.is_empty(), "waypoint route must be non-empty");
+        assert!(speed_mps > 0.0, "speed must be positive");
+        Self {
+            kind: Kind::Waypoints {
+                route,
+                speed_mps,
+                loop_route: false,
+            },
+        }
+    }
+
+    /// Like [`MovementModel::waypoints`] but the route wraps around to the
+    /// first waypoint after the last, forever.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `route` is empty or `speed_mps` is not positive.
+    pub fn waypoint_loop(route: Vec<GeoPoint>, speed_mps: f64) -> Self {
+        assert!(!route.is_empty(), "waypoint route must be non-empty");
+        assert!(speed_mps > 0.0, "speed must be positive");
+        Self {
+            kind: Kind::Waypoints {
+                route,
+                speed_mps,
+                loop_route: true,
+            },
+        }
+    }
+
+    /// Seeded random walk: every `step_interval_ms` the device jumps
+    /// `step_m` metres in a uniformly random direction. Deterministic for
+    /// a given seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step_interval_ms` is zero.
+    pub fn random_walk(seed: u64, step_m: f64, step_interval_ms: u64) -> Self {
+        assert!(step_interval_ms > 0, "step interval must be non-zero");
+        Self {
+            kind: Kind::RandomWalk {
+                seed,
+                step_m,
+                step_interval_ms,
+                cache: Vec::new(),
+            },
+        }
+    }
+
+    /// Position at virtual time `now_ms`, given the device's configured
+    /// origin (used by models that do not carry their own start point).
+    pub fn position_at(&mut self, now_ms: u64, origin: GeoPoint) -> GeoPoint {
+        match &mut self.kind {
+            Kind::Stationary => origin,
+            Kind::Linear {
+                start,
+                bearing_deg,
+                speed_mps,
+            } => {
+                let base = start.unwrap_or(origin);
+                let dist = *speed_mps * now_ms as f64 / 1000.0;
+                base.destination(*bearing_deg, dist)
+            }
+            Kind::Waypoints {
+                route,
+                speed_mps,
+                loop_route,
+            } => {
+                let travelled = *speed_mps * now_ms as f64 / 1000.0;
+                position_on_route(route, travelled, *loop_route)
+            }
+            Kind::RandomWalk {
+                seed,
+                step_m,
+                step_interval_ms,
+                cache,
+            } => {
+                let steps = (now_ms / *step_interval_ms) as usize;
+                if cache.is_empty() {
+                    cache.push(origin);
+                }
+                if steps + 1 > cache.len() {
+                    // Deterministically extend the cached walk. The RNG is
+                    // re-seeded and fast-forwarded so jumping to an
+                    // arbitrary time observes the same path.
+                    let mut rng = StdRng::seed_from_u64(*seed);
+                    for _ in 0..(cache.len() - 1) {
+                        let _: f64 = rng.gen();
+                    }
+                    while cache.len() < steps + 1 {
+                        let bearing: f64 = rng.gen::<f64>() * 360.0;
+                        let last = *cache.last().expect("cache is non-empty");
+                        cache.push(last.destination(bearing, *step_m));
+                    }
+                }
+                cache[steps]
+            }
+        }
+    }
+}
+
+/// Walks `travelled_m` metres along `route` (optionally looping) and
+/// returns the reached point.
+fn position_on_route(route: &[GeoPoint], travelled_m: f64, loop_route: bool) -> GeoPoint {
+    if route.len() == 1 {
+        return route[0];
+    }
+    let mut legs: Vec<(GeoPoint, GeoPoint, f64)> = route
+        .windows(2)
+        .map(|w| (w[0], w[1], w[0].distance_m(&w[1])))
+        .collect();
+    if loop_route {
+        let last = *route.last().expect("route is non-empty");
+        let first = route[0];
+        legs.push((last, first, last.distance_m(&first)));
+    }
+    let total: f64 = legs.iter().map(|l| l.2).sum();
+    if total <= f64::EPSILON {
+        return route[0];
+    }
+    let mut remaining = if loop_route {
+        travelled_m % total
+    } else {
+        travelled_m.min(total)
+    };
+    for (from, to, len) in &legs {
+        if remaining <= *len {
+            let t = if *len <= f64::EPSILON {
+                0.0
+            } else {
+                remaining / len
+            };
+            return from.lerp(to, t);
+        }
+        remaining -= len;
+    }
+    *route.last().expect("route is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn origin() -> GeoPoint {
+        GeoPoint::new(28.5355, 77.3910)
+    }
+
+    #[test]
+    fn stationary_stays_put() {
+        let mut m = MovementModel::stationary();
+        assert_eq!(m.position_at(0, origin()), origin());
+        assert_eq!(m.position_at(1_000_000, origin()), origin());
+    }
+
+    #[test]
+    fn linear_moves_at_speed() {
+        let mut m = MovementModel::linear(origin(), 90.0, 5.0);
+        let p = m.position_at(60_000, origin()); // 60 s at 5 m/s = 300 m
+        assert!((origin().distance_m(&p) - 300.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn linear_at_time_zero_is_start() {
+        let mut m = MovementModel::linear(origin(), 10.0, 3.0);
+        let p = m.position_at(0, GeoPoint::new(0.0, 0.0));
+        assert!(origin().distance_m(&p) < 1e-6);
+    }
+
+    #[test]
+    fn waypoints_start_and_end() {
+        let a = origin();
+        let b = a.destination(0.0, 1000.0);
+        let mut m = MovementModel::waypoints(vec![a, b], 10.0);
+        assert!(a.distance_m(&m.position_at(0, a)) < 1e-6);
+        // 1000 m at 10 m/s = 100 s; after 200 s it stays at the end.
+        assert!(b.distance_m(&m.position_at(200_000, a)) < 0.5);
+    }
+
+    #[test]
+    fn waypoints_midpoint() {
+        let a = origin();
+        let b = a.destination(0.0, 1000.0);
+        let mut m = MovementModel::waypoints(vec![a, b], 10.0);
+        let mid = m.position_at(50_000, a); // 500 m along
+        assert!((a.distance_m(&mid) - 500.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn waypoint_loop_wraps() {
+        let a = origin();
+        let b = a.destination(90.0, 100.0);
+        let mut m = MovementModel::waypoint_loop(vec![a, b], 10.0);
+        // Full loop is 200 m = 20 s; at 20 s the device is back at a.
+        let p = m.position_at(20_000, a);
+        assert!(a.distance_m(&p) < 1.0, "distance {}", a.distance_m(&p));
+    }
+
+    #[test]
+    fn single_waypoint_route_is_fixed() {
+        let mut m = MovementModel::waypoints(vec![origin()], 5.0);
+        assert_eq!(m.position_at(99_999, GeoPoint::new(0.0, 0.0)), origin());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_route_panics() {
+        let _ = MovementModel::waypoints(vec![], 5.0);
+    }
+
+    #[test]
+    fn random_walk_is_deterministic() {
+        let mut m1 = MovementModel::random_walk(7, 10.0, 1000);
+        let mut m2 = MovementModel::random_walk(7, 10.0, 1000);
+        let p1 = m1.position_at(10_000, origin());
+        let p2 = m2.position_at(10_000, origin());
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn random_walk_same_position_regardless_of_query_order() {
+        let mut forward = MovementModel::random_walk(11, 5.0, 500);
+        let mut jump = MovementModel::random_walk(11, 5.0, 500);
+        // Query forward step by step vs jumping straight to t.
+        let mut last = GeoPoint::default();
+        for t in (0..=8_000).step_by(500) {
+            last = forward.position_at(t, origin());
+        }
+        let direct = jump.position_at(8_000, origin());
+        assert_eq!(last, direct);
+    }
+
+    #[test]
+    fn random_walk_steps_have_fixed_length() {
+        let mut m = MovementModel::random_walk(3, 25.0, 1000);
+        let p0 = m.position_at(0, origin());
+        let p1 = m.position_at(1000, origin());
+        assert!((p0.distance_m(&p1) - 25.0).abs() < 0.1);
+    }
+}

@@ -1,0 +1,180 @@
+//! Cellular radio coverage.
+//!
+//! The messaging and telephony stacks depend on the serving cell: out
+//! of coverage, submissions fail at the *device* side (before the SMSC
+//! or switch ever sees them) — a failure mode field-workforce apps must
+//! survive and one more behaviour the platform bindings surface through
+//! their own exception types (`IOException`-flavoured on both Android
+//! and S60) while the proxies unify it.
+//!
+//! Default configuration is **full coverage** (no cells configured), so
+//! the radio only constrains behaviour when a scenario opts in with
+//! [`CellCoverage::add_cell`].
+
+use std::fmt;
+
+use parking_lot::RwLock;
+
+use crate::geo::GeoPoint;
+
+/// Received signal strength, in "bars".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SignalStrength(pub u8);
+
+impl SignalStrength {
+    /// No signal: the device cannot use the radio.
+    pub const NONE: SignalStrength = SignalStrength(0);
+    /// Full signal.
+    pub const FULL: SignalStrength = SignalStrength(4);
+
+    /// Whether the radio can carry traffic.
+    pub fn in_coverage(&self) -> bool {
+        self.0 > 0
+    }
+}
+
+impl fmt::Display for SignalStrength {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} bar(s)", self.0)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    center: GeoPoint,
+    range_m: f64,
+}
+
+/// The coverage map: a set of cells, each serving a circular area.
+///
+/// With no cells configured the map reports full coverage everywhere
+/// (the common case for tests that don't care about the radio).
+///
+/// # Example
+///
+/// ```
+/// use mobivine_device::geo::GeoPoint;
+/// use mobivine_device::radio::CellCoverage;
+///
+/// let coverage = CellCoverage::new();
+/// let tower = GeoPoint::new(28.5355, 77.3910);
+/// coverage.add_cell(tower, 2_000.0);
+/// assert!(coverage.signal_at(&tower).in_coverage());
+/// let remote = tower.destination(0.0, 10_000.0);
+/// assert!(!coverage.signal_at(&remote).in_coverage());
+/// ```
+#[derive(Default)]
+pub struct CellCoverage {
+    cells: RwLock<Vec<Cell>>,
+}
+
+impl fmt::Debug for CellCoverage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CellCoverage")
+            .field("cells", &self.cells.read().len())
+            .finish()
+    }
+}
+
+impl CellCoverage {
+    /// Creates a map with full coverage everywhere.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a cell at `center` serving `range_m` metres. Once any cell
+    /// exists, only areas inside some cell have coverage.
+    pub fn add_cell(&self, center: GeoPoint, range_m: f64) {
+        self.cells.write().push(Cell { center, range_m });
+    }
+
+    /// Removes every cell, returning to full coverage everywhere.
+    pub fn clear(&self) {
+        self.cells.write().clear();
+    }
+
+    /// Signal strength at a point: full when unconfigured; otherwise
+    /// graded by distance to the best serving cell (4 bars within 50 %
+    /// of range, down to 1 bar at the edge, 0 outside).
+    pub fn signal_at(&self, point: &GeoPoint) -> SignalStrength {
+        let cells = self.cells.read();
+        if cells.is_empty() {
+            return SignalStrength::FULL;
+        }
+        let mut best = 0u8;
+        for cell in cells.iter() {
+            let distance = cell.center.distance_m(point);
+            let bars = if distance > cell.range_m {
+                0
+            } else {
+                let fraction = distance / cell.range_m;
+                if fraction <= 0.5 {
+                    4
+                } else if fraction <= 0.7 {
+                    3
+                } else if fraction <= 0.9 {
+                    2
+                } else {
+                    1
+                }
+            };
+            best = best.max(bars);
+        }
+        SignalStrength(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOWER: GeoPoint = GeoPoint {
+        latitude: 28.5355,
+        longitude: 77.3910,
+        altitude: 0.0,
+    };
+
+    #[test]
+    fn unconfigured_map_has_full_coverage() {
+        let coverage = CellCoverage::new();
+        assert_eq!(coverage.signal_at(&GeoPoint::new(0.0, 0.0)), SignalStrength::FULL);
+    }
+
+    #[test]
+    fn signal_grades_with_distance() {
+        let coverage = CellCoverage::new();
+        coverage.add_cell(TOWER, 1_000.0);
+        assert_eq!(coverage.signal_at(&TOWER).0, 4);
+        assert_eq!(coverage.signal_at(&TOWER.destination(0.0, 400.0)).0, 4);
+        assert_eq!(coverage.signal_at(&TOWER.destination(0.0, 600.0)).0, 3);
+        assert_eq!(coverage.signal_at(&TOWER.destination(0.0, 800.0)).0, 2);
+        assert_eq!(coverage.signal_at(&TOWER.destination(0.0, 950.0)).0, 1);
+        assert_eq!(coverage.signal_at(&TOWER.destination(0.0, 1_100.0)).0, 0);
+    }
+
+    #[test]
+    fn best_of_overlapping_cells_wins() {
+        let coverage = CellCoverage::new();
+        coverage.add_cell(TOWER, 1_000.0);
+        let midpoint = TOWER.destination(90.0, 950.0);
+        assert_eq!(coverage.signal_at(&midpoint).0, 1);
+        coverage.add_cell(TOWER.destination(90.0, 1_000.0), 1_000.0);
+        assert_eq!(coverage.signal_at(&midpoint).0, 4, "closer second cell");
+    }
+
+    #[test]
+    fn clear_restores_full_coverage() {
+        let coverage = CellCoverage::new();
+        coverage.add_cell(TOWER, 10.0);
+        let far = TOWER.destination(0.0, 99_000.0);
+        assert!(!coverage.signal_at(&far).in_coverage());
+        coverage.clear();
+        assert_eq!(coverage.signal_at(&far), SignalStrength::FULL);
+    }
+
+    #[test]
+    fn in_coverage_threshold() {
+        assert!(!SignalStrength::NONE.in_coverage());
+        assert!(SignalStrength(1).in_coverage());
+    }
+}

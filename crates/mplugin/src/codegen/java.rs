@@ -1,0 +1,110 @@
+//! Java snippet generation — the style of the paper's Fig. 8.
+
+use crate::codegen::{class_name, instance_name, render_literal};
+use crate::dialog::ConfigurationDialog;
+
+/// Generates the Java snippet for a completed dialog.
+pub fn generate(dialog: &ConfigurationDialog) -> String {
+    let class = class_name(dialog);
+    let var = instance_name(dialog);
+    let mut out = String::new();
+    out.push_str("try {\n");
+    out.push_str(&format!("    {class} {var} = new {class}();\n"));
+    for property in dialog.properties() {
+        if let Some(value) = property.effective_value() {
+            out.push_str(&format!(
+                "    {var}.setProperty(\"{}\", {});\n",
+                property.name,
+                render_literal(&property.type_name, value)
+            ));
+        }
+    }
+    let args: Vec<String> = dialog
+        .variables()
+        .iter()
+        .map(|v| {
+            render_literal(
+                &v.type_name,
+                v.value.as_deref().unwrap_or("/* unset */"),
+            )
+        })
+        .collect();
+    out.push_str(&format!("    {var}.{}({});\n", dialog.api, args.join(", ")));
+    out.push_str("} catch (Exception e) {\n");
+    out.push_str(&format!(
+        "    // Handle {} specific exceptions:\n",
+        dialog.platform.id()
+    ));
+    for exception in &dialog.exceptions {
+        out.push_str(&format!("    //   {exception}\n"));
+    }
+    out.push_str("}\n");
+    if let Some((type_name, method)) = &dialog.callback {
+        out.push_str(&format!(
+            "\n// Implement {type_name} on the enclosing class:\n"
+        ));
+        out.push_str(&format!(
+            "public void {method}(double refLatitude, double refLongitude, double refAltitude,\n        Location currentLocation, boolean entering) {{\n    /* business logic for handling proximity events */\n}}\n"
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dialog::ConfigurationDialog;
+    use mobivine_proxydl::{catalog, PlatformId};
+
+    fn configured_s60_dialog() -> ConfigurationDialog {
+        let mut dialog = ConfigurationDialog::for_api(
+            &catalog::location(),
+            PlatformId::NokiaS60,
+            "addProximityAlert",
+        )
+        .unwrap();
+        for (name, value) in [
+            ("latitude", "28.5355"),
+            ("longitude", "77.3910"),
+            ("altitude", "0"),
+            ("radius", "100"),
+            ("timer", "-1"),
+            ("proximityListener", "this"),
+        ] {
+            dialog.set_variable(name, value).unwrap();
+        }
+        dialog.set_property("powerConsumption", "Low").unwrap();
+        dialog
+    }
+
+    #[test]
+    fn golden_s60_proximity_snippet() {
+        let source = generate(&configured_s60_dialog());
+        let expected = "try {\n    LocationProxy loc = new LocationProxy();\n    loc.setProperty(\"preferredResponseTime\", -1);\n    loc.setProperty(\"powerConsumption\", \"Low\");\n    loc.setProperty(\"verticalAccuracy\", 50);\n    loc.addProximityAlert(28.5355, 77.3910, 0, 100, -1, this);\n} catch (Exception e) {\n    // Handle s60 specific exceptions:\n    //   javax.microedition.location.LocationException\n    //   java.lang.SecurityException\n    //   java.lang.IllegalArgumentException\n    //   java.lang.NullPointerException\n}\n\n// Implement com.ibm.telecom.proxy.ProximityListener on the enclosing class:\npublic void proximityEvent(double refLatitude, double refLongitude, double refAltitude,\n        Location currentLocation, boolean entering) {\n    /* business logic for handling proximity events */\n}\n";
+        assert_eq!(source, expected);
+    }
+
+    #[test]
+    fn android_snippet_includes_context_property() {
+        let mut dialog = ConfigurationDialog::for_api(
+            &catalog::location(),
+            PlatformId::Android,
+            "getLocation",
+        )
+        .unwrap();
+        dialog.set_property("context", "this").unwrap();
+        dialog.set_property("provider", "gps").unwrap();
+        let source = generate(&dialog);
+        assert!(source.contains("loc.setProperty(\"context\", this);"));
+        assert!(source.contains("loc.setProperty(\"provider\", \"gps\");"));
+        assert!(source.contains("loc.getLocation();"));
+        assert!(source.contains("// Handle android specific exceptions:"));
+        assert!(!source.contains("Implement"), "getLocation has no callback");
+    }
+
+    #[test]
+    fn dialog_source_preview_dispatches_to_java() {
+        let dialog = configured_s60_dialog();
+        assert_eq!(dialog.source_preview().unwrap(), generate(&dialog));
+    }
+}

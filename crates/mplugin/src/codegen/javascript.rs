@@ -1,0 +1,101 @@
+//! JavaScript snippet generation — the style of the paper's Fig. 9.
+
+use crate::codegen::{class_name, instance_name, render_literal};
+use crate::dialog::ConfigurationDialog;
+
+/// Generates the JavaScript snippet for a completed dialog.
+pub fn generate(dialog: &ConfigurationDialog) -> String {
+    let class = class_name(dialog);
+    let var = instance_name(dialog);
+    let mut out = String::new();
+    out.push_str("try {\n");
+    out.push_str(&format!("    var {var} = new {class}();\n"));
+    for property in dialog.properties() {
+        if let Some(value) = property.effective_value() {
+            out.push_str(&format!(
+                "    {var}.setProperty(\"{}\", {});\n",
+                property.name,
+                render_literal(&property.type_name, value)
+            ));
+        }
+    }
+    let args: Vec<String> = dialog
+        .variables()
+        .iter()
+        .map(|v| {
+            let value = v.value.as_deref().unwrap_or("/* unset */");
+            if v.type_name == "function" {
+                value.to_owned()
+            } else {
+                render_literal(&v.type_name, value)
+            }
+        })
+        .collect();
+    out.push_str(&format!("    {var}.{}({});\n", dialog.api, args.join(", ")));
+    out.push_str("} catch (ex) {\n");
+    out.push_str(&format!(
+        "    // Handle {} specific exceptions via ex.errorCode\n",
+        dialog.platform.id()
+    ));
+    out.push_str("}\n");
+    if dialog.callback.is_some() {
+        let callback_name = dialog
+            .variables()
+            .iter()
+            .find(|v| v.type_name == "function")
+            .and_then(|v| v.value.clone())
+            .unwrap_or_else(|| "callback".to_owned());
+        out.push_str(&format!(
+            "\nfunction {callback_name}(refLatitude, refLongitude, refAltitude, currentLocation, entering) {{\n    /* business logic for handling proximity events */\n}}\n"
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dialog::ConfigurationDialog;
+    use mobivine_proxydl::{catalog, PlatformId};
+
+    fn configured_webview_dialog() -> ConfigurationDialog {
+        let mut dialog = ConfigurationDialog::for_api(
+            &catalog::location(),
+            PlatformId::AndroidWebView,
+            "addProximityAlert",
+        )
+        .unwrap();
+        for (name, value) in [
+            ("latitude", "28.5355"),
+            ("longitude", "77.3910"),
+            ("altitude", "0"),
+            ("radius", "100"),
+            ("timer", "-1"),
+            ("proximityListener", "proximityEvent"),
+        ] {
+            dialog.set_variable(name, value).unwrap();
+        }
+        dialog.set_property("provider", "gps").unwrap();
+        dialog
+    }
+
+    #[test]
+    fn golden_webview_proximity_snippet() {
+        let source = generate(&configured_webview_dialog());
+        let expected = "try {\n    var loc = new LocationProxyImpl();\n    loc.setProperty(\"provider\", \"gps\");\n    loc.setProperty(\"pollInterval\", 200);\n    loc.addProximityAlert(28.5355, 77.3910, 0, 100, -1, proximityEvent);\n} catch (ex) {\n    // Handle android-webview specific exceptions via ex.errorCode\n}\n\nfunction proximityEvent(refLatitude, refLongitude, refAltitude, currentLocation, entering) {\n    /* business logic for handling proximity events */\n}\n";
+        assert_eq!(source, expected);
+    }
+
+    #[test]
+    fn callback_values_render_bare() {
+        let source = generate(&configured_webview_dialog());
+        assert!(source.contains(", proximityEvent);"));
+        assert!(!source.contains("\"proximityEvent\""));
+    }
+
+    #[test]
+    fn dialog_source_preview_dispatches_to_javascript() {
+        let dialog = configured_webview_dialog();
+        assert_eq!(dialog.source_preview().unwrap(), generate(&dialog));
+    }
+}

@@ -1,0 +1,93 @@
+//! Snippet generation (M-Proxy configuration, §3.2 feature 3).
+//!
+//! "It also generates code for invoking the configured proxy interface
+//! taking into consideration all user inputs, and offers preview of the
+//! generated code." Two generators exist, one per syntactic-plane
+//! language: [`java`] produces the style of the paper's Fig. 8,
+//! [`javascript`] the style of Fig. 9.
+
+pub mod java;
+pub mod javascript;
+
+use crate::dialog::ConfigurationDialog;
+
+/// The short local-variable name used for the proxy instance
+/// (`loc`, `sms`, …).
+pub(crate) fn instance_name(dialog: &ConfigurationDialog) -> String {
+    let lower = dialog.proxy.to_lowercase();
+    match lower.as_str() {
+        "location" => "loc".to_owned(),
+        other => other.chars().take(4).collect(),
+    }
+}
+
+/// The constructor/class name derived from the binding plane's
+/// implementation module (`com.ibm…LocationProxyImpl` →
+/// `LocationProxyImpl`, `js/proxies/LocationProxyImpl.js` →
+/// `LocationProxyImpl`).
+pub(crate) fn class_name(dialog: &ConfigurationDialog) -> String {
+    let tail = dialog
+        .implementation_class
+        .rsplit(['.', '/'])
+        .find(|seg| !seg.is_empty() && *seg != "js")
+        .unwrap_or(&dialog.implementation_class);
+    tail.to_owned()
+}
+
+/// Renders a variable or property value as a literal of the given
+/// declared type. Object-typed values (the Android `context`, callback
+/// parameters) render bare; strings are quoted; numerics pass through.
+pub(crate) fn render_literal(type_name: &str, value: &str) -> String {
+    let is_stringy = matches!(
+        type_name,
+        "java.lang.String" | "string" | "String"
+    );
+    if is_stringy {
+        format!("\"{value}\"")
+    } else {
+        value.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobivine_proxydl::{catalog, PlatformId};
+
+    #[test]
+    fn class_name_strips_packages_and_extensions() {
+        let dialog = crate::dialog::ConfigurationDialog::for_api(
+            &catalog::location(),
+            PlatformId::Android,
+            "getLocation",
+        )
+        .unwrap();
+        assert_eq!(class_name(&dialog), "LocationProxyImpl");
+        let js = crate::dialog::ConfigurationDialog::for_api(
+            &catalog::location(),
+            PlatformId::AndroidWebView,
+            "getLocation",
+        )
+        .unwrap();
+        assert_eq!(class_name(&js), "LocationProxyImpl.js".trim_end_matches(".js"));
+    }
+
+    #[test]
+    fn instance_names_are_short() {
+        let dialog = crate::dialog::ConfigurationDialog::for_api(
+            &catalog::location(),
+            PlatformId::Android,
+            "getLocation",
+        )
+        .unwrap();
+        assert_eq!(instance_name(&dialog), "loc");
+    }
+
+    #[test]
+    fn literals_quote_strings_only() {
+        assert_eq!(render_literal("java.lang.String", "gps"), "\"gps\"");
+        assert_eq!(render_literal("string", "gps"), "\"gps\"");
+        assert_eq!(render_literal("double", "28.5"), "28.5");
+        assert_eq!(render_literal("object", "this"), "this");
+    }
+}

@@ -1,0 +1,170 @@
+//! A minimal editor-buffer model for snippet insertion.
+//!
+//! "Through the drawer, any proxy API can be added to the code either
+//! by dragging and dropping the corresponding item to the desired
+//! location, or by double clicking the item to insert at the current
+//! cursor location." (paper §4.2, Proxy Drawer) This module models the
+//! target of that interaction: a text buffer with a cursor, into which
+//! the configured snippet is embedded.
+
+use std::fmt;
+
+/// A text buffer with a byte-offset cursor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EditorBuffer {
+    text: String,
+    cursor: usize,
+}
+
+/// Errors from buffer operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EditorError {
+    /// An offset beyond the buffer or not on a character boundary.
+    BadOffset(usize),
+}
+
+impl fmt::Display for EditorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EditorError::BadOffset(o) => write!(f, "offset {o} is not a valid insertion point"),
+        }
+    }
+}
+
+impl std::error::Error for EditorError {}
+
+impl EditorBuffer {
+    /// Opens a buffer with the cursor at the start.
+    pub fn new(text: &str) -> Self {
+        Self {
+            text: text.to_owned(),
+            cursor: 0,
+        }
+    }
+
+    /// The buffer contents.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// The cursor position (byte offset).
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// Moves the cursor.
+    ///
+    /// # Errors
+    ///
+    /// [`EditorError::BadOffset`] if `offset` is out of bounds or not a
+    /// character boundary.
+    pub fn set_cursor(&mut self, offset: usize) -> Result<(), EditorError> {
+        if offset > self.text.len() || !self.text.is_char_boundary(offset) {
+            return Err(EditorError::BadOffset(offset));
+        }
+        self.cursor = offset;
+        Ok(())
+    }
+
+    /// Places the cursor just after the first occurrence of `marker` —
+    /// how a developer positions for insertion inside a method body.
+    ///
+    /// # Errors
+    ///
+    /// [`EditorError::BadOffset`] if the marker is absent.
+    pub fn cursor_after(&mut self, marker: &str) -> Result<(), EditorError> {
+        match self.text.find(marker) {
+            Some(i) => {
+                self.cursor = i + marker.len();
+                Ok(())
+            }
+            None => Err(EditorError::BadOffset(usize::MAX)),
+        }
+    }
+
+    /// Double-click insertion: embeds `snippet` at the cursor, leaving
+    /// the cursor after the inserted text.
+    pub fn insert_at_cursor(&mut self, snippet: &str) {
+        self.text.insert_str(self.cursor, snippet);
+        self.cursor += snippet.len();
+    }
+
+    /// Drag-and-drop insertion: embeds `snippet` at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// [`EditorError::BadOffset`] for invalid drop targets.
+    pub fn insert_at(&mut self, offset: usize, snippet: &str) -> Result<(), EditorError> {
+        if offset > self.text.len() || !self.text.is_char_boundary(offset) {
+            return Err(EditorError::BadOffset(offset));
+        }
+        self.text.insert_str(offset, snippet);
+        if self.cursor >= offset {
+            self.cursor += snippet.len();
+        }
+        Ok(())
+    }
+
+    /// Number of lines in the buffer.
+    pub fn line_count(&self) -> usize {
+        self.text.lines().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dialog::ConfigurationDialog;
+    use mobivine_proxydl::{catalog, PlatformId};
+
+    const APP_SKELETON: &str = "public class WorkForceManagement extends Activity {\n    public void onCreate() {\n        // INSERT HERE\n    }\n}\n";
+
+    #[test]
+    fn double_click_inserts_at_cursor() {
+        let mut buffer = EditorBuffer::new(APP_SKELETON);
+        buffer.cursor_after("// INSERT HERE").unwrap();
+        buffer.insert_at_cursor("\n        int x = 1;");
+        assert!(buffer.text().contains("// INSERT HERE\n        int x = 1;"));
+    }
+
+    #[test]
+    fn drag_drop_inserts_at_offset_and_tracks_cursor() {
+        let mut buffer = EditorBuffer::new("abcdef");
+        buffer.set_cursor(4).unwrap();
+        buffer.insert_at(2, "XY").unwrap();
+        assert_eq!(buffer.text(), "abXYcdef");
+        // Cursor shifted with the insertion before it.
+        assert_eq!(buffer.cursor(), 6);
+        // Insertion after the cursor leaves it alone.
+        buffer.insert_at(7, "Z").unwrap();
+        assert_eq!(buffer.cursor(), 6);
+    }
+
+    #[test]
+    fn invalid_targets_rejected() {
+        let mut buffer = EditorBuffer::new("héllo");
+        assert!(buffer.set_cursor(100).is_err());
+        assert!(buffer.set_cursor(2).is_err(), "inside a multi-byte char");
+        assert!(buffer.insert_at(100, "x").is_err());
+        assert!(buffer.cursor_after("missing").is_err());
+    }
+
+    #[test]
+    fn full_drawer_to_editor_flow() {
+        // The §4.2 interaction: pick an item, configure it, drop the
+        // generated snippet into the open editor.
+        let catalog = catalog::standard_catalog();
+        let descriptor = catalog.iter().find(|d| d.name == "Location").unwrap();
+        let mut dialog =
+            ConfigurationDialog::for_api(descriptor, PlatformId::Android, "getLocation").unwrap();
+        dialog.set_property("context", "this").unwrap();
+        let snippet = dialog.source_preview().unwrap();
+
+        let mut buffer = EditorBuffer::new(APP_SKELETON);
+        buffer.cursor_after("// INSERT HERE").unwrap();
+        buffer.insert_at_cursor(&format!("\n{snippet}"));
+        assert!(buffer.text().contains("loc.getLocation();"));
+        assert!(buffer.text().starts_with("public class WorkForceManagement"));
+        assert!(buffer.line_count() > 10);
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+//! M-Plugin: MobiVine's toolkit-integration layer.
+//!
+//! "The gap between M-Proxies and an existing toolkit is bridged by a
+//! M(obiVine) Plugin" (paper §3.2). The paper implements its plug-ins on
+//! Eclipse; this crate reproduces the plug-in's *model* — everything the
+//! Eclipse UI renders and every transformation it performs — as a
+//! library with golden-text tests:
+//!
+//! - [`drawer`] — the **Proxy Drawer** (Fig. 7(a)): proxies as
+//!   categories, their APIs as items, filtered to the target platform
+//!   (M-Proxy *visibility*);
+//! - [`dialog`] — the **Proxy Configuration** dialog (Fig. 7(b)):
+//!   common-interface *Variables* and platform-specific *Properties*
+//!   with defaults, allowed values and descriptions (M-Proxy
+//!   *presentation* and *configuration*);
+//! - [`codegen`] — snippet generation with source preview, Java-style
+//!   for Android/S60 and JavaScript-style for WebView, matching the
+//!   paper's Figs. 8 and 9;
+//! - [`packaging`] — the **platform-specific extensions** (M-Proxy
+//!   *embedding*): merging proxy jars into the single S60 MIDlet-suite
+//!   jar, classpath integration for Android projects, and JS-proxy
+//!   injection with `addJavaScriptInterface` wiring for WebView
+//!   projects;
+//! - [`manifest`] — the `plugin.xml` contribution model the Snippet
+//!   Contributor extension point consumes.
+
+pub mod codegen;
+pub mod dialog;
+pub mod drawer;
+pub mod editor;
+pub mod manifest;
+pub mod packaging;
+
+pub use dialog::ConfigurationDialog;
+pub use drawer::ProxyDrawer;

@@ -1,0 +1,181 @@
+//! The plug-in contribution manifest.
+//!
+//! "Contents of the drawer, i.e. proxies and APIs in the form of
+//! categories and items respectively, are specified in `plugin.xml`
+//! file of the plug-in" (§4.2). This module renders and parses that
+//! contribution file, in the shape the Eclipse Snippet Contributor
+//! extension point consumes.
+
+use std::fmt;
+
+use mobivine_proxydl::xml::{XmlError, XmlNode};
+use mobivine_proxydl::PlatformId;
+
+use crate::drawer::ProxyDrawer;
+
+/// A parsed or rendered `plugin.xml` contribution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PluginManifest {
+    /// Plug-in identifier, e.g. `com.ibm.mobivine.s60`.
+    pub id: String,
+    /// Target platform.
+    pub platform: PlatformId,
+    /// Contributed categories: `(proxy, apis)`.
+    pub categories: Vec<(String, Vec<String>)>,
+}
+
+/// Error parsing a manifest document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ManifestError {
+    /// The XML did not parse.
+    Xml(XmlError),
+    /// The XML parsed but is not a MobiVine plug-in manifest.
+    Malformed(String),
+}
+
+impl fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManifestError::Xml(e) => write!(f, "{e}"),
+            ManifestError::Malformed(m) => write!(f, "malformed manifest: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+impl PluginManifest {
+    /// Derives the manifest from a drawer — the plug-in build step that
+    /// turns the proxy store into `plugin.xml`.
+    pub fn from_drawer(id: &str, drawer: &ProxyDrawer) -> Self {
+        Self {
+            id: id.to_owned(),
+            platform: drawer.platform().clone(),
+            categories: drawer
+                .categories()
+                .iter()
+                .map(|c| {
+                    (
+                        c.proxy.clone(),
+                        c.items.iter().map(|i| i.api.clone()).collect(),
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Renders the `plugin.xml` text.
+    pub fn render(&self) -> String {
+        let mut extension = XmlNode::new("extension")
+            .attr("point", "org.eclipse.wst.common.snippets.SnippetContributions");
+        for (proxy, apis) in &self.categories {
+            let mut category = XmlNode::new("category")
+                .attr("id", &format!("{}.{}", self.id, proxy.to_lowercase()))
+                .attr("label", proxy);
+            for api in apis {
+                category = category.child(
+                    XmlNode::new("item")
+                        .attr("id", &format!("{}.{}.{}", self.id, proxy.to_lowercase(), api))
+                        .attr("label", api),
+                );
+            }
+            extension = extension.child(category);
+        }
+        XmlNode::new("plugin")
+            .attr("id", &self.id)
+            .attr("platform", self.platform.id())
+            .child(extension)
+            .render()
+    }
+
+    /// Parses a `plugin.xml` text.
+    ///
+    /// # Errors
+    ///
+    /// [`ManifestError`] for XML or structural problems.
+    pub fn parse(text: &str) -> Result<Self, ManifestError> {
+        let root = XmlNode::parse(text).map_err(ManifestError::Xml)?;
+        if root.name != "plugin" {
+            return Err(ManifestError::Malformed(format!(
+                "expected <plugin>, found <{}>",
+                root.name
+            )));
+        }
+        let id = root
+            .attribute("id")
+            .ok_or_else(|| ManifestError::Malformed("plugin missing id".into()))?
+            .to_owned();
+        let platform = PlatformId::from_id(
+            root.attribute("platform")
+                .ok_or_else(|| ManifestError::Malformed("plugin missing platform".into()))?,
+        );
+        let extension = root
+            .find("extension")
+            .ok_or_else(|| ManifestError::Malformed("plugin missing extension".into()))?;
+        let categories = extension
+            .find_all("category")
+            .map(|c| {
+                let label = c.attribute("label").unwrap_or_default().to_owned();
+                let items = c
+                    .find_all("item")
+                    .map(|i| i.attribute("label").unwrap_or_default().to_owned())
+                    .collect();
+                (label, items)
+            })
+            .collect();
+        Ok(Self {
+            id,
+            platform,
+            categories,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobivine_proxydl::catalog::standard_catalog;
+
+    fn manifest() -> PluginManifest {
+        let drawer = ProxyDrawer::from_catalog(&standard_catalog(), PlatformId::NokiaS60);
+        PluginManifest::from_drawer("com.ibm.mobivine.s60", &drawer)
+    }
+
+    #[test]
+    fn derived_from_drawer_excludes_call_on_s60() {
+        let m = manifest();
+        assert!(m.categories.iter().any(|(p, _)| p == "Location"));
+        assert!(!m.categories.iter().any(|(p, _)| p == "Call"));
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let m = manifest();
+        let text = m.render();
+        assert!(text.contains("SnippetContributions"));
+        let back = PluginManifest::parse(&text).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn parse_rejects_non_manifests() {
+        assert!(matches!(
+            PluginManifest::parse("<other/>"),
+            Err(ManifestError::Malformed(_))
+        ));
+        assert!(matches!(
+            PluginManifest::parse("not xml"),
+            Err(ManifestError::Xml(_))
+        ));
+        assert!(matches!(
+            PluginManifest::parse("<plugin id=\"x\" platform=\"s60\"/>"),
+            Err(ManifestError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn item_ids_are_namespaced() {
+        let text = manifest().render();
+        assert!(text.contains("com.ibm.mobivine.s60.location.addProximityAlert"));
+    }
+}

@@ -1,0 +1,217 @@
+//! Platform-specific extensions (M-Proxy embedding, §3.2 feature 4 and
+//! §4.2 "Platform Specific Extensions").
+//!
+//! - **S60**: "functionality is also provided to merge jars of all
+//!   chosen proxies with the application jar before deployment, since
+//!   the platform requires the application to be bundled as a single
+//!   J2ME MIDlet jar" — [`S60Extension`].
+//! - **Android**: "these extensions deal with absorbing the proxy
+//!   implementation jars in the resource structure - including
+//!   classpath - of the corresponding projects" — [`AndroidExtension`].
+//! - **WebView**: "extensions are provided for incorporating JavaScript
+//!   proxy implementations within a WebView project, as well as for
+//!   injecting the associated Java 'Wrapper' objects through the
+//!   `addJavaScriptInterface()` calls" — [`WebViewExtension`].
+
+use std::collections::BTreeSet;
+
+use mobivine_s60::packaging::{Jar, JadDescriptor, MidletSuite, PackagingError};
+
+/// Which proxy interfaces an application selected in the toolkit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProxySelection {
+    /// The chosen proxy names (`Location`, `SMS`, …).
+    pub proxies: Vec<String>,
+}
+
+impl ProxySelection {
+    /// Builds a selection from proxy names.
+    pub fn new(proxies: &[&str]) -> Self {
+        Self {
+            proxies: proxies.iter().map(|p| (*p).to_owned()).collect(),
+        }
+    }
+}
+
+/// The S60 platform-specific extension.
+#[derive(Debug)]
+pub struct S60Extension;
+
+impl S60Extension {
+    /// Produces the implementation jar for one proxy (the proxy
+    /// drawer's "associated implementation modules").
+    pub fn proxy_jar(proxy: &str) -> Jar {
+        let mut jar = Jar::new(&format!("{}-proxy.jar", proxy.to_lowercase()));
+        let class = format!(
+            "com/ibm/S60/{}/{}Proxy.class",
+            proxy.to_lowercase(),
+            proxy
+        );
+        jar.add_entry(&class, format!("{proxy} proxy bytecode").into_bytes())
+            .expect("fresh jar accepts its first entry");
+        jar.add_entry(
+            &format!("com/ibm/telecom/proxy/{proxy}Types.class"),
+            b"common types".to_vec(),
+        )
+        .expect("fresh jar accepts entries");
+        jar
+    }
+
+    /// Merges the selected proxies' jars into the application jar and
+    /// re-derives the descriptor, returning a deployable single-jar
+    /// MIDlet suite.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PackagingError`] on entry conflicts or descriptor
+    /// problems.
+    pub fn package(
+        app_jar: Jar,
+        jad: JadDescriptor,
+        selection: &ProxySelection,
+    ) -> Result<MidletSuite, PackagingError> {
+        let mut merged = app_jar;
+        for proxy in &selection.proxies {
+            merged.merge(&Self::proxy_jar(proxy))?;
+        }
+        let mut jad = jad;
+        jad.jar_size = merged.byte_size();
+        let suite = MidletSuite { jar: merged, jad };
+        suite.validate()?;
+        Ok(suite)
+    }
+}
+
+/// A minimal Android project model (resource structure + classpath).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AndroidProject {
+    /// Project name.
+    pub name: String,
+    /// Classpath entries.
+    pub classpath: Vec<String>,
+    /// Bundled libraries under `libs/`.
+    pub libs: BTreeSet<String>,
+}
+
+/// The Android platform-specific extension.
+#[derive(Debug)]
+pub struct AndroidExtension;
+
+impl AndroidExtension {
+    /// Absorbs the selected proxies' implementation jars into the
+    /// project's resource structure and classpath. Idempotent.
+    pub fn integrate(project: &mut AndroidProject, selection: &ProxySelection) {
+        for proxy in &selection.proxies {
+            let lib = format!("libs/{}-proxy.jar", proxy.to_lowercase());
+            if project.libs.insert(lib.clone()) {
+                project.classpath.push(lib);
+            }
+        }
+    }
+}
+
+/// A minimal WebView project model: HTML pages plus bundled scripts.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WebViewProject {
+    /// Project name.
+    pub name: String,
+    /// Bundled JavaScript files.
+    pub scripts: BTreeSet<String>,
+    /// `addJavaScriptInterface` injection statements the host activity
+    /// must execute.
+    pub injections: Vec<String>,
+}
+
+/// The WebView platform-specific extension.
+#[derive(Debug)]
+pub struct WebViewExtension;
+
+impl WebViewExtension {
+    /// Incorporates the JavaScript proxy implementations and the
+    /// wrapper-injection calls into the project. Idempotent.
+    pub fn integrate(project: &mut WebViewProject, selection: &ProxySelection) {
+        for proxy in &selection.proxies {
+            let script = format!("js/proxies/{proxy}ProxyImpl.js");
+            if project.scripts.insert(script) {
+                project.injections.push(format!(
+                    "webView.addJavascriptInterface(new {proxy}Wrapper(), \"{proxy}Wrapper\");"
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app_jar() -> Jar {
+        let mut jar = Jar::new("wfm.jar");
+        jar.add_entry("com/acme/WorkForceManagement.class", b"app".to_vec())
+            .unwrap();
+        jar
+    }
+
+    #[test]
+    fn s60_merges_selected_proxies_into_single_jar() {
+        let jar = app_jar();
+        let jad = JadDescriptor::for_jar(&jar, "WorkForce", "ACME", "1.0");
+        let suite = S60Extension::package(
+            jar,
+            jad,
+            &ProxySelection::new(&["Location", "SMS", "Http"]),
+        )
+        .unwrap();
+        assert!(suite.jar.contains("com/ibm/S60/location/LocationProxy.class"));
+        assert!(suite.jar.contains("com/ibm/S60/sms/SMSProxy.class"));
+        assert!(suite.jar.contains("com/acme/WorkForceManagement.class"));
+        // The descriptor size was re-derived after the merge.
+        suite.validate().unwrap();
+        assert_eq!(suite.jad.jar_size, suite.jar.byte_size());
+    }
+
+    #[test]
+    fn s60_shared_type_entries_merge_idempotently() {
+        // Both Location and SMS proxies carry common-type classes; the
+        // overlapping entries must merge without conflict... they have
+        // distinct names here, so simulate a duplicate selection.
+        let jar = app_jar();
+        let jad = JadDescriptor::for_jar(&jar, "W", "V", "1.0");
+        let suite = S60Extension::package(
+            jar,
+            jad,
+            &ProxySelection::new(&["Location", "Location"]),
+        )
+        .unwrap();
+        assert!(suite.jar.contains("com/ibm/S60/location/LocationProxy.class"));
+    }
+
+    #[test]
+    fn android_classpath_integration_is_idempotent() {
+        let mut project = AndroidProject {
+            name: "wfm".into(),
+            ..AndroidProject::default()
+        };
+        let selection = ProxySelection::new(&["Location", "SMS"]);
+        AndroidExtension::integrate(&mut project, &selection);
+        AndroidExtension::integrate(&mut project, &selection);
+        assert_eq!(project.classpath.len(), 2);
+        assert!(project.libs.contains("libs/location-proxy.jar"));
+        assert!(project.libs.contains("libs/sms-proxy.jar"));
+    }
+
+    #[test]
+    fn webview_injects_scripts_and_wrappers() {
+        let mut project = WebViewProject {
+            name: "wfm-web".into(),
+            ..WebViewProject::default()
+        };
+        WebViewExtension::integrate(&mut project, &ProxySelection::new(&["SMS", "Location"]));
+        assert!(project.scripts.contains("js/proxies/SMSProxyImpl.js"));
+        assert_eq!(project.injections.len(), 2);
+        assert!(project.injections[0].contains("addJavascriptInterface"));
+        // Idempotent.
+        WebViewExtension::integrate(&mut project, &ProxySelection::new(&["SMS"]));
+        assert_eq!(project.injections.len(), 2);
+    }
+}

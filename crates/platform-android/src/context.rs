@@ -1,0 +1,378 @@
+//! Application context and platform handle.
+//!
+//! On Android every platform interaction is scoped to an application
+//! `Context`: system services are looked up from it, broadcast receivers
+//! are registered on it, and permissions are attached to it. This
+//! context-scoping is exactly the kind of platform-mandated attribute the
+//! M-Proxy model moves out of the common API and into a binding-plane
+//! *property* (paper §4.1, "Handling platform specific attributes as
+//! proxy properties").
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use mobivine_device::Device;
+
+use crate::error::AndroidException;
+use crate::http::HttpClient;
+use crate::intent::{Intent, IntentFilter, IntentReceiver};
+use crate::location::LocationManager;
+use crate::permissions::{Permission, PermissionSet};
+use crate::telephony::{Phone, SmsManager};
+use crate::version::SdkVersion;
+
+/// The string names accepted by [`Context::get_system_service`], as on
+/// the real platform (`Context.LOCATION_SERVICE` etc.).
+pub mod service_names {
+    /// Location system service.
+    pub const LOCATION_SERVICE: &str = "location";
+    /// Telephony (phone call) system service.
+    pub const PHONE_SERVICE: &str = "phone";
+    /// SMS system service.
+    pub const SMS_SERVICE: &str = "sms";
+}
+
+/// A system service handle returned by [`Context::get_system_service`].
+#[derive(Debug)]
+pub enum SystemService {
+    /// The location manager.
+    Location(LocationManager),
+    /// The phone-call interface.
+    Phone(Phone),
+    /// The SMS manager.
+    Sms(SmsManager),
+}
+
+/// The simulated Android installation: one device plus the SDK version
+/// and application permissions. Create [`Context`]s from it.
+#[derive(Clone)]
+pub struct AndroidPlatform {
+    device: Device,
+    version: SdkVersion,
+    permissions: Arc<PermissionSet>,
+}
+
+impl fmt::Debug for AndroidPlatform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AndroidPlatform")
+            .field("version", &self.version)
+            .finish()
+    }
+}
+
+impl AndroidPlatform {
+    /// Boots the platform on `device` at the given SDK version with all
+    /// permissions granted (the common case in the paper's examples; use
+    /// [`AndroidPlatform::with_permissions`] to test denials).
+    pub fn new(device: Device, version: SdkVersion) -> Self {
+        Self {
+            device,
+            version,
+            permissions: Arc::new(PermissionSet::all_granted()),
+        }
+    }
+
+    /// Boots the platform with an explicit permission set.
+    pub fn with_permissions(device: Device, version: SdkVersion, permissions: PermissionSet) -> Self {
+        Self {
+            device,
+            version,
+            permissions: Arc::new(permissions),
+        }
+    }
+
+    /// The underlying simulated handset.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// The emulated SDK version.
+    pub fn version(&self) -> SdkVersion {
+        self.version
+    }
+
+    /// Creates an application context.
+    pub fn new_context(&self) -> Context {
+        Context {
+            inner: Arc::new(ContextInner {
+                device: self.device.clone(),
+                version: self.version,
+                permissions: Arc::clone(&self.permissions),
+                receivers: Mutex::new(Vec::new()),
+                next_receiver_id: Mutex::new(0),
+                proximity_alerts: Arc::new(Mutex::new(Vec::new())),
+            }),
+        }
+    }
+}
+
+struct RegisteredReceiver {
+    id: u64,
+    filter: IntentFilter,
+    receiver: Arc<dyn IntentReceiver>,
+}
+
+struct ContextInner {
+    device: Device,
+    version: SdkVersion,
+    permissions: Arc<PermissionSet>,
+    receivers: Mutex<Vec<RegisteredReceiver>>,
+    next_receiver_id: Mutex<u64>,
+    // The location system service's proximity-alert registry: shared by
+    // every LocationManager handle looked up from this context, exactly
+    // as a real system service would be.
+    proximity_alerts: Arc<Mutex<Vec<crate::location::AlertBookkeeping>>>,
+}
+
+/// Handle returned by [`Context::register_receiver`]; pass to
+/// [`Context::unregister_receiver`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReceiverHandle(u64);
+
+/// An application context. Cheap to clone; clones share registration
+/// state.
+///
+/// # Example
+///
+/// ```
+/// use mobivine_android::{AndroidPlatform, SdkVersion};
+/// use mobivine_android::context::{service_names, SystemService};
+/// use mobivine_device::Device;
+///
+/// let platform = AndroidPlatform::new(Device::builder().build(), SdkVersion::M5Rc15);
+/// let context = platform.new_context();
+/// let service = context.get_system_service(service_names::LOCATION_SERVICE).unwrap();
+/// assert!(matches!(service, SystemService::Location(_)));
+/// ```
+#[derive(Clone)]
+pub struct Context {
+    inner: Arc<ContextInner>,
+}
+
+impl fmt::Debug for Context {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Context")
+            .field("version", &self.inner.version)
+            .field("receivers", &self.inner.receivers.lock().len())
+            .finish()
+    }
+}
+
+impl Context {
+    /// The simulated handset behind this context.
+    pub fn device(&self) -> &Device {
+        &self.inner.device
+    }
+
+    /// The SDK version in force.
+    pub fn version(&self) -> SdkVersion {
+        self.inner.version
+    }
+
+    /// Checks whether the application holds `permission`.
+    pub fn check_permission(&self, permission: Permission) -> bool {
+        self.inner.permissions.is_granted(permission)
+    }
+
+    /// Asserts that `permission` is held.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AndroidException::Security`] naming the missing
+    /// permission otherwise.
+    pub fn enforce_permission(&self, permission: Permission) -> Result<(), AndroidException> {
+        if self.check_permission(permission) {
+            Ok(())
+        } else {
+            Err(AndroidException::Security(format!(
+                "requires {}",
+                permission.manifest_name()
+            )))
+        }
+    }
+
+    /// Looks up a system service by name, as
+    /// `Context.getSystemService(...)` does.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AndroidException::IllegalArgument`] for unknown names.
+    pub fn get_system_service(&self, name: &str) -> Result<SystemService, AndroidException> {
+        match name {
+            service_names::LOCATION_SERVICE => {
+                Ok(SystemService::Location(LocationManager::new(self.clone())))
+            }
+            service_names::PHONE_SERVICE => Ok(SystemService::Phone(Phone::new(self.clone()))),
+            service_names::SMS_SERVICE => Ok(SystemService::Sms(SmsManager::new(self.clone()))),
+            other => Err(AndroidException::IllegalArgument(format!(
+                "unknown system service '{other}'"
+            ))),
+        }
+    }
+
+    /// Typed shortcut for the location service.
+    pub fn location_manager(&self) -> LocationManager {
+        LocationManager::new(self.clone())
+    }
+
+    /// Typed shortcut for the SMS service.
+    pub fn sms_manager(&self) -> SmsManager {
+        SmsManager::new(self.clone())
+    }
+
+    /// Typed shortcut for the phone service.
+    pub fn phone(&self) -> Phone {
+        Phone::new(self.clone())
+    }
+
+    /// Creates an HTTP client (Apache-HttpClient style, not a system
+    /// service on the real platform either).
+    pub fn http_client(&self) -> HttpClient {
+        HttpClient::new(self.clone())
+    }
+
+    /// Registers `receiver` for intents matching `filter`.
+    pub fn register_receiver(
+        &self,
+        receiver: Arc<dyn IntentReceiver>,
+        filter: IntentFilter,
+    ) -> ReceiverHandle {
+        let mut next = self.inner.next_receiver_id.lock();
+        *next += 1;
+        let id = *next;
+        drop(next);
+        self.inner.receivers.lock().push(RegisteredReceiver {
+            id,
+            filter,
+            receiver,
+        });
+        ReceiverHandle(id)
+    }
+
+    /// Unregisters a receiver. Returns `true` if it was registered.
+    pub fn unregister_receiver(&self, handle: ReceiverHandle) -> bool {
+        let mut receivers = self.inner.receivers.lock();
+        let before = receivers.len();
+        receivers.retain(|r| r.id != handle.0);
+        receivers.len() != before
+    }
+
+    /// The shared proximity-alert registry backing every
+    /// [`LocationManager`] handle from this context.
+    pub(crate) fn proximity_alerts(
+        &self,
+    ) -> Arc<Mutex<Vec<crate::location::AlertBookkeeping>>> {
+        Arc::clone(&self.inner.proximity_alerts)
+    }
+
+    /// Broadcasts `intent` to every matching receiver registered on this
+    /// context. Returns the number of receivers that saw it.
+    pub fn broadcast(&self, intent: &Intent) -> usize {
+        // Snapshot matching receivers so callbacks may (un)register
+        // without deadlocking.
+        let matching: Vec<Arc<dyn IntentReceiver>> = self
+            .inner
+            .receivers
+            .lock()
+            .iter()
+            .filter(|r| r.filter.matches(intent))
+            .map(|r| Arc::clone(&r.receiver))
+            .collect();
+        for receiver in &matching {
+            receiver.on_receive_intent(self, intent);
+        }
+        matching.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct CountingReceiver(AtomicUsize);
+
+    impl IntentReceiver for CountingReceiver {
+        fn on_receive_intent(&self, _ctxt: &Context, _intent: &Intent) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn context() -> Context {
+        AndroidPlatform::new(Device::builder().build(), SdkVersion::M5Rc15).new_context()
+    }
+
+    #[test]
+    fn broadcast_reaches_matching_receivers_only() {
+        let ctx = context();
+        let hit = Arc::new(CountingReceiver(AtomicUsize::new(0)));
+        let miss = Arc::new(CountingReceiver(AtomicUsize::new(0)));
+        ctx.register_receiver(Arc::clone(&hit) as _, IntentFilter::new("yes"));
+        ctx.register_receiver(Arc::clone(&miss) as _, IntentFilter::new("no"));
+        let n = ctx.broadcast(&Intent::new("yes"));
+        assert_eq!(n, 1);
+        assert_eq!(hit.0.load(Ordering::SeqCst), 1);
+        assert_eq!(miss.0.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn unregister_stops_delivery() {
+        let ctx = context();
+        let r = Arc::new(CountingReceiver(AtomicUsize::new(0)));
+        let handle = ctx.register_receiver(Arc::clone(&r) as _, IntentFilter::new("a"));
+        assert!(ctx.unregister_receiver(handle));
+        assert!(!ctx.unregister_receiver(handle));
+        ctx.broadcast(&Intent::new("a"));
+        assert_eq!(r.0.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn unknown_service_name_is_illegal_argument() {
+        let err = context().get_system_service("bogus").unwrap_err();
+        assert!(matches!(err, AndroidException::IllegalArgument(_)));
+    }
+
+    #[test]
+    fn known_service_names_resolve() {
+        let ctx = context();
+        assert!(matches!(
+            ctx.get_system_service(service_names::LOCATION_SERVICE),
+            Ok(SystemService::Location(_))
+        ));
+        assert!(matches!(
+            ctx.get_system_service(service_names::PHONE_SERVICE),
+            Ok(SystemService::Phone(_))
+        ));
+        assert!(matches!(
+            ctx.get_system_service(service_names::SMS_SERVICE),
+            Ok(SystemService::Sms(_))
+        ));
+    }
+
+    #[test]
+    fn enforce_permission_names_the_missing_permission() {
+        let platform = AndroidPlatform::with_permissions(
+            Device::builder().build(),
+            SdkVersion::M5Rc15,
+            PermissionSet::new(),
+        );
+        let ctx = platform.new_context();
+        let err = ctx.enforce_permission(Permission::SendSms).unwrap_err();
+        assert_eq!(
+            err,
+            AndroidException::Security("requires android.permission.SEND_SMS".into())
+        );
+    }
+
+    #[test]
+    fn context_clones_share_receivers() {
+        let ctx = context();
+        let twin = ctx.clone();
+        let r = Arc::new(CountingReceiver(AtomicUsize::new(0)));
+        ctx.register_receiver(Arc::clone(&r) as _, IntentFilter::new("a"));
+        twin.broadcast(&Intent::new("a"));
+        assert_eq!(r.0.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,88 @@
+//! Android-flavoured exceptions.
+//!
+//! The binding plane of an M-Proxy records "the list of exceptions that
+//! are thrown on this platform" (paper §3.1). These are Android's.
+
+use std::fmt;
+
+/// Exceptions thrown by the simulated Android platform interfaces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AndroidException {
+    /// `java.lang.SecurityException` — the calling application lacks a
+    /// manifest permission.
+    Security(String),
+    /// `java.lang.IllegalArgumentException` — a malformed argument.
+    IllegalArgument(String),
+    /// `android.os.RemoteException` — the system service failed.
+    Remote(String),
+    /// `java.io.IOException` — an I/O failure (HTTP transport, SMS radio).
+    Io(String),
+    /// The API does not exist in the running SDK version. Used to model
+    /// the m5-rc15 → 1.0 signature change of `addProximityAlert`: code
+    /// written against the old signature "does not compile" against 1.0,
+    /// which in this simulation surfaces as a hard runtime error.
+    ApiRemoved {
+        /// The missing API's name.
+        api: &'static str,
+        /// The SDK version in force.
+        version: crate::version::SdkVersion,
+    },
+}
+
+impl AndroidException {
+    /// The Java class name the paper's code fragments would catch.
+    pub fn java_class(&self) -> &'static str {
+        match self {
+            AndroidException::Security(_) => "java.lang.SecurityException",
+            AndroidException::IllegalArgument(_) => "java.lang.IllegalArgumentException",
+            AndroidException::Remote(_) => "android.os.RemoteException",
+            AndroidException::Io(_) => "java.io.IOException",
+            AndroidException::ApiRemoved { .. } => "java.lang.NoSuchMethodError",
+        }
+    }
+}
+
+impl fmt::Display for AndroidException {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AndroidException::Security(m) => write!(f, "security exception: {m}"),
+            AndroidException::IllegalArgument(m) => write!(f, "illegal argument: {m}"),
+            AndroidException::Remote(m) => write!(f, "remote exception: {m}"),
+            AndroidException::Io(m) => write!(f, "io exception: {m}"),
+            AndroidException::ApiRemoved { api, version } => {
+                write!(f, "api {api} does not exist in sdk {version}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AndroidException {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::version::SdkVersion;
+
+    #[test]
+    fn java_class_names_are_correct() {
+        assert_eq!(
+            AndroidException::Security("x".into()).java_class(),
+            "java.lang.SecurityException"
+        );
+        assert_eq!(
+            AndroidException::Io("x".into()).java_class(),
+            "java.io.IOException"
+        );
+    }
+
+    #[test]
+    fn display_mentions_api_and_version() {
+        let e = AndroidException::ApiRemoved {
+            api: "addProximityAlert(Intent)",
+            version: SdkVersion::V1_0,
+        };
+        let s = e.to_string();
+        assert!(s.contains("addProximityAlert"));
+        assert!(s.contains("1.0"));
+    }
+}

@@ -1,0 +1,216 @@
+//! Intents, intent filters, and broadcast receivers.
+//!
+//! Android's event mechanism: components broadcast [`Intent`]s; an
+//! [`IntentReceiver`] registered with a matching [`IntentFilter`]
+//! receives them. Proximity alerts are delivered this way, which is the
+//! syntactic fragmentation the paper highlights — S60 instead uses a
+//! listener object with a `proximityEvent` method.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A typed extra attached to an [`Intent`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Extra {
+    /// Boolean extra (`getBooleanExtra`).
+    Bool(bool),
+    /// 32-bit integer extra.
+    Int(i32),
+    /// 64-bit integer extra.
+    Long(i64),
+    /// Double extra.
+    Double(f64),
+    /// String extra.
+    Str(String),
+}
+
+/// An Android intent: an action string plus typed extras.
+///
+/// # Example
+///
+/// ```
+/// use mobivine_android::intent::Intent;
+///
+/// let intent = Intent::new("com.ibm.proxies.android.intent.action.PROXIMITY_ALERT")
+///     .with_bool_extra("entering", true);
+/// assert_eq!(intent.get_boolean_extra("entering", false), true);
+/// assert_eq!(intent.get_boolean_extra("missing", false), false);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Intent {
+    action: String,
+    extras: HashMap<String, Extra>,
+}
+
+impl Intent {
+    /// Creates an intent with the given action string.
+    pub fn new(action: &str) -> Self {
+        Self {
+            action: action.to_owned(),
+            extras: HashMap::new(),
+        }
+    }
+
+    /// The action string (`getAction`).
+    pub fn action(&self) -> &str {
+        &self.action
+    }
+
+    /// Adds a boolean extra, returning `self` for chaining.
+    pub fn with_bool_extra(mut self, key: &str, value: bool) -> Self {
+        self.extras.insert(key.to_owned(), Extra::Bool(value));
+        self
+    }
+
+    /// Adds an integer extra.
+    pub fn with_int_extra(mut self, key: &str, value: i32) -> Self {
+        self.extras.insert(key.to_owned(), Extra::Int(value));
+        self
+    }
+
+    /// Adds a long extra.
+    pub fn with_long_extra(mut self, key: &str, value: i64) -> Self {
+        self.extras.insert(key.to_owned(), Extra::Long(value));
+        self
+    }
+
+    /// Adds a double extra.
+    pub fn with_double_extra(mut self, key: &str, value: f64) -> Self {
+        self.extras.insert(key.to_owned(), Extra::Double(value));
+        self
+    }
+
+    /// Adds a string extra.
+    pub fn with_string_extra(mut self, key: &str, value: &str) -> Self {
+        self.extras
+            .insert(key.to_owned(), Extra::Str(value.to_owned()));
+        self
+    }
+
+    /// `getBooleanExtra(key, default)`.
+    pub fn get_boolean_extra(&self, key: &str, default: bool) -> bool {
+        match self.extras.get(key) {
+            Some(Extra::Bool(b)) => *b,
+            _ => default,
+        }
+    }
+
+    /// `getIntExtra(key, default)`.
+    pub fn get_int_extra(&self, key: &str, default: i32) -> i32 {
+        match self.extras.get(key) {
+            Some(Extra::Int(i)) => *i,
+            _ => default,
+        }
+    }
+
+    /// `getLongExtra(key, default)`.
+    pub fn get_long_extra(&self, key: &str, default: i64) -> i64 {
+        match self.extras.get(key) {
+            Some(Extra::Long(l)) => *l,
+            _ => default,
+        }
+    }
+
+    /// `getDoubleExtra(key, default)`.
+    pub fn get_double_extra(&self, key: &str, default: f64) -> f64 {
+        match self.extras.get(key) {
+            Some(Extra::Double(d)) => *d,
+            _ => default,
+        }
+    }
+
+    /// `getStringExtra(key)`.
+    pub fn get_string_extra(&self, key: &str) -> Option<&str> {
+        match self.extras.get(key) {
+            Some(Extra::Str(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Intent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Intent({})", self.action)
+    }
+}
+
+/// A filter matching intents by action string.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IntentFilter {
+    actions: Vec<String>,
+}
+
+impl IntentFilter {
+    /// A filter matching a single action.
+    pub fn new(action: &str) -> Self {
+        Self {
+            actions: vec![action.to_owned()],
+        }
+    }
+
+    /// Adds another matching action.
+    pub fn add_action(&mut self, action: &str) -> &mut Self {
+        self.actions.push(action.to_owned());
+        self
+    }
+
+    /// Whether this filter matches `intent`.
+    pub fn matches(&self, intent: &Intent) -> bool {
+        self.actions.iter().any(|a| a == intent.action())
+    }
+}
+
+/// A broadcast receiver (`onReceiveIntent` in SDK m5-rc15 naming).
+///
+/// Implementations must be `Send + Sync`; the platform invokes them while
+/// pumping the device event queue.
+pub trait IntentReceiver: Send + Sync {
+    /// Called when a broadcast intent matches the receiver's filter.
+    /// `ctxt` is the context the receiver was registered on.
+    fn on_receive_intent(&self, ctxt: &crate::context::Context, intent: &Intent);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_extras_round_trip() {
+        let i = Intent::new("a")
+            .with_bool_extra("b", true)
+            .with_int_extra("i", -4)
+            .with_long_extra("l", 1 << 40)
+            .with_double_extra("d", 2.5)
+            .with_string_extra("s", "hey");
+        assert!(i.get_boolean_extra("b", false));
+        assert_eq!(i.get_int_extra("i", 0), -4);
+        assert_eq!(i.get_long_extra("l", 0), 1 << 40);
+        assert_eq!(i.get_double_extra("d", 0.0), 2.5);
+        assert_eq!(i.get_string_extra("s"), Some("hey"));
+    }
+
+    #[test]
+    fn missing_or_mistyped_extra_returns_default() {
+        let i = Intent::new("a").with_int_extra("i", 3);
+        assert_eq!(i.get_int_extra("nope", 9), 9);
+        // Type mismatch also falls back to the default.
+        assert!(!i.get_boolean_extra("i", false));
+        assert_eq!(i.get_string_extra("i"), None);
+    }
+
+    #[test]
+    fn filter_matches_by_action() {
+        let f = IntentFilter::new("x.ACTION");
+        assert!(f.matches(&Intent::new("x.ACTION")));
+        assert!(!f.matches(&Intent::new("y.ACTION")));
+    }
+
+    #[test]
+    fn filter_with_multiple_actions() {
+        let mut f = IntentFilter::new("a");
+        f.add_action("b");
+        assert!(f.matches(&Intent::new("a")));
+        assert!(f.matches(&Intent::new("b")));
+        assert!(!f.matches(&Intent::new("c")));
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+//! Simulated Android platform middleware.
+//!
+//! Reproduces the *native* Android programming model that MobiVine's
+//! Android M-Proxies bind to (paper §2, Fig. 2(a) and §4.1):
+//!
+//! - application [`context::Context`] with a system-service registry and a
+//!   manifest-style permission model,
+//! - [`intent::Intent`] / [`intent::IntentFilter`] / broadcast receivers —
+//!   the callback mechanism `addProximityAlert` uses,
+//! - [`location::LocationManager`] with proximity alerts that deliver
+//!   *enter and exit* events repeatedly until an expiration time (the
+//!   semantics S60 lacks),
+//! - [`telephony::SmsManager`] and the `IPhone`-flavoured
+//!   [`telephony::Phone`] call interface,
+//! - an Apache-HttpClient-flavoured [`http::HttpClient`],
+//! - [`activity::Activity`] lifecycle management, and
+//! - [`version::SdkVersion`] capturing the m5-rc15 → 1.0 evolution of
+//!   `addProximityAlert` (`Intent` → `PendingIntent`) that the paper's
+//!   maintenance evaluation builds on.
+//!
+//! Everything runs against the shared simulated handset from
+//! [`mobivine_device`].
+
+pub mod activity;
+pub mod context;
+pub mod error;
+pub mod http;
+pub mod intent;
+pub mod location;
+pub mod pending_intent;
+pub mod permissions;
+pub mod telephony;
+pub mod version;
+
+pub use context::{AndroidPlatform, Context};
+pub use error::AndroidException;
+pub use version::SdkVersion;

@@ -1,0 +1,55 @@
+//! `PendingIntent` — the Android 1.0 wrapper around an [`Intent`].
+//!
+//! Android 1.0 changed `addProximityAlert` to accept a `PendingIntent`
+//! instead of a raw `Intent` (paper §5, Maintenance). A pending intent is
+//! a token that lets the system fire the wrapped intent later on the
+//! application's behalf.
+
+use crate::intent::Intent;
+
+/// A handle that allows the platform to broadcast the wrapped intent at
+/// a later time.
+///
+/// # Example
+///
+/// ```
+/// use mobivine_android::intent::Intent;
+/// use mobivine_android::pending_intent::PendingIntent;
+///
+/// let pi = PendingIntent::get_broadcast(Intent::new("x.PROXIMITY"));
+/// assert_eq!(pi.intent().action(), "x.PROXIMITY");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingIntent {
+    intent: Intent,
+}
+
+impl PendingIntent {
+    /// Wraps `intent` for later broadcast (mirrors
+    /// `PendingIntent.getBroadcast`).
+    pub fn get_broadcast(intent: Intent) -> Self {
+        Self { intent }
+    }
+
+    /// The wrapped intent.
+    pub fn intent(&self) -> &Intent {
+        &self.intent
+    }
+
+    /// Consumes the wrapper and returns the intent.
+    pub fn into_intent(self) -> Intent {
+        self.intent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_and_unwraps() {
+        let pi = PendingIntent::get_broadcast(Intent::new("a").with_int_extra("k", 1));
+        assert_eq!(pi.intent().get_int_extra("k", 0), 1);
+        assert_eq!(pi.into_intent().action(), "a");
+    }
+}

@@ -1,0 +1,141 @@
+//! Manifest-style permissions.
+//!
+//! Android gates platform interfaces behind permissions declared in an
+//! application's manifest; calling a gated interface without the
+//! permission throws `SecurityException` — one of the exception-set
+//! differences the M-Proxy binding plane records.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use parking_lot::RwLock;
+
+/// Permissions understood by the simulated platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Permission {
+    /// `android.permission.ACCESS_FINE_LOCATION`.
+    AccessFineLocation,
+    /// `android.permission.SEND_SMS`.
+    SendSms,
+    /// `android.permission.RECEIVE_SMS`.
+    ReceiveSms,
+    /// `android.permission.CALL_PHONE`.
+    CallPhone,
+    /// `android.permission.INTERNET`.
+    Internet,
+    /// `android.permission.READ_CONTACTS`.
+    ReadContacts,
+    /// `android.permission.READ_CALENDAR`.
+    ReadCalendar,
+}
+
+impl Permission {
+    /// The manifest string for this permission.
+    pub fn manifest_name(&self) -> &'static str {
+        match self {
+            Permission::AccessFineLocation => "android.permission.ACCESS_FINE_LOCATION",
+            Permission::SendSms => "android.permission.SEND_SMS",
+            Permission::ReceiveSms => "android.permission.RECEIVE_SMS",
+            Permission::CallPhone => "android.permission.CALL_PHONE",
+            Permission::Internet => "android.permission.INTERNET",
+            Permission::ReadContacts => "android.permission.READ_CONTACTS",
+            Permission::ReadCalendar => "android.permission.READ_CALENDAR",
+        }
+    }
+}
+
+impl fmt::Display for Permission {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.manifest_name())
+    }
+}
+
+/// The set of permissions granted to an application context.
+///
+/// # Example
+///
+/// ```
+/// use mobivine_android::permissions::{Permission, PermissionSet};
+///
+/// let perms = PermissionSet::new();
+/// perms.grant(Permission::SendSms);
+/// assert!(perms.is_granted(Permission::SendSms));
+/// assert!(!perms.is_granted(Permission::CallPhone));
+/// ```
+#[derive(Debug, Default)]
+pub struct PermissionSet {
+    granted: RwLock<HashSet<Permission>>,
+}
+
+impl PermissionSet {
+    /// Creates an empty (nothing granted) set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a set with every permission granted (the common test
+    /// fixture).
+    pub fn all_granted() -> Self {
+        let set = Self::new();
+        for p in [
+            Permission::AccessFineLocation,
+            Permission::SendSms,
+            Permission::ReceiveSms,
+            Permission::CallPhone,
+            Permission::Internet,
+            Permission::ReadContacts,
+            Permission::ReadCalendar,
+        ] {
+            set.grant(p);
+        }
+        set
+    }
+
+    /// Grants a permission.
+    pub fn grant(&self, permission: Permission) {
+        self.granted.write().insert(permission);
+    }
+
+    /// Revokes a permission.
+    pub fn revoke(&self, permission: Permission) {
+        self.granted.write().remove(&permission);
+    }
+
+    /// Returns `true` if `permission` is granted.
+    pub fn is_granted(&self, permission: Permission) -> bool {
+        self.granted.read().contains(&permission)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grant_and_revoke() {
+        let set = PermissionSet::new();
+        assert!(!set.is_granted(Permission::Internet));
+        set.grant(Permission::Internet);
+        assert!(set.is_granted(Permission::Internet));
+        set.revoke(Permission::Internet);
+        assert!(!set.is_granted(Permission::Internet));
+    }
+
+    #[test]
+    fn all_granted_includes_everything() {
+        let set = PermissionSet::all_granted();
+        assert!(set.is_granted(Permission::AccessFineLocation));
+        assert!(set.is_granted(Permission::ReadCalendar));
+    }
+
+    #[test]
+    fn manifest_names_use_android_prefix() {
+        assert_eq!(
+            Permission::SendSms.manifest_name(),
+            "android.permission.SEND_SMS"
+        );
+        assert!(Permission::CallPhone
+            .to_string()
+            .starts_with("android.permission."));
+    }
+}

@@ -1,0 +1,69 @@
+//! SDK versioning.
+//!
+//! The paper's maintenance argument (§5): "the new release 1.0 of Android
+//! platform takes a `PendingIntent` object in `addProximityAlert` API,
+//! instead of an `Intent` object. ... using our approach, the differences
+//! can be absorbed inside proxies for this version of the platform,
+//! thereby requiring no changes in the application."
+
+use std::fmt;
+
+/// The Android SDK release the simulated platform emulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SdkVersion {
+    /// SDK m5-rc15 — the release the paper's proxies were developed on.
+    /// `addProximityAlert` takes an `Intent`.
+    #[default]
+    M5Rc15,
+    /// Android 1.0 — `addProximityAlert` takes a `PendingIntent`.
+    V1_0,
+}
+
+impl SdkVersion {
+    /// Whether `LocationManager::add_proximity_alert` (the `Intent`
+    /// overload) exists in this release.
+    pub fn has_intent_proximity_api(&self) -> bool {
+        matches!(self, SdkVersion::M5Rc15)
+    }
+
+    /// Whether `LocationManager::add_proximity_alert_pending` (the
+    /// `PendingIntent` overload) exists in this release.
+    pub fn has_pending_intent_proximity_api(&self) -> bool {
+        matches!(self, SdkVersion::V1_0)
+    }
+}
+
+impl fmt::Display for SdkVersion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SdkVersion::M5Rc15 => write!(f, "m5-rc15"),
+            SdkVersion::V1_0 => write!(f, "1.0"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_one_proximity_overload_per_version() {
+        for v in [SdkVersion::M5Rc15, SdkVersion::V1_0] {
+            assert_ne!(
+                v.has_intent_proximity_api(),
+                v.has_pending_intent_proximity_api()
+            );
+        }
+    }
+
+    #[test]
+    fn default_is_the_papers_sdk() {
+        assert_eq!(SdkVersion::default(), SdkVersion::M5Rc15);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(SdkVersion::M5Rc15.to_string(), "m5-rc15");
+        assert_eq!(SdkVersion::V1_0.to_string(), "1.0");
+    }
+}

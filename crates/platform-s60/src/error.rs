@@ -1,0 +1,82 @@
+//! S60/J2ME-flavoured exceptions.
+//!
+//! The paper's motivating comparison (§2) shows that
+//! `LocationProvider.addProximityListener` on S60 throws
+//! `SecurityException, LocationException, IllegalArgumentException,
+//! NullPointerException` — a different exception set from Android's,
+//! which the M-Proxy binding plane records per platform.
+
+use std::fmt;
+
+/// Exceptions thrown by the simulated S60 platform interfaces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum S60Exception {
+    /// `javax.microedition.location.LocationException` — provider cannot
+    /// be created or has run out of resources.
+    Location(String),
+    /// `java.lang.SecurityException` — the user or policy denied the
+    /// API permission prompt.
+    Security(String),
+    /// `java.lang.IllegalArgumentException`.
+    IllegalArgument(String),
+    /// `java.lang.NullPointerException` — kept for binding-plane
+    /// fidelity; Rust's type system prevents it arising in this
+    /// simulation, but proxy descriptors list it.
+    NullPointer(String),
+    /// `java.io.IOException` — connector/messaging/HTTP failures.
+    Io(String),
+    /// `java.lang.InterruptedException` — blocking call interrupted.
+    Interrupted(String),
+}
+
+impl S60Exception {
+    /// The Java class name the paper's code fragments would catch.
+    pub fn java_class(&self) -> &'static str {
+        match self {
+            S60Exception::Location(_) => "javax.microedition.location.LocationException",
+            S60Exception::Security(_) => "java.lang.SecurityException",
+            S60Exception::IllegalArgument(_) => "java.lang.IllegalArgumentException",
+            S60Exception::NullPointer(_) => "java.lang.NullPointerException",
+            S60Exception::Io(_) => "java.io.IOException",
+            S60Exception::Interrupted(_) => "java.lang.InterruptedException",
+        }
+    }
+}
+
+impl fmt::Display for S60Exception {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            S60Exception::Location(m) => write!(f, "location exception: {m}"),
+            S60Exception::Security(m) => write!(f, "security exception: {m}"),
+            S60Exception::IllegalArgument(m) => write!(f, "illegal argument: {m}"),
+            S60Exception::NullPointer(m) => write!(f, "null pointer: {m}"),
+            S60Exception::Io(m) => write!(f, "io exception: {m}"),
+            S60Exception::Interrupted(m) => write!(f, "interrupted: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for S60Exception {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn java_class_names() {
+        assert_eq!(
+            S60Exception::Location("x".into()).java_class(),
+            "javax.microedition.location.LocationException"
+        );
+        assert_eq!(
+            S60Exception::Security("x".into()).java_class(),
+            "java.lang.SecurityException"
+        );
+    }
+
+    #[test]
+    fn display_is_lowercase_prose() {
+        let s = S60Exception::Io("socket closed".into()).to_string();
+        assert_eq!(s, "io exception: socket closed");
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+//! Simulated Nokia S60 (J2ME/MIDP) platform middleware.
+//!
+//! Reproduces the *native* S60 programming model the paper's S60
+//! M-Proxies bind to (§2, Fig. 2(b) and §4.1):
+//!
+//! - [`midlet::Midlet`] lifecycle — "on S60, [the application] needs to
+//!   extend the MIDlet class",
+//! - JSR-179-style [`location`]: `LocationProvider` instances obtained
+//!   through a [`location::Criteria`] (accuracy, response time, power
+//!   consumption), listener-object callbacks, and **single-shot**
+//!   proximity registration — entering fires once and the listener is
+//!   automatically removed; there are no exit events and no expiration,
+//!   the exact semantic gaps the paper's Fig. 2(b) works around by hand,
+//! - JSR-120-style [`messaging`] (`Connector.open("sms://…")`,
+//!   `MessageConnection`, `TextMessage`),
+//! - `javax.microedition.io`-style [`io`] (`HttpConnection`),
+//! - [`packaging`] — the single-jar MIDlet-suite deployment model with
+//!   JAD descriptors, OTA properties and permission requests that the
+//!   MobiVine plug-in's platform-specific extension must merge proxy
+//!   jars into, and
+//! - prompt-based [`permissions`] with `SecurityException` on denial.
+
+pub mod error;
+pub mod io;
+pub mod location;
+pub mod messaging;
+pub mod midlet;
+pub mod ota;
+pub mod packaging;
+pub mod permissions;
+pub mod platform;
+
+pub use error::S60Exception;
+pub use platform::S60Platform;

@@ -1,0 +1,283 @@
+//! MIDlet lifecycle.
+//!
+//! "On S60, [the application] needs to extend the MIDlet class" (paper
+//! §2). The lifecycle differs from Android's Activity: a MIDlet moves
+//! between Paused and Active via `startApp`/`pauseApp`, and terminates
+//! through `destroyApp(unconditional)`, which a MIDlet may *refuse* when
+//! conditional — a wrinkle Android does not have.
+
+use std::fmt;
+
+use crate::platform::S60Platform;
+
+/// MIDlet lifecycle states (JSR-118).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MidletState {
+    /// Constructed; `startApp` not yet delivered.
+    Paused,
+    /// `startApp` delivered.
+    Active,
+    /// `destroyApp` delivered; terminal.
+    Destroyed,
+}
+
+/// Thrown by a MIDlet refusing a conditional `destroyApp`
+/// (`MIDletStateChangeException`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MidletStateChangeException(pub String);
+
+impl fmt::Display for MidletStateChangeException {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "midlet refused state change: {}", self.0)
+    }
+}
+
+impl std::error::Error for MidletStateChangeException {}
+
+/// A J2ME MIDlet: application code at lifecycle edges.
+pub trait Midlet {
+    /// `startApp` — called on launch and on every resume. The paper's
+    /// Fig. 2(b)/8(b) register proximity listeners here.
+    fn start_app(&mut self, platform: &S60Platform);
+
+    /// `pauseApp`.
+    fn pause_app(&mut self, _platform: &S60Platform) {}
+
+    /// `destroyApp(unconditional)` — may refuse by returning `Err` when
+    /// `unconditional` is `false`.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`MidletStateChangeException`] to refuse a
+    /// conditional destroy.
+    fn destroy_app(
+        &mut self,
+        _platform: &S60Platform,
+        _unconditional: bool,
+    ) -> Result<(), MidletStateChangeException> {
+        Ok(())
+    }
+}
+
+/// Error for illegal lifecycle transitions requested of the host.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MidletHostError {
+    /// The MIDlet is not in a state permitting the request.
+    IllegalTransition {
+        /// The state the MIDlet was in.
+        from: MidletState,
+        /// The operation requested.
+        requested: &'static str,
+    },
+    /// A conditional destroy was refused by the MIDlet.
+    DestroyRefused(MidletStateChangeException),
+}
+
+impl fmt::Display for MidletHostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MidletHostError::IllegalTransition { from, requested } => {
+                write!(f, "cannot {requested} from {from:?}")
+            }
+            MidletHostError::DestroyRefused(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for MidletHostError {}
+
+/// Drives a [`Midlet`] through its lifecycle (the AMS — application
+/// management software — role).
+pub struct MidletHost<M: Midlet> {
+    midlet: M,
+    platform: S60Platform,
+    state: MidletState,
+}
+
+impl<M: Midlet + fmt::Debug> fmt::Debug for MidletHost<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MidletHost")
+            .field("state", &self.state)
+            .field("midlet", &self.midlet)
+            .finish()
+    }
+}
+
+impl<M: Midlet> MidletHost<M> {
+    /// Hosts `midlet` on `platform`, initially `Paused` (per JSR-118).
+    pub fn new(midlet: M, platform: S60Platform) -> Self {
+        Self {
+            midlet,
+            platform,
+            state: MidletState::Paused,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> MidletState {
+        self.state
+    }
+
+    /// Immutable access to the hosted MIDlet.
+    pub fn midlet(&self) -> &M {
+        &self.midlet
+    }
+
+    /// Mutable access to the hosted MIDlet.
+    pub fn midlet_mut(&mut self) -> &mut M {
+        &mut self.midlet
+    }
+
+    /// The platform the MIDlet runs on.
+    pub fn platform(&self) -> &S60Platform {
+        &self.platform
+    }
+
+    /// Delivers `startApp`.
+    ///
+    /// # Errors
+    ///
+    /// [`MidletHostError::IllegalTransition`] unless `Paused`.
+    pub fn start(&mut self) -> Result<(), MidletHostError> {
+        if self.state != MidletState::Paused {
+            return Err(MidletHostError::IllegalTransition {
+                from: self.state,
+                requested: "start",
+            });
+        }
+        self.midlet.start_app(&self.platform);
+        self.state = MidletState::Active;
+        Ok(())
+    }
+
+    /// Delivers `pauseApp`.
+    ///
+    /// # Errors
+    ///
+    /// [`MidletHostError::IllegalTransition`] unless `Active`.
+    pub fn pause(&mut self) -> Result<(), MidletHostError> {
+        if self.state != MidletState::Active {
+            return Err(MidletHostError::IllegalTransition {
+                from: self.state,
+                requested: "pause",
+            });
+        }
+        self.midlet.pause_app(&self.platform);
+        self.state = MidletState::Paused;
+        Ok(())
+    }
+
+    /// Delivers `destroyApp(unconditional)`.
+    ///
+    /// # Errors
+    ///
+    /// - [`MidletHostError::IllegalTransition`] if already destroyed.
+    /// - [`MidletHostError::DestroyRefused`] if the MIDlet refuses a
+    ///   conditional destroy (it stays in its prior state).
+    pub fn destroy(&mut self, unconditional: bool) -> Result<(), MidletHostError> {
+        if self.state == MidletState::Destroyed {
+            return Err(MidletHostError::IllegalTransition {
+                from: self.state,
+                requested: "destroy",
+            });
+        }
+        match self.midlet.destroy_app(&self.platform, unconditional) {
+            Ok(()) => {
+                self.state = MidletState::Destroyed;
+                Ok(())
+            }
+            Err(e) if !unconditional => Err(MidletHostError::DestroyRefused(e)),
+            Err(_) => {
+                // Unconditional destroy proceeds regardless.
+                self.state = MidletState::Destroyed;
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobivine_device::Device;
+
+    #[derive(Debug, Default)]
+    struct Probe {
+        log: Vec<&'static str>,
+        refuse_destroy: bool,
+    }
+
+    impl Midlet for Probe {
+        fn start_app(&mut self, _p: &S60Platform) {
+            self.log.push("start");
+        }
+        fn pause_app(&mut self, _p: &S60Platform) {
+            self.log.push("pause");
+        }
+        fn destroy_app(
+            &mut self,
+            _p: &S60Platform,
+            _unconditional: bool,
+        ) -> Result<(), MidletStateChangeException> {
+            self.log.push("destroy");
+            if self.refuse_destroy {
+                Err(MidletStateChangeException("busy".into()))
+            } else {
+                Ok(())
+            }
+        }
+    }
+
+    fn host() -> MidletHost<Probe> {
+        MidletHost::new(Probe::default(), S60Platform::new(Device::builder().build()))
+    }
+
+    #[test]
+    fn starts_paused_then_activates() {
+        let mut host = host();
+        assert_eq!(host.state(), MidletState::Paused);
+        host.start().unwrap();
+        assert_eq!(host.state(), MidletState::Active);
+        assert_eq!(host.midlet().log, vec!["start"]);
+    }
+
+    #[test]
+    fn pause_resume_cycle_redelivers_start_app() {
+        let mut host = host();
+        host.start().unwrap();
+        host.pause().unwrap();
+        host.start().unwrap();
+        assert_eq!(host.midlet().log, vec!["start", "pause", "start"]);
+    }
+
+    #[test]
+    fn illegal_transitions() {
+        let mut host = host();
+        assert!(host.pause().is_err());
+        host.start().unwrap();
+        assert!(host.start().is_err());
+    }
+
+    #[test]
+    fn conditional_destroy_can_be_refused() {
+        let mut host = host();
+        host.start().unwrap();
+        host.midlet_mut().refuse_destroy = true;
+        assert!(matches!(
+            host.destroy(false),
+            Err(MidletHostError::DestroyRefused(_))
+        ));
+        assert_eq!(host.state(), MidletState::Active);
+        // Unconditional destroy cannot be refused.
+        host.destroy(true).unwrap();
+        assert_eq!(host.state(), MidletState::Destroyed);
+    }
+
+    #[test]
+    fn destroy_is_terminal() {
+        let mut host = host();
+        host.destroy(true).unwrap();
+        assert!(host.destroy(true).is_err());
+        assert!(host.start().is_err());
+    }
+}

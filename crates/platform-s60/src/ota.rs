@@ -1,0 +1,278 @@
+//! Over-The-Air (OTA) deployment.
+//!
+//! The S60 deployment model the paper's §2 describes: the single suite
+//! jar is "qualified further with various permissions, Over-The-Air
+//! (OTA) deployment properties, profile configuration etc." This module
+//! closes the loop — an [`OtaServer`] publishes a suite's JAD and jar on
+//! the simulated network; the device-side [`AppManager`] (the AMS role)
+//! fetches the descriptor, fetches the jar it points at, validates the
+//! pair and records the installation.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use mobivine_device::net::{HttpResponse, Method, SimNetwork};
+
+use crate::error::S60Exception;
+use crate::io::Connector;
+use crate::packaging::{Jar, JadDescriptor, MidletSuite, PackagingError};
+use crate::platform::S60Platform;
+
+/// Publishes MIDlet suites for OTA download.
+#[derive(Debug)]
+pub struct OtaServer;
+
+impl OtaServer {
+    /// Serves `suite` on `host`: the JAD at `/<name>.jad`, the jar at
+    /// the URL the JAD declares (path component of
+    /// `MIDlet-Jar-URL`). Returns the JAD URL to hand to devices.
+    pub fn publish(network: &SimNetwork, host: &str, suite: &MidletSuite) -> String {
+        let jad_text = suite.jad.render();
+        let jad_path = format!("/{}.jad", suite.jad.midlet_name.to_lowercase());
+        network.register_route(host, Method::Get, &jad_path, move |_| {
+            HttpResponse::ok(jad_text.clone())
+        });
+        let jar_path: String = suite
+            .jad
+            .jar_url
+            .parse::<mobivine_device::net::Url>()
+            .map(|u| u.path)
+            .unwrap_or_else(|_| format!("/{}", suite.jar.name()));
+        let jar_bytes = suite.jar.to_bytes();
+        network.register_route(host, Method::Get, &jar_path, move |_| {
+            HttpResponse::ok(jar_bytes.clone())
+        });
+        format!("http://{host}{jad_path}")
+    }
+}
+
+/// Errors during OTA installation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OtaError {
+    /// The download failed (transport or HTTP status).
+    Download(String),
+    /// The JAD or jar was malformed, or they disagree.
+    Packaging(PackagingError),
+    /// A suite with that name and version is already installed.
+    AlreadyInstalled(String),
+}
+
+impl fmt::Display for OtaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OtaError::Download(m) => write!(f, "ota download failed: {m}"),
+            OtaError::Packaging(e) => write!(f, "ota package invalid: {e}"),
+            OtaError::AlreadyInstalled(n) => write!(f, "suite {n} already installed"),
+        }
+    }
+}
+
+impl std::error::Error for OtaError {}
+
+impl From<PackagingError> for OtaError {
+    fn from(e: PackagingError) -> Self {
+        OtaError::Packaging(e)
+    }
+}
+
+impl From<S60Exception> for OtaError {
+    fn from(e: S60Exception) -> Self {
+        OtaError::Download(e.to_string())
+    }
+}
+
+/// The device-side application manager.
+#[derive(Default)]
+pub struct AppManager {
+    installed: Arc<Mutex<Vec<MidletSuite>>>,
+}
+
+impl fmt::Debug for AppManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AppManager")
+            .field("installed", &self.installed.lock().len())
+            .finish()
+    }
+}
+
+impl AppManager {
+    /// Creates an empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installed suite names with versions, in installation order.
+    pub fn installed(&self) -> Vec<(String, String)> {
+        self.installed
+            .lock()
+            .iter()
+            .map(|s| (s.jad.midlet_name.clone(), s.jad.version.clone()))
+            .collect()
+    }
+
+    /// Looks up an installed suite by name.
+    pub fn suite(&self, name: &str) -> Option<MidletSuite> {
+        self.installed
+            .lock()
+            .iter()
+            .find(|s| s.jad.midlet_name == name)
+            .cloned()
+    }
+
+    /// Performs the full OTA installation from a JAD URL: fetch JAD →
+    /// parse → fetch jar → reassemble → validate → record.
+    ///
+    /// # Errors
+    ///
+    /// [`OtaError`] at whichever step fails; nothing is recorded on
+    /// failure.
+    pub fn install_from_url(
+        &self,
+        platform: &S60Platform,
+        jad_url: &str,
+    ) -> Result<String, OtaError> {
+        // Fetch the descriptor.
+        let jad_connection = Connector::open_http(platform, jad_url)?;
+        let status = jad_connection.response_code()?;
+        if status != 200 {
+            return Err(OtaError::Download(format!("jad fetch returned {status}")));
+        }
+        let jad = JadDescriptor::parse(&jad_connection.read_fully()?)?;
+
+        // Fetch the jar the descriptor points at.
+        let jar_connection = Connector::open_http(platform, &jad.jar_url)?;
+        let status = jar_connection.response_code()?;
+        if status != 200 {
+            return Err(OtaError::Download(format!("jar fetch returned {status}")));
+        }
+        let mut jar_bytes = Vec::new();
+        let mut chunk = [0u8; 512];
+        loop {
+            let n = jar_connection.read(&mut chunk)?;
+            if n == 0 {
+                break;
+            }
+            jar_bytes.extend_from_slice(&chunk[..n]);
+        }
+        let jar = Jar::from_bytes(&jar_bytes)?;
+
+        // Validate the pair and record the installation.
+        let suite = MidletSuite { jar, jad };
+        suite.validate()?;
+        let mut installed = self.installed.lock();
+        if installed
+            .iter()
+            .any(|s| s.jad.midlet_name == suite.jad.midlet_name && s.jad.version == suite.jad.version)
+        {
+            return Err(OtaError::AlreadyInstalled(suite.jad.midlet_name));
+        }
+        let name = suite.jad.midlet_name.clone();
+        installed.push(suite);
+        Ok(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobivine_device::Device;
+
+    fn suite() -> MidletSuite {
+        let mut jar = Jar::new("workforce.jar");
+        jar.add_entry("com/acme/Wfm.class", b"app bytes".to_vec())
+            .unwrap();
+        jar.add_entry("com/ibm/S60/location/LocationProxy.class", b"proxy".to_vec())
+            .unwrap();
+        let mut jad = JadDescriptor::for_jar(&jar, "WorkForce", "ACME", "1.0.0");
+        jad.jar_url = "http://ota.example/workforce.jar".to_owned();
+        jad.permissions = vec!["javax.microedition.location.Location".to_owned()];
+        MidletSuite { jar, jad }
+    }
+
+    #[test]
+    fn jad_render_parse_round_trip() {
+        let suite = suite();
+        let text = suite.jad.render();
+        let back = JadDescriptor::parse(&text).unwrap();
+        assert_eq!(back, suite.jad);
+    }
+
+    #[test]
+    fn jar_wire_format_round_trips() {
+        let suite = suite();
+        let bytes = suite.jar.to_bytes();
+        let back = Jar::from_bytes(&bytes).unwrap();
+        assert_eq!(back, suite.jar);
+    }
+
+    #[test]
+    fn jar_wire_format_rejects_truncation() {
+        let bytes = suite().jar.to_bytes();
+        assert!(Jar::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+        assert!(Jar::from_bytes(b"name-only-no-newline").is_err());
+    }
+
+    #[test]
+    fn full_ota_install_flow() {
+        let device = Device::builder().build();
+        let suite = suite();
+        let jad_url = OtaServer::publish(device.network(), "ota.example", &suite);
+        assert_eq!(jad_url, "http://ota.example/workforce.jad");
+
+        let platform = S60Platform::new(device);
+        let manager = AppManager::new();
+        let name = manager.install_from_url(&platform, &jad_url).unwrap();
+        assert_eq!(name, "WorkForce");
+        assert_eq!(manager.installed(), vec![("WorkForce".to_owned(), "1.0.0".to_owned())]);
+        let installed = manager.suite("WorkForce").unwrap();
+        assert!(installed.jar.contains("com/ibm/S60/location/LocationProxy.class"));
+    }
+
+    #[test]
+    fn reinstalling_same_version_is_rejected() {
+        let device = Device::builder().build();
+        let suite = suite();
+        let jad_url = OtaServer::publish(device.network(), "ota.example", &suite);
+        let platform = S60Platform::new(device);
+        let manager = AppManager::new();
+        manager.install_from_url(&platform, &jad_url).unwrap();
+        assert!(matches!(
+            manager.install_from_url(&platform, &jad_url),
+            Err(OtaError::AlreadyInstalled(_))
+        ));
+    }
+
+    #[test]
+    fn missing_jad_is_download_error() {
+        let device = Device::builder().build();
+        // Host exists but no JAD route.
+        device
+            .network()
+            .register_route("ota.example", Method::Get, "/other", |_| {
+                HttpResponse::ok("x")
+            });
+        let platform = S60Platform::new(device);
+        let manager = AppManager::new();
+        let err = manager
+            .install_from_url(&platform, "http://ota.example/ghost.jad")
+            .unwrap_err();
+        assert!(matches!(err, OtaError::Download(_)));
+        assert!(manager.installed().is_empty());
+    }
+
+    #[test]
+    fn size_mismatch_fails_validation() {
+        let device = Device::builder().build();
+        let mut suite = suite();
+        suite.jad.jar_size += 7; // tampered descriptor
+        let jad_url = OtaServer::publish(device.network(), "ota.example", &suite);
+        let platform = S60Platform::new(device);
+        let manager = AppManager::new();
+        assert!(matches!(
+            manager.install_from_url(&platform, &jad_url),
+            Err(OtaError::Packaging(PackagingError::DescriptorMismatch(_)))
+        ));
+    }
+}

@@ -1,0 +1,489 @@
+//! MIDlet-suite packaging.
+//!
+//! S60 deployment requires "the entire application [to be] packaged as a
+//! single jar file, that is qualified further with various permissions,
+//! Over-The-Air (OTA) deployment properties, profile configuration etc."
+//! (paper §2). The MobiVine plug-in's S60 platform-specific extension
+//! merges the jars of all chosen proxies with the application jar before
+//! deployment (§4.2) — this module provides the jar and descriptor model
+//! it operates on.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A jar archive: named entries with byte contents.
+///
+/// # Example
+///
+/// ```
+/// use mobivine_s60::packaging::Jar;
+///
+/// let mut app = Jar::new("workforce.jar");
+/// app.add_entry("com/acme/App.class", b"app".to_vec())?;
+/// let mut proxy = Jar::new("location-proxy.jar");
+/// proxy.add_entry("com/ibm/proxies/Location.class", b"proxy".to_vec())?;
+/// app.merge(&proxy)?;
+/// assert_eq!(app.len(), 2);
+/// # Ok::<(), mobivine_s60::packaging::PackagingError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Jar {
+    name: String,
+    entries: BTreeMap<String, Vec<u8>>,
+}
+
+/// Errors in jar or suite manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PackagingError {
+    /// An entry with the same path but different content already exists.
+    ConflictingEntry(String),
+    /// An entry path is empty or otherwise malformed.
+    BadEntryPath(String),
+    /// A required JAD attribute is missing.
+    MissingAttribute(&'static str),
+    /// JAD and jar disagree (size, name).
+    DescriptorMismatch(String),
+}
+
+impl fmt::Display for PackagingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PackagingError::ConflictingEntry(p) => write!(f, "conflicting jar entry {p}"),
+            PackagingError::BadEntryPath(p) => write!(f, "bad jar entry path '{p}'"),
+            PackagingError::MissingAttribute(a) => write!(f, "missing jad attribute {a}"),
+            PackagingError::DescriptorMismatch(m) => write!(f, "jad/jar mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PackagingError {}
+
+impl Jar {
+    /// Creates an empty jar.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_owned(),
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// The jar's file name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the jar has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total byte size of all entries.
+    pub fn byte_size(&self) -> usize {
+        self.entries.values().map(Vec::len).sum()
+    }
+
+    /// Adds an entry.
+    ///
+    /// # Errors
+    ///
+    /// - [`PackagingError::BadEntryPath`] for empty paths.
+    /// - [`PackagingError::ConflictingEntry`] if the path exists with
+    ///   different content (identical re-adds are idempotent).
+    pub fn add_entry(&mut self, path: &str, content: Vec<u8>) -> Result<(), PackagingError> {
+        if path.is_empty() || path.starts_with('/') {
+            return Err(PackagingError::BadEntryPath(path.to_owned()));
+        }
+        match self.entries.get(path) {
+            Some(existing) if *existing != content => {
+                Err(PackagingError::ConflictingEntry(path.to_owned()))
+            }
+            _ => {
+                self.entries.insert(path.to_owned(), content);
+                Ok(())
+            }
+        }
+    }
+
+    /// Whether `path` is present.
+    pub fn contains(&self, path: &str) -> bool {
+        self.entries.contains_key(path)
+    }
+
+    /// Entry content lookup.
+    pub fn entry(&self, path: &str) -> Option<&[u8]> {
+        self.entries.get(path).map(Vec::as_slice)
+    }
+
+    /// Entry paths in sorted order.
+    pub fn entry_paths(&self) -> Vec<&str> {
+        self.entries.keys().map(String::as_str).collect()
+    }
+
+    /// Serializes the jar to the wire format OTA delivery uses:
+    /// `name\n` then, per entry, `path\n<len>\n<bytes>`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(self.name.as_bytes());
+        out.push(b'\n');
+        for (path, content) in &self.entries {
+            out.extend_from_slice(path.as_bytes());
+            out.push(b'\n');
+            out.extend_from_slice(content.len().to_string().as_bytes());
+            out.push(b'\n');
+            out.extend_from_slice(content);
+        }
+        out
+    }
+
+    /// Deserializes the OTA wire format produced by [`Jar::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PackagingError::BadEntryPath`] on truncated or
+    /// malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, PackagingError> {
+        fn read_line<'a>(bytes: &'a [u8], pos: &mut usize) -> Result<&'a str, PackagingError> {
+            let rest = &bytes[*pos..];
+            let end = rest
+                .iter()
+                .position(|&b| b == b'\n')
+                .ok_or_else(|| PackagingError::BadEntryPath("<truncated>".to_owned()))?;
+            let line = std::str::from_utf8(&rest[..end])
+                .map_err(|_| PackagingError::BadEntryPath("<non-utf8>".to_owned()))?;
+            *pos += end + 1;
+            Ok(line)
+        }
+        let mut pos = 0;
+        let name = read_line(bytes, &mut pos)?.to_owned();
+        let mut jar = Jar::new(&name);
+        while pos < bytes.len() {
+            let path = read_line(bytes, &mut pos)?.to_owned();
+            let len: usize = read_line(bytes, &mut pos)?
+                .parse()
+                .map_err(|_| PackagingError::BadEntryPath(path.clone()))?;
+            if pos + len > bytes.len() {
+                return Err(PackagingError::BadEntryPath(path));
+            }
+            let content = bytes[pos..pos + len].to_vec();
+            pos += len;
+            jar.add_entry(&path, content)?;
+        }
+        Ok(jar)
+    }
+
+    /// Merges every entry of `other` into `self` — the plug-in's
+    /// "merge jars of all chosen proxies with the application jar"
+    /// operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PackagingError::ConflictingEntry`] on a path collision
+    /// with different content; `self` is left partially merged up to the
+    /// conflict (callers validate before deploying).
+    pub fn merge(&mut self, other: &Jar) -> Result<(), PackagingError> {
+        for (path, content) in &other.entries {
+            self.add_entry(path, content.clone())?;
+        }
+        Ok(())
+    }
+}
+
+/// A JAD (Java Application Descriptor) accompanying the suite jar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JadDescriptor {
+    /// `MIDlet-Name`.
+    pub midlet_name: String,
+    /// `MIDlet-Vendor`.
+    pub vendor: String,
+    /// `MIDlet-Version` (`major.minor.micro`).
+    pub version: String,
+    /// `MIDlet-Jar-URL` — where OTA installation fetches the jar.
+    pub jar_url: String,
+    /// `MIDlet-Jar-Size` in bytes.
+    pub jar_size: usize,
+    /// `MIDlet-Permissions` requested.
+    pub permissions: Vec<String>,
+    /// Additional OTA / configuration properties
+    /// (`MicroEdition-Profile`, operator branding, …).
+    pub properties: BTreeMap<String, String>,
+}
+
+impl JadDescriptor {
+    /// Builds a descriptor for `jar` with required fields filled in.
+    pub fn for_jar(jar: &Jar, midlet_name: &str, vendor: &str, version: &str) -> Self {
+        let mut properties = BTreeMap::new();
+        properties.insert("MicroEdition-Profile".to_owned(), "MIDP-2.0".to_owned());
+        properties.insert("MicroEdition-Configuration".to_owned(), "CLDC-1.1".to_owned());
+        Self {
+            midlet_name: midlet_name.to_owned(),
+            vendor: vendor.to_owned(),
+            version: version.to_owned(),
+            jar_url: format!("http://ota.example/{}", jar.name()),
+            jar_size: jar.byte_size(),
+            permissions: Vec::new(),
+            properties,
+        }
+    }
+
+    /// Validates required attributes and version syntax.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`PackagingError`] found.
+    pub fn validate(&self) -> Result<(), PackagingError> {
+        if self.midlet_name.is_empty() {
+            return Err(PackagingError::MissingAttribute("MIDlet-Name"));
+        }
+        if self.vendor.is_empty() {
+            return Err(PackagingError::MissingAttribute("MIDlet-Vendor"));
+        }
+        if self.jar_url.is_empty() {
+            return Err(PackagingError::MissingAttribute("MIDlet-Jar-URL"));
+        }
+        let version_ok = {
+            let parts: Vec<&str> = self.version.split('.').collect();
+            !parts.is_empty()
+                && parts.len() <= 3
+                && parts.iter().all(|p| !p.is_empty() && p.chars().all(|c| c.is_ascii_digit()))
+        };
+        if !version_ok {
+            return Err(PackagingError::DescriptorMismatch(format!(
+                "bad MIDlet-Version '{}'",
+                self.version
+            )));
+        }
+        Ok(())
+    }
+
+    /// Parses a descriptor from JAD `Key: value` text (the inverse of
+    /// [`JadDescriptor::render`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PackagingError::MissingAttribute`] when required keys
+    /// are absent, or [`PackagingError::DescriptorMismatch`] for
+    /// malformed values.
+    pub fn parse(text: &str) -> Result<Self, PackagingError> {
+        let mut midlet_name = None;
+        let mut vendor = None;
+        let mut version = None;
+        let mut jar_url = None;
+        let mut jar_size = None;
+        let mut permissions = Vec::new();
+        let mut properties = BTreeMap::new();
+        for line in text.lines() {
+            let Some((key, value)) = line.split_once(':') else {
+                continue;
+            };
+            let key = key.trim();
+            let value = value.trim();
+            match key {
+                "MIDlet-Name" => midlet_name = Some(value.to_owned()),
+                "MIDlet-Vendor" => vendor = Some(value.to_owned()),
+                "MIDlet-Version" => version = Some(value.to_owned()),
+                "MIDlet-Jar-URL" => jar_url = Some(value.to_owned()),
+                "MIDlet-Jar-Size" => {
+                    jar_size = Some(value.parse().map_err(|_| {
+                        PackagingError::DescriptorMismatch(format!(
+                            "bad MIDlet-Jar-Size '{value}'"
+                        ))
+                    })?)
+                }
+                "MIDlet-Permissions" => {
+                    permissions = value.split(',').map(|p| p.trim().to_owned()).collect()
+                }
+                other => {
+                    properties.insert(other.to_owned(), value.to_owned());
+                }
+            }
+        }
+        let descriptor = Self {
+            midlet_name: midlet_name.ok_or(PackagingError::MissingAttribute("MIDlet-Name"))?,
+            vendor: vendor.ok_or(PackagingError::MissingAttribute("MIDlet-Vendor"))?,
+            version: version.ok_or(PackagingError::MissingAttribute("MIDlet-Version"))?,
+            jar_url: jar_url.ok_or(PackagingError::MissingAttribute("MIDlet-Jar-URL"))?,
+            jar_size: jar_size.ok_or(PackagingError::MissingAttribute("MIDlet-Jar-Size"))?,
+            permissions,
+            properties,
+        };
+        descriptor.validate()?;
+        Ok(descriptor)
+    }
+
+    /// Renders the descriptor in JAD `Key: value` format.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("MIDlet-Name: {}\n", self.midlet_name));
+        out.push_str(&format!("MIDlet-Vendor: {}\n", self.vendor));
+        out.push_str(&format!("MIDlet-Version: {}\n", self.version));
+        out.push_str(&format!("MIDlet-Jar-URL: {}\n", self.jar_url));
+        out.push_str(&format!("MIDlet-Jar-Size: {}\n", self.jar_size));
+        if !self.permissions.is_empty() {
+            out.push_str(&format!(
+                "MIDlet-Permissions: {}\n",
+                self.permissions.join(", ")
+            ));
+        }
+        for (k, v) in &self.properties {
+            out.push_str(&format!("{k}: {v}\n"));
+        }
+        out
+    }
+}
+
+/// A deployable MIDlet suite: one jar plus its descriptor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MidletSuite {
+    /// The (single) suite jar.
+    pub jar: Jar,
+    /// The descriptor.
+    pub jad: JadDescriptor,
+}
+
+impl MidletSuite {
+    /// Validates the suite for deployment: descriptor attributes and
+    /// jar-size agreement.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`PackagingError`] found.
+    pub fn validate(&self) -> Result<(), PackagingError> {
+        self.jad.validate()?;
+        if self.jad.jar_size != self.jar.byte_size() {
+            return Err(PackagingError::DescriptorMismatch(format!(
+                "MIDlet-Jar-Size {} but jar is {} bytes",
+                self.jad.jar_size,
+                self.jar.byte_size()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app_jar() -> Jar {
+        let mut jar = Jar::new("wfm.jar");
+        jar.add_entry("com/acme/Wfm.class", b"main".to_vec()).unwrap();
+        jar.add_entry("META-INF/MANIFEST.MF", b"manifest".to_vec())
+            .unwrap();
+        jar
+    }
+
+    #[test]
+    fn add_and_lookup_entries() {
+        let jar = app_jar();
+        assert_eq!(jar.len(), 2);
+        assert!(jar.contains("com/acme/Wfm.class"));
+        assert_eq!(jar.entry("META-INF/MANIFEST.MF"), Some(&b"manifest"[..]));
+        assert_eq!(jar.byte_size(), 12);
+    }
+
+    #[test]
+    fn idempotent_re_add_but_conflict_on_difference() {
+        let mut jar = app_jar();
+        jar.add_entry("com/acme/Wfm.class", b"main".to_vec()).unwrap();
+        assert_eq!(jar.len(), 2);
+        assert_eq!(
+            jar.add_entry("com/acme/Wfm.class", b"other".to_vec()),
+            Err(PackagingError::ConflictingEntry("com/acme/Wfm.class".into()))
+        );
+    }
+
+    #[test]
+    fn bad_paths_rejected() {
+        let mut jar = Jar::new("x.jar");
+        assert!(jar.add_entry("", b"x".to_vec()).is_err());
+        assert!(jar.add_entry("/abs/path", b"x".to_vec()).is_err());
+    }
+
+    #[test]
+    fn merge_combines_proxy_jars() {
+        let mut app = app_jar();
+        let mut loc = Jar::new("loc-proxy.jar");
+        loc.add_entry("com/ibm/S60/location/LocationProxy.class", b"lp".to_vec())
+            .unwrap();
+        let mut sms = Jar::new("sms-proxy.jar");
+        sms.add_entry("com/ibm/S60/sms/SmsProxy.class", b"sp".to_vec())
+            .unwrap();
+        app.merge(&loc).unwrap();
+        app.merge(&sms).unwrap();
+        assert_eq!(app.len(), 4);
+        assert!(app.contains("com/ibm/S60/sms/SmsProxy.class"));
+    }
+
+    #[test]
+    fn merge_conflict_detected() {
+        let mut app = app_jar();
+        let mut bad = Jar::new("bad.jar");
+        bad.add_entry("com/acme/Wfm.class", b"imposter".to_vec())
+            .unwrap();
+        assert!(matches!(
+            app.merge(&bad),
+            Err(PackagingError::ConflictingEntry(_))
+        ));
+    }
+
+    #[test]
+    fn jad_for_jar_and_validation() {
+        let jar = app_jar();
+        let jad = JadDescriptor::for_jar(&jar, "WorkForce", "ACME", "1.0.0");
+        jad.validate().unwrap();
+        assert_eq!(jad.jar_size, jar.byte_size());
+        assert!(jad.render().contains("MIDlet-Name: WorkForce"));
+        assert!(jad.render().contains("MicroEdition-Profile: MIDP-2.0"));
+    }
+
+    #[test]
+    fn jad_rejects_missing_and_malformed() {
+        let jar = app_jar();
+        let mut jad = JadDescriptor::for_jar(&jar, "", "ACME", "1.0");
+        assert_eq!(
+            jad.validate(),
+            Err(PackagingError::MissingAttribute("MIDlet-Name"))
+        );
+        jad.midlet_name = "W".into();
+        jad.version = "1.x".into();
+        assert!(matches!(
+            jad.validate(),
+            Err(PackagingError::DescriptorMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn suite_validation_checks_size_agreement() {
+        let jar = app_jar();
+        let jad = JadDescriptor::for_jar(&jar, "W", "V", "1.0");
+        let mut suite = MidletSuite { jar, jad };
+        suite.validate().unwrap();
+        suite
+            .jar
+            .add_entry("extra/Entry.class", b"grow".to_vec())
+            .unwrap();
+        assert!(matches!(
+            suite.validate(),
+            Err(PackagingError::DescriptorMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn permissions_render_comma_separated() {
+        let jar = app_jar();
+        let mut jad = JadDescriptor::for_jar(&jar, "W", "V", "1.0");
+        jad.permissions = vec![
+            "javax.microedition.location.Location".into(),
+            "javax.wireless.messaging.sms.send".into(),
+        ];
+        let rendered = jad.render();
+        assert!(rendered.contains(
+            "MIDlet-Permissions: javax.microedition.location.Location, javax.wireless.messaging.sms.send"
+        ));
+    }
+}

@@ -1,0 +1,174 @@
+//! J2ME prompt-based permission policy.
+//!
+//! MIDP permissions differ from Android's manifest model: each protected
+//! API is governed by a policy — allowed, denied, or "ask the user"
+//! (oneshot/session prompts). The simulated policy answers prompts
+//! deterministically so denial paths are testable.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use parking_lot::RwLock;
+
+/// Protected J2ME API domains used by the paper's proxies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ApiPermission {
+    /// `javax.microedition.location.Location`.
+    Location,
+    /// `javax.wireless.messaging.sms.send`.
+    SmsSend,
+    /// `javax.wireless.messaging.sms.receive`.
+    SmsReceive,
+    /// `javax.microedition.io.Connector.http`.
+    HttpConnect,
+    /// PIM contact read access.
+    ContactsRead,
+    /// PIM calendar read access.
+    CalendarRead,
+}
+
+impl ApiPermission {
+    /// The MIDP permission string.
+    pub fn permission_name(&self) -> &'static str {
+        match self {
+            ApiPermission::Location => "javax.microedition.location.Location",
+            ApiPermission::SmsSend => "javax.wireless.messaging.sms.send",
+            ApiPermission::SmsReceive => "javax.wireless.messaging.sms.receive",
+            ApiPermission::HttpConnect => "javax.microedition.io.Connector.http",
+            ApiPermission::ContactsRead => "javax.microedition.pim.ContactList.read",
+            ApiPermission::CalendarRead => "javax.microedition.pim.EventList.read",
+        }
+    }
+}
+
+impl fmt::Display for ApiPermission {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.permission_name())
+    }
+}
+
+/// Disposition of one permission under the active policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Disposition {
+    /// Granted without prompting (trusted MIDlet suite).
+    #[default]
+    Allowed,
+    /// The user is prompted; the simulated user answers yes.
+    PromptAccept,
+    /// The user is prompted; the simulated user answers no.
+    PromptDeny,
+    /// Denied outright by policy.
+    Denied,
+}
+
+impl Disposition {
+    /// Whether a call under this disposition proceeds.
+    pub fn permits(&self) -> bool {
+        matches!(self, Disposition::Allowed | Disposition::PromptAccept)
+    }
+
+    /// Whether the disposition involves a user prompt.
+    pub fn prompts(&self) -> bool {
+        matches!(self, Disposition::PromptAccept | Disposition::PromptDeny)
+    }
+}
+
+/// The active permission policy for a MIDlet suite.
+///
+/// # Example
+///
+/// ```
+/// use mobivine_s60::permissions::{ApiPermission, Disposition, PermissionPolicy};
+///
+/// let policy = PermissionPolicy::new();
+/// policy.set(ApiPermission::SmsSend, Disposition::PromptDeny);
+/// assert!(!policy.disposition(ApiPermission::SmsSend).permits());
+/// assert!(policy.disposition(ApiPermission::Location).permits()); // default Allowed
+/// ```
+#[derive(Debug, Default)]
+pub struct PermissionPolicy {
+    dispositions: RwLock<HashMap<ApiPermission, Disposition>>,
+    prompt_count: RwLock<u64>,
+}
+
+impl PermissionPolicy {
+    /// A policy that allows everything without prompting.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the disposition for one permission.
+    pub fn set(&self, permission: ApiPermission, disposition: Disposition) {
+        self.dispositions.write().insert(permission, disposition);
+    }
+
+    /// The disposition for `permission` (default
+    /// [`Disposition::Allowed`]).
+    pub fn disposition(&self, permission: ApiPermission) -> Disposition {
+        self.dispositions
+            .read()
+            .get(&permission)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Evaluates `permission`, recording a prompt if the disposition
+    /// requires one. Returns whether the call may proceed.
+    pub fn check(&self, permission: ApiPermission) -> bool {
+        let d = self.disposition(permission);
+        if d.prompts() {
+            *self.prompt_count.write() += 1;
+        }
+        d.permits()
+    }
+
+    /// Number of user prompts the policy has simulated.
+    pub fn prompt_count(&self) -> u64 {
+        *self.prompt_count.read()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_allowed_without_prompt() {
+        let policy = PermissionPolicy::new();
+        assert!(policy.check(ApiPermission::Location));
+        assert_eq!(policy.prompt_count(), 0);
+    }
+
+    #[test]
+    fn prompt_accept_permits_and_counts() {
+        let policy = PermissionPolicy::new();
+        policy.set(ApiPermission::SmsSend, Disposition::PromptAccept);
+        assert!(policy.check(ApiPermission::SmsSend));
+        assert!(policy.check(ApiPermission::SmsSend));
+        assert_eq!(policy.prompt_count(), 2);
+    }
+
+    #[test]
+    fn prompt_deny_blocks_and_counts() {
+        let policy = PermissionPolicy::new();
+        policy.set(ApiPermission::HttpConnect, Disposition::PromptDeny);
+        assert!(!policy.check(ApiPermission::HttpConnect));
+        assert_eq!(policy.prompt_count(), 1);
+    }
+
+    #[test]
+    fn denied_blocks_silently() {
+        let policy = PermissionPolicy::new();
+        policy.set(ApiPermission::Location, Disposition::Denied);
+        assert!(!policy.check(ApiPermission::Location));
+        assert_eq!(policy.prompt_count(), 0);
+    }
+
+    #[test]
+    fn permission_names_are_midp_strings() {
+        assert_eq!(
+            ApiPermission::SmsSend.permission_name(),
+            "javax.wireless.messaging.sms.send"
+        );
+    }
+}

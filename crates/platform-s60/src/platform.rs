@@ -1,0 +1,114 @@
+//! The S60 platform handle.
+
+use std::fmt;
+use std::sync::Arc;
+
+use mobivine_device::Device;
+
+use crate::error::S60Exception;
+use crate::permissions::{ApiPermission, PermissionPolicy};
+
+/// The simulated S60 installation: a device plus the MIDlet suite's
+/// permission policy.
+///
+/// Unlike Android there is no per-application `Context`; J2ME APIs are
+/// reached through static factories (`LocationProvider.getInstance`,
+/// `Connector.open`) that this handle stands in for.
+///
+/// # Example
+///
+/// ```
+/// use mobivine_device::Device;
+/// use mobivine_s60::S60Platform;
+///
+/// let platform = S60Platform::new(Device::builder().build());
+/// assert!(platform.device().now_ms() == 0);
+/// ```
+#[derive(Clone)]
+pub struct S60Platform {
+    device: Device,
+    policy: Arc<PermissionPolicy>,
+}
+
+impl fmt::Debug for S60Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("S60Platform").finish()
+    }
+}
+
+impl S60Platform {
+    /// Boots the platform on `device` with an allow-all permission
+    /// policy.
+    pub fn new(device: Device) -> Self {
+        Self {
+            device,
+            policy: Arc::new(PermissionPolicy::new()),
+        }
+    }
+
+    /// Boots the platform with an explicit permission policy.
+    pub fn with_policy(device: Device, policy: PermissionPolicy) -> Self {
+        Self {
+            device,
+            policy: Arc::new(policy),
+        }
+    }
+
+    /// The underlying simulated handset.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// The active permission policy.
+    pub fn policy(&self) -> &PermissionPolicy {
+        &self.policy
+    }
+
+    /// Checks `permission`, throwing the J2ME-style `SecurityException`
+    /// on denial.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`S60Exception::Security`] naming the denied permission.
+    pub fn enforce(&self, permission: ApiPermission) -> Result<(), S60Exception> {
+        if self.policy.check(permission) {
+            Ok(())
+        } else {
+            Err(S60Exception::Security(format!(
+                "permission {} denied",
+                permission.permission_name()
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::permissions::Disposition;
+
+    #[test]
+    fn enforce_allows_by_default() {
+        let platform = S60Platform::new(Device::builder().build());
+        assert!(platform.enforce(ApiPermission::Location).is_ok());
+    }
+
+    #[test]
+    fn enforce_denies_with_named_permission() {
+        let policy = PermissionPolicy::new();
+        policy.set(ApiPermission::SmsSend, Disposition::Denied);
+        let platform = S60Platform::with_policy(Device::builder().build(), policy);
+        let err = platform.enforce(ApiPermission::SmsSend).unwrap_err();
+        assert!(err.to_string().contains("javax.wireless.messaging.sms.send"));
+    }
+
+    #[test]
+    fn clones_share_policy() {
+        let platform = S60Platform::new(Device::builder().build());
+        let twin = platform.clone();
+        platform
+            .policy()
+            .set(ApiPermission::Location, Disposition::Denied);
+        assert!(twin.enforce(ApiPermission::Location).is_err());
+    }
+}

@@ -1,0 +1,339 @@
+//! The Notification Table and polling handler.
+//!
+//! "All notifications ... are stored within the WebView context using a
+//! Notification Table. The notifications in this table are retrieved
+//! periodically by the JavaScript proxy instance with the help of
+//! `startPolling()` function in its `notifHandler` object." (paper §4.1,
+//! step 3 and Fig. 6)
+//!
+//! Java-side wrappers post [`crate::value::JsValue`] notifications under
+//! a notification id returned by the originating call; the JavaScript
+//! side polls and dispatches them to the registered callback.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use mobivine_device::Device;
+
+use crate::value::JsValue;
+
+/// Identifier correlating asynchronous notifications with the JS-side
+/// invocation that caused them (the `id` returned by
+/// `swi.sendTextMsg(...)` in Fig. 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NotificationId(u64);
+
+impl NotificationId {
+    /// The raw numeric id — what actually crosses the JavaScript bridge
+    /// (Fig. 6 returns it from `swi.sendTextMsg(...)`).
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs an id from the raw number received over the bridge.
+    /// Returns `None` for zero, which the table never allocates.
+    pub fn from_raw(raw: u64) -> Option<Self> {
+        (raw > 0).then_some(NotificationId(raw))
+    }
+}
+
+impl fmt::Display for NotificationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "notif-{}", self.0)
+    }
+}
+
+/// The per-WebView notification table.
+#[derive(Default)]
+pub struct NotificationTable {
+    next_id: AtomicU64,
+    rows: Mutex<HashMap<NotificationId, Vec<JsValue>>>,
+}
+
+impl fmt::Debug for NotificationTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NotificationTable")
+            .field("rows", &self.rows.lock().len())
+            .finish()
+    }
+}
+
+impl NotificationTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh notification id (a row in the table).
+    pub fn allocate(&self) -> NotificationId {
+        let id = NotificationId(self.next_id.fetch_add(1, Ordering::SeqCst) + 1);
+        self.rows.lock().insert(id, Vec::new());
+        id
+    }
+
+    /// Posts a notification under `id`. Returns `false` if the row does
+    /// not exist (already closed).
+    pub fn post(&self, id: NotificationId, notification: JsValue) -> bool {
+        match self.rows.lock().get_mut(&id) {
+            Some(row) => {
+                row.push(notification);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drains the pending notifications for `id`, oldest first
+    /// (the `getNotifications(notifId)` call in Fig. 6).
+    pub fn take(&self, id: NotificationId) -> Vec<JsValue> {
+        self.rows
+            .lock()
+            .get_mut(&id)
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+
+    /// Number of pending notifications for `id`.
+    pub fn pending(&self, id: NotificationId) -> usize {
+        self.rows.lock().get(&id).map(Vec::len).unwrap_or(0)
+    }
+
+    /// Closes a row; further posts for `id` are dropped.
+    pub fn close(&self, id: NotificationId) {
+        self.rows.lock().remove(&id);
+    }
+
+    /// Closes every row — what page unload does to the table.
+    pub fn close_all(&self) {
+        self.rows.lock().clear();
+    }
+
+    /// Number of open rows.
+    pub fn open_rows(&self) -> usize {
+        self.rows.lock().len()
+    }
+}
+
+/// Default polling period of a [`NotifHandler`], in virtual
+/// milliseconds.
+pub const DEFAULT_POLL_INTERVAL_MS: u64 = 200;
+
+/// The JavaScript-side `notifHandler`: polls one notification-table row
+/// and feeds each notification to a callback.
+pub struct NotifHandler {
+    device: Device,
+    table: Arc<NotificationTable>,
+    id: NotificationId,
+    interval_ms: u64,
+    running: Arc<AtomicBool>,
+}
+
+impl fmt::Debug for NotifHandler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NotifHandler")
+            .field("id", &self.id)
+            .field("interval_ms", &self.interval_ms)
+            .field("running", &self.running.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+impl NotifHandler {
+    /// Creates a handler for row `id` of `table`, polling every
+    /// [`DEFAULT_POLL_INTERVAL_MS`].
+    pub fn new(device: Device, table: Arc<NotificationTable>, id: NotificationId) -> Self {
+        Self {
+            device,
+            table,
+            id,
+            interval_ms: DEFAULT_POLL_INTERVAL_MS,
+            running: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Overrides the polling interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_ms` is zero.
+    pub fn with_interval_ms(mut self, interval_ms: u64) -> Self {
+        assert!(interval_ms > 0, "poll interval must be non-zero");
+        self.interval_ms = interval_ms;
+        self
+    }
+
+    /// `startPolling()` — begins delivering notifications to
+    /// `callback` as virtual time advances. Idempotent while running.
+    pub fn start_polling<F>(&self, callback: F)
+    where
+        F: Fn(JsValue) + Send + Sync + 'static,
+    {
+        if self.running.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        schedule_poll(
+            self.device.clone(),
+            Arc::clone(&self.table),
+            self.id,
+            self.interval_ms,
+            Arc::clone(&self.running),
+            Arc::new(callback),
+        );
+    }
+
+    /// Stops polling (the row itself remains until closed).
+    pub fn stop_polling(&self) {
+        self.running.store(false, Ordering::SeqCst);
+    }
+
+    /// Whether the handler is polling.
+    pub fn is_polling(&self) -> bool {
+        self.running.load(Ordering::SeqCst)
+    }
+}
+
+fn schedule_poll(
+    device: Device,
+    table: Arc<NotificationTable>,
+    id: NotificationId,
+    interval_ms: u64,
+    running: Arc<AtomicBool>,
+    callback: Arc<dyn Fn(JsValue) + Send + Sync>,
+) {
+    let fire_at = device.now_ms() + interval_ms;
+    let events = Arc::clone(device.events());
+    events.schedule_at(fire_at, "webview-notif-poll", move |_| {
+        if !running.load(Ordering::SeqCst) {
+            return;
+        }
+        for notification in table.take(id) {
+            callback(notification);
+        }
+        schedule_poll(device, table, id, interval_ms, running, callback);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as StdMutex;
+
+    #[test]
+    fn allocate_post_take() {
+        let table = NotificationTable::new();
+        let id = table.allocate();
+        assert!(table.post(id, JsValue::Number(1.0)));
+        assert!(table.post(id, JsValue::Number(2.0)));
+        assert_eq!(table.pending(id), 2);
+        assert_eq!(
+            table.take(id),
+            vec![JsValue::Number(1.0), JsValue::Number(2.0)]
+        );
+        assert_eq!(table.pending(id), 0);
+        assert!(table.take(id).is_empty());
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let table = NotificationTable::new();
+        assert_ne!(table.allocate(), table.allocate());
+    }
+
+    #[test]
+    fn closed_row_drops_posts() {
+        let table = NotificationTable::new();
+        let id = table.allocate();
+        table.close(id);
+        assert!(!table.post(id, JsValue::Null));
+        assert_eq!(table.pending(id), 0);
+    }
+
+    #[test]
+    fn polling_delivers_in_order() {
+        let device = Device::builder().build();
+        let table = Arc::new(NotificationTable::new());
+        let id = table.allocate();
+        let handler = NotifHandler::new(device.clone(), Arc::clone(&table), id);
+        let seen = Arc::new(StdMutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        handler.start_polling(move |v| sink.lock().unwrap().push(v));
+        table.post(id, JsValue::str("first"));
+        table.post(id, JsValue::str("second"));
+        device.advance_ms(1_000);
+        assert_eq!(
+            seen.lock().unwrap().as_slice(),
+            &[JsValue::str("first"), JsValue::str("second")]
+        );
+    }
+
+    #[test]
+    fn late_posts_are_picked_up_by_subsequent_polls() {
+        let device = Device::builder().build();
+        let table = Arc::new(NotificationTable::new());
+        let id = table.allocate();
+        let handler = NotifHandler::new(device.clone(), Arc::clone(&table), id);
+        let seen = Arc::new(StdMutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        handler.start_polling(move |v| sink.lock().unwrap().push(v));
+        device.advance_ms(1_000);
+        assert!(seen.lock().unwrap().is_empty());
+        table.post(id, JsValue::Number(7.0));
+        device.advance_ms(1_000);
+        assert_eq!(seen.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn stop_polling_halts_delivery() {
+        let device = Device::builder().build();
+        let table = Arc::new(NotificationTable::new());
+        let id = table.allocate();
+        let handler = NotifHandler::new(device.clone(), Arc::clone(&table), id);
+        let seen = Arc::new(StdMutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        handler.start_polling(move |v| sink.lock().unwrap().push(v));
+        assert!(handler.is_polling());
+        handler.stop_polling();
+        table.post(id, JsValue::Null);
+        device.advance_ms(1_000);
+        assert!(seen.lock().unwrap().is_empty());
+        assert!(!handler.is_polling());
+    }
+
+    #[test]
+    fn start_polling_is_idempotent() {
+        let device = Device::builder().build();
+        let table = Arc::new(NotificationTable::new());
+        let id = table.allocate();
+        let handler = NotifHandler::new(device.clone(), Arc::clone(&table), id);
+        let seen = Arc::new(StdMutex::new(Vec::new()));
+        for _ in 0..3 {
+            let sink = Arc::clone(&seen);
+            handler.start_polling(move |v| sink.lock().unwrap().push(v));
+        }
+        table.post(id, JsValue::Number(1.0));
+        device.advance_ms(1_000);
+        // Only one poll loop runs, so the notification arrives once.
+        assert_eq!(seen.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn poll_interval_respected() {
+        let device = Device::builder().build();
+        let table = Arc::new(NotificationTable::new());
+        let id = table.allocate();
+        let handler =
+            NotifHandler::new(device.clone(), Arc::clone(&table), id).with_interval_ms(500);
+        let seen = Arc::new(StdMutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        handler.start_polling(move |v| sink.lock().unwrap().push(v));
+        table.post(id, JsValue::Number(1.0));
+        device.advance_ms(499);
+        assert!(seen.lock().unwrap().is_empty());
+        device.advance_ms(1);
+        assert_eq!(seen.lock().unwrap().len(), 1);
+    }
+}

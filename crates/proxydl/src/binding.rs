@@ -1,0 +1,349 @@
+//! The binding plane.
+//!
+//! "In the third and final plane, the binding plane, we provide
+//! implementation modules that realize this interface on different
+//! platforms. This is also the place where we include platform specific
+//! attributes (through the notion of a 'property list') as well as the
+//! underlying exception set." (paper §3.1)
+
+use std::fmt;
+
+use crate::schema::SchemaError;
+use crate::syntactic::Language;
+use crate::xml::XmlNode;
+
+/// A target platform.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PlatformId {
+    /// Android (native Java).
+    Android,
+    /// Nokia S60 (J2ME).
+    NokiaS60,
+    /// Android WebView (JavaScript).
+    AndroidWebView,
+    /// A platform added through MobiVine's extension mechanism
+    /// (§3.3) — only a binding plane needs publishing.
+    Custom(String),
+}
+
+impl PlatformId {
+    /// The identifier used in XML documents.
+    pub fn id(&self) -> &str {
+        match self {
+            PlatformId::Android => "android",
+            PlatformId::NokiaS60 => "s60",
+            PlatformId::AndroidWebView => "android-webview",
+            PlatformId::Custom(name) => name,
+        }
+    }
+
+    /// Parses an XML identifier (unknown ids become
+    /// [`PlatformId::Custom`]).
+    pub fn from_id(id: &str) -> Self {
+        match id {
+            "android" => PlatformId::Android,
+            "s60" => PlatformId::NokiaS60,
+            "android-webview" => PlatformId::AndroidWebView,
+            other => PlatformId::Custom(other.to_owned()),
+        }
+    }
+
+    /// The language this platform's binding is written in.
+    pub fn language(&self) -> Language {
+        match self {
+            PlatformId::AndroidWebView => Language::JavaScript,
+            _ => Language::Java,
+        }
+    }
+}
+
+impl fmt::Display for PlatformId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// A platform-specific property: the generic mechanism absorbing
+/// platform-mandated attributes outside the common API, configured via
+/// `setProperty()` (paper §4.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PropertySpec {
+    /// Property key (`preferredResponseTime`, `context`, `provider`…).
+    pub name: String,
+    /// Human description, shown by the plug-in's configuration dialog.
+    pub description: String,
+    /// Data type (`int`, `string`, `object`, …).
+    pub data_type: String,
+    /// Default value, if any.
+    pub default_value: Option<String>,
+    /// Allowed values (empty = unconstrained).
+    pub allowed_values: Vec<String>,
+    /// Whether the proxy cannot function until the property is set
+    /// (e.g. Android's application `context`).
+    pub required: bool,
+}
+
+impl PropertySpec {
+    /// Creates an unconstrained optional property.
+    pub fn new(name: &str, data_type: &str, description: &str) -> Self {
+        Self {
+            name: name.to_owned(),
+            description: description.to_owned(),
+            data_type: data_type.to_owned(),
+            default_value: None,
+            allowed_values: Vec::new(),
+            required: false,
+        }
+    }
+
+    /// Sets the default value (builder style).
+    pub fn default_value(mut self, value: &str) -> Self {
+        self.default_value = Some(value.to_owned());
+        self
+    }
+
+    /// Constrains allowed values (builder style).
+    pub fn allowed(mut self, values: &[&str]) -> Self {
+        self.allowed_values = values.iter().map(|v| (*v).to_owned()).collect();
+        self
+    }
+
+    /// Marks the property required (builder style).
+    pub fn required(mut self) -> Self {
+        self.required = true;
+        self
+    }
+
+    /// Whether `value` satisfies this property's constraint.
+    pub fn accepts(&self, value: &str) -> bool {
+        self.allowed_values.is_empty() || self.allowed_values.iter().any(|v| v == value)
+    }
+}
+
+/// The binding plane for one platform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlatformBinding {
+    /// Target platform.
+    pub platform: PlatformId,
+    /// Implementation module — the paper's
+    /// `<implementation>com.ibm.S60.location.LocationProxy</implementation>`.
+    pub implementation_class: String,
+    /// Exceptions the platform's native interfaces throw.
+    pub exceptions: Vec<String>,
+    /// Platform-specific properties.
+    pub properties: Vec<PropertySpec>,
+}
+
+impl PlatformBinding {
+    /// Creates a binding with no exceptions or properties.
+    pub fn new(platform: PlatformId, implementation_class: &str) -> Self {
+        Self {
+            platform,
+            implementation_class: implementation_class.to_owned(),
+            exceptions: Vec::new(),
+            properties: Vec::new(),
+        }
+    }
+
+    /// Adds a thrown exception class (builder style).
+    pub fn exception(mut self, class: &str) -> Self {
+        self.exceptions.push(class.to_owned());
+        self
+    }
+
+    /// Adds a property (builder style).
+    pub fn property(mut self, property: PropertySpec) -> Self {
+        self.properties.push(property);
+        self
+    }
+
+    /// Looks up a property by name.
+    pub fn find_property(&self, name: &str) -> Option<&PropertySpec> {
+        self.properties.iter().find(|p| p.name == name)
+    }
+
+    /// The language of this binding.
+    pub fn language(&self) -> Language {
+        self.platform.language()
+    }
+
+    /// Serializes to the binding-plane XML form.
+    pub fn to_xml(&self) -> XmlNode {
+        let mut root = XmlNode::new("bindingPlane")
+            .attr("platform", self.platform.id())
+            .attr("language", self.language().id())
+            .child(XmlNode::new("implementation").text(&self.implementation_class));
+        if !self.exceptions.is_empty() {
+            let mut ex = XmlNode::new("exceptions");
+            for e in &self.exceptions {
+                ex = ex.child(XmlNode::new("exception").text(e));
+            }
+            root = root.child(ex);
+        }
+        if !self.properties.is_empty() {
+            let mut props = XmlNode::new("propertyList");
+            for p in &self.properties {
+                let mut prop = XmlNode::new("property")
+                    .attr("name", &p.name)
+                    .attr("type", &p.data_type)
+                    .child(XmlNode::new("description").text(&p.description));
+                if p.required {
+                    prop = prop.attr("required", "true");
+                }
+                if let Some(d) = &p.default_value {
+                    prop = prop.child(XmlNode::new("default").text(d));
+                }
+                if !p.allowed_values.is_empty() {
+                    let mut allowed = XmlNode::new("allowedValues");
+                    for v in &p.allowed_values {
+                        allowed = allowed.child(XmlNode::new("value").text(v));
+                    }
+                    prop = prop.child(allowed);
+                }
+                props = props.child(prop);
+            }
+            root = root.child(props);
+        }
+        root
+    }
+
+    /// Deserializes from the binding-plane XML form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemaError::Malformed`] for structural problems.
+    pub fn from_xml(node: &XmlNode) -> Result<Self, SchemaError> {
+        if node.name != "bindingPlane" {
+            return Err(SchemaError::Malformed(format!(
+                "expected <bindingPlane>, found <{}>",
+                node.name
+            )));
+        }
+        let platform = PlatformId::from_id(
+            node.attribute("platform")
+                .ok_or_else(|| SchemaError::Malformed("bindingPlane missing platform".into()))?,
+        );
+        let implementation_class = node
+            .find("implementation")
+            .map(|i| i.text.clone())
+            .ok_or_else(|| SchemaError::Malformed("bindingPlane missing implementation".into()))?;
+        let mut binding = PlatformBinding::new(platform, &implementation_class);
+        if let Some(ex) = node.find("exceptions") {
+            binding.exceptions = ex.find_all("exception").map(|e| e.text.clone()).collect();
+        }
+        if let Some(props) = node.find("propertyList") {
+            for p in props.find_all("property") {
+                let name = p
+                    .attribute("name")
+                    .ok_or_else(|| SchemaError::Malformed("property missing name".into()))?;
+                let data_type = p.attribute("type").unwrap_or("string");
+                let mut spec = PropertySpec::new(
+                    name,
+                    data_type,
+                    &p.find("description").map(|d| d.text.clone()).unwrap_or_default(),
+                );
+                spec.required = p.attribute("required") == Some("true");
+                spec.default_value = p.find("default").map(|d| d.text.clone());
+                spec.allowed_values = p
+                    .find("allowedValues")
+                    .map(|av| av.find_all("value").map(|v| v.text.clone()).collect())
+                    .unwrap_or_default();
+                binding.properties.push(spec);
+            }
+        }
+        Ok(binding)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s60_binding() -> PlatformBinding {
+        // The paper's S60 binding listing for addProximityAlert.
+        PlatformBinding::new(PlatformId::NokiaS60, "com.ibm.S60.location.LocationProxy")
+            .exception("javax.microedition.location.LocationException")
+            .exception("java.lang.SecurityException")
+            .property(
+                PropertySpec::new(
+                    "preferredResponseTime",
+                    "int",
+                    "Preferred max. response time",
+                )
+                .default_value("-1"),
+            )
+            .property(
+                PropertySpec::new("powerConsumption", "string", "Positioning power budget")
+                    .default_value("NoRequirement")
+                    .allowed(&["NoRequirement", "Low", "Medium", "High"]),
+            )
+    }
+
+    #[test]
+    fn paper_s60_listing_reproduced() {
+        let b = s60_binding();
+        assert_eq!(b.implementation_class, "com.ibm.S60.location.LocationProxy");
+        assert!(b
+            .exceptions
+            .contains(&"javax.microedition.location.LocationException".to_owned()));
+        let p = b.find_property("preferredResponseTime").unwrap();
+        assert_eq!(p.default_value.as_deref(), Some("-1"));
+    }
+
+    #[test]
+    fn property_constraint_checking() {
+        let b = s60_binding();
+        let p = b.find_property("powerConsumption").unwrap();
+        assert!(p.accepts("Low"));
+        assert!(!p.accepts("Turbo"));
+        // Unconstrained property accepts anything.
+        assert!(b.find_property("preferredResponseTime").unwrap().accepts("5000"));
+    }
+
+    #[test]
+    fn platform_languages() {
+        assert_eq!(PlatformId::Android.language(), Language::Java);
+        assert_eq!(PlatformId::NokiaS60.language(), Language::Java);
+        assert_eq!(PlatformId::AndroidWebView.language(), Language::JavaScript);
+        assert_eq!(
+            PlatformId::Custom("iphone".into()).language(),
+            Language::Java
+        );
+    }
+
+    #[test]
+    fn platform_ids_round_trip() {
+        for p in [
+            PlatformId::Android,
+            PlatformId::NokiaS60,
+            PlatformId::AndroidWebView,
+            PlatformId::Custom("brew".into()),
+        ] {
+            assert_eq!(PlatformId::from_id(p.id()), p);
+        }
+    }
+
+    #[test]
+    fn xml_round_trip() {
+        let binding = s60_binding();
+        let text = binding.to_xml().render();
+        let reparsed = crate::xml::XmlNode::parse(&text).unwrap();
+        assert_eq!(PlatformBinding::from_xml(&reparsed).unwrap(), binding);
+    }
+
+    #[test]
+    fn required_flag_round_trips() {
+        let binding = PlatformBinding::new(PlatformId::Android, "X")
+            .property(PropertySpec::new("context", "object", "app context").required());
+        let text = binding.to_xml().render();
+        let back =
+            PlatformBinding::from_xml(&crate::xml::XmlNode::parse(&text).unwrap()).unwrap();
+        assert!(back.find_property("context").unwrap().required);
+    }
+
+    #[test]
+    fn from_xml_requires_implementation() {
+        let node = XmlNode::new("bindingPlane").attr("platform", "android");
+        assert!(PlatformBinding::from_xml(&node).is_err());
+    }
+}

@@ -1,0 +1,240 @@
+//! Complete proxy descriptors.
+//!
+//! A [`ProxyDescriptor`] combines the three planes of one M-Proxy: one
+//! semantic plane, one syntactic binding per language, and one platform
+//! binding per supported platform. "In practice, proxies should be
+//! developed for an interface that exists on more than one platform, and
+//! not necessarily on 'all' platforms" (paper §3.3) — which is why the
+//! binding list is open-ended.
+
+use crate::binding::{PlatformBinding, PlatformId};
+use crate::schema::SchemaError;
+use crate::semantic::SemanticPlane;
+use crate::syntactic::{Language, SyntacticBinding};
+use crate::xml::XmlNode;
+
+/// A complete M-Proxy description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProxyDescriptor {
+    /// Proxy name, e.g. `Location` — shown as a category in the proxy
+    /// drawer.
+    pub name: String,
+    /// Drawer category grouping, e.g. `Telecom`.
+    pub category: String,
+    /// The semantic plane.
+    pub semantic: SemanticPlane,
+    /// Syntactic bindings (one per language).
+    pub syntactic: Vec<SyntacticBinding>,
+    /// Platform bindings (one per supported platform).
+    pub bindings: Vec<PlatformBinding>,
+}
+
+impl ProxyDescriptor {
+    /// Creates a descriptor around a semantic plane.
+    pub fn new(name: &str, category: &str, semantic: SemanticPlane) -> Self {
+        Self {
+            name: name.to_owned(),
+            category: category.to_owned(),
+            semantic,
+            syntactic: Vec::new(),
+            bindings: Vec::new(),
+        }
+    }
+
+    /// Adds a syntactic binding (builder style).
+    pub fn syntax(mut self, binding: SyntacticBinding) -> Self {
+        self.syntactic.push(binding);
+        self
+    }
+
+    /// Adds a platform binding (builder style).
+    pub fn binding(mut self, binding: PlatformBinding) -> Self {
+        self.bindings.push(binding);
+        self
+    }
+
+    /// The syntactic binding for `language`, if present.
+    pub fn syntax_for(&self, language: Language) -> Option<&SyntacticBinding> {
+        self.syntactic.iter().find(|s| s.language == language)
+    }
+
+    /// The platform binding for `platform`, if present.
+    pub fn binding_for(&self, platform: &PlatformId) -> Option<&PlatformBinding> {
+        self.bindings.iter().find(|b| &b.platform == platform)
+    }
+
+    /// Platforms this proxy supports.
+    pub fn platforms(&self) -> Vec<&PlatformId> {
+        self.bindings.iter().map(|b| &b.platform).collect()
+    }
+
+    /// Extends the descriptor with a binding for a new platform — the
+    /// extension workflow of §3.3: "if the semantic and syntactic planes
+    /// already exist ... one requires to publish only the binding
+    /// artifacts".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemaError::DuplicateBinding`] if the platform is
+    /// already bound, or [`SchemaError::MissingSyntax`] if no syntactic
+    /// binding exists for the new platform's language.
+    pub fn extend_platform(&mut self, binding: PlatformBinding) -> Result<(), SchemaError> {
+        if self.binding_for(&binding.platform).is_some() {
+            return Err(SchemaError::DuplicateBinding(binding.platform.id().to_owned()));
+        }
+        if self.syntax_for(binding.language()).is_none() {
+            return Err(SchemaError::MissingSyntax {
+                proxy: self.name.clone(),
+                language: binding.language(),
+            });
+        }
+        self.bindings.push(binding);
+        Ok(())
+    }
+
+    /// Serializes the full descriptor.
+    pub fn to_xml(&self) -> XmlNode {
+        let mut root = XmlNode::new("proxy")
+            .attr("name", &self.name)
+            .attr("category", &self.category)
+            .child(self.semantic.to_xml());
+        for s in &self.syntactic {
+            root = root.child(s.to_xml());
+        }
+        for b in &self.bindings {
+            root = root.child(b.to_xml());
+        }
+        root
+    }
+
+    /// Deserializes a full descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemaError::Malformed`] for structural problems in any
+    /// plane.
+    pub fn from_xml(node: &XmlNode) -> Result<Self, SchemaError> {
+        if node.name != "proxy" {
+            return Err(SchemaError::Malformed(format!(
+                "expected <proxy>, found <{}>",
+                node.name
+            )));
+        }
+        let name = node
+            .attribute("name")
+            .ok_or_else(|| SchemaError::Malformed("proxy missing name".into()))?;
+        let category = node.attribute("category").unwrap_or("");
+        let semantic_node = node
+            .find("semanticPlane")
+            .ok_or_else(|| SchemaError::Malformed("proxy missing semanticPlane".into()))?;
+        let mut descriptor =
+            ProxyDescriptor::new(name, category, SemanticPlane::from_xml(semantic_node)?);
+        for s in node.find_all("syntacticPlane") {
+            descriptor.syntactic.push(SyntacticBinding::from_xml(s)?);
+        }
+        for b in node.find_all("bindingPlane") {
+            descriptor.bindings.push(PlatformBinding::from_xml(b)?);
+        }
+        Ok(descriptor)
+    }
+
+    /// Parses a descriptor from XML text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemaError::Malformed`] for XML or structural
+    /// problems.
+    pub fn parse(text: &str) -> Result<Self, SchemaError> {
+        let node = XmlNode::parse(text)
+            .map_err(|e| SchemaError::Malformed(format!("xml: {e}")))?;
+        Self::from_xml(&node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::PropertySpec;
+    use crate::semantic::MethodSpec;
+    use crate::syntactic::MethodTypes;
+
+    fn descriptor() -> ProxyDescriptor {
+        ProxyDescriptor::new(
+            "Location",
+            "Telecom",
+            SemanticPlane::new("Location").method(
+                MethodSpec::new("getLocation").returns("location"),
+            ),
+        )
+        .syntax(
+            SyntacticBinding::new(Language::Java)
+                .method(MethodTypes::new("getLocation").returns("com.ibm.telecom.proxy.Location")),
+        )
+        .syntax(
+            SyntacticBinding::new(Language::JavaScript)
+                .method(MethodTypes::new("getLocation").returns("object")),
+        )
+        .binding(
+            PlatformBinding::new(PlatformId::Android, "com.ibm.android.location.LocationProxy")
+                .property(PropertySpec::new("context", "object", "application context").required()),
+        )
+        .binding(PlatformBinding::new(
+            PlatformId::AndroidWebView,
+            "LocationProxyImpl.js",
+        ))
+    }
+
+    #[test]
+    fn lookups() {
+        let d = descriptor();
+        assert!(d.syntax_for(Language::Java).is_some());
+        assert!(d.binding_for(&PlatformId::Android).is_some());
+        assert!(d.binding_for(&PlatformId::NokiaS60).is_none());
+        assert_eq!(d.platforms().len(), 2);
+    }
+
+    #[test]
+    fn full_xml_round_trip() {
+        let d = descriptor();
+        let text = d.to_xml().render();
+        assert_eq!(ProxyDescriptor::parse(&text).unwrap(), d);
+    }
+
+    #[test]
+    fn extend_platform_adds_binding_only() {
+        let mut d = descriptor();
+        d.extend_platform(PlatformBinding::new(
+            PlatformId::NokiaS60,
+            "com.ibm.S60.location.LocationProxy",
+        ))
+        .unwrap();
+        assert!(d.binding_for(&PlatformId::NokiaS60).is_some());
+    }
+
+    #[test]
+    fn extend_rejects_duplicate_platform() {
+        let mut d = descriptor();
+        let err = d
+            .extend_platform(PlatformBinding::new(PlatformId::Android, "Other"))
+            .unwrap_err();
+        assert!(matches!(err, SchemaError::DuplicateBinding(_)));
+    }
+
+    #[test]
+    fn extend_requires_language_syntax() {
+        let mut d = descriptor();
+        d.syntactic.retain(|s| s.language != Language::Java);
+        let err = d
+            .extend_platform(PlatformBinding::new(
+                PlatformId::Custom("iphone".into()),
+                "IPhoneLocationProxy",
+            ))
+            .unwrap_err();
+        assert!(matches!(err, SchemaError::MissingSyntax { .. }));
+    }
+
+    #[test]
+    fn parse_rejects_missing_semantic_plane() {
+        assert!(ProxyDescriptor::parse("<proxy name=\"X\"/>").is_err());
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+//! Proxy description language (PDL) for MobiVine M-Proxies.
+//!
+//! The paper encodes each M-Proxy as XML documents against **five XML
+//! Schemas** — "one for handling the semantic plane, one each for
+//! handling Java and JavaScript styles at the syntactic plane, and two at
+//! the implementation plane for binding Java (for S60 and Android), and
+//! JavaScript (for WebView)" (§4.1).
+//!
+//! This crate provides:
+//!
+//! - [`xml`] — a dependency-free reader/writer for the XML subset those
+//!   documents use (elements, attributes, text, escaping),
+//! - [`semantic`], [`syntactic`], [`binding`] — typed models of the
+//!   three planes (§3.1),
+//! - [`descriptor`] — a complete proxy descriptor combining the planes,
+//!   with XML (de)serialization,
+//! - [`schema`] — the five validators, including cross-plane
+//!   consistency checks (every semantic method must have type bindings;
+//!   property defaults must be among allowed values), and
+//! - [`catalog`] — the standard descriptors the paper implements
+//!   (Location, SMS, Call, Http for Android / Nokia S60 / Android
+//!   WebView, with Call absent on S60 exactly as in §4.1).
+
+pub mod binding;
+pub mod catalog;
+pub mod descriptor;
+pub mod schema;
+pub mod semantic;
+pub mod syntactic;
+pub mod xml;
+
+pub use binding::{PlatformBinding, PlatformId, PropertySpec};
+pub use descriptor::ProxyDescriptor;
+pub use schema::{SchemaError, SchemaKind};
+pub use semantic::{MethodSpec, ParamSpec, SemanticPlane};
+pub use syntactic::{Language, SyntacticBinding};

@@ -1,0 +1,413 @@
+//! The five schema validators.
+//!
+//! The paper designs "five Schemas in the XML format — one for handling
+//! the semantic plane, one each for handling Java and JavaScript styles
+//! at the syntactic plane, and two at the implementation plane for
+//! binding Java (for S60 and Android), and JavaScript (for WebView)"
+//! (§4.1). [`validate_descriptor`] runs all applicable schemas plus the
+//! cross-plane consistency rules the layered design implies ("at each
+//! plane ... we capture a subset of the total information, and make it
+//! consistent in a manner so that it can be built upon by the subsequent
+//! plane(s)", §3.1).
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::binding::PlatformBinding;
+use crate::descriptor::ProxyDescriptor;
+use crate::semantic::SemanticPlane;
+use crate::syntactic::{Language, SyntacticBinding};
+
+/// Which of the five schemas a validation ran against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemaKind {
+    /// The semantic-plane schema.
+    Semantic,
+    /// The Java syntactic-plane schema.
+    SyntacticJava,
+    /// The JavaScript syntactic-plane schema.
+    SyntacticJavaScript,
+    /// The Java binding-plane schema (Android and S60).
+    BindingJava,
+    /// The JavaScript binding-plane schema (WebView).
+    BindingJavaScript,
+}
+
+impl SchemaKind {
+    /// The schema governing a syntactic binding.
+    pub fn for_syntax(language: Language) -> Self {
+        match language {
+            Language::Java => SchemaKind::SyntacticJava,
+            Language::JavaScript => SchemaKind::SyntacticJavaScript,
+        }
+    }
+
+    /// The schema governing a platform binding.
+    pub fn for_binding(binding: &PlatformBinding) -> Self {
+        match binding.language() {
+            Language::Java => SchemaKind::BindingJava,
+            Language::JavaScript => SchemaKind::BindingJavaScript,
+        }
+    }
+}
+
+/// A schema violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// The XML structure did not match any plane form.
+    Malformed(String),
+    /// A method name appears twice in one plane.
+    DuplicateMethod(String),
+    /// Parameter dimensions are not contiguous 1..n.
+    BadDimensions {
+        /// The offending method.
+        method: String,
+    },
+    /// A syntactic binding misses a semantic method or has wrong arity.
+    ArityMismatch {
+        /// The offending method.
+        method: String,
+        /// The syntactic binding's language.
+        language: Language,
+        /// Parameter count the semantic plane declares.
+        expected: usize,
+        /// Parameter-type count the syntactic binding provides.
+        found: usize,
+    },
+    /// A semantic method lacks a binding in some declared language.
+    MissingMethodTypes {
+        /// The unbound method.
+        method: String,
+        /// The language missing the binding.
+        language: Language,
+    },
+    /// A property default falls outside its allowed values.
+    BadPropertyDefault {
+        /// The offending property.
+        property: String,
+    },
+    /// A platform is bound twice.
+    DuplicateBinding(String),
+    /// A platform binding's language has no syntactic plane.
+    MissingSyntax {
+        /// The proxy being extended.
+        proxy: String,
+        /// The language lacking a syntactic plane.
+        language: Language,
+    },
+    /// A binding has an empty implementation class.
+    EmptyImplementation(String),
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::Malformed(m) => write!(f, "malformed document: {m}"),
+            SchemaError::DuplicateMethod(m) => write!(f, "duplicate method {m}"),
+            SchemaError::BadDimensions { method } => {
+                write!(f, "method {method} has non-contiguous parameter dimensions")
+            }
+            SchemaError::ArityMismatch {
+                method,
+                language,
+                expected,
+                found,
+            } => write!(
+                f,
+                "method {method} has {found} {language} parameter types, semantic plane declares {expected}"
+            ),
+            SchemaError::MissingMethodTypes { method, language } => {
+                write!(f, "method {method} has no {language} type binding")
+            }
+            SchemaError::BadPropertyDefault { property } => {
+                write!(f, "property {property} default is not among allowed values")
+            }
+            SchemaError::DuplicateBinding(p) => write!(f, "platform {p} bound twice"),
+            SchemaError::MissingSyntax { proxy, language } => {
+                write!(f, "proxy {proxy} has no {language} syntactic plane")
+            }
+            SchemaError::EmptyImplementation(p) => {
+                write!(f, "binding for {p} has an empty implementation class")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// Validates the semantic plane: unique method names and contiguous
+/// parameter dimensions.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn validate_semantic(plane: &SemanticPlane) -> Result<(), SchemaError> {
+    let mut seen = HashSet::new();
+    for method in &plane.methods {
+        if !seen.insert(method.name.as_str()) {
+            return Err(SchemaError::DuplicateMethod(method.name.clone()));
+        }
+        let mut dims: Vec<u32> = method.params.iter().map(|p| p.dimension).collect();
+        dims.sort_unstable();
+        let contiguous = dims
+            .iter()
+            .enumerate()
+            .all(|(i, d)| *d == (i as u32) + 1);
+        if !contiguous {
+            return Err(SchemaError::BadDimensions {
+                method: method.name.clone(),
+            });
+        }
+        let mut param_names = HashSet::new();
+        for p in &method.params {
+            if !param_names.insert(p.name.as_str()) {
+                return Err(SchemaError::DuplicateMethod(format!(
+                    "{}::{}",
+                    method.name, p.name
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validates one syntactic binding against the semantic plane: every
+/// semantic method must be bound with matching arity.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn validate_syntactic(
+    binding: &SyntacticBinding,
+    semantic: &SemanticPlane,
+) -> Result<(), SchemaError> {
+    let mut seen = HashSet::new();
+    for m in &binding.methods {
+        if !seen.insert(m.name.as_str()) {
+            return Err(SchemaError::DuplicateMethod(m.name.clone()));
+        }
+    }
+    for method in &semantic.methods {
+        let types = binding.find_method(&method.name).ok_or_else(|| {
+            SchemaError::MissingMethodTypes {
+                method: method.name.clone(),
+                language: binding.language,
+            }
+        })?;
+        if types.param_types.len() != method.params.len() {
+            return Err(SchemaError::ArityMismatch {
+                method: method.name.clone(),
+                language: binding.language,
+                expected: method.params.len(),
+                found: types.param_types.len(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Validates one platform binding: a non-empty implementation module and
+/// property defaults within their allowed values.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn validate_binding(binding: &PlatformBinding) -> Result<(), SchemaError> {
+    if binding.implementation_class.trim().is_empty() {
+        return Err(SchemaError::EmptyImplementation(
+            binding.platform.id().to_owned(),
+        ));
+    }
+    for p in &binding.properties {
+        if let Some(default) = &p.default_value {
+            if !p.accepts(default) {
+                return Err(SchemaError::BadPropertyDefault {
+                    property: p.name.clone(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs every applicable schema over a full descriptor, collecting all
+/// violations (empty = valid).
+pub fn validate_descriptor(descriptor: &ProxyDescriptor) -> Vec<SchemaError> {
+    let mut errors = Vec::new();
+    if let Err(e) = validate_semantic(&descriptor.semantic) {
+        errors.push(e);
+    }
+    for s in &descriptor.syntactic {
+        if let Err(e) = validate_syntactic(s, &descriptor.semantic) {
+            errors.push(e);
+        }
+    }
+    let mut platforms = HashSet::new();
+    for b in &descriptor.bindings {
+        if !platforms.insert(b.platform.id().to_owned()) {
+            errors.push(SchemaError::DuplicateBinding(b.platform.id().to_owned()));
+        }
+        if let Err(e) = validate_binding(b) {
+            errors.push(e);
+        }
+        if descriptor.syntax_for(b.language()).is_none() {
+            errors.push(SchemaError::MissingSyntax {
+                proxy: descriptor.name.clone(),
+                language: b.language(),
+            });
+        }
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binding::{PlatformId, PropertySpec};
+    use crate::semantic::{MethodSpec, ParamSpec};
+    use crate::syntactic::MethodTypes;
+
+    fn valid_descriptor() -> ProxyDescriptor {
+        ProxyDescriptor::new(
+            "Sms",
+            "Telecom",
+            SemanticPlane::new("SMS").method(
+                MethodSpec::new("sendTextMessage")
+                    .param("destination", "recipient address")
+                    .param("text", "message body"),
+            ),
+        )
+        .syntax(
+            SyntacticBinding::new(Language::Java).method(
+                MethodTypes::new("sendTextMessage")
+                    .param("java.lang.String")
+                    .param("java.lang.String"),
+            ),
+        )
+        .binding(PlatformBinding::new(
+            PlatformId::Android,
+            "com.ibm.android.sms.SmsProxy",
+        ))
+    }
+
+    #[test]
+    fn valid_descriptor_passes_all_schemas() {
+        assert!(validate_descriptor(&valid_descriptor()).is_empty());
+    }
+
+    #[test]
+    fn duplicate_semantic_method_detected() {
+        let plane = SemanticPlane::new("X")
+            .method(MethodSpec::new("m"))
+            .method(MethodSpec::new("m"));
+        assert!(matches!(
+            validate_semantic(&plane),
+            Err(SchemaError::DuplicateMethod(_))
+        ));
+    }
+
+    #[test]
+    fn non_contiguous_dimensions_detected() {
+        let mut plane = SemanticPlane::new("X").method(MethodSpec::new("m"));
+        plane.methods[0].params = vec![
+            ParamSpec::new("a", 1, ""),
+            ParamSpec::new("b", 3, ""),
+        ];
+        assert!(matches!(
+            validate_semantic(&plane),
+            Err(SchemaError::BadDimensions { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_param_names_detected() {
+        let mut plane = SemanticPlane::new("X").method(MethodSpec::new("m"));
+        plane.methods[0].params = vec![
+            ParamSpec::new("a", 1, ""),
+            ParamSpec::new("a", 2, ""),
+        ];
+        assert!(validate_semantic(&plane).is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let mut d = valid_descriptor();
+        d.syntactic[0].methods[0].param_types.pop();
+        let errors = validate_descriptor(&d);
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, SchemaError::ArityMismatch { expected: 2, found: 1, .. })));
+    }
+
+    #[test]
+    fn missing_method_types_detected() {
+        let mut d = valid_descriptor();
+        d.syntactic[0].methods.clear();
+        let errors = validate_descriptor(&d);
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, SchemaError::MissingMethodTypes { .. })));
+    }
+
+    #[test]
+    fn bad_property_default_detected() {
+        let binding = PlatformBinding::new(PlatformId::NokiaS60, "Impl").property(
+            PropertySpec::new("power", "string", "")
+                .default_value("Turbo")
+                .allowed(&["Low", "High"]),
+        );
+        assert!(matches!(
+            validate_binding(&binding),
+            Err(SchemaError::BadPropertyDefault { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_implementation_detected() {
+        let binding = PlatformBinding::new(PlatformId::Android, "  ");
+        assert!(matches!(
+            validate_binding(&binding),
+            Err(SchemaError::EmptyImplementation(_))
+        ));
+    }
+
+    #[test]
+    fn binding_without_language_syntax_detected() {
+        let mut d = valid_descriptor();
+        d.bindings.push(PlatformBinding::new(
+            PlatformId::AndroidWebView,
+            "SmsProxy.js",
+        ));
+        let errors = validate_descriptor(&d);
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, SchemaError::MissingSyntax { .. })));
+    }
+
+    #[test]
+    fn duplicate_platform_binding_detected() {
+        let mut d = valid_descriptor();
+        d.bindings
+            .push(PlatformBinding::new(PlatformId::Android, "Other"));
+        let errors = validate_descriptor(&d);
+        assert!(errors
+            .iter()
+            .any(|e| matches!(e, SchemaError::DuplicateBinding(_))));
+    }
+
+    #[test]
+    fn schema_kind_mapping() {
+        assert_eq!(
+            SchemaKind::for_syntax(Language::Java),
+            SchemaKind::SyntacticJava
+        );
+        assert_eq!(
+            SchemaKind::for_binding(&PlatformBinding::new(PlatformId::AndroidWebView, "x")),
+            SchemaKind::BindingJavaScript
+        );
+        assert_eq!(
+            SchemaKind::for_binding(&PlatformBinding::new(PlatformId::NokiaS60, "x")),
+            SchemaKind::BindingJava
+        );
+    }
+}

@@ -1,0 +1,244 @@
+//! The semantic plane.
+//!
+//! "In the first plane, called the semantic plane, we fix the structure
+//! of the interface, in terms of the method name, number, meaning and
+//! order of each parameter along with their dimensions, as well as the
+//! return value." (paper §3.1)
+
+use crate::schema::SchemaError;
+use crate::xml::XmlNode;
+
+/// One parameter of a semantic method definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamSpec {
+    /// Parameter name (`latitude`, `radius`, …).
+    pub name: String,
+    /// 1-based position — the paper's `<dimension>1</dimension>`.
+    pub dimension: u32,
+    /// Human meaning of the parameter.
+    pub meaning: String,
+    /// Allowed values (empty = unconstrained).
+    pub allowed_values: Vec<String>,
+}
+
+impl ParamSpec {
+    /// Creates an unconstrained parameter at `dimension`.
+    pub fn new(name: &str, dimension: u32, meaning: &str) -> Self {
+        Self {
+            name: name.to_owned(),
+            dimension,
+            meaning: meaning.to_owned(),
+            allowed_values: Vec::new(),
+        }
+    }
+}
+
+/// One method in the semantic plane.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodSpec {
+    /// The common method name ("chosen as the most accepted one across
+    /// different platforms, or as per the discretion of the proxy
+    /// creator").
+    pub name: String,
+    /// Parameters in dimension order.
+    pub params: Vec<ParamSpec>,
+    /// Semantic kind of the return value, if any (e.g. `location`).
+    pub returns: Option<String>,
+}
+
+impl MethodSpec {
+    /// Creates a method with no parameters and no return.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_owned(),
+            params: Vec::new(),
+            returns: None,
+        }
+    }
+
+    /// Appends a parameter at the next dimension (builder style).
+    pub fn param(mut self, name: &str, meaning: &str) -> Self {
+        let dimension = self.params.len() as u32 + 1;
+        self.params.push(ParamSpec::new(name, dimension, meaning));
+        self
+    }
+
+    /// Sets the return kind (builder style).
+    pub fn returns(mut self, kind: &str) -> Self {
+        self.returns = Some(kind.to_owned());
+        self
+    }
+}
+
+/// The semantic plane of one proxy: the platform-neutral interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SemanticPlane {
+    /// The interface this proxy abstracts (`Location`, `SMS`, …).
+    pub interface: String,
+    /// The methods it exposes.
+    pub methods: Vec<MethodSpec>,
+}
+
+impl SemanticPlane {
+    /// Creates an empty plane for `interface`.
+    pub fn new(interface: &str) -> Self {
+        Self {
+            interface: interface.to_owned(),
+            methods: Vec::new(),
+        }
+    }
+
+    /// Adds a method (builder style).
+    pub fn method(mut self, method: MethodSpec) -> Self {
+        self.methods.push(method);
+        self
+    }
+
+    /// Looks up a method by name.
+    pub fn find_method(&self, name: &str) -> Option<&MethodSpec> {
+        self.methods.iter().find(|m| m.name == name)
+    }
+
+    /// Serializes to the semantic-plane XML form.
+    pub fn to_xml(&self) -> XmlNode {
+        let mut root = XmlNode::new("semanticPlane").attr("interface", &self.interface);
+        for method in &self.methods {
+            let mut m = XmlNode::new("method").attr("name", &method.name);
+            for p in &method.params {
+                let mut param = XmlNode::new("param")
+                    .attr("name", &p.name)
+                    .child(XmlNode::new("dimension").text(&p.dimension.to_string()))
+                    .child(XmlNode::new("meaning").text(&p.meaning));
+                if !p.allowed_values.is_empty() {
+                    let mut allowed = XmlNode::new("allowedValues");
+                    for v in &p.allowed_values {
+                        allowed = allowed.child(XmlNode::new("value").text(v));
+                    }
+                    param = param.child(allowed);
+                }
+                m = m.child(param);
+            }
+            if let Some(ret) = &method.returns {
+                m = m.child(XmlNode::new("returns").text(ret));
+            }
+            root = root.child(m);
+        }
+        root
+    }
+
+    /// Deserializes from the semantic-plane XML form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemaError::Malformed`] for structural problems.
+    pub fn from_xml(node: &XmlNode) -> Result<Self, SchemaError> {
+        if node.name != "semanticPlane" {
+            return Err(SchemaError::Malformed(format!(
+                "expected <semanticPlane>, found <{}>",
+                node.name
+            )));
+        }
+        let interface = node
+            .attribute("interface")
+            .ok_or_else(|| SchemaError::Malformed("semanticPlane missing interface".into()))?
+            .to_owned();
+        let mut plane = SemanticPlane::new(&interface);
+        for m in node.find_all("method") {
+            let name = m
+                .attribute("name")
+                .ok_or_else(|| SchemaError::Malformed("method missing name".into()))?;
+            let mut method = MethodSpec::new(name);
+            for p in m.find_all("param") {
+                let pname = p
+                    .attribute("name")
+                    .ok_or_else(|| SchemaError::Malformed("param missing name".into()))?;
+                let dimension: u32 = p
+                    .find("dimension")
+                    .map(|d| d.text.as_str())
+                    .unwrap_or("0")
+                    .parse()
+                    .map_err(|_| SchemaError::Malformed("bad dimension".into()))?;
+                let meaning = p.find("meaning").map(|m| m.text.clone()).unwrap_or_default();
+                let allowed_values = p
+                    .find("allowedValues")
+                    .map(|av| av.find_all("value").map(|v| v.text.clone()).collect())
+                    .unwrap_or_default();
+                method.params.push(ParamSpec {
+                    name: pname.to_owned(),
+                    dimension,
+                    meaning,
+                    allowed_values,
+                });
+            }
+            method.returns = m.find("returns").map(|r| r.text.clone());
+            plane.methods.push(method);
+        }
+        Ok(plane)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn proximity_plane() -> SemanticPlane {
+        SemanticPlane::new("Location").method(
+            MethodSpec::new("addProximityAlert")
+                .param("latitude", "region center latitude in degrees")
+                .param("longitude", "region center longitude in degrees")
+                .param("altitude", "region center altitude in metres")
+                .param("radius", "region radius in metres")
+                .param("timer", "registration lifetime in seconds")
+                .param("proximityListener", "callback receiving alerts"),
+        )
+    }
+
+    #[test]
+    fn builder_assigns_dimensions_in_order() {
+        let plane = proximity_plane();
+        let m = plane.find_method("addProximityAlert").unwrap();
+        let dims: Vec<u32> = m.params.iter().map(|p| p.dimension).collect();
+        assert_eq!(dims, vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(m.params[0].name, "latitude");
+    }
+
+    #[test]
+    fn xml_round_trip() {
+        let mut plane = proximity_plane();
+        plane.methods[0].returns = Some("void".into());
+        plane.methods[0].params[4].allowed_values = vec!["-1".into(), ">0".into()];
+        let xml = plane.to_xml();
+        let back = SemanticPlane::from_xml(&xml).unwrap();
+        assert_eq!(back, plane);
+    }
+
+    #[test]
+    fn xml_round_trip_through_text() {
+        let plane = proximity_plane();
+        let text = plane.to_xml().render();
+        let reparsed = crate::xml::XmlNode::parse(&text).unwrap();
+        assert_eq!(SemanticPlane::from_xml(&reparsed).unwrap(), plane);
+    }
+
+    #[test]
+    fn from_xml_rejects_wrong_root() {
+        let node = XmlNode::new("other");
+        assert!(matches!(
+            SemanticPlane::from_xml(&node),
+            Err(SchemaError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn from_xml_rejects_missing_names() {
+        let node = XmlNode::new("semanticPlane")
+            .attr("interface", "X")
+            .child(XmlNode::new("method"));
+        assert!(SemanticPlane::from_xml(&node).is_err());
+    }
+
+    #[test]
+    fn find_method_misses_gracefully() {
+        assert!(proximity_plane().find_method("sendTextMessage").is_none());
+    }
+}

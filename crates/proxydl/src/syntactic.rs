@@ -1,0 +1,278 @@
+//! The syntactic plane.
+//!
+//! "In the second plane, called the syntactic plane, we bind the
+//! interface structure with concrete data types required for different
+//! programming languages." (paper §3.1) One binding exists per language
+//! — the paper ships Java and JavaScript; "while in Java we have a
+//! callback 'object' that receives notifications, in JavaScript (or C)
+//! we can specify a function (or a function pointer)".
+
+use std::fmt;
+
+use crate::schema::SchemaError;
+use crate::xml::XmlNode;
+
+/// A programming language the proxy is bound to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Language {
+    /// Java (Android and S60/J2ME).
+    Java,
+    /// JavaScript (Android WebView).
+    JavaScript,
+}
+
+impl Language {
+    /// The identifier used in XML documents.
+    pub fn id(&self) -> &'static str {
+        match self {
+            Language::Java => "java",
+            Language::JavaScript => "javascript",
+        }
+    }
+
+    /// Parses the XML identifier.
+    pub fn from_id(id: &str) -> Option<Self> {
+        match id {
+            "java" => Some(Language::Java),
+            "javascript" => Some(Language::JavaScript),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Language {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// A callback binding: how asynchronous results are typed in this
+/// language (object-with-method in Java, plain function in JavaScript).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallbackSpec {
+    /// Callback type (`com.ibm.telecom.proxy.ProximityListener` in Java,
+    /// `function` in JavaScript).
+    pub type_name: String,
+    /// The method invoked on the callback (`proximityEvent`); empty for
+    /// bare functions.
+    pub method: String,
+}
+
+/// Type bindings for one semantic method in one language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodTypes {
+    /// Semantic method name this binds.
+    pub name: String,
+    /// Concrete parameter types, in dimension order. Callback parameters
+    /// use the callback's type name.
+    pub param_types: Vec<String>,
+    /// Concrete return type, if any.
+    pub return_type: Option<String>,
+    /// Callback structure, when one of the parameters is a callback.
+    pub callback: Option<CallbackSpec>,
+}
+
+impl MethodTypes {
+    /// Creates a binding with no parameters.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_owned(),
+            param_types: Vec::new(),
+            return_type: None,
+            callback: None,
+        }
+    }
+
+    /// Appends a parameter type (builder style).
+    pub fn param(mut self, type_name: &str) -> Self {
+        self.param_types.push(type_name.to_owned());
+        self
+    }
+
+    /// Sets the return type (builder style).
+    pub fn returns(mut self, type_name: &str) -> Self {
+        self.return_type = Some(type_name.to_owned());
+        self
+    }
+
+    /// Sets the callback spec (builder style).
+    pub fn callback(mut self, type_name: &str, method: &str) -> Self {
+        self.callback = Some(CallbackSpec {
+            type_name: type_name.to_owned(),
+            method: method.to_owned(),
+        });
+        self
+    }
+}
+
+/// The syntactic plane for one language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyntacticBinding {
+    /// The language.
+    pub language: Language,
+    /// Per-method type bindings.
+    pub methods: Vec<MethodTypes>,
+}
+
+impl SyntacticBinding {
+    /// Creates an empty binding for `language`.
+    pub fn new(language: Language) -> Self {
+        Self {
+            language,
+            methods: Vec::new(),
+        }
+    }
+
+    /// Adds a method binding (builder style).
+    pub fn method(mut self, method: MethodTypes) -> Self {
+        self.methods.push(method);
+        self
+    }
+
+    /// Looks up the binding for a semantic method.
+    pub fn find_method(&self, name: &str) -> Option<&MethodTypes> {
+        self.methods.iter().find(|m| m.name == name)
+    }
+
+    /// Serializes to the syntactic-plane XML form.
+    pub fn to_xml(&self) -> XmlNode {
+        let mut root = XmlNode::new("syntacticPlane").attr("language", self.language.id());
+        for method in &self.methods {
+            let mut m = XmlNode::new("method").attr("name", &method.name);
+            for t in &method.param_types {
+                m = m.child(XmlNode::new("paramType").text(t));
+            }
+            if let Some(r) = &method.return_type {
+                m = m.child(XmlNode::new("returnType").text(r));
+            }
+            if let Some(cb) = &method.callback {
+                m = m.child(
+                    XmlNode::new("callback")
+                        .attr("type", &cb.type_name)
+                        .attr("method", &cb.method),
+                );
+            }
+            root = root.child(m);
+        }
+        root
+    }
+
+    /// Deserializes from the syntactic-plane XML form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemaError::Malformed`] for structural problems,
+    /// including unknown languages.
+    pub fn from_xml(node: &XmlNode) -> Result<Self, SchemaError> {
+        if node.name != "syntacticPlane" {
+            return Err(SchemaError::Malformed(format!(
+                "expected <syntacticPlane>, found <{}>",
+                node.name
+            )));
+        }
+        let language = node
+            .attribute("language")
+            .and_then(Language::from_id)
+            .ok_or_else(|| SchemaError::Malformed("bad or missing language".into()))?;
+        let mut binding = SyntacticBinding::new(language);
+        for m in node.find_all("method") {
+            let name = m
+                .attribute("name")
+                .ok_or_else(|| SchemaError::Malformed("method missing name".into()))?;
+            let mut method = MethodTypes::new(name);
+            for t in m.find_all("paramType") {
+                method.param_types.push(t.text.clone());
+            }
+            method.return_type = m.find("returnType").map(|r| r.text.clone());
+            if let Some(cb) = m.find("callback") {
+                method.callback = Some(CallbackSpec {
+                    type_name: cb.attribute("type").unwrap_or_default().to_owned(),
+                    method: cb.attribute("method").unwrap_or_default().to_owned(),
+                });
+            }
+            binding.methods.push(method);
+        }
+        Ok(binding)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn java_binding() -> SyntacticBinding {
+        // The paper's Java listing for addProximityAlert.
+        SyntacticBinding::new(Language::Java).method(
+            MethodTypes::new("addProximityAlert")
+                .param("double")
+                .param("double")
+                .param("double")
+                .param("float")
+                .param("long")
+                .param("com.ibm.telecom.proxy.ProximityListener")
+                .callback("com.ibm.telecom.proxy.ProximityListener", "proximityEvent"),
+        )
+    }
+
+    #[test]
+    fn paper_java_types_reproduced() {
+        let binding = java_binding();
+        let m = binding.find_method("addProximityAlert").unwrap();
+        assert_eq!(
+            m.param_types,
+            vec![
+                "double",
+                "double",
+                "double",
+                "float",
+                "long",
+                "com.ibm.telecom.proxy.ProximityListener"
+            ]
+        );
+        assert_eq!(m.callback.as_ref().unwrap().method, "proximityEvent");
+    }
+
+    #[test]
+    fn javascript_uses_functions_not_objects() {
+        let binding = SyntacticBinding::new(Language::JavaScript).method(
+            MethodTypes::new("addProximityAlert")
+                .param("number")
+                .param("number")
+                .param("number")
+                .param("number")
+                .param("number")
+                .param("function")
+                .callback("function", ""),
+        );
+        let cb = binding
+            .find_method("addProximityAlert")
+            .unwrap()
+            .callback
+            .as_ref()
+            .unwrap();
+        assert_eq!(cb.type_name, "function");
+        assert!(cb.method.is_empty());
+    }
+
+    #[test]
+    fn xml_round_trip() {
+        let binding = java_binding();
+        let text = binding.to_xml().render();
+        let reparsed = crate::xml::XmlNode::parse(&text).unwrap();
+        assert_eq!(SyntacticBinding::from_xml(&reparsed).unwrap(), binding);
+    }
+
+    #[test]
+    fn language_ids_round_trip() {
+        for lang in [Language::Java, Language::JavaScript] {
+            assert_eq!(Language::from_id(lang.id()), Some(lang));
+        }
+        assert_eq!(Language::from_id("cobol"), None);
+    }
+
+    #[test]
+    fn from_xml_rejects_unknown_language() {
+        let node = XmlNode::new("syntacticPlane").attr("language", "c");
+        assert!(SyntacticBinding::from_xml(&node).is_err());
+    }
+}

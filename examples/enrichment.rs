@@ -1,0 +1,62 @@
+//! Proxy enrichment (paper §3.3): extra functionality layered on top of
+//! the native interface — unit conversion for location output, retry
+//! coordination for calls, and a security/policy module — without
+//! touching application code or platform bindings.
+//!
+//! Run with: `cargo run --example enrichment`
+
+use std::sync::Arc;
+
+use mobivine_repro::android::{AndroidPlatform, SdkVersion};
+use mobivine_repro::device::call::CalleeProfile;
+use mobivine_repro::device::{Device, GeoPoint};
+use mobivine_repro::mobivine::enrich::{
+    AccessPolicy, PolicySmsProxy, RetryingCallProxy, UnitLocationProxy,
+};
+use mobivine_repro::mobivine::registry::Mobivine;
+use mobivine_repro::mobivine::types::AngleUnit;
+use mobivine_repro::mobivine::SmsProxy;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let device = Device::builder()
+        .msisdn("+91-98-AGENT-7")
+        .position(GeoPoint::new(28.5355, 77.3910))
+        .build();
+    device.gps().set_noise_enabled(false);
+    device.smsc().register_address("+91-98-SUPERVISOR");
+    device
+        .call_switch()
+        .set_callee_profile("+91-98-SUPERVISOR", CalleeProfile::Unreachable);
+    let platform = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
+    let runtime = Mobivine::for_android(platform.new_context());
+
+    // 1. Unit conversion: "proxy for fetching location information can
+    //    be made to offer output in various formats".
+    let in_radians = UnitLocationProxy::new(runtime.location()?, AngleUnit::Radians);
+    let (lat_rad, lon_rad) = in_radians.get_coordinates()?;
+    println!("position in radians: ({lat_rad:.6}, {lon_rad:.6})");
+    let in_degrees = UnitLocationProxy::new(runtime.location()?, AngleUnit::Degrees);
+    let (lat_deg, lon_deg) = in_degrees.get_coordinates()?;
+    println!("position in degrees: ({lat_deg:.4}, {lon_deg:.4})");
+
+    // 2. Call retry coordination: "the utility for coordinating the
+    //    number of retries in case the callee is unreachable".
+    let retrying =
+        RetryingCallProxy::new(runtime.call()?, device.clone(), 2).with_settle_ms(5_000);
+    let (_id, attempts, connected) = retrying.call_with_retries("+91-98-SUPERVISOR")?;
+    println!("supervisor unreachable: {attempts} attempts made, connected={connected}");
+
+    // 3. Security / policy module: "a layer of trust, authentication
+    //    and access control".
+    let policy = Arc::new(AccessPolicy::new());
+    let gated_sms = PolicySmsProxy::new(runtime.sms()?, Arc::clone(&policy));
+    gated_sms.send_text_message("+91-98-SUPERVISOR", "first message", None)?;
+    policy.deny("sms");
+    let denied = gated_sms.send_text_message("+91-98-SUPERVISOR", "second message", None);
+    println!(
+        "after policy.deny(\"sms\"): {}",
+        denied.map(|_| "sent".to_owned()).unwrap_or_else(|e| e.to_string())
+    );
+    println!("policy audit trail: {:?}", policy.audit_log());
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! The extension demonstration (paper §3.3): absorbing a new platform
+//! means publishing **only** a binding plane per proxy — the semantic
+//! and syntactic planes, the proxy drawer, the configuration dialog,
+//! the code generators and the plug-in manifest all apply unchanged.
+//!
+//! Run with: `cargo run --example new_platform`
+
+use mobivine_repro::mplugin::dialog::ConfigurationDialog;
+use mobivine_repro::mplugin::drawer::ProxyDrawer;
+use mobivine_repro::mplugin::manifest::PluginManifest;
+use mobivine_repro::proxydl::schema::validate_descriptor;
+use mobivine_repro::proxydl::{catalog, PlatformBinding, PlatformId, PropertySpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let iphone = PlatformId::Custom("iphone".to_owned());
+
+    // 1. Publish an iPhone binding for the Location proxy.
+    let mut location = catalog::location();
+    println!(
+        "Location proxy before: bindings for {:?}",
+        location.platforms().iter().map(|p| p.id().to_owned()).collect::<Vec<_>>()
+    );
+    location.extend_platform(
+        PlatformBinding::new(iphone.clone(), "com.ibm.proxies.iphone.LocationProxyImpl")
+            .exception("NSInvalidArgumentException")
+            .property(
+                PropertySpec::new("desiredAccuracy", "string", "CLLocationAccuracy constant")
+                    .default_value("best")
+                    .allowed(&["best", "nearestTenMeters", "hundredMeters"]),
+            ),
+    )?;
+    println!(
+        "Location proxy after:  bindings for {:?}",
+        location.platforms().iter().map(|p| p.id().to_owned()).collect::<Vec<_>>()
+    );
+
+    // 2. The five schemas still hold.
+    let errors = validate_descriptor(&location);
+    assert!(errors.is_empty(), "{errors:?}");
+    println!("all five schemas validate the extended descriptor");
+
+    // 3. The common plug-in machinery serves the new platform as-is.
+    let catalog = vec![location, catalog::sms(), catalog::call(), catalog::http()];
+    let drawer = ProxyDrawer::from_catalog(&catalog, iphone.clone());
+    println!(
+        "iphone proxy drawer: {:?}",
+        drawer
+            .categories()
+            .iter()
+            .map(|c| c.proxy.as_str())
+            .collect::<Vec<_>>()
+    );
+
+    let descriptor = catalog.iter().find(|d| d.name == "Location").unwrap();
+    let mut dialog = ConfigurationDialog::for_api(descriptor, iphone.clone(), "getLocation")?;
+    dialog.set_property("desiredAccuracy", "hundredMeters")?;
+    println!("\ngenerated snippet for the new platform:\n{}", dialog.source_preview()?);
+
+    let manifest = PluginManifest::from_drawer("com.ibm.mobivine.iphone", &drawer);
+    println!("derived plugin.xml:\n{}", manifest.render());
+    Ok(())
+}

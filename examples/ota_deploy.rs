@@ -1,0 +1,60 @@
+//! The S60 deployment story end to end: the M-Plugin merges the chosen
+//! proxies into the single MIDlet-suite jar, the suite is published for
+//! Over-The-Air download, and the device fetches, validates and
+//! installs it (paper §2's deployment constraints + §4.2's platform-
+//! specific extension).
+//!
+//! Run with: `cargo run --example ota_deploy`
+
+use mobivine_repro::device::Device;
+use mobivine_repro::mplugin::packaging::{ProxySelection, S60Extension};
+use mobivine_repro::s60::ota::{AppManager, OtaServer};
+use mobivine_repro::s60::packaging::{Jar, JadDescriptor};
+use mobivine_repro::s60::S60Platform;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The application jar as the developer built it.
+    let mut app_jar = Jar::new("workforce.jar");
+    app_jar.add_entry("com/acme/WorkForceManagement.class", b"app bytecode".to_vec())?;
+    app_jar.add_entry("META-INF/MANIFEST.MF", b"Manifest-Version: 1.0".to_vec())?;
+    println!("application jar: {} entries, {} bytes", app_jar.len(), app_jar.byte_size());
+
+    // 2. The M-Plugin's S60 extension merges the selected proxies and
+    //    derives the descriptor (single-jar rule, size re-computed).
+    let mut jad = JadDescriptor::for_jar(&app_jar, "WorkForce", "ACME Field Ops", "1.0.0");
+    jad.jar_url = "http://ota.example/workforce.jar".to_owned();
+    jad.permissions = vec![
+        "javax.microedition.location.Location".to_owned(),
+        "javax.wireless.messaging.sms.send".to_owned(),
+        "javax.microedition.io.Connector.http".to_owned(),
+    ];
+    let suite = S60Extension::package(
+        app_jar,
+        jad,
+        &ProxySelection::new(&["Location", "SMS", "Http"]),
+    )?;
+    println!(
+        "packaged suite: {} entries, {} bytes (proxy jars merged)",
+        suite.jar.len(),
+        suite.jar.byte_size()
+    );
+    println!("\ndescriptor (JAD):\n{}", suite.jad.render());
+
+    // 3. Publish over-the-air on the simulated network.
+    let device = Device::builder().build();
+    let jad_url = OtaServer::publish(device.network(), "ota.example", &suite);
+    println!("published at {jad_url}");
+
+    // 4. Device-side install: fetch JAD -> fetch jar -> validate ->
+    //    record.
+    let platform = S60Platform::new(device);
+    let manager = AppManager::new();
+    let name = manager.install_from_url(&platform, &jad_url)?;
+    println!("\ninstalled '{name}': {:?}", manager.installed());
+    let installed = manager.suite(&name).expect("just installed");
+    println!("suite contents:");
+    for path in installed.jar.entry_paths() {
+        println!("  {path}");
+    }
+    Ok(())
+}

@@ -1,0 +1,17 @@
+//! Root crate of the MobiVine reproduction workspace.
+//!
+//! This crate exists to host cross-crate integration tests (in `tests/`)
+//! and runnable examples (in `examples/`). The actual functionality lives
+//! in the member crates; see [`mobivine`] for the core middleware layer.
+//!
+//! Re-exports the workspace crates under stable names so examples and
+//! integration tests can reach everything through one dependency.
+
+pub use mobivine;
+pub use mobivine_android as android;
+pub use mobivine_apps as apps;
+pub use mobivine_device as device;
+pub use mobivine_mplugin as mplugin;
+pub use mobivine_proxydl as proxydl;
+pub use mobivine_s60 as s60;
+pub use mobivine_webview as webview;

@@ -1,0 +1,134 @@
+//! Radio-coverage resilience: a field agent's patrol passes through a
+//! coverage hole. Proximity alerts keep working (GPS is independent of
+//! the cell radio), arrival SMSes sent inside the hole fail at the
+//! device, and service resumes when the agent walks back into coverage
+//! — with the same observable behaviour through the proxy stack as
+//! through the native platform APIs.
+
+use std::sync::{Arc, Mutex};
+
+use mobivine::registry::Mobivine;
+use mobivine::types::{DeliveryOutcome, ProximityEvent};
+use mobivine_android::{AndroidPlatform, SdkVersion};
+use mobivine_device::movement::MovementModel;
+use mobivine_device::{Device, GeoPoint};
+
+const TOWER: GeoPoint = GeoPoint {
+    latitude: 28.5355,
+    longitude: 77.3910,
+    altitude: 0.0,
+};
+
+/// The agent starts at the tower and walks straight away from it at
+/// 10 m/s; the single cell serves 1 km, so coverage is lost after
+/// ~100 s.
+fn walking_out_device() -> Device {
+    let device = Device::builder()
+        .msisdn("+agent")
+        .position(TOWER)
+        .movement(MovementModel::linear(TOWER, 90.0, 10.0))
+        .build();
+    device.gps().set_noise_enabled(false);
+    device.smsc().register_address("+sup");
+    device.coverage().add_cell(TOWER, 1_000.0);
+    device
+}
+
+#[test]
+fn sms_fails_in_the_hole_and_recovers() {
+    let device = walking_out_device();
+    let platform = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
+    let runtime = Mobivine::for_android(platform.new_context());
+    let sms = runtime.sms().unwrap();
+
+    // In coverage at the start.
+    assert!(sms.send_text_message("+sup", "leaving depot", None).is_ok());
+
+    // 200 s later the agent is 2 km out — outside the cell.
+    device.advance_ms(200_000);
+    assert!(!device.signal_strength().in_coverage());
+    let err = sms.send_text_message("+sup", "anyone?", None).unwrap_err();
+    assert_eq!(err.kind(), mobivine::error::ProxyErrorKind::Io);
+
+    // GPS still works: position is radio-independent.
+    assert!(runtime.location().unwrap().get_location().is_ok());
+
+    // The operator extends the network; service resumes.
+    device.coverage().add_cell(TOWER.destination(90.0, 2_500.0), 1_000.0);
+    assert!(sms.send_text_message("+sup", "back online", None).is_ok());
+    device.advance_ms(1_000);
+    let bodies: Vec<String> = device
+        .smsc()
+        .inbox("+sup")
+        .into_iter()
+        .map(|m| m.body)
+        .collect();
+    assert_eq!(bodies, vec!["leaving depot", "back online"]);
+}
+
+#[test]
+fn proximity_alerts_unaffected_by_coverage_holes() {
+    // Region 1.5 km out — beyond the cell. The alert still fires: the
+    // positioning engine does not need the cell radio.
+    let device = walking_out_device();
+    let platform = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
+    let runtime = Mobivine::for_android(platform.new_context());
+    let region = TOWER.destination(90.0, 1_500.0);
+    let events = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&events);
+    runtime
+        .location()
+        .unwrap()
+        .add_proximity_alert(
+            region.latitude,
+            region.longitude,
+            0.0,
+            100.0,
+            -1,
+            Arc::new(move |e: &ProximityEvent| sink.lock().unwrap().push(e.entering)),
+        )
+        .unwrap();
+    device.advance_ms(300_000);
+    assert_eq!(events.lock().unwrap().as_slice(), &[true, false]);
+}
+
+#[test]
+fn delivery_reports_distinguish_radio_failure_from_network_loss() {
+    // Device-side radio failure: synchronous Io error, listener never
+    // fires. Network-side loss: submission succeeds, listener reports
+    // Failed. Distinct failure surfaces, both uniform.
+    let device = walking_out_device();
+    let platform = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
+    let runtime = Mobivine::for_android(platform.new_context());
+    let sms = runtime.sms().unwrap();
+
+    let outcomes = Arc::new(Mutex::new(Vec::new()));
+
+    // Network-side loss while in coverage.
+    device.smsc().set_loss_probability(1.0);
+    let sink = Arc::clone(&outcomes);
+    sms.send_text_message(
+        "+sup",
+        "lost in transit",
+        Some(Arc::new(move |_id: u64, o: DeliveryOutcome| {
+            sink.lock().unwrap().push(o);
+        })),
+    )
+    .unwrap();
+    device.advance_ms(1_000);
+    assert_eq!(outcomes.lock().unwrap().as_slice(), &[DeliveryOutcome::Failed]);
+
+    // Device-side radio failure out of coverage: error before submit.
+    device.advance_ms(200_000);
+    let sink = Arc::clone(&outcomes);
+    let result = sms.send_text_message(
+        "+sup",
+        "never submitted",
+        Some(Arc::new(move |_id: u64, o: DeliveryOutcome| {
+            sink.lock().unwrap().push(o);
+        })),
+    );
+    assert!(result.is_err());
+    device.advance_ms(5_000);
+    assert_eq!(outcomes.lock().unwrap().len(), 1, "no second report");
+}

@@ -1,0 +1,181 @@
+//! The central de-fragmentation claim: the uniform proxy APIs deliver
+//! **identical semantics** on every platform, even where the native
+//! interfaces differ wildly (Android's repeated Intent-based enter/exit
+//! alerts vs S60's single-shot listener vs WebView's polled bridge).
+
+use std::sync::{Arc, Mutex};
+
+use mobivine::registry::Mobivine;
+use mobivine::types::{ProximityEvent, SharedProximityListener};
+use mobivine_android::{AndroidPlatform, SdkVersion};
+use mobivine_device::movement::MovementModel;
+use mobivine_device::{Device, GeoPoint};
+use mobivine_s60::S60Platform;
+use mobivine_webview::WebView;
+
+const HOME: GeoPoint = GeoPoint {
+    latitude: 28.5355,
+    longitude: 77.3910,
+    altitude: 0.0,
+};
+
+/// Builds a device that loops through the target region repeatedly.
+fn looping_device(seed: u64) -> Device {
+    let start = HOME.destination(270.0, 300.0);
+    let far = HOME.destination(90.0, 300.0);
+    let device = Device::builder()
+        .seed(seed)
+        .position(start)
+        .movement(MovementModel::waypoint_loop(vec![start, far], 20.0))
+        .build();
+    device.gps().set_noise_enabled(false);
+    device
+}
+
+/// Registers an alert through `runtime` and records the event pattern
+/// over four minutes of virtual time.
+fn event_pattern(device: &Device, runtime: &Mobivine) -> Vec<bool> {
+    let events = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&events);
+    let listener: SharedProximityListener = Arc::new(move |e: &ProximityEvent| {
+        sink.lock().unwrap().push(e.entering);
+    });
+    let location = runtime.location().expect("location proxy");
+    location
+        .add_proximity_alert(HOME.latitude, HOME.longitude, 0.0, 100.0, -1, listener)
+        .expect("registration succeeds");
+    device.advance_ms(240_000);
+    let collected = events.lock().unwrap().clone();
+    collected
+}
+
+#[test]
+fn identical_alert_patterns_on_all_three_platforms() {
+    let android_device = looping_device(9);
+    let android = AndroidPlatform::new(android_device.clone(), SdkVersion::M5Rc15);
+    let android_pattern = event_pattern(&android_device, &Mobivine::for_android(android.new_context()));
+
+    let s60_device = looping_device(9);
+    let s60_pattern = event_pattern(
+        &s60_device,
+        &Mobivine::for_s60(S60Platform::new(s60_device.clone())),
+    );
+
+    let webview_device = looping_device(9);
+    let platform = AndroidPlatform::new(webview_device.clone(), SdkVersion::M5Rc15);
+    let webview_pattern = event_pattern(
+        &webview_device,
+        &Mobivine::for_webview(Arc::new(WebView::new(platform.new_context()))),
+    );
+
+    // Multiple full enter/exit cycles were observed...
+    assert!(
+        android_pattern.len() >= 4,
+        "android saw {android_pattern:?}"
+    );
+    // ...and the pattern is the same on every platform.
+    assert_eq!(android_pattern, s60_pattern, "android vs s60");
+    assert_eq!(android_pattern, webview_pattern, "android vs webview");
+    // Alternating, starting with an enter.
+    assert!(android_pattern[0]);
+    for pair in android_pattern.windows(2) {
+        assert_ne!(pair[0], pair[1]);
+    }
+}
+
+#[test]
+fn identical_location_reads_on_all_three_platforms() {
+    // Same seed, same virtual instant => the common Location values
+    // agree across platform bindings (noise model included).
+    let read = |runtime: &Mobivine, device: &Device| {
+        device.advance_ms(5_000);
+        runtime.location().unwrap().get_location().unwrap()
+    };
+
+    let d1 = looping_device(33);
+    let android = AndroidPlatform::new(d1.clone(), SdkVersion::M5Rc15);
+    let l1 = read(&Mobivine::for_android(android.new_context()), &d1);
+
+    let d2 = looping_device(33);
+    let l2 = read(&Mobivine::for_s60(S60Platform::new(d2.clone())), &d2);
+
+    let d3 = looping_device(33);
+    let platform = AndroidPlatform::new(d3.clone(), SdkVersion::M5Rc15);
+    let l3 = read(
+        &Mobivine::for_webview(Arc::new(WebView::new(platform.new_context()))),
+        &d3,
+    );
+
+    assert!((l1.latitude - l2.latitude).abs() < 1e-9);
+    assert!((l1.latitude - l3.latitude).abs() < 1e-9);
+    assert!((l1.longitude - l2.longitude).abs() < 1e-9);
+    assert_eq!(l1.timestamp_ms, l2.timestamp_ms);
+    assert_eq!(l1.timestamp_ms, l3.timestamp_ms);
+}
+
+#[test]
+fn timer_semantics_uniform_across_platforms() {
+    // A 30-second registration lifetime: the device enters the region
+    // at ~10s and exits at ~20s (both inside the window), re-enters at
+    // ~40s (outside the window). Expect exactly [enter, exit]
+    // everywhere — including S60, whose native API has no expiration.
+    let run = |mk: &dyn Fn(&Device) -> Mobivine| -> Vec<bool> {
+        let start = HOME.destination(270.0, 300.0);
+        let far = HOME.destination(90.0, 300.0);
+        let device = Device::builder()
+            .position(start)
+            .movement(MovementModel::waypoint_loop(vec![start, far], 20.0))
+            .build();
+        device.gps().set_noise_enabled(false);
+        let runtime = mk(&device);
+        let events = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&events);
+        let listener: SharedProximityListener = Arc::new(move |e: &ProximityEvent| {
+            sink.lock().unwrap().push(e.entering);
+        });
+        runtime
+            .location()
+            .unwrap()
+            .add_proximity_alert(HOME.latitude, HOME.longitude, 0.0, 100.0, 30, listener)
+            .unwrap();
+        device.advance_ms(120_000);
+        let collected = events.lock().unwrap().clone();
+        collected
+    };
+
+    let android_pattern = run(&|d| {
+        let platform = AndroidPlatform::new(d.clone(), SdkVersion::M5Rc15);
+        Mobivine::for_android(platform.new_context())
+    });
+    let s60_pattern = run(&|d| Mobivine::for_s60(S60Platform::new(d.clone())));
+
+    assert_eq!(android_pattern, vec![true, false], "android {android_pattern:?}");
+    assert_eq!(s60_pattern, vec![true, false], "s60 {s60_pattern:?}");
+}
+
+#[test]
+fn uniform_error_model_for_denied_permissions() {
+    use mobivine::error::ProxyErrorKind;
+
+    // Android denial.
+    let device = Device::builder().build();
+    let platform = AndroidPlatform::with_permissions(
+        device,
+        SdkVersion::M5Rc15,
+        mobivine_android::permissions::PermissionSet::new(),
+    );
+    let runtime = Mobivine::for_android(platform.new_context());
+    let err = runtime.location().unwrap().get_location().unwrap_err();
+    assert_eq!(err.kind(), ProxyErrorKind::Security);
+
+    // S60 denial — different native exception, same uniform kind.
+    let policy = mobivine_s60::permissions::PermissionPolicy::new();
+    policy.set(
+        mobivine_s60::permissions::ApiPermission::Location,
+        mobivine_s60::permissions::Disposition::Denied,
+    );
+    let s60 = S60Platform::with_policy(Device::builder().build(), policy);
+    let runtime = Mobivine::for_s60(s60);
+    let err = runtime.location().unwrap().get_location().unwrap_err();
+    assert_eq!(err.kind(), ProxyErrorKind::Security);
+}

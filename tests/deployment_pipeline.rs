@@ -1,0 +1,84 @@
+//! The full S60 deployment pipeline, end to end: plug-in packaging
+//! (merge proxy jars into the single suite jar) → OTA publication →
+//! device-side download, validation and installation → the installed
+//! application actually runs against the platform.
+
+use std::sync::Arc;
+
+use mobivine_apps::logic::AppEvents;
+use mobivine_apps::native_s60::NativeS60App;
+use mobivine_apps::scenario::{Scenario, ScenarioOutcome};
+use mobivine_mplugin::packaging::{ProxySelection, S60Extension};
+use mobivine_s60::midlet::MidletHost;
+use mobivine_s60::ota::{AppManager, OtaServer};
+use mobivine_s60::packaging::{Jar, JadDescriptor};
+use mobivine_s60::S60Platform;
+
+#[test]
+fn package_publish_install_run() {
+    let scenario = Scenario::two_site_patrol(8);
+
+    // 1. The plug-in packages the application with its chosen proxies
+    //    into the single MIDlet-suite jar S60 requires.
+    let mut app_jar = Jar::new("workforce.jar");
+    app_jar
+        .add_entry("com/acme/WorkForceManagement.class", b"app".to_vec())
+        .unwrap();
+    let mut jad = JadDescriptor::for_jar(&app_jar, "WorkForce", "ACME", "1.0.0");
+    jad.jar_url = "http://ota.example/workforce.jar".to_owned();
+    jad.permissions = vec![
+        "javax.microedition.location.Location".to_owned(),
+        "javax.wireless.messaging.sms.send".to_owned(),
+        "javax.microedition.io.Connector.http".to_owned(),
+    ];
+    let suite = S60Extension::package(
+        app_jar,
+        jad,
+        &ProxySelection::new(&["Location", "SMS", "Http"]),
+    )
+    .unwrap();
+    assert!(suite.jar.contains("com/ibm/S60/location/LocationProxy.class"));
+
+    // 2. Publish over OTA on the scenario's simulated network.
+    let jad_url = OtaServer::publish(scenario.device.network(), "ota.example", &suite);
+
+    // 3. Device-side installation (the AMS fetches, validates,
+    //    records).
+    let platform = S60Platform::new(scenario.device.clone());
+    let manager = AppManager::new();
+    let name = manager.install_from_url(&platform, &jad_url).unwrap();
+    assert_eq!(name, "WorkForce");
+    let installed = manager.suite("WorkForce").unwrap();
+    assert_eq!(installed.jad.permissions.len(), 3);
+
+    // 4. Launch the installed application and run the scenario.
+    let events = AppEvents::new();
+    let app = NativeS60App::new(scenario.config.clone(), Arc::clone(&events));
+    let mut host = MidletHost::new(app, platform);
+    host.start().unwrap();
+    scenario.device.advance_ms(scenario.patrol_duration_ms());
+    scenario.device.advance_ms(1_000);
+    assert_eq!(
+        ScenarioOutcome::collect(&scenario),
+        ScenarioOutcome::expected_two_site()
+    );
+}
+
+#[test]
+fn tampered_ota_package_is_rejected_before_installation() {
+    let scenario = Scenario::two_site_patrol(9);
+    let mut app_jar = Jar::new("workforce.jar");
+    app_jar
+        .add_entry("com/acme/WorkForceManagement.class", b"app".to_vec())
+        .unwrap();
+    let mut jad = JadDescriptor::for_jar(&app_jar, "WorkForce", "ACME", "1.0.0");
+    jad.jar_url = "http://ota.example/workforce.jar".to_owned();
+    let mut suite = S60Extension::package(app_jar, jad, &ProxySelection::new(&["SMS"])).unwrap();
+    // Corrupt the descriptor's size claim after packaging.
+    suite.jad.jar_size -= 1;
+    let jad_url = OtaServer::publish(scenario.device.network(), "ota.example", &suite);
+    let platform = S60Platform::new(scenario.device.clone());
+    let manager = AppManager::new();
+    assert!(manager.install_from_url(&platform, &jad_url).is_err());
+    assert!(manager.installed().is_empty());
+}

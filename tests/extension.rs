@@ -1,0 +1,125 @@
+//! The extension workflow (paper §3.3): "if the semantic and syntactic
+//! planes already exist for other platforms, one requires to publish
+//! only the binding artifacts for proxies corresponding to a new
+//! platform. Moreover, as the proxy structure remains same across
+//! platforms, a common proxy interpretation routine can be used to
+//! develop plugins for different platforms."
+//!
+//! We add a hypothetical iPhone-like platform: only a binding plane is
+//! published per proxy, and the drawer / dialog / manifest machinery
+//! picks the platform up without modification.
+
+use mobivine_mplugin::dialog::ConfigurationDialog;
+use mobivine_mplugin::drawer::ProxyDrawer;
+use mobivine_mplugin::manifest::PluginManifest;
+use mobivine_proxydl::schema::validate_descriptor;
+use mobivine_proxydl::{catalog, PlatformBinding, PlatformId, PropertySpec, ProxyDescriptor};
+
+fn iphone() -> PlatformId {
+    PlatformId::Custom("iphone".to_owned())
+}
+
+/// Publishes iPhone binding planes for the Location and SMS proxies —
+/// the *only* artifact a new platform needs.
+fn extended_catalog() -> Vec<ProxyDescriptor> {
+    let mut location = catalog::location();
+    location
+        .extend_platform(
+            PlatformBinding::new(iphone(), "com.ibm.proxies.iphone.LocationProxyImpl")
+                .exception("NSInvalidArgumentException")
+                .property(
+                    PropertySpec::new("desiredAccuracy", "string", "CLLocationAccuracy constant")
+                        .default_value("best")
+                        .allowed(&["best", "nearestTenMeters", "hundredMeters"]),
+                ),
+        )
+        .expect("extension publishes only a binding");
+    let mut sms = catalog::sms();
+    sms.extend_platform(PlatformBinding::new(
+        iphone(),
+        "com.ibm.proxies.iphone.SmsProxyImpl",
+    ))
+    .expect("extension publishes only a binding");
+    vec![location, sms, catalog::call(), catalog::http()]
+}
+
+#[test]
+fn extended_descriptors_still_validate_against_all_schemas() {
+    for descriptor in extended_catalog() {
+        let errors = validate_descriptor(&descriptor);
+        assert!(errors.is_empty(), "{}: {errors:?}", descriptor.name);
+    }
+}
+
+#[test]
+fn extension_cannot_bypass_the_syntactic_plane() {
+    // A platform whose language has no syntactic binding is rejected —
+    // the planes build on each other (§3.1).
+    let mut location = catalog::location();
+    location.syntactic.retain(|s| s.language != mobivine_proxydl::Language::Java);
+    let err = location
+        .extend_platform(PlatformBinding::new(iphone(), "Impl"))
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        mobivine_proxydl::SchemaError::MissingSyntax { .. }
+    ));
+}
+
+#[test]
+fn drawer_for_the_new_platform_shows_only_bound_proxies() {
+    let catalog = extended_catalog();
+    let drawer = ProxyDrawer::from_catalog(&catalog, iphone());
+    assert!(drawer.category("Location").is_some());
+    assert!(drawer.category("SMS").is_some());
+    assert!(drawer.category("Call").is_none(), "no iphone Call binding");
+    assert!(drawer.category("Http").is_none(), "no iphone Http binding");
+}
+
+#[test]
+fn common_interpretation_routine_serves_the_new_platform() {
+    // The same dialog machinery renders iPhone properties without any
+    // iPhone-specific plug-in code.
+    let catalog = extended_catalog();
+    let location = catalog.iter().find(|d| d.name == "Location").unwrap();
+    let mut dialog =
+        ConfigurationDialog::for_api(location, iphone(), "getLocation").unwrap();
+    let accuracy = dialog
+        .properties()
+        .iter()
+        .find(|p| p.name == "desiredAccuracy")
+        .expect("iphone property visible in the dialog");
+    assert_eq!(accuracy.default_value.as_deref(), Some("best"));
+    dialog.set_property("desiredAccuracy", "hundredMeters").unwrap();
+    assert!(dialog.set_property("desiredAccuracy", "kilometer").is_err());
+    // iPhone bindings are Java-typed here (the catalog treats custom
+    // platforms as Java-language), so the Java generator serves them.
+    let source = dialog.source_preview().unwrap();
+    assert!(source.contains("LocationProxyImpl"));
+    assert!(source.contains("setProperty(\"desiredAccuracy\", \"hundredMeters\")"));
+    assert!(source.contains("NSInvalidArgumentException"));
+}
+
+#[test]
+fn manifest_for_the_new_platform_derives_automatically() {
+    let catalog = extended_catalog();
+    let drawer = ProxyDrawer::from_catalog(&catalog, iphone());
+    let manifest = PluginManifest::from_drawer("com.ibm.mobivine.iphone", &drawer);
+    let text = manifest.render();
+    assert!(text.contains("platform=\"iphone\""));
+    assert!(text.contains("addProximityAlert"));
+    let back = PluginManifest::parse(&text).unwrap();
+    assert_eq!(back, manifest);
+}
+
+#[test]
+fn xml_round_trip_preserves_the_extension() {
+    for descriptor in extended_catalog() {
+        let text = descriptor.to_xml().render();
+        let back = ProxyDescriptor::parse(&text).unwrap();
+        assert_eq!(back, descriptor);
+        if descriptor.name == "Location" {
+            assert!(back.binding_for(&iphone()).is_some());
+        }
+    }
+}

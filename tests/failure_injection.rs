@@ -1,0 +1,233 @@
+//! Failure injection across the uniform proxy APIs: GPS outages,
+//! network loss, SMS loss, and permission denials must surface as the
+//! *same* uniform error kinds (or the same delivery outcomes) on every
+//! platform binding.
+
+use std::sync::{Arc, Mutex};
+
+use mobivine::error::ProxyErrorKind;
+use mobivine::registry::Mobivine;
+use mobivine::types::DeliveryOutcome;
+use mobivine_android::{AndroidPlatform, SdkVersion};
+use mobivine_device::gps::GpsAvailability;
+use mobivine_device::{Device, GeoPoint};
+use mobivine_s60::S60Platform;
+use mobivine_webview::WebView;
+
+fn device() -> Device {
+    let device = Device::builder()
+        .msisdn("+91-me")
+        .position(GeoPoint::new(28.5355, 77.3910))
+        .build();
+    device.smsc().register_address("+91-sup");
+    device
+}
+
+fn runtimes(device: &Device) -> Vec<(&'static str, Mobivine)> {
+    let android = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
+    vec![
+        (
+            "android",
+            Mobivine::for_android(android.new_context()),
+        ),
+        ("s60", Mobivine::for_s60(S60Platform::new(device.clone()))),
+        (
+            "webview",
+            Mobivine::for_webview(Arc::new(WebView::new(
+                AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15).new_context(),
+            ))),
+        ),
+    ]
+}
+
+#[test]
+fn gps_outage_is_unavailable_on_every_platform() {
+    let device = device();
+    device
+        .gps()
+        .set_availability(GpsAvailability::TemporarilyUnavailable);
+    for (name, runtime) in runtimes(&device) {
+        let err = runtime.location().unwrap().get_location().unwrap_err();
+        assert_eq!(
+            err.kind(),
+            ProxyErrorKind::Unavailable,
+            "platform {name}: {err}"
+        );
+    }
+}
+
+#[test]
+fn network_down_is_io_on_every_platform() {
+    let device = device();
+    device.network().set_down(true);
+    for (name, runtime) in runtimes(&device) {
+        let err = runtime
+            .http()
+            .unwrap()
+            .request("GET", "http://wfm.example/tasks", &[])
+            .unwrap_err();
+        assert_eq!(err.kind(), ProxyErrorKind::Io, "platform {name}: {err}");
+    }
+}
+
+#[test]
+fn sms_loss_reports_failed_delivery_uniformly() {
+    let device = device();
+    device.smsc().set_loss_probability(1.0);
+    for (name, runtime) in runtimes(&device) {
+        let outcomes = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&outcomes);
+        runtime
+            .sms()
+            .unwrap()
+            .send_text_message(
+                "+91-sup",
+                "lost",
+                Some(Arc::new(move |_id: u64, o: DeliveryOutcome| {
+                    sink.lock().unwrap().push(o);
+                })),
+            )
+            .unwrap();
+        device.advance_ms(2_000);
+        assert_eq!(
+            outcomes.lock().unwrap().as_slice(),
+            &[DeliveryOutcome::Failed],
+            "platform {name}"
+        );
+    }
+}
+
+#[test]
+fn empty_arguments_rejected_uniformly() {
+    let device = device();
+    for (name, runtime) in runtimes(&device) {
+        let err = runtime
+            .sms()
+            .unwrap()
+            .send_text_message("", "hi", None)
+            .unwrap_err();
+        assert_eq!(
+            err.kind(),
+            ProxyErrorKind::IllegalArgument,
+            "platform {name}: {err}"
+        );
+        let err = runtime
+            .location()
+            .unwrap()
+            .add_proximity_alert(28.5, 77.3, 0.0, 0.0, -1, Arc::new(|_: &mobivine::types::ProximityEvent| {}))
+            .unwrap_err();
+        assert_eq!(
+            err.kind(),
+            ProxyErrorKind::IllegalArgument,
+            "platform {name} radius: {err}"
+        );
+    }
+}
+
+#[test]
+fn gps_recovery_restores_service_everywhere() {
+    let device = device();
+    device
+        .gps()
+        .set_availability(GpsAvailability::OutOfService);
+    let android = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
+    let runtime = Mobivine::for_android(android.new_context());
+    let location = runtime.location().unwrap();
+    assert!(location.get_location().is_err());
+    device.gps().set_availability(GpsAvailability::Available);
+    assert!(location.get_location().is_ok());
+}
+
+#[test]
+fn unknown_host_and_404_are_distinguished() {
+    let device = device();
+    for (name, runtime) in runtimes(&device) {
+        let http = runtime.http().unwrap();
+        // Unknown host: transport error.
+        let err = http.request("GET", "http://ghost.example/", &[]).unwrap_err();
+        assert_eq!(err.kind(), ProxyErrorKind::Io, "platform {name}");
+        // Known host, unrouted path: an HTTP result, not an error.
+        // (Install a server first.)
+        device.network().register_route(
+            "known.example",
+            mobivine_device::net::Method::Get,
+            "/",
+            |_| mobivine_device::net::HttpResponse::ok("root"),
+        );
+        let resp = http
+            .request("GET", "http://known.example/missing", &[])
+            .unwrap();
+        assert_eq!(resp.status, 404, "platform {name}");
+    }
+}
+
+#[test]
+fn out_of_coverage_sms_fails_uniformly_at_the_device() {
+    // Configure a single cell far from the device: the radio has no
+    // signal, so sends fail device-side with the uniform Io kind on
+    // every platform — before the SMSC is ever involved.
+    let device = device();
+    device
+        .coverage()
+        .add_cell(GeoPoint::new(10.0, 10.0), 1_000.0);
+    assert!(!device.signal_strength().in_coverage());
+    for (name, runtime) in runtimes(&device) {
+        let err = runtime
+            .sms()
+            .unwrap()
+            .send_text_message("+91-sup", "anyone there?", None)
+            .unwrap_err();
+        assert_eq!(err.kind(), ProxyErrorKind::Io, "platform {name}: {err}");
+    }
+    // Walking back into coverage restores service.
+    device.coverage().clear();
+    for (_name, runtime) in runtimes(&device) {
+        assert!(runtime
+            .sms()
+            .unwrap()
+            .send_text_message("+91-sup", "back online", None)
+            .is_ok());
+    }
+}
+
+#[test]
+fn out_of_coverage_call_fails_on_android() {
+    let device = device();
+    device
+        .coverage()
+        .add_cell(GeoPoint::new(10.0, 10.0), 1_000.0);
+    let android = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
+    let runtime = Mobivine::for_android(android.new_context());
+    let err = runtime.call().unwrap().make_a_call("+91-sup").unwrap_err();
+    assert_eq!(err.kind(), ProxyErrorKind::Io);
+}
+
+#[test]
+fn intermittent_sms_loss_with_seeded_probability() {
+    let device = device();
+    device.smsc().set_loss_probability(0.5);
+    let android = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
+    let runtime = Mobivine::for_android(android.new_context());
+    let sms = runtime.sms().unwrap();
+    let outcomes = Arc::new(Mutex::new(Vec::new()));
+    for _ in 0..40 {
+        let sink = Arc::clone(&outcomes);
+        sms.send_text_message(
+            "+91-sup",
+            "maybe",
+            Some(Arc::new(move |_id: u64, o: DeliveryOutcome| {
+                sink.lock().unwrap().push(o);
+            })),
+        )
+        .unwrap();
+    }
+    device.advance_ms(5_000);
+    let outcomes = outcomes.lock().unwrap();
+    assert_eq!(outcomes.len(), 40);
+    let delivered = outcomes
+        .iter()
+        .filter(|o| **o == DeliveryOutcome::Delivered)
+        .count();
+    // Seeded: both outcomes occur, roughly balanced.
+    assert!(delivered > 5 && delivered < 35, "delivered {delivered}/40");
+}

@@ -1,0 +1,106 @@
+//! The paper's future-work interfaces (§7: "extend MobiVine
+//! implementation to cover other platform interfaces like those related
+//! to calendaring and contact list information"), implemented as
+//! extension features: uniform Contacts and Calendar proxies on Android
+//! and S60.
+
+use mobivine::error::ProxyErrorKind;
+use mobivine::registry::Mobivine;
+use mobivine_android::{AndroidPlatform, SdkVersion};
+use mobivine_device::Device;
+use mobivine_s60::S60Platform;
+use mobivine_webview::WebView;
+
+fn populated_device() -> Device {
+    let device = Device::builder().build();
+    device.contacts().add("Region Supervisor", &["+91-98-SUPERVISOR"], &[]);
+    device
+        .contacts()
+        .add("Dispatcher Desk", &["+91-11-5550100"], &["desk@wfm.example"]);
+    device
+        .calendar()
+        .add("Morning shift", 0, 4 * 3_600_000, "Depot 4")
+        .unwrap();
+    device
+        .calendar()
+        .add("Safety briefing", 5 * 3_600_000, 6 * 3_600_000, "HQ")
+        .unwrap();
+    device
+}
+
+#[test]
+fn contacts_uniform_across_android_and_s60() {
+    let device = populated_device();
+    let android = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
+    let android_found = Mobivine::for_android(android.new_context())
+        .contacts()
+        .unwrap()
+        .find_contacts("supervisor")
+        .unwrap();
+    let s60_found = Mobivine::for_s60(S60Platform::new(device))
+        .contacts()
+        .unwrap()
+        .find_contacts("supervisor")
+        .unwrap();
+    assert_eq!(android_found, s60_found);
+    assert_eq!(android_found.len(), 1);
+    assert_eq!(android_found[0].numbers, vec!["+91-98-SUPERVISOR"]);
+}
+
+#[test]
+fn calendar_uniform_across_android_and_s60() {
+    let device = populated_device();
+    let android = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
+    let a = Mobivine::for_android(android.new_context())
+        .calendar()
+        .unwrap()
+        .entries_between(0, 4 * 3_600_000)
+        .unwrap();
+    let s = Mobivine::for_s60(S60Platform::new(device))
+        .calendar()
+        .unwrap()
+        .entries_between(0, 4 * 3_600_000)
+        .unwrap();
+    assert_eq!(a, s);
+    assert_eq!(a.len(), 1);
+    assert_eq!(a[0].title, "Morning shift");
+}
+
+#[test]
+fn pim_not_bound_on_webview_is_a_clean_unsupported_error() {
+    let device = populated_device();
+    let platform = AndroidPlatform::new(device, SdkVersion::M5Rc15);
+    let runtime = Mobivine::for_webview(std::sync::Arc::new(WebView::new(platform.new_context())));
+    assert!(!runtime.supports("Contacts"));
+    assert!(!runtime.supports("Calendar"));
+    assert_eq!(
+        runtime.contacts().err().map(|e| e.kind()),
+        Some(ProxyErrorKind::UnsupportedOnPlatform)
+    );
+    assert_eq!(
+        runtime.calendar().err().map(|e| e.kind()),
+        Some(ProxyErrorKind::UnsupportedOnPlatform)
+    );
+}
+
+#[test]
+fn pim_lookup_drives_the_call_proxy() {
+    // The combination the future work motivates: look up the supervisor
+    // in contacts, then call them — all through uniform proxies.
+    let device = populated_device();
+    let android = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
+    let runtime = Mobivine::for_android(android.new_context());
+    let supervisor = runtime
+        .contacts()
+        .unwrap()
+        .find_contacts("supervisor")
+        .unwrap()
+        .remove(0);
+    let call = runtime.call().unwrap();
+    let id = call.make_a_call(&supervisor.numbers[0]).unwrap();
+    device.advance_ms(10_000);
+    assert_eq!(
+        call.call_progress(id).unwrap(),
+        mobivine::types::CallProgress::Connected
+    );
+}

@@ -1,0 +1,88 @@
+//! The maintenance experiment (paper §5 Q3) as an executable test:
+//! Android 1.0 changed `addProximityAlert` to take a `PendingIntent`;
+//! the native app breaks, the proxy app runs unchanged.
+
+use std::sync::Arc;
+
+use mobivine::registry::Mobivine;
+use mobivine_android::activity::ActivityHost;
+use mobivine_android::{AndroidPlatform, SdkVersion};
+use mobivine_apps::logic::AppEvents;
+use mobivine_apps::native_android::NativeAndroidApp;
+use mobivine_apps::proxy_app::ProxyWorkforceApp;
+use mobivine_apps::scenario::{Scenario, ScenarioOutcome};
+
+fn run_native(version: SdkVersion) -> ScenarioOutcome {
+    let scenario = Scenario::two_site_patrol(1);
+    let platform = AndroidPlatform::new(scenario.device.clone(), version);
+    let events = AppEvents::new();
+    let app = NativeAndroidApp::new(scenario.config.clone(), Arc::clone(&events));
+    let mut host = ActivityHost::new(app, platform.new_context());
+    host.launch().expect("activity launches either way");
+    scenario.device.advance_ms(scenario.patrol_duration_ms());
+    scenario.device.advance_ms(1_000);
+    ScenarioOutcome::collect(&scenario)
+}
+
+fn run_proxy(version: SdkVersion) -> ScenarioOutcome {
+    let scenario = Scenario::two_site_patrol(1);
+    let platform = AndroidPlatform::new(scenario.device.clone(), version);
+    let events = AppEvents::new();
+    let mut app = ProxyWorkforceApp::new(
+        Mobivine::for_android(platform.new_context()),
+        scenario.config.clone(),
+        events,
+    )
+    .unwrap();
+    app.start().expect("proxy app starts on every SDK");
+    scenario.device.advance_ms(scenario.patrol_duration_ms());
+    scenario.device.advance_ms(1_000);
+    ScenarioOutcome::collect(&scenario)
+}
+
+#[test]
+fn native_app_works_on_m5_but_breaks_on_1_0() {
+    let expected = ScenarioOutcome::expected_two_site();
+    assert_eq!(run_native(SdkVersion::M5Rc15), expected);
+    let broken = run_native(SdkVersion::V1_0);
+    assert_ne!(broken, expected);
+    // Specifically: no alert ever fires, so nothing reaches the server.
+    assert_eq!(broken.activity_entries, 0);
+    assert_eq!(broken.completed_tasks, 0);
+}
+
+#[test]
+fn proxy_app_works_unchanged_on_both_sdk_versions() {
+    let expected = ScenarioOutcome::expected_two_site();
+    assert_eq!(run_proxy(SdkVersion::M5Rc15), expected);
+    assert_eq!(run_proxy(SdkVersion::V1_0), expected);
+}
+
+#[test]
+fn the_version_difference_is_visible_at_the_platform_level() {
+    use mobivine_android::intent::Intent;
+    use mobivine_android::pending_intent::PendingIntent;
+    use mobivine_device::Device;
+
+    // Old overload exists on m5-rc15, gone in 1.0.
+    let m5 = AndroidPlatform::new(Device::builder().build(), SdkVersion::M5Rc15).new_context();
+    assert!(m5
+        .location_manager()
+        .add_proximity_alert(28.5, 77.3, 10.0, -1, Intent::new("x"))
+        .is_ok());
+    let v1 = AndroidPlatform::new(Device::builder().build(), SdkVersion::V1_0).new_context();
+    assert!(v1
+        .location_manager()
+        .add_proximity_alert(28.5, 77.3, 10.0, -1, Intent::new("x"))
+        .is_err());
+    assert!(v1
+        .location_manager()
+        .add_proximity_alert_pending(
+            28.5,
+            77.3,
+            10.0,
+            -1,
+            PendingIntent::get_broadcast(Intent::new("x"))
+        )
+        .is_ok());
+}

@@ -1,0 +1,190 @@
+//! The complete M-Plugin workflow (paper §3.2's four features), end to
+//! end: visibility (drawer) → presentation/configuration (dialog) →
+//! code generation (source preview) → embedding (platform-specific
+//! packaging).
+
+use mobivine_mplugin::dialog::ConfigurationDialog;
+use mobivine_mplugin::drawer::ProxyDrawer;
+use mobivine_mplugin::manifest::PluginManifest;
+use mobivine_mplugin::packaging::{
+    AndroidExtension, AndroidProject, ProxySelection, S60Extension, WebViewExtension,
+    WebViewProject,
+};
+use mobivine_proxydl::catalog::standard_catalog;
+use mobivine_proxydl::PlatformId;
+use mobivine_s60::packaging::{Jar, JadDescriptor};
+
+#[test]
+fn full_s60_workflow_drawer_to_deployable_suite() {
+    // 1. Visibility: the S60 drawer lists the platform's proxies.
+    let catalog = standard_catalog();
+    let drawer = ProxyDrawer::from_catalog(&catalog, PlatformId::NokiaS60);
+    let item = drawer
+        .find_item("Location", "addProximityAlert")
+        .expect("drag target exists");
+    assert_eq!(item.label, "Location :: addProximityAlert");
+
+    // 2/3. Presentation + configuration: populate the dialog.
+    let descriptor = catalog.iter().find(|d| d.name == item.proxy).unwrap();
+    let mut dialog =
+        ConfigurationDialog::for_api(descriptor, PlatformId::NokiaS60, &item.api).unwrap();
+    for (name, value) in [
+        ("latitude", "28.5355"),
+        ("longitude", "77.3910"),
+        ("altitude", "0"),
+        ("radius", "100"),
+        ("timer", "-1"),
+        ("proximityListener", "this"),
+    ] {
+        dialog.set_variable(name, value).unwrap();
+    }
+    dialog.set_property("powerConsumption", "Medium").unwrap();
+
+    // 3. Code generation with preview.
+    let source = dialog.source_preview().unwrap();
+    assert!(source.contains("loc.addProximityAlert(28.5355, 77.3910, 0, 100, -1, this);"));
+    assert!(source.contains("setProperty(\"powerConsumption\", \"Medium\")"));
+    assert!(source.contains("javax.microedition.location.LocationException"));
+
+    // 4. Embedding: merge the chosen proxies into the single suite jar.
+    let mut app_jar = Jar::new("wfm.jar");
+    app_jar
+        .add_entry("com/acme/WorkForceManagement.class", b"app".to_vec())
+        .unwrap();
+    let jad = JadDescriptor::for_jar(&app_jar, "WorkForce", "ACME", "1.0.0");
+    let suite = S60Extension::package(
+        app_jar,
+        jad,
+        &ProxySelection::new(&["Location", "SMS", "Http"]),
+    )
+    .unwrap();
+    suite.validate().unwrap();
+    assert!(suite.jar.contains("com/ibm/S60/location/LocationProxy.class"));
+    assert_eq!(suite.jad.jar_size, suite.jar.byte_size());
+}
+
+#[test]
+fn full_android_workflow() {
+    let catalog = standard_catalog();
+    let drawer = ProxyDrawer::from_catalog(&catalog, PlatformId::Android);
+    assert!(drawer.find_item("Call", "makeACall").is_some());
+
+    let descriptor = catalog.iter().find(|d| d.name == "Call").unwrap();
+    let mut dialog =
+        ConfigurationDialog::for_api(descriptor, PlatformId::Android, "makeACall").unwrap();
+    dialog.set_variable("number", "+91-98-SUPERVISOR").unwrap();
+    dialog.set_property("context", "this").unwrap();
+    dialog.set_property("retries", "3").unwrap();
+    let source = dialog.source_preview().unwrap();
+    assert!(source.contains("call.makeACall(\"+91-98-SUPERVISOR\");"));
+    assert!(source.contains("setProperty(\"retries\", 3)"));
+
+    let mut project = AndroidProject {
+        name: "wfm".into(),
+        ..AndroidProject::default()
+    };
+    AndroidExtension::integrate(&mut project, &ProxySelection::new(&["Call", "Location"]));
+    assert!(project.libs.contains("libs/call-proxy.jar"));
+    assert_eq!(project.classpath.len(), 2);
+}
+
+#[test]
+fn full_webview_workflow() {
+    let catalog = standard_catalog();
+    let drawer = ProxyDrawer::from_catalog(&catalog, PlatformId::AndroidWebView);
+    assert!(drawer.find_item("SMS", "sendTextMessage").is_some());
+
+    let descriptor = catalog.iter().find(|d| d.name == "SMS").unwrap();
+    let mut dialog = ConfigurationDialog::for_api(
+        descriptor,
+        PlatformId::AndroidWebView,
+        "sendTextMessage",
+    )
+    .unwrap();
+    dialog.set_variable("destination", "+91-98-SUPERVISOR").unwrap();
+    dialog.set_variable("text", "on my way").unwrap();
+    dialog.set_variable("deliveryListener", "onDelivery").unwrap();
+    let source = dialog.source_preview().unwrap();
+    assert!(source.contains("var sms = new SmsProxyImpl();"));
+    assert!(source.contains("sms.sendTextMessage(\"+91-98-SUPERVISOR\", \"on my way\", onDelivery);"));
+
+    let mut project = WebViewProject {
+        name: "wfm-web".into(),
+        ..WebViewProject::default()
+    };
+    WebViewExtension::integrate(&mut project, &ProxySelection::new(&["SMS"]));
+    assert!(project.scripts.contains("js/proxies/SMSProxyImpl.js"));
+    assert!(project.injections[0].contains("addJavascriptInterface"));
+}
+
+#[test]
+fn semantic_allowed_values_constrain_dialog_variables() {
+    // The Http proxy's semantic plane constrains the `method` parameter;
+    // the dialog enforces it for every platform.
+    let catalog = standard_catalog();
+    let descriptor = catalog.iter().find(|d| d.name == "Http").unwrap();
+    let mut dialog =
+        ConfigurationDialog::for_api(descriptor, PlatformId::NokiaS60, "request").unwrap();
+    dialog.set_variable("method", "GET").unwrap();
+    assert!(dialog.set_variable("method", "BREW").is_err());
+    dialog.set_variable("url", "http://wfm.example/tasks").unwrap();
+    dialog.set_variable("body", "").unwrap();
+    let source = dialog.source_preview().unwrap();
+    assert!(source.contains("http.request(\"GET\", \"http://wfm.example/tasks\""));
+}
+
+#[test]
+fn android_proximity_snippet_matches_figure8_shape() {
+    // The generated Android snippet has the Fig. 8(a) shape: proxy
+    // construction, setProperty for context/provider, the uniform call,
+    // Android-specific exception comment, and the common callback stub.
+    let catalog = standard_catalog();
+    let descriptor = catalog.iter().find(|d| d.name == "Location").unwrap();
+    let mut dialog =
+        ConfigurationDialog::for_api(descriptor, PlatformId::Android, "addProximityAlert")
+            .unwrap();
+    for (name, value) in [
+        ("latitude", "28.5355"),
+        ("longitude", "77.3910"),
+        ("altitude", "0"),
+        ("radius", "100"),
+        ("timer", "-1"),
+        ("proximityListener", "this"),
+    ] {
+        dialog.set_variable(name, value).unwrap();
+    }
+    dialog.set_property("context", "this").unwrap();
+    dialog.set_property("provider", "gps").unwrap();
+    let source = dialog.source_preview().unwrap();
+    let expected_lines = [
+        "LocationProxyImpl loc = new LocationProxyImpl();",
+        "loc.setProperty(\"context\", this);",
+        "loc.setProperty(\"provider\", \"gps\");",
+        "loc.addProximityAlert(28.5355, 77.3910, 0, 100, -1, this);",
+        "// Handle android specific exceptions:",
+        "//   java.lang.SecurityException",
+        "public void proximityEvent(double refLatitude, double refLongitude, double refAltitude,",
+    ];
+    for line in expected_lines {
+        assert!(source.contains(line), "missing {line:?} in:\n{source}");
+    }
+}
+
+#[test]
+fn manifests_derive_per_platform_from_one_catalog() {
+    let catalog = standard_catalog();
+    for platform in [
+        PlatformId::Android,
+        PlatformId::NokiaS60,
+        PlatformId::AndroidWebView,
+    ] {
+        let drawer = ProxyDrawer::from_catalog(&catalog, platform.clone());
+        let manifest = PluginManifest::from_drawer(
+            &format!("com.ibm.mobivine.{}", platform.id()),
+            &drawer,
+        );
+        let text = manifest.render();
+        let back = PluginManifest::parse(&text).unwrap();
+        assert_eq!(back, manifest, "round trip for {}", platform.id());
+    }
+}

@@ -1,0 +1,201 @@
+//! Stress and scale: many concurrent registrations, message storms,
+//! long simulated runs — the event machinery must stay correct and
+//! bounded.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use mobivine::registry::Mobivine;
+use mobivine::types::ProximityEvent;
+use mobivine_android::{AndroidPlatform, SdkVersion};
+use mobivine_device::movement::MovementModel;
+use mobivine_device::{Device, GeoPoint};
+use mobivine_s60::S60Platform;
+
+const HOME: GeoPoint = GeoPoint {
+    latitude: 28.5355,
+    longitude: 77.3910,
+    altitude: 0.0,
+};
+
+#[test]
+fn fifty_proximity_alerts_fire_exactly_the_right_subset() {
+    // Fifty concentric regions with radii 20, 40, ..., 1000 m; the
+    // agent walks from 1100 m out to the center and back out. Every
+    // region must see exactly one enter and one exit.
+    let start = HOME.destination(270.0, 1_100.0);
+    let device = Device::builder()
+        .position(start)
+        .movement(MovementModel::waypoints(
+            vec![start, HOME, start],
+            25.0,
+        ))
+        .build();
+    device.gps().set_noise_enabled(false);
+    let platform = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
+    let runtime = Mobivine::for_android(platform.new_context());
+    let location = runtime.location().unwrap();
+
+    let counts: Vec<Arc<(AtomicUsize, AtomicUsize)>> = (0..50)
+        .map(|i| {
+            let pair = Arc::new((AtomicUsize::new(0), AtomicUsize::new(0)));
+            let sink = Arc::clone(&pair);
+            let radius = 20.0 * (i as f64 + 1.0);
+            location
+                .add_proximity_alert(
+                    HOME.latitude,
+                    HOME.longitude,
+                    0.0,
+                    radius,
+                    -1,
+                    Arc::new(move |e: &ProximityEvent| {
+                        if e.entering {
+                            sink.0.fetch_add(1, Ordering::SeqCst);
+                        } else {
+                            sink.1.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }),
+                )
+                .unwrap();
+            pair
+        })
+        .collect();
+
+    // Full out-and-back: 2200 m at 25 m/s = 88 s.
+    device.advance_ms(120_000);
+    for (i, pair) in counts.iter().enumerate() {
+        assert_eq!(
+            pair.0.load(Ordering::SeqCst),
+            1,
+            "region {i} enter count"
+        );
+        assert_eq!(pair.1.load(Ordering::SeqCst), 1, "region {i} exit count");
+    }
+}
+
+#[test]
+fn sms_storm_delivers_everything_in_order() {
+    let device = Device::builder().msisdn("+me").build();
+    device.smsc().register_address("+hub");
+    let platform = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
+    let runtime = Mobivine::for_android(platform.new_context());
+    let sms = runtime.sms().unwrap();
+    for i in 0..200 {
+        sms.send_text_message("+hub", &format!("msg-{i}"), None)
+            .unwrap();
+    }
+    device.advance_ms(10_000);
+    let inbox = device.smsc().inbox("+hub");
+    assert_eq!(inbox.len(), 200);
+    for (i, message) in inbox.iter().enumerate() {
+        assert_eq!(message.body, format!("msg-{i}"), "ordering preserved");
+    }
+}
+
+#[test]
+fn removed_alerts_leave_no_residual_event_load() {
+    // Register and immediately remove many alerts; after a long
+    // advance the event queue must drain to (near) nothing — recurring
+    // checks for cancelled registrations stop rescheduling.
+    let device = Device::builder().position(HOME).build();
+    let platform = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
+    let runtime = Mobivine::for_android(platform.new_context());
+    let location = runtime.location().unwrap();
+    for _ in 0..30 {
+        let listener: mobivine::types::SharedProximityListener =
+            Arc::new(|_: &ProximityEvent| {});
+        location
+            .add_proximity_alert(HOME.latitude, HOME.longitude, 0.0, 50.0, -1, Arc::clone(&listener))
+            .unwrap();
+        assert!(location.remove_proximity_alert(&listener).unwrap());
+    }
+    device.advance_ms(10_000);
+    assert_eq!(
+        device.events().pending(),
+        0,
+        "cancelled registrations must stop rescheduling"
+    );
+}
+
+#[test]
+fn expired_alerts_also_drain_the_queue() {
+    let device = Device::builder().position(HOME).build();
+    let platform = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
+    let runtime = Mobivine::for_android(platform.new_context());
+    let location = runtime.location().unwrap();
+    for _ in 0..20 {
+        location
+            .add_proximity_alert(
+                HOME.latitude,
+                HOME.longitude,
+                0.0,
+                50.0,
+                5, // expires after 5 s
+                Arc::new(|_: &ProximityEvent| {}),
+            )
+            .unwrap();
+    }
+    device.advance_ms(60_000);
+    assert_eq!(device.events().pending(), 0);
+}
+
+#[test]
+fn s60_emulation_survives_long_runs_with_many_cycles() {
+    // 30 virtual minutes of looping through a region: the S60 binding's
+    // re-registration machinery must neither miss cycles nor leak.
+    let start = HOME.destination(270.0, 300.0);
+    let far = HOME.destination(90.0, 300.0);
+    let device = Device::builder()
+        .position(start)
+        .movement(MovementModel::waypoint_loop(vec![start, far], 30.0))
+        .build();
+    device.gps().set_noise_enabled(false);
+    let runtime = Mobivine::for_s60(S60Platform::new(device.clone()));
+    let events = Arc::new(Mutex::new(Vec::new()));
+    let sink = Arc::clone(&events);
+    runtime
+        .location()
+        .unwrap()
+        .add_proximity_alert(
+            HOME.latitude,
+            HOME.longitude,
+            0.0,
+            100.0,
+            -1,
+            Arc::new(move |e: &ProximityEvent| sink.lock().unwrap().push(e.entering)),
+        )
+        .unwrap();
+    device.advance_ms(30 * 60 * 1_000);
+    let events = events.lock().unwrap();
+    // Loop period 40 s, one enter+exit per lap => ~45 laps in 30 min.
+    assert!(events.len() >= 80, "saw only {} events", events.len());
+    for pair in events.windows(2) {
+        assert_ne!(pair[0], pair[1], "strict alternation over {} events", events.len());
+    }
+}
+
+#[test]
+fn many_calls_in_flight_keep_independent_state() {
+    let device = Device::builder().build();
+    device
+        .call_switch()
+        .set_callee_profile("+busy", mobivine_device::call::CalleeProfile::Busy);
+    let platform = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
+    let runtime = Mobivine::for_android(platform.new_context());
+    let call = runtime.call().unwrap();
+    let ok_ids: Vec<u64> = (0..20).map(|_| call.make_a_call("+fine").unwrap()).collect();
+    let busy_ids: Vec<u64> = (0..20).map(|_| call.make_a_call("+busy").unwrap()).collect();
+    device.advance_ms(30_000);
+    for id in ok_ids {
+        assert_eq!(
+            call.call_progress(id).unwrap(),
+            mobivine::types::CallProgress::Connected
+        );
+    }
+    for id in busy_ids {
+        assert_eq!(
+            call.call_progress(id).unwrap(),
+            mobivine::types::CallProgress::Ended
+        );
+    }
+}
