@@ -104,8 +104,7 @@ impl WorkforceLogic {
     /// the body of `proximityEvent` in the paper's Fig. 8.
     pub fn handle_proximity(&self, task: &Task, event: &ProximityEvent) {
         if event.entering {
-            self.events
-                .record(format!("arrived:site-{}", task.id));
+            self.events.record(format!("arrived:site-{}", task.id));
             let _ = self.sms.send_text_message(
                 &self.config.supervisor_msisdn,
                 &format!(

@@ -126,6 +126,33 @@ pub fn similarity(a: &str, b: &str) -> f64 {
     shared as f64 / a_lines.len() as f64
 }
 
+/// Renders the middleware's resilience counters as a small operator
+/// report: one aligned row per counter plus the derived mean
+/// attempts-per-call, the headline number for retry amplification.
+pub fn resilience_report(snapshot: &mobivine::resilience::ResilienceSnapshot) -> String {
+    let rows: &[(&str, u64)] = &[
+        ("calls", snapshot.calls),
+        ("attempts", snapshot.attempts),
+        ("retries", snapshot.retries),
+        ("successes", snapshot.successes),
+        ("transient failures", snapshot.transient_failures),
+        ("fatal failures", snapshot.fatal_failures),
+        ("circuit rejections", snapshot.circuit_rejections),
+        ("circuit opens", snapshot.circuit_opens),
+        ("fallback: last known fix", snapshot.fallback_last_known),
+        ("fallback: configured default", snapshot.fallback_default),
+        ("deadline exhausted", snapshot.deadline_exhausted),
+    ];
+    let width = rows.iter().map(|(name, _)| name.len()).max().unwrap_or(0);
+    let mut out = String::from("resilience counters\n");
+    for (name, value) in rows {
+        out.push_str(&format!("  {name:<width$}  {value}\n"));
+    }
+    let mean = snapshot.attempts as f64 / snapshot.calls.max(1) as f64;
+    out.push_str(&format!("  {:<width$}  {mean:.2}\n", "mean attempts/call"));
+    out
+}
+
 /// A named variant source for the evaluation tables.
 #[derive(Debug, Clone, Copy)]
 pub struct VariantSource {
@@ -243,7 +270,10 @@ mod tests {
     #[test]
     fn proxy_variant_has_fewer_platform_api_references() {
         let sources = variant_sources();
-        let proxy = sources.iter().find(|v| v.name.starts_with("proxy")).unwrap();
+        let proxy = sources
+            .iter()
+            .find(|v| v.name.starts_with("proxy"))
+            .unwrap();
         let proxy_refs = analyze(proxy.source).platform_api_refs;
         for native in sources.iter().filter(|v| !v.uses_proxies) {
             let native_refs = analyze(native.source).platform_api_refs;
@@ -258,7 +288,10 @@ mod tests {
     #[test]
     fn proxy_variant_has_less_callback_machinery() {
         let sources = variant_sources();
-        let proxy = sources.iter().find(|v| v.name.starts_with("proxy")).unwrap();
+        let proxy = sources
+            .iter()
+            .find(|v| v.name.starts_with("proxy"))
+            .unwrap();
         let proxy_cb = analyze(proxy.source).callback_machinery_lines;
         for native in sources.iter().filter(|v| !v.uses_proxies) {
             let native_cb = analyze(native.source).callback_machinery_lines;
@@ -287,8 +320,52 @@ mod tests {
         // similarity is 1.0 by definition. Assert the degenerate case
         // holds through the metric too.
         let sources = variant_sources();
-        let proxy = sources.iter().find(|v| v.name.starts_with("proxy")).unwrap();
+        let proxy = sources
+            .iter()
+            .find(|v| v.name.starts_with("proxy"))
+            .unwrap();
         assert_eq!(similarity(proxy.source, proxy.source), 1.0);
+    }
+
+    #[test]
+    fn resilience_report_lists_every_counter_and_the_mean() {
+        let snapshot = mobivine::resilience::ResilienceSnapshot {
+            calls: 4,
+            attempts: 6,
+            retries: 2,
+            successes: 4,
+            transient_failures: 2,
+            ..Default::default()
+        };
+        let report = resilience_report(&snapshot);
+        assert!(report.starts_with("resilience counters\n"));
+        for needle in [
+            "calls",
+            "attempts",
+            "retries",
+            "successes",
+            "transient failures",
+            "fatal failures",
+            "circuit rejections",
+            "circuit opens",
+            "fallback: last known fix",
+            "fallback: configured default",
+            "deadline exhausted",
+        ] {
+            assert!(report.contains(needle), "missing row {needle:?}");
+        }
+        // 6 attempts over 4 calls.
+        assert!(report.contains("mean attempts/call"));
+        assert!(report.ends_with("1.50\n"), "report was:\n{report}");
+    }
+
+    #[test]
+    fn resilience_report_handles_the_empty_snapshot() {
+        let report = resilience_report(&Default::default());
+        assert!(
+            report.contains("0.00"),
+            "zero calls must not divide by zero"
+        );
     }
 
     #[test]

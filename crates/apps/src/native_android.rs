@@ -120,8 +120,7 @@ impl IntentReceiver for ProximityIntentReceiver {
         if entering {
             // business logic for handling proximity events (enter)
             self.events.record(format!("arrived:site-{}", self.task.id));
-            if let Ok(SystemService::Sms(sms)) =
-                ctxt.get_system_service(service_names::SMS_SERVICE)
+            if let Ok(SystemService::Sms(sms)) = ctxt.get_system_service(service_names::SMS_SERVICE)
             {
                 let _ = sms.send_text_message(
                     &self.config.supervisor_msisdn,
@@ -206,8 +205,7 @@ impl Activity for NativeAndroidApp {
                 action: action.clone(),
             });
             ctx.register_receiver(receiver, IntentFilter::new(&action));
-            let location_manager = match ctx.get_system_service(service_names::LOCATION_SERVICE)
-            {
+            let location_manager = match ctx.get_system_service(service_names::LOCATION_SERVICE) {
                 Ok(SystemService::Location(lm)) => lm,
                 _ => continue,
             };
@@ -252,7 +250,13 @@ mod tests {
         assert_eq!(events.count_prefix("task-complete:"), 2);
         // Server saw the activity.
         assert_eq!(scenario.server.activity_log().len(), 4);
-        assert_eq!(scenario.server.completed_tasks(scenario.config.agent_id).len(), 2);
+        assert_eq!(
+            scenario
+                .server
+                .completed_tasks(scenario.config.agent_id)
+                .len(),
+            2
+        );
         // Supervisor got the arrival messages.
         scenario.device.advance_ms(1_000);
         assert_eq!(

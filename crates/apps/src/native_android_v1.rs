@@ -121,8 +121,7 @@ impl IntentReceiver for ProximityIntentReceiver {
         if entering {
             // business logic for handling proximity events (enter)
             self.events.record(format!("arrived:site-{}", self.task.id));
-            if let Ok(SystemService::Sms(sms)) =
-                ctxt.get_system_service(service_names::SMS_SERVICE)
+            if let Ok(SystemService::Sms(sms)) = ctxt.get_system_service(service_names::SMS_SERVICE)
             {
                 let _ = sms.send_text_message(
                     &self.config.supervisor_msisdn,
@@ -207,8 +206,7 @@ impl Activity for NativeAndroidAppV1 {
                 action: action.clone(),
             });
             ctx.register_receiver(receiver, IntentFilter::new(&action));
-            let location_manager = match ctx.get_system_service(service_names::LOCATION_SERVICE)
-            {
+            let location_manager = match ctx.get_system_service(service_names::LOCATION_SERVICE) {
                 Ok(SystemService::Location(lm)) => lm,
                 _ => continue,
             };
@@ -252,7 +250,10 @@ mod tests {
 
     #[test]
     fn migrated_native_app_works_on_1_0() {
-        assert_eq!(run_on(SdkVersion::V1_0), ScenarioOutcome::expected_two_site());
+        assert_eq!(
+            run_on(SdkVersion::V1_0),
+            ScenarioOutcome::expected_two_site()
+        );
     }
 
     #[test]

@@ -161,8 +161,7 @@ impl ManualProximityMachine {
     }
 
     fn stop_everything(&self) {
-        self.provider
-            .set_location_listener(None, -1, -1, -1);
+        self.provider.set_location_listener(None, -1, -1, -1);
         if let Some(me) = self.self_ref.lock().upgrade() {
             let listener: Arc<dyn ProximityListener> = me;
             LocationProvider::remove_proximity_listener(&self.platform, &listener);
@@ -290,13 +289,9 @@ impl Midlet for NativeS60App {
         }
         self.fetch_tasks(platform);
         for task in self.tasks.clone() {
-            if let Some(machine) = ManualProximityMachine::install(
-                platform,
-                &self.config,
-                &self.events,
-                &task,
-                -1,
-            ) {
+            if let Some(machine) =
+                ManualProximityMachine::install(platform, &self.config, &self.events, &task, -1)
+            {
                 self.machines.push(machine);
             }
         }

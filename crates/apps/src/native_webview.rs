@@ -68,8 +68,8 @@ impl JavaScriptInterface for AppBridge {
         match method {
             "httpGet" => {
                 let url = args::string(call_args, 0)?;
-                let request = HttpUriRequest::get(&url)
-                    .map_err(|e| BridgeError::bridge(e.to_string()))?;
+                let request =
+                    HttpUriRequest::get(&url).map_err(|e| BridgeError::bridge(e.to_string()))?;
                 let response = self
                     .ctx
                     .http_client()
@@ -133,7 +133,9 @@ impl JavaScriptInterface for AppBridge {
                 let drained: Vec<JsValue> = std::mem::take(&mut *self.proximity_queue.lock());
                 Ok(JsValue::Array(drained))
             }
-            other => Err(BridgeError::bridge(format!("AppBridge has no method {other}"))),
+            other => Err(BridgeError::bridge(format!(
+                "AppBridge has no method {other}"
+            ))),
         }
     }
 }
@@ -250,10 +252,22 @@ fn schedule_poll(
                         ],
                     );
                     events.record(format!("sms:arrival-site-{}", task.id));
-                    post_activity(&bridge, &config, &events, device.now_ms(), format!("arrived site {}", task.id));
+                    post_activity(
+                        &bridge,
+                        &config,
+                        &events,
+                        device.now_ms(),
+                        format!("arrived site {}", task.id),
+                    );
                 } else {
                     events.record(format!("departed:site-{}", task.id));
-                    post_activity(&bridge, &config, &events, device.now_ms(), format!("left site {}", task.id));
+                    post_activity(
+                        &bridge,
+                        &config,
+                        &events,
+                        device.now_ms(),
+                        format!("left site {}", task.id),
+                    );
                     let body = serde_json::json!({
                         "agent_id": config.agent_id,
                         "task_id": task.id,

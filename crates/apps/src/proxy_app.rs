@@ -112,7 +112,9 @@ mod tests {
     use mobivine_s60::S60Platform;
     use mobivine_webview::WebView;
 
-    fn run_scenario(make_runtime: impl FnOnce(&Scenario) -> Mobivine) -> (Scenario, Arc<AppEvents>) {
+    fn run_scenario(
+        make_runtime: impl FnOnce(&Scenario) -> Mobivine,
+    ) -> (Scenario, Arc<AppEvents>) {
         let scenario = Scenario::two_site_patrol(1);
         let runtime = make_runtime(&scenario);
         let events = AppEvents::new();
@@ -156,9 +158,8 @@ mod tests {
 
     #[test]
     fn same_app_runs_on_s60() {
-        let (scenario, events) = run_scenario(|s| {
-            Mobivine::for_s60(S60Platform::new(s.device.clone()))
-        });
+        let (scenario, events) =
+            run_scenario(|s| Mobivine::for_s60(S60Platform::new(s.device.clone())));
         assert_expected(&scenario, &events);
     }
 

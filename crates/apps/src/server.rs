@@ -29,7 +29,7 @@ pub struct TrackPoint {
 
 #[derive(Debug, Default)]
 struct ServerState {
-    tasks: Vec<(u64, Task)>, // (assigned agent, task)
+    tasks: Vec<(u64, Task)>,    // (assigned agent, task)
     completed: Vec<(u64, u64)>, // (agent, task id)
     activity: Vec<ActivityEntry>,
     tracks: Vec<TrackPoint>,
@@ -109,15 +109,11 @@ impl WfmServer {
     pub fn install(&self, network: &SimNetwork, host: &str) {
         let state = Arc::clone(&self.state);
         network.register_route(host, Method::Get, "/tasks", move |req| {
-            let agent_id: Option<u64> = req
-                .url
-                .query
-                .as_deref()
-                .and_then(|q| {
-                    q.split('&')
-                        .find_map(|kv| kv.strip_prefix("agent="))
-                        .and_then(|v| v.parse().ok())
-                });
+            let agent_id: Option<u64> = req.url.query.as_deref().and_then(|q| {
+                q.split('&')
+                    .find_map(|kv| kv.strip_prefix("agent="))
+                    .and_then(|v| v.parse().ok())
+            });
             match agent_id {
                 Some(agent_id) => {
                     let state = state.lock();

@@ -38,7 +38,9 @@ fn bench_layers(c: &mut Criterion) {
     });
 
     // The property-bag layer alone.
-    let device = Device::builder().position(GeoPoint::new(28.5, 77.3)).build();
+    let device = Device::builder()
+        .position(GeoPoint::new(28.5, 77.3))
+        .build();
     let platform = AndroidPlatform::new(device, SdkVersion::M5Rc15);
     let runtime = Mobivine::for_android(platform.new_context());
     let proxy = runtime.location().expect("location proxy");

@@ -22,10 +22,15 @@ fn bench_android(c: &mut Criterion) {
     group.bench_function("getLocation/with_proxy", |b| {
         b.iter(|| fixture.proxy_get_location())
     });
+    group.bench_function("getLocation/with_resilient_proxy", |b| {
+        b.iter(|| fixture.resilient_get_location())
+    });
     group.bench_function("sendSMS/without_proxy", |b| {
         b.iter(|| fixture.native_send_sms())
     });
-    group.bench_function("sendSMS/with_proxy", |b| b.iter(|| fixture.proxy_send_sms()));
+    group.bench_function("sendSMS/with_proxy", |b| {
+        b.iter(|| fixture.proxy_send_sms())
+    });
     group.finish();
 }
 
@@ -47,7 +52,9 @@ fn bench_webview(c: &mut Criterion) {
     group.bench_function("sendSMS/without_proxy", |b| {
         b.iter(|| fixture.native_send_sms())
     });
-    group.bench_function("sendSMS/with_proxy", |b| b.iter(|| fixture.proxy_send_sms()));
+    group.bench_function("sendSMS/with_proxy", |b| {
+        b.iter(|| fixture.proxy_send_sms())
+    });
     group.finish();
 }
 
@@ -69,7 +76,9 @@ fn bench_s60(c: &mut Criterion) {
     group.bench_function("sendSMS/without_proxy", |b| {
         b.iter(|| fixture.native_send_sms())
     });
-    group.bench_function("sendSMS/with_proxy", |b| b.iter(|| fixture.proxy_send_sms()));
+    group.bench_function("sendSMS/with_proxy", |b| {
+        b.iter(|| fixture.proxy_send_sms())
+    });
     group.finish();
 }
 

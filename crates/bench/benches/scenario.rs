@@ -98,8 +98,7 @@ fn bench_scenarios(c: &mut Criterion) {
         b.iter_batched(
             || Scenario::two_site_patrol(1),
             |scenario| {
-                let platform =
-                    AndroidPlatform::new(scenario.device.clone(), SdkVersion::M5Rc15);
+                let platform = AndroidPlatform::new(scenario.device.clone(), SdkVersion::M5Rc15);
                 let webview = Arc::new(mobivine_webview::WebView::new(platform.new_context()));
                 let events = AppEvents::new();
                 let mut app = ProxyWorkforceApp::new(

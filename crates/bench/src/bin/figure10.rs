@@ -7,7 +7,9 @@
 //! the proxy overhead on top is real measured Rust. The paper's values
 //! are printed alongside each measured pair.
 
-use mobivine_bench::figure10::{render_table, run_figure10, Scale};
+use mobivine_bench::figure10::{
+    render_resilience_table, render_table, run_figure10, run_resilience_overhead, Scale,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -17,10 +19,7 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--runs" => {
-                runs = args
-                    .get(i + 1)
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or(runs);
+                runs = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(runs);
                 i += 2;
             }
             "--scale" => {
@@ -53,6 +52,10 @@ fn main() {
     println!(
         "conclusion: the overhead of the proxy is a small fraction of the corresponding native interface"
     );
+
+    println!();
+    let resilience_rows = run_resilience_overhead(scale, runs);
+    print!("{}", render_resilience_table(&resilience_rows));
 }
 
 trait Figure10RowExt {

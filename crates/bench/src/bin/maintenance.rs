@@ -64,7 +64,10 @@ fn main() {
     let expected = ScenarioOutcome::expected_two_site();
 
     let (native_m5, _) = run_native(SdkVersion::M5Rc15);
-    println!("native app on m5-rc15: {native_m5:?}  (works: {})", native_m5 == expected);
+    println!(
+        "native app on m5-rc15: {native_m5:?}  (works: {})",
+        native_m5 == expected
+    );
 
     let (native_v1, _) = run_native(SdkVersion::V1_0);
     println!(
@@ -73,10 +76,16 @@ fn main() {
     );
 
     let proxy_m5 = run_proxy(SdkVersion::M5Rc15);
-    println!("proxy app on m5-rc15:  {proxy_m5:?}  (works: {})", proxy_m5 == expected);
+    println!(
+        "proxy app on m5-rc15:  {proxy_m5:?}  (works: {})",
+        proxy_m5 == expected
+    );
 
     let proxy_v1 = run_proxy(SdkVersion::V1_0);
-    println!("proxy app on 1.0:      {proxy_v1:?}  (works: {})", proxy_v1 == expected);
+    println!(
+        "proxy app on 1.0:      {proxy_v1:?}  (works: {})",
+        proxy_v1 == expected
+    );
 
     println!(
         "\napplication changes required for the migration:\n  native app: {} call site(s) to rewrite (Intent -> PendingIntent)\n  proxy app:  0 (absorbed inside the Android binding module)",
@@ -103,6 +112,9 @@ fn main() {
     assert_eq!(native_m5, expected, "native app works on the old SDK");
     assert_ne!(native_v1, expected, "native app breaks on the new SDK");
     assert_eq!(proxy_m5, expected, "proxy app works on the old SDK");
-    assert_eq!(proxy_v1, expected, "proxy app works unchanged on the new SDK");
+    assert_eq!(
+        proxy_v1, expected,
+        "proxy app works unchanged on the new SDK"
+    );
     println!("\nall maintenance assertions hold");
 }

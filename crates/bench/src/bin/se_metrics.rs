@@ -50,9 +50,7 @@ fn main() {
         "native android <-> native webview shared lines: {:.0}%",
         similarity(android.source, webview.source) * 100.0
     );
-    println!(
-        "proxy variant across android/s60/webview shared lines: 100% (single source)"
-    );
+    println!("proxy variant across android/s60/webview shared lines: 100% (single source)");
     println!(
         "\nconclusion: proxies concentrate business logic in one place and make the code\naround the API identical across platforms (paper Figs. 8/9 vs Fig. 2)"
     );

@@ -201,6 +201,77 @@ pub fn run_figure10(scale: Scale, runs: u32) -> Vec<Figure10Row> {
     rows
 }
 
+/// One row of the resilience-overhead ablation: `getLocation` on one
+/// platform — native, through the plain proxy, and through the proxy
+/// wrapped by the resilience layer (retry/circuit bookkeeping on the
+/// happy path, no faults injected).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceOverheadRow {
+    /// Platform label, as the figure prints it.
+    pub platform: &'static str,
+    /// Mean native invocation time, ms.
+    pub native_ms: f64,
+    /// Mean plain-proxy invocation time, ms.
+    pub proxy_ms: f64,
+    /// Mean resilient-proxy invocation time, ms.
+    pub resilient_ms: f64,
+}
+
+impl fmt::Display for ResilienceOverheadRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<16} {:>10.3} {:>10.3} {:>12.3}",
+            self.platform, self.native_ms, self.proxy_ms, self.resilient_ms,
+        )
+    }
+}
+
+/// Measures the resilience-layer overhead on the happy path: the
+/// `getLocation` cost native vs plain proxy vs resilient proxy on each
+/// platform, averaged over `runs` executions.
+pub fn run_resilience_overhead(scale: Scale, runs: u32) -> Vec<ResilienceOverheadRow> {
+    let android = AndroidFixture::new(scale.android());
+    let webview = WebViewFixture::new(scale.webview());
+    let s60 = S60Fixture::new(scale.s60());
+    vec![
+        ResilienceOverheadRow {
+            platform: "Android",
+            native_ms: mean_ms(runs, || android.native_get_location()),
+            proxy_ms: mean_ms(runs, || android.proxy_get_location()),
+            resilient_ms: mean_ms(runs, || android.resilient_get_location()),
+        },
+        ResilienceOverheadRow {
+            platform: "Android WebView",
+            native_ms: mean_ms(runs, || webview.native_get_location()),
+            proxy_ms: mean_ms(runs, || webview.proxy_get_location()),
+            resilient_ms: mean_ms(runs, || webview.resilient_get_location()),
+        },
+        ResilienceOverheadRow {
+            platform: "Nokia S60",
+            native_ms: mean_ms(runs, || s60.native_get_location()),
+            proxy_ms: mean_ms(runs, || s60.proxy_get_location()),
+            resilient_ms: mean_ms(runs, || s60.resilient_get_location()),
+        },
+    ]
+}
+
+/// Renders the resilience-overhead table the `figure10` binary prints
+/// below Figure 10 proper.
+pub fn render_resilience_table(rows: &[ResilienceOverheadRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Resilience overhead — getLocation, happy path (no faults injected)\n");
+    out.push_str(&format!(
+        "{:<16} {:>10} {:>10} {:>12}\n",
+        "Platform", "native", "proxy", "proxy+retry"
+    ));
+    for row in rows {
+        out.push_str(&row.to_string());
+        out.push('\n');
+    }
+    out
+}
+
 /// Renders the table the `figure10` binary prints.
 pub fn render_table(rows: &[Figure10Row]) -> String {
     let mut out = String::new();
@@ -264,6 +335,33 @@ mod tests {
             proxied >= native * 0.7,
             "proxied total {proxied} ms vs native total {native} ms"
         );
+    }
+
+    #[test]
+    fn resilience_overhead_happy_path_is_small_in_absolute_terms() {
+        // With native costs zeroed, the resilient path is pure
+        // decorator bookkeeping — like the plain proxy it must stay
+        // well under a millisecond per call on any host.
+        let rows = run_resilience_overhead(Scale::ZeroCost, 5);
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert!(
+                row.resilient_ms < 5.0,
+                "{} resilient path took {} ms",
+                row.platform,
+                row.resilient_ms
+            );
+        }
+    }
+
+    #[test]
+    fn render_resilience_table_has_one_row_per_platform() {
+        let rows = run_resilience_overhead(Scale::ZeroCost, 1);
+        let table = render_resilience_table(&rows);
+        assert!(table.contains("proxy+retry"));
+        assert!(table.contains("Android WebView"));
+        assert!(table.contains("Nokia S60"));
+        assert_eq!(table.lines().count(), 2 + 3);
     }
 
     #[test]

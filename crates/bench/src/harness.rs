@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use mobivine::api::{LocationProxy, SmsProxy};
 use mobivine::registry::Mobivine;
+use mobivine::resilience::ResiliencePolicy;
 use mobivine::types::{ProximityEvent, SharedProximityListener};
 use mobivine_android::context::Context;
 use mobivine_android::intent::Intent;
@@ -59,6 +60,7 @@ pub struct AndroidFixture {
     ctx: Context,
     location_proxy: Arc<dyn LocationProxy>,
     sms_proxy: Arc<dyn SmsProxy>,
+    resilient_location_proxy: Arc<dyn LocationProxy>,
 }
 
 impl AndroidFixture {
@@ -68,11 +70,16 @@ impl AndroidFixture {
         let platform = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
         let ctx = platform.new_context();
         let runtime = Mobivine::for_android(ctx.clone());
+        let resilient =
+            Mobivine::for_android(ctx.clone()).with_resilience(ResiliencePolicy::default());
         Self {
             device,
             ctx,
             location_proxy: runtime.location().expect("android location proxy"),
             sms_proxy: runtime.sms().expect("android sms proxy"),
+            resilient_location_proxy: resilient
+                .location()
+                .expect("android resilient location proxy"),
         }
     }
 
@@ -109,7 +116,14 @@ impl AndroidFixture {
     pub fn proxy_add_proximity_alert(&self) {
         let listener = noop_listener();
         self.location_proxy
-            .add_proximity_alert(FAR_REGION.0, FAR_REGION.1, 0.0, 100.0, -1, Arc::clone(&listener))
+            .add_proximity_alert(
+                FAR_REGION.0,
+                FAR_REGION.1,
+                0.0,
+                100.0,
+                -1,
+                Arc::clone(&listener),
+            )
             .expect("proxy registration succeeds");
         self.location_proxy
             .remove_proximity_alert(&listener)
@@ -129,6 +143,14 @@ impl AndroidFixture {
             .send_text_message(SMS_DESTINATION, "bench", None)
             .expect("proxy sms succeeds");
     }
+
+    /// Proxy `getLocation` through the resilience layer (happy path —
+    /// no faults, so this prices the retry/circuit bookkeeping alone).
+    pub fn resilient_get_location(&self) {
+        self.resilient_location_proxy
+            .get_location()
+            .expect("resilient location succeeds");
+    }
 }
 
 /// S60 fixture.
@@ -139,6 +161,7 @@ pub struct S60Fixture {
     provider: LocationProvider,
     location_proxy: Arc<dyn LocationProxy>,
     sms_proxy: Arc<dyn SmsProxy>,
+    resilient_location_proxy: Arc<dyn LocationProxy>,
 }
 
 impl S60Fixture {
@@ -146,15 +169,18 @@ impl S60Fixture {
     pub fn new(latency: LatencyModel) -> Self {
         let device = device_with(latency);
         let platform = S60Platform::new(device.clone());
-        let provider = LocationProvider::get_instance(&platform, Criteria::new())
-            .expect("fixture provider");
+        let provider =
+            LocationProvider::get_instance(&platform, Criteria::new()).expect("fixture provider");
         let runtime = Mobivine::for_s60(platform.clone());
+        let resilient =
+            Mobivine::for_s60(platform.clone()).with_resilience(ResiliencePolicy::default());
         Self {
             device,
             platform,
             provider,
             location_proxy: runtime.location().expect("s60 location proxy"),
             sms_proxy: runtime.sms().expect("s60 sms proxy"),
+            resilient_location_proxy: resilient.location().expect("s60 resilient location proxy"),
         }
     }
 
@@ -162,12 +188,7 @@ impl S60Fixture {
     pub fn native_add_proximity_alert(&self) {
         struct Noop;
         impl mobivine_s60::location::ProximityListener for Noop {
-            fn proximity_event(
-                &self,
-                _c: &Coordinates,
-                _l: &mobivine_s60::location::Location,
-            ) {
-            }
+            fn proximity_event(&self, _c: &Coordinates, _l: &mobivine_s60::location::Location) {}
         }
         let listener: Arc<dyn mobivine_s60::location::ProximityListener> = Arc::new(Noop);
         LocationProvider::add_proximity_listener(
@@ -201,7 +222,14 @@ impl S60Fixture {
     pub fn proxy_add_proximity_alert(&self) {
         let listener = noop_listener();
         self.location_proxy
-            .add_proximity_alert(FAR_REGION.0, FAR_REGION.1, 0.0, 100.0, -1, Arc::clone(&listener))
+            .add_proximity_alert(
+                FAR_REGION.0,
+                FAR_REGION.1,
+                0.0,
+                100.0,
+                -1,
+                Arc::clone(&listener),
+            )
             .expect("proxy registration succeeds");
         self.location_proxy
             .remove_proximity_alert(&listener)
@@ -220,6 +248,13 @@ impl S60Fixture {
         self.sms_proxy
             .send_text_message(SMS_DESTINATION, "bench", None)
             .expect("proxy sms succeeds");
+    }
+
+    /// Proxy `getLocation` through the resilience layer (happy path).
+    pub fn resilient_get_location(&self) {
+        self.resilient_location_proxy
+            .get_location()
+            .expect("resilient location succeeds");
     }
 }
 
@@ -283,6 +318,7 @@ pub struct WebViewFixture {
     webview: Arc<WebView>,
     location_proxy: Arc<dyn LocationProxy>,
     sms_proxy: Arc<dyn SmsProxy>,
+    resilient_location_proxy: Arc<dyn LocationProxy>,
 }
 
 impl WebViewFixture {
@@ -298,11 +334,16 @@ impl WebViewFixture {
             "RawBridge",
         );
         let runtime = Mobivine::for_webview(Arc::clone(&webview));
+        let resilient = Mobivine::for_webview(Arc::clone(&webview))
+            .with_resilience(ResiliencePolicy::default());
         Self {
             device,
             webview: Arc::clone(&webview),
             location_proxy: runtime.location().expect("webview location proxy"),
             sms_proxy: runtime.sms().expect("webview sms proxy"),
+            resilient_location_proxy: resilient
+                .location()
+                .expect("webview resilient location proxy"),
         }
     }
 
@@ -343,7 +384,14 @@ impl WebViewFixture {
     pub fn proxy_add_proximity_alert(&self) {
         let listener = noop_listener();
         self.location_proxy
-            .add_proximity_alert(FAR_REGION.0, FAR_REGION.1, 0.0, 100.0, -1, Arc::clone(&listener))
+            .add_proximity_alert(
+                FAR_REGION.0,
+                FAR_REGION.1,
+                0.0,
+                100.0,
+                -1,
+                Arc::clone(&listener),
+            )
             .expect("proxy registration succeeds");
         self.location_proxy
             .remove_proximity_alert(&listener)
@@ -363,6 +411,13 @@ impl WebViewFixture {
             .send_text_message(SMS_DESTINATION, "bench", None)
             .expect("proxy sms succeeds");
     }
+
+    /// Proxy `getLocation` through the resilience layer (happy path).
+    pub fn resilient_get_location(&self) {
+        self.resilient_location_proxy
+            .get_location()
+            .expect("resilient location succeeds");
+    }
 }
 
 #[cfg(test)]
@@ -378,6 +433,7 @@ mod tests {
         fixture.proxy_add_proximity_alert();
         fixture.proxy_get_location();
         fixture.proxy_send_sms();
+        fixture.resilient_get_location();
     }
 
     #[test]
@@ -389,6 +445,7 @@ mod tests {
         fixture.proxy_add_proximity_alert();
         fixture.proxy_get_location();
         fixture.proxy_send_sms();
+        fixture.resilient_get_location();
     }
 
     #[test]
@@ -400,5 +457,6 @@ mod tests {
         fixture.proxy_add_proximity_alert();
         fixture.proxy_get_location();
         fixture.proxy_send_sms();
+        fixture.resilient_get_location();
     }
 }

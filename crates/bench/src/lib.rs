@@ -11,4 +11,6 @@
 pub mod figure10;
 pub mod harness;
 
-pub use figure10::{run_figure10, Figure10Row, Scale};
+pub use figure10::{
+    run_figure10, run_resilience_overhead, Figure10Row, ResilienceOverheadRow, Scale,
+};

@@ -99,7 +99,9 @@ mod tests {
     #[test]
     fn get_and_post_round_trips() {
         let (_platform, proxy) = configured();
-        let get = proxy.request("GET", "http://wfm.example/tasks", &[]).unwrap();
+        let get = proxy
+            .request("GET", "http://wfm.example/tasks", &[])
+            .unwrap();
         assert!(get.is_success());
         assert_eq!(get.body_text(), "tasks!");
         let post = proxy

@@ -310,7 +310,14 @@ mod tests {
         let proxy = configured_proxy(&platform);
         let (listener, events) = collect_events();
         proxy
-            .add_proximity_alert(HOME.latitude, HOME.longitude, 0.0, 100.0, -1, Arc::clone(&listener))
+            .add_proximity_alert(
+                HOME.latitude,
+                HOME.longitude,
+                0.0,
+                100.0,
+                -1,
+                Arc::clone(&listener),
+            )
             .unwrap();
         assert!(proxy.remove_proximity_alert(&listener).unwrap());
         assert!(!proxy.remove_proximity_alert(&listener).unwrap());

@@ -97,11 +97,7 @@ impl ProxyBase for AndroidCalendarProxy {
 }
 
 impl CalendarProxy for AndroidCalendarProxy {
-    fn entries_between(
-        &self,
-        from_ms: u64,
-        to_ms: u64,
-    ) -> Result<Vec<CalendarRecord>, ProxyError> {
+    fn entries_between(&self, from_ms: u64, to_ms: u64) -> Result<Vec<CalendarRecord>, ProxyError> {
         let ctx = self.context()?;
         ctx.enforce_permission(Permission::ReadCalendar)?;
         Ok(ctx
@@ -128,9 +124,14 @@ mod tests {
 
     fn platform() -> AndroidPlatform {
         let device = Device::builder().build();
-        device.contacts().add("Region Supervisor", &["+91-100"], &[]);
+        device
+            .contacts()
+            .add("Region Supervisor", &["+91-100"], &[]);
         device.contacts().add("Dispatcher", &["+91-200"], &[]);
-        device.calendar().add("Site visit", 1_000, 2_000, "Depot").unwrap();
+        device
+            .calendar()
+            .add("Site visit", 1_000, 2_000, "Depot")
+            .unwrap();
         AndroidPlatform::new(device, SdkVersion::M5Rc15)
     }
 

@@ -55,13 +55,15 @@ impl SmsProxy for AndroidSmsProxy {
     ) -> Result<u64, ProxyError> {
         let ctx = self.context()?;
         let callback = delivery_listener.map(|listener| {
-            Box::new(move |id: mobivine_device::sms::MessageId, result: SmsResult| {
-                let outcome = match result {
-                    SmsResult::Delivered => DeliveryOutcome::Delivered,
-                    SmsResult::GenericFailure => DeliveryOutcome::Failed,
-                };
-                listener.delivery_event(id.value(), outcome);
-            }) as mobivine_android::telephony::SmsCallback
+            Box::new(
+                move |id: mobivine_device::sms::MessageId, result: SmsResult| {
+                    let outcome = match result {
+                        SmsResult::Delivered => DeliveryOutcome::Delivered,
+                        SmsResult::GenericFailure => DeliveryOutcome::Failed,
+                    };
+                    listener.delivery_event(id.value(), outcome);
+                },
+            ) as mobivine_android::telephony::SmsCallback
         });
         let id = ctx
             .sms_manager()
@@ -136,7 +138,10 @@ mod tests {
             )
             .unwrap();
         platform.device().advance_ms(1_000);
-        assert_eq!(outcomes.lock().unwrap().as_slice(), &[DeliveryOutcome::Failed]);
+        assert_eq!(
+            outcomes.lock().unwrap().as_slice(),
+            &[DeliveryOutcome::Failed]
+        );
     }
 
     #[test]
@@ -152,7 +157,10 @@ mod tests {
             .unwrap();
         let err = proxy.send_text_message("+1", "x", None).unwrap_err();
         assert_eq!(err.kind(), crate::error::ProxyErrorKind::Security);
-        assert_eq!(err.platform_exception(), Some("java.lang.SecurityException"));
+        assert_eq!(
+            err.platform_exception(),
+            Some("java.lang.SecurityException")
+        );
     }
 
     #[test]

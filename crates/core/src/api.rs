@@ -139,8 +139,7 @@ pub trait CalendarProxy: ProxyBase {
     /// # Errors
     ///
     /// Uniform [`ProxyError`]s.
-    fn entries_between(&self, from_ms: u64, to_ms: u64)
-        -> Result<Vec<CalendarRecord>, ProxyError>;
+    fn entries_between(&self, from_ms: u64, to_ms: u64) -> Result<Vec<CalendarRecord>, ProxyError>;
 }
 
 #[cfg(test)]

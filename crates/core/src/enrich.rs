@@ -15,9 +15,7 @@ use mobivine_device::Device;
 use crate::api::{CallProxy, LocationProxy, ProxyBase, SmsProxy};
 use crate::error::{ProxyError, ProxyErrorKind};
 use crate::property::PropertyValue;
-use crate::types::{
-    AngleUnit, CallProgress, DeliveryListener, Location, SharedProximityListener,
-};
+use crate::types::{AngleUnit, CallProgress, DeliveryListener, Location, SharedProximityListener};
 
 /// Location enrichment: output in configurable angle units.
 pub struct UnitLocationProxy {
@@ -313,8 +311,7 @@ mod tests {
         let device = Device::builder().position(HOME).build();
         device.gps().set_noise_enabled(false);
         let platform = android(device);
-        let enriched =
-            UnitLocationProxy::new(location_proxy(&platform), AngleUnit::Radians);
+        let enriched = UnitLocationProxy::new(location_proxy(&platform), AngleUnit::Radians);
         let (lat, lon) = enriched.get_coordinates().unwrap();
         assert!((lat - HOME.latitude.to_radians()).abs() < 1e-9);
         assert!((lon - HOME.longitude.to_radians()).abs() < 1e-9);
@@ -364,7 +361,9 @@ mod tests {
         let gated = PolicySmsProxy::new(Arc::new(base), Arc::clone(&policy));
         gated.send_text_message("+sup", "ok", None).unwrap();
         policy.deny("sms");
-        let err = gated.send_text_message("+sup", "blocked", None).unwrap_err();
+        let err = gated
+            .send_text_message("+sup", "blocked", None)
+            .unwrap_err();
         assert_eq!(err.kind(), ProxyErrorKind::PolicyDenied);
         assert_eq!(
             policy.audit_log(),

@@ -37,6 +37,12 @@ pub enum ProxyErrorKind {
     MissingProperty,
     /// Denied by an enrichment policy module (§3.3).
     PolicyDenied,
+    /// Rejected fast by an open resilience circuit breaker without
+    /// reaching the platform binding.
+    CircuitOpen,
+    /// The resilience retry budget was exhausted before the call
+    /// succeeded.
+    DeadlineExceeded,
 }
 
 /// The uniform error returned by every proxy API.
@@ -88,10 +94,15 @@ impl ProxyError {
             ProxyErrorKind::BadPropertyValue => 7,
             ProxyErrorKind::MissingProperty => 8,
             ProxyErrorKind::PolicyDenied => 9,
+            ProxyErrorKind::CircuitOpen => 10,
+            ProxyErrorKind::DeadlineExceeded => 11,
         }
     }
 
-    fn with_platform(mut self, class: &str) -> Self {
+    /// Attaches the originating platform exception class
+    /// (`java.lang.SecurityException`, …). Decorators that re-wrap an
+    /// error use this to keep provenance flowing through the chain.
+    pub fn with_platform(mut self, class: &str) -> Self {
         self.platform_exception = Some(class.to_owned());
         self
     }
@@ -146,7 +157,12 @@ impl From<BridgeError> for ProxyError {
             ErrorCode::ApiRemoved => ProxyErrorKind::UnsupportedOnPlatform,
             ErrorCode::Bridge => ProxyErrorKind::IllegalArgument,
         };
-        ProxyError::new(kind, e.message)
+        let class = e.code.canonical_java_class();
+        let err = ProxyError::new(kind, e.message);
+        match class {
+            Some(class) => err.with_platform(class),
+            None => err,
+        }
     }
 }
 
@@ -159,7 +175,10 @@ mod tests {
     fn android_exceptions_map_with_provenance() {
         let err: ProxyError = AndroidException::Security("no SEND_SMS".into()).into();
         assert_eq!(err.kind(), ProxyErrorKind::Security);
-        assert_eq!(err.platform_exception(), Some("java.lang.SecurityException"));
+        assert_eq!(
+            err.platform_exception(),
+            Some("java.lang.SecurityException")
+        );
         assert!(err.message().contains("SEND_SMS"));
     }
 
@@ -187,6 +206,28 @@ mod tests {
     fn bridge_errors_map_by_code() {
         let err: ProxyError = BridgeError::bridge("bad arg").into();
         assert_eq!(err.kind(), ProxyErrorKind::IllegalArgument);
+        assert_eq!(err.platform_exception(), None);
+    }
+
+    #[test]
+    fn bridge_errors_preserve_platform_provenance() {
+        let err: ProxyError = BridgeError {
+            code: ErrorCode::Security,
+            message: "denied at the bridge".into(),
+        }
+        .into();
+        assert_eq!(err.kind(), ProxyErrorKind::Security);
+        assert_eq!(
+            err.platform_exception(),
+            Some("java.lang.SecurityException")
+        );
+
+        let io: ProxyError = BridgeError {
+            code: ErrorCode::Io,
+            message: "socket reset".into(),
+        }
+        .into();
+        assert_eq!(io.platform_exception(), Some("java.io.IOException"));
     }
 
     #[test]
@@ -201,6 +242,8 @@ mod tests {
             ProxyErrorKind::BadPropertyValue,
             ProxyErrorKind::MissingProperty,
             ProxyErrorKind::PolicyDenied,
+            ProxyErrorKind::CircuitOpen,
+            ProxyErrorKind::DeadlineExceeded,
         ];
         let mut codes: Vec<i32> = kinds
             .iter()
@@ -209,7 +252,10 @@ mod tests {
         codes.sort_unstable();
         codes.dedup();
         assert_eq!(codes.len(), kinds.len());
-        assert_eq!(ProxyError::new(ProxyErrorKind::Security, "x").error_code(), 1);
+        assert_eq!(
+            ProxyError::new(ProxyErrorKind::Security, "x").error_code(),
+            1
+        );
     }
 
     #[test]

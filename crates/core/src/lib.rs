@@ -28,7 +28,10 @@
 //!   → repeated-alert emulation on S60, the wrapper/notification-table/
 //!   polling pipeline on WebView),
 //! - proxy enrichment decorators ([`enrich`]: unit conversion, call
-//!   retries, policy gating — §3.3), and
+//!   retries, policy gating — §3.3),
+//! - a [`resilience`] layer (retry policies with simulated-clock
+//!   backoff, per-proxy circuit breakers, location fallback chains —
+//!   applied uniformly via [`registry::Mobivine::with_resilience`]), and
 //! - a [`registry::Mobivine`] runtime facade constructing proxies per
 //!   platform from the standard descriptor catalog.
 //!
@@ -58,6 +61,7 @@ pub mod enrich;
 pub mod error;
 pub mod property;
 pub mod registry;
+pub mod resilience;
 pub mod s60;
 pub mod types;
 pub mod webview;
@@ -65,4 +69,7 @@ pub mod webview;
 pub use api::{CallProxy, HttpProxy, LocationProxy, SmsProxy};
 pub use error::{ProxyError, ProxyErrorKind};
 pub use registry::Mobivine;
+pub use resilience::{
+    CircuitBreaker, CircuitState, ResilienceMetrics, ResiliencePolicy, ResilienceSnapshot,
+};
 pub use types::{Location, ProximityEvent, ProximityListener};

@@ -256,7 +256,8 @@ mod tests {
     #[test]
     fn set_and_get() {
         let bag = bag();
-        bag.set("powerConsumption", PropertyValue::str("Low")).unwrap();
+        bag.set("powerConsumption", PropertyValue::str("Low"))
+            .unwrap();
         assert_eq!(bag.get_str("powerConsumption").as_deref(), Some("Low"));
     }
 

@@ -13,6 +13,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use mobivine_android::context::Context;
+use mobivine_device::Device;
 use mobivine_proxydl::{PlatformId, ProxyDescriptor};
 use mobivine_s60::S60Platform;
 use mobivine_webview::WebView;
@@ -26,6 +27,10 @@ use crate::api::{
 };
 use crate::error::{ProxyError, ProxyErrorKind};
 use crate::property::PropertyValue;
+use crate::resilience::{
+    ResilienceMetrics, ResiliencePolicy, ResilientCallProxy, ResilientHttpProxy,
+    ResilientLocationProxy, ResilientSmsProxy,
+};
 use crate::s60::{S60CalendarProxy, S60ContactsProxy, S60HttpProxy, S60LocationProxy, S60SmsProxy};
 use crate::webview::proxies::{
     WebViewCallProxy, WebViewHttpProxy, WebViewLocationProxy, WebViewSmsProxy,
@@ -38,10 +43,18 @@ enum Target {
     WebView(Arc<WebView>),
 }
 
+/// The runtime's resilience configuration: one policy and one shared
+/// counter block applied identically to every proxy it constructs.
+struct ResilienceRuntime {
+    policy: ResiliencePolicy,
+    metrics: Arc<ResilienceMetrics>,
+}
+
 /// The MobiVine runtime for one application on one platform.
 pub struct Mobivine {
     target: Target,
     catalog: Vec<ProxyDescriptor>,
+    resilience: Option<ResilienceRuntime>,
 }
 
 impl fmt::Debug for Mobivine {
@@ -59,6 +72,7 @@ impl Mobivine {
         Self {
             target: Target::Android(ctx),
             catalog: mobivine_proxydl::catalog::standard_catalog(),
+            resilience: None,
         }
     }
 
@@ -67,6 +81,7 @@ impl Mobivine {
         Self {
             target: Target::S60(platform),
             catalog: mobivine_proxydl::catalog::standard_catalog(),
+            resilience: None,
         }
     }
 
@@ -77,6 +92,40 @@ impl Mobivine {
         Self {
             target: Target::WebView(webview),
             catalog: mobivine_proxydl::catalog::standard_catalog(),
+            resilience: None,
+        }
+    }
+
+    /// Turns on the resilience layer: every Location/SMS/Call/HTTP
+    /// proxy this runtime constructs is pre-wrapped in the matching
+    /// [`crate::resilience`] decorator under `policy` — identically on
+    /// every platform, so retry behaviour is part of the uniform
+    /// surface rather than per-platform application code.
+    ///
+    /// All decorators share one [`ResilienceMetrics`] block, readable
+    /// through [`Mobivine::resilience_metrics`].
+    #[must_use]
+    pub fn with_resilience(mut self, policy: ResiliencePolicy) -> Self {
+        self.resilience = Some(ResilienceRuntime {
+            policy,
+            metrics: ResilienceMetrics::shared(),
+        });
+        self
+    }
+
+    /// The shared resilience counters, when
+    /// [`Mobivine::with_resilience`] was applied.
+    pub fn resilience_metrics(&self) -> Option<Arc<ResilienceMetrics>> {
+        self.resilience.as_ref().map(|r| Arc::clone(&r.metrics))
+    }
+
+    /// The simulated device underneath whichever platform binding this
+    /// runtime targets — the clock source for resilience backoffs.
+    fn device(&self) -> Device {
+        match &self.target {
+            Target::Android(ctx) => ctx.device().clone(),
+            Target::S60(platform) => platform.device().clone(),
+            Target::WebView(webview) => webview.context().device().clone(),
         }
     }
 
@@ -124,15 +173,24 @@ impl Mobivine {
         if !self.supports("Location") {
             return Err(self.unsupported("Location"));
         }
-        match &self.target {
+        let proxy: Arc<dyn LocationProxy> = match &self.target {
             Target::Android(ctx) => {
                 let proxy = AndroidLocationProxy::new();
                 proxy.set_property("context", PropertyValue::opaque(ctx.clone()))?;
-                Ok(Arc::new(proxy))
+                Arc::new(proxy)
             }
-            Target::S60(platform) => Ok(Arc::new(S60LocationProxy::new(platform.clone()))),
-            Target::WebView(webview) => Ok(Arc::new(WebViewLocationProxy::new(webview)?)),
-        }
+            Target::S60(platform) => Arc::new(S60LocationProxy::new(platform.clone())),
+            Target::WebView(webview) => Arc::new(WebViewLocationProxy::new(webview)?),
+        };
+        Ok(match &self.resilience {
+            Some(r) => Arc::new(ResilientLocationProxy::new(
+                proxy,
+                self.device(),
+                r.policy.clone(),
+                Arc::clone(&r.metrics),
+            )),
+            None => proxy,
+        })
     }
 
     /// Constructs the SMS proxy.
@@ -144,15 +202,24 @@ impl Mobivine {
         if !self.supports("SMS") {
             return Err(self.unsupported("SMS"));
         }
-        match &self.target {
+        let proxy: Arc<dyn SmsProxy> = match &self.target {
             Target::Android(ctx) => {
                 let proxy = AndroidSmsProxy::new();
                 proxy.set_property("context", PropertyValue::opaque(ctx.clone()))?;
-                Ok(Arc::new(proxy))
+                Arc::new(proxy)
             }
-            Target::S60(platform) => Ok(Arc::new(S60SmsProxy::new(platform.clone()))),
-            Target::WebView(webview) => Ok(Arc::new(WebViewSmsProxy::new(webview)?)),
-        }
+            Target::S60(platform) => Arc::new(S60SmsProxy::new(platform.clone())),
+            Target::WebView(webview) => Arc::new(WebViewSmsProxy::new(webview)?),
+        };
+        Ok(match &self.resilience {
+            Some(r) => Arc::new(ResilientSmsProxy::new(
+                proxy,
+                self.device(),
+                r.policy.clone(),
+                Arc::clone(&r.metrics),
+            )),
+            None => proxy,
+        })
     }
 
     /// Constructs the Call proxy.
@@ -165,15 +232,24 @@ impl Mobivine {
         if !self.supports("Call") {
             return Err(self.unsupported("Call"));
         }
-        match &self.target {
+        let proxy: Arc<dyn CallProxy> = match &self.target {
             Target::Android(ctx) => {
                 let proxy = AndroidCallProxy::new();
                 proxy.set_property("context", PropertyValue::opaque(ctx.clone()))?;
-                Ok(Arc::new(proxy))
+                Arc::new(proxy)
             }
-            Target::S60(_) => Err(self.unsupported("Call")),
-            Target::WebView(webview) => Ok(Arc::new(WebViewCallProxy::new(webview)?)),
-        }
+            Target::S60(_) => return Err(self.unsupported("Call")),
+            Target::WebView(webview) => Arc::new(WebViewCallProxy::new(webview)?),
+        };
+        Ok(match &self.resilience {
+            Some(r) => Arc::new(ResilientCallProxy::new(
+                proxy,
+                self.device(),
+                r.policy.clone(),
+                Arc::clone(&r.metrics),
+            )),
+            None => proxy,
+        })
     }
 
     /// Constructs the HTTP proxy.
@@ -185,15 +261,24 @@ impl Mobivine {
         if !self.supports("Http") {
             return Err(self.unsupported("Http"));
         }
-        match &self.target {
+        let proxy: Arc<dyn HttpProxy> = match &self.target {
             Target::Android(ctx) => {
                 let proxy = AndroidHttpProxy::new();
                 proxy.set_property("context", PropertyValue::opaque(ctx.clone()))?;
-                Ok(Arc::new(proxy))
+                Arc::new(proxy)
             }
-            Target::S60(platform) => Ok(Arc::new(S60HttpProxy::new(platform.clone()))),
-            Target::WebView(webview) => Ok(Arc::new(WebViewHttpProxy::new(webview)?)),
-        }
+            Target::S60(platform) => Arc::new(S60HttpProxy::new(platform.clone())),
+            Target::WebView(webview) => Arc::new(WebViewHttpProxy::new(webview)?),
+        };
+        Ok(match &self.resilience {
+            Some(r) => Arc::new(ResilientHttpProxy::new(
+                proxy,
+                self.device(),
+                r.policy.clone(),
+                Arc::clone(&r.metrics),
+            )),
+            None => proxy,
+        })
     }
 
     /// Constructs the Contacts proxy (extension feature).
@@ -299,5 +384,41 @@ mod tests {
     #[test]
     fn catalog_is_the_standard_one() {
         assert_eq!(android_runtime().catalog().len(), 6);
+    }
+
+    #[test]
+    fn with_resilience_pre_wraps_proxies_on_every_platform() {
+        let device = Device::builder().build();
+        let android = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
+        let webview = Arc::new(WebView::new(android.new_context()));
+        let runtimes = [
+            Mobivine::for_android(android.new_context()),
+            Mobivine::for_s60(S60Platform::new(device.clone())),
+            Mobivine::for_webview(webview),
+        ];
+        for runtime in runtimes {
+            let runtime = runtime.with_resilience(ResiliencePolicy::default());
+            let metrics = runtime.resilience_metrics().expect("metrics installed");
+            let location = runtime.location().unwrap();
+            // The resilience property plane answers on the wrapped
+            // proxy — proof the decorator is in front on this platform.
+            location
+                .set_property("retry.max_attempts", PropertyValue::Int(7))
+                .unwrap();
+            let _ = location.get_location();
+            assert_eq!(
+                metrics.snapshot().calls,
+                1,
+                "call flowed through the decorator on {:?}",
+                runtime.platform_id()
+            );
+            assert!(runtime.sms().is_ok());
+            assert!(runtime.http().is_ok());
+        }
+    }
+
+    #[test]
+    fn runtime_without_resilience_reports_no_metrics() {
+        assert!(android_runtime().resilience_metrics().is_none());
     }
 }

@@ -81,7 +81,9 @@ mod tests {
     #[test]
     fn get_and_post_uniform_results() {
         let proxy = S60HttpProxy::new(platform());
-        let get = proxy.request("GET", "http://wfm.example/tasks", &[]).unwrap();
+        let get = proxy
+            .request("GET", "http://wfm.example/tasks", &[])
+            .unwrap();
         assert!(get.is_success());
         assert_eq!(get.body_text(), "task list");
         let post = proxy
@@ -94,7 +96,10 @@ mod tests {
     fn transport_failure_is_io() {
         let proxy = S60HttpProxy::new(platform());
         assert_eq!(
-            proxy.request("GET", "http://ghost/", &[]).unwrap_err().kind(),
+            proxy
+                .request("GET", "http://ghost/", &[])
+                .unwrap_err()
+                .kind(),
             crate::error::ProxyErrorKind::Io
         );
     }

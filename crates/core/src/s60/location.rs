@@ -96,7 +96,10 @@ impl S60LocationProxy {
     }
 
     fn provider(&self) -> Result<LocationProvider, ProxyError> {
-        Ok(LocationProvider::get_instance(&self.platform, self.criteria())?)
+        Ok(LocationProvider::get_instance(
+            &self.platform,
+            self.criteria(),
+        )?)
     }
 }
 
@@ -190,9 +193,12 @@ impl S60LocationListener for ExitWatcher {
     ) {
         let shared = &self.shared;
         if !shared.active.load(Ordering::SeqCst) {
-            shared
-                .provider
-                .set_location_listener(None, NO_REQUIREMENT, NO_REQUIREMENT, NO_REQUIREMENT);
+            shared.provider.set_location_listener(
+                None,
+                NO_REQUIREMENT,
+                NO_REQUIREMENT,
+                NO_REQUIREMENT,
+            );
             return;
         }
         if !location.is_valid() {
@@ -208,9 +214,12 @@ impl S60LocationListener for ExitWatcher {
                 current_location: s60_to_common(location),
                 entering: false,
             });
-            shared
-                .provider
-                .set_location_listener(None, NO_REQUIREMENT, NO_REQUIREMENT, NO_REQUIREMENT);
+            shared.provider.set_location_listener(
+                None,
+                NO_REQUIREMENT,
+                NO_REQUIREMENT,
+                NO_REQUIREMENT,
+            );
             // Arm the next entry cycle.
             watch_entry(shared);
         }

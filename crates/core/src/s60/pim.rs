@@ -79,11 +79,7 @@ impl ProxyBase for S60CalendarProxy {
 }
 
 impl CalendarProxy for S60CalendarProxy {
-    fn entries_between(
-        &self,
-        from_ms: u64,
-        to_ms: u64,
-    ) -> Result<Vec<CalendarRecord>, ProxyError> {
+    fn entries_between(&self, from_ms: u64, to_ms: u64) -> Result<Vec<CalendarRecord>, ProxyError> {
         self.platform.enforce(ApiPermission::CalendarRead)?;
         Ok(self
             .platform
@@ -109,7 +105,9 @@ mod tests {
 
     fn platform() -> S60Platform {
         let device = Device::builder().build();
-        device.contacts().add("Region Supervisor", &["+91-100"], &[]);
+        device
+            .contacts()
+            .add("Region Supervisor", &["+91-100"], &[]);
         device.calendar().add("Shift", 10, 20, "Depot").unwrap();
         S60Platform::new(device)
     }

@@ -142,7 +142,10 @@ mod tests {
             )
             .unwrap();
         platform.device().advance_ms(1_000);
-        assert_eq!(outcomes.lock().unwrap().as_slice(), &[DeliveryOutcome::Failed]);
+        assert_eq!(
+            outcomes.lock().unwrap().as_slice(),
+            &[DeliveryOutcome::Failed]
+        );
     }
 
     #[test]
@@ -166,6 +169,9 @@ mod tests {
         let proxy = S60SmsProxy::new(platform);
         let err = proxy.send_text_message("+1", "x", None).unwrap_err();
         assert_eq!(err.kind(), crate::error::ProxyErrorKind::Security);
-        assert_eq!(err.platform_exception(), Some("java.lang.SecurityException"));
+        assert_eq!(
+            err.platform_exception(),
+            Some("java.lang.SecurityException")
+        );
     }
 }

@@ -18,7 +18,5 @@
 pub mod proxies;
 pub mod wrappers;
 
-pub use proxies::{
-    WebViewCallProxy, WebViewHttpProxy, WebViewLocationProxy, WebViewSmsProxy,
-};
+pub use proxies::{WebViewCallProxy, WebViewHttpProxy, WebViewLocationProxy, WebViewSmsProxy};
 pub use wrappers::install_wrappers;

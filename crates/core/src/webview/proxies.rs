@@ -21,12 +21,9 @@ use crate::api::{CallProxy, HttpProxy, LocationProxy, ProxyBase, SmsProxy};
 use crate::error::{ProxyError, ProxyErrorKind};
 use crate::property::{PropertyBag, PropertyValue};
 use crate::types::{
-    CallProgress, DeliveryListener, DeliveryOutcome, HttpResult, Location,
-    SharedProximityListener,
+    CallProgress, DeliveryListener, DeliveryOutcome, HttpResult, Location, SharedProximityListener,
 };
-use crate::webview::wrappers::{
-    interface_names, location_from_js, proximity_event_from_js,
-};
+use crate::webview::wrappers::{interface_names, location_from_js, proximity_event_from_js};
 
 fn property_value_to_js_string(value: &PropertyValue) -> Result<String, ProxyError> {
     match value {
@@ -59,7 +56,11 @@ struct JsProxyCore {
 }
 
 impl JsProxyCore {
-    fn new(webview: &WebView, name: &str, binding: mobivine_proxydl::PlatformBinding) -> Result<Self, ProxyError> {
+    fn new(
+        webview: &WebView,
+        name: &str,
+        binding: mobivine_proxydl::PlatformBinding,
+    ) -> Result<Self, ProxyError> {
         Ok(Self {
             handle: wrapper_handle(webview, name)?,
             table: Arc::clone(webview.notifications()),
@@ -76,10 +77,9 @@ impl JsProxyCore {
         let rendered = property_value_to_js_string(&value)?;
         // Properties the Android side does not declare (e.g.
         // pollInterval) stay JavaScript-local.
-        let _ = self.handle.invoke(
-            "setProperty",
-            &[JsValue::str(key), JsValue::Str(rendered)],
-        );
+        let _ = self
+            .handle
+            .invoke("setProperty", &[JsValue::str(key), JsValue::Str(rendered)]);
         Ok(())
     }
 
@@ -170,7 +170,9 @@ impl LocationProxy for WebViewLocationProxy {
             js_listener.proximity_event(&proximity_event_from_js(&value));
         });
         let key = Arc::as_ptr(&listener) as *const () as usize;
-        self.registrations.lock().insert(key, (raw, handler, listener));
+        self.registrations
+            .lock()
+            .insert(key, (raw, handler, listener));
         Ok(())
     }
 
@@ -251,9 +253,7 @@ impl SmsProxy for WebViewSmsProxy {
             ],
         )?;
         let message_id = out.get("messageId").as_number().unwrap_or(0.0) as u64;
-        if let (Some(listener), Some(raw)) =
-            (delivery_listener, out.get("notifId").as_number())
-        {
+        if let (Some(listener), Some(raw)) = (delivery_listener, out.get("notifId").as_number()) {
             if let Some(notif_id) = NotificationId::from_raw(raw as u64) {
                 let table = Arc::clone(&self.core.table);
                 // The delivery report arrives exactly once; the handler
@@ -271,8 +271,10 @@ impl SmsProxy for WebViewSmsProxy {
                     };
                     listener.delivery_event(id, outcome);
                     table.close(notif_id);
-                    if let Some(handler) =
-                        self_stop_in_callback.lock().as_ref().and_then(std::sync::Weak::upgrade)
+                    if let Some(handler) = self_stop_in_callback
+                        .lock()
+                        .as_ref()
+                        .and_then(std::sync::Weak::upgrade)
                     {
                         handler.stop_polling();
                     }
@@ -315,7 +317,10 @@ impl ProxyBase for WebViewCallProxy {
 
 impl CallProxy for WebViewCallProxy {
     fn make_a_call(&self, number: &str) -> Result<u64, ProxyError> {
-        let out = self.core.handle.invoke("makeACall", &[JsValue::str(number)])?;
+        let out = self
+            .core
+            .handle
+            .invoke("makeACall", &[JsValue::str(number)])?;
         Ok(out.as_number().unwrap_or(0.0) as u64)
     }
 
@@ -376,7 +381,11 @@ impl HttpProxy for WebViewHttpProxy {
         let body_text = String::from_utf8_lossy(body).into_owned();
         let out = self.core.handle.invoke(
             "request",
-            &[JsValue::str(method), JsValue::str(url), JsValue::Str(body_text)],
+            &[
+                JsValue::str(method),
+                JsValue::str(url),
+                JsValue::Str(body_text),
+            ],
         )?;
         Ok(HttpResult {
             status: out.get("status").as_number().unwrap_or(0.0) as u16,
@@ -558,7 +567,9 @@ mod tests {
             });
         let (_platform, webview) = page(device);
         let proxy = WebViewHttpProxy::new(&webview).unwrap();
-        let out = proxy.request("GET", "http://wfm.example/ping", &[]).unwrap();
+        let out = proxy
+            .request("GET", "http://wfm.example/ping", &[])
+            .unwrap();
         assert!(out.is_success());
         assert_eq!(out.body_text(), "pong");
     }

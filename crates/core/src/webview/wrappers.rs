@@ -16,9 +16,7 @@ use mobivine_webview::bridge::{args, BridgeError, ErrorCode, JavaScriptInterface
 use mobivine_webview::notification::{NotificationId, NotificationTable};
 use mobivine_webview::{JsValue, WebView};
 
-use crate::android::{
-    AndroidCallProxy, AndroidHttpProxy, AndroidLocationProxy, AndroidSmsProxy,
-};
+use crate::android::{AndroidCallProxy, AndroidHttpProxy, AndroidLocationProxy, AndroidSmsProxy};
 use crate::api::{CallProxy, HttpProxy, LocationProxy, ProxyBase, SmsProxy};
 use crate::error::{ProxyError, ProxyErrorKind};
 use crate::property::PropertyValue;
@@ -44,8 +42,8 @@ fn to_bridge(e: ProxyError) -> BridgeError {
         | ProxyErrorKind::UnknownProperty
         | ProxyErrorKind::BadPropertyValue
         | ProxyErrorKind::MissingProperty => ErrorCode::IllegalArgument,
-        ProxyErrorKind::Unavailable => ErrorCode::Remote,
-        ProxyErrorKind::Io => ErrorCode::Io,
+        ProxyErrorKind::Unavailable | ProxyErrorKind::CircuitOpen => ErrorCode::Remote,
+        ProxyErrorKind::Io | ProxyErrorKind::DeadlineExceeded => ErrorCode::Io,
         ProxyErrorKind::UnsupportedOnPlatform => ErrorCode::ApiRemoved,
     };
     BridgeError {
@@ -228,10 +226,7 @@ impl JavaScriptInterface for SmsWrapper {
                                 notif_id,
                                 JsValue::object([
                                     ("messageId", id.into()),
-                                    (
-                                        "delivered",
-                                        (outcome == DeliveryOutcome::Delivered).into(),
-                                    ),
+                                    ("delivered", (outcome == DeliveryOutcome::Delivered).into()),
                                 ]),
                             );
                         });
@@ -402,7 +397,12 @@ mod tests {
         let (_platform, webview) = webview();
         assert_eq!(
             webview.interface_names(),
-            vec!["CallWrapper", "HttpWrapper", "LocationWrapper", "SmsWrapper"]
+            vec![
+                "CallWrapper",
+                "HttpWrapper",
+                "LocationWrapper",
+                "SmsWrapper"
+            ]
         );
     }
 
@@ -432,7 +432,10 @@ mod tests {
                 ..Location::default()
             },
         };
-        assert_eq!(proximity_event_from_js(&proximity_event_to_js(&event)), event);
+        assert_eq!(
+            proximity_event_from_js(&proximity_event_to_js(&event)),
+            event
+        );
     }
 
     #[test]

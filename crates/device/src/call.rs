@@ -148,7 +148,10 @@ impl CallSwitch {
     /// Sets the reachability profile for `callee` (default:
     /// [`CalleeProfile::Answers`]).
     pub fn set_callee_profile(&self, callee: &str, profile: CalleeProfile) {
-        self.state.lock().profiles.insert(callee.to_owned(), profile);
+        self.state
+            .lock()
+            .profiles
+            .insert(callee.to_owned(), profile);
     }
 
     /// Sets call-setup latency (dial → ringing), default 300 ms.
@@ -213,37 +216,35 @@ impl CallSwitch {
         let shared = Arc::clone(&self.state);
         let events = Arc::clone(&self.events);
         self.events
-            .schedule_at(now_ms + setup, "call-setup", move |at| {
-                match profile {
-                    CalleeProfile::Busy => {
-                        transition(&shared, id, CallState::Disconnected(DisconnectReason::Busy));
-                    }
-                    CalleeProfile::Unreachable => {
-                        transition(
-                            &shared,
+            .schedule_at(now_ms + setup, "call-setup", move |at| match profile {
+                CalleeProfile::Busy => {
+                    transition(&shared, id, CallState::Disconnected(DisconnectReason::Busy));
+                }
+                CalleeProfile::Unreachable => {
+                    transition(
+                        &shared,
+                        id,
+                        CallState::Disconnected(DisconnectReason::Unreachable),
+                    );
+                }
+                CalleeProfile::Answers => {
+                    transition(&shared, id, CallState::Ringing);
+                    let shared2 = Arc::clone(&shared);
+                    events.schedule_at(at + answer, "call-answer", move |_| {
+                        transition_if(&shared2, id, CallState::Ringing, CallState::Active);
+                    });
+                }
+                CalleeProfile::NoAnswer => {
+                    transition(&shared, id, CallState::Ringing);
+                    let shared2 = Arc::clone(&shared);
+                    events.schedule_at(at + timeout, "call-timeout", move |_| {
+                        transition_if(
+                            &shared2,
                             id,
-                            CallState::Disconnected(DisconnectReason::Unreachable),
+                            CallState::Ringing,
+                            CallState::Disconnected(DisconnectReason::NoAnswer),
                         );
-                    }
-                    CalleeProfile::Answers => {
-                        transition(&shared, id, CallState::Ringing);
-                        let shared2 = Arc::clone(&shared);
-                        events.schedule_at(at + answer, "call-answer", move |_| {
-                            transition_if(&shared2, id, CallState::Ringing, CallState::Active);
-                        });
-                    }
-                    CalleeProfile::NoAnswer => {
-                        transition(&shared, id, CallState::Ringing);
-                        let shared2 = Arc::clone(&shared);
-                        events.schedule_at(at + timeout, "call-timeout", move |_| {
-                            transition_if(
-                                &shared2,
-                                id,
-                                CallState::Ringing,
-                                CallState::Disconnected(DisconnectReason::NoAnswer),
-                            );
-                        });
-                    }
+                    });
                 }
             });
         id
@@ -345,7 +346,12 @@ fn transition(shared: &Arc<Mutex<SwitchState>>, id: CallId, next: CallState) {
     }
 }
 
-fn transition_if(shared: &Arc<Mutex<SwitchState>>, id: CallId, expected: CallState, next: CallState) {
+fn transition_if(
+    shared: &Arc<Mutex<SwitchState>>,
+    id: CallId,
+    expected: CallState,
+    next: CallState,
+) {
     let should = {
         let state = shared.lock();
         state.calls.get(&id).map(|c| c.state) == Some(expected)

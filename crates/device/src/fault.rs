@@ -1,0 +1,248 @@
+//! Deterministic fault scheduling on the simulated clock.
+//!
+//! The device crate already exposes the failure hooks — the network can
+//! be taken [`down`](crate::net::SimNetwork::set_down), the GPS engine
+//! can be flipped to
+//! [`TemporarilyUnavailable`](GpsAvailability::TemporarilyUnavailable),
+//! the SMSC has a seeded
+//! [loss probability](crate::sms::Smsc::set_loss_probability). What a
+//! chaos test needs on top is *when*: outage windows that open and close
+//! mid-call, flapping services, bounded bursts of random drops — all
+//! replayable run-over-run.
+//!
+//! [`FaultPlan`] schedules those transitions as ordinary events on the
+//! device's [`EventQueue`](crate::event::EventQueue), so they fire while
+//! `advance_ms` pumps simulated time — including the time a resilient
+//! proxy spends in its own backoff. No wall-clock timers, no threads:
+//! the same plan on the same seed produces the same failure trace on
+//! every platform binding.
+//!
+//! # Example
+//!
+//! ```
+//! use mobivine_device::{Device, fault::FaultPlan};
+//!
+//! let device = Device::builder().build();
+//! FaultPlan::new(&device)
+//!     .network_partition(1_000, 5_000)
+//!     .gps_flap(0, 2_000, 3);
+//! device.advance_ms(1_500);
+//! assert!(device.network().is_down());
+//! ```
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::device::Device;
+use crate::event::EventId;
+use crate::gps::GpsAvailability;
+
+/// splitmix64 — deterministic mixing for the seeded-probabilistic
+/// faults (kept local so fault traces never depend on an RNG crate).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic schedule of failure-hook transitions for one
+/// [`Device`].
+///
+/// Each method registers its transitions on the device's event queue
+/// immediately and returns `&self`, so plans read as chained scripts.
+/// All times are absolute simulated milliseconds.
+pub struct FaultPlan {
+    device: Device,
+    scheduled: Mutex<Vec<EventId>>,
+}
+
+impl FaultPlan {
+    /// Starts an empty plan against `device`.
+    pub fn new(device: &Device) -> Self {
+        Self {
+            device: device.clone(),
+            scheduled: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn schedule(&self, at_ms: u64, label: &'static str, action: impl FnOnce(u64) + Send + 'static) {
+        let id = self.device.events().schedule_at(at_ms, label, action);
+        self.scheduled.lock().push(id);
+    }
+
+    /// How many fault transitions the plan has registered so far.
+    pub fn scheduled_count(&self) -> usize {
+        self.scheduled.lock().len()
+    }
+
+    /// Cancels every not-yet-fired transition, returning how many were
+    /// still pending.
+    pub fn cancel_all(&self) -> usize {
+        let mut ids = self.scheduled.lock();
+        let cancelled = ids
+            .iter()
+            .filter(|id| self.device.events().cancel(**id))
+            .count();
+        ids.clear();
+        cancelled
+    }
+
+    /// Takes the packet network down at `from_ms` and restores it at
+    /// `until_ms` — the classic partition window t₁–t₂.
+    pub fn network_partition(&self, from_ms: u64, until_ms: u64) -> &Self {
+        let net = Arc::clone(self.device.network());
+        self.schedule(from_ms, "fault.network.down", move |_| net.set_down(true));
+        let net = Arc::clone(self.device.network());
+        self.schedule(until_ms, "fault.network.up", move |_| net.set_down(false));
+        self
+    }
+
+    /// Marks the GPS engine temporarily unavailable over
+    /// `from_ms..until_ms`.
+    pub fn gps_outage(&self, from_ms: u64, until_ms: u64) -> &Self {
+        let gps = Arc::clone(self.device.gps());
+        self.schedule(from_ms, "fault.gps.lost", move |_| {
+            gps.set_availability(GpsAvailability::TemporarilyUnavailable);
+        });
+        let gps = Arc::clone(self.device.gps());
+        self.schedule(until_ms, "fault.gps.recovered", move |_| {
+            gps.set_availability(GpsAvailability::Available);
+        });
+        self
+    }
+
+    /// Flaps the GPS: starting at `start_ms` the signal is lost, comes
+    /// back `period_ms` later, is lost again after another `period_ms`,
+    /// … for `cycles` full lost/recovered cycles.
+    pub fn gps_flap(&self, start_ms: u64, period_ms: u64, cycles: u32) -> &Self {
+        for cycle in 0..u64::from(cycles) {
+            let down_at = start_ms + 2 * cycle * period_ms;
+            self.gps_outage(down_at, down_at + period_ms);
+        }
+        self
+    }
+
+    /// Sets the SMSC loss probability to `probability` over
+    /// `from_ms..until_ms` and back to zero afterwards. The SMSC draws
+    /// from its own seeded stream, so the drop pattern stays
+    /// reproducible.
+    pub fn sms_loss_window(&self, from_ms: u64, until_ms: u64, probability: f64) -> &Self {
+        let smsc = Arc::clone(self.device.smsc());
+        self.schedule(from_ms, "fault.smsc.lossy", move |_| {
+            smsc.set_loss_probability(probability);
+        });
+        let smsc = Arc::clone(self.device.smsc());
+        self.schedule(until_ms, "fault.smsc.clean", move |_| {
+            smsc.set_loss_probability(0.0);
+        });
+        self
+    }
+
+    /// Seeded-probabilistic partitions: `count` network outages of
+    /// `outage_ms` each, at splitmix64-derived offsets within
+    /// `from_ms..until_ms`. The same seed always yields the same outage
+    /// times.
+    pub fn random_network_drops(
+        &self,
+        seed: u64,
+        from_ms: u64,
+        until_ms: u64,
+        count: u32,
+        outage_ms: u64,
+    ) -> &Self {
+        let span = until_ms.saturating_sub(from_ms).max(1);
+        for i in 0..u64::from(count) {
+            let at = from_ms + splitmix64(seed ^ i.rotate_left(23)) % span;
+            self.network_partition(at, at.saturating_add(outage_ms));
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gps::GpsAvailability;
+
+    fn device() -> Device {
+        Device::builder().seed(11).build()
+    }
+
+    #[test]
+    fn partition_window_opens_and_closes_on_the_simulated_clock() {
+        let device = device();
+        let plan = FaultPlan::new(&device);
+        plan.network_partition(1_000, 3_000);
+        assert!(!device.network().is_down());
+        device.advance_ms(1_500);
+        assert!(device.network().is_down(), "inside the window");
+        device.advance_ms(2_000);
+        assert!(!device.network().is_down(), "healed at t2");
+    }
+
+    #[test]
+    fn gps_flap_alternates_every_period() {
+        let device = device();
+        FaultPlan::new(&device).gps_flap(1_000, 500, 2);
+        let gps = device.gps();
+        let expectations = [
+            (999, GpsAvailability::Available),
+            (1_001, GpsAvailability::TemporarilyUnavailable),
+            (1_501, GpsAvailability::Available),
+            (2_001, GpsAvailability::TemporarilyUnavailable),
+            (2_501, GpsAvailability::Available),
+        ];
+        for (at, expected) in expectations {
+            device.advance_to(at);
+            assert_eq!(gps.availability(), expected, "at t={at}");
+        }
+    }
+
+    #[test]
+    fn sms_loss_window_restores_a_clean_channel() {
+        let device = device();
+        FaultPlan::new(&device).sms_loss_window(100, 200, 1.0);
+        device.advance_ms(150);
+        // Probability is internal; observable effect is exercised by the
+        // integration chaos tests. Here we only assert the window closes.
+        device.advance_ms(100);
+        let plan = FaultPlan::new(&device);
+        assert_eq!(plan.scheduled_count(), 0);
+    }
+
+    #[test]
+    fn random_drops_are_reproducible_per_seed() {
+        let device_a = device();
+        let device_b = device();
+        let plan_a = FaultPlan::new(&device_a);
+        let plan_b = FaultPlan::new(&device_b);
+        plan_a.random_network_drops(7, 0, 10_000, 4, 250);
+        plan_b.random_network_drops(7, 0, 10_000, 4, 250);
+        let mut transitions = Vec::new();
+        for t in (0..11_000).step_by(50) {
+            device_a.advance_to(t);
+            device_b.advance_to(t);
+            assert_eq!(
+                device_a.network().is_down(),
+                device_b.network().is_down(),
+                "same seed must replay the same outage trace (t={t})"
+            );
+            transitions.push(device_a.network().is_down());
+        }
+        assert!(transitions.iter().any(|d| *d), "at least one outage fired");
+    }
+
+    #[test]
+    fn cancel_all_unschedules_pending_transitions() {
+        let device = device();
+        let plan = FaultPlan::new(&device);
+        plan.network_partition(1_000, 2_000);
+        assert_eq!(plan.scheduled_count(), 2);
+        assert_eq!(plan.cancel_all(), 2);
+        device.advance_ms(3_000);
+        assert!(!device.network().is_down());
+    }
+}

@@ -197,7 +197,10 @@ mod tests {
             LatencyModel::paper_webview().cost_us(NativeApi::GetLocation),
             120_000
         );
-        assert_eq!(LatencyModel::paper_s60().cost_us(NativeApi::SendSms), 15_600);
+        assert_eq!(
+            LatencyModel::paper_s60().cost_us(NativeApi::SendSms),
+            15_600
+        );
     }
 
     #[test]
@@ -228,7 +231,10 @@ mod tests {
 
     #[test]
     fn display_names_match_paper_labels() {
-        assert_eq!(NativeApi::AddProximityAlert.to_string(), "addProximityAlert");
+        assert_eq!(
+            NativeApi::AddProximityAlert.to_string(),
+            "addProximityAlert"
+        );
         assert_eq!(NativeApi::GetLocation.to_string(), "getLocation");
         assert_eq!(NativeApi::SendSms.to_string(), "sendSMS");
     }

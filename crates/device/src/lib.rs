@@ -34,6 +34,7 @@ pub mod clock;
 pub mod contacts;
 pub mod device;
 pub mod event;
+pub mod fault;
 pub mod geo;
 pub mod gps;
 pub mod latency;
@@ -45,4 +46,5 @@ pub mod sms;
 
 pub use clock::SimClock;
 pub use device::{Device, DeviceBuilder};
+pub use fault::FaultPlan;
 pub use geo::GeoPoint;

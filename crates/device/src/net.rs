@@ -353,6 +353,11 @@ impl SimNetwork {
         self.state.lock().down = down;
     }
 
+    /// Whether the data bearer is currently down.
+    pub fn is_down(&self) -> bool {
+        self.state.lock().down
+    }
+
     /// Sets the round-trip base latency (default 60 ms).
     pub fn set_base_latency_ms(&self, ms: u64) {
         self.state.lock().base_latency_ms = ms;
@@ -460,7 +465,10 @@ mod tests {
     fn url_rejects_bad_scheme_and_host() {
         assert_eq!("ftp://x/".parse::<Url>(), Err(UrlError::BadScheme));
         assert_eq!("http://".parse::<Url>(), Err(UrlError::BadAuthority));
-        assert_eq!("http://h:notaport/".parse::<Url>(), Err(UrlError::BadAuthority));
+        assert_eq!(
+            "http://h:notaport/".parse::<Url>(),
+            Err(UrlError::BadAuthority)
+        );
     }
 
     #[test]

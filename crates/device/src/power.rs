@@ -93,7 +93,11 @@ impl PowerMeter {
 
     /// Records `amount_mj` millijoules drawn by `component`.
     pub fn draw(&self, component: &str, amount_mj: f64) {
-        *self.ledger.lock().entry(component.to_owned()).or_insert(0.0) += amount_mj;
+        *self
+            .ledger
+            .lock()
+            .entry(component.to_owned())
+            .or_insert(0.0) += amount_mj;
     }
 
     /// Total energy drawn by one component.

@@ -137,7 +137,10 @@ mod tests {
     #[test]
     fn unconfigured_map_has_full_coverage() {
         let coverage = CellCoverage::new();
-        assert_eq!(coverage.signal_at(&GeoPoint::new(0.0, 0.0)), SignalStrength::FULL);
+        assert_eq!(
+            coverage.signal_at(&GeoPoint::new(0.0, 0.0)),
+            SignalStrength::FULL
+        );
     }
 
     #[test]

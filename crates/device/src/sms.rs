@@ -314,49 +314,50 @@ impl Smsc {
         let to = to.to_owned();
         let body = body.to_owned();
         let segment_count = segments.count();
-        self.events.schedule_at(deliver_at, "sms-delivery", move |at| {
-            let mut guard = state.lock();
-            let final_status = if lost || !guard.inboxes.contains_key(&to) {
-                DeliveryStatus::Failed
-            } else {
-                DeliveryStatus::Delivered
-            };
-            guard.statuses.insert(id, final_status);
-            if final_status == DeliveryStatus::Delivered {
-                let message = InboxMessage {
-                    id,
-                    from: from.clone(),
-                    to: to.clone(),
-                    body: body.clone(),
-                    delivered_at_ms: at,
-                    segment_count,
+        self.events
+            .schedule_at(deliver_at, "sms-delivery", move |at| {
+                let mut guard = state.lock();
+                let final_status = if lost || !guard.inboxes.contains_key(&to) {
+                    DeliveryStatus::Failed
+                } else {
+                    DeliveryStatus::Delivered
                 };
-                guard
-                    .inboxes
-                    .get_mut(&to)
-                    .expect("checked above")
-                    .push(message.clone());
-                // Take listeners out so callbacks run without the lock.
-                let listeners = guard.inbox_listeners.remove(&to);
-                let report = guard.report_listeners.remove(&id);
-                drop(guard);
-                if let Some(listeners) = listeners {
-                    for l in &listeners {
-                        l(&message);
+                guard.statuses.insert(id, final_status);
+                if final_status == DeliveryStatus::Delivered {
+                    let message = InboxMessage {
+                        id,
+                        from: from.clone(),
+                        to: to.clone(),
+                        body: body.clone(),
+                        delivered_at_ms: at,
+                        segment_count,
+                    };
+                    guard
+                        .inboxes
+                        .get_mut(&to)
+                        .expect("checked above")
+                        .push(message.clone());
+                    // Take listeners out so callbacks run without the lock.
+                    let listeners = guard.inbox_listeners.remove(&to);
+                    let report = guard.report_listeners.remove(&id);
+                    drop(guard);
+                    if let Some(listeners) = listeners {
+                        for l in &listeners {
+                            l(&message);
+                        }
+                        state.lock().inbox_listeners.insert(to.clone(), listeners);
                     }
-                    state.lock().inbox_listeners.insert(to.clone(), listeners);
+                    if let Some(report) = report {
+                        report(id, DeliveryStatus::Delivered, at);
+                    }
+                } else {
+                    let report = guard.report_listeners.remove(&id);
+                    drop(guard);
+                    if let Some(report) = report {
+                        report(id, DeliveryStatus::Failed, at);
+                    }
                 }
-                if let Some(report) = report {
-                    report(id, DeliveryStatus::Delivered, at);
-                }
-            } else {
-                let report = guard.report_listeners.remove(&id);
-                drop(guard);
-                if let Some(report) = report {
-                    report(id, DeliveryStatus::Failed, at);
-                }
-            }
-        });
+            });
         id
     }
 }

@@ -22,12 +22,7 @@ pub fn generate(dialog: &ConfigurationDialog) -> String {
     let args: Vec<String> = dialog
         .variables()
         .iter()
-        .map(|v| {
-            render_literal(
-                &v.type_name,
-                v.value.as_deref().unwrap_or("/* unset */"),
-            )
-        })
+        .map(|v| render_literal(&v.type_name, v.value.as_deref().unwrap_or("/* unset */")))
         .collect();
     out.push_str(&format!("    {var}.{}({});\n", dialog.api, args.join(", ")));
     out.push_str("} catch (Exception e) {\n");
@@ -86,12 +81,9 @@ mod tests {
 
     #[test]
     fn android_snippet_includes_context_property() {
-        let mut dialog = ConfigurationDialog::for_api(
-            &catalog::location(),
-            PlatformId::Android,
-            "getLocation",
-        )
-        .unwrap();
+        let mut dialog =
+            ConfigurationDialog::for_api(&catalog::location(), PlatformId::Android, "getLocation")
+                .unwrap();
         dialog.set_property("context", "this").unwrap();
         dialog.set_property("provider", "gps").unwrap();
         let source = generate(&dialog);

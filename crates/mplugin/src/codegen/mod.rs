@@ -38,10 +38,7 @@ pub(crate) fn class_name(dialog: &ConfigurationDialog) -> String {
 /// declared type. Object-typed values (the Android `context`, callback
 /// parameters) render bare; strings are quoted; numerics pass through.
 pub(crate) fn render_literal(type_name: &str, value: &str) -> String {
-    let is_stringy = matches!(
-        type_name,
-        "java.lang.String" | "string" | "String"
-    );
+    let is_stringy = matches!(type_name, "java.lang.String" | "string" | "String");
     if is_stringy {
         format!("\"{value}\"")
     } else {
@@ -69,7 +66,10 @@ mod tests {
             "getLocation",
         )
         .unwrap();
-        assert_eq!(class_name(&js), "LocationProxyImpl.js".trim_end_matches(".js"));
+        assert_eq!(
+            class_name(&js),
+            "LocationProxyImpl.js".trim_end_matches(".js")
+        );
     }
 
     #[test]

@@ -203,9 +203,7 @@ impl ConfigurationDialog {
             .iter_mut()
             .find(|v| v.name == name)
             .ok_or_else(|| DialogError::UnknownField(name.to_owned()))?;
-        if !field.allowed_values.is_empty()
-            && !field.allowed_values.iter().any(|a| a == value)
-        {
+        if !field.allowed_values.is_empty() && !field.allowed_values.iter().any(|a| a == value) {
             return Err(DialogError::DisallowedValue {
                 field: name.to_owned(),
                 value: value.to_owned(),
@@ -226,9 +224,7 @@ impl ConfigurationDialog {
             .iter_mut()
             .find(|p| p.name == name)
             .ok_or_else(|| DialogError::UnknownField(name.to_owned()))?;
-        if !field.allowed_values.is_empty()
-            && !field.allowed_values.iter().any(|a| a == value)
-        {
+        if !field.allowed_values.is_empty() && !field.allowed_values.iter().any(|a| a == value) {
             return Err(DialogError::DisallowedValue {
                 field: name.to_owned(),
                 value: value.to_owned(),
@@ -292,7 +288,14 @@ mod tests {
         let names: Vec<&str> = dialog.variables().iter().map(|v| v.name.as_str()).collect();
         assert_eq!(
             names,
-            vec!["latitude", "longitude", "altitude", "radius", "timer", "proximityListener"]
+            vec![
+                "latitude",
+                "longitude",
+                "altitude",
+                "radius",
+                "timer",
+                "proximityListener"
+            ]
         );
         assert_eq!(dialog.variables()[0].type_name, "double");
         assert_eq!(dialog.variables()[3].type_name, "float");

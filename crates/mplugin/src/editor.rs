@@ -164,7 +164,9 @@ mod tests {
         buffer.cursor_after("// INSERT HERE").unwrap();
         buffer.insert_at_cursor(&format!("\n{snippet}"));
         assert!(buffer.text().contains("loc.getLocation();"));
-        assert!(buffer.text().starts_with("public class WorkForceManagement"));
+        assert!(buffer
+            .text()
+            .starts_with("public class WorkForceManagement"));
         assert!(buffer.line_count() > 10);
     }
 }

@@ -66,8 +66,10 @@ impl PluginManifest {
 
     /// Renders the `plugin.xml` text.
     pub fn render(&self) -> String {
-        let mut extension = XmlNode::new("extension")
-            .attr("point", "org.eclipse.wst.common.snippets.SnippetContributions");
+        let mut extension = XmlNode::new("extension").attr(
+            "point",
+            "org.eclipse.wst.common.snippets.SnippetContributions",
+        );
         for (proxy, apis) in &self.categories {
             let mut category = XmlNode::new("category")
                 .attr("id", &format!("{}.{}", self.id, proxy.to_lowercase()))
@@ -75,7 +77,10 @@ impl PluginManifest {
             for api in apis {
                 category = category.child(
                     XmlNode::new("item")
-                        .attr("id", &format!("{}.{}.{}", self.id, proxy.to_lowercase(), api))
+                        .attr(
+                            "id",
+                            &format!("{}.{}.{}", self.id, proxy.to_lowercase(), api),
+                        )
                         .attr("label", api),
                 );
             }

@@ -15,7 +15,7 @@
 
 use std::collections::BTreeSet;
 
-use mobivine_s60::packaging::{Jar, JadDescriptor, MidletSuite, PackagingError};
+use mobivine_s60::packaging::{JadDescriptor, Jar, MidletSuite, PackagingError};
 
 /// Which proxy interfaces an application selected in the toolkit.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,11 +42,7 @@ impl S60Extension {
     /// drawer's "associated implementation modules").
     pub fn proxy_jar(proxy: &str) -> Jar {
         let mut jar = Jar::new(&format!("{}-proxy.jar", proxy.to_lowercase()));
-        let class = format!(
-            "com/ibm/S60/{}/{}Proxy.class",
-            proxy.to_lowercase(),
-            proxy
-        );
+        let class = format!("com/ibm/S60/{}/{}Proxy.class", proxy.to_lowercase(), proxy);
         jar.add_entry(&class, format!("{proxy} proxy bytecode").into_bytes())
             .expect("fresh jar accepts its first entry");
         jar.add_entry(
@@ -156,13 +152,12 @@ mod tests {
     fn s60_merges_selected_proxies_into_single_jar() {
         let jar = app_jar();
         let jad = JadDescriptor::for_jar(&jar, "WorkForce", "ACME", "1.0");
-        let suite = S60Extension::package(
-            jar,
-            jad,
-            &ProxySelection::new(&["Location", "SMS", "Http"]),
-        )
-        .unwrap();
-        assert!(suite.jar.contains("com/ibm/S60/location/LocationProxy.class"));
+        let suite =
+            S60Extension::package(jar, jad, &ProxySelection::new(&["Location", "SMS", "Http"]))
+                .unwrap();
+        assert!(suite
+            .jar
+            .contains("com/ibm/S60/location/LocationProxy.class"));
         assert!(suite.jar.contains("com/ibm/S60/sms/SMSProxy.class"));
         assert!(suite.jar.contains("com/acme/WorkForceManagement.class"));
         // The descriptor size was re-derived after the merge.
@@ -177,13 +172,12 @@ mod tests {
         // distinct names here, so simulate a duplicate selection.
         let jar = app_jar();
         let jad = JadDescriptor::for_jar(&jar, "W", "V", "1.0");
-        let suite = S60Extension::package(
-            jar,
-            jad,
-            &ProxySelection::new(&["Location", "Location"]),
-        )
-        .unwrap();
-        assert!(suite.jar.contains("com/ibm/S60/location/LocationProxy.class"));
+        let suite =
+            S60Extension::package(jar, jad, &ProxySelection::new(&["Location", "Location"]))
+                .unwrap();
+        assert!(suite
+            .jar
+            .contains("com/ibm/S60/location/LocationProxy.class"));
     }
 
     #[test]

@@ -223,7 +223,10 @@ mod tests {
         assert_eq!(host.state(), LifecycleState::Paused);
         host.resume().unwrap();
         assert_eq!(host.state(), LifecycleState::Resumed);
-        assert_eq!(host.activity().log, vec!["create", "resume", "pause", "resume"]);
+        assert_eq!(
+            host.activity().log,
+            vec!["create", "resume", "pause", "resume"]
+        );
     }
 
     #[test]

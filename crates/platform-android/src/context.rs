@@ -75,7 +75,11 @@ impl AndroidPlatform {
     }
 
     /// Boots the platform with an explicit permission set.
-    pub fn with_permissions(device: Device, version: SdkVersion, permissions: PermissionSet) -> Self {
+    pub fn with_permissions(
+        device: Device,
+        version: SdkVersion,
+        permissions: PermissionSet,
+    ) -> Self {
         Self {
             device,
             version,
@@ -261,9 +265,7 @@ impl Context {
 
     /// The shared proximity-alert registry backing every
     /// [`LocationManager`] handle from this context.
-    pub(crate) fn proximity_alerts(
-        &self,
-    ) -> Arc<Mutex<Vec<crate::location::AlertBookkeeping>>> {
+    pub(crate) fn proximity_alerts(&self) -> Arc<Mutex<Vec<crate::location::AlertBookkeeping>>> {
         Arc::clone(&self.inner.proximity_alerts)
     }
 

@@ -88,9 +88,11 @@ impl HttpClient {
                 device.advance_ms(elapsed_ms);
                 Ok(response)
             }
-            Err(err @ (NetworkError::UnknownHost | NetworkError::NetworkDown | NetworkError::TimedOut)) => {
-                Err(AndroidException::Io(err.to_string()))
-            }
+            Err(
+                err @ (NetworkError::UnknownHost
+                | NetworkError::NetworkDown
+                | NetworkError::TimedOut),
+            ) => Err(AndroidException::Io(err.to_string())),
         }
     }
 }

@@ -150,7 +150,8 @@ impl LocationManager {
     /// - [`AndroidException::IllegalArgument`] for unknown providers.
     /// - [`AndroidException::Remote`] when the receiver has no fix.
     pub fn get_current_location(&self, provider: &str) -> Result<Location, AndroidException> {
-        self.ctx.enforce_permission(Permission::AccessFineLocation)?;
+        self.ctx
+            .enforce_permission(Permission::AccessFineLocation)?;
         let accuracy_multiplier = match provider {
             GPS_PROVIDER => 1.0f32,
             NETWORK_PROVIDER => 10.0,
@@ -192,7 +193,8 @@ impl LocationManager {
         min_time_ms: u64,
         listener: Arc<dyn LocationListener>,
     ) -> Result<Registration, AndroidException> {
-        self.ctx.enforce_permission(Permission::AccessFineLocation)?;
+        self.ctx
+            .enforce_permission(Permission::AccessFineLocation)?;
         if provider != GPS_PROVIDER && provider != NETWORK_PROVIDER {
             return Err(AndroidException::IllegalArgument(format!(
                 "unknown location provider '{other}'",
@@ -269,7 +271,13 @@ impl LocationManager {
                 version: self.ctx.version(),
             });
         }
-        self.register_proximity(latitude, longitude, radius, expiration_ms, pending.into_intent())
+        self.register_proximity(
+            latitude,
+            longitude,
+            radius,
+            expiration_ms,
+            pending.into_intent(),
+        )
     }
 
     /// `removeProximityAlert(intent)` — removes every alert registered
@@ -297,7 +305,8 @@ impl LocationManager {
         expiration_ms: i64,
         intent: Intent,
     ) -> Result<Registration, AndroidException> {
-        self.ctx.enforce_permission(Permission::AccessFineLocation)?;
+        self.ctx
+            .enforce_permission(Permission::AccessFineLocation)?;
         if radius <= 0.0 || radius.is_nan() {
             return Err(AndroidException::IllegalArgument(
                 "proximity radius must be positive".to_owned(),
@@ -416,7 +425,12 @@ fn schedule_updates(
                 };
                 listener.on_location_changed(&location);
             }
-            schedule_updates(ctx.clone(), registration.clone(), listener.clone(), period_ms);
+            schedule_updates(
+                ctx.clone(),
+                registration.clone(),
+                listener.clone(),
+                period_ms,
+            );
         });
 }
 
@@ -467,7 +481,10 @@ mod tests {
         let device = Device::builder().position(HOME).build();
         device.gps().set_noise_enabled(false);
         let ctx = AndroidPlatform::new(device, SdkVersion::M5Rc15).new_context();
-        let loc = ctx.location_manager().get_current_location(GPS_PROVIDER).unwrap();
+        let loc = ctx
+            .location_manager()
+            .get_current_location(GPS_PROVIDER)
+            .unwrap();
         assert!((loc.latitude() - HOME.latitude).abs() < 1e-9);
         assert!((loc.longitude() - HOME.longitude).abs() < 1e-9);
     }
@@ -519,7 +536,13 @@ mod tests {
         });
         ctx.register_receiver(Arc::clone(&receiver) as _, IntentFilter::new("PROX"));
         ctx.location_manager()
-            .add_proximity_alert(center.latitude, center.longitude, 100.0, -1, Intent::new("PROX"))
+            .add_proximity_alert(
+                center.latitude,
+                center.longitude,
+                100.0,
+                -1,
+                Intent::new("PROX"),
+            )
             .unwrap();
         platform.device().advance_ms(120_000);
         let events = receiver.events.lock().unwrap();
@@ -543,11 +566,20 @@ mod tests {
         });
         ctx.register_receiver(Arc::clone(&receiver) as _, IntentFilter::new("PROX"));
         ctx.location_manager()
-            .add_proximity_alert(HOME.latitude, HOME.longitude, 100.0, -1, Intent::new("PROX"))
+            .add_proximity_alert(
+                HOME.latitude,
+                HOME.longitude,
+                100.0,
+                -1,
+                Intent::new("PROX"),
+            )
             .unwrap();
         platform.device().advance_ms(120_000);
         let events = receiver.events.lock().unwrap();
-        assert!(events.len() >= 4, "expected repeated events, got {events:?}");
+        assert!(
+            events.len() >= 4,
+            "expected repeated events, got {events:?}"
+        );
         // Events strictly alternate enter/exit.
         for pair in events.windows(2) {
             assert_ne!(pair[0], pair[1]);
@@ -567,7 +599,13 @@ mod tests {
         // should ever fire.
         let reg = ctx
             .location_manager()
-            .add_proximity_alert(center.latitude, center.longitude, 100.0, 10_000, Intent::new("PROX"))
+            .add_proximity_alert(
+                center.latitude,
+                center.longitude,
+                100.0,
+                10_000,
+                Intent::new("PROX"),
+            )
             .unwrap();
         platform.device().advance_ms(120_000);
         assert!(receiver.events.lock().unwrap().is_empty());
@@ -583,8 +621,14 @@ mod tests {
         });
         ctx.register_receiver(Arc::clone(&receiver) as _, IntentFilter::new("PROX"));
         let lm = ctx.location_manager();
-        lm.add_proximity_alert(center.latitude, center.longitude, 100.0, -1, Intent::new("PROX"))
-            .unwrap();
+        lm.add_proximity_alert(
+            center.latitude,
+            center.longitude,
+            100.0,
+            -1,
+            Intent::new("PROX"),
+        )
+        .unwrap();
         assert_eq!(lm.remove_proximity_alert(&Intent::new("PROX")), 1);
         platform.device().advance_ms(120_000);
         assert!(receiver.events.lock().unwrap().is_empty());
@@ -690,7 +734,13 @@ mod tests {
         let (platform, center) = platform_moving_through_region();
         let ctx = platform.new_context();
         ctx.location_manager()
-            .add_proximity_alert(center.latitude, center.longitude, 100.0, -1, Intent::new("P"))
+            .add_proximity_alert(
+                center.latitude,
+                center.longitude,
+                100.0,
+                -1,
+                Intent::new("P"),
+            )
             .unwrap();
         platform.device().advance_ms(10_000);
         assert!(platform.device().power().component_total("gps") > 0.0);

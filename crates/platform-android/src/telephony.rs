@@ -88,13 +88,9 @@ impl SmsManager {
                 cb(id, result);
             }) as Box<dyn Fn(MessageId, DeliveryStatus, u64) + Send>
         });
-        let id = device.smsc().submit(
-            device.msisdn(),
-            destination,
-            text,
-            device.now_ms(),
-            report,
-        );
+        let id = device
+            .smsc()
+            .submit(device.msisdn(), destination, text, device.now_ms(), report);
         Ok(id)
     }
 }

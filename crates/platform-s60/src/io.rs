@@ -39,9 +39,8 @@ impl Connector {
         }
         // Validate eagerly so setup errors surface at open() like on the
         // real platform.
-        let _probe: mobivine_device::net::Url = url
-            .parse()
-            .map_err(|e: mobivine_device::net::UrlError| {
+        let _probe: mobivine_device::net::Url =
+            url.parse().map_err(|e: mobivine_device::net::UrlError| {
                 S60Exception::IllegalArgument(e.to_string())
             })?;
         Ok(HttpConnection {
@@ -250,9 +249,11 @@ impl HttpConnection {
                 };
                 Ok(())
             }
-            Err(err @ (NetworkError::UnknownHost
-            | NetworkError::NetworkDown
-            | NetworkError::TimedOut)) => Err(S60Exception::Io(err.to_string())),
+            Err(
+                err @ (NetworkError::UnknownHost
+                | NetworkError::NetworkDown
+                | NetworkError::TimedOut),
+            ) => Err(S60Exception::Io(err.to_string())),
         }
     }
 }
@@ -298,7 +299,8 @@ mod tests {
         let platform = platform_with_server();
         let mut conn = Connector::open_http(&platform, "http://wfm.example/log").unwrap();
         conn.set_request_method("POST").unwrap();
-        conn.set_request_property("Content-Type", "text/plain").unwrap();
+        conn.set_request_property("Content-Type", "text/plain")
+            .unwrap();
         conn.write_body(b"activity entry").unwrap();
         assert_eq!(conn.response_code().unwrap(), 200);
         assert_eq!(conn.read_fully().unwrap(), "14 bytes");

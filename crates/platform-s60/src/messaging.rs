@@ -125,8 +125,7 @@ impl MessageConnection {
     pub fn open_server(platform: &S60Platform) -> Result<Self, S60Exception> {
         platform.enforce(ApiPermission::SmsReceive)?;
         let received = Arc::new(Mutex::new(Vec::new()));
-        let listener: Arc<Mutex<Option<Arc<dyn MessageListener>>>> =
-            Arc::new(Mutex::new(None));
+        let listener: Arc<Mutex<Option<Arc<dyn MessageListener>>>> = Arc::new(Mutex::new(None));
         let sink = Arc::clone(&received);
         let notify = Arc::clone(&listener);
         let own = platform.device().msisdn().to_owned();
@@ -212,13 +211,9 @@ impl MessageConnection {
         }
         device.latency().consume(NativeApi::SendSms);
         device.power().draw("radio", 0.8);
-        device.smsc().submit(
-            device.msisdn(),
-            destination,
-            payload,
-            device.now_ms(),
-            None,
-        );
+        device
+            .smsc()
+            .submit(device.msisdn(), destination, payload, device.now_ms(), None);
         Ok(())
     }
 
@@ -263,7 +258,10 @@ impl MessageConnection {
             payload,
             device.now_ms(),
             Some(Box::new(move |id, status, _at| {
-                report(id, status == mobivine_device::sms::DeliveryStatus::Delivered);
+                report(
+                    id,
+                    status == mobivine_device::sms::DeliveryStatus::Delivered,
+                );
             })),
         );
         Ok(id)

@@ -229,7 +229,10 @@ mod tests {
     }
 
     fn host() -> MidletHost<Probe> {
-        MidletHost::new(Probe::default(), S60Platform::new(Device::builder().build()))
+        MidletHost::new(
+            Probe::default(),
+            S60Platform::new(Device::builder().build()),
+        )
     }
 
     #[test]

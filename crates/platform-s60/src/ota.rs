@@ -17,7 +17,7 @@ use mobivine_device::net::{HttpResponse, Method, SimNetwork};
 
 use crate::error::S60Exception;
 use crate::io::Connector;
-use crate::packaging::{Jar, JadDescriptor, MidletSuite, PackagingError};
+use crate::packaging::{JadDescriptor, Jar, MidletSuite, PackagingError};
 use crate::platform::S60Platform;
 
 /// Publishes MIDlet suites for OTA download.
@@ -162,10 +162,9 @@ impl AppManager {
         let suite = MidletSuite { jar, jad };
         suite.validate()?;
         let mut installed = self.installed.lock();
-        if installed
-            .iter()
-            .any(|s| s.jad.midlet_name == suite.jad.midlet_name && s.jad.version == suite.jad.version)
-        {
+        if installed.iter().any(|s| {
+            s.jad.midlet_name == suite.jad.midlet_name && s.jad.version == suite.jad.version
+        }) {
             return Err(OtaError::AlreadyInstalled(suite.jad.midlet_name));
         }
         let name = suite.jad.midlet_name.clone();
@@ -183,8 +182,11 @@ mod tests {
         let mut jar = Jar::new("workforce.jar");
         jar.add_entry("com/acme/Wfm.class", b"app bytes".to_vec())
             .unwrap();
-        jar.add_entry("com/ibm/S60/location/LocationProxy.class", b"proxy".to_vec())
-            .unwrap();
+        jar.add_entry(
+            "com/ibm/S60/location/LocationProxy.class",
+            b"proxy".to_vec(),
+        )
+        .unwrap();
         let mut jad = JadDescriptor::for_jar(&jar, "WorkForce", "ACME", "1.0.0");
         jad.jar_url = "http://ota.example/workforce.jar".to_owned();
         jad.permissions = vec!["javax.microedition.location.Location".to_owned()];
@@ -225,9 +227,14 @@ mod tests {
         let manager = AppManager::new();
         let name = manager.install_from_url(&platform, &jad_url).unwrap();
         assert_eq!(name, "WorkForce");
-        assert_eq!(manager.installed(), vec![("WorkForce".to_owned(), "1.0.0".to_owned())]);
+        assert_eq!(
+            manager.installed(),
+            vec![("WorkForce".to_owned(), "1.0.0".to_owned())]
+        );
         let installed = manager.suite("WorkForce").unwrap();
-        assert!(installed.jar.contains("com/ibm/S60/location/LocationProxy.class"));
+        assert!(installed
+            .jar
+            .contains("com/ibm/S60/location/LocationProxy.class"));
     }
 
     #[test]

@@ -218,7 +218,10 @@ impl JadDescriptor {
     pub fn for_jar(jar: &Jar, midlet_name: &str, vendor: &str, version: &str) -> Self {
         let mut properties = BTreeMap::new();
         properties.insert("MicroEdition-Profile".to_owned(), "MIDP-2.0".to_owned());
-        properties.insert("MicroEdition-Configuration".to_owned(), "CLDC-1.1".to_owned());
+        properties.insert(
+            "MicroEdition-Configuration".to_owned(),
+            "CLDC-1.1".to_owned(),
+        );
         Self {
             midlet_name: midlet_name.to_owned(),
             vendor: vendor.to_owned(),
@@ -249,7 +252,9 @@ impl JadDescriptor {
             let parts: Vec<&str> = self.version.split('.').collect();
             !parts.is_empty()
                 && parts.len() <= 3
-                && parts.iter().all(|p| !p.is_empty() && p.chars().all(|c| c.is_ascii_digit()))
+                && parts
+                    .iter()
+                    .all(|p| !p.is_empty() && p.chars().all(|c| c.is_ascii_digit()))
         };
         if !version_ok {
             return Err(PackagingError::DescriptorMismatch(format!(
@@ -289,9 +294,7 @@ impl JadDescriptor {
                 "MIDlet-Jar-URL" => jar_url = Some(value.to_owned()),
                 "MIDlet-Jar-Size" => {
                     jar_size = Some(value.parse().map_err(|_| {
-                        PackagingError::DescriptorMismatch(format!(
-                            "bad MIDlet-Jar-Size '{value}'"
-                        ))
+                        PackagingError::DescriptorMismatch(format!("bad MIDlet-Jar-Size '{value}'"))
                     })?)
                 }
                 "MIDlet-Permissions" => {
@@ -371,7 +374,8 @@ mod tests {
 
     fn app_jar() -> Jar {
         let mut jar = Jar::new("wfm.jar");
-        jar.add_entry("com/acme/Wfm.class", b"main".to_vec()).unwrap();
+        jar.add_entry("com/acme/Wfm.class", b"main".to_vec())
+            .unwrap();
         jar.add_entry("META-INF/MANIFEST.MF", b"manifest".to_vec())
             .unwrap();
         jar
@@ -389,11 +393,14 @@ mod tests {
     #[test]
     fn idempotent_re_add_but_conflict_on_difference() {
         let mut jar = app_jar();
-        jar.add_entry("com/acme/Wfm.class", b"main".to_vec()).unwrap();
+        jar.add_entry("com/acme/Wfm.class", b"main".to_vec())
+            .unwrap();
         assert_eq!(jar.len(), 2);
         assert_eq!(
             jar.add_entry("com/acme/Wfm.class", b"other".to_vec()),
-            Err(PackagingError::ConflictingEntry("com/acme/Wfm.class".into()))
+            Err(PackagingError::ConflictingEntry(
+                "com/acme/Wfm.class".into()
+            ))
         );
     }
 

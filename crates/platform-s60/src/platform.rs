@@ -99,7 +99,9 @@ mod tests {
         policy.set(ApiPermission::SmsSend, Disposition::Denied);
         let platform = S60Platform::with_policy(Device::builder().build(), policy);
         let err = platform.enforce(ApiPermission::SmsSend).unwrap_err();
-        assert!(err.to_string().contains("javax.wireless.messaging.sms.send"));
+        assert!(err
+            .to_string()
+            .contains("javax.wireless.messaging.sms.send"));
     }
 
     #[test]

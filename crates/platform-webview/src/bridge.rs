@@ -54,6 +54,22 @@ impl ErrorCode {
         }
     }
 
+    /// The canonical Java exception class a code stands for, when the
+    /// code wraps a platform exception. Bridge-layer rejections
+    /// ([`ErrorCode::Bridge`]) carry no platform class. This lets the
+    /// uniform error model restore provenance that the numeric channel
+    /// would otherwise flatten away.
+    pub fn canonical_java_class(&self) -> Option<&'static str> {
+        match self {
+            ErrorCode::Security => Some("java.lang.SecurityException"),
+            ErrorCode::IllegalArgument => Some("java.lang.IllegalArgumentException"),
+            ErrorCode::Remote => Some("android.os.RemoteException"),
+            ErrorCode::Io => Some("java.io.IOException"),
+            ErrorCode::ApiRemoved => Some("java.lang.NoSuchMethodError"),
+            ErrorCode::Bridge => None,
+        }
+    }
+
     /// Maps an Android exception to its code — the "error code is
     /// defined for each possible exception" table.
     pub fn from_android(e: &AndroidException) -> Self {

@@ -39,12 +39,7 @@ impl JsValue {
     where
         I: IntoIterator<Item = (&'static str, JsValue)>,
     {
-        JsValue::Object(
-            pairs
-                .into_iter()
-                .map(|(k, v)| (k.to_owned(), v))
-                .collect(),
-        )
+        JsValue::Object(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
     }
 
     /// Whether the value is `undefined` or `null`.

@@ -247,7 +247,11 @@ mod tests {
         let wv = webview();
         wv.add_javascript_interface(Arc::new(Adder), "X");
         wv.add_javascript_interface(Arc::new(Zero), "X");
-        let out = wv.js_interface("X").unwrap().invoke("anything", &[]).unwrap();
+        let out = wv
+            .js_interface("X")
+            .unwrap()
+            .invoke("anything", &[])
+            .unwrap();
         assert_eq!(out, JsValue::Number(0.0));
         assert!(wv.remove_javascript_interface("X"));
         assert!(!wv.remove_javascript_interface("X"));

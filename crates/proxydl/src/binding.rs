@@ -240,7 +240,9 @@ impl PlatformBinding {
                 let mut spec = PropertySpec::new(
                     name,
                     data_type,
-                    &p.find("description").map(|d| d.text.clone()).unwrap_or_default(),
+                    &p.find("description")
+                        .map(|d| d.text.clone())
+                        .unwrap_or_default(),
                 );
                 spec.required = p.attribute("required") == Some("true");
                 spec.default_value = p.find("default").map(|d| d.text.clone());
@@ -297,7 +299,10 @@ mod tests {
         assert!(p.accepts("Low"));
         assert!(!p.accepts("Turbo"));
         // Unconstrained property accepts anything.
-        assert!(b.find_property("preferredResponseTime").unwrap().accepts("5000"));
+        assert!(b
+            .find_property("preferredResponseTime")
+            .unwrap()
+            .accepts("5000"));
     }
 
     #[test]
@@ -336,8 +341,7 @@ mod tests {
         let binding = PlatformBinding::new(PlatformId::Android, "X")
             .property(PropertySpec::new("context", "object", "app context").required());
         let text = binding.to_xml().render();
-        let back =
-            PlatformBinding::from_xml(&crate::xml::XmlNode::parse(&text).unwrap()).unwrap();
+        let back = PlatformBinding::from_xml(&crate::xml::XmlNode::parse(&text).unwrap()).unwrap();
         assert!(back.find_property("context").unwrap().required);
     }
 

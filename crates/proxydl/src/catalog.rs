@@ -27,9 +27,7 @@ const S60_LOCATION_EXCEPTIONS: &[&str] = &[
 ];
 
 fn android_common_properties() -> Vec<PropertySpec> {
-    vec![
-        PropertySpec::new("context", "object", "Android application context").required(),
-    ]
+    vec![PropertySpec::new("context", "object", "Android application context").required()]
 }
 
 fn s60_common_properties() -> Vec<PropertySpec> {
@@ -44,6 +42,62 @@ fn s60_common_properties() -> Vec<PropertySpec> {
             .default_value("NoRequirement")
             .allowed(&["NoRequirement", "Low", "Medium", "High"]),
     ]
+}
+
+/// The resilience-layer knobs (§3.3 enrichment) every retry-capable
+/// binding declares, consumed by the core crate's resilient decorators.
+/// Deliberately without default values: generated configuration
+/// snippets must only mention resilience when an application opts in.
+fn resilience_properties() -> Vec<PropertySpec> {
+    vec![
+        PropertySpec::new(
+            "retry.max_attempts",
+            "int",
+            "total attempts per call, including the first",
+        ),
+        PropertySpec::new(
+            "retry.backoff_ms",
+            "int",
+            "base backoff before the second attempt; doubles per retry",
+        ),
+        PropertySpec::new(
+            "retry.deadline_ms",
+            "int",
+            "per-call retry budget, virtual ms",
+        ),
+        PropertySpec::new(
+            "retry.jitter_seed",
+            "int",
+            "seed for deterministic backoff jitter",
+        ),
+        PropertySpec::new(
+            "circuit.threshold",
+            "int",
+            "consecutive failures opening the circuit breaker",
+        ),
+        PropertySpec::new(
+            "circuit.cooldown_ms",
+            "int",
+            "open-circuit cooldown before a half-open probe, virtual ms",
+        ),
+    ]
+}
+
+/// Location additionally declares the configured-default fallback
+/// position terminating the resilience fallback chain.
+fn location_resilience_properties() -> Vec<PropertySpec> {
+    let mut properties = resilience_properties();
+    properties.push(PropertySpec::new(
+        "fallback.latitude",
+        "string",
+        "default-position latitude, decimal degrees",
+    ));
+    properties.push(PropertySpec::new(
+        "fallback.longitude",
+        "string",
+        "default-position longitude, decimal degrees",
+    ));
+    properties
 }
 
 fn with_properties(mut binding: PlatformBinding, properties: Vec<PropertySpec>) -> PlatformBinding {
@@ -128,17 +182,18 @@ pub fn location() -> ProxyDescriptor {
 
     let s60 = with_exceptions(
         with_properties(
-            PlatformBinding::new(
-                PlatformId::NokiaS60,
-                "com.ibm.S60.location.LocationProxy",
-            ),
+            PlatformBinding::new(PlatformId::NokiaS60, "com.ibm.S60.location.LocationProxy"),
             s60_common_properties(),
         ),
         S60_LOCATION_EXCEPTIONS,
     )
     .property(
-        PropertySpec::new("verticalAccuracy", "int", "requested vertical accuracy, metres")
-            .default_value("50"),
+        PropertySpec::new(
+            "verticalAccuracy",
+            "int",
+            "requested vertical accuracy, metres",
+        )
+        .default_value("50"),
     );
 
     let webview = PlatformBinding::new(
@@ -158,9 +213,9 @@ pub fn location() -> ProxyDescriptor {
     ProxyDescriptor::new("Location", "Telecom", semantic)
         .syntax(java)
         .syntax(javascript)
-        .binding(android)
-        .binding(s60)
-        .binding(webview)
+        .binding(with_properties(android, location_resilience_properties()))
+        .binding(with_properties(s60, location_resilience_properties()))
+        .binding(with_properties(webview, location_resilience_properties()))
 }
 
 /// The SMS proxy descriptor.
@@ -190,7 +245,10 @@ pub fn sms() -> ProxyDescriptor {
     );
     let android = with_exceptions(
         with_properties(
-            PlatformBinding::new(PlatformId::Android, "com.ibm.proxies.android.sms.SmsProxyImpl"),
+            PlatformBinding::new(
+                PlatformId::Android,
+                "com.ibm.proxies.android.sms.SmsProxyImpl",
+            ),
             android_common_properties(),
         ),
         &[
@@ -214,9 +272,9 @@ pub fn sms() -> ProxyDescriptor {
     ProxyDescriptor::new("SMS", "Telecom", semantic)
         .syntax(java)
         .syntax(javascript)
-        .binding(android)
-        .binding(s60)
-        .binding(webview)
+        .binding(with_properties(android, resilience_properties()))
+        .binding(with_properties(s60, resilience_properties()))
+        .binding(with_properties(webview, resilience_properties()))
 }
 
 /// The Call proxy descriptor — no S60 binding, per §4.1.
@@ -236,11 +294,18 @@ pub fn call() -> ProxyDescriptor {
         )
         .method(MethodTypes::new("endCall").param("long"));
     let javascript = SyntacticBinding::new(Language::JavaScript)
-        .method(MethodTypes::new("makeACall").param("string").returns("number"))
+        .method(
+            MethodTypes::new("makeACall")
+                .param("string")
+                .returns("number"),
+        )
         .method(MethodTypes::new("endCall").param("number"));
     let android = with_exceptions(
         with_properties(
-            PlatformBinding::new(PlatformId::Android, "com.ibm.proxies.android.call.CallProxyImpl"),
+            PlatformBinding::new(
+                PlatformId::Android,
+                "com.ibm.proxies.android.call.CallProxyImpl",
+            ),
             android_common_properties(),
         ),
         &[
@@ -249,15 +314,19 @@ pub fn call() -> ProxyDescriptor {
         ],
     )
     .property(
-        PropertySpec::new("retries", "int", "redial attempts when the callee is unreachable")
-            .default_value("0"),
+        PropertySpec::new(
+            "retries",
+            "int",
+            "redial attempts when the callee is unreachable",
+        )
+        .default_value("0"),
     );
     let webview = PlatformBinding::new(PlatformId::AndroidWebView, "js/proxies/CallProxyImpl.js");
     ProxyDescriptor::new("Call", "Telecom", semantic)
         .syntax(java)
         .syntax(javascript)
-        .binding(android)
-        .binding(webview)
+        .binding(with_properties(android, resilience_properties()))
+        .binding(with_properties(webview, resilience_properties()))
 }
 
 /// The Http proxy descriptor.
@@ -270,8 +339,13 @@ pub fn http() -> ProxyDescriptor {
             .returns("httpResponse"),
     );
     let mut method_spec = semantic.methods[0].clone();
-    method_spec.params[0].allowed_values =
-        vec!["GET".into(), "POST".into(), "PUT".into(), "DELETE".into(), "HEAD".into()];
+    method_spec.params[0].allowed_values = vec![
+        "GET".into(),
+        "POST".into(),
+        "PUT".into(),
+        "DELETE".into(),
+        "HEAD".into(),
+    ];
     let semantic = SemanticPlane {
         interface: semantic.interface,
         methods: vec![method_spec],
@@ -292,7 +366,10 @@ pub fn http() -> ProxyDescriptor {
     );
     let android = with_exceptions(
         with_properties(
-            PlatformBinding::new(PlatformId::Android, "com.ibm.proxies.android.http.HttpProxyImpl"),
+            PlatformBinding::new(
+                PlatformId::Android,
+                "com.ibm.proxies.android.http.HttpProxyImpl",
+            ),
             android_common_properties(),
         ),
         &["java.lang.SecurityException", "java.io.IOException"],
@@ -309,9 +386,9 @@ pub fn http() -> ProxyDescriptor {
     ProxyDescriptor::new("Http", "Connectivity", semantic)
         .syntax(java)
         .syntax(javascript)
-        .binding(android)
-        .binding(s60)
-        .binding(webview)
+        .binding(with_properties(android, resilience_properties()))
+        .binding(with_properties(s60, resilience_properties()))
+        .binding(with_properties(webview, resilience_properties()))
 }
 
 /// The Contacts proxy descriptor (paper future work, §7).
@@ -327,7 +404,9 @@ pub fn contacts() -> ProxyDescriptor {
             .returns("com.ibm.telecom.proxy.Contact[]"),
     );
     let javascript = SyntacticBinding::new(Language::JavaScript).method(
-        MethodTypes::new("findContacts").param("string").returns("object"),
+        MethodTypes::new("findContacts")
+            .param("string")
+            .returns("object"),
     );
     let android = with_properties(
         PlatformBinding::new(
@@ -443,7 +522,14 @@ mod tests {
         let names: Vec<&str> = m.params.iter().map(|p| p.name.as_str()).collect();
         assert_eq!(
             names,
-            vec!["latitude", "longitude", "altitude", "radius", "timer", "proximityListener"]
+            vec![
+                "latitude",
+                "longitude",
+                "altitude",
+                "radius",
+                "timer",
+                "proximityListener"
+            ]
         );
         let java = d.syntax_for(Language::Java).unwrap();
         let types = java.find_method("addProximityAlert").unwrap();
@@ -466,6 +552,39 @@ mod tests {
         assert!(b
             .exceptions
             .contains(&"javax.microedition.location.LocationException".to_owned()));
+    }
+
+    #[test]
+    fn resilient_interfaces_declare_the_resilience_property_plane() {
+        for descriptor in [location(), sms(), call(), http()] {
+            for binding in &descriptor.bindings {
+                for key in [
+                    "retry.max_attempts",
+                    "retry.backoff_ms",
+                    "retry.deadline_ms",
+                    "retry.jitter_seed",
+                    "circuit.threshold",
+                    "circuit.cooldown_ms",
+                ] {
+                    let spec = binding.find_property(key).unwrap_or_else(|| {
+                        panic!("{} {:?} lacks {key}", descriptor.name, binding.platform)
+                    });
+                    assert!(
+                        spec.default_value.is_none(),
+                        "{key} must not have a default: codegen would emit it unconditionally"
+                    );
+                }
+            }
+        }
+        // The fallback position is a Location-only concept.
+        let location = location();
+        for binding in &location.bindings {
+            assert!(binding.find_property("fallback.latitude").is_some());
+            assert!(binding.find_property("fallback.longitude").is_some());
+        }
+        assert!(http().bindings[0]
+            .find_property("fallback.latitude")
+            .is_none());
     }
 
     #[test]

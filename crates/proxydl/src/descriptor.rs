@@ -80,7 +80,9 @@ impl ProxyDescriptor {
     /// binding exists for the new platform's language.
     pub fn extend_platform(&mut self, binding: PlatformBinding) -> Result<(), SchemaError> {
         if self.binding_for(&binding.platform).is_some() {
-            return Err(SchemaError::DuplicateBinding(binding.platform.id().to_owned()));
+            return Err(SchemaError::DuplicateBinding(
+                binding.platform.id().to_owned(),
+            ));
         }
         if self.syntax_for(binding.language()).is_none() {
             return Err(SchemaError::MissingSyntax {
@@ -145,8 +147,7 @@ impl ProxyDescriptor {
     /// Returns [`SchemaError::Malformed`] for XML or structural
     /// problems.
     pub fn parse(text: &str) -> Result<Self, SchemaError> {
-        let node = XmlNode::parse(text)
-            .map_err(|e| SchemaError::Malformed(format!("xml: {e}")))?;
+        let node = XmlNode::parse(text).map_err(|e| SchemaError::Malformed(format!("xml: {e}")))?;
         Self::from_xml(&node)
     }
 }
@@ -162,9 +163,8 @@ mod tests {
         ProxyDescriptor::new(
             "Location",
             "Telecom",
-            SemanticPlane::new("Location").method(
-                MethodSpec::new("getLocation").returns("location"),
-            ),
+            SemanticPlane::new("Location")
+                .method(MethodSpec::new("getLocation").returns("location")),
         )
         .syntax(
             SyntacticBinding::new(Language::Java)
@@ -175,8 +175,11 @@ mod tests {
                 .method(MethodTypes::new("getLocation").returns("object")),
         )
         .binding(
-            PlatformBinding::new(PlatformId::Android, "com.ibm.android.location.LocationProxy")
-                .property(PropertySpec::new("context", "object", "application context").required()),
+            PlatformBinding::new(
+                PlatformId::Android,
+                "com.ibm.android.location.LocationProxy",
+            )
+            .property(PropertySpec::new("context", "object", "application context").required()),
         )
         .binding(PlatformBinding::new(
             PlatformId::AndroidWebView,

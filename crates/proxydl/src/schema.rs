@@ -149,10 +149,7 @@ pub fn validate_semantic(plane: &SemanticPlane) -> Result<(), SchemaError> {
         }
         let mut dims: Vec<u32> = method.params.iter().map(|p| p.dimension).collect();
         dims.sort_unstable();
-        let contiguous = dims
-            .iter()
-            .enumerate()
-            .all(|(i, d)| *d == (i as u32) + 1);
+        let contiguous = dims.iter().enumerate().all(|(i, d)| *d == (i as u32) + 1);
         if !contiguous {
             return Err(SchemaError::BadDimensions {
                 method: method.name.clone(),
@@ -188,12 +185,13 @@ pub fn validate_syntactic(
         }
     }
     for method in &semantic.methods {
-        let types = binding.find_method(&method.name).ok_or_else(|| {
-            SchemaError::MissingMethodTypes {
-                method: method.name.clone(),
-                language: binding.language,
-            }
-        })?;
+        let types =
+            binding
+                .find_method(&method.name)
+                .ok_or_else(|| SchemaError::MissingMethodTypes {
+                    method: method.name.clone(),
+                    language: binding.language,
+                })?;
         if types.param_types.len() != method.params.len() {
             return Err(SchemaError::ArityMismatch {
                 method: method.name.clone(),
@@ -309,10 +307,7 @@ mod tests {
     #[test]
     fn non_contiguous_dimensions_detected() {
         let mut plane = SemanticPlane::new("X").method(MethodSpec::new("m"));
-        plane.methods[0].params = vec![
-            ParamSpec::new("a", 1, ""),
-            ParamSpec::new("b", 3, ""),
-        ];
+        plane.methods[0].params = vec![ParamSpec::new("a", 1, ""), ParamSpec::new("b", 3, "")];
         assert!(matches!(
             validate_semantic(&plane),
             Err(SchemaError::BadDimensions { .. })
@@ -322,10 +317,7 @@ mod tests {
     #[test]
     fn duplicate_param_names_detected() {
         let mut plane = SemanticPlane::new("X").method(MethodSpec::new("m"));
-        plane.methods[0].params = vec![
-            ParamSpec::new("a", 1, ""),
-            ParamSpec::new("a", 2, ""),
-        ];
+        plane.methods[0].params = vec![ParamSpec::new("a", 1, ""), ParamSpec::new("a", 2, "")];
         assert!(validate_semantic(&plane).is_err());
     }
 
@@ -334,9 +326,14 @@ mod tests {
         let mut d = valid_descriptor();
         d.syntactic[0].methods[0].param_types.pop();
         let errors = validate_descriptor(&d);
-        assert!(errors
-            .iter()
-            .any(|e| matches!(e, SchemaError::ArityMismatch { expected: 2, found: 1, .. })));
+        assert!(errors.iter().any(|e| matches!(
+            e,
+            SchemaError::ArityMismatch {
+                expected: 2,
+                found: 1,
+                ..
+            }
+        )));
     }
 
     #[test]

@@ -158,7 +158,10 @@ impl SemanticPlane {
                     .unwrap_or("0")
                     .parse()
                     .map_err(|_| SchemaError::Malformed("bad dimension".into()))?;
-                let meaning = p.find("meaning").map(|m| m.text.clone()).unwrap_or_default();
+                let meaning = p
+                    .find("meaning")
+                    .map(|m| m.text.clone())
+                    .unwrap_or_default();
                 let allowed_values = p
                     .find("allowedValues")
                     .map(|av| av.find_all("value").map(|v| v.text.clone()).collect())

@@ -46,7 +46,11 @@ pub struct XmlError {
 
 impl fmt::Display for XmlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "xml parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "xml parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -410,7 +414,10 @@ mod tests {
             .child(XmlNode::new("method").attr("name", "getLocation"))
             .child(XmlNode::new("method").attr("name", "addProximityAlert"));
         assert_eq!(node.attribute("name"), Some("Location"));
-        assert_eq!(node.find("method").unwrap().attribute("name"), Some("getLocation"));
+        assert_eq!(
+            node.find("method").unwrap().attribute("name"),
+            Some("getLocation")
+        );
         assert_eq!(node.find_all("method").count(), 2);
         assert!(node.find("missing").is_none());
     }

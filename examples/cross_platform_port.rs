@@ -38,14 +38,25 @@ fn main() {
     });
 
     println!("event log of the SAME application source on three platforms:");
-    println!("{:<28} {:<10} {:<10} {:<10}", "event", "android", "s60", "webview");
+    println!(
+        "{:<28} {:<10} {:<10} {:<10}",
+        "event", "android", "s60", "webview"
+    );
     for (i, event) in android_log.iter().enumerate() {
         println!(
             "{:<28} {:<10} {:<10} {:<10}",
             event,
             "x",
-            if s60_log.get(i) == Some(event) { "x" } else { "DIFF" },
-            if webview_log.get(i) == Some(event) { "x" } else { "DIFF" },
+            if s60_log.get(i) == Some(event) {
+                "x"
+            } else {
+                "DIFF"
+            },
+            if webview_log.get(i) == Some(event) {
+                "x"
+            } else {
+                "DIFF"
+            },
         );
     }
     assert_eq!(android_log, s60_log);

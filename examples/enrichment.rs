@@ -41,8 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Call retry coordination: "the utility for coordinating the
     //    number of retries in case the callee is unreachable".
-    let retrying =
-        RetryingCallProxy::new(runtime.call()?, device.clone(), 2).with_settle_ms(5_000);
+    let retrying = RetryingCallProxy::new(runtime.call()?, device.clone(), 2).with_settle_ms(5_000);
     let (_id, attempts, connected) = retrying.call_with_retries("+91-98-SUPERVISOR")?;
     println!("supervisor unreachable: {attempts} attempts made, connected={connected}");
 
@@ -55,7 +54,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let denied = gated_sms.send_text_message("+91-98-SUPERVISOR", "second message", None);
     println!(
         "after policy.deny(\"sms\"): {}",
-        denied.map(|_| "sent".to_owned()).unwrap_or_else(|e| e.to_string())
+        denied
+            .map(|_| "sent".to_owned())
+            .unwrap_or_else(|e| e.to_string())
     );
     println!("policy audit trail: {:?}", policy.audit_log());
     Ok(())

@@ -48,9 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let server = WfmServer::new();
 
     let mut worlds = Vec::new();
-    for (agent_id, bearing, platform_name) in
-        [(1u64, 0.0f64, "android"), (2, 120.0, "s60"), (3, 240.0, "webview")]
-    {
+    for (agent_id, bearing, platform_name) in [
+        (1u64, 0.0f64, "android"),
+        (2, 120.0, "s60"),
+        (3, 240.0, "webview"),
+    ] {
         let config = AgentConfig::for_agent(agent_id);
         let device = agent_device(&config, bearing);
         server.install(device.network(), &config.server_host);

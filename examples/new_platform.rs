@@ -18,7 +18,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut location = catalog::location();
     println!(
         "Location proxy before: bindings for {:?}",
-        location.platforms().iter().map(|p| p.id().to_owned()).collect::<Vec<_>>()
+        location
+            .platforms()
+            .iter()
+            .map(|p| p.id().to_owned())
+            .collect::<Vec<_>>()
     );
     location.extend_platform(
         PlatformBinding::new(iphone.clone(), "com.ibm.proxies.iphone.LocationProxyImpl")
@@ -31,7 +35,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     println!(
         "Location proxy after:  bindings for {:?}",
-        location.platforms().iter().map(|p| p.id().to_owned()).collect::<Vec<_>>()
+        location
+            .platforms()
+            .iter()
+            .map(|p| p.id().to_owned())
+            .collect::<Vec<_>>()
     );
 
     // 2. The five schemas still hold.
@@ -54,7 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let descriptor = catalog.iter().find(|d| d.name == "Location").unwrap();
     let mut dialog = ConfigurationDialog::for_api(descriptor, iphone.clone(), "getLocation")?;
     dialog.set_property("desiredAccuracy", "hundredMeters")?;
-    println!("\ngenerated snippet for the new platform:\n{}", dialog.source_preview()?);
+    println!(
+        "\ngenerated snippet for the new platform:\n{}",
+        dialog.source_preview()?
+    );
 
     let manifest = PluginManifest::from_drawer("com.ibm.mobivine.iphone", &drawer);
     println!("derived plugin.xml:\n{}", manifest.render());

@@ -9,15 +9,22 @@
 use mobivine_repro::device::Device;
 use mobivine_repro::mplugin::packaging::{ProxySelection, S60Extension};
 use mobivine_repro::s60::ota::{AppManager, OtaServer};
-use mobivine_repro::s60::packaging::{Jar, JadDescriptor};
+use mobivine_repro::s60::packaging::{JadDescriptor, Jar};
 use mobivine_repro::s60::S60Platform;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. The application jar as the developer built it.
     let mut app_jar = Jar::new("workforce.jar");
-    app_jar.add_entry("com/acme/WorkForceManagement.class", b"app bytecode".to_vec())?;
+    app_jar.add_entry(
+        "com/acme/WorkForceManagement.class",
+        b"app bytecode".to_vec(),
+    )?;
     app_jar.add_entry("META-INF/MANIFEST.MF", b"Manifest-Version: 1.0".to_vec())?;
-    println!("application jar: {} entries, {} bytes", app_jar.len(), app_jar.byte_size());
+    println!(
+        "application jar: {} entries, {} bytes",
+        app_jar.len(),
+        app_jar.byte_size()
+    );
 
     // 2. The M-Plugin's S60 extension merges the selected proxies and
     //    derives the descriptor (single-jar rule, size re-computed).

@@ -22,9 +22,13 @@ fn main() {
         let ctx = platform.new_context();
 
         // Native code path, written the m5 way (Fig. 2(a)).
-        let native = ctx
-            .location_manager()
-            .add_proximity_alert(28.5355, 77.3910, 100.0, -1, Intent::new("NATIVE"));
+        let native = ctx.location_manager().add_proximity_alert(
+            28.5355,
+            77.3910,
+            100.0,
+            -1,
+            Intent::new("NATIVE"),
+        );
         println!(
             "  native addProximityAlert(Intent):        {}",
             match &native {

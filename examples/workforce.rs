@@ -61,7 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nserver-side activity log:");
     for entry in scenario.server.activity_log() {
-        println!("  [{:>6} ms] agent {}: {}", entry.at_ms, entry.agent_id, entry.event);
+        println!(
+            "  [{:>6} ms] agent {}: {}",
+            entry.at_ms, entry.agent_id, entry.event
+        );
     }
 
     let outcome = ScenarioOutcome::collect(&scenario);

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Full CI gate: release build, tests, formatting, lints.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo fmt --check
+cargo clippy --workspace --all-targets -- -D warnings

@@ -1,0 +1,76 @@
+//! Shared three-platform fixtures for the integration suites.
+//!
+//! Every cross-platform test wants the same shape: one simulated
+//! [`Device`] and a MobiVine runtime per platform binding (Android, S60,
+//! WebView) sharing it, so identical behaviour can be asserted across
+//! the board. This module is the single home of that fixture.
+
+// Each test binary that declares `mod common;` uses its own subset of
+// these helpers.
+#![allow(dead_code)]
+
+use std::sync::Arc;
+
+use mobivine::registry::Mobivine;
+use mobivine::resilience::ResiliencePolicy;
+use mobivine_android::{AndroidPlatform, SdkVersion};
+use mobivine_device::{Device, GeoPoint};
+use mobivine_s60::S60Platform;
+use mobivine_webview::WebView;
+
+/// The standard fixture device: stationary in Noida, a supervisor
+/// address registered at the SMSC.
+pub fn device() -> Device {
+    let device = Device::builder()
+        .msisdn("+91-me")
+        .position(GeoPoint::new(28.5355, 77.3910))
+        .build();
+    device.smsc().register_address("+91-sup");
+    device
+}
+
+/// An Android-bound runtime over `device`.
+pub fn android_runtime(device: &Device) -> Mobivine {
+    let platform = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
+    Mobivine::for_android(platform.new_context())
+}
+
+/// An S60-bound runtime over `device`.
+pub fn s60_runtime(device: &Device) -> Mobivine {
+    Mobivine::for_s60(S60Platform::new(device.clone()))
+}
+
+/// A WebView-bound runtime over `device`.
+pub fn webview_runtime(device: &Device) -> Mobivine {
+    let platform = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
+    Mobivine::for_webview(Arc::new(WebView::new(platform.new_context())))
+}
+
+/// One runtime per platform binding, all sharing `device`.
+pub fn runtimes(device: &Device) -> Vec<(&'static str, Mobivine)> {
+    vec![
+        ("android", android_runtime(device)),
+        ("s60", s60_runtime(device)),
+        ("webview", webview_runtime(device)),
+    ]
+}
+
+/// One **resilient** runtime per platform binding — each over its own
+/// fresh fixture device, so per-platform attempt counts and fault
+/// traces can be compared without cross-talk.
+pub fn resilient_runtimes_isolated(
+    policy: &ResiliencePolicy,
+) -> Vec<(&'static str, Device, Mobivine)> {
+    let make = [
+        ("android", android_runtime as fn(&Device) -> Mobivine),
+        ("s60", s60_runtime as fn(&Device) -> Mobivine),
+        ("webview", webview_runtime as fn(&Device) -> Mobivine),
+    ];
+    make.into_iter()
+        .map(|(name, make)| {
+            let device = device();
+            let runtime = make(&device).with_resilience(policy.clone());
+            (name, device, runtime)
+        })
+        .collect()
+}

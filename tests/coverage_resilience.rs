@@ -5,11 +5,12 @@
 //! — with the same observable behaviour through the proxy stack as
 //! through the native platform APIs.
 
+mod common;
+
 use std::sync::{Arc, Mutex};
 
-use mobivine::registry::Mobivine;
+use common::android_runtime;
 use mobivine::types::{DeliveryOutcome, ProximityEvent};
-use mobivine_android::{AndroidPlatform, SdkVersion};
 use mobivine_device::movement::MovementModel;
 use mobivine_device::{Device, GeoPoint};
 
@@ -37,8 +38,7 @@ fn walking_out_device() -> Device {
 #[test]
 fn sms_fails_in_the_hole_and_recovers() {
     let device = walking_out_device();
-    let platform = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
-    let runtime = Mobivine::for_android(platform.new_context());
+    let runtime = android_runtime(&device);
     let sms = runtime.sms().unwrap();
 
     // In coverage at the start.
@@ -54,7 +54,9 @@ fn sms_fails_in_the_hole_and_recovers() {
     assert!(runtime.location().unwrap().get_location().is_ok());
 
     // The operator extends the network; service resumes.
-    device.coverage().add_cell(TOWER.destination(90.0, 2_500.0), 1_000.0);
+    device
+        .coverage()
+        .add_cell(TOWER.destination(90.0, 2_500.0), 1_000.0);
     assert!(sms.send_text_message("+sup", "back online", None).is_ok());
     device.advance_ms(1_000);
     let bodies: Vec<String> = device
@@ -71,8 +73,7 @@ fn proximity_alerts_unaffected_by_coverage_holes() {
     // Region 1.5 km out — beyond the cell. The alert still fires: the
     // positioning engine does not need the cell radio.
     let device = walking_out_device();
-    let platform = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
-    let runtime = Mobivine::for_android(platform.new_context());
+    let runtime = android_runtime(&device);
     let region = TOWER.destination(90.0, 1_500.0);
     let events = Arc::new(Mutex::new(Vec::new()));
     let sink = Arc::clone(&events);
@@ -98,8 +99,7 @@ fn delivery_reports_distinguish_radio_failure_from_network_loss() {
     // fires. Network-side loss: submission succeeds, listener reports
     // Failed. Distinct failure surfaces, both uniform.
     let device = walking_out_device();
-    let platform = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
-    let runtime = Mobivine::for_android(platform.new_context());
+    let runtime = android_runtime(&device);
     let sms = runtime.sms().unwrap();
 
     let outcomes = Arc::new(Mutex::new(Vec::new()));
@@ -116,7 +116,10 @@ fn delivery_reports_distinguish_radio_failure_from_network_loss() {
     )
     .unwrap();
     device.advance_ms(1_000);
-    assert_eq!(outcomes.lock().unwrap().as_slice(), &[DeliveryOutcome::Failed]);
+    assert_eq!(
+        outcomes.lock().unwrap().as_slice(),
+        &[DeliveryOutcome::Failed]
+    );
 
     // Device-side radio failure out of coverage: error before submit.
     device.advance_ms(200_000);

@@ -53,7 +53,10 @@ fn event_pattern(device: &Device, runtime: &Mobivine) -> Vec<bool> {
 fn identical_alert_patterns_on_all_three_platforms() {
     let android_device = looping_device(9);
     let android = AndroidPlatform::new(android_device.clone(), SdkVersion::M5Rc15);
-    let android_pattern = event_pattern(&android_device, &Mobivine::for_android(android.new_context()));
+    let android_pattern = event_pattern(
+        &android_device,
+        &Mobivine::for_android(android.new_context()),
+    );
 
     let s60_device = looping_device(9);
     let s60_pattern = event_pattern(
@@ -149,7 +152,11 @@ fn timer_semantics_uniform_across_platforms() {
     });
     let s60_pattern = run(&|d| Mobivine::for_s60(S60Platform::new(d.clone())));
 
-    assert_eq!(android_pattern, vec![true, false], "android {android_pattern:?}");
+    assert_eq!(
+        android_pattern,
+        vec![true, false],
+        "android {android_pattern:?}"
+    );
     assert_eq!(s60_pattern, vec![true, false], "s60 {s60_pattern:?}");
 }
 

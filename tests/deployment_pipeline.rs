@@ -11,7 +11,7 @@ use mobivine_apps::scenario::{Scenario, ScenarioOutcome};
 use mobivine_mplugin::packaging::{ProxySelection, S60Extension};
 use mobivine_s60::midlet::MidletHost;
 use mobivine_s60::ota::{AppManager, OtaServer};
-use mobivine_s60::packaging::{Jar, JadDescriptor};
+use mobivine_s60::packaging::{JadDescriptor, Jar};
 use mobivine_s60::S60Platform;
 
 #[test]
@@ -37,7 +37,9 @@ fn package_publish_install_run() {
         &ProxySelection::new(&["Location", "SMS", "Http"]),
     )
     .unwrap();
-    assert!(suite.jar.contains("com/ibm/S60/location/LocationProxy.class"));
+    assert!(suite
+        .jar
+        .contains("com/ibm/S60/location/LocationProxy.class"));
 
     // 2. Publish over OTA on the scenario's simulated network.
     let jad_url = OtaServer::publish(scenario.device.network(), "ota.example", &suite);

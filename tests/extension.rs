@@ -56,7 +56,9 @@ fn extension_cannot_bypass_the_syntactic_plane() {
     // A platform whose language has no syntactic binding is rejected —
     // the planes build on each other (§3.1).
     let mut location = catalog::location();
-    location.syntactic.retain(|s| s.language != mobivine_proxydl::Language::Java);
+    location
+        .syntactic
+        .retain(|s| s.language != mobivine_proxydl::Language::Java);
     let err = location
         .extend_platform(PlatformBinding::new(iphone(), "Impl"))
         .unwrap_err();
@@ -82,15 +84,16 @@ fn common_interpretation_routine_serves_the_new_platform() {
     // iPhone-specific plug-in code.
     let catalog = extended_catalog();
     let location = catalog.iter().find(|d| d.name == "Location").unwrap();
-    let mut dialog =
-        ConfigurationDialog::for_api(location, iphone(), "getLocation").unwrap();
+    let mut dialog = ConfigurationDialog::for_api(location, iphone(), "getLocation").unwrap();
     let accuracy = dialog
         .properties()
         .iter()
         .find(|p| p.name == "desiredAccuracy")
         .expect("iphone property visible in the dialog");
     assert_eq!(accuracy.default_value.as_deref(), Some("best"));
-    dialog.set_property("desiredAccuracy", "hundredMeters").unwrap();
+    dialog
+        .set_property("desiredAccuracy", "hundredMeters")
+        .unwrap();
     assert!(dialog.set_property("desiredAccuracy", "kilometer").is_err());
     // iPhone bindings are Java-typed here (the catalog treats custom
     // platforms as Java-language), so the Java generator serves them.

@@ -3,42 +3,17 @@
 //! *same* uniform error kinds (or the same delivery outcomes) on every
 //! platform binding.
 
+mod common;
+
 use std::sync::{Arc, Mutex};
 
+use common::{android_runtime, device, resilient_runtimes_isolated, runtimes};
 use mobivine::error::ProxyErrorKind;
-use mobivine::registry::Mobivine;
+use mobivine::resilience::{CircuitState, ResiliencePolicy};
 use mobivine::types::DeliveryOutcome;
-use mobivine_android::{AndroidPlatform, SdkVersion};
+use mobivine_device::fault::FaultPlan;
 use mobivine_device::gps::GpsAvailability;
-use mobivine_device::{Device, GeoPoint};
-use mobivine_s60::S60Platform;
-use mobivine_webview::WebView;
-
-fn device() -> Device {
-    let device = Device::builder()
-        .msisdn("+91-me")
-        .position(GeoPoint::new(28.5355, 77.3910))
-        .build();
-    device.smsc().register_address("+91-sup");
-    device
-}
-
-fn runtimes(device: &Device) -> Vec<(&'static str, Mobivine)> {
-    let android = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
-    vec![
-        (
-            "android",
-            Mobivine::for_android(android.new_context()),
-        ),
-        ("s60", Mobivine::for_s60(S60Platform::new(device.clone()))),
-        (
-            "webview",
-            Mobivine::for_webview(Arc::new(WebView::new(
-                AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15).new_context(),
-            ))),
-        ),
-    ]
-}
+use mobivine_device::GeoPoint;
 
 #[test]
 fn gps_outage_is_unavailable_on_every_platform() {
@@ -114,7 +89,14 @@ fn empty_arguments_rejected_uniformly() {
         let err = runtime
             .location()
             .unwrap()
-            .add_proximity_alert(28.5, 77.3, 0.0, 0.0, -1, Arc::new(|_: &mobivine::types::ProximityEvent| {}))
+            .add_proximity_alert(
+                28.5,
+                77.3,
+                0.0,
+                0.0,
+                -1,
+                Arc::new(|_: &mobivine::types::ProximityEvent| {}),
+            )
             .unwrap_err();
         assert_eq!(
             err.kind(),
@@ -127,11 +109,8 @@ fn empty_arguments_rejected_uniformly() {
 #[test]
 fn gps_recovery_restores_service_everywhere() {
     let device = device();
-    device
-        .gps()
-        .set_availability(GpsAvailability::OutOfService);
-    let android = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
-    let runtime = Mobivine::for_android(android.new_context());
+    device.gps().set_availability(GpsAvailability::OutOfService);
+    let runtime = android_runtime(&device);
     let location = runtime.location().unwrap();
     assert!(location.get_location().is_err());
     device.gps().set_availability(GpsAvailability::Available);
@@ -144,7 +123,9 @@ fn unknown_host_and_404_are_distinguished() {
     for (name, runtime) in runtimes(&device) {
         let http = runtime.http().unwrap();
         // Unknown host: transport error.
-        let err = http.request("GET", "http://ghost.example/", &[]).unwrap_err();
+        let err = http
+            .request("GET", "http://ghost.example/", &[])
+            .unwrap_err();
         assert_eq!(err.kind(), ProxyErrorKind::Io, "platform {name}");
         // Known host, unrouted path: an HTTP result, not an error.
         // (Install a server first.)
@@ -196,8 +177,7 @@ fn out_of_coverage_call_fails_on_android() {
     device
         .coverage()
         .add_cell(GeoPoint::new(10.0, 10.0), 1_000.0);
-    let android = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
-    let runtime = Mobivine::for_android(android.new_context());
+    let runtime = android_runtime(&device);
     let err = runtime.call().unwrap().make_a_call("+91-sup").unwrap_err();
     assert_eq!(err.kind(), ProxyErrorKind::Io);
 }
@@ -206,8 +186,7 @@ fn out_of_coverage_call_fails_on_android() {
 fn intermittent_sms_loss_with_seeded_probability() {
     let device = device();
     device.smsc().set_loss_probability(0.5);
-    let android = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
-    let runtime = Mobivine::for_android(android.new_context());
+    let runtime = android_runtime(&device);
     let sms = runtime.sms().unwrap();
     let outcomes = Arc::new(Mutex::new(Vec::new()));
     for _ in 0..40 {
@@ -230,4 +209,269 @@ fn intermittent_sms_loss_with_seeded_probability() {
         .count();
     // Seeded: both outcomes occur, roughly balanced.
     assert!(delivered > 5 && delivered < 35, "delivered {delivered}/40");
+}
+
+// ---------------------------------------------------------------------
+// FaultPlan-driven chaos: scheduled outage windows against resilient
+// runtimes. Every platform gets its own fresh device running the same
+// plan, so eventual outcomes AND attempt counts must match exactly.
+// ---------------------------------------------------------------------
+
+/// A deterministic policy whose first backoff (500–750 ms with jitter)
+/// always outlives the fault windows the chaos tests schedule.
+fn chaos_policy() -> ResiliencePolicy {
+    ResiliencePolicy::default()
+        .max_attempts(4)
+        .backoff_base_ms(500)
+        .jitter_seed(2009)
+        .deadline_ms(60_000)
+}
+
+#[test]
+fn network_partition_mid_call_is_absorbed_identically_everywhere() {
+    let mut attempt_counts = Vec::new();
+    for (name, device, runtime) in resilient_runtimes_isolated(&chaos_policy()) {
+        device.network().register_route(
+            "wfm.example",
+            mobivine_device::net::Method::Get,
+            "/tasks",
+            |_| mobivine_device::net::HttpResponse::ok("[]"),
+        );
+        // Partition opens at t=1 and heals at t=400 — before the first
+        // retry (>= 501) lands.
+        FaultPlan::new(&device).network_partition(1, 400);
+        device.advance_ms(1);
+        let http = runtime.http().unwrap();
+        let resp = http
+            .request("GET", "http://wfm.example/tasks", &[])
+            .unwrap_or_else(|e| panic!("platform {name} must recover: {e}"));
+        assert_eq!(resp.status, 200, "platform {name}");
+        let snap = runtime.resilience_metrics().unwrap().snapshot();
+        assert_eq!(snap.successes, 1, "platform {name}: 100% eventual success");
+        assert_eq!(snap.transient_failures, 1, "platform {name}");
+        attempt_counts.push((name, snap.attempts));
+    }
+    assert!(
+        attempt_counts
+            .iter()
+            .all(|(_, a)| *a == attempt_counts[0].1),
+        "attempt counts must be identical across platforms: {attempt_counts:?}"
+    );
+    assert_eq!(attempt_counts[0].1, 2, "fail once, succeed on the retry");
+}
+
+#[test]
+fn gps_flap_during_tracking_is_ridden_out_by_retries() {
+    let mut attempt_counts = Vec::new();
+    for (name, device, runtime) in resilient_runtimes_isolated(&chaos_policy()) {
+        // Two outage windows: [1, 401) and [801, 1201).
+        FaultPlan::new(&device).gps_flap(1, 400, 2);
+        device.advance_ms(1);
+        let location = runtime.location().unwrap();
+        // First read lands in the first outage; the retry (t >= 502)
+        // falls in the recovered gap.
+        let first = location
+            .get_location()
+            .unwrap_or_else(|e| panic!("platform {name} first read: {e}"));
+        // Jump into the second outage and read again.
+        device.advance_to(900);
+        let second = location
+            .get_location()
+            .unwrap_or_else(|e| panic!("platform {name} second read: {e}"));
+        assert!(second.timestamp_ms > first.timestamp_ms, "platform {name}");
+        let snap = runtime.resilience_metrics().unwrap().snapshot();
+        assert_eq!(snap.successes, 2, "platform {name}: 100% eventual success");
+        assert_eq!(
+            snap.fallback_last_known + snap.fallback_default,
+            0,
+            "platform {name}: retries alone must ride out the flap"
+        );
+        attempt_counts.push((name, snap.attempts));
+    }
+    assert!(
+        attempt_counts
+            .iter()
+            .all(|(_, a)| *a == attempt_counts[0].1),
+        "attempt counts must be identical across platforms: {attempt_counts:?}"
+    );
+    assert_eq!(attempt_counts[0].1, 4, "two reads, one retry each");
+}
+
+#[test]
+fn smsc_drop_window_notifies_listener_then_clears_uniformly() {
+    for (name, device, runtime) in resilient_runtimes_isolated(&chaos_policy()) {
+        FaultPlan::new(&device).sms_loss_window(1, 10_000, 1.0);
+        device.advance_ms(1);
+        let sms = runtime.sms().unwrap();
+        let outcomes = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&outcomes);
+        // Submission succeeds (the radio is fine); the SMSC drops the
+        // message downstream and the delivery listener must hear it.
+        sms.send_text_message(
+            "+91-sup",
+            "into the void",
+            Some(Arc::new(move |_id: u64, o: DeliveryOutcome| {
+                sink.lock().unwrap().push(o);
+            })),
+        )
+        .unwrap_or_else(|e| panic!("platform {name} submit: {e}"));
+        device.advance_ms(2_000);
+        assert_eq!(
+            outcomes.lock().unwrap().as_slice(),
+            &[DeliveryOutcome::Failed],
+            "platform {name}: drop reported through the listener"
+        );
+        // After the window closes the channel is clean again.
+        device.advance_to(10_500);
+        let sink = Arc::clone(&outcomes);
+        sms.send_text_message(
+            "+91-sup",
+            "after the storm",
+            Some(Arc::new(move |_id: u64, o: DeliveryOutcome| {
+                sink.lock().unwrap().push(o);
+            })),
+        )
+        .unwrap();
+        device.advance_ms(2_000);
+        assert_eq!(
+            outcomes.lock().unwrap().as_slice(),
+            &[DeliveryOutcome::Failed, DeliveryOutcome::Delivered],
+            "platform {name}: delivery restored after the window"
+        );
+    }
+}
+
+#[test]
+fn circuit_breaker_opens_rejects_fast_and_recovers_via_half_open_probe() {
+    let policy = chaos_policy()
+        .max_attempts(1)
+        .circuit_threshold(3)
+        .circuit_cooldown_ms(5_000);
+    let mut attempt_counts = Vec::new();
+    for (name, device, runtime) in resilient_runtimes_isolated(&policy) {
+        device.network().register_route(
+            "wfm.example",
+            mobivine_device::net::Method::Get,
+            "/tasks",
+            |_| mobivine_device::net::HttpResponse::ok("[]"),
+        );
+        device.network().set_down(true);
+        let http = runtime.http().unwrap();
+        // Three straight failures open the circuit.
+        for i in 0..3 {
+            let err = http
+                .request("GET", "http://wfm.example/tasks", &[])
+                .unwrap_err();
+            assert_eq!(err.kind(), ProxyErrorKind::Io, "platform {name} call {i}");
+        }
+        // While open: rejected fast, without touching the binding or
+        // the simulated clock.
+        let before = device.now_ms();
+        let err = http
+            .request("GET", "http://wfm.example/tasks", &[])
+            .unwrap_err();
+        assert_eq!(err.kind(), ProxyErrorKind::CircuitOpen, "platform {name}");
+        assert_eq!(
+            device.now_ms(),
+            before,
+            "platform {name}: no time spent while open"
+        );
+        let snap = runtime.resilience_metrics().unwrap().snapshot();
+        assert_eq!(
+            snap.attempts, 3,
+            "platform {name}: rejection never reached the binding"
+        );
+        assert_eq!(snap.circuit_rejections, 1, "platform {name}");
+        // Cooldown elapses while the network heals; the half-open probe
+        // closes the circuit again.
+        device.network().set_down(false);
+        device.advance_ms(5_100);
+        let resp = http
+            .request("GET", "http://wfm.example/tasks", &[])
+            .unwrap_or_else(|e| panic!("platform {name} probe: {e}"));
+        assert_eq!(resp.status, 200, "platform {name}");
+        assert!(http.request("GET", "http://wfm.example/tasks", &[]).is_ok());
+        attempt_counts.push((
+            name,
+            runtime.resilience_metrics().unwrap().snapshot().attempts,
+        ));
+    }
+    assert!(
+        attempt_counts
+            .iter()
+            .all(|(_, a)| *a == attempt_counts[0].1),
+        "attempt counts must be identical across platforms: {attempt_counts:?}"
+    );
+}
+
+#[test]
+fn random_drops_yield_the_same_resilient_trace_on_every_platform() {
+    // Seeded-probabilistic chaos: the same FaultPlan seed must produce
+    // the same outage schedule — and therefore the same retry counters —
+    // on every platform binding.
+    let policy = chaos_policy().max_attempts(6).deadline_ms(600_000);
+    let mut traces = Vec::new();
+    for (name, device, runtime) in resilient_runtimes_isolated(&policy) {
+        device.network().register_route(
+            "wfm.example",
+            mobivine_device::net::Method::Get,
+            "/tasks",
+            |_| mobivine_device::net::HttpResponse::ok("[]"),
+        );
+        FaultPlan::new(&device).random_network_drops(77, 0, 30_000, 5, 700);
+        let http = runtime.http().unwrap();
+        let mut successes = 0;
+        for call in 0..6 {
+            device.advance_to((call as u64 + 1) * 4_000);
+            if http.request("GET", "http://wfm.example/tasks", &[]).is_ok() {
+                successes += 1;
+            }
+        }
+        assert_eq!(successes, 6, "platform {name}: every call eventually lands");
+        let snap = runtime.resilience_metrics().unwrap().snapshot();
+        traces.push((name, snap.attempts, snap.retries));
+    }
+    assert!(
+        traces
+            .iter()
+            .all(|t| (t.1, t.2) == (traces[0].1, traces[0].2)),
+        "seeded chaos must replay identically: {traces:?}"
+    );
+}
+
+#[test]
+fn circuit_state_is_visible_through_the_decorator() {
+    // Direct decorator-level visibility check (registry returns trait
+    // objects, so this uses the concrete wrapper).
+    let device = device();
+    device.network().set_down(true);
+    let runtime = android_runtime(&device);
+    let inner = runtime.http().unwrap();
+    let resilient = mobivine::resilience::ResilientHttpProxy::new(
+        inner,
+        device.clone(),
+        ResiliencePolicy::default()
+            .max_attempts(1)
+            .circuit_threshold(2)
+            .circuit_cooldown_ms(1_000),
+        mobivine::resilience::ResilienceMetrics::shared(),
+    );
+    use mobivine::api::HttpProxy;
+    assert_eq!(resilient.circuit_state(), CircuitState::Closed);
+    let _ = resilient.request("GET", "http://wfm.example/", &[]);
+    let _ = resilient.request("GET", "http://wfm.example/", &[]);
+    assert_eq!(resilient.circuit_state(), CircuitState::Open);
+    device.network().set_down(false);
+    device.advance_ms(1_100);
+    // The next admission flips to half-open and the success closes it.
+    device.network().register_route(
+        "wfm.example",
+        mobivine_device::net::Method::Get,
+        "/",
+        |_| mobivine_device::net::HttpResponse::ok("up"),
+    );
+    resilient
+        .request("GET", "http://wfm.example/", &[])
+        .unwrap();
+    assert_eq!(resilient.circuit_state(), CircuitState::Closed);
 }

@@ -13,10 +13,14 @@ use mobivine_webview::WebView;
 
 fn populated_device() -> Device {
     let device = Device::builder().build();
-    device.contacts().add("Region Supervisor", &["+91-98-SUPERVISOR"], &[]);
     device
         .contacts()
-        .add("Dispatcher Desk", &["+91-11-5550100"], &["desk@wfm.example"]);
+        .add("Region Supervisor", &["+91-98-SUPERVISOR"], &[]);
+    device.contacts().add(
+        "Dispatcher Desk",
+        &["+91-11-5550100"],
+        &["desk@wfm.example"],
+    );
     device
         .calendar()
         .add("Morning shift", 0, 4 * 3_600_000, "Depot 4")

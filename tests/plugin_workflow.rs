@@ -12,7 +12,7 @@ use mobivine_mplugin::packaging::{
 };
 use mobivine_proxydl::catalog::standard_catalog;
 use mobivine_proxydl::PlatformId;
-use mobivine_s60::packaging::{Jar, JadDescriptor};
+use mobivine_s60::packaging::{JadDescriptor, Jar};
 
 #[test]
 fn full_s60_workflow_drawer_to_deployable_suite() {
@@ -59,7 +59,9 @@ fn full_s60_workflow_drawer_to_deployable_suite() {
     )
     .unwrap();
     suite.validate().unwrap();
-    assert!(suite.jar.contains("com/ibm/S60/location/LocationProxy.class"));
+    assert!(suite
+        .jar
+        .contains("com/ibm/S60/location/LocationProxy.class"));
     assert_eq!(suite.jad.jar_size, suite.jar.byte_size());
 }
 
@@ -95,18 +97,21 @@ fn full_webview_workflow() {
     assert!(drawer.find_item("SMS", "sendTextMessage").is_some());
 
     let descriptor = catalog.iter().find(|d| d.name == "SMS").unwrap();
-    let mut dialog = ConfigurationDialog::for_api(
-        descriptor,
-        PlatformId::AndroidWebView,
-        "sendTextMessage",
-    )
-    .unwrap();
-    dialog.set_variable("destination", "+91-98-SUPERVISOR").unwrap();
+    let mut dialog =
+        ConfigurationDialog::for_api(descriptor, PlatformId::AndroidWebView, "sendTextMessage")
+            .unwrap();
+    dialog
+        .set_variable("destination", "+91-98-SUPERVISOR")
+        .unwrap();
     dialog.set_variable("text", "on my way").unwrap();
-    dialog.set_variable("deliveryListener", "onDelivery").unwrap();
+    dialog
+        .set_variable("deliveryListener", "onDelivery")
+        .unwrap();
     let source = dialog.source_preview().unwrap();
     assert!(source.contains("var sms = new SmsProxyImpl();"));
-    assert!(source.contains("sms.sendTextMessage(\"+91-98-SUPERVISOR\", \"on my way\", onDelivery);"));
+    assert!(
+        source.contains("sms.sendTextMessage(\"+91-98-SUPERVISOR\", \"on my way\", onDelivery);")
+    );
 
     let mut project = WebViewProject {
         name: "wfm-web".into(),
@@ -127,7 +132,9 @@ fn semantic_allowed_values_constrain_dialog_variables() {
         ConfigurationDialog::for_api(descriptor, PlatformId::NokiaS60, "request").unwrap();
     dialog.set_variable("method", "GET").unwrap();
     assert!(dialog.set_variable("method", "BREW").is_err());
-    dialog.set_variable("url", "http://wfm.example/tasks").unwrap();
+    dialog
+        .set_variable("url", "http://wfm.example/tasks")
+        .unwrap();
     dialog.set_variable("body", "").unwrap();
     let source = dialog.source_preview().unwrap();
     assert!(source.contains("http.request(\"GET\", \"http://wfm.example/tasks\""));
@@ -141,8 +148,7 @@ fn android_proximity_snippet_matches_figure8_shape() {
     let catalog = standard_catalog();
     let descriptor = catalog.iter().find(|d| d.name == "Location").unwrap();
     let mut dialog =
-        ConfigurationDialog::for_api(descriptor, PlatformId::Android, "addProximityAlert")
-            .unwrap();
+        ConfigurationDialog::for_api(descriptor, PlatformId::Android, "addProximityAlert").unwrap();
     for (name, value) in [
         ("latitude", "28.5355"),
         ("longitude", "77.3910"),
@@ -179,10 +185,8 @@ fn manifests_derive_per_platform_from_one_catalog() {
         PlatformId::AndroidWebView,
     ] {
         let drawer = ProxyDrawer::from_catalog(&catalog, platform.clone());
-        let manifest = PluginManifest::from_drawer(
-            &format!("com.ibm.mobivine.{}", platform.id()),
-            &drawer,
-        );
+        let manifest =
+            PluginManifest::from_drawer(&format!("com.ibm.mobivine.{}", platform.id()), &drawer);
         let text = manifest.render();
         let back = PluginManifest::parse(&text).unwrap();
         assert_eq!(back, manifest, "round trip for {}", platform.id());

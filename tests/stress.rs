@@ -26,10 +26,7 @@ fn fifty_proximity_alerts_fire_exactly_the_right_subset() {
     let start = HOME.destination(270.0, 1_100.0);
     let device = Device::builder()
         .position(start)
-        .movement(MovementModel::waypoints(
-            vec![start, HOME, start],
-            25.0,
-        ))
+        .movement(MovementModel::waypoints(vec![start, HOME, start], 25.0))
         .build();
     device.gps().set_noise_enabled(false);
     let platform = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
@@ -64,11 +61,7 @@ fn fifty_proximity_alerts_fire_exactly_the_right_subset() {
     // Full out-and-back: 2200 m at 25 m/s = 88 s.
     device.advance_ms(120_000);
     for (i, pair) in counts.iter().enumerate() {
-        assert_eq!(
-            pair.0.load(Ordering::SeqCst),
-            1,
-            "region {i} enter count"
-        );
+        assert_eq!(pair.0.load(Ordering::SeqCst), 1, "region {i} enter count");
         assert_eq!(pair.1.load(Ordering::SeqCst), 1, "region {i} exit count");
     }
 }
@@ -102,10 +95,16 @@ fn removed_alerts_leave_no_residual_event_load() {
     let runtime = Mobivine::for_android(platform.new_context());
     let location = runtime.location().unwrap();
     for _ in 0..30 {
-        let listener: mobivine::types::SharedProximityListener =
-            Arc::new(|_: &ProximityEvent| {});
+        let listener: mobivine::types::SharedProximityListener = Arc::new(|_: &ProximityEvent| {});
         location
-            .add_proximity_alert(HOME.latitude, HOME.longitude, 0.0, 50.0, -1, Arc::clone(&listener))
+            .add_proximity_alert(
+                HOME.latitude,
+                HOME.longitude,
+                0.0,
+                50.0,
+                -1,
+                Arc::clone(&listener),
+            )
             .unwrap();
         assert!(location.remove_proximity_alert(&listener).unwrap());
     }
@@ -170,7 +169,12 @@ fn s60_emulation_survives_long_runs_with_many_cycles() {
     // Loop period 40 s, one enter+exit per lap => ~45 laps in 30 min.
     assert!(events.len() >= 80, "saw only {} events", events.len());
     for pair in events.windows(2) {
-        assert_ne!(pair[0], pair[1], "strict alternation over {} events", events.len());
+        assert_ne!(
+            pair[0],
+            pair[1],
+            "strict alternation over {} events",
+            events.len()
+        );
     }
 }
 
@@ -183,8 +187,12 @@ fn many_calls_in_flight_keep_independent_state() {
     let platform = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
     let runtime = Mobivine::for_android(platform.new_context());
     let call = runtime.call().unwrap();
-    let ok_ids: Vec<u64> = (0..20).map(|_| call.make_a_call("+fine").unwrap()).collect();
-    let busy_ids: Vec<u64> = (0..20).map(|_| call.make_a_call("+busy").unwrap()).collect();
+    let ok_ids: Vec<u64> = (0..20)
+        .map(|_| call.make_a_call("+fine").unwrap())
+        .collect();
+    let busy_ids: Vec<u64> = (0..20)
+        .map(|_| call.make_a_call("+busy").unwrap())
+        .collect();
     device.advance_ms(30_000);
     for id in ok_ids {
         assert_eq!(

@@ -3,9 +3,13 @@
 //! same scenario — and the proxy variants must produce **identical
 //! event logs** across platforms.
 
+mod common;
+
 use std::sync::Arc;
 
+use common::{android_runtime, s60_runtime, webview_runtime};
 use mobivine::registry::Mobivine;
+use mobivine::resilience::ResiliencePolicy;
 use mobivine_android::activity::ActivityHost;
 use mobivine_android::{AndroidPlatform, SdkVersion};
 use mobivine_apps::logic::AppEvents;
@@ -14,6 +18,7 @@ use mobivine_apps::native_s60::NativeS60App;
 use mobivine_apps::native_webview::NativeWebViewApp;
 use mobivine_apps::proxy_app::ProxyWorkforceApp;
 use mobivine_apps::scenario::{Scenario, ScenarioOutcome};
+use mobivine_device::fault::FaultPlan;
 use mobivine_s60::midlet::MidletHost;
 use mobivine_s60::S60Platform;
 use mobivine_webview::WebView;
@@ -32,16 +37,9 @@ fn run_proxy_variant(make: impl FnOnce(&Scenario) -> Mobivine) -> (ScenarioOutco
 
 #[test]
 fn proxy_variant_outcomes_and_event_logs_identical_across_platforms() {
-    let (android_outcome, android_log) = run_proxy_variant(|s| {
-        let platform = AndroidPlatform::new(s.device.clone(), SdkVersion::M5Rc15);
-        Mobivine::for_android(platform.new_context())
-    });
-    let (s60_outcome, s60_log) =
-        run_proxy_variant(|s| Mobivine::for_s60(S60Platform::new(s.device.clone())));
-    let (webview_outcome, webview_log) = run_proxy_variant(|s| {
-        let platform = AndroidPlatform::new(s.device.clone(), SdkVersion::M5Rc15);
-        Mobivine::for_webview(Arc::new(WebView::new(platform.new_context())))
-    });
+    let (android_outcome, android_log) = run_proxy_variant(|s| android_runtime(&s.device));
+    let (s60_outcome, s60_log) = run_proxy_variant(|s| s60_runtime(&s.device));
+    let (webview_outcome, webview_log) = run_proxy_variant(|s| webview_runtime(&s.device));
 
     let expected = ScenarioOutcome::expected_two_site();
     assert_eq!(android_outcome, expected);
@@ -147,6 +145,52 @@ fn proxy_and_native_agree_on_server_side_artifacts() {
 }
 
 #[test]
+fn resilient_proxy_variant_rides_out_a_startup_partition() {
+    // The backhaul is partitioned exactly when the app boots and
+    // fetches its task list. With the runtime's resilience layer on,
+    // the startup fetch retries across the outage on the simulated
+    // clock and the patrol then completes with the standard outcome —
+    // the application code is unchanged.
+    for (name, make) in [
+        (
+            "android",
+            android_runtime as fn(&mobivine_device::Device) -> Mobivine,
+        ),
+        ("s60", s60_runtime),
+        ("webview", webview_runtime),
+    ] {
+        let scenario = Scenario::two_site_patrol(5);
+        let runtime = make(&scenario.device).with_resilience(
+            ResiliencePolicy::default()
+                .backoff_base_ms(500)
+                .jitter_seed(9),
+        );
+        let metrics = runtime.resilience_metrics().unwrap();
+        FaultPlan::new(&scenario.device).network_partition(1, 400);
+        scenario.device.advance_ms(1);
+        let events = AppEvents::new();
+        let mut app =
+            ProxyWorkforceApp::new(runtime, scenario.config.clone(), Arc::clone(&events)).unwrap();
+        app.start().unwrap_or_else(|e| {
+            panic!("platform {name}: resilient fetch must ride out the partition: {e}")
+        });
+        scenario.device.advance_ms(scenario.patrol_duration_ms());
+        scenario.device.advance_ms(1_000);
+        assert_eq!(
+            ScenarioOutcome::collect(&scenario),
+            ScenarioOutcome::expected_two_site(),
+            "platform {name}"
+        );
+        let snap = metrics.snapshot();
+        assert!(
+            snap.retries >= 1,
+            "platform {name}: startup fetch retried ({snap})"
+        );
+        assert_eq!(snap.fatal_failures, 0, "platform {name}");
+    }
+}
+
+#[test]
 fn agent_track_is_reported_through_the_http_proxy() {
     // Exercise the tracking route with the HTTP proxy directly — the
     // "Agent Tracking" server feature of Fig. 1.
@@ -160,7 +204,11 @@ fn agent_track_is_reported_through_the_http_proxy() {
         let fix = location.get_location().unwrap();
         let body = serde_json_body(&scenario.config.agent_id, &fix);
         let resp = http
-            .request("POST", "http://wfm.example/report-location", body.as_bytes())
+            .request(
+                "POST",
+                "http://wfm.example/report-location",
+                body.as_bytes(),
+            )
             .unwrap();
         assert!(resp.is_success());
     }
