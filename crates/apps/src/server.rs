@@ -11,8 +11,20 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use mobivine_device::net::{HttpResponse, Method, SimNetwork};
+use mobivine_telemetry::MetricsRegistry;
 
 use crate::model::{ActivityEntry, Task};
+
+/// Installs a Prometheus-style `GET /metrics` route on `network` under
+/// `host`, rendering `registry` in text exposition format at request
+/// time. Pair it with the device registry
+/// (`device.metrics()`) or a runtime's telemetry registry so scrapes
+/// observe live counters.
+pub fn install_metrics_route(network: &SimNetwork, host: &str, registry: Arc<MetricsRegistry>) {
+    network.register_route(host, Method::Get, "/metrics", move |_req| {
+        HttpResponse::ok(registry.render_prometheus())
+    });
+}
 
 /// A recorded agent position.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -123,7 +135,10 @@ impl WfmServer {
                         .filter(|(a, t)| *a == agent_id && !state.completed.contains(&(*a, t.id)))
                         .map(|(_, t)| t)
                         .collect();
-                    HttpResponse::ok(serde_json::to_vec(&tasks).expect("tasks serialize"))
+                    match serde_json::to_vec(&tasks) {
+                        Ok(body) => HttpResponse::ok(body),
+                        Err(_) => HttpResponse::status_only(500),
+                    }
                 }
                 None => HttpResponse::status_only(400),
             }
@@ -247,6 +262,33 @@ mod tests {
         let (resp, _) = device.network().execute(&req).unwrap();
         assert_eq!(resp.status, 400);
         assert!(server.activity_log().is_empty());
+    }
+
+    #[test]
+    fn metrics_route_serves_prometheus_text() {
+        let device = Device::builder().build();
+        install_metrics_route(
+            device.network(),
+            "wfm.example",
+            Arc::clone(device.metrics()),
+        );
+        // Generate some device traffic so counters are non-zero.
+        device
+            .network()
+            .register_route("wfm.example", Method::Get, "/ping", |_| {
+                HttpResponse::ok("pong")
+            });
+        let ping = HttpRequest::get("http://wfm.example/ping").unwrap();
+        device.network().execute(&ping).unwrap();
+
+        let req = HttpRequest::get("http://wfm.example/metrics").unwrap();
+        let (resp, _) = device.network().execute(&req).unwrap();
+        assert_eq!(resp.status, 200);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(
+            text.contains("device_net_requests_total"),
+            "exposition missing net counter:\n{text}"
+        );
     }
 
     #[test]

@@ -1,20 +1,27 @@
 //! Regenerates the paper's Figure 10 at paper scale.
 //!
 //! Usage: `cargo run -p mobivine-bench --bin figure10 [--runs N]
-//! [--scale paper|bench|zero]`
+//! [--scale paper|bench|zero] [--json [PATH]] [--check PATH]`
 //!
 //! Native API costs are calibrated to the paper's handset measurements;
 //! the proxy overhead on top is real measured Rust. The paper's values
-//! are printed alongside each measured pair.
+//! are printed alongside each measured pair. `--json` replaces the
+//! human-readable tables with a machine-readable summary (schema
+//! `mobivine.figure10.v1`) on stdout, or at `PATH` when one follows the
+//! flag; `--check PATH` validates an existing summary file instead of
+//! measuring anything.
 
 use mobivine_bench::figure10::{
-    render_resilience_table, render_table, run_figure10, run_resilience_overhead, Scale,
+    render_resilience_table, render_table, render_telemetry_table, run_figure10,
+    run_resilience_overhead, run_telemetry_overhead, Scale,
 };
+use mobivine_bench::summary::{summary_json, validate_summary_json};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut runs: u32 = 10; // the paper averages ten executions
     let mut scale = Scale::Paper;
+    let mut json_out: Option<Option<String>> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -30,6 +37,46 @@ fn main() {
                 };
                 i += 2;
             }
+            "--json" => {
+                // An optional path may follow; a bare `--json` (or one
+                // followed by another flag) writes to stdout.
+                match args.get(i + 1) {
+                    Some(path) if !path.starts_with("--") => {
+                        json_out = Some(Some(path.clone()));
+                        i += 2;
+                    }
+                    _ => {
+                        json_out = Some(None);
+                        i += 1;
+                    }
+                }
+            }
+            "--check" => {
+                let Some(path) = args.get(i + 1) else {
+                    eprintln!("--check requires a file path");
+                    std::process::exit(2);
+                };
+                let text = match std::fs::read_to_string(path) {
+                    Ok(text) => text,
+                    Err(e) => {
+                        eprintln!("cannot read {path}: {e}");
+                        std::process::exit(1);
+                    }
+                };
+                match validate_summary_json(&text) {
+                    Ok(check) => {
+                        println!(
+                            "{path}: valid ({} figure10 rows, {} resilience rows, {} telemetry rows)",
+                            check.figure10_rows, check.resilience_rows, check.telemetry_rows
+                        );
+                        std::process::exit(0);
+                    }
+                    Err(e) => {
+                        eprintln!("{path}: invalid summary: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
@@ -39,6 +86,30 @@ fn main() {
 
     eprintln!("running figure 10 at {scale:?} scale, {runs} executions per API ...");
     let rows = run_figure10(scale, runs);
+    let resilience_rows = run_resilience_overhead(scale, runs);
+    let telemetry_rows = run_telemetry_overhead(scale, runs);
+
+    if let Some(target) = json_out {
+        let json = summary_json(
+            scale.as_str(),
+            runs,
+            &rows,
+            &resilience_rows,
+            &telemetry_rows,
+        );
+        match target {
+            Some(path) => {
+                if let Err(e) = std::fs::write(&path, &json) {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!("wrote summary to {path}");
+            }
+            None => println!("{json}"),
+        }
+        return;
+    }
+
     print!("{}", render_table(&rows));
 
     let max_overhead = rows
@@ -54,8 +125,10 @@ fn main() {
     );
 
     println!();
-    let resilience_rows = run_resilience_overhead(scale, runs);
     print!("{}", render_resilience_table(&resilience_rows));
+
+    println!();
+    print!("{}", render_telemetry_table(&telemetry_rows));
 }
 
 trait Figure10RowExt {

@@ -10,6 +10,7 @@ use std::fmt;
 use std::time::Instant;
 
 use mobivine_device::latency::LatencyModel;
+use mobivine_telemetry::Histogram;
 
 use crate::harness::{AndroidFixture, S60Fixture, WebViewFixture};
 
@@ -26,6 +27,15 @@ pub enum Scale {
 }
 
 impl Scale {
+    /// Stable machine-readable name, as stamped into the JSON summary.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Scale::Paper => "paper",
+            Scale::Bench => "bench",
+            Scale::ZeroCost => "zero",
+        }
+    }
+
     fn android(&self) -> LatencyModel {
         match self {
             Scale::Paper => LatencyModel::paper_android(),
@@ -51,6 +61,36 @@ impl Scale {
     }
 }
 
+/// Latency distribution of one measured call path, derived from a
+/// log-bucketed telemetry [`Histogram`] of per-call wall-clock
+/// microseconds (the paper reports means; the histogram additionally
+/// yields tail quantiles).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyStats {
+    /// Arithmetic mean per call, ms.
+    pub mean_ms: f64,
+    /// Median per-call time, ms.
+    pub p50_ms: f64,
+    /// 95th-percentile per-call time, ms.
+    pub p95_ms: f64,
+    /// 99th-percentile per-call time, ms.
+    pub p99_ms: f64,
+}
+
+impl LatencyStats {
+    /// Derives the table entries from a histogram of microsecond
+    /// samples.
+    pub fn from_histogram_us(histogram: &Histogram) -> Self {
+        const US_PER_MS: f64 = 1000.0;
+        Self {
+            mean_ms: histogram.mean() / US_PER_MS,
+            p50_ms: histogram.quantile(0.5) / US_PER_MS,
+            p95_ms: histogram.quantile(0.95) / US_PER_MS,
+            p99_ms: histogram.quantile(0.99) / US_PER_MS,
+        }
+    }
+}
+
 /// One bar pair of Figure 10.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Figure10Row {
@@ -64,6 +104,10 @@ pub struct Figure10Row {
     pub with_proxy_ms: f64,
     /// The paper's reported values `(without, with)` for comparison.
     pub paper_ms: (f64, f64),
+    /// Full latency distribution of the native path.
+    pub without_stats: LatencyStats,
+    /// Full latency distribution of the proxied path.
+    pub with_stats: LatencyStats,
 }
 
 impl Figure10Row {
@@ -92,15 +136,24 @@ impl fmt::Display for Figure10Row {
     }
 }
 
-/// Times `f` over `runs` executions and returns the mean per-call time
-/// in milliseconds — "for each API we took an average of ten
-/// executions".
-pub fn mean_ms<F: FnMut()>(runs: u32, mut f: F) -> f64 {
-    let start = Instant::now();
+/// Times `f` over `runs` executions, recording each call's wall-clock
+/// duration in microseconds into a telemetry [`Histogram`], and derives
+/// the latency table from it — mean (the paper's "average of ten
+/// executions") plus p50/p95/p99 tails.
+pub fn measure<F: FnMut()>(runs: u32, mut f: F) -> LatencyStats {
+    let histogram = Histogram::new();
     for _ in 0..runs {
+        let start = Instant::now();
         f();
+        histogram.record(start.elapsed().as_micros() as u64);
     }
-    start.elapsed().as_secs_f64() * 1000.0 / runs as f64
+    LatencyStats::from_histogram_us(&histogram)
+}
+
+/// Mean per-call time in milliseconds over `runs` executions — a thin
+/// wrapper over [`measure`] for call sites that only need the mean.
+pub fn mean_ms<F: FnMut()>(runs: u32, f: F) -> f64 {
+    measure(runs, f).mean_ms
 }
 
 /// The paper's Figure 10 values, `(platform, api, without, with)`.
@@ -124,79 +177,101 @@ fn paper_pair(platform: &str, api: &str) -> (f64, f64) {
         .expect("paper table covers all nine pairs")
 }
 
+/// Measures one bar pair: both paths go through [`measure`], so the
+/// printed means and the JSON quantiles come from the same histograms.
+fn measure_row<W: FnMut(), P: FnMut()>(
+    platform: &'static str,
+    api: &'static str,
+    runs: u32,
+    without_f: W,
+    with_f: P,
+) -> Figure10Row {
+    let without_stats = measure(runs, without_f);
+    let with_stats = measure(runs, with_f);
+    Figure10Row {
+        platform,
+        api,
+        without_proxy_ms: without_stats.mean_ms,
+        with_proxy_ms: with_stats.mean_ms,
+        paper_ms: paper_pair(platform, api),
+        without_stats,
+        with_stats,
+    }
+}
+
 /// Runs the full Figure 10 measurement: nine (platform, API) pairs,
 /// each averaged over `runs` executions, at the given scale.
 pub fn run_figure10(scale: Scale, runs: u32) -> Vec<Figure10Row> {
     let mut rows = Vec::with_capacity(9);
 
     let android = AndroidFixture::new(scale.android());
-    rows.push(Figure10Row {
-        platform: "Android",
-        api: "addProximityAlert",
-        without_proxy_ms: mean_ms(runs, || android.native_add_proximity_alert()),
-        with_proxy_ms: mean_ms(runs, || android.proxy_add_proximity_alert()),
-        paper_ms: paper_pair("Android", "addProximityAlert"),
-    });
-    rows.push(Figure10Row {
-        platform: "Android",
-        api: "getLocation",
-        without_proxy_ms: mean_ms(runs, || android.native_get_location()),
-        with_proxy_ms: mean_ms(runs, || android.proxy_get_location()),
-        paper_ms: paper_pair("Android", "getLocation"),
-    });
-    rows.push(Figure10Row {
-        platform: "Android",
-        api: "sendSMS",
-        without_proxy_ms: mean_ms(runs, || android.native_send_sms()),
-        with_proxy_ms: mean_ms(runs, || android.proxy_send_sms()),
-        paper_ms: paper_pair("Android", "sendSMS"),
-    });
+    rows.push(measure_row(
+        "Android",
+        "addProximityAlert",
+        runs,
+        || android.native_add_proximity_alert(),
+        || android.proxy_add_proximity_alert(),
+    ));
+    rows.push(measure_row(
+        "Android",
+        "getLocation",
+        runs,
+        || android.native_get_location(),
+        || android.proxy_get_location(),
+    ));
+    rows.push(measure_row(
+        "Android",
+        "sendSMS",
+        runs,
+        || android.native_send_sms(),
+        || android.proxy_send_sms(),
+    ));
 
     let webview = WebViewFixture::new(scale.webview());
-    rows.push(Figure10Row {
-        platform: "Android WebView",
-        api: "addProximityAlert",
-        without_proxy_ms: mean_ms(runs, || webview.native_add_proximity_alert()),
-        with_proxy_ms: mean_ms(runs, || webview.proxy_add_proximity_alert()),
-        paper_ms: paper_pair("Android WebView", "addProximityAlert"),
-    });
-    rows.push(Figure10Row {
-        platform: "Android WebView",
-        api: "getLocation",
-        without_proxy_ms: mean_ms(runs, || webview.native_get_location()),
-        with_proxy_ms: mean_ms(runs, || webview.proxy_get_location()),
-        paper_ms: paper_pair("Android WebView", "getLocation"),
-    });
-    rows.push(Figure10Row {
-        platform: "Android WebView",
-        api: "sendSMS",
-        without_proxy_ms: mean_ms(runs, || webview.native_send_sms()),
-        with_proxy_ms: mean_ms(runs, || webview.proxy_send_sms()),
-        paper_ms: paper_pair("Android WebView", "sendSMS"),
-    });
+    rows.push(measure_row(
+        "Android WebView",
+        "addProximityAlert",
+        runs,
+        || webview.native_add_proximity_alert(),
+        || webview.proxy_add_proximity_alert(),
+    ));
+    rows.push(measure_row(
+        "Android WebView",
+        "getLocation",
+        runs,
+        || webview.native_get_location(),
+        || webview.proxy_get_location(),
+    ));
+    rows.push(measure_row(
+        "Android WebView",
+        "sendSMS",
+        runs,
+        || webview.native_send_sms(),
+        || webview.proxy_send_sms(),
+    ));
 
     let s60 = S60Fixture::new(scale.s60());
-    rows.push(Figure10Row {
-        platform: "Nokia S60",
-        api: "addProximityAlert",
-        without_proxy_ms: mean_ms(runs, || s60.native_add_proximity_alert()),
-        with_proxy_ms: mean_ms(runs, || s60.proxy_add_proximity_alert()),
-        paper_ms: paper_pair("Nokia S60", "addProximityAlert"),
-    });
-    rows.push(Figure10Row {
-        platform: "Nokia S60",
-        api: "getLocation",
-        without_proxy_ms: mean_ms(runs, || s60.native_get_location()),
-        with_proxy_ms: mean_ms(runs, || s60.proxy_get_location()),
-        paper_ms: paper_pair("Nokia S60", "getLocation"),
-    });
-    rows.push(Figure10Row {
-        platform: "Nokia S60",
-        api: "sendSMS",
-        without_proxy_ms: mean_ms(runs, || s60.native_send_sms()),
-        with_proxy_ms: mean_ms(runs, || s60.proxy_send_sms()),
-        paper_ms: paper_pair("Nokia S60", "sendSMS"),
-    });
+    rows.push(measure_row(
+        "Nokia S60",
+        "addProximityAlert",
+        runs,
+        || s60.native_add_proximity_alert(),
+        || s60.proxy_add_proximity_alert(),
+    ));
+    rows.push(measure_row(
+        "Nokia S60",
+        "getLocation",
+        runs,
+        || s60.native_get_location(),
+        || s60.proxy_get_location(),
+    ));
+    rows.push(measure_row(
+        "Nokia S60",
+        "sendSMS",
+        runs,
+        || s60.native_send_sms(),
+        || s60.proxy_send_sms(),
+    ));
 
     rows
 }
@@ -254,6 +329,82 @@ pub fn run_resilience_overhead(scale: Scale, runs: u32) -> Vec<ResilienceOverhea
             resilient_ms: mean_ms(runs, || s60.resilient_get_location()),
         },
     ]
+}
+
+/// One row of the telemetry-overhead ablation: `getLocation` through
+/// the plain proxy vs. through the proxy with the telemetry runtime
+/// attached (spans at every plane, counters and a latency histogram
+/// per call).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetryOverheadRow {
+    /// Platform label, as the figure prints it.
+    pub platform: &'static str,
+    /// Mean uninstrumented proxy invocation time, ms.
+    pub bare_ms: f64,
+    /// Mean instrumented proxy invocation time, ms.
+    pub instrumented_ms: f64,
+}
+
+impl TelemetryOverheadRow {
+    /// Relative cost of the instrumentation.
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.bare_ms <= 0.0 {
+            return 0.0;
+        }
+        (self.instrumented_ms - self.bare_ms) / self.bare_ms
+    }
+}
+
+impl fmt::Display for TelemetryOverheadRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<16} {:>10.3} {:>13.3}",
+            self.platform, self.bare_ms, self.instrumented_ms,
+        )
+    }
+}
+
+/// Measures the telemetry-layer overhead: `getLocation` through the
+/// plain proxy vs. the instrumented proxy on each platform, averaged
+/// over `runs` executions.
+pub fn run_telemetry_overhead(scale: Scale, runs: u32) -> Vec<TelemetryOverheadRow> {
+    let android = AndroidFixture::new(scale.android());
+    let webview = WebViewFixture::new(scale.webview());
+    let s60 = S60Fixture::new(scale.s60());
+    vec![
+        TelemetryOverheadRow {
+            platform: "Android",
+            bare_ms: mean_ms(runs, || android.proxy_get_location()),
+            instrumented_ms: mean_ms(runs, || android.instrumented_get_location()),
+        },
+        TelemetryOverheadRow {
+            platform: "Android WebView",
+            bare_ms: mean_ms(runs, || webview.proxy_get_location()),
+            instrumented_ms: mean_ms(runs, || webview.instrumented_get_location()),
+        },
+        TelemetryOverheadRow {
+            platform: "Nokia S60",
+            bare_ms: mean_ms(runs, || s60.proxy_get_location()),
+            instrumented_ms: mean_ms(runs, || s60.instrumented_get_location()),
+        },
+    ]
+}
+
+/// Renders the telemetry-overhead table the `figure10` binary prints
+/// below the resilience table.
+pub fn render_telemetry_table(rows: &[TelemetryOverheadRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Telemetry overhead — getLocation, proxy path, spans + metrics per call\n");
+    out.push_str(&format!(
+        "{:<16} {:>10} {:>13}\n",
+        "Platform", "proxy", "proxy+spans"
+    ));
+    for row in rows {
+        out.push_str(&row.to_string());
+        out.push('\n');
+    }
+    out
 }
 
 /// Renders the resilience-overhead table the `figure10` binary prints
@@ -359,6 +510,55 @@ mod tests {
         let rows = run_resilience_overhead(Scale::ZeroCost, 1);
         let table = render_resilience_table(&rows);
         assert!(table.contains("proxy+retry"));
+        assert!(table.contains("Android WebView"));
+        assert!(table.contains("Nokia S60"));
+        assert_eq!(table.lines().count(), 2 + 3);
+    }
+
+    #[test]
+    fn measure_derives_ordered_quantiles_from_the_histogram() {
+        let stats = measure(50, || {
+            std::hint::black_box(0u64);
+        });
+        assert!(stats.p50_ms <= stats.p95_ms, "{stats:?}");
+        assert!(stats.p95_ms <= stats.p99_ms, "{stats:?}");
+        assert!(stats.mean_ms >= 0.0);
+    }
+
+    #[test]
+    fn figure10_rows_carry_distribution_stats() {
+        let rows = run_figure10(Scale::ZeroCost, 3);
+        for row in &rows {
+            assert!(
+                (row.with_proxy_ms - row.with_stats.mean_ms).abs() < 1e-9,
+                "table mean and histogram mean are the same number"
+            );
+            assert!(row.with_stats.p50_ms <= row.with_stats.p99_ms);
+        }
+    }
+
+    #[test]
+    fn telemetry_overhead_is_bounded_in_absolute_terms() {
+        // With native costs zeroed, the instrumented path is pure span
+        // + metric bookkeeping on top of the bare proxy path — it must
+        // stay well under a millisecond per call on any host.
+        let rows = run_telemetry_overhead(Scale::ZeroCost, 5);
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert!(
+                row.instrumented_ms < 5.0,
+                "{} instrumented path took {} ms",
+                row.platform,
+                row.instrumented_ms
+            );
+        }
+    }
+
+    #[test]
+    fn render_telemetry_table_has_one_row_per_platform() {
+        let rows = run_telemetry_overhead(Scale::ZeroCost, 1);
+        let table = render_telemetry_table(&rows);
+        assert!(table.contains("proxy+spans"));
         assert!(table.contains("Android WebView"));
         assert!(table.contains("Nokia S60"));
         assert_eq!(table.lines().count(), 2 + 3);

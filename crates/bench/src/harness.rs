@@ -61,6 +61,7 @@ pub struct AndroidFixture {
     location_proxy: Arc<dyn LocationProxy>,
     sms_proxy: Arc<dyn SmsProxy>,
     resilient_location_proxy: Arc<dyn LocationProxy>,
+    instrumented_location_proxy: Arc<dyn LocationProxy>,
 }
 
 impl AndroidFixture {
@@ -72,6 +73,7 @@ impl AndroidFixture {
         let runtime = Mobivine::for_android(ctx.clone());
         let resilient =
             Mobivine::for_android(ctx.clone()).with_resilience(ResiliencePolicy::default());
+        let instrumented = Mobivine::for_android(ctx.clone()).with_telemetry();
         Self {
             device,
             ctx,
@@ -80,6 +82,9 @@ impl AndroidFixture {
             resilient_location_proxy: resilient
                 .location()
                 .expect("android resilient location proxy"),
+            instrumented_location_proxy: instrumented
+                .location()
+                .expect("android instrumented location proxy"),
         }
     }
 
@@ -151,6 +156,15 @@ impl AndroidFixture {
             .get_location()
             .expect("resilient location succeeds");
     }
+
+    /// Proxy `getLocation` with the telemetry runtime attached — every
+    /// call records spans at each plane plus counters and a latency
+    /// histogram, pricing the instrumentation itself.
+    pub fn instrumented_get_location(&self) {
+        self.instrumented_location_proxy
+            .get_location()
+            .expect("instrumented location succeeds");
+    }
 }
 
 /// S60 fixture.
@@ -162,6 +176,7 @@ pub struct S60Fixture {
     location_proxy: Arc<dyn LocationProxy>,
     sms_proxy: Arc<dyn SmsProxy>,
     resilient_location_proxy: Arc<dyn LocationProxy>,
+    instrumented_location_proxy: Arc<dyn LocationProxy>,
 }
 
 impl S60Fixture {
@@ -174,6 +189,7 @@ impl S60Fixture {
         let runtime = Mobivine::for_s60(platform.clone());
         let resilient =
             Mobivine::for_s60(platform.clone()).with_resilience(ResiliencePolicy::default());
+        let instrumented = Mobivine::for_s60(platform.clone()).with_telemetry();
         Self {
             device,
             platform,
@@ -181,6 +197,9 @@ impl S60Fixture {
             location_proxy: runtime.location().expect("s60 location proxy"),
             sms_proxy: runtime.sms().expect("s60 sms proxy"),
             resilient_location_proxy: resilient.location().expect("s60 resilient location proxy"),
+            instrumented_location_proxy: instrumented
+                .location()
+                .expect("s60 instrumented location proxy"),
         }
     }
 
@@ -256,6 +275,13 @@ impl S60Fixture {
             .get_location()
             .expect("resilient location succeeds");
     }
+
+    /// Proxy `getLocation` with the telemetry runtime attached.
+    pub fn instrumented_get_location(&self) {
+        self.instrumented_location_proxy
+            .get_location()
+            .expect("instrumented location succeeds");
+    }
 }
 
 /// A minimal hand-rolled bridge, the "without proxy" WebView baseline:
@@ -319,6 +345,7 @@ pub struct WebViewFixture {
     location_proxy: Arc<dyn LocationProxy>,
     sms_proxy: Arc<dyn SmsProxy>,
     resilient_location_proxy: Arc<dyn LocationProxy>,
+    instrumented_location_proxy: Arc<dyn LocationProxy>,
 }
 
 impl WebViewFixture {
@@ -336,6 +363,7 @@ impl WebViewFixture {
         let runtime = Mobivine::for_webview(Arc::clone(&webview));
         let resilient = Mobivine::for_webview(Arc::clone(&webview))
             .with_resilience(ResiliencePolicy::default());
+        let instrumented = Mobivine::for_webview(Arc::clone(&webview)).with_telemetry();
         Self {
             device,
             webview: Arc::clone(&webview),
@@ -344,6 +372,9 @@ impl WebViewFixture {
             resilient_location_proxy: resilient
                 .location()
                 .expect("webview resilient location proxy"),
+            instrumented_location_proxy: instrumented
+                .location()
+                .expect("webview instrumented location proxy"),
         }
     }
 
@@ -418,6 +449,15 @@ impl WebViewFixture {
             .get_location()
             .expect("resilient location succeeds");
     }
+
+    /// Proxy `getLocation` with the telemetry runtime attached — the
+    /// trace context additionally crosses the JS bridge as a
+    /// `traceparent` string on this platform.
+    pub fn instrumented_get_location(&self) {
+        self.instrumented_location_proxy
+            .get_location()
+            .expect("instrumented location succeeds");
+    }
 }
 
 #[cfg(test)]
@@ -434,6 +474,7 @@ mod tests {
         fixture.proxy_get_location();
         fixture.proxy_send_sms();
         fixture.resilient_get_location();
+        fixture.instrumented_get_location();
     }
 
     #[test]
@@ -446,6 +487,7 @@ mod tests {
         fixture.proxy_get_location();
         fixture.proxy_send_sms();
         fixture.resilient_get_location();
+        fixture.instrumented_get_location();
     }
 
     #[test]
@@ -458,5 +500,6 @@ mod tests {
         fixture.proxy_get_location();
         fixture.proxy_send_sms();
         fixture.resilient_get_location();
+        fixture.instrumented_get_location();
     }
 }

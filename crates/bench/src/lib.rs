@@ -10,7 +10,10 @@
 
 pub mod figure10;
 pub mod harness;
+pub mod summary;
 
 pub use figure10::{
-    run_figure10, run_resilience_overhead, Figure10Row, ResilienceOverheadRow, Scale,
+    measure, run_figure10, run_resilience_overhead, run_telemetry_overhead, Figure10Row,
+    LatencyStats, ResilienceOverheadRow, Scale, TelemetryOverheadRow,
 };
+pub use summary::{summary_json, validate_summary_json, SummaryCheck};

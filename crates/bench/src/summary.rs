@@ -1,0 +1,245 @@
+//! Machine-readable bench summary (`figure10 --json`).
+//!
+//! One JSON document carries everything the `figure10` binary prints:
+//! the nine Figure 10 pairs with their histogram-derived p50/p95/p99
+//! tails, the resilience-overhead ablation and the telemetry-overhead
+//! ablation. [`validate_summary_json`] is the schema check shared by
+//! the binary's `--check` mode and CI.
+
+use serde_json::Value;
+
+use crate::figure10::{Figure10Row, LatencyStats, ResilienceOverheadRow, TelemetryOverheadRow};
+
+/// Schema identifier stamped into (and required from) every summary.
+pub const SCHEMA: &str = "mobivine.figure10.v1";
+
+fn num(v: f64) -> Value {
+    Value::Number(v)
+}
+
+fn text(v: &str) -> Value {
+    Value::String(v.to_owned())
+}
+
+fn object(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+fn stats_value(stats: &LatencyStats) -> Value {
+    object(vec![
+        ("mean_ms", num(stats.mean_ms)),
+        ("p50_ms", num(stats.p50_ms)),
+        ("p95_ms", num(stats.p95_ms)),
+        ("p99_ms", num(stats.p99_ms)),
+    ])
+}
+
+/// Builds the summary document as a JSON string.
+pub fn summary_json(
+    scale: &str,
+    runs: u32,
+    rows: &[Figure10Row],
+    resilience: &[ResilienceOverheadRow],
+    telemetry: &[TelemetryOverheadRow],
+) -> String {
+    let figure10 = rows
+        .iter()
+        .map(|row| {
+            object(vec![
+                ("platform", text(row.platform)),
+                ("api", text(row.api)),
+                ("without", stats_value(&row.without_stats)),
+                ("with", stats_value(&row.with_stats)),
+                ("overhead_fraction", num(row.overhead_fraction())),
+                ("paper_without_ms", num(row.paper_ms.0)),
+                ("paper_with_ms", num(row.paper_ms.1)),
+            ])
+        })
+        .collect();
+    let resilience = resilience
+        .iter()
+        .map(|row| {
+            object(vec![
+                ("platform", text(row.platform)),
+                ("native_ms", num(row.native_ms)),
+                ("proxy_ms", num(row.proxy_ms)),
+                ("resilient_ms", num(row.resilient_ms)),
+            ])
+        })
+        .collect();
+    let telemetry = telemetry
+        .iter()
+        .map(|row| {
+            object(vec![
+                ("platform", text(row.platform)),
+                ("bare_ms", num(row.bare_ms)),
+                ("instrumented_ms", num(row.instrumented_ms)),
+                ("overhead_fraction", num(row.overhead_fraction())),
+            ])
+        })
+        .collect();
+    object(vec![
+        ("schema", text(SCHEMA)),
+        ("scale", text(scale)),
+        ("runs", num(runs as f64)),
+        ("figure10", Value::Array(figure10)),
+        ("resilience_overhead", Value::Array(resilience)),
+        ("telemetry_overhead", Value::Array(telemetry)),
+    ])
+    .to_string()
+}
+
+/// What a valid summary contained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SummaryCheck {
+    /// Number of Figure 10 pairs (always 9 for a full run).
+    pub figure10_rows: usize,
+    /// Number of resilience-overhead rows.
+    pub resilience_rows: usize,
+    /// Number of telemetry-overhead rows.
+    pub telemetry_rows: usize,
+}
+
+fn require_number(entry: &Value, key: &str, context: &str) -> Result<f64, String> {
+    match entry.get_field(key) {
+        Some(Value::Number(n)) if n.is_finite() => Ok(*n),
+        Some(other) => Err(format!("{context}: field {key} is not a number: {other:?}")),
+        None => Err(format!("{context}: missing field {key}")),
+    }
+}
+
+fn require_string<'a>(entry: &'a Value, key: &str, context: &str) -> Result<&'a str, String> {
+    match entry.get_field(key) {
+        Some(Value::String(s)) if !s.is_empty() => Ok(s),
+        _ => Err(format!("{context}: missing string field {key}")),
+    }
+}
+
+fn require_array<'a>(root: &'a Value, key: &str) -> Result<&'a [Value], String> {
+    match root.get_field(key) {
+        Some(Value::Array(items)) if !items.is_empty() => Ok(items),
+        Some(Value::Array(_)) => Err(format!("{key} is empty")),
+        _ => Err(format!("missing array {key}")),
+    }
+}
+
+fn check_stats(entry: &Value, key: &str, context: &str) -> Result<(), String> {
+    let stats = entry
+        .get_field(key)
+        .ok_or_else(|| format!("{context}: missing {key} stats"))?;
+    let p50 = require_number(stats, "p50_ms", context)?;
+    let p95 = require_number(stats, "p95_ms", context)?;
+    let p99 = require_number(stats, "p99_ms", context)?;
+    require_number(stats, "mean_ms", context)?;
+    if p50 > p95 || p95 > p99 {
+        return Err(format!(
+            "{context}: {key} quantiles are not ordered: p50={p50} p95={p95} p99={p99}"
+        ));
+    }
+    Ok(())
+}
+
+/// Validates a `figure10 --json` document against the
+/// [`SCHEMA`] shape.
+///
+/// # Errors
+///
+/// A human-readable description of the first violation: bad JSON, a
+/// wrong or missing schema id, or a missing/mistyped field.
+pub fn validate_summary_json(json: &str) -> Result<SummaryCheck, String> {
+    let root: Value = serde_json::from_str(json).map_err(|e| format!("not valid JSON: {e}"))?;
+    match root.get_field("schema") {
+        Some(Value::String(s)) if s == SCHEMA => {}
+        Some(Value::String(s)) => return Err(format!("unknown schema {s:?}, expected {SCHEMA:?}")),
+        _ => return Err("missing schema field".to_owned()),
+    }
+    require_string(&root, "scale", "summary")?;
+    require_number(&root, "runs", "summary")?;
+
+    let figure10 = require_array(&root, "figure10")?;
+    for (i, entry) in figure10.iter().enumerate() {
+        let context = format!("figure10[{i}]");
+        require_string(entry, "platform", &context)?;
+        require_string(entry, "api", &context)?;
+        check_stats(entry, "without", &context)?;
+        check_stats(entry, "with", &context)?;
+        require_number(entry, "overhead_fraction", &context)?;
+        require_number(entry, "paper_without_ms", &context)?;
+        require_number(entry, "paper_with_ms", &context)?;
+    }
+
+    let resilience = require_array(&root, "resilience_overhead")?;
+    for (i, entry) in resilience.iter().enumerate() {
+        let context = format!("resilience_overhead[{i}]");
+        require_string(entry, "platform", &context)?;
+        require_number(entry, "native_ms", &context)?;
+        require_number(entry, "proxy_ms", &context)?;
+        require_number(entry, "resilient_ms", &context)?;
+    }
+
+    let telemetry = require_array(&root, "telemetry_overhead")?;
+    for (i, entry) in telemetry.iter().enumerate() {
+        let context = format!("telemetry_overhead[{i}]");
+        require_string(entry, "platform", &context)?;
+        let bare = require_number(entry, "bare_ms", &context)?;
+        let instrumented = require_number(entry, "instrumented_ms", &context)?;
+        require_number(entry, "overhead_fraction", &context)?;
+        if bare < 0.0 || instrumented < 0.0 {
+            return Err(format!("{context}: negative latency"));
+        }
+    }
+
+    Ok(SummaryCheck {
+        figure10_rows: figure10.len(),
+        resilience_rows: resilience.len(),
+        telemetry_rows: telemetry.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figure10::{run_figure10, run_resilience_overhead, run_telemetry_overhead, Scale};
+
+    fn sample() -> String {
+        summary_json(
+            "zero",
+            2,
+            &run_figure10(Scale::ZeroCost, 2),
+            &run_resilience_overhead(Scale::ZeroCost, 2),
+            &run_telemetry_overhead(Scale::ZeroCost, 2),
+        )
+    }
+
+    #[test]
+    fn summary_round_trips_through_validation() {
+        let check = validate_summary_json(&sample()).expect("generated summary is valid");
+        assert_eq!(
+            check,
+            SummaryCheck {
+                figure10_rows: 9,
+                resilience_rows: 3,
+                telemetry_rows: 3,
+            }
+        );
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let json = sample().replace(SCHEMA, "mobivine.figure10.v0");
+        let err = validate_summary_json(&json).unwrap_err();
+        assert!(err.contains("unknown schema"), "{err}");
+    }
+
+    #[test]
+    fn missing_section_is_rejected() {
+        let json = sample().replace("telemetry_overhead", "telemetry_dropped");
+        assert!(validate_summary_json(&json).is_err());
+    }
+
+    #[test]
+    fn garbage_is_rejected_with_a_parse_error() {
+        let err = validate_summary_json("{not json").unwrap_err();
+        assert!(err.contains("not valid JSON"), "{err}");
+    }
+}

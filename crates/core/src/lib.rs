@@ -63,6 +63,7 @@ pub mod property;
 pub mod registry;
 pub mod resilience;
 pub mod s60;
+pub mod telemetry;
 pub mod types;
 pub mod webview;
 
@@ -72,4 +73,5 @@ pub use registry::Mobivine;
 pub use resilience::{
     CircuitBreaker, CircuitState, ResilienceMetrics, ResiliencePolicy, ResilienceSnapshot,
 };
+pub use telemetry::TelemetryRuntime;
 pub use types::{Location, ProximityEvent, ProximityListener};

@@ -16,6 +16,8 @@ use mobivine_android::context::Context;
 use mobivine_device::Device;
 use mobivine_proxydl::{PlatformId, ProxyDescriptor};
 use mobivine_s60::S60Platform;
+use mobivine_telemetry::span::Plane;
+use mobivine_telemetry::MetricsRegistry;
 use mobivine_webview::WebView;
 
 use crate::android::{
@@ -32,6 +34,9 @@ use crate::resilience::{
     ResilientLocationProxy, ResilientSmsProxy,
 };
 use crate::s60::{S60CalendarProxy, S60ContactsProxy, S60HttpProxy, S60LocationProxy, S60SmsProxy};
+use crate::telemetry::{
+    TelemetryRuntime, TracedCallProxy, TracedHttpProxy, TracedLocationProxy, TracedSmsProxy,
+};
 use crate::webview::proxies::{
     WebViewCallProxy, WebViewHttpProxy, WebViewLocationProxy, WebViewSmsProxy,
 };
@@ -55,6 +60,7 @@ pub struct Mobivine {
     target: Target,
     catalog: Vec<ProxyDescriptor>,
     resilience: Option<ResilienceRuntime>,
+    telemetry: Option<TelemetryRuntime>,
 }
 
 impl fmt::Debug for Mobivine {
@@ -73,6 +79,7 @@ impl Mobivine {
             target: Target::Android(ctx),
             catalog: mobivine_proxydl::catalog::standard_catalog(),
             resilience: None,
+            telemetry: None,
         }
     }
 
@@ -82,6 +89,7 @@ impl Mobivine {
             target: Target::S60(platform),
             catalog: mobivine_proxydl::catalog::standard_catalog(),
             resilience: None,
+            telemetry: None,
         }
     }
 
@@ -93,6 +101,7 @@ impl Mobivine {
             target: Target::WebView(webview),
             catalog: mobivine_proxydl::catalog::standard_catalog(),
             resilience: None,
+            telemetry: None,
         }
     }
 
@@ -106,10 +115,35 @@ impl Mobivine {
     /// through [`Mobivine::resilience_metrics`].
     #[must_use]
     pub fn with_resilience(mut self, policy: ResiliencePolicy) -> Self {
-        self.resilience = Some(ResilienceRuntime {
-            policy,
-            metrics: ResilienceMetrics::shared(),
-        });
+        let metrics = match &self.telemetry {
+            Some(t) => ResilienceMetrics::on_registry(t.metrics()),
+            None => ResilienceMetrics::shared(),
+        };
+        self.resilience = Some(ResilienceRuntime { policy, metrics });
+        self
+    }
+
+    /// Turns on plane-aware telemetry: every Location/SMS/Call/HTTP
+    /// proxy this runtime constructs is wrapped **twice** in the
+    /// matching [`crate::telemetry`] traced decorator — at the
+    /// outermost semantic plane and at the binding plane (below the
+    /// resilience layer, when present) — so each call descends the
+    /// stack as a parented span tree: app → proxy → resilience →
+    /// binding → platform → device.
+    ///
+    /// Metrics publish into the device's [`MetricsRegistry`] (shared
+    /// with the device subsystems); spans collect in the tracer
+    /// returned by [`Mobivine::tracer`]. If
+    /// [`Mobivine::with_resilience`] was already applied, its counters
+    /// are re-homed onto the same registry so one exporter covers the
+    /// whole call path.
+    #[must_use]
+    pub fn with_telemetry(mut self) -> Self {
+        let telemetry = TelemetryRuntime::new(Arc::clone(self.device().metrics()));
+        if let Some(r) = &mut self.resilience {
+            r.metrics = ResilienceMetrics::on_registry(telemetry.metrics());
+        }
+        self.telemetry = Some(telemetry);
         self
     }
 
@@ -117,6 +151,20 @@ impl Mobivine {
     /// [`Mobivine::with_resilience`] was applied.
     pub fn resilience_metrics(&self) -> Option<Arc<ResilienceMetrics>> {
         self.resilience.as_ref().map(|r| Arc::clone(&r.metrics))
+    }
+
+    /// The tracer collecting proxy-call spans, when
+    /// [`Mobivine::with_telemetry`] was applied.
+    pub fn tracer(&self) -> Option<&mobivine_telemetry::Tracer> {
+        self.telemetry.as_ref().map(TelemetryRuntime::tracer)
+    }
+
+    /// The metrics registry the traced proxies publish into, when
+    /// [`Mobivine::with_telemetry`] was applied. This is the device's
+    /// registry, so device-layer series appear alongside the proxy
+    /// series.
+    pub fn telemetry_metrics(&self) -> Option<Arc<MetricsRegistry>> {
+        self.telemetry.as_ref().map(|t| Arc::clone(t.metrics()))
     }
 
     /// The simulated device underneath whichever platform binding this
@@ -173,7 +221,7 @@ impl Mobivine {
         if !self.supports("Location") {
             return Err(self.unsupported("Location"));
         }
-        let proxy: Arc<dyn LocationProxy> = match &self.target {
+        let mut proxy: Arc<dyn LocationProxy> = match &self.target {
             Target::Android(ctx) => {
                 let proxy = AndroidLocationProxy::new();
                 proxy.set_property("context", PropertyValue::opaque(ctx.clone()))?;
@@ -182,15 +230,33 @@ impl Mobivine {
             Target::S60(platform) => Arc::new(S60LocationProxy::new(platform.clone())),
             Target::WebView(webview) => Arc::new(WebViewLocationProxy::new(webview)?),
         };
-        Ok(match &self.resilience {
-            Some(r) => Arc::new(ResilientLocationProxy::new(
+        if let Some(t) = &self.telemetry {
+            proxy = Arc::new(TracedLocationProxy::new(
+                proxy,
+                self.device(),
+                t,
+                Plane::Binding,
+                self.platform_id().id(),
+            ));
+        }
+        if let Some(r) = &self.resilience {
+            proxy = Arc::new(ResilientLocationProxy::new(
                 proxy,
                 self.device(),
                 r.policy.clone(),
                 Arc::clone(&r.metrics),
-            )),
-            None => proxy,
-        })
+            ));
+        }
+        if let Some(t) = &self.telemetry {
+            proxy = Arc::new(TracedLocationProxy::new(
+                proxy,
+                self.device(),
+                t,
+                Plane::Proxy,
+                self.platform_id().id(),
+            ));
+        }
+        Ok(proxy)
     }
 
     /// Constructs the SMS proxy.
@@ -202,7 +268,7 @@ impl Mobivine {
         if !self.supports("SMS") {
             return Err(self.unsupported("SMS"));
         }
-        let proxy: Arc<dyn SmsProxy> = match &self.target {
+        let mut proxy: Arc<dyn SmsProxy> = match &self.target {
             Target::Android(ctx) => {
                 let proxy = AndroidSmsProxy::new();
                 proxy.set_property("context", PropertyValue::opaque(ctx.clone()))?;
@@ -211,15 +277,33 @@ impl Mobivine {
             Target::S60(platform) => Arc::new(S60SmsProxy::new(platform.clone())),
             Target::WebView(webview) => Arc::new(WebViewSmsProxy::new(webview)?),
         };
-        Ok(match &self.resilience {
-            Some(r) => Arc::new(ResilientSmsProxy::new(
+        if let Some(t) = &self.telemetry {
+            proxy = Arc::new(TracedSmsProxy::new(
+                proxy,
+                self.device(),
+                t,
+                Plane::Binding,
+                self.platform_id().id(),
+            ));
+        }
+        if let Some(r) = &self.resilience {
+            proxy = Arc::new(ResilientSmsProxy::new(
                 proxy,
                 self.device(),
                 r.policy.clone(),
                 Arc::clone(&r.metrics),
-            )),
-            None => proxy,
-        })
+            ));
+        }
+        if let Some(t) = &self.telemetry {
+            proxy = Arc::new(TracedSmsProxy::new(
+                proxy,
+                self.device(),
+                t,
+                Plane::Proxy,
+                self.platform_id().id(),
+            ));
+        }
+        Ok(proxy)
     }
 
     /// Constructs the Call proxy.
@@ -232,7 +316,7 @@ impl Mobivine {
         if !self.supports("Call") {
             return Err(self.unsupported("Call"));
         }
-        let proxy: Arc<dyn CallProxy> = match &self.target {
+        let mut proxy: Arc<dyn CallProxy> = match &self.target {
             Target::Android(ctx) => {
                 let proxy = AndroidCallProxy::new();
                 proxy.set_property("context", PropertyValue::opaque(ctx.clone()))?;
@@ -241,15 +325,33 @@ impl Mobivine {
             Target::S60(_) => return Err(self.unsupported("Call")),
             Target::WebView(webview) => Arc::new(WebViewCallProxy::new(webview)?),
         };
-        Ok(match &self.resilience {
-            Some(r) => Arc::new(ResilientCallProxy::new(
+        if let Some(t) = &self.telemetry {
+            proxy = Arc::new(TracedCallProxy::new(
+                proxy,
+                self.device(),
+                t,
+                Plane::Binding,
+                self.platform_id().id(),
+            ));
+        }
+        if let Some(r) = &self.resilience {
+            proxy = Arc::new(ResilientCallProxy::new(
                 proxy,
                 self.device(),
                 r.policy.clone(),
                 Arc::clone(&r.metrics),
-            )),
-            None => proxy,
-        })
+            ));
+        }
+        if let Some(t) = &self.telemetry {
+            proxy = Arc::new(TracedCallProxy::new(
+                proxy,
+                self.device(),
+                t,
+                Plane::Proxy,
+                self.platform_id().id(),
+            ));
+        }
+        Ok(proxy)
     }
 
     /// Constructs the HTTP proxy.
@@ -261,7 +363,7 @@ impl Mobivine {
         if !self.supports("Http") {
             return Err(self.unsupported("Http"));
         }
-        let proxy: Arc<dyn HttpProxy> = match &self.target {
+        let mut proxy: Arc<dyn HttpProxy> = match &self.target {
             Target::Android(ctx) => {
                 let proxy = AndroidHttpProxy::new();
                 proxy.set_property("context", PropertyValue::opaque(ctx.clone()))?;
@@ -270,15 +372,33 @@ impl Mobivine {
             Target::S60(platform) => Arc::new(S60HttpProxy::new(platform.clone())),
             Target::WebView(webview) => Arc::new(WebViewHttpProxy::new(webview)?),
         };
-        Ok(match &self.resilience {
-            Some(r) => Arc::new(ResilientHttpProxy::new(
+        if let Some(t) = &self.telemetry {
+            proxy = Arc::new(TracedHttpProxy::new(
+                proxy,
+                self.device(),
+                t,
+                Plane::Binding,
+                self.platform_id().id(),
+            ));
+        }
+        if let Some(r) = &self.resilience {
+            proxy = Arc::new(ResilientHttpProxy::new(
                 proxy,
                 self.device(),
                 r.policy.clone(),
                 Arc::clone(&r.metrics),
-            )),
-            None => proxy,
-        })
+            ));
+        }
+        if let Some(t) = &self.telemetry {
+            proxy = Arc::new(TracedHttpProxy::new(
+                proxy,
+                self.device(),
+                t,
+                Plane::Proxy,
+                self.platform_id().id(),
+            ));
+        }
+        Ok(proxy)
     }
 
     /// Constructs the Contacts proxy (extension feature).

@@ -29,6 +29,8 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use mobivine_device::Device;
+use mobivine_telemetry::span::{ambient, ActiveSpan, Plane};
+use mobivine_telemetry::{Counter, Labels, MetricsRegistry};
 
 use crate::api::{CallProxy, HttpProxy, LocationProxy, ProxyBase, SmsProxy};
 use crate::error::{ProxyError, ProxyErrorKind};
@@ -291,9 +293,15 @@ macro_rules! counters {
     ($($(#[$doc:meta])* $name:ident),* $(,)?) => {
         /// Shared resilience counters, updated lock-free by the
         /// decorators and snapshotted by observability code.
+        ///
+        /// Each field is a telemetry [`Counter`] handle. A standalone
+        /// block ([`ResilienceMetrics::shared`]) counts privately; a
+        /// registry-backed block ([`ResilienceMetrics::on_registry`])
+        /// publishes the same counters as `resilience_<name>_total`
+        /// series, so exporters see them alongside every other metric.
         #[derive(Debug, Default)]
         pub struct ResilienceMetrics {
-            $($(#[$doc])* $name: AtomicU64,)*
+            $($(#[$doc])* $name: Counter,)*
         }
 
         /// A point-in-time copy of [`ResilienceMetrics`].
@@ -306,8 +314,20 @@ macro_rules! counters {
             /// Copies every counter at once.
             pub fn snapshot(&self) -> ResilienceSnapshot {
                 ResilienceSnapshot {
-                    $($name: self.$name.load(Ordering::Relaxed),)*
+                    $($name: self.$name.value(),)*
                 }
+            }
+
+            /// A counter block whose handles live in `registry` under
+            /// `resilience_<name>_total`, making the resilience layer's
+            /// activity visible to every exporter reading the registry.
+            pub fn on_registry(registry: &Arc<MetricsRegistry>) -> Arc<Self> {
+                Arc::new(Self {
+                    $($name: registry.counter(
+                        concat!("resilience_", stringify!($name), "_total"),
+                        Labels::empty(),
+                    ),)*
+                })
             }
         }
     };
@@ -339,13 +359,15 @@ counters! {
 }
 
 impl ResilienceMetrics {
-    /// A fresh, shareable counter block.
+    /// A fresh, shareable counter block (not registry-backed; use
+    /// [`ResilienceMetrics::on_registry`] to publish through a
+    /// [`MetricsRegistry`]).
     pub fn shared() -> Arc<Self> {
         Arc::new(Self::default())
     }
 
-    fn bump(&self, counter: &AtomicU64) {
-        counter.fetch_add(1, Ordering::Relaxed);
+    fn bump(&self, counter: &Counter) {
+        counter.inc();
     }
 }
 
@@ -437,16 +459,46 @@ impl Engine {
     }
 
     /// Runs `call` under the retry policy and circuit breaker,
-    /// advancing the simulated clock for each backoff.
+    /// advancing the simulated clock for each backoff. When an ambient
+    /// trace is active, the whole execution is recorded as one
+    /// resilience-plane span whose events mark every attempt, retry and
+    /// circuit transition.
     fn execute<T>(
         &self,
         operation: &str,
         call: &dyn Fn() -> Result<T, ProxyError>,
     ) -> Result<T, FailureMode> {
+        let mut span = ambient::child(
+            &format!("resilience:{operation}"),
+            Plane::Resilience,
+            self.device.now_ms(),
+        );
+        let result = self.execute_inner(operation, call, span.as_mut());
+        if let Some(mut s) = span.take() {
+            if let Err(failure) = &result {
+                let e = match failure {
+                    FailureMode::Degraded(e) | FailureMode::Fatal(e) => e,
+                };
+                s.attr("error", &format!("{:?}", e.kind()));
+            }
+            s.end(self.device.now_ms());
+        }
+        result
+    }
+
+    fn execute_inner<T>(
+        &self,
+        operation: &str,
+        call: &dyn Fn() -> Result<T, ProxyError>,
+        mut span: Option<&mut ActiveSpan>,
+    ) -> Result<T, FailureMode> {
         let policy = self.policy();
         self.metrics.bump(&self.metrics.calls);
         if !self.breaker.admit(self.device.now_ms()) {
             self.metrics.bump(&self.metrics.circuit_rejections);
+            if let Some(s) = span.as_deref_mut() {
+                s.event("circuit_rejected", self.device.now_ms());
+            }
             return Err(FailureMode::Degraded(ProxyError::new(
                 ProxyErrorKind::CircuitOpen,
                 format!(
@@ -460,6 +512,9 @@ impl Engine {
         loop {
             attempt += 1;
             self.metrics.bump(&self.metrics.attempts);
+            if let Some(s) = span.as_deref_mut() {
+                s.event("attempt", self.device.now_ms());
+            }
             match call() {
                 Ok(value) => {
                     self.breaker.record_success();
@@ -470,6 +525,9 @@ impl Engine {
                     self.metrics.bump(&self.metrics.transient_failures);
                     if self.breaker.record_failure(self.device.now_ms()) {
                         self.metrics.bump(&self.metrics.circuit_opens);
+                        if let Some(s) = span.as_deref_mut() {
+                            s.event("circuit_open", self.device.now_ms());
+                        }
                     }
                     if attempt >= policy.max_attempts {
                         return Err(FailureMode::Degraded(e));
@@ -477,6 +535,9 @@ impl Engine {
                     let backoff = policy.backoff_for(attempt, salt);
                     if self.device.now_ms().saturating_add(backoff) > deadline {
                         self.metrics.bump(&self.metrics.deadline_exhausted);
+                        if let Some(s) = span.as_deref_mut() {
+                            s.event("deadline_exhausted", self.device.now_ms());
+                        }
                         let mut err = ProxyError::new(
                             ProxyErrorKind::DeadlineExceeded,
                             format!(
@@ -492,6 +553,9 @@ impl Engine {
                         return Err(FailureMode::Degraded(err));
                     }
                     self.metrics.bump(&self.metrics.retries);
+                    if let Some(s) = span.as_deref_mut() {
+                        s.event("retry", self.device.now_ms());
+                    }
                     self.device.advance_ms(backoff);
                 }
                 Err(e) => {

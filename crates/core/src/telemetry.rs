@@ -1,0 +1,436 @@
+//! Plane-aware telemetry for the M-Proxy call path.
+//!
+//! The paper's layering — application → M-Proxy semantic plane →
+//! enrichment → binding plane → platform module — is exactly the shape
+//! an observability pipeline wants to see: every uniform call descends
+//! the same stack on every platform, so one span per layer yields
+//! directly comparable traces across Android, S60 and the WebView.
+//!
+//! This module provides the core-side instrumentation:
+//!
+//! * [`TelemetryRuntime`] — one [`Tracer`] plus one shared
+//!   [`MetricsRegistry`] (the device's, so device subsystems and
+//!   middleware publish into the same registry),
+//! * traced decorators ([`TracedLocationProxy`], [`TracedSmsProxy`],
+//!   [`TracedHttpProxy`], [`TracedCallProxy`]) that the
+//!   [`crate::registry::Mobivine`] runtime installs **twice** per
+//!   proxy: once at the outermost semantic plane
+//!   ([`Plane::Proxy`]) and once at the binding plane
+//!   ([`Plane::Binding`]) below the resilience layer — so retries show
+//!   up as multiple binding-plane child spans under one proxy-plane
+//!   span.
+//!
+//! The proxy-plane decorator also feeds the metrics registry: a
+//! `proxy_calls_total` / `proxy_errors_total` counter pair and a
+//! `proxy_call_ms` latency histogram, all labelled
+//! `(proxy, method, platform)`.
+//!
+//! Spans parent implicitly through the ambient span stack
+//! ([`mobivine_telemetry::span::ambient`]): if the application opened
+//! its own root span the proxy call nests under it; otherwise the
+//! proxy-plane decorator starts a fresh trace.
+
+use std::sync::Arc;
+
+use mobivine_device::Device;
+use mobivine_telemetry::span::{ambient, ActiveSpan, Plane};
+use mobivine_telemetry::{Labels, MetricsRegistry, Tracer};
+
+use crate::api::{CallProxy, HttpProxy, LocationProxy, ProxyBase, SmsProxy};
+use crate::error::ProxyError;
+use crate::property::PropertyValue;
+use crate::types::{CallProgress, DeliveryListener, HttpResult, Location, SharedProximityListener};
+
+/// One runtime's telemetry wiring: the tracer collecting span records
+/// and the metrics registry every layer publishes into.
+#[derive(Clone)]
+pub struct TelemetryRuntime {
+    tracer: Tracer,
+    metrics: Arc<MetricsRegistry>,
+}
+
+impl TelemetryRuntime {
+    /// Creates a runtime collecting spans into a fresh [`Tracer`] and
+    /// metrics into `metrics` (usually the device's registry, so the
+    /// whole call path shares one exporter surface).
+    pub fn new(metrics: Arc<MetricsRegistry>) -> Self {
+        Self {
+            tracer: Tracer::new(),
+            metrics,
+        }
+    }
+
+    /// The tracer holding every finished span.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The shared metrics registry.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+}
+
+/// The per-decorator instrumentation kit: where to time, trace and
+/// count.
+struct Instrument {
+    device: Device,
+    tracer: Tracer,
+    metrics: Arc<MetricsRegistry>,
+    plane: Plane,
+    proxy: &'static str,
+    platform: String,
+}
+
+impl Instrument {
+    fn new(
+        device: Device,
+        runtime: &TelemetryRuntime,
+        plane: Plane,
+        proxy: &'static str,
+        platform: &str,
+    ) -> Self {
+        Self {
+            device,
+            tracer: runtime.tracer.clone(),
+            metrics: Arc::clone(&runtime.metrics),
+            plane,
+            proxy,
+            platform: platform.to_owned(),
+        }
+    }
+
+    fn start(&self, method: &str) -> (ActiveSpan, u64) {
+        let now = self.device.now_ms();
+        let name = format!("{}:{}.{method}", self.plane, self.proxy);
+        let mut span = ambient::child(&name, self.plane, now)
+            .unwrap_or_else(|| self.tracer.root(&name, self.plane, now));
+        span.attr("platform", &self.platform);
+        (span, now)
+    }
+
+    /// Runs one proxy call inside a span; the proxy plane additionally
+    /// publishes call/error counters and the latency histogram.
+    fn traced<T>(
+        &self,
+        method: &str,
+        call: impl FnOnce() -> Result<T, ProxyError>,
+    ) -> Result<T, ProxyError> {
+        let (mut span, start) = self.start(method);
+        let result = call();
+        let end = self.device.now_ms();
+        if self.plane == Plane::Proxy {
+            let labels = Labels::call(self.proxy, method, &self.platform);
+            self.metrics
+                .counter("proxy_calls_total", labels.clone())
+                .inc();
+            if result.is_err() {
+                self.metrics
+                    .counter("proxy_errors_total", labels.clone())
+                    .inc();
+            }
+            self.metrics
+                .histogram("proxy_call_ms", labels)
+                .record(end.saturating_sub(start));
+        }
+        if let Err(e) = &result {
+            span.attr("error", &format!("{:?}", e.kind()));
+        }
+        span.end(end);
+        result
+    }
+}
+
+macro_rules! traced_proxy {
+    ($(#[$doc:meta])* $name:ident, $trait:ident, $label:literal) => {
+        $(#[$doc])*
+        pub struct $name {
+            inner: Arc<dyn $trait>,
+            instrument: Instrument,
+        }
+
+        impl $name {
+            /// Wraps `inner` at `plane`, timing against `device`'s
+            /// simulated clock and reporting through `runtime`.
+            pub fn new(
+                inner: Arc<dyn $trait>,
+                device: Device,
+                runtime: &TelemetryRuntime,
+                plane: Plane,
+                platform: &str,
+            ) -> Self {
+                Self {
+                    inner,
+                    instrument: Instrument::new(device, runtime, plane, $label, platform),
+                }
+            }
+        }
+
+        impl ProxyBase for $name {
+            fn set_property(&self, key: &str, value: PropertyValue) -> Result<(), ProxyError> {
+                // Property writes are local configuration, not platform
+                // calls — forwarded untraced.
+                self.inner.set_property(key, value)
+            }
+        }
+    };
+}
+
+traced_proxy!(
+    /// [`LocationProxy`] decorator recording one span (and, at the
+    /// proxy plane, metrics) per call.
+    TracedLocationProxy,
+    LocationProxy,
+    "Location"
+);
+
+impl LocationProxy for TracedLocationProxy {
+    fn add_proximity_alert(
+        &self,
+        latitude: f64,
+        longitude: f64,
+        altitude: f64,
+        radius: f64,
+        timer_s: i64,
+        listener: SharedProximityListener,
+    ) -> Result<(), ProxyError> {
+        self.instrument.traced("addProximityAlert", || {
+            self.inner
+                .add_proximity_alert(latitude, longitude, altitude, radius, timer_s, listener)
+        })
+    }
+
+    fn remove_proximity_alert(
+        &self,
+        listener: &SharedProximityListener,
+    ) -> Result<bool, ProxyError> {
+        self.instrument.traced("removeProximityAlert", || {
+            self.inner.remove_proximity_alert(listener)
+        })
+    }
+
+    fn get_location(&self) -> Result<Location, ProxyError> {
+        self.instrument
+            .traced("getLocation", || self.inner.get_location())
+    }
+}
+
+traced_proxy!(
+    /// [`SmsProxy`] decorator recording one span (and, at the proxy
+    /// plane, metrics) per call.
+    TracedSmsProxy,
+    SmsProxy,
+    "SMS"
+);
+
+impl SmsProxy for TracedSmsProxy {
+    fn send_text_message(
+        &self,
+        destination: &str,
+        text: &str,
+        delivery_listener: Option<Arc<dyn DeliveryListener>>,
+    ) -> Result<u64, ProxyError> {
+        self.instrument.traced("sendTextMessage", || {
+            self.inner
+                .send_text_message(destination, text, delivery_listener)
+        })
+    }
+}
+
+traced_proxy!(
+    /// [`HttpProxy`] decorator recording one span (and, at the proxy
+    /// plane, metrics) per call.
+    TracedHttpProxy,
+    HttpProxy,
+    "Http"
+);
+
+impl HttpProxy for TracedHttpProxy {
+    fn request(&self, method: &str, url: &str, body: &[u8]) -> Result<HttpResult, ProxyError> {
+        self.instrument
+            .traced("request", || self.inner.request(method, url, body))
+    }
+}
+
+traced_proxy!(
+    /// [`CallProxy`] decorator recording one span (and, at the proxy
+    /// plane, metrics) per call.
+    TracedCallProxy,
+    CallProxy,
+    "Call"
+);
+
+impl CallProxy for TracedCallProxy {
+    fn make_a_call(&self, number: &str) -> Result<u64, ProxyError> {
+        self.instrument
+            .traced("makeACall", || self.inner.make_a_call(number))
+    }
+
+    fn call_progress(&self, call_id: u64) -> Result<CallProgress, ProxyError> {
+        self.instrument
+            .traced("callProgress", || self.inner.call_progress(call_id))
+    }
+
+    fn end_call(&self, call_id: u64) -> Result<(), ProxyError> {
+        self.instrument
+            .traced("endCall", || self.inner.end_call(call_id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobivine_telemetry::export::{chrome_trace_json, validate_chrome_trace};
+    use mobivine_telemetry::span::validate_tree;
+
+    struct FixedLocation;
+
+    impl ProxyBase for FixedLocation {
+        fn set_property(&self, _key: &str, _value: PropertyValue) -> Result<(), ProxyError> {
+            Ok(())
+        }
+    }
+
+    impl LocationProxy for FixedLocation {
+        fn add_proximity_alert(
+            &self,
+            _latitude: f64,
+            _longitude: f64,
+            _altitude: f64,
+            _radius: f64,
+            _timer_s: i64,
+            _listener: SharedProximityListener,
+        ) -> Result<(), ProxyError> {
+            Ok(())
+        }
+
+        fn remove_proximity_alert(
+            &self,
+            _listener: &SharedProximityListener,
+        ) -> Result<bool, ProxyError> {
+            Ok(true)
+        }
+
+        fn get_location(&self) -> Result<Location, ProxyError> {
+            Ok(Location::default())
+        }
+    }
+
+    fn runtime() -> (Device, TelemetryRuntime) {
+        let device = Device::builder().build();
+        let telemetry = TelemetryRuntime::new(Arc::clone(device.metrics()));
+        (device, telemetry)
+    }
+
+    #[test]
+    fn proxy_plane_records_span_and_metrics() {
+        let (device, telemetry) = runtime();
+        let proxy = TracedLocationProxy::new(
+            Arc::new(FixedLocation),
+            device,
+            &telemetry,
+            Plane::Proxy,
+            "android",
+        );
+        proxy.get_location().unwrap();
+        let spans = telemetry.tracer().finished();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, "proxy:Location.getLocation");
+        let labels = Labels::call("Location", "getLocation", "android");
+        assert_eq!(
+            telemetry
+                .metrics()
+                .counter_value("proxy_calls_total", &labels),
+            1
+        );
+        assert_eq!(
+            telemetry
+                .metrics()
+                .histogram("proxy_call_ms", labels)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn binding_plane_skips_metrics_but_nests_under_proxy_plane() {
+        let (device, telemetry) = runtime();
+        let binding: Arc<dyn LocationProxy> = Arc::new(TracedLocationProxy::new(
+            Arc::new(FixedLocation),
+            device.clone(),
+            &telemetry,
+            Plane::Binding,
+            "s60",
+        ));
+        let proxy = TracedLocationProxy::new(binding, device, &telemetry, Plane::Proxy, "s60");
+        proxy.get_location().unwrap();
+        let spans = telemetry.tracer().finished();
+        assert_eq!(spans.len(), 2);
+        validate_tree(&spans).expect("single connected tree");
+        let binding_span = spans
+            .iter()
+            .find(|s| s.plane == Plane::Binding)
+            .expect("binding span");
+        let proxy_span = spans.iter().find(|s| s.plane == Plane::Proxy).unwrap();
+        assert_eq!(binding_span.parent_id, Some(proxy_span.span_id));
+        let labels = Labels::call("Location", "getLocation", "s60");
+        assert_eq!(
+            telemetry
+                .metrics()
+                .counter_value("proxy_calls_total", &labels),
+            1,
+            "only the proxy plane counts"
+        );
+    }
+
+    #[test]
+    fn errors_are_counted_and_attributed() {
+        struct Failing;
+        impl ProxyBase for Failing {
+            fn set_property(&self, _k: &str, _v: PropertyValue) -> Result<(), ProxyError> {
+                Ok(())
+            }
+        }
+        impl HttpProxy for Failing {
+            fn request(&self, _m: &str, _u: &str, _b: &[u8]) -> Result<HttpResult, ProxyError> {
+                Err(ProxyError::new(crate::error::ProxyErrorKind::Io, "down"))
+            }
+        }
+        let (device, telemetry) = runtime();
+        let proxy = TracedHttpProxy::new(
+            Arc::new(Failing),
+            device,
+            &telemetry,
+            Plane::Proxy,
+            "android",
+        );
+        assert!(proxy.request("GET", "http://s/x", b"").is_err());
+        let labels = Labels::call("Http", "request", "android");
+        assert_eq!(
+            telemetry
+                .metrics()
+                .counter_value("proxy_errors_total", &labels),
+            1
+        );
+        let spans = telemetry.tracer().finished();
+        assert!(spans[0]
+            .attrs
+            .iter()
+            .any(|(k, v)| k == "error" && v == "Io"));
+    }
+
+    #[test]
+    fn exported_trace_round_trips() {
+        let (device, telemetry) = runtime();
+        let proxy = TracedLocationProxy::new(
+            Arc::new(FixedLocation),
+            device,
+            &telemetry,
+            Plane::Proxy,
+            "android",
+        );
+        proxy.get_location().unwrap();
+        let json = chrome_trace_json(&telemetry.tracer().finished());
+        validate_chrome_trace(&json).expect("valid chrome trace");
+    }
+}

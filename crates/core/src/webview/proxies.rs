@@ -13,6 +13,8 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use mobivine_device::Device;
+use mobivine_telemetry::span::ambient;
+use mobivine_webview::bridge::BridgeError;
 use mobivine_webview::notification::{NotifHandler, NotificationId, NotificationTable};
 use mobivine_webview::webview::JsInterfaceHandle;
 use mobivine_webview::{JsValue, WebView};
@@ -69,6 +71,15 @@ impl JsProxyCore {
         })
     }
 
+    /// Crosses the bridge with the ambient trace context rendered as a
+    /// `traceparent` string, so the Java-side wrapper can parent its
+    /// Bridge-plane span off the JavaScript caller's span.
+    fn invoke(&self, method: &str, args: &[JsValue]) -> Result<JsValue, BridgeError> {
+        let traceparent = ambient::current().map(|ctx| ctx.traceparent());
+        self.handle
+            .invoke_traced(method, args, traceparent.as_deref())
+    }
+
     fn set_property(&self, key: &str, value: PropertyValue) -> Result<(), ProxyError> {
         // Validate locally against the WebView binding plane, then
         // forward over the bridge (the wrapper re-validates against the
@@ -77,9 +88,7 @@ impl JsProxyCore {
         let rendered = property_value_to_js_string(&value)?;
         // Properties the Android side does not declare (e.g.
         // pollInterval) stay JavaScript-local.
-        let _ = self
-            .handle
-            .invoke("setProperty", &[JsValue::str(key), JsValue::Str(rendered)]);
+        let _ = self.invoke("setProperty", &[JsValue::str(key), JsValue::Str(rendered)]);
         Ok(())
     }
 
@@ -149,7 +158,7 @@ impl LocationProxy for WebViewLocationProxy {
         timer_s: i64,
         listener: SharedProximityListener,
     ) -> Result<(), ProxyError> {
-        let out = self.core.handle.invoke(
+        let out = self.core.invoke(
             "addProximityAlert",
             &[
                 latitude.into(),
@@ -187,7 +196,6 @@ impl LocationProxy for WebViewLocationProxy {
                 handler.stop_polling();
                 let removed = self
                     .core
-                    .handle
                     .invoke("removeProximityAlert", &[JsValue::Number(raw as f64)])?;
                 if let Some(id) = NotificationId::from_raw(raw) {
                     self.core.table.close(id);
@@ -199,7 +207,7 @@ impl LocationProxy for WebViewLocationProxy {
     }
 
     fn get_location(&self) -> Result<Location, ProxyError> {
-        let out = self.core.handle.invoke("getLocation", &[])?;
+        let out = self.core.invoke("getLocation", &[])?;
         Ok(location_from_js(&out))
     }
 }
@@ -244,7 +252,7 @@ impl SmsProxy for WebViewSmsProxy {
         // Prune handlers whose one-shot report already arrived.
         self.handlers.lock().retain(|h| h.is_polling());
         let want_report = delivery_listener.is_some();
-        let out = self.core.handle.invoke(
+        let out = self.core.invoke(
             "sendTextMessage",
             &[
                 JsValue::str(destination),
@@ -317,17 +325,13 @@ impl ProxyBase for WebViewCallProxy {
 
 impl CallProxy for WebViewCallProxy {
     fn make_a_call(&self, number: &str) -> Result<u64, ProxyError> {
-        let out = self
-            .core
-            .handle
-            .invoke("makeACall", &[JsValue::str(number)])?;
+        let out = self.core.invoke("makeACall", &[JsValue::str(number)])?;
         Ok(out.as_number().unwrap_or(0.0) as u64)
     }
 
     fn call_progress(&self, call_id: u64) -> Result<CallProgress, ProxyError> {
         let out = self
             .core
-            .handle
             .invoke("callProgress", &[JsValue::Number(call_id as f64)])?;
         match out.as_str() {
             Some("connecting") => Ok(CallProgress::Connecting),
@@ -342,7 +346,6 @@ impl CallProxy for WebViewCallProxy {
 
     fn end_call(&self, call_id: u64) -> Result<(), ProxyError> {
         self.core
-            .handle
             .invoke("endCall", &[JsValue::Number(call_id as f64)])?;
         Ok(())
     }
@@ -379,7 +382,7 @@ impl ProxyBase for WebViewHttpProxy {
 impl HttpProxy for WebViewHttpProxy {
     fn request(&self, method: &str, url: &str, body: &[u8]) -> Result<HttpResult, ProxyError> {
         let body_text = String::from_utf8_lossy(body).into_owned();
-        let out = self.core.handle.invoke(
+        let out = self.core.invoke(
             "request",
             &[
                 JsValue::str(method),

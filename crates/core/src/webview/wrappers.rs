@@ -12,6 +12,9 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use mobivine_device::Device;
+use mobivine_telemetry::span::{ambient, Plane};
+use mobivine_telemetry::TraceContext;
 use mobivine_webview::bridge::{args, BridgeError, ErrorCode, JavaScriptInterface};
 use mobivine_webview::notification::{NotificationId, NotificationTable};
 use mobivine_webview::{JsValue, WebView};
@@ -102,18 +105,56 @@ pub fn proximity_event_from_js(value: &JsValue) -> ProximityEvent {
     }
 }
 
+/// Opens a Bridge-plane span for one wrapper invocation whose parent is
+/// the context carried over the bridge as a `traceparent` string (the
+/// ambient stack does not cross the marshalling boundary in a real
+/// WebView, so the wire string is the only legitimate parent source).
+/// Records nothing when no context crossed or no tracer is ambient.
+fn bridge_traced<F>(
+    device: &Device,
+    wrapper: &str,
+    method: &str,
+    traceparent: Option<&str>,
+    call: F,
+) -> Result<JsValue, BridgeError>
+where
+    F: FnOnce() -> Result<JsValue, BridgeError>,
+{
+    let parent = traceparent.and_then(TraceContext::parse_traceparent);
+    let mut span = parent.and_then(|ctx| {
+        ambient::child_of(
+            ctx,
+            &format!("bridge:{wrapper}.{method}"),
+            Plane::Bridge,
+            device.now_ms(),
+        )
+    });
+    let out = call();
+    if let Err(e) = &out {
+        if let Some(s) = span.as_mut() {
+            s.attr("error", &format!("{:?}", e.code));
+        }
+    }
+    if let Some(s) = span {
+        s.end(device.now_ms());
+    }
+    out
+}
+
 /// The `LocationWrapper` Java class.
 pub struct LocationWrapper {
     proxy: AndroidLocationProxy,
     table: Arc<NotificationTable>,
+    device: Device,
     registrations: Mutex<HashMap<u64, SharedProximityListener>>,
 }
 
 impl LocationWrapper {
-    fn new(proxy: AndroidLocationProxy, table: Arc<NotificationTable>) -> Self {
+    fn new(proxy: AndroidLocationProxy, table: Arc<NotificationTable>, device: Device) -> Self {
         Self {
             proxy,
             table,
+            device,
             registrations: Mutex::new(HashMap::new()),
         }
     }
@@ -181,6 +222,17 @@ impl JavaScriptInterface for LocationWrapper {
             ))),
         }
     }
+
+    fn call_traced(
+        &self,
+        method: &str,
+        call_args: &[JsValue],
+        traceparent: Option<&str>,
+    ) -> Result<JsValue, BridgeError> {
+        bridge_traced(&self.device, "LocationWrapper", method, traceparent, || {
+            self.call(method, call_args)
+        })
+    }
 }
 
 fn notif_id_raw(id: NotificationId) -> u64 {
@@ -191,11 +243,16 @@ fn notif_id_raw(id: NotificationId) -> u64 {
 pub struct SmsWrapper {
     proxy: AndroidSmsProxy,
     table: Arc<NotificationTable>,
+    device: Device,
 }
 
 impl SmsWrapper {
-    fn new(proxy: AndroidSmsProxy, table: Arc<NotificationTable>) -> Self {
-        Self { proxy, table }
+    fn new(proxy: AndroidSmsProxy, table: Arc<NotificationTable>, device: Device) -> Self {
+        Self {
+            proxy,
+            table,
+            device,
+        }
     }
 }
 
@@ -251,11 +308,23 @@ impl JavaScriptInterface for SmsWrapper {
             ))),
         }
     }
+
+    fn call_traced(
+        &self,
+        method: &str,
+        call_args: &[JsValue],
+        traceparent: Option<&str>,
+    ) -> Result<JsValue, BridgeError> {
+        bridge_traced(&self.device, "SmsWrapper", method, traceparent, || {
+            self.call(method, call_args)
+        })
+    }
 }
 
 /// The `CallWrapper` Java class.
 pub struct CallWrapper {
     proxy: AndroidCallProxy,
+    device: Device,
 }
 
 impl JavaScriptInterface for CallWrapper {
@@ -293,11 +362,23 @@ impl JavaScriptInterface for CallWrapper {
             ))),
         }
     }
+
+    fn call_traced(
+        &self,
+        method: &str,
+        call_args: &[JsValue],
+        traceparent: Option<&str>,
+    ) -> Result<JsValue, BridgeError> {
+        bridge_traced(&self.device, "CallWrapper", method, traceparent, || {
+            self.call(method, call_args)
+        })
+    }
 }
 
 /// The `HttpWrapper` Java class.
 pub struct HttpWrapper {
     proxy: AndroidHttpProxy,
+    device: Device,
 }
 
 impl JavaScriptInterface for HttpWrapper {
@@ -329,6 +410,17 @@ impl JavaScriptInterface for HttpWrapper {
             ))),
         }
     }
+
+    fn call_traced(
+        &self,
+        method: &str,
+        call_args: &[JsValue],
+        traceparent: Option<&str>,
+    ) -> Result<JsValue, BridgeError> {
+        bridge_traced(&self.device, "HttpWrapper", method, traceparent, || {
+            self.call(method, call_args)
+        })
+    }
 }
 
 /// The wrapper factory (`SmsWrapperFactory` generalized): constructs
@@ -337,6 +429,7 @@ impl JavaScriptInterface for HttpWrapper {
 /// re-installation replaces the wrappers.
 pub fn install_wrappers(webview: &WebView) {
     let ctx = webview.context().clone();
+    let device = ctx.device().clone();
     let table = Arc::clone(webview.notifications());
 
     let location_proxy = AndroidLocationProxy::new();
@@ -344,7 +437,11 @@ pub fn install_wrappers(webview: &WebView) {
         .set_property("context", PropertyValue::opaque(ctx.clone()))
         .expect("catalog declares the context property");
     webview.add_javascript_interface(
-        Arc::new(LocationWrapper::new(location_proxy, Arc::clone(&table))),
+        Arc::new(LocationWrapper::new(
+            location_proxy,
+            Arc::clone(&table),
+            device.clone(),
+        )),
         interface_names::LOCATION,
     );
 
@@ -353,7 +450,7 @@ pub fn install_wrappers(webview: &WebView) {
         .set_property("context", PropertyValue::opaque(ctx.clone()))
         .expect("catalog declares the context property");
     webview.add_javascript_interface(
-        Arc::new(SmsWrapper::new(sms_proxy, table)),
+        Arc::new(SmsWrapper::new(sms_proxy, table, device.clone())),
         interface_names::SMS,
     );
 
@@ -362,7 +459,10 @@ pub fn install_wrappers(webview: &WebView) {
         .set_property("context", PropertyValue::opaque(ctx.clone()))
         .expect("catalog declares the context property");
     webview.add_javascript_interface(
-        Arc::new(CallWrapper { proxy: call_proxy }),
+        Arc::new(CallWrapper {
+            proxy: call_proxy,
+            device: device.clone(),
+        }),
         interface_names::CALL,
     );
 
@@ -371,7 +471,10 @@ pub fn install_wrappers(webview: &WebView) {
         .set_property("context", PropertyValue::opaque(ctx))
         .expect("catalog declares the context property");
     webview.add_javascript_interface(
-        Arc::new(HttpWrapper { proxy: http_proxy }),
+        Arc::new(HttpWrapper {
+            proxy: http_proxy,
+            device,
+        }),
         interface_names::HTTP,
     );
 }

@@ -4,6 +4,8 @@
 use std::fmt;
 use std::sync::Arc;
 
+use mobivine_telemetry::MetricsRegistry;
+
 use crate::calendar::CalendarStore;
 use crate::call::CallSwitch;
 use crate::clock::SimClock;
@@ -49,6 +51,7 @@ pub struct Device {
     calendar: Arc<CalendarStore>,
     coverage: Arc<CellCoverage>,
     latency: LatencyModel,
+    metrics: Arc<MetricsRegistry>,
     msisdn: String,
 }
 
@@ -126,6 +129,13 @@ impl Device {
     /// The calibrated native-API latency model.
     pub fn latency(&self) -> &LatencyModel {
         &self.latency
+    }
+
+    /// The device-wide metrics registry. Every subsystem (GPS, SMSC,
+    /// network, fault plan) publishes into it, and middleware layers
+    /// above share it so one registry exports the whole call path.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
     }
 
     /// This device's phone number.
@@ -230,16 +240,20 @@ impl DeviceBuilder {
     pub fn build(self) -> Device {
         let clock = SimClock::new();
         let events = Arc::new(EventQueue::new());
+        let metrics = MetricsRegistry::shared();
         let gps = Arc::new(GpsEngine::new(
             clock.clone(),
             self.position,
             self.movement,
             self.seed,
         ));
+        gps.bind_metrics(Arc::clone(&metrics));
         let smsc = Arc::new(Smsc::new(Arc::clone(&events), self.seed.wrapping_add(1)));
         smsc.register_address(&self.msisdn);
+        smsc.bind_metrics(Arc::clone(&metrics));
         let call_switch = Arc::new(CallSwitch::new(Arc::clone(&events)));
         let network = Arc::new(SimNetwork::new(Arc::clone(&events)));
+        network.bind_metrics(Arc::clone(&metrics), clock.clone());
         Device {
             clock,
             events,
@@ -252,6 +266,7 @@ impl DeviceBuilder {
             calendar: Arc::new(CalendarStore::new()),
             coverage: Arc::new(CellCoverage::new()),
             latency: self.latency,
+            metrics,
             msisdn: self.msisdn,
         }
     }

@@ -69,7 +69,17 @@ impl FaultPlan {
     }
 
     fn schedule(&self, at_ms: u64, label: &'static str, action: impl FnOnce(u64) + Send + 'static) {
-        let id = self.device.events().schedule_at(at_ms, label, action);
+        let transitions = self.device.metrics().counter(
+            "device_fault_transitions_total",
+            mobivine_telemetry::Labels::new(&[("fault", label)]),
+        );
+        let id = self
+            .device
+            .events()
+            .schedule_at(at_ms, label, move |at_ms| {
+                transitions.inc();
+                action(at_ms);
+            });
         self.scheduled.lock().push(id);
     }
 

@@ -8,10 +8,14 @@
 //! OUT_OF_SERVICE).
 
 use std::fmt;
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+use mobivine_telemetry::span::{ambient, Plane};
+use mobivine_telemetry::{Counter, Labels, MetricsRegistry};
 
 use crate::clock::SimClock;
 use crate::geo::GeoPoint;
@@ -78,6 +82,11 @@ struct GpsState {
     started_at_ms: Option<u64>,
 }
 
+struct GpsMetrics {
+    fixes: Counter,
+    errors: Counter,
+}
+
 /// The simulated GPS receiver.
 ///
 /// # Example
@@ -101,6 +110,7 @@ struct GpsState {
 pub struct GpsEngine {
     clock: SimClock,
     state: Mutex<GpsState>,
+    metrics: Mutex<Option<GpsMetrics>>,
 }
 
 impl fmt::Debug for GpsEngine {
@@ -129,7 +139,19 @@ impl GpsEngine {
                 ttff_ms: 0,
                 started_at_ms: None,
             }),
+            metrics: Mutex::new(None),
         }
+    }
+
+    /// Connects the engine to a metrics registry: fixes and fix errors
+    /// are counted under `device_gps_fixes_total` /
+    /// `device_gps_errors_total`. Called by the device builder; engines
+    /// constructed standalone publish nothing.
+    pub fn bind_metrics(&self, registry: Arc<MetricsRegistry>) {
+        *self.metrics.lock() = Some(GpsMetrics {
+            fixes: registry.counter("device_gps_fixes_total", Labels::empty()),
+            errors: registry.counter("device_gps_errors_total", Labels::empty()),
+        });
     }
 
     /// Sets the 1-sigma horizontal accuracy used by the noise model
@@ -190,6 +212,24 @@ impl GpsEngine {
     /// configured time-to-first-fix window.
     pub fn current_fix(&self) -> Result<Fix, GpsError> {
         let now = self.clock.now_ms();
+        let span = ambient::child("device:gps.currentFix", Plane::Device, now);
+        let result = self.fix_at(now);
+        if let Some(metrics) = self.metrics.lock().as_ref() {
+            match &result {
+                Ok(_) => metrics.fixes.inc(),
+                Err(_) => metrics.errors.inc(),
+            }
+        }
+        if let Some(mut span) = span {
+            if let Err(e) = &result {
+                span.attr("error", &e.to_string());
+            }
+            span.end(self.clock.now_ms());
+        }
+        result
+    }
+
+    fn fix_at(&self, now: u64) -> Result<Fix, GpsError> {
         let mut state = self.state.lock();
         match state.availability {
             GpsAvailability::OutOfService => return Err(GpsError::OutOfService),

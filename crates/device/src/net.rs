@@ -11,8 +11,11 @@ use std::fmt;
 use std::str::FromStr;
 use std::sync::Arc;
 
+use mobivine_telemetry::span::{ambient, Plane};
+use mobivine_telemetry::{Counter, Histogram, Labels, MetricsRegistry};
 use parking_lot::Mutex;
 
+use crate::clock::SimClock;
 use crate::event::EventQueue;
 
 /// HTTP request method (the subset the 2009-era mobile stacks exposed).
@@ -283,6 +286,14 @@ struct NetState {
     down: bool,
 }
 
+#[derive(Clone)]
+struct NetMetrics {
+    requests: Counter,
+    errors: Counter,
+    rtt: Histogram,
+    clock: SimClock,
+}
+
 /// The simulated network: registered servers plus a latency model.
 ///
 /// # Example
@@ -305,6 +316,7 @@ struct NetState {
 pub struct SimNetwork {
     events: Arc<EventQueue>,
     state: Arc<Mutex<NetState>>,
+    metrics: Mutex<Option<NetMetrics>>,
 }
 
 impl fmt::Debug for SimNetwork {
@@ -328,7 +340,21 @@ impl SimNetwork {
                 bytes_per_ms: 4_096,
                 down: false,
             })),
+            metrics: Mutex::new(None),
         }
+    }
+
+    /// Connects this network to a metrics registry. The clock is needed
+    /// because the network does not own one: request spans start at the
+    /// current virtual time and end after the simulated round trip.
+    /// Until bound, the network publishes nothing.
+    pub fn bind_metrics(&self, registry: Arc<MetricsRegistry>, clock: SimClock) {
+        *self.metrics.lock() = Some(NetMetrics {
+            requests: registry.counter("device_net_requests_total", Labels::empty()),
+            errors: registry.counter("device_net_errors_total", Labels::empty()),
+            rtt: registry.histogram("device_net_rtt_ms", Labels::empty()),
+            clock,
+        });
     }
 
     /// Registers a handler for `(method, path)` on `host`, creating the
@@ -391,6 +417,42 @@ impl SimNetwork {
     /// URL's host. An unrouted path on a known host is a *successful*
     /// transport returning `404`.
     pub fn execute(&self, request: &HttpRequest) -> Result<(HttpResponse, u64), NetworkError> {
+        let metrics = self.metrics.lock().clone();
+        let now = metrics.as_ref().map(|m| m.clock.now_ms()).unwrap_or(0);
+        let mut span = ambient::child("device:net.request", Plane::Device, now);
+        if let Some(s) = span.as_mut() {
+            s.attr("method", &request.method.to_string());
+            s.attr("host", &request.url.host);
+            s.attr("path", &request.url.path);
+        }
+        if let Some(m) = &metrics {
+            m.requests.inc();
+        }
+        let outcome = self.execute_inner(request);
+        match &outcome {
+            Ok((response, elapsed)) => {
+                if let Some(m) = &metrics {
+                    m.rtt.record(*elapsed);
+                }
+                if let Some(mut s) = span {
+                    s.attr("status", &response.status.to_string());
+                    s.end(now + elapsed);
+                }
+            }
+            Err(err) => {
+                if let Some(m) = &metrics {
+                    m.errors.inc();
+                }
+                if let Some(mut s) = span {
+                    s.attr("error", &err.to_string());
+                    s.end(now);
+                }
+            }
+        }
+        outcome
+    }
+
+    fn execute_inner(&self, request: &HttpRequest) -> Result<(HttpResponse, u64), NetworkError> {
         let response = {
             let state = self.state.lock();
             if state.down {

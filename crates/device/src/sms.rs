@@ -11,6 +11,8 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
+use mobivine_telemetry::span::{ambient, Plane};
+use mobivine_telemetry::{Counter, Labels, MetricsRegistry};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -161,6 +163,13 @@ pub type DeliveryReportFn = Box<dyn Fn(MessageId, DeliveryStatus, u64) + Send>;
 /// Callback invoked when a message arrives at a registered address.
 pub type InboxListenerFn = Box<dyn Fn(&InboxMessage) + Send>;
 
+#[derive(Clone)]
+struct SmsMetrics {
+    submitted: Counter,
+    delivered: Counter,
+    lost: Counter,
+}
+
 struct SmscState {
     next_id: u64,
     latency_ms: u64,
@@ -194,6 +203,7 @@ struct SmscState {
 pub struct Smsc {
     events: Arc<EventQueue>,
     state: Arc<Mutex<SmscState>>,
+    metrics: Mutex<Option<SmsMetrics>>,
 }
 
 impl fmt::Debug for Smsc {
@@ -222,7 +232,18 @@ impl Smsc {
                 statuses: HashMap::new(),
                 report_listeners: HashMap::new(),
             })),
+            metrics: Mutex::new(None),
         }
+    }
+
+    /// Connects this SMSC to a metrics registry. Until bound, the SMSC
+    /// publishes nothing (standalone instances stay silent).
+    pub fn bind_metrics(&self, registry: Arc<MetricsRegistry>) {
+        *self.metrics.lock() = Some(SmsMetrics {
+            submitted: registry.counter("device_sms_submitted_total", Labels::empty()),
+            delivered: registry.counter("device_sms_delivered_total", Labels::empty()),
+            lost: registry.counter("device_sms_lost_total", Labels::empty()),
+        });
     }
 
     /// Network transit latency applied to each message (default 40 ms).
@@ -296,7 +317,15 @@ impl Smsc {
         now_ms: u64,
         report: Option<DeliveryReportFn>,
     ) -> MessageId {
+        let metrics = self.metrics.lock().clone();
+        let mut span = ambient::child("device:sms.submit", Plane::Device, now_ms);
+        if let Some(m) = &metrics {
+            m.submitted.inc();
+        }
         let segments = segment_message(body);
+        if let Some(s) = span.as_mut() {
+            s.attr("segments", &segments.count().to_string());
+        }
         let (id, deliver_at, lost) = {
             let mut state = self.state.lock();
             let id = MessageId(state.next_id);
@@ -322,6 +351,12 @@ impl Smsc {
                 } else {
                     DeliveryStatus::Delivered
                 };
+                if let Some(m) = &metrics {
+                    match final_status {
+                        DeliveryStatus::Delivered => m.delivered.inc(),
+                        _ => m.lost.inc(),
+                    }
+                }
                 guard.statuses.insert(id, final_status);
                 if final_status == DeliveryStatus::Delivered {
                     let message = InboxMessage {
@@ -358,6 +393,9 @@ impl Smsc {
                     }
                 }
             });
+        if let Some(s) = span {
+            s.end(now_ms);
+        }
         id
     }
 }

@@ -150,6 +150,26 @@ impl LocationManager {
     /// - [`AndroidException::IllegalArgument`] for unknown providers.
     /// - [`AndroidException::Remote`] when the receiver has no fix.
     pub fn get_current_location(&self, provider: &str) -> Result<Location, AndroidException> {
+        let device = self.ctx.device();
+        let mut span = mobivine_telemetry::span::ambient::child(
+            "platform:LocationManager.getCurrentLocation",
+            mobivine_telemetry::span::Plane::Platform,
+            device.now_ms(),
+        );
+        if let Some(s) = span.as_mut() {
+            s.attr("provider", provider);
+        }
+        let result = self.get_current_location_inner(provider);
+        if let Some(mut s) = span {
+            if let Err(e) = &result {
+                s.attr("error", &e.to_string());
+            }
+            s.end(device.now_ms());
+        }
+        result
+    }
+
+    fn get_current_location_inner(&self, provider: &str) -> Result<Location, AndroidException> {
         self.ctx
             .enforce_permission(Permission::AccessFineLocation)?;
         let accuracy_multiplier = match provider {

@@ -320,6 +320,23 @@ impl LocationProvider {
     /// (temporarily unavailable or out of service).
     pub fn get_location(&self, _timeout_s: i32) -> Result<Location, S60Exception> {
         let device = self.platform.device();
+        let mut span = mobivine_telemetry::span::ambient::child(
+            "platform:LocationProvider.getLocation",
+            mobivine_telemetry::span::Plane::Platform,
+            device.now_ms(),
+        );
+        let result = self.get_location_inner();
+        if let Some(mut s) = span.take() {
+            if let Err(e) = &result {
+                s.attr("error", &e.to_string());
+            }
+            s.end(device.now_ms());
+        }
+        result
+    }
+
+    fn get_location_inner(&self) -> Result<Location, S60Exception> {
+        let device = self.platform.device();
         device.latency().consume(NativeApi::GetLocation);
         let level = self.criteria.power_consumption;
         device.power().draw("gps", 1.0 * level.draw_multiplier());

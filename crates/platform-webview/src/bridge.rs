@@ -147,6 +147,28 @@ pub trait JavaScriptInterface: Send + Sync {
     /// [`ErrorCode::Bridge`]-coded error for unknown methods or type
     /// mismatches.
     fn call(&self, method: &str, args: &[JsValue]) -> Result<JsValue, BridgeError>;
+
+    /// Invokes `method` carrying an optional W3C `traceparent` string
+    /// across the bridge, so middleware above the page can stitch the
+    /// JavaScript side and the native side into one trace.
+    ///
+    /// The default implementation ignores the trace context and
+    /// delegates to [`JavaScriptInterface::call`]; trace-aware wrappers
+    /// override it to parent their native-side spans on the caller's
+    /// context.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`JavaScriptInterface::call`].
+    fn call_traced(
+        &self,
+        method: &str,
+        args: &[JsValue],
+        traceparent: Option<&str>,
+    ) -> Result<JsValue, BridgeError> {
+        let _ = traceparent;
+        self.call(method, args)
+    }
 }
 
 /// Argument-extraction helpers shared by wrapper implementations.

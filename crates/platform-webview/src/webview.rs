@@ -166,6 +166,22 @@ impl JsInterfaceHandle {
     pub fn invoke(&self, method: &str, args: &[JsValue]) -> Result<JsValue, BridgeError> {
         self.object.call(method, args)
     }
+
+    /// Invokes a method across the bridge carrying an optional W3C
+    /// `traceparent` string, the page-side half of cross-bridge trace
+    /// propagation. Wrappers that are not trace-aware ignore it.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`JsInterfaceHandle::invoke`].
+    pub fn invoke_traced(
+        &self,
+        method: &str,
+        args: &[JsValue],
+        traceparent: Option<&str>,
+    ) -> Result<JsValue, BridgeError> {
+        self.object.call_traced(method, args, traceparent)
+    }
 }
 
 #[cfg(test)]

@@ -211,7 +211,13 @@ pub fn unescape(s: &str) -> Result<String, usize> {
             out.push(entity);
             i += len;
         } else {
-            let c = s[i..].chars().next().expect("in-bounds char");
+            // `i` always lands on a char boundary (it only advances by
+            // whole entities or `len_utf8`), but report the offset as a
+            // malformed-input error rather than panicking if that
+            // invariant is ever violated.
+            let Some(c) = s[i..].chars().next() else {
+                return Err(i);
+            };
             out.push(c);
             i += c.len_utf8();
         }
@@ -285,9 +291,9 @@ impl<'a> Parser<'a> {
         if self.pos == start {
             return Err(self.error("expected a name"));
         }
-        Ok(std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("name bytes are ascii")
-            .to_owned())
+        let name = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("name is not valid utf-8"))?;
+        Ok(name.to_owned())
     }
 
     fn parse_element(&mut self) -> Result<XmlNode, XmlError> {

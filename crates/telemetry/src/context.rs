@@ -1,0 +1,104 @@
+//! Trace context propagation across serialization boundaries.
+//!
+//! Inside one address space the ambient span stack (see
+//! [`crate::span::ambient`]) links layers implicitly. The WebView
+//! JavaScript bridge, however, only carries marshalled values — the
+//! paper's footnote 8 constraint — so the trace context crosses it as a
+//! string in the W3C `traceparent` shape:
+//!
+//! ```text
+//! 00-<32 hex trace id>-<16 hex span id>-01
+//! ```
+
+use std::fmt;
+
+use crate::span::{SpanId, TraceId};
+
+/// The propagatable identity of a span: which trace it belongs to and
+/// which span is the parent of whatever gets created on the far side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    /// The trace this context belongs to.
+    pub trace_id: TraceId,
+    /// The span that children created from this context hang off.
+    pub span_id: SpanId,
+}
+
+impl TraceContext {
+    /// Renders the context as a W3C-style `traceparent` header value.
+    pub fn traceparent(&self) -> String {
+        format!("00-{:032x}-{:016x}-01", self.trace_id.0, self.span_id.0)
+    }
+
+    /// Parses a `traceparent` header value back into a context.
+    /// Returns `None` for malformed input (wrong field count, wrong
+    /// widths, non-hex digits, or an all-zero id).
+    pub fn parse_traceparent(value: &str) -> Option<Self> {
+        let mut parts = value.split('-');
+        let version = parts.next()?;
+        let trace = parts.next()?;
+        let span = parts.next()?;
+        let flags = parts.next()?;
+        if parts.next().is_some()
+            || version.len() != 2
+            || trace.len() != 32
+            || span.len() != 16
+            || flags.len() != 2
+        {
+            return None;
+        }
+        let trace_id = u64::from_str_radix(trace.get(16..)?, 16).ok()?;
+        // The repro's trace ids are 64-bit; the upper half must be zero.
+        if u64::from_str_radix(trace.get(..16)?, 16).ok()? != 0 {
+            return None;
+        }
+        let span_id = u64::from_str_radix(span, 16).ok()?;
+        if trace_id == 0 || span_id == 0 {
+            return None;
+        }
+        Some(Self {
+            trace_id: TraceId(trace_id),
+            span_id: SpanId(span_id),
+        })
+    }
+}
+
+impl fmt::Display for TraceContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.traceparent())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traceparent_round_trips() {
+        let ctx = TraceContext {
+            trace_id: TraceId(0xDEAD_BEEF),
+            span_id: SpanId(42),
+        };
+        let wire = ctx.traceparent();
+        assert_eq!(
+            wire,
+            "00-000000000000000000000000deadbeef-000000000000002a-01"
+        );
+        assert_eq!(TraceContext::parse_traceparent(&wire), Some(ctx));
+    }
+
+    #[test]
+    fn malformed_traceparents_are_rejected() {
+        for bad in [
+            "",
+            "00-abc-def-01",
+            "00-000000000000000000000000deadbeef-000000000000002a",
+            "00-zzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzz-000000000000002a-01",
+            "00-00000000000000000000000000000000-0000000000000000-01",
+            "00-100000000000000000000000deadbeef-000000000000002a-01",
+            "00-000000000000000000000000deadbeef-000000000000002a-01-extra",
+        ] {
+            assert_eq!(TraceContext::parse_traceparent(bad), None, "{bad:?}");
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Exporters: Chrome trace-event JSON for span trees, plus a validator
+//! that round-trips the exported document.
+//!
+//! The Chrome trace-event format (the "JSON Array with metadata"
+//! object form) is what `chrome://tracing` and Perfetto load directly:
+//! complete (`"ph":"X"`) events carry `ts`/`dur` in **microseconds**,
+//! instant (`"ph":"i"`) events mark span events. Virtual milliseconds
+//! are scaled by 1000, so one simulated millisecond reads as one
+//! millisecond on the timeline.
+//!
+//! Prometheus text exposition lives on
+//! [`crate::metrics::MetricsRegistry::render_prometheus`]; this module
+//! owns the span-tree side.
+
+use serde_json::Value;
+
+use crate::span::{SpanRecord, TraceId};
+
+fn hex_id(value: u64, width: usize) -> String {
+    format!("{value:0width$x}")
+}
+
+fn span_args(span: &SpanRecord) -> Value {
+    let mut fields = vec![
+        (
+            "trace_id".to_owned(),
+            Value::String(hex_id(span.trace_id.0, 32)),
+        ),
+        (
+            "span_id".to_owned(),
+            Value::String(hex_id(span.span_id.0, 16)),
+        ),
+        ("plane".to_owned(), Value::String(span.plane.to_string())),
+    ];
+    if let Some(parent) = span.parent_id {
+        fields.push(("parent_id".to_owned(), Value::String(hex_id(parent.0, 16))));
+    }
+    for (key, value) in &span.attrs {
+        fields.push((format!("attr.{key}"), Value::String(value.clone())));
+    }
+    Value::Object(fields)
+}
+
+/// Renders finished spans as a Chrome trace-event JSON document.
+///
+/// Every span becomes one complete (`"X"`) event whose `args` carry the
+/// span/parent ids (hex) and attributes; every [`span
+/// event`](crate::span::SpanEvent) becomes a thread-scoped instant
+/// (`"i"`) event.
+pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
+    let mut events = Vec::new();
+    for span in spans {
+        events.push(Value::Object(vec![
+            ("name".to_owned(), Value::String(span.name.clone())),
+            ("cat".to_owned(), Value::String(span.plane.to_string())),
+            ("ph".to_owned(), Value::String("X".to_owned())),
+            (
+                "ts".to_owned(),
+                Value::Number(span.start_ms as f64 * 1000.0),
+            ),
+            (
+                "dur".to_owned(),
+                Value::Number((span.end_ms - span.start_ms) as f64 * 1000.0),
+            ),
+            ("pid".to_owned(), Value::Number(1.0)),
+            ("tid".to_owned(), Value::Number(span.trace_id.0 as f64)),
+            ("args".to_owned(), span_args(span)),
+        ]));
+        for event in &span.events {
+            events.push(Value::Object(vec![
+                ("name".to_owned(), Value::String(event.name.clone())),
+                ("cat".to_owned(), Value::String(span.plane.to_string())),
+                ("ph".to_owned(), Value::String("i".to_owned())),
+                ("ts".to_owned(), Value::Number(event.at_ms as f64 * 1000.0)),
+                ("pid".to_owned(), Value::Number(1.0)),
+                ("tid".to_owned(), Value::Number(span.trace_id.0 as f64)),
+                ("s".to_owned(), Value::String("t".to_owned())),
+                (
+                    "args".to_owned(),
+                    Value::Object(vec![(
+                        "span_id".to_owned(),
+                        Value::String(hex_id(span.span_id.0, 16)),
+                    )]),
+                ),
+            ]));
+        }
+    }
+    Value::Object(vec![
+        ("traceEvents".to_owned(), Value::Array(events)),
+        ("displayTimeUnit".to_owned(), Value::String("ms".to_owned())),
+    ])
+    .to_string()
+}
+
+/// What [`validate_chrome_trace`] found in a valid document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChromeTraceSummary {
+    /// Total events (complete + instant).
+    pub events: usize,
+    /// Complete (`"X"`) span events.
+    pub spans: usize,
+    /// Distinct trace ids.
+    pub traces: usize,
+}
+
+fn field_str<'a>(event: &'a Value, key: &str) -> Result<&'a str, String> {
+    match event.get_field(key) {
+        Some(Value::String(s)) => Ok(s),
+        other => Err(format!("field {key} is {other:?}, expected a string")),
+    }
+}
+
+fn field_num(event: &Value, key: &str) -> Result<f64, String> {
+    match event.get_field(key) {
+        Some(Value::Number(n)) => Ok(*n),
+        other => Err(format!("field {key} is {other:?}, expected a number")),
+    }
+}
+
+/// Parses a Chrome trace-event JSON document back and checks its
+/// structure: a `traceEvents` array of well-formed `X`/`i` events with
+/// non-negative microsecond timestamps, and — per trace — every
+/// `parent_id` resolving to a span in the same trace that started no
+/// later than its child.
+///
+/// # Errors
+///
+/// A description of the first violation (including JSON parse errors).
+pub fn validate_chrome_trace(json: &str) -> Result<ChromeTraceSummary, String> {
+    let doc: Value = serde_json::from_str(json).map_err(|e| e.to_string())?;
+    let events = match doc.get_field("traceEvents") {
+        Some(Value::Array(events)) => events,
+        other => return Err(format!("traceEvents is {other:?}, expected an array")),
+    };
+    // (trace hex, span hex) -> start ts.
+    let mut span_starts = std::collections::HashMap::new();
+    let mut parents = Vec::new();
+    let mut traces = std::collections::BTreeSet::new();
+    let mut spans = 0usize;
+    for event in events {
+        let name = field_str(event, "name")?;
+        let ph = field_str(event, "ph")?;
+        let ts = field_num(event, "ts")?;
+        if ts < 0.0 {
+            return Err(format!("event {name} has negative ts {ts}"));
+        }
+        match ph {
+            "X" => {
+                spans += 1;
+                let dur = field_num(event, "dur")?;
+                if dur < 0.0 {
+                    return Err(format!("span {name} has negative dur {dur}"));
+                }
+                let args = event
+                    .get_field("args")
+                    .ok_or_else(|| format!("span {name} has no args"))?;
+                let trace = field_str(args, "trace_id")?.to_owned();
+                let span = field_str(args, "span_id")?.to_owned();
+                traces.insert(trace.clone());
+                if let Some(Value::String(parent)) = args.get_field("parent_id") {
+                    parents.push((name.to_owned(), trace.clone(), parent.clone(), ts));
+                }
+                if span_starts.insert((trace, span), ts).is_some() {
+                    return Err(format!("span {name} has a duplicate span_id"));
+                }
+            }
+            "i" => {}
+            other => return Err(format!("event {name} has unknown phase {other:?}")),
+        }
+    }
+    for (name, trace, parent, ts) in parents {
+        match span_starts.get(&(trace, parent.clone())) {
+            None => return Err(format!("span {name} has unresolved parent {parent}")),
+            Some(parent_ts) if ts < *parent_ts => {
+                return Err(format!(
+                    "span {name} starts at {ts} before its parent at {parent_ts}"
+                ))
+            }
+            Some(_) => {}
+        }
+    }
+    Ok(ChromeTraceSummary {
+        events: events.len(),
+        spans,
+        traces: traces.len(),
+    })
+}
+
+/// Groups spans by trace id, preserving order within each trace.
+pub fn group_by_trace(spans: &[SpanRecord]) -> Vec<(TraceId, Vec<SpanRecord>)> {
+    let mut grouped: Vec<(TraceId, Vec<SpanRecord>)> = Vec::new();
+    for span in spans {
+        match grouped.iter_mut().find(|(id, _)| *id == span.trace_id) {
+            Some((_, bucket)) => bucket.push(span.clone()),
+            None => grouped.push((span.trace_id, vec![span.clone()])),
+        }
+    }
+    grouped
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{ambient, Plane, Tracer};
+
+    fn sample_spans() -> Vec<SpanRecord> {
+        let tracer = Tracer::new();
+        let mut root = tracer.root("app:patrol", Plane::App, 0);
+        root.attr("agent", "a-1");
+        {
+            let mut child = ambient::child("proxy:Location.getLocation", Plane::Proxy, 5).unwrap();
+            child.event("retry", 7);
+            child.end(20);
+        }
+        root.end(30);
+        tracer.take_finished()
+    }
+
+    #[test]
+    fn export_round_trips_through_validation() {
+        let spans = sample_spans();
+        let json = chrome_trace_json(&spans);
+        let summary = validate_chrome_trace(&json).expect("valid document");
+        assert_eq!(summary.spans, 2);
+        assert_eq!(summary.events, 3, "two spans plus one instant event");
+        assert_eq!(summary.traces, 1);
+    }
+
+    #[test]
+    fn validation_rejects_broken_parent_links() {
+        let mut spans = sample_spans();
+        // Drop the root: the child's parent can no longer resolve.
+        spans.retain(|s| s.parent_id.is_some());
+        let json = chrome_trace_json(&spans);
+        let err = validate_chrome_trace(&json).unwrap_err();
+        assert!(err.contains("unresolved parent"), "{err}");
+    }
+
+    #[test]
+    fn validation_rejects_non_json() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+    }
+
+    #[test]
+    fn grouping_separates_traces() {
+        let tracer = Tracer::new();
+        tracer.root("a", Plane::App, 0).end(1);
+        tracer.root("b", Plane::App, 0).end(1);
+        let grouped = group_by_trace(&tracer.take_finished());
+        assert_eq!(grouped.len(), 2);
+        assert!(grouped.iter().all(|(_, spans)| spans.len() == 1));
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+//! Plane-aware telemetry for the MobiVine reproduction.
+//!
+//! The paper's quantitative argument (Fig. 10) is about what happens
+//! *inside* the proxy layers; this crate makes those layers visible as
+//! first-class data instead of ad-hoc accumulation:
+//!
+//! * [`span`] — span tracing on **simulated (virtual) time**. A
+//!   [`Tracer`] hands out [`ActiveSpan`]s carrying a
+//!   [`TraceId`]/[`SpanId`] pair and a parent link; an ambient,
+//!   thread-local span stack lets lower layers (resilience engine,
+//!   platform middleware, device substrate) attach child spans without
+//!   any API threading. Each span is tagged with the M-Proxy [`Plane`]
+//!   it instruments (app → proxy → resilience → binding → bridge →
+//!   platform → device).
+//! * [`context`] — the [`TraceContext`] that crosses process-like
+//!   boundaries (the WebView JavaScript bridge) as a W3C-style
+//!   `traceparent` string, proving propagation is a wire format and not
+//!   shared memory.
+//! * [`metrics`] — a [`MetricsRegistry`] of named counters, gauges and
+//!   log-bucketed latency histograms keyed by sorted label sets (the
+//!   canonical key being `(proxy, method, platform)`).
+//! * [`export`] — Chrome trace-event JSON for span trees (load the file
+//!   in `chrome://tracing` / Perfetto) and Prometheus-style text
+//!   exposition for the registry, plus validators that round-trip the
+//!   exported JSON.
+//!
+//! The crate deliberately has **no dependency on the device substrate**:
+//! every timestamp is passed in as a `u64` of virtual milliseconds, so
+//! any clock (simulated or wall) can drive it.
+
+pub mod context;
+pub mod export;
+pub mod metrics;
+pub mod span;
+
+pub use context::TraceContext;
+pub use metrics::{Counter, Gauge, Histogram, Labels, MetricsRegistry};
+pub use span::{ambient, ActiveSpan, Plane, SpanEvent, SpanId, SpanRecord, TraceId, Tracer};

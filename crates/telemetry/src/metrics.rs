@@ -1,0 +1,454 @@
+//! The metrics registry: named counters, gauges and log-bucketed
+//! latency histograms keyed by sorted label sets.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap clones of
+//! shared atomics — get them once, update them lock-free on the hot
+//! path. The registry itself is only locked on get-or-create and on
+//! export.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// A canonicalised (sorted, deduplicated) label set.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Labels(Vec<(String, String)>);
+
+impl Labels {
+    /// The empty label set.
+    pub fn empty() -> Self {
+        Self(Vec::new())
+    }
+
+    /// Builds a label set from pairs; keys are sorted and later
+    /// duplicates win.
+    pub fn new(pairs: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = Vec::with_capacity(pairs.len());
+        for (key, value) in pairs {
+            match labels.iter_mut().find(|(k, _)| k == key) {
+                Some(slot) => slot.1 = (*value).to_owned(),
+                None => labels.push(((*key).to_owned(), (*value).to_owned())),
+            }
+        }
+        labels.sort();
+        Self(labels)
+    }
+
+    /// The canonical call-path key: `(proxy, method, platform)`.
+    pub fn call(proxy: &str, method: &str, platform: &str) -> Self {
+        Self::new(&[("proxy", proxy), ("method", method), ("platform", platform)])
+    }
+
+    /// Looks a label up by key.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The sorted pairs.
+    pub fn pairs(&self) -> &[(String, String)] {
+        &self.0
+    }
+
+    /// Renders `{k="v",…}` in Prometheus exposition syntax (empty
+    /// string for the empty set). `extra` pairs are appended, used for
+    /// the `quantile` label on histogram summaries.
+    fn render(&self, extra: &[(&str, &str)]) -> String {
+        if self.0.is_empty() && extra.is_empty() {
+            return String::new();
+        }
+        let mut out = String::from("{");
+        let mut first = true;
+        for (k, v) in self
+            .0
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .chain(extra.iter().copied())
+        {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{k}=\"{}\"",
+                v.replace('\\', "\\\\").replace('"', "\\\"")
+            );
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn value(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn value(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+const BUCKETS: usize = 65;
+
+struct HistogramInner {
+    /// Bucket 0 holds exact zeros; bucket `i >= 1` holds values in
+    /// `[2^(i-1), 2^i - 1]` — power-of-two (log-bucketed) boundaries.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A log-bucketed histogram of non-negative integer samples (virtual
+/// milliseconds or wall-clock microseconds — unit is the caller's).
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .finish()
+    }
+}
+
+fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+fn bucket_bounds(index: usize) -> (u64, u64) {
+    match index {
+        0 => (0, 0),
+        64 => (1 << 63, u64::MAX),
+        i => (1 << (i - 1), (1 << i) - 1),
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(HistogramInner {
+                buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        self.inner.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        self.inner.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// Arithmetic mean, `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / count as f64
+        }
+    }
+
+    /// Estimated quantile (`0.0..=1.0`) by cumulative walk over the
+    /// log buckets with linear interpolation inside the landing bucket.
+    /// Returns `0.0` when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 0-based rank of the sample we are after.
+        let target = (q * (count as f64 - 1.0)).round() as u64;
+        let mut seen = 0u64;
+        for (i, bucket) in self.inner.buckets.iter().enumerate() {
+            let in_bucket = bucket.load(Ordering::Relaxed);
+            if in_bucket == 0 {
+                continue;
+            }
+            if seen + in_bucket > target {
+                let (lo, hi) = bucket_bounds(i);
+                let position = (target - seen) as f64 + 0.5;
+                return lo as f64 + (hi - lo) as f64 * (position / in_bucket as f64);
+            }
+            seen += in_bucket;
+        }
+        bucket_bounds(BUCKETS - 1).1 as f64
+    }
+}
+
+/// The registry: get-or-create metric handles by `(name, labels)` and
+/// render the whole set as Prometheus-style text.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<(String, Labels), Counter>>,
+    gauges: Mutex<BTreeMap<(String, Labels), Gauge>>,
+    histograms: Mutex<BTreeMap<(String, Labels), Histogram>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("counters", &self.counters.lock().len())
+            .field("gauges", &self.gauges.lock().len())
+            .field("histograms", &self.histograms.lock().len())
+            .finish()
+    }
+}
+
+impl MetricsRegistry {
+    /// A fresh, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A fresh registry behind an [`Arc`], the shape everything shares.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// Get-or-create a counter.
+    pub fn counter(&self, name: &str, labels: Labels) -> Counter {
+        self.counters
+            .lock()
+            .entry((name.to_owned(), labels))
+            .or_default()
+            .clone()
+    }
+
+    /// Get-or-create a gauge.
+    pub fn gauge(&self, name: &str, labels: Labels) -> Gauge {
+        self.gauges
+            .lock()
+            .entry((name.to_owned(), labels))
+            .or_default()
+            .clone()
+    }
+
+    /// Get-or-create a histogram.
+    pub fn histogram(&self, name: &str, labels: Labels) -> Histogram {
+        self.histograms
+            .lock()
+            .entry((name.to_owned(), labels))
+            .or_default()
+            .clone()
+    }
+
+    /// The current value of a counter, `0` if it was never created
+    /// (reading does not create it).
+    pub fn counter_value(&self, name: &str, labels: &Labels) -> u64 {
+        self.counters
+            .lock()
+            .get(&(name.to_owned(), labels.clone()))
+            .map_or(0, Counter::value)
+    }
+
+    /// Every counter as `(name, labels, value)`, sorted by key.
+    pub fn counter_values(&self) -> Vec<(String, Labels, u64)> {
+        self.counters
+            .lock()
+            .iter()
+            .map(|((name, labels), counter)| (name.clone(), labels.clone(), counter.value()))
+            .collect()
+    }
+
+    /// Renders the registry in Prometheus text exposition format.
+    /// Counters and gauges expose their value; histograms expose
+    /// summary quantiles (p50/p95/p99) plus `_sum` and `_count`.
+    /// Output is deterministic (sorted by name, then labels).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_name = String::new();
+        for ((name, labels), counter) in self.counters.lock().iter() {
+            if *name != last_name {
+                let _ = writeln!(out, "# TYPE {name} counter");
+                last_name.clone_from(name);
+            }
+            let _ = writeln!(out, "{name}{} {}", labels.render(&[]), counter.value());
+        }
+        last_name.clear();
+        for ((name, labels), gauge) in self.gauges.lock().iter() {
+            if *name != last_name {
+                let _ = writeln!(out, "# TYPE {name} gauge");
+                last_name.clone_from(name);
+            }
+            let _ = writeln!(out, "{name}{} {}", labels.render(&[]), gauge.value());
+        }
+        last_name.clear();
+        for ((name, labels), histogram) in self.histograms.lock().iter() {
+            if *name != last_name {
+                let _ = writeln!(out, "# TYPE {name} summary");
+                last_name.clone_from(name);
+            }
+            for (q, tag) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+                let _ = writeln!(
+                    out,
+                    "{name}{} {}",
+                    labels.render(&[("quantile", tag)]),
+                    format_float(histogram.quantile(q))
+                );
+            }
+            let _ = writeln!(out, "{name}_sum{} {}", labels.render(&[]), histogram.sum());
+            let _ = writeln!(
+                out,
+                "{name}_count{} {}",
+                labels.render(&[]),
+                histogram.count()
+            );
+        }
+        out
+    }
+}
+
+fn format_float(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 9e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_canonicalise() {
+        let a = Labels::new(&[("b", "2"), ("a", "1")]);
+        let b = Labels::new(&[("a", "0"), ("a", "1"), ("b", "2")]);
+        assert_eq!(a, b, "sorted and last-duplicate-wins");
+        assert_eq!(a.get("a"), Some("1"));
+        let call = Labels::call("location", "getLocation", "android");
+        assert_eq!(call.get("proxy"), Some("location"));
+        assert_eq!(call.get("method"), Some("getLocation"));
+        assert_eq!(call.get("platform"), Some("android"));
+    }
+
+    #[test]
+    fn counter_handles_share_state() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("calls_total", Labels::empty());
+        let b = registry.counter("calls_total", Labels::empty());
+        a.inc();
+        b.add(2);
+        assert_eq!(registry.counter_value("calls_total", &Labels::empty()), 3);
+        assert_eq!(registry.counter_value("other", &Labels::empty()), 0);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_the_samples() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), 500_500);
+        let p50 = h.quantile(0.5);
+        let p95 = h.quantile(0.95);
+        let p99 = h.quantile(0.99);
+        // Log buckets: the estimate lands in the right power-of-two
+        // bracket, and the quantiles are ordered.
+        assert!((256.0..1024.0).contains(&p50), "p50={p50}");
+        assert!(p50 <= p95 && p95 <= p99, "p50={p50} p95={p95} p99={p99}");
+        assert!(p99 <= 1024.0, "p99={p99}");
+    }
+
+    #[test]
+    fn histogram_handles_zero_and_extremes() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0.0, "empty histogram");
+        h.record(0);
+        assert_eq!(h.quantile(0.99), 0.0, "only the zero bucket");
+        h.record(u64::MAX);
+        assert!(h.quantile(1.0) >= (1u64 << 63) as f64);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_deterministic_and_typed() {
+        let registry = MetricsRegistry::new();
+        registry
+            .counter(
+                "proxy_calls_total",
+                Labels::call("location", "getLocation", "android"),
+            )
+            .inc();
+        registry.gauge("queue_depth", Labels::empty()).set(4);
+        let h = registry.histogram(
+            "proxy_call_ms",
+            Labels::call("location", "getLocation", "android"),
+        );
+        h.record(10);
+        h.record(20);
+        let text = registry.render_prometheus();
+        assert!(text.contains("# TYPE proxy_calls_total counter"));
+        assert!(text.contains(
+            "proxy_calls_total{method=\"getLocation\",platform=\"android\",proxy=\"location\"} 1"
+        ));
+        assert!(text.contains("# TYPE queue_depth gauge"));
+        assert!(text.contains("queue_depth 4"));
+        assert!(text.contains("# TYPE proxy_call_ms summary"));
+        assert!(text.contains("quantile=\"0.95\""));
+        assert!(text.contains("proxy_call_ms_count{"));
+        assert_eq!(text, registry.render_prometheus(), "deterministic");
+    }
+}

@@ -1,0 +1,452 @@
+//! Span tracing on virtual time.
+//!
+//! A [`Tracer`] mints [`ActiveSpan`]s; finished spans accumulate as
+//! [`SpanRecord`]s inside the tracer, ready for export. Spans nest
+//! through an **ambient stack**: creating a span pushes its context
+//! onto a thread-local stack, so any lower layer — the resilience
+//! engine, a platform middleware module, a device subsystem — can call
+//! [`ambient::child`] and get a correctly parented span without the
+//! call path threading tracer handles through every signature. When no
+//! span is open the ambient constructors return `None` and
+//! instrumentation costs one thread-local read.
+//!
+//! All timestamps are `u64` virtual milliseconds supplied by the
+//! caller (the simulated device clock in this workspace), never the
+//! wall clock — traces replay bit-identically.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::context::TraceContext;
+
+/// Identifies one end-to-end trace (one logical operation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(pub u64);
+
+/// Identifies one span within a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(pub u64);
+
+/// The M-Proxy layer a span instruments — the paper's plane vocabulary
+/// extended with the call-path layers around it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Plane {
+    /// Application code above the uniform API.
+    App,
+    /// The M-Proxy semantic dispatch (the uniform method surface).
+    Proxy,
+    /// The resilience decorator (retries, circuit breaker, fallbacks).
+    Resilience,
+    /// The per-platform binding module.
+    Binding,
+    /// The WebView JavaScript↔Java bridge crossing.
+    Bridge,
+    /// The platform middleware (LocationManager, LocationProvider, …).
+    Platform,
+    /// The simulated device substrate (GPS engine, SMSC, network).
+    Device,
+}
+
+impl Plane {
+    /// Stable lowercase name, used as the Chrome trace-event category.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Plane::App => "app",
+            Plane::Proxy => "proxy",
+            Plane::Resilience => "resilience",
+            Plane::Binding => "binding",
+            Plane::Bridge => "bridge",
+            Plane::Platform => "platform",
+            Plane::Device => "device",
+        }
+    }
+}
+
+impl fmt::Display for Plane {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A point-in-time annotation inside a span (a retry, a circuit
+/// transition, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// What happened.
+    pub name: String,
+    /// When it happened, in virtual milliseconds.
+    pub at_ms: u64,
+}
+
+/// A finished span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// The trace this span belongs to.
+    pub trace_id: TraceId,
+    /// This span's id.
+    pub span_id: SpanId,
+    /// The parent span, `None` for a trace root.
+    pub parent_id: Option<SpanId>,
+    /// Human-readable operation name, e.g. `proxy:Location.getLocation`.
+    pub name: String,
+    /// The layer this span instruments.
+    pub plane: Plane,
+    /// Start, in virtual milliseconds.
+    pub start_ms: u64,
+    /// End, in virtual milliseconds (`>= start_ms`).
+    pub end_ms: u64,
+    /// Point events recorded while the span was open.
+    pub events: Vec<SpanEvent>,
+    /// Key/value annotations.
+    pub attrs: Vec<(String, String)>,
+}
+
+struct TracerInner {
+    next_id: AtomicU64,
+    finished: Mutex<Vec<SpanRecord>>,
+}
+
+/// Mints spans and collects the finished records.
+///
+/// Cheap to clone (all clones share the same record sink), `Send +
+/// Sync`, and id allocation is lock-free.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tracer")
+            .field("finished", &self.inner.finished.lock().len())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// A fresh tracer with no finished spans.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(TracerInner {
+                next_id: AtomicU64::new(1),
+                finished: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    fn fresh_id(&self) -> u64 {
+        self.inner.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Starts a new trace with a root span and pushes it onto the
+    /// ambient stack.
+    pub fn root(&self, name: &str, plane: Plane, now_ms: u64) -> ActiveSpan {
+        let trace_id = TraceId(self.fresh_id());
+        self.start(trace_id, None, name, plane, now_ms)
+    }
+
+    /// Starts a span under an explicit parent context (same trace) and
+    /// pushes it onto the ambient stack.
+    pub fn child_of(
+        &self,
+        parent: TraceContext,
+        name: &str,
+        plane: Plane,
+        now_ms: u64,
+    ) -> ActiveSpan {
+        self.start(parent.trace_id, Some(parent.span_id), name, plane, now_ms)
+    }
+
+    fn start(
+        &self,
+        trace_id: TraceId,
+        parent_id: Option<SpanId>,
+        name: &str,
+        plane: Plane,
+        now_ms: u64,
+    ) -> ActiveSpan {
+        let span_id = SpanId(self.fresh_id());
+        let record = SpanRecord {
+            trace_id,
+            span_id,
+            parent_id,
+            name: name.to_owned(),
+            plane,
+            start_ms: now_ms,
+            end_ms: now_ms,
+            events: Vec::new(),
+            attrs: Vec::new(),
+        };
+        let span = ActiveSpan {
+            tracer: self.clone(),
+            record,
+            ended: false,
+        };
+        ambient::push(self.clone(), span.context());
+        span
+    }
+
+    /// A copy of every finished span, in finish order.
+    pub fn finished(&self) -> Vec<SpanRecord> {
+        self.inner.finished.lock().clone()
+    }
+
+    /// Drains the finished spans, leaving the tracer empty.
+    pub fn take_finished(&self) -> Vec<SpanRecord> {
+        std::mem::take(&mut *self.inner.finished.lock())
+    }
+}
+
+/// An open span. Finish it with [`ActiveSpan::end`]; dropping an
+/// unfinished span closes it at its start time (zero duration) so the
+/// record and the ambient stack stay consistent on early returns.
+pub struct ActiveSpan {
+    tracer: Tracer,
+    record: SpanRecord,
+    ended: bool,
+}
+
+impl ActiveSpan {
+    /// The propagatable identity of this span.
+    pub fn context(&self) -> TraceContext {
+        TraceContext {
+            trace_id: self.record.trace_id,
+            span_id: self.record.span_id,
+        }
+    }
+
+    /// Records a point event at `at_ms` virtual time.
+    pub fn event(&mut self, name: &str, at_ms: u64) {
+        self.record.events.push(SpanEvent {
+            name: name.to_owned(),
+            at_ms,
+        });
+    }
+
+    /// Attaches (or appends) a key/value annotation.
+    pub fn attr(&mut self, key: &str, value: &str) {
+        self.record.attrs.push((key.to_owned(), value.to_owned()));
+    }
+
+    /// Closes the span at `now_ms` and files the record with the
+    /// tracer. Ends before the start are clamped to zero duration.
+    pub fn end(mut self, now_ms: u64) {
+        self.finish(now_ms);
+    }
+
+    fn finish(&mut self, now_ms: u64) {
+        if self.ended {
+            return;
+        }
+        self.ended = true;
+        self.record.end_ms = now_ms.max(self.record.start_ms);
+        ambient::pop(self.record.span_id);
+        self.tracer.inner.finished.lock().push(self.record.clone());
+    }
+}
+
+impl Drop for ActiveSpan {
+    fn drop(&mut self) {
+        let started = self.record.start_ms;
+        self.finish(started);
+    }
+}
+
+/// The ambient span stack: implicit parenting for layers that are not
+/// telemetry-aware in their signatures.
+pub mod ambient {
+    use super::{ActiveSpan, Plane, Tracer};
+    use crate::context::TraceContext;
+
+    thread_local! {
+        static STACK: std::cell::RefCell<Vec<(Tracer, TraceContext)>> =
+            const { std::cell::RefCell::new(Vec::new()) };
+    }
+
+    pub(super) fn push(tracer: Tracer, ctx: TraceContext) {
+        STACK.with(|stack| stack.borrow_mut().push((tracer, ctx)));
+    }
+
+    pub(super) fn pop(span_id: super::SpanId) {
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // LIFO in the common case; scan back for robustness when
+            // spans end out of order.
+            if let Some(idx) = stack.iter().rposition(|(_, ctx)| ctx.span_id == span_id) {
+                stack.remove(idx);
+            }
+        });
+    }
+
+    /// The innermost open span's context on this thread, if any.
+    pub fn current() -> Option<TraceContext> {
+        STACK.with(|stack| stack.borrow().last().map(|(_, ctx)| *ctx))
+    }
+
+    fn top() -> Option<(Tracer, TraceContext)> {
+        STACK.with(|stack| stack.borrow().last().cloned())
+    }
+
+    /// Opens a child of the innermost open span, using its tracer.
+    /// Returns `None` (and records nothing) when no span is open —
+    /// instrumented code paths are free when telemetry is off.
+    pub fn child(name: &str, plane: Plane, now_ms: u64) -> Option<ActiveSpan> {
+        let (tracer, ctx) = top()?;
+        Some(tracer.child_of(ctx, name, plane, now_ms))
+    }
+
+    /// Opens a span under an **explicit** parent context (e.g. one that
+    /// arrived over the WebView bridge as a `traceparent` string),
+    /// recording into the innermost open span's tracer. Returns `None`
+    /// when no tracer is ambient.
+    pub fn child_of(
+        parent: TraceContext,
+        name: &str,
+        plane: Plane,
+        now_ms: u64,
+    ) -> Option<ActiveSpan> {
+        let (tracer, _) = top()?;
+        Some(tracer.child_of(parent, name, plane, now_ms))
+    }
+}
+
+/// Checks that `spans` form one connected, singly-rooted tree on one
+/// trace id with monotonic virtual timestamps (children start no
+/// earlier than their parent and every span ends no earlier than it
+/// starts). Returns the root's [`SpanId`].
+///
+/// # Errors
+///
+/// A human-readable description of the first structural violation.
+pub fn validate_tree(spans: &[SpanRecord]) -> Result<SpanId, String> {
+    if spans.is_empty() {
+        return Err("no spans recorded".into());
+    }
+    let trace_id = spans[0].trace_id;
+    let mut by_id = std::collections::HashMap::new();
+    for span in spans {
+        if span.trace_id != trace_id {
+            return Err(format!(
+                "span {:?} is on trace {:?}, expected {trace_id:?}",
+                span.span_id, span.trace_id
+            ));
+        }
+        if span.end_ms < span.start_ms {
+            return Err(format!("span {} ends before it starts", span.name));
+        }
+        if by_id.insert(span.span_id, span).is_some() {
+            return Err(format!("duplicate span id {:?}", span.span_id));
+        }
+    }
+    let mut roots = Vec::new();
+    for span in spans {
+        match span.parent_id {
+            None => roots.push(span.span_id),
+            Some(parent_id) => {
+                let parent = by_id.get(&parent_id).ok_or_else(|| {
+                    format!("span {} has unknown parent {parent_id:?}", span.name)
+                })?;
+                if span.start_ms < parent.start_ms {
+                    return Err(format!(
+                        "span {} starts at {} before its parent {} at {}",
+                        span.name, span.start_ms, parent.name, parent.start_ms
+                    ));
+                }
+            }
+        }
+    }
+    match roots.as_slice() {
+        [root] => Ok(*root),
+        [] => Err("no root span (parent cycle?)".into()),
+        many => Err(format!("{} roots, expected exactly one", many.len())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_through_the_ambient_stack() {
+        let tracer = Tracer::new();
+        let mut root = tracer.root("app:op", Plane::App, 10);
+        let child = ambient::child("proxy:op", Plane::Proxy, 20).expect("ambient parent");
+        let grandchild = ambient::child("device:op", Plane::Device, 25).expect("ambient parent");
+        grandchild.end(30);
+        child.end(40);
+        root.attr("k", "v");
+        root.end(50);
+        assert_eq!(ambient::current(), None);
+
+        let spans = tracer.take_finished();
+        assert_eq!(spans.len(), 3);
+        let root_id = validate_tree(&spans).expect("single tree");
+        let root = spans.iter().find(|s| s.span_id == root_id).unwrap();
+        assert_eq!(root.name, "app:op");
+        assert_eq!((root.start_ms, root.end_ms), (10, 50));
+        let device = spans.iter().find(|s| s.plane == Plane::Device).unwrap();
+        let proxy = spans.iter().find(|s| s.plane == Plane::Proxy).unwrap();
+        assert_eq!(device.parent_id, Some(proxy.span_id));
+        assert_eq!(proxy.parent_id, Some(root_id));
+    }
+
+    #[test]
+    fn no_ambient_span_means_no_recording() {
+        assert!(ambient::child("x", Plane::Device, 0).is_none());
+        assert_eq!(ambient::current(), None);
+    }
+
+    #[test]
+    fn dropping_an_unended_span_closes_it_at_start() {
+        let tracer = Tracer::new();
+        {
+            let mut span = tracer.root("op", Plane::App, 7);
+            span.event("boom", 7);
+        }
+        let spans = tracer.finished();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].end_ms, 7);
+        assert_eq!(ambient::current(), None);
+    }
+
+    #[test]
+    fn end_clamps_to_start() {
+        let tracer = Tracer::new();
+        tracer.root("op", Plane::App, 100).end(50);
+        assert_eq!(tracer.finished()[0].end_ms, 100);
+    }
+
+    #[test]
+    fn validate_tree_rejects_orphans_and_multiple_roots() {
+        let tracer = Tracer::new();
+        tracer.root("a", Plane::App, 0).end(1);
+        tracer.root("b", Plane::App, 0).end(1);
+        let spans = tracer.take_finished();
+        assert!(validate_tree(&spans).is_err(), "two different traces");
+    }
+
+    #[test]
+    fn events_carry_virtual_timestamps() {
+        let tracer = Tracer::new();
+        let mut span = tracer.root("op", Plane::Resilience, 0);
+        span.event("retry", 120);
+        span.end(200);
+        let record = &tracer.finished()[0];
+        assert_eq!(
+            record.events,
+            vec![SpanEvent {
+                name: "retry".into(),
+                at_ms: 120
+            }]
+        );
+    }
+}

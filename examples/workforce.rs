@@ -2,7 +2,13 @@
 //! workforce-management app (proxy variant) against the server-side
 //! application, on a platform chosen at the command line.
 //!
-//! Run with: `cargo run --example workforce [android|s60|webview]`
+//! Run with: `cargo run --example workforce [android|s60|webview]
+//! [--trace PATH]`
+//!
+//! With `--trace PATH` the run attaches the telemetry layer and writes
+//! a Chrome trace-event JSON file: load it in `chrome://tracing` or
+//! Perfetto to see every proxy call descend app → proxy → binding →
+//! platform → device on the virtual timeline.
 
 use std::sync::Arc;
 
@@ -12,10 +18,22 @@ use mobivine_repro::apps::proxy_app::ProxyWorkforceApp;
 use mobivine_repro::apps::scenario::{Scenario, ScenarioOutcome};
 use mobivine_repro::mobivine::registry::Mobivine;
 use mobivine_repro::s60::S60Platform;
+use mobivine_repro::telemetry::export::chrome_trace_json;
+use mobivine_repro::telemetry::span::Plane;
 use mobivine_repro::webview::WebView;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let platform_name = std::env::args().nth(1).unwrap_or_else(|| "android".into());
+    let mut platform_name = "android".to_owned();
+    let mut trace_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trace" => {
+                trace_path = Some(args.next().ok_or("--trace requires a file path")?);
+            }
+            other => platform_name = other.to_owned(),
+        }
+    }
 
     // The standard scenario: two task sites along the agent's patrol
     // route, pre-assigned by the dispatcher on the server.
@@ -40,6 +58,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         other => return Err(format!("unknown platform {other}").into()),
     };
+    let runtime = if trace_path.is_some() {
+        runtime.with_telemetry()
+    } else {
+        runtime
+    };
+    // The tracer handle shares the runtime's span store, so it stays
+    // valid after the app takes ownership of the runtime.
+    let tracer = runtime.tracer().cloned();
+    let app_span = tracer
+        .as_ref()
+        .map(|t| t.root("app:workforce.patrol", Plane::App, scenario.device.now_ms()));
 
     let events = AppEvents::new();
     let mut app = ProxyWorkforceApp::new(runtime, scenario.config.clone(), Arc::clone(&events))?;
@@ -53,6 +82,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Run the patrol.
     scenario.device.advance_ms(scenario.patrol_duration_ms());
     scenario.device.advance_ms(1_000);
+
+    if let Some(span) = app_span {
+        span.end(scenario.device.now_ms());
+    }
+    if let (Some(path), Some(tracer)) = (&trace_path, &tracer) {
+        let spans = tracer.take_finished();
+        std::fs::write(path, chrome_trace_json(&spans))?;
+        println!(
+            "\nwrote {} spans to {path} — open in chrome://tracing or Perfetto",
+            spans.len()
+        );
+    }
 
     println!("\ndevice-side event log:");
     for event in events.snapshot() {

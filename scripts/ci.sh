@@ -7,3 +7,11 @@ cargo build --release
 cargo test -q
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Smoke-run the bench summary end to end: emit the machine-readable
+# figure10 document at zero scale and schema-check it.
+summary="$(mktemp)"
+trap 'rm -f "$summary"' EXIT
+cargo run -q --release -p mobivine-bench --bin figure10 -- \
+    --scale zero --runs 3 --json "$summary"
+cargo run -q --release -p mobivine-bench --bin figure10 -- --check "$summary"

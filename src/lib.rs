@@ -14,4 +14,5 @@ pub use mobivine_device as device;
 pub use mobivine_mplugin as mplugin;
 pub use mobivine_proxydl as proxydl;
 pub use mobivine_s60 as s60;
+pub use mobivine_telemetry as telemetry;
 pub use mobivine_webview as webview;

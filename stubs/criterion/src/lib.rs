@@ -1,0 +1,115 @@
+//! Offline stand-in for `criterion`: runs each registered routine a
+//! handful of times and prints a rough mean, so `cargo test`/`cargo
+//! bench` targets compile and execute without the real harness.
+
+use std::time::Instant;
+
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_case(name, &mut f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_case(&format!("{}/{name}", self.name), &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_case<F: FnMut(&mut Bencher)>(name: &str, f: &mut F) {
+    let mut bencher = Bencher { elapsed_ns: 0.0, iters: 0 };
+    f(&mut bencher);
+    if bencher.iters > 0 {
+        eprintln!(
+            "bench {name}: ~{:.1} ns/iter ({} iters)",
+            bencher.elapsed_ns / bencher.iters as f64,
+            bencher.iters,
+        );
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Bencher {
+    elapsed_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..3 {
+            std::hint::black_box(routine());
+        }
+        self.elapsed_ns += start.elapsed().as_nanos() as f64;
+        self.iters += 3;
+    }
+
+    pub fn iter_batched<I, O, S: FnMut() -> I, F: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        for _ in 0..2 {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed_ns += start.elapsed().as_nanos() as f64;
+            self.iters += 1;
+        }
+    }
+}
+
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

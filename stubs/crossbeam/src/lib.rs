@@ -1,0 +1,2 @@
+//! Offline stand-in for `crossbeam` (declared by the workspace but not
+//! referenced from source).

@@ -1,0 +1,68 @@
+//! Offline stand-in for `rand` 0.8 covering the surface the workspace
+//! uses: `StdRng::seed_from_u64` and `Rng::gen::<f64>()`. Deterministic
+//! splitmix64 core (values differ from the real crate but are stable
+//! per seed, which is all the simulation relies on).
+
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types samplable from the "standard" distribution (only what the
+/// workspace needs).
+pub trait Standard {
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        // 53 high bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Splitmix64-backed stand-in for the standard RNG.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            Self { state }
+        }
+    }
+}

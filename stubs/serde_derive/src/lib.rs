@@ -1,0 +1,111 @@
+//! Offline stand-in for `serde_derive`: hand-rolled token walking (no
+//! syn/quote available) generating impls of the stand-in `serde`
+//! traits for plain structs with named fields.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Parsed {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Extracts the struct name and its named-field identifiers, skipping
+/// attributes, visibility, and field types.
+fn parse_struct(input: TokenStream) -> Parsed {
+    let mut iter = input.into_iter().peekable();
+    let mut name = String::new();
+    let mut fields = Vec::new();
+    while let Some(tree) = iter.next() {
+        match tree {
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                if let Some(TokenTree::Ident(n)) = iter.next() {
+                    name = n.to_string();
+                }
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace && !name.is_empty() => {
+                // Named fields: [attrs] [pub] ident ':' type ','
+                let mut inner = g.stream().into_iter().peekable();
+                loop {
+                    // Skip attributes.
+                    while matches!(inner.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#')
+                    {
+                        inner.next();
+                        inner.next(); // the bracket group
+                    }
+                    // Skip visibility.
+                    if matches!(inner.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub")
+                    {
+                        inner.next();
+                        if matches!(inner.peek(), Some(TokenTree::Group(_))) {
+                            inner.next(); // pub(crate) etc.
+                        }
+                    }
+                    let Some(TokenTree::Ident(field)) = inner.next() else {
+                        break;
+                    };
+                    fields.push(field.to_string());
+                    // Skip ':' and the type, up to a top-level comma.
+                    for t in inner.by_ref() {
+                        if matches!(&t, TokenTree::Punct(p) if p.as_char() == ',') {
+                            break;
+                        }
+                    }
+                }
+                break;
+            }
+            _ => {}
+        }
+    }
+    Parsed { name, fields }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_struct(input);
+    let pushes: String = parsed
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "fields.push(({f:?}.to_string(), ::serde::Serialize::serialize_value(&self.{f})));\n"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {} {{\n\
+            fn serialize_value(&self) -> ::serde::Value {{\n\
+                let mut fields = Vec::new();\n\
+                {pushes}\
+                ::serde::Value::Object(fields)\n\
+            }}\n\
+        }}",
+        parsed.name
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_struct(input);
+    let inits: String = parsed
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::deserialize_value(\
+                    value.get_field({f:?}).unwrap_or(&::serde::Value::Null))?,\n"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {} {{\n\
+            fn deserialize_value(value: &::serde::Value) -> Result<Self, String> {{\n\
+                Ok(Self {{ {inits} }})\n\
+            }}\n\
+        }}",
+        parsed.name
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
