@@ -1,0 +1,684 @@
+//! The fleet-scale load engine (ROADMAP "production-scale" work item).
+//!
+//! The paper evaluates MobiVine one handset at a time (Figure 10). This
+//! module exercises the middleware as a *system*: a deterministic
+//! multi-worker scheduler drives thousands of simulated devices —
+//! Android, S60 and WebView in a fixed interleave — through rounds of
+//! SMS/HTTP/location traffic, resolving every proxy through a
+//! [`ShardedRegistry`] (memoized acquisition, per-shard shared
+//! catalogs) and dispatching the traffic in per-device batches onto
+//! each device's `SimNetwork`.
+//!
+//! Determinism is the design constraint everything else bends around:
+//!
+//! - every device's behaviour derives from a per-device splitmix64
+//!   stream seeded from `(fleet seed, device index)`;
+//! - workers own disjoint contiguous device ranges
+//!   ([`mobivine_device::cohort::Cohort::partition`]) and all
+//!   cross-device aggregation happens in device-index order after the
+//!   workers join, so thread interleaving cannot leak into results;
+//! - latencies are *virtual* milliseconds read off each device's
+//!   `SimClock`, never the wall clock.
+//!
+//! Two runs of [`Fleet::run`] with the same [`FleetConfig`] therefore
+//! produce byte-identical [`FleetReport`]s, worker count included.
+
+use std::fmt;
+use std::sync::Arc;
+
+use mobivine::api::{HttpProxy, LocationProxy, SmsProxy};
+use mobivine::error::{ProxyError, ProxyErrorKind};
+use mobivine::shard::ShardedRegistry;
+use mobivine_android::{AndroidPlatform, SdkVersion};
+use mobivine_device::cohort::{Cohort, CohortPartition};
+use mobivine_device::Device;
+use mobivine_s60::S60Platform;
+use mobivine_webview::WebView;
+
+use crate::server::{TrackPoint, WfmServer, WfmServerCounts};
+
+/// The supervisor MSISDN every fleet device texts.
+pub const FLEET_SUPERVISOR: &str = "+91-98-SUPERVISOR";
+
+/// The server host name of `shard` (one [`WfmServer`] per shard,
+/// reachable from every member device's simulated network).
+pub fn shard_host(shard: usize) -> String {
+    format!("wfm.shard{shard}.example")
+}
+
+/// Configuration of one fleet run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Number of simulated devices (platform mix: device `i` is
+    /// Android, S60 or WebView by `i % 3`).
+    pub devices: usize,
+    /// Number of registry shards / [`WfmServer`] instances.
+    pub shards: usize,
+    /// Number of worker threads stepping the fleet.
+    pub workers: usize,
+    /// Lockstep rounds to run.
+    pub rounds: u64,
+    /// Virtual length of one round, milliseconds.
+    pub tick_ms: u64,
+    /// Proxy operations per device per round.
+    pub ops_per_round: u32,
+    /// Master seed; all per-device randomness derives from it.
+    pub seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            devices: 1_000,
+            shards: 8,
+            workers: 4,
+            rounds: 4,
+            tick_ms: 1_000,
+            ops_per_round: 2,
+            seed: 7,
+        }
+    }
+}
+
+impl FleetConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// `IllegalArgument` when any count is zero.
+    pub fn validated(self) -> Result<Self, ProxyError> {
+        let illegal = |what: &str| {
+            Err(ProxyError::new(
+                ProxyErrorKind::IllegalArgument,
+                format!("FleetConfig: {what} must be non-zero"),
+            ))
+        };
+        if self.devices == 0 {
+            return illegal("devices");
+        }
+        if self.shards == 0 {
+            return illegal("shards");
+        }
+        if self.workers == 0 {
+            return illegal("workers");
+        }
+        if self.rounds == 0 {
+            return illegal("rounds");
+        }
+        if self.tick_ms == 0 {
+            return illegal("tick_ms");
+        }
+        if self.ops_per_round == 0 {
+            return illegal("ops_per_round");
+        }
+        Ok(self)
+    }
+}
+
+/// Per-shard results of a fleet run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardReport {
+    /// Shard index.
+    pub shard: usize,
+    /// Member devices.
+    pub devices: usize,
+    /// Proxy operations issued by the shard's members.
+    pub ops: u64,
+    /// Median per-op virtual latency (bucketed upper bound), ms.
+    pub p50_ms: u64,
+    /// 95th-percentile per-op virtual latency, ms.
+    pub p95_ms: u64,
+    /// 99th-percentile per-op virtual latency, ms.
+    pub p99_ms: u64,
+    /// State sizes of the shard's [`WfmServer`] after the run.
+    pub server: WfmServerCounts,
+}
+
+/// Aggregate results of a fleet run. Every field is derived from
+/// virtual time and per-device counters, so two runs with the same
+/// [`FleetConfig`] produce equal reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetReport {
+    /// The configuration that produced this report.
+    pub config: FleetConfig,
+    /// Total proxy operations issued.
+    pub total_ops: u64,
+    /// SMS successfully handed to the SMSC.
+    pub sms_sent: u64,
+    /// HTTP requests answered with a 2xx status.
+    pub http_ok: u64,
+    /// Location fixes obtained.
+    pub location_fixes: u64,
+    /// Operations that returned an error.
+    pub errors: u64,
+    /// Coordinated virtual duration of the run, ms.
+    pub virtual_elapsed_ms: u64,
+    /// Fleet-wide median per-op virtual latency (bucketed), ms.
+    pub p50_ms: u64,
+    /// Fleet-wide 95th-percentile per-op virtual latency, ms.
+    pub p95_ms: u64,
+    /// Fleet-wide 99th-percentile per-op virtual latency, ms.
+    pub p99_ms: u64,
+    /// Per-shard breakdown, in shard order.
+    pub per_shard: Vec<ShardReport>,
+    /// Order-insensitive-free fingerprint: an FNV fold over every
+    /// device's counters in device-index order. Two runs are
+    /// byte-identical iff their checksums match.
+    pub checksum: u64,
+}
+
+impl FleetReport {
+    /// Throughput in operations per *virtual* second (deterministic,
+    /// unlike wall-clock throughput).
+    pub fn virtual_ops_per_sec(&self) -> u64 {
+        if self.virtual_elapsed_ms == 0 {
+            return 0;
+        }
+        self.total_ops * 1_000 / self.virtual_elapsed_ms
+    }
+}
+
+const LAT_BUCKETS: usize = 24;
+
+/// A tiny fixed log₂ histogram of virtual-ms latencies. Merging and
+/// quantile extraction are pure integer arithmetic, so percentile
+/// reporting stays deterministic.
+#[derive(Clone)]
+struct LatencyBuckets {
+    counts: [u64; LAT_BUCKETS],
+    total: u64,
+}
+
+impl Default for LatencyBuckets {
+    fn default() -> Self {
+        Self {
+            counts: [0; LAT_BUCKETS],
+            total: 0,
+        }
+    }
+}
+
+impl LatencyBuckets {
+    fn bucket_of(ms: u64) -> usize {
+        // Bucket b holds values with highest set bit b-1; 0 maps to 0.
+        ((u64::BITS - ms.leading_zeros()) as usize).min(LAT_BUCKETS - 1)
+    }
+
+    fn record(&mut self, ms: u64) {
+        self.counts[Self::bucket_of(ms)] += 1;
+        self.total += 1;
+    }
+
+    fn merge(&mut self, other: &Self) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+    }
+
+    /// The inclusive upper bound of the bucket holding quantile `q`.
+    fn quantile_ms(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((self.total as f64 * q).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0;
+        for (bucket, count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return if bucket == 0 { 0 } else { 1u64 << (bucket - 1) };
+            }
+        }
+        1u64 << (LAT_BUCKETS - 2)
+    }
+}
+
+/// Per-device counters, merged in index order after the workers join.
+#[derive(Clone, Default)]
+struct DeviceStats {
+    ops: u64,
+    sms_sent: u64,
+    http_ok: u64,
+    location_fixes: u64,
+    errors: u64,
+    latency: LatencyBuckets,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn fnv_fold(hash: u64, value: u64) -> u64 {
+    (hash ^ value).wrapping_mul(0x0000_0100_0000_01B3)
+}
+
+/// One queued unit of traffic, dispatched at batch flush.
+enum FleetOp {
+    LocationFix,
+    Sms { text: String },
+    HttpReport { latitude: f64, longitude: f64 },
+}
+
+/// A per-device, per-round batch of traffic: ops accumulate during the
+/// round's planning pass and hit the proxies — and through them the
+/// device's `SimNetwork` — in one flush (the SINk-style batching
+/// lever). Batch order is the queue order, so dispatch is
+/// deterministic.
+struct TrafficBatch {
+    ops: Vec<FleetOp>,
+}
+
+impl TrafficBatch {
+    fn plan(rng: &mut u64, ops_per_round: u32, agent_id: u64) -> Self {
+        let mut ops = Vec::with_capacity(ops_per_round as usize);
+        for _ in 0..ops_per_round {
+            let draw = splitmix64(rng);
+            ops.push(match draw % 4 {
+                0 | 1 => FleetOp::HttpReport {
+                    latitude: 28.5 + (draw % 1_000) as f64 * 1e-6,
+                    longitude: 77.3 + (draw % 977) as f64 * 1e-6,
+                },
+                2 => FleetOp::Sms {
+                    text: format!("agent {agent_id} checking in"),
+                },
+                _ => FleetOp::LocationFix,
+            });
+        }
+        Self { ops }
+    }
+
+    /// Executes the batch through the device's memoized proxies,
+    /// recording per-op virtual latency (clock delta) into `stats`.
+    fn flush(
+        self,
+        registry: &ShardedRegistry,
+        device_index: usize,
+        device: &Device,
+        host: &str,
+        stats: &mut DeviceStats,
+    ) {
+        let agent_id = device_index as u64;
+        for op in self.ops {
+            stats.ops += 1;
+            let before_ms = device.clock().now_ms();
+            let outcome: Result<(), ProxyError> = match op {
+                FleetOp::LocationFix => registry
+                    .resolve::<dyn LocationProxy>(device_index)
+                    .and_then(|location| location.get_location())
+                    .map(|_| stats.location_fixes += 1),
+                FleetOp::Sms { text } => registry
+                    .resolve::<dyn SmsProxy>(device_index)
+                    .and_then(|sms| sms.send_text_message(FLEET_SUPERVISOR, &text, None))
+                    .map(|_| stats.sms_sent += 1),
+                FleetOp::HttpReport {
+                    latitude,
+                    longitude,
+                } => registry
+                    .resolve::<dyn HttpProxy>(device_index)
+                    .and_then(|http| {
+                        let point = TrackPoint {
+                            agent_id,
+                            latitude,
+                            longitude,
+                            at_ms: before_ms,
+                        };
+                        let body = serde_json::to_vec(&point).unwrap_or_default();
+                        http.request("POST", &format!("http://{host}/report-location"), &body)
+                    })
+                    .map(|response| {
+                        if (200..300).contains(&response.status) {
+                            stats.http_ok += 1;
+                        }
+                    }),
+            };
+            if outcome.is_err() {
+                stats.errors += 1;
+            }
+            stats
+                .latency
+                .record(device.clock().now_ms().saturating_sub(before_ms));
+        }
+    }
+}
+
+/// A built fleet, ready to run: the sharded registry, the lockstep
+/// cohort of devices, and one [`WfmServer`] per shard.
+pub struct Fleet {
+    config: FleetConfig,
+    registry: Arc<ShardedRegistry>,
+    cohort: Cohort,
+    servers: Vec<WfmServer>,
+}
+
+impl fmt::Debug for Fleet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Fleet")
+            .field("devices", &self.cohort.len())
+            .field("shards", &self.registry.shard_count())
+            .finish()
+    }
+}
+
+impl Fleet {
+    /// Builds the fleet: per-device simulated handsets (Android, S60,
+    /// WebView round-robin by index), a warmed [`ShardedRegistry`], the
+    /// lockstep [`Cohort`], and a [`WfmServer`] per shard installed on
+    /// every member device's network under [`shard_host`].
+    ///
+    /// # Errors
+    ///
+    /// `IllegalArgument` for a zero count in `config`; otherwise any
+    /// proxy-construction error from registry warm-up.
+    pub fn build(config: FleetConfig) -> Result<Self, ProxyError> {
+        let config = config.validated()?;
+        let mut registry = ShardedRegistry::new(config.shards)?;
+        let mut cohort = Cohort::with_tick(config.tick_ms);
+        let servers: Vec<WfmServer> = (0..config.shards).map(|_| WfmServer::new()).collect();
+
+        for index in 0..config.devices {
+            let mut seed_state = config.seed ^ (index as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+            let device_seed = splitmix64(&mut seed_state);
+            let device = Device::builder()
+                .seed(device_seed)
+                .msisdn(&format!("+91-98-AGENT-{index}"))
+                .build();
+            device.smsc().register_address(FLEET_SUPERVISOR);
+
+            let shard = registry.shard_of(index);
+            servers[shard].install(device.network(), &shard_host(shard));
+
+            match index % 3 {
+                0 => {
+                    let platform = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
+                    registry.push_with(|b| b.android(platform.new_context()))?;
+                }
+                1 => {
+                    registry.push_with(|b| b.s60(S60Platform::new(device.clone())))?;
+                }
+                _ => {
+                    let platform = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
+                    let webview = Arc::new(WebView::new(platform.new_context()));
+                    registry.push_with(|b| b.webview(webview))?;
+                }
+            }
+            cohort.join(device);
+        }
+
+        registry.warm()?;
+        Ok(Self {
+            config,
+            registry: Arc::new(registry),
+            cohort,
+            servers,
+        })
+    }
+
+    /// The validated configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// The sharded registry backing the fleet.
+    pub fn registry(&self) -> &Arc<ShardedRegistry> {
+        &self.registry
+    }
+
+    /// The per-shard servers, in shard order.
+    pub fn servers(&self) -> &[WfmServer] {
+        &self.servers
+    }
+
+    /// Runs the configured rounds across the configured workers and
+    /// reports. Workers step disjoint device partitions; each round,
+    /// each device plans a traffic batch from its seeded stream,
+    /// flushes it through the sharded registry's memoized proxies, and
+    /// advances to the round barrier.
+    pub fn run(mut self) -> FleetReport {
+        let config = self.config.clone();
+        let partitions = self.cohort.partition(config.workers);
+        let mut stats: Vec<DeviceStats> = vec![DeviceStats::default(); config.devices];
+
+        // Hand each worker the stats slice matching its partition —
+        // disjoint &mut borrows, no locks on the hot path.
+        {
+            let mut slices: Vec<(&CohortPartition, &mut [DeviceStats])> = Vec::new();
+            let mut rest: &mut [DeviceStats] = &mut stats;
+            for partition in &partitions {
+                let (head, tail) = rest.split_at_mut(partition.len());
+                slices.push((partition, head));
+                rest = tail;
+            }
+
+            let registry = &self.registry;
+            std::thread::scope(|scope| {
+                for (partition, slice) in slices {
+                    let config = &config;
+                    scope.spawn(move || {
+                        for round in 1..=config.rounds {
+                            let target = partition_target(config.tick_ms, round);
+                            for (offset, device) in partition.devices().iter().enumerate() {
+                                let index = partition.base_index() + offset;
+                                let shard = registry.shard_of(index);
+                                // Independent stream per (device, round):
+                                // batch planning never depends on how
+                                // much traffic earlier rounds ran.
+                                let mut rng = config
+                                    .seed
+                                    .wrapping_add((index as u64) << 20)
+                                    .wrapping_add(round);
+                                let batch = TrafficBatch::plan(
+                                    &mut rng,
+                                    config.ops_per_round,
+                                    index as u64,
+                                );
+                                batch.flush(
+                                    registry,
+                                    index,
+                                    device,
+                                    &shard_host(shard),
+                                    &mut slice[offset],
+                                );
+                            }
+                            partition.advance_to(target);
+                        }
+                    });
+                }
+            });
+        }
+        for _ in 0..config.rounds {
+            // The workers already stepped every member; this records the
+            // rounds on the cohort so its notion of "now" matches.
+            self.cohort.step();
+        }
+
+        self.report(stats)
+    }
+
+    fn report(&self, stats: Vec<DeviceStats>) -> FleetReport {
+        let config = self.config.clone();
+        let mut total_ops = 0;
+        let mut sms_sent = 0;
+        let mut http_ok = 0;
+        let mut location_fixes = 0;
+        let mut errors = 0;
+        let mut checksum = 0xCBF2_9CE4_8422_2325u64;
+        let mut shard_latency: Vec<LatencyBuckets> = vec![LatencyBuckets::default(); config.shards];
+        let mut shard_ops = vec![0u64; config.shards];
+        let mut shard_devices = vec![0usize; config.shards];
+
+        for (index, device_stats) in stats.iter().enumerate() {
+            total_ops += device_stats.ops;
+            sms_sent += device_stats.sms_sent;
+            http_ok += device_stats.http_ok;
+            location_fixes += device_stats.location_fixes;
+            errors += device_stats.errors;
+            let shard = self.registry.shard_of(index);
+            shard_latency[shard].merge(&device_stats.latency);
+            shard_ops[shard] += device_stats.ops;
+            shard_devices[shard] += 1;
+            for value in [
+                device_stats.ops,
+                device_stats.sms_sent,
+                device_stats.http_ok,
+                device_stats.location_fixes,
+                device_stats.errors,
+            ] {
+                checksum = fnv_fold(checksum, value);
+            }
+        }
+
+        let mut overall = LatencyBuckets::default();
+        for buckets in &shard_latency {
+            overall.merge(buckets);
+        }
+
+        let per_shard = (0..config.shards)
+            .map(|shard| ShardReport {
+                shard,
+                devices: shard_devices[shard],
+                ops: shard_ops[shard],
+                p50_ms: shard_latency[shard].quantile_ms(0.50),
+                p95_ms: shard_latency[shard].quantile_ms(0.95),
+                p99_ms: shard_latency[shard].quantile_ms(0.99),
+                server: self.servers[shard].counts(),
+            })
+            .collect();
+
+        FleetReport {
+            virtual_elapsed_ms: config.rounds * config.tick_ms,
+            p50_ms: overall.quantile_ms(0.50),
+            p95_ms: overall.quantile_ms(0.95),
+            p99_ms: overall.quantile_ms(0.99),
+            config,
+            total_ops,
+            sms_sent,
+            http_ok,
+            location_fixes,
+            errors,
+            per_shard,
+            checksum,
+        }
+    }
+}
+
+fn partition_target(tick_ms: u64, round: u64) -> u64 {
+    tick_ms * round
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> FleetConfig {
+        FleetConfig {
+            devices: 30,
+            shards: 4,
+            workers: 3,
+            rounds: 3,
+            tick_ms: 500,
+            ops_per_round: 2,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn zero_counts_are_rejected() {
+        let err = FleetConfig {
+            devices: 0,
+            ..small_config()
+        }
+        .validated()
+        .unwrap_err();
+        assert_eq!(err.kind(), ProxyErrorKind::IllegalArgument);
+    }
+
+    #[test]
+    fn fleet_runs_and_reports() {
+        let report = Fleet::build(small_config()).unwrap().run();
+        assert_eq!(report.total_ops, 30 * 3 * 2);
+        assert_eq!(report.errors, 0, "no op should fail: {report:?}");
+        assert!(report.http_ok > 0);
+        assert!(report.sms_sent > 0);
+        assert!(report.location_fixes > 0);
+        assert_eq!(report.per_shard.len(), 4);
+        assert_eq!(
+            report.per_shard.iter().map(|s| s.ops).sum::<u64>(),
+            report.total_ops
+        );
+        // The shard servers saw exactly the fleet's successful posts.
+        let tracked: u64 = report.per_shard.iter().map(|s| s.server.tracks).sum();
+        assert_eq!(tracked, report.http_ok);
+        assert_eq!(report.virtual_elapsed_ms, 1_500);
+        assert!(report.virtual_ops_per_sec() > 0);
+    }
+
+    #[test]
+    fn same_seed_same_report_regardless_of_workers() {
+        let first = Fleet::build(small_config()).unwrap().run();
+        let second = Fleet::build(small_config()).unwrap().run();
+        assert_eq!(first, second, "same config ⇒ identical report");
+
+        let reworked = Fleet::build(FleetConfig {
+            workers: 1,
+            ..small_config()
+        })
+        .unwrap()
+        .run();
+        assert_eq!(first.checksum, reworked.checksum);
+        assert_eq!(first.total_ops, reworked.total_ops);
+        assert_eq!(first.per_shard.len(), reworked.per_shard.len());
+        for (a, b) in first.per_shard.iter().zip(&reworked.per_shard) {
+            assert_eq!(a.ops, b.ops);
+            assert_eq!(a.p99_ms, b.p99_ms);
+            assert_eq!(a.server, b.server);
+        }
+    }
+
+    #[test]
+    fn different_seed_changes_the_checksum() {
+        let a = Fleet::build(small_config()).unwrap().run();
+        let b = Fleet::build(FleetConfig {
+            seed: 12,
+            ..small_config()
+        })
+        .unwrap()
+        .run();
+        assert_ne!(a.checksum, b.checksum);
+    }
+
+    #[test]
+    fn latency_buckets_quantiles_are_monotone() {
+        let mut buckets = LatencyBuckets::default();
+        for ms in [0, 1, 2, 3, 60, 60, 60, 120, 500, 4000] {
+            buckets.record(ms);
+        }
+        let p50 = buckets.quantile_ms(0.50);
+        let p95 = buckets.quantile_ms(0.95);
+        let p99 = buckets.quantile_ms(0.99);
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        assert_eq!(LatencyBuckets::default().quantile_ms(0.5), 0);
+    }
+
+    #[test]
+    fn mixed_platforms_are_all_present() {
+        let fleet = Fleet::build(small_config()).unwrap();
+        let ids: Vec<String> = (0..3)
+            .map(|i| {
+                fleet
+                    .registry()
+                    .runtime(i)
+                    .unwrap()
+                    .platform_id()
+                    .id()
+                    .to_owned()
+            })
+            .collect();
+        assert_eq!(ids.len(), 3);
+        assert_ne!(ids[0], ids[1]);
+        assert_ne!(ids[1], ids[2]);
+    }
+}

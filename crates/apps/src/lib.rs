@@ -19,8 +19,10 @@
 //! | [`native_webview`] | native WebView variant — app-rolled wrapper + notification polling |
 //! | [`proxy_app`] | the proxy variant — one implementation, all platforms (Figs. 8/9) |
 //! | [`scenario`] | a reusable simulation scenario driving any variant |
+//! | [`fleet`] | the fleet-scale load engine: thousands of devices through a sharded registry |
 //! | [`metrics`] | code metrics over the variants' sources (LoC, platform-API references, similarity) |
 
+pub mod fleet;
 pub mod logic;
 pub mod metrics;
 pub mod model;
@@ -32,5 +34,6 @@ pub mod proxy_app;
 pub mod scenario;
 pub mod server;
 
+pub use fleet::{Fleet, FleetConfig, FleetReport};
 pub use model::{AgentConfig, Task};
 pub use scenario::{Scenario, ScenarioOutcome};

@@ -177,10 +177,14 @@ impl WorkforceLogic {
             at_ms,
             event,
         };
+        let Ok(body) = serde_json::to_vec(&entry) else {
+            self.events.record("activity-log-failed:serialize");
+            return;
+        };
         let _ = self.http.request(
             "POST",
             &format!("http://{}/activity-log", self.config.server_host),
-            &serde_json::to_vec(&entry).expect("entry serializes"),
+            &body,
         );
         self.events.record("activity-logged");
     }

@@ -182,10 +182,13 @@ fn post_activity(
         at_ms,
         event,
     };
-    if let Ok(request) = HttpUriRequest::post(
-        &format!("http://{}/activity-log", config.server_host),
-        serde_json::to_vec(&entry).expect("entry serializes"),
-    ) {
+    let Ok(body) = serde_json::to_vec(&entry) else {
+        events.record("activity-log-failed:serialize");
+        return;
+    };
+    if let Ok(request) =
+        HttpUriRequest::post(&format!("http://{}/activity-log", config.server_host), body)
+    {
         let _ = ctx.http_client().execute(&request);
         events.record("activity-logged");
     }

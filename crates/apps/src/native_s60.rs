@@ -214,12 +214,16 @@ impl ManualProximityMachine {
             at_ms,
             event,
         };
+        let Ok(body) = serde_json::to_vec(&entry) else {
+            self.events.record("activity-log-failed:serialize");
+            return;
+        };
         if let Ok(mut connection) = Connector::open_http(
             &self.platform,
             &format!("http://{}/activity-log", self.config.server_host),
         ) {
             let _ = connection.set_request_method("POST");
-            let _ = connection.write_body(&serde_json::to_vec(&entry).expect("entry serializes"));
+            let _ = connection.write_body(&body);
             if connection.response_code().is_ok() {
                 self.events.record("activity-logged");
             }

@@ -172,9 +172,10 @@ impl NativeWebViewApp {
             Arc::new(AppBridge::new(webview.context().clone())),
             "AppBridge",
         );
-        let bridge = webview
-            .js_interface("AppBridge")
-            .expect("bridge was just injected");
+        let Some(bridge) = webview.js_interface("AppBridge") else {
+            self.events.record("bridge-injection-failed");
+            return;
+        };
         // Fetch tasks over the bridge.
         let url = format!(
             "http://{}/tasks?agent={}",
@@ -300,11 +301,15 @@ fn post_activity(
         at_ms,
         event,
     };
+    let Ok(body) = serde_json::to_string(&entry) else {
+        events.record("activity-log-failed:serialize");
+        return;
+    };
     let _ = bridge.invoke(
         "httpPost",
         &[
             JsValue::Str(format!("http://{}/activity-log", config.server_host)),
-            JsValue::Str(serde_json::to_string(&entry).expect("entry serializes")),
+            JsValue::Str(body),
         ],
     );
     events.record("activity-logged");

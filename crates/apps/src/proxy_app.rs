@@ -9,6 +9,7 @@
 
 use std::sync::Arc;
 
+use mobivine::api::{CallProxy, HttpProxy, LocationProxy, SmsProxy};
 use mobivine::registry::Mobivine;
 use mobivine::types::{ProximityEvent, SharedProximityListener};
 
@@ -38,9 +39,9 @@ impl ProxyWorkforceApp {
         config: AgentConfig,
         events: Arc<AppEvents>,
     ) -> Result<Self, mobivine::error::ProxyError> {
-        let sms = runtime.sms()?;
-        let http = runtime.http()?;
-        let call = runtime.call().ok();
+        let sms = runtime.proxy::<dyn SmsProxy>()?;
+        let http = runtime.proxy::<dyn HttpProxy>()?;
+        let call = runtime.proxy::<dyn CallProxy>().ok();
         let logic = Arc::new(WorkforceLogic::new(
             config,
             Arc::clone(&events),
@@ -75,7 +76,7 @@ impl ProxyWorkforceApp {
     /// Propagates proxy errors.
     pub fn start(&mut self) -> Result<(), mobivine::error::ProxyError> {
         self.tasks = self.logic.fetch_tasks()?;
-        let location = self.runtime.location()?;
+        let location = self.runtime.proxy::<dyn LocationProxy>()?;
         for task in &self.tasks {
             // registering for proximity events
             let logic = Arc::clone(&self.logic);

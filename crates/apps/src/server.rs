@@ -26,6 +26,20 @@ pub fn install_metrics_route(network: &SimNetwork, host: &str, registry: Arc<Met
     });
 }
 
+/// A size snapshot of one [`WfmServer`]'s state, used by the fleet
+/// engine to report per-shard server load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WfmServerCounts {
+    /// Tasks ever assigned.
+    pub tasks: u64,
+    /// Completion reports received.
+    pub completed: u64,
+    /// Activity-log entries received.
+    pub activity: u64,
+    /// Track points received.
+    pub tracks: u64,
+}
+
 /// A recorded agent position.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrackPoint {
@@ -101,6 +115,18 @@ impl WfmServer {
             .filter(|t| t.agent_id == agent_id)
             .cloned()
             .collect()
+    }
+
+    /// A size snapshot of the server's state (cheap: four lengths under
+    /// one lock).
+    pub fn counts(&self) -> WfmServerCounts {
+        let state = self.state.lock();
+        WfmServerCounts {
+            tasks: state.tasks.len() as u64,
+            completed: state.completed.len() as u64,
+            activity: state.activity.len() as u64,
+            tracks: state.tracks.len() as u64,
+        }
     }
 
     /// Tasks `agent_id` has completed.

@@ -43,7 +43,9 @@ fn bench_layers(c: &mut Criterion) {
         .build();
     let platform = AndroidPlatform::new(device, SdkVersion::M5Rc15);
     let runtime = Mobivine::for_android(platform.new_context());
-    let proxy = runtime.location().expect("location proxy");
+    let proxy = runtime
+        .proxy::<dyn mobivine::api::LocationProxy>()
+        .expect("location proxy");
     group.bench_function("android/set_property_validated", |b| {
         b.iter(|| {
             proxy

@@ -1,0 +1,144 @@
+//! Fleet-scale throughput benchmark.
+//!
+//! Usage: `cargo run -p mobivine-bench --bin fleet [--devices N]
+//! [--shards A,B,C] [--workers N] [--rounds N] [--ops N] [--seed N]
+//! [--json [PATH]] [--check PATH]`
+//!
+//! Runs the deterministic fleet load engine at each shard count and the
+//! resolution-throughput comparison (per-call construction vs
+//! sharded + memoized). `--json` emits the machine-readable summary
+//! (schema `mobivine.fleet.v1`) — deterministic for a fixed
+//! configuration — on stdout, or at `PATH` when one follows the flag;
+//! `--check PATH` validates an existing summary file instead of
+//! measuring anything.
+
+use mobivine_bench::fleet_bench::{
+    render_fleet_table, render_resolution_table, resolution_speedup, run_fleet_scaling,
+    run_resolution_comparison,
+};
+use mobivine_bench::summary::{fleet_summary_json, validate_fleet_json};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut devices: usize = 10_000;
+    let mut shard_counts: Vec<usize> = vec![1, 2, 4, 8];
+    let mut workers: usize = 4;
+    let mut rounds: u64 = 3;
+    let mut ops: u32 = 2;
+    let mut seed: u64 = 7;
+    let mut json_out: Option<Option<String>> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--devices" => {
+                devices = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(devices);
+                i += 2;
+            }
+            "--shards" => {
+                if let Some(list) = args.get(i + 1) {
+                    let parsed: Vec<usize> =
+                        list.split(',').filter_map(|v| v.parse().ok()).collect();
+                    if !parsed.is_empty() {
+                        shard_counts = parsed;
+                    }
+                }
+                i += 2;
+            }
+            "--workers" => {
+                workers = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(workers);
+                i += 2;
+            }
+            "--rounds" => {
+                rounds = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(rounds);
+                i += 2;
+            }
+            "--ops" => {
+                ops = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(ops);
+                i += 2;
+            }
+            "--seed" => {
+                seed = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(seed);
+                i += 2;
+            }
+            "--json" => match args.get(i + 1) {
+                Some(path) if !path.starts_with("--") => {
+                    json_out = Some(Some(path.clone()));
+                    i += 2;
+                }
+                _ => {
+                    json_out = Some(None);
+                    i += 1;
+                }
+            },
+            "--check" => {
+                let Some(path) = args.get(i + 1) else {
+                    eprintln!("--check requires a file path");
+                    std::process::exit(2);
+                };
+                let text = match std::fs::read_to_string(path) {
+                    Ok(text) => text,
+                    Err(e) => {
+                        eprintln!("cannot read {path}: {e}");
+                        std::process::exit(1);
+                    }
+                };
+                match validate_fleet_json(&text) {
+                    Ok(check) => {
+                        println!(
+                            "{path}: valid ({} scaling rows, {} resolution rows)",
+                            check.scaling_rows, check.resolution_rows
+                        );
+                        std::process::exit(0);
+                    }
+                    Err(e) => {
+                        eprintln!("{path}: invalid fleet summary: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!(
+        "running fleet benchmark: {devices} devices, shard counts {shard_counts:?}, \
+         {workers} workers, {rounds} rounds x {ops} ops, seed {seed} ..."
+    );
+    let scaling = run_fleet_scaling(devices, &shard_counts, workers, rounds, ops, seed);
+    let resolution = run_resolution_comparison(devices.min(64), 50_000);
+
+    if let Some(target) = json_out {
+        let json = fleet_summary_json(&scaling, &resolution);
+        match target {
+            Some(path) => {
+                if let Err(e) = std::fs::write(&path, &json) {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!("wrote fleet summary to {path}");
+            }
+            None => println!("{json}"),
+        }
+        return;
+    }
+
+    print!("{}", render_fleet_table(&scaling));
+    println!();
+    print!("{}", render_resolution_table(&resolution));
+    if let Some(speedup) = resolution_speedup(&resolution) {
+        let verdict = if speedup >= 5.0 { "PASS" } else { "FAIL" };
+        println!("acceptance (>= 5x memoized speedup): {verdict}");
+    }
+}

@@ -1,0 +1,295 @@
+//! Fleet-scale throughput and scaling benchmark.
+//!
+//! Two measurements, one artifact:
+//!
+//! 1. **Scaling sweep** — runs the [`mobivine_apps::fleet`] load engine
+//!    at a fixed device count across several shard counts, reporting
+//!    per-configuration throughput and virtual-latency percentiles.
+//!    Everything in these rows except the wall-clock column derives
+//!    from virtual time and seeded streams, so the JSON summary
+//!    (`mobivine.fleet.v1`) is byte-identical across runs.
+//! 2. **Resolution comparison** — acquisition throughput of the
+//!    unsharded per-call-construction baseline (a fresh runtime and a
+//!    freshly constructed proxy stack per acquisition, the shape of the
+//!    pre-redesign accessors) against the sharded + memoized resolver
+//!    ([`mobivine::shard::ShardedRegistry::resolve`]). Wall-clock
+//!    ops/sec appears only in the human-readable table; the JSON
+//!    carries the deterministic fields.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mobivine::api::LocationProxy;
+use mobivine::registry::Mobivine;
+use mobivine::shard::ShardedRegistry;
+use mobivine_android::{AndroidPlatform, SdkVersion};
+use mobivine_apps::fleet::{Fleet, FleetConfig};
+use mobivine_device::Device;
+
+/// One scaling-sweep configuration's results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetScalingRow {
+    /// Shard count of this configuration.
+    pub shards: usize,
+    /// Simulated devices driven.
+    pub devices: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Lockstep rounds run.
+    pub rounds: u64,
+    /// Total proxy operations issued.
+    pub total_ops: u64,
+    /// Operations that returned an error.
+    pub errors: u64,
+    /// Throughput in ops per virtual second (deterministic).
+    pub virtual_ops_per_sec: u64,
+    /// Median per-op virtual latency, ms.
+    pub p50_ms: u64,
+    /// 95th-percentile per-op virtual latency, ms.
+    pub p95_ms: u64,
+    /// 99th-percentile per-op virtual latency, ms.
+    pub p99_ms: u64,
+    /// Determinism fingerprint of the run.
+    pub checksum: u64,
+    /// Wall-clock duration of the run, ms (table only — never in the
+    /// JSON, which must be reproducible).
+    pub wall_ms: f64,
+}
+
+/// One row of the resolution-throughput comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolutionRow {
+    /// `per-call-construction` or `sharded-memoized`.
+    pub mode: &'static str,
+    /// Proxy acquisitions timed.
+    pub acquisitions: u64,
+    /// Distinct device runtimes cycled through.
+    pub devices: usize,
+    /// Wall-clock acquisitions per second (table only).
+    pub wall_ops_per_sec: f64,
+}
+
+/// Runs the fleet at `devices` for each entry of `shard_counts`.
+///
+/// # Panics
+///
+/// Panics if the fleet cannot be built — a zero in the configuration or
+/// a proxy-construction failure, both programming errors here.
+pub fn run_fleet_scaling(
+    devices: usize,
+    shard_counts: &[usize],
+    workers: usize,
+    rounds: u64,
+    ops_per_round: u32,
+    seed: u64,
+) -> Vec<FleetScalingRow> {
+    shard_counts
+        .iter()
+        .map(|&shards| {
+            let config = FleetConfig {
+                devices,
+                shards,
+                workers,
+                rounds,
+                tick_ms: 1_000,
+                ops_per_round,
+                seed,
+            };
+            let fleet = Fleet::build(config).expect("fleet configuration is valid");
+            let started = Instant::now();
+            let report = fleet.run();
+            let wall_ms = started.elapsed().as_secs_f64() * 1_000.0;
+            FleetScalingRow {
+                shards,
+                devices,
+                workers,
+                rounds,
+                total_ops: report.total_ops,
+                errors: report.errors,
+                virtual_ops_per_sec: report.virtual_ops_per_sec(),
+                p50_ms: report.p50_ms,
+                p95_ms: report.p95_ms,
+                p99_ms: report.p99_ms,
+                checksum: report.checksum,
+                wall_ms,
+            }
+        })
+        .collect()
+}
+
+/// Times `acquisitions` proxy acquisitions in both modes: the unsharded
+/// per-call-construction baseline first, then the sharded + memoized
+/// resolver, cycling over `devices` distinct runtimes.
+pub fn run_resolution_comparison(devices: usize, acquisitions: u64) -> Vec<ResolutionRow> {
+    let devices = devices.max(1);
+
+    // Baseline: every acquisition pays what the pre-redesign accessors
+    // paid on a cold registry — runtime assembly (private catalog copy
+    // included) plus full proxy-stack construction.
+    let contexts: Vec<_> = (0..devices)
+        .map(|i| {
+            AndroidPlatform::new(Device::builder().seed(i as u64).build(), SdkVersion::M5Rc15)
+                .new_context()
+        })
+        .collect();
+    let started = Instant::now();
+    for i in 0..acquisitions {
+        let runtime = Mobivine::for_android(contexts[(i as usize) % devices].clone());
+        let proxy = runtime
+            .proxy::<dyn LocationProxy>()
+            .expect("android supports Location");
+        std::hint::black_box(&proxy);
+    }
+    let baseline_secs = started.elapsed().as_secs_f64();
+
+    // Sharded + memoized: warm once, then lock-free cache hits.
+    let mut registry = ShardedRegistry::new(devices.clamp(1, 8)).expect("shard count is non-zero");
+    for ctx in &contexts {
+        let ctx = ctx.clone();
+        registry
+            .push_with(move |b| b.android(ctx))
+            .expect("runtime builds");
+    }
+    let registry = Arc::new(registry);
+    registry.warm().expect("warm-up succeeds");
+    let started = Instant::now();
+    for i in 0..acquisitions {
+        let proxy = registry
+            .resolve::<dyn LocationProxy>((i as usize) % devices)
+            .expect("warmed registry resolves");
+        std::hint::black_box(&proxy);
+    }
+    let memoized_secs = started.elapsed().as_secs_f64();
+
+    let rate = |secs: f64| {
+        if secs > 0.0 {
+            acquisitions as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    };
+    vec![
+        ResolutionRow {
+            mode: "per-call-construction",
+            acquisitions,
+            devices,
+            wall_ops_per_sec: rate(baseline_secs),
+        },
+        ResolutionRow {
+            mode: "sharded-memoized",
+            acquisitions,
+            devices,
+            wall_ops_per_sec: rate(memoized_secs),
+        },
+    ]
+}
+
+/// The memoized-over-baseline speedup factor, when both rows are
+/// present.
+pub fn resolution_speedup(rows: &[ResolutionRow]) -> Option<f64> {
+    let baseline = rows.iter().find(|r| r.mode == "per-call-construction")?;
+    let memoized = rows.iter().find(|r| r.mode == "sharded-memoized")?;
+    if baseline.wall_ops_per_sec > 0.0 {
+        Some(memoized.wall_ops_per_sec / baseline.wall_ops_per_sec)
+    } else {
+        None
+    }
+}
+
+/// Renders the scaling sweep as an aligned text table.
+pub fn render_fleet_table(rows: &[FleetScalingRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Fleet scaling (virtual ops/sec; latencies in virtual ms)\n");
+    out.push_str(
+        "shards | devices | workers |   ops   | errors | vops/sec | p50 | p95 | p99 |  wall ms\n",
+    );
+    out.push_str(
+        "-------+---------+---------+---------+--------+----------+-----+-----+-----+---------\n",
+    );
+    for row in rows {
+        out.push_str(&format!(
+            "{:>6} | {:>7} | {:>7} | {:>7} | {:>6} | {:>8} | {:>3} | {:>3} | {:>3} | {:>8.1}\n",
+            row.shards,
+            row.devices,
+            row.workers,
+            row.total_ops,
+            row.errors,
+            row.virtual_ops_per_sec,
+            row.p50_ms,
+            row.p95_ms,
+            row.p99_ms,
+            row.wall_ms,
+        ));
+    }
+    out
+}
+
+/// Renders the resolution comparison, including the speedup line the
+/// acceptance gate reads.
+pub fn render_resolution_table(rows: &[ResolutionRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Proxy acquisition throughput (wall clock)\n");
+    out.push_str("mode                  | acquisitions | devices |   ops/sec\n");
+    out.push_str("----------------------+--------------+---------+----------\n");
+    for row in rows {
+        out.push_str(&format!(
+            "{:<21} | {:>12} | {:>7} | {:>9.0}\n",
+            row.mode, row.acquisitions, row.devices, row.wall_ops_per_sec,
+        ));
+    }
+    if let Some(speedup) = resolution_speedup(rows) {
+        out.push_str(&format!(
+            "sharded+memoized speedup over per-call construction: {speedup:.1}x\n"
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_rows_are_deterministic_across_runs() {
+        let first = run_fleet_scaling(60, &[1, 4], 3, 2, 2, 5);
+        let second = run_fleet_scaling(60, &[1, 4], 3, 2, 2, 5);
+        assert_eq!(first.len(), 2);
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.checksum, b.checksum);
+            assert_eq!(a.total_ops, b.total_ops);
+            assert_eq!(a.virtual_ops_per_sec, b.virtual_ops_per_sec);
+            assert_eq!(
+                (a.p50_ms, a.p95_ms, a.p99_ms),
+                (b.p50_ms, b.p95_ms, b.p99_ms)
+            );
+        }
+        assert_eq!(first[0].total_ops, 60 * 2 * 2);
+    }
+
+    #[test]
+    fn resolution_comparison_clears_the_speedup_bar() {
+        let rows = run_resolution_comparison(16, 2_000);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].mode, "per-call-construction");
+        assert_eq!(rows[1].mode, "sharded-memoized");
+        let speedup = resolution_speedup(&rows).expect("both rows present");
+        assert!(
+            speedup >= 5.0,
+            "memoized resolution must be >= 5x the construction baseline, got {speedup:.1}x"
+        );
+    }
+
+    #[test]
+    fn tables_render_both_rows() {
+        let rows = run_resolution_comparison(4, 200);
+        let table = render_resolution_table(&rows);
+        assert!(table.contains("per-call-construction"));
+        assert!(table.contains("sharded-memoized"));
+        assert!(table.contains("speedup"));
+
+        let scaling = run_fleet_scaling(30, &[2], 2, 1, 1, 3);
+        let table = render_fleet_table(&scaling);
+        assert!(table.contains("vops/sec"));
+        assert!(table.contains(" 30 "), "{table}");
+    }
+}

@@ -77,13 +77,15 @@ impl AndroidFixture {
         Self {
             device,
             ctx,
-            location_proxy: runtime.location().expect("android location proxy"),
-            sms_proxy: runtime.sms().expect("android sms proxy"),
+            location_proxy: runtime
+                .proxy::<dyn LocationProxy>()
+                .expect("android location proxy"),
+            sms_proxy: runtime.proxy::<dyn SmsProxy>().expect("android sms proxy"),
             resilient_location_proxy: resilient
-                .location()
+                .proxy::<dyn LocationProxy>()
                 .expect("android resilient location proxy"),
             instrumented_location_proxy: instrumented
-                .location()
+                .proxy::<dyn LocationProxy>()
                 .expect("android instrumented location proxy"),
         }
     }
@@ -194,11 +196,15 @@ impl S60Fixture {
             device,
             platform,
             provider,
-            location_proxy: runtime.location().expect("s60 location proxy"),
-            sms_proxy: runtime.sms().expect("s60 sms proxy"),
-            resilient_location_proxy: resilient.location().expect("s60 resilient location proxy"),
+            location_proxy: runtime
+                .proxy::<dyn LocationProxy>()
+                .expect("s60 location proxy"),
+            sms_proxy: runtime.proxy::<dyn SmsProxy>().expect("s60 sms proxy"),
+            resilient_location_proxy: resilient
+                .proxy::<dyn LocationProxy>()
+                .expect("s60 resilient location proxy"),
             instrumented_location_proxy: instrumented
-                .location()
+                .proxy::<dyn LocationProxy>()
                 .expect("s60 instrumented location proxy"),
         }
     }
@@ -367,13 +373,15 @@ impl WebViewFixture {
         Self {
             device,
             webview: Arc::clone(&webview),
-            location_proxy: runtime.location().expect("webview location proxy"),
-            sms_proxy: runtime.sms().expect("webview sms proxy"),
+            location_proxy: runtime
+                .proxy::<dyn LocationProxy>()
+                .expect("webview location proxy"),
+            sms_proxy: runtime.proxy::<dyn SmsProxy>().expect("webview sms proxy"),
             resilient_location_proxy: resilient
-                .location()
+                .proxy::<dyn LocationProxy>()
                 .expect("webview resilient location proxy"),
             instrumented_location_proxy: instrumented
-                .location()
+                .proxy::<dyn LocationProxy>()
                 .expect("webview instrumented location proxy"),
         }
     }

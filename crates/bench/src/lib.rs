@@ -9,6 +9,7 @@
 //! setup shared by the report binary and the Criterion benches.
 
 pub mod figure10;
+pub mod fleet_bench;
 pub mod harness;
 pub mod summary;
 
@@ -16,4 +17,10 @@ pub use figure10::{
     measure, run_figure10, run_resilience_overhead, run_telemetry_overhead, Figure10Row,
     LatencyStats, ResilienceOverheadRow, Scale, TelemetryOverheadRow,
 };
-pub use summary::{summary_json, validate_summary_json, SummaryCheck};
+pub use fleet_bench::{
+    run_fleet_scaling, run_resolution_comparison, FleetScalingRow, ResolutionRow,
+};
+pub use summary::{
+    fleet_summary_json, summary_json, validate_fleet_json, validate_summary_json, FleetCheck,
+    SummaryCheck,
+};

@@ -1,17 +1,24 @@
-//! Machine-readable bench summary (`figure10 --json`).
+//! Machine-readable bench summaries (`figure10 --json`, `fleet --json`).
 //!
-//! One JSON document carries everything the `figure10` binary prints:
-//! the nine Figure 10 pairs with their histogram-derived p50/p95/p99
-//! tails, the resilience-overhead ablation and the telemetry-overhead
-//! ablation. [`validate_summary_json`] is the schema check shared by
-//! the binary's `--check` mode and CI.
+//! One JSON document per binary: the `figure10` summary carries the
+//! nine Figure 10 pairs with their histogram-derived p50/p95/p99 tails
+//! plus the resilience- and telemetry-overhead ablations; the `fleet`
+//! summary carries the scaling sweep and the resolution-mode inventory.
+//! [`validate_summary_json`] / [`validate_fleet_json`] are the schema
+//! checks shared by each binary's `--check` mode and CI. The fleet
+//! summary deliberately contains **no wall-clock-derived values**, so
+//! two runs with the same configuration emit byte-identical JSON.
 
 use serde_json::Value;
 
 use crate::figure10::{Figure10Row, LatencyStats, ResilienceOverheadRow, TelemetryOverheadRow};
+use crate::fleet_bench::{FleetScalingRow, ResolutionRow};
 
 /// Schema identifier stamped into (and required from) every summary.
 pub const SCHEMA: &str = "mobivine.figure10.v1";
+
+/// Schema identifier of the fleet benchmark summary.
+pub const FLEET_SCHEMA: &str = "mobivine.fleet.v1";
 
 fn num(v: f64) -> Value {
     Value::Number(v)
@@ -196,6 +203,130 @@ pub fn validate_summary_json(json: &str) -> Result<SummaryCheck, String> {
     })
 }
 
+/// Builds the fleet summary document as a JSON string. Only
+/// deterministic fields are emitted — the wall-clock columns of the
+/// human-readable tables are intentionally absent, and the `u64`
+/// checksum is rendered as a hex string so no precision is lost to
+/// JSON's doubles.
+pub fn fleet_summary_json(scaling: &[FleetScalingRow], resolution: &[ResolutionRow]) -> String {
+    let scaling = scaling
+        .iter()
+        .map(|row| {
+            object(vec![
+                ("shards", num(row.shards as f64)),
+                ("devices", num(row.devices as f64)),
+                ("workers", num(row.workers as f64)),
+                ("rounds", num(row.rounds as f64)),
+                ("total_ops", num(row.total_ops as f64)),
+                ("errors", num(row.errors as f64)),
+                ("virtual_ops_per_sec", num(row.virtual_ops_per_sec as f64)),
+                ("p50_ms", num(row.p50_ms as f64)),
+                ("p95_ms", num(row.p95_ms as f64)),
+                ("p99_ms", num(row.p99_ms as f64)),
+                ("checksum", text(&format!("{:016x}", row.checksum))),
+            ])
+        })
+        .collect();
+    let resolution = resolution
+        .iter()
+        .map(|row| {
+            object(vec![
+                ("mode", text(row.mode)),
+                ("acquisitions", num(row.acquisitions as f64)),
+                ("devices", num(row.devices as f64)),
+            ])
+        })
+        .collect();
+    object(vec![
+        ("schema", text(FLEET_SCHEMA)),
+        ("scaling", Value::Array(scaling)),
+        ("resolution", Value::Array(resolution)),
+    ])
+    .to_string()
+}
+
+/// What a valid fleet summary contained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetCheck {
+    /// Number of shard-count configurations in the sweep.
+    pub scaling_rows: usize,
+    /// Number of resolution-mode rows (both modes must be present).
+    pub resolution_rows: usize,
+}
+
+/// Validates a `fleet --json` document against the [`FLEET_SCHEMA`]
+/// shape.
+///
+/// # Errors
+///
+/// A human-readable description of the first violation: bad JSON, a
+/// wrong or missing schema id, a missing/mistyped field, unordered
+/// percentiles, a malformed checksum, or a missing resolution mode.
+pub fn validate_fleet_json(json: &str) -> Result<FleetCheck, String> {
+    let root: Value = serde_json::from_str(json).map_err(|e| format!("not valid JSON: {e}"))?;
+    match root.get_field("schema") {
+        Some(Value::String(s)) if s == FLEET_SCHEMA => {}
+        Some(Value::String(s)) => {
+            return Err(format!("unknown schema {s:?}, expected {FLEET_SCHEMA:?}"))
+        }
+        _ => return Err("missing schema field".to_owned()),
+    }
+
+    let scaling = require_array(&root, "scaling")?;
+    for (i, entry) in scaling.iter().enumerate() {
+        let context = format!("scaling[{i}]");
+        for key in [
+            "shards",
+            "devices",
+            "workers",
+            "rounds",
+            "total_ops",
+            "errors",
+            "virtual_ops_per_sec",
+        ] {
+            let value = require_number(entry, key, &context)?;
+            if value < 0.0 {
+                return Err(format!("{context}: negative {key}"));
+            }
+        }
+        let p50 = require_number(entry, "p50_ms", &context)?;
+        let p95 = require_number(entry, "p95_ms", &context)?;
+        let p99 = require_number(entry, "p99_ms", &context)?;
+        if p50 > p95 || p95 > p99 {
+            return Err(format!(
+                "{context}: quantiles are not ordered: p50={p50} p95={p95} p99={p99}"
+            ));
+        }
+        let checksum = require_string(entry, "checksum", &context)?;
+        if checksum.len() != 16 || !checksum.chars().all(|c| c.is_ascii_hexdigit()) {
+            return Err(format!(
+                "{context}: checksum is not a 16-digit hex string: {checksum:?}"
+            ));
+        }
+    }
+
+    let resolution = require_array(&root, "resolution")?;
+    for (i, entry) in resolution.iter().enumerate() {
+        let context = format!("resolution[{i}]");
+        require_string(entry, "mode", &context)?;
+        require_number(entry, "acquisitions", &context)?;
+        require_number(entry, "devices", &context)?;
+    }
+    for mode in ["per-call-construction", "sharded-memoized"] {
+        if !resolution
+            .iter()
+            .any(|entry| matches!(entry.get_field("mode"), Some(Value::String(s)) if s == mode))
+        {
+            return Err(format!("resolution: missing row for mode {mode:?}"));
+        }
+    }
+
+    Ok(FleetCheck {
+        scaling_rows: scaling.len(),
+        resolution_rows: resolution.len(),
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,5 +372,41 @@ mod tests {
     fn garbage_is_rejected_with_a_parse_error() {
         let err = validate_summary_json("{not json").unwrap_err();
         assert!(err.contains("not valid JSON"), "{err}");
+    }
+
+    fn fleet_sample() -> String {
+        let scaling = crate::fleet_bench::run_fleet_scaling(24, &[1, 2], 2, 1, 1, 3);
+        let resolution = crate::fleet_bench::run_resolution_comparison(4, 100);
+        fleet_summary_json(&scaling, &resolution)
+    }
+
+    #[test]
+    fn fleet_summary_round_trips_through_validation() {
+        let check = validate_fleet_json(&fleet_sample()).expect("generated fleet summary is valid");
+        assert_eq!(
+            check,
+            FleetCheck {
+                scaling_rows: 2,
+                resolution_rows: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn fleet_summary_is_byte_identical_across_runs() {
+        assert_eq!(fleet_sample(), fleet_sample());
+    }
+
+    #[test]
+    fn fleet_summary_rejects_missing_resolution_mode() {
+        let json = fleet_sample().replace("sharded-memoized", "sharded-unknown");
+        let err = validate_fleet_json(&json).unwrap_err();
+        assert!(err.contains("sharded-memoized"), "{err}");
+    }
+
+    #[test]
+    fn fleet_summary_rejects_wrong_schema() {
+        let json = fleet_sample().replace(FLEET_SCHEMA, "mobivine.fleet.v0");
+        assert!(validate_fleet_json(&json).is_err());
     }
 }

@@ -48,7 +48,7 @@
 //! let device = Device::builder().build();
 //! let platform = AndroidPlatform::new(device, SdkVersion::M5Rc15);
 //! let runtime = Mobivine::for_android(platform.new_context());
-//! let location = runtime.location()?;
+//! let location = runtime.proxy::<dyn LocationProxy>()?;
 //! location.set_property("provider", PropertyValue::str("gps"))?;
 //! let fix = location.get_location()?;
 //! assert!(fix.timestamp_ms == 0);
@@ -63,15 +63,17 @@ pub mod property;
 pub mod registry;
 pub mod resilience;
 pub mod s60;
+pub mod shard;
 pub mod telemetry;
 pub mod types;
 pub mod webview;
 
 pub use api::{CallProxy, HttpProxy, LocationProxy, SmsProxy};
 pub use error::{ProxyError, ProxyErrorKind};
-pub use registry::Mobivine;
+pub use registry::{Mobivine, MobivineBuilder, ProxyApi, ProxyKind};
 pub use resilience::{
     CircuitBreaker, CircuitState, ResilienceMetrics, ResiliencePolicy, ResilienceSnapshot,
 };
+pub use shard::ShardedRegistry;
 pub use telemetry::TelemetryRuntime;
 pub use types::{Location, ProximityEvent, ProximityListener};

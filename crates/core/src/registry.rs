@@ -8,9 +8,40 @@
 //! missing symbol — MobiVine removes "the requirement of the proxy set
 //! being determined by the least common denominator of functionalities
 //! across different platforms" (§3.3).
+//!
+//! ## Acquiring proxies
+//!
+//! The uniform acquisition surface is the typed resolver
+//! [`Mobivine::proxy`], keyed by [`ProxyKind`] through the sealed
+//! [`ProxyApi`] trait:
+//!
+//! ```
+//! # use mobivine::registry::Mobivine;
+//! # use mobivine::api::{LocationProxy, SmsProxy};
+//! # use mobivine_android::{AndroidPlatform, SdkVersion};
+//! # use mobivine_device::Device;
+//! # let platform = AndroidPlatform::new(Device::builder().build(), SdkVersion::M5Rc15);
+//! # let runtime = Mobivine::for_android(platform.new_context());
+//! let location = runtime.proxy::<dyn LocationProxy>()?;
+//! let sms = runtime.proxy::<dyn SmsProxy>()?;
+//! # Ok::<(), mobivine::error::ProxyError>(())
+//! ```
+//!
+//! Resolution is **memoized**: the first acquisition of a kind
+//! constructs the decorated proxy stack, every later acquisition is a
+//! lock-free read returning the same shared instance. The six legacy
+//! accessors (`location()`, `sms()`, …) remain as deprecated wrappers
+//! over the resolver and share its cache.
+//!
+//! ## Composable construction
+//!
+//! [`Mobivine::builder`] composes platform selection, resilience and
+//! telemetry in any order with a single `build()`; the legacy
+//! `for_*`/`with_*` chain remains for simple cases.
 
 use std::fmt;
 use std::sync::Arc;
+use std::sync::OnceLock;
 
 use mobivine_android::context::Context;
 use mobivine_device::Device;
@@ -48,6 +79,189 @@ enum Target {
     WebView(Arc<WebView>),
 }
 
+/// The six uniform proxy capabilities, keyed the way the descriptor
+/// catalog names them. This is the enum the typed resolver
+/// ([`Mobivine::proxy`]) is keyed by, via [`ProxyApi::KIND`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProxyKind {
+    /// The Location capability (`"Location"` in the catalog).
+    Location,
+    /// The SMS capability (`"SMS"`).
+    Sms,
+    /// The voice-call capability (`"Call"`), absent on S60.
+    Call,
+    /// The HTTP capability (`"Http"`).
+    Http,
+    /// The Contacts extension (`"Contacts"`), absent on WebView.
+    Contacts,
+    /// The Calendar extension (`"Calendar"`), absent on WebView.
+    Calendar,
+}
+
+impl ProxyKind {
+    /// Every capability, in catalog order.
+    pub const ALL: [ProxyKind; 6] = [
+        ProxyKind::Location,
+        ProxyKind::Sms,
+        ProxyKind::Call,
+        ProxyKind::Http,
+        ProxyKind::Contacts,
+        ProxyKind::Calendar,
+    ];
+
+    /// The descriptor-catalog interface name for this kind.
+    pub fn interface(&self) -> &'static str {
+        match self {
+            ProxyKind::Location => "Location",
+            ProxyKind::Sms => "SMS",
+            ProxyKind::Call => "Call",
+            ProxyKind::Http => "Http",
+            ProxyKind::Contacts => "Contacts",
+            ProxyKind::Calendar => "Calendar",
+        }
+    }
+}
+
+impl fmt::Display for ProxyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.interface())
+    }
+}
+
+/// Memoized resolution state of one runtime: one slot per
+/// [`ProxyKind`], written once on first acquisition and read lock-free
+/// afterwards. Construction failures are not cached, so a transient
+/// error does not poison the slot.
+#[derive(Default)]
+pub struct ResolutionCache {
+    location: OnceLock<Arc<dyn LocationProxy>>,
+    sms: OnceLock<Arc<dyn SmsProxy>>,
+    call: OnceLock<Arc<dyn CallProxy>>,
+    http: OnceLock<Arc<dyn HttpProxy>>,
+    contacts: OnceLock<Arc<dyn ContactsProxy>>,
+    calendar: OnceLock<Arc<dyn CalendarProxy>>,
+}
+
+impl ResolutionCache {
+    /// How many kinds have been resolved so far.
+    fn resolved_count(&self) -> usize {
+        usize::from(self.location.get().is_some())
+            + usize::from(self.sms.get().is_some())
+            + usize::from(self.call.get().is_some())
+            + usize::from(self.http.get().is_some())
+            + usize::from(self.contacts.get().is_some())
+            + usize::from(self.calendar.get().is_some())
+    }
+}
+
+impl fmt::Debug for ResolutionCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ResolutionCache")
+            .field("resolved", &self.resolved_count())
+            .finish()
+    }
+}
+
+mod sealed {
+    /// Prevents downstream crates from adding resolvable proxy types:
+    /// the registry's construction match is exhaustive over the six
+    /// catalog capabilities.
+    pub trait Sealed {}
+    impl Sealed for dyn super::LocationProxy {}
+    impl Sealed for dyn super::SmsProxy {}
+    impl Sealed for dyn super::CallProxy {}
+    impl Sealed for dyn super::HttpProxy {}
+    impl Sealed for dyn super::ContactsProxy {}
+    impl Sealed for dyn super::CalendarProxy {}
+}
+
+/// The link between a uniform proxy trait object and its [`ProxyKind`]:
+/// the typed key of [`Mobivine::proxy`]. Implemented exactly for the
+/// six `dyn *Proxy` types; sealed, because the registry's construction
+/// logic is exhaustive over the catalog.
+pub trait ProxyApi: sealed::Sealed + Send + Sync {
+    /// The capability this proxy type provides.
+    const KIND: ProxyKind;
+
+    #[doc(hidden)]
+    fn slot(cache: &ResolutionCache) -> &OnceLock<Arc<Self>>;
+
+    #[doc(hidden)]
+    fn construct(runtime: &Mobivine) -> Result<Arc<Self>, ProxyError>;
+}
+
+impl ProxyApi for dyn LocationProxy {
+    const KIND: ProxyKind = ProxyKind::Location;
+
+    fn slot(cache: &ResolutionCache) -> &OnceLock<Arc<Self>> {
+        &cache.location
+    }
+
+    fn construct(runtime: &Mobivine) -> Result<Arc<Self>, ProxyError> {
+        runtime.build_location()
+    }
+}
+
+impl ProxyApi for dyn SmsProxy {
+    const KIND: ProxyKind = ProxyKind::Sms;
+
+    fn slot(cache: &ResolutionCache) -> &OnceLock<Arc<Self>> {
+        &cache.sms
+    }
+
+    fn construct(runtime: &Mobivine) -> Result<Arc<Self>, ProxyError> {
+        runtime.build_sms()
+    }
+}
+
+impl ProxyApi for dyn CallProxy {
+    const KIND: ProxyKind = ProxyKind::Call;
+
+    fn slot(cache: &ResolutionCache) -> &OnceLock<Arc<Self>> {
+        &cache.call
+    }
+
+    fn construct(runtime: &Mobivine) -> Result<Arc<Self>, ProxyError> {
+        runtime.build_call()
+    }
+}
+
+impl ProxyApi for dyn HttpProxy {
+    const KIND: ProxyKind = ProxyKind::Http;
+
+    fn slot(cache: &ResolutionCache) -> &OnceLock<Arc<Self>> {
+        &cache.http
+    }
+
+    fn construct(runtime: &Mobivine) -> Result<Arc<Self>, ProxyError> {
+        runtime.build_http()
+    }
+}
+
+impl ProxyApi for dyn ContactsProxy {
+    const KIND: ProxyKind = ProxyKind::Contacts;
+
+    fn slot(cache: &ResolutionCache) -> &OnceLock<Arc<Self>> {
+        &cache.contacts
+    }
+
+    fn construct(runtime: &Mobivine) -> Result<Arc<Self>, ProxyError> {
+        runtime.build_contacts()
+    }
+}
+
+impl ProxyApi for dyn CalendarProxy {
+    const KIND: ProxyKind = ProxyKind::Calendar;
+
+    fn slot(cache: &ResolutionCache) -> &OnceLock<Arc<Self>> {
+        &cache.calendar
+    }
+
+    fn construct(runtime: &Mobivine) -> Result<Arc<Self>, ProxyError> {
+        runtime.build_calendar()
+    }
+}
+
 /// The runtime's resilience configuration: one policy and one shared
 /// counter block applied identically to every proxy it constructs.
 struct ResilienceRuntime {
@@ -58,9 +272,10 @@ struct ResilienceRuntime {
 /// The MobiVine runtime for one application on one platform.
 pub struct Mobivine {
     target: Target,
-    catalog: Vec<ProxyDescriptor>,
+    catalog: Arc<Vec<ProxyDescriptor>>,
     resilience: Option<ResilienceRuntime>,
     telemetry: Option<TelemetryRuntime>,
+    resolved: ResolutionCache,
 }
 
 impl fmt::Debug for Mobivine {
@@ -68,41 +283,43 @@ impl fmt::Debug for Mobivine {
         f.debug_struct("Mobivine")
             .field("platform", &self.platform_id().id().to_owned())
             .field("catalog", &self.catalog.len())
+            .field("resolved", &self.resolved.resolved_count())
             .finish()
     }
 }
 
 impl Mobivine {
-    /// Binds the runtime to an Android application context.
-    pub fn for_android(ctx: Context) -> Self {
+    fn with_target(target: Target) -> Self {
         Self {
-            target: Target::Android(ctx),
-            catalog: mobivine_proxydl::catalog::standard_catalog(),
+            target,
+            catalog: Arc::new(mobivine_proxydl::catalog::standard_catalog()),
             resilience: None,
             telemetry: None,
+            resolved: ResolutionCache::default(),
         }
+    }
+
+    /// Starts composable construction: platform selection, resilience
+    /// and telemetry in any order, one [`MobivineBuilder::build`].
+    pub fn builder() -> MobivineBuilder {
+        MobivineBuilder::default()
+    }
+
+    /// Binds the runtime to an Android application context.
+    pub fn for_android(ctx: Context) -> Self {
+        Self::with_target(Target::Android(ctx))
     }
 
     /// Binds the runtime to an S60 platform.
     pub fn for_s60(platform: S60Platform) -> Self {
-        Self {
-            target: Target::S60(platform),
-            catalog: mobivine_proxydl::catalog::standard_catalog(),
-            resilience: None,
-            telemetry: None,
-        }
+        Self::with_target(Target::S60(platform))
     }
 
     /// Binds the runtime to a WebView page, installing the Java
     /// wrappers (the plug-in's `addJavaScriptInterface` injection).
     pub fn for_webview(webview: Arc<WebView>) -> Self {
         install_wrappers(&webview);
-        Self {
-            target: Target::WebView(webview),
-            catalog: mobivine_proxydl::catalog::standard_catalog(),
-            resilience: None,
-            telemetry: None,
-        }
+        Self::with_target(Target::WebView(webview))
     }
 
     /// Turns on the resilience layer: every Location/SMS/Call/HTTP
@@ -120,6 +337,9 @@ impl Mobivine {
             None => ResilienceMetrics::shared(),
         };
         self.resilience = Some(ResilienceRuntime { policy, metrics });
+        // The decorator stack changed: previously resolved proxies do
+        // not carry the new layer, so the memo is invalidated.
+        self.resolved = ResolutionCache::default();
         self
     }
 
@@ -144,6 +364,7 @@ impl Mobivine {
             r.metrics = ResilienceMetrics::on_registry(telemetry.metrics());
         }
         self.telemetry = Some(telemetry);
+        self.resolved = ResolutionCache::default();
         self
     }
 
@@ -201,6 +422,11 @@ impl Mobivine {
             .is_some_and(|d| d.binding_for(&platform).is_some())
     }
 
+    /// Whether `kind` has a binding on the running platform.
+    pub fn supports_kind(&self, kind: ProxyKind) -> bool {
+        self.supports(kind.interface())
+    }
+
     fn unsupported(&self, interface: &str) -> ProxyError {
         ProxyError::new(
             ProxyErrorKind::UnsupportedOnPlatform,
@@ -211,13 +437,137 @@ impl Mobivine {
         )
     }
 
+    /// Resolves the proxy for capability `P`, memoized.
+    ///
+    /// The first acquisition of each [`ProxyKind`] constructs the
+    /// platform binding with the full decorator stack (telemetry,
+    /// resilience) and caches the shared instance; every later
+    /// acquisition is a lock-free read returning a clone of the same
+    /// `Arc`. This is the hot-path acquisition primitive fleet-scale
+    /// workloads lean on: acquisition cost collapses from per-call
+    /// construction to one atomic load.
+    ///
+    /// # Errors
+    ///
+    /// `UnsupportedOnPlatform` if the catalog has no binding for
+    /// `P::KIND` on this platform, or any construction error from the
+    /// binding module. Errors are not cached; a failed resolution is
+    /// retried on the next acquisition.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// # use mobivine::registry::Mobivine;
+    /// # use mobivine::api::LocationProxy;
+    /// # use mobivine_android::{AndroidPlatform, SdkVersion};
+    /// # use mobivine_device::Device;
+    /// # let platform = AndroidPlatform::new(Device::builder().build(), SdkVersion::M5Rc15);
+    /// # let runtime = Mobivine::for_android(platform.new_context());
+    /// let first = runtime.proxy::<dyn LocationProxy>()?;
+    /// let second = runtime.proxy::<dyn LocationProxy>()?;
+    /// assert!(std::sync::Arc::ptr_eq(&first, &second));
+    /// # Ok::<(), mobivine::error::ProxyError>(())
+    /// ```
+    pub fn proxy<P: ProxyApi + ?Sized>(&self) -> Result<Arc<P>, ProxyError> {
+        let slot = P::slot(&self.resolved);
+        if let Some(hit) = slot.get() {
+            return Ok(Arc::clone(hit));
+        }
+        let constructed = P::construct(self)?;
+        // Under a race the first writer wins and everyone shares its
+        // instance; the loser's construction is dropped.
+        Ok(Arc::clone(slot.get_or_init(|| constructed)))
+    }
+
+    /// Pre-resolves every capability with a binding on this platform,
+    /// returning how many were cached. Fleet workloads call this once
+    /// per runtime so steady-state acquisition never constructs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first construction error; kinds without a
+    /// binding are skipped, not errors.
+    pub fn warm(&self) -> Result<usize, ProxyError> {
+        let mut resolved = 0;
+        for kind in ProxyKind::ALL {
+            if !self.supports_kind(kind) {
+                continue;
+            }
+            match kind {
+                ProxyKind::Location => drop(self.proxy::<dyn LocationProxy>()?),
+                ProxyKind::Sms => drop(self.proxy::<dyn SmsProxy>()?),
+                ProxyKind::Call => drop(self.proxy::<dyn CallProxy>()?),
+                ProxyKind::Http => drop(self.proxy::<dyn HttpProxy>()?),
+                ProxyKind::Contacts => drop(self.proxy::<dyn ContactsProxy>()?),
+                ProxyKind::Calendar => drop(self.proxy::<dyn CalendarProxy>()?),
+            }
+            resolved += 1;
+        }
+        Ok(resolved)
+    }
+
     /// Constructs the Location proxy.
     ///
     /// # Errors
     ///
-    /// `UnsupportedOnPlatform` if the catalog has no binding, or any
-    /// construction error from the binding module.
+    /// As [`Mobivine::proxy`].
+    #[deprecated(since = "0.2.0", note = "use `proxy::<dyn LocationProxy>()`")]
     pub fn location(&self) -> Result<Arc<dyn LocationProxy>, ProxyError> {
+        self.proxy::<dyn LocationProxy>()
+    }
+
+    /// Constructs the SMS proxy.
+    ///
+    /// # Errors
+    ///
+    /// As [`Mobivine::proxy`].
+    #[deprecated(since = "0.2.0", note = "use `proxy::<dyn SmsProxy>()`")]
+    pub fn sms(&self) -> Result<Arc<dyn SmsProxy>, ProxyError> {
+        self.proxy::<dyn SmsProxy>()
+    }
+
+    /// Constructs the Call proxy.
+    ///
+    /// # Errors
+    ///
+    /// `UnsupportedOnPlatform` on S60 ("the core functionality was not
+    /// exposed on the S60 platform", §4.1).
+    #[deprecated(since = "0.2.0", note = "use `proxy::<dyn CallProxy>()`")]
+    pub fn call(&self) -> Result<Arc<dyn CallProxy>, ProxyError> {
+        self.proxy::<dyn CallProxy>()
+    }
+
+    /// Constructs the HTTP proxy.
+    ///
+    /// # Errors
+    ///
+    /// As [`Mobivine::proxy`].
+    #[deprecated(since = "0.2.0", note = "use `proxy::<dyn HttpProxy>()`")]
+    pub fn http(&self) -> Result<Arc<dyn HttpProxy>, ProxyError> {
+        self.proxy::<dyn HttpProxy>()
+    }
+
+    /// Constructs the Contacts proxy (extension feature).
+    ///
+    /// # Errors
+    ///
+    /// `UnsupportedOnPlatform` on WebView (no binding in the catalog).
+    #[deprecated(since = "0.2.0", note = "use `proxy::<dyn ContactsProxy>()`")]
+    pub fn contacts(&self) -> Result<Arc<dyn ContactsProxy>, ProxyError> {
+        self.proxy::<dyn ContactsProxy>()
+    }
+
+    /// Constructs the Calendar proxy (extension feature).
+    ///
+    /// # Errors
+    ///
+    /// `UnsupportedOnPlatform` on WebView (no binding in the catalog).
+    #[deprecated(since = "0.2.0", note = "use `proxy::<dyn CalendarProxy>()`")]
+    pub fn calendar(&self) -> Result<Arc<dyn CalendarProxy>, ProxyError> {
+        self.proxy::<dyn CalendarProxy>()
+    }
+
+    fn build_location(&self) -> Result<Arc<dyn LocationProxy>, ProxyError> {
         if !self.supports("Location") {
             return Err(self.unsupported("Location"));
         }
@@ -259,12 +609,7 @@ impl Mobivine {
         Ok(proxy)
     }
 
-    /// Constructs the SMS proxy.
-    ///
-    /// # Errors
-    ///
-    /// As [`Mobivine::location`].
-    pub fn sms(&self) -> Result<Arc<dyn SmsProxy>, ProxyError> {
+    fn build_sms(&self) -> Result<Arc<dyn SmsProxy>, ProxyError> {
         if !self.supports("SMS") {
             return Err(self.unsupported("SMS"));
         }
@@ -306,13 +651,7 @@ impl Mobivine {
         Ok(proxy)
     }
 
-    /// Constructs the Call proxy.
-    ///
-    /// # Errors
-    ///
-    /// `UnsupportedOnPlatform` on S60 ("the core functionality was not
-    /// exposed on the S60 platform", §4.1).
-    pub fn call(&self) -> Result<Arc<dyn CallProxy>, ProxyError> {
+    fn build_call(&self) -> Result<Arc<dyn CallProxy>, ProxyError> {
         if !self.supports("Call") {
             return Err(self.unsupported("Call"));
         }
@@ -354,12 +693,7 @@ impl Mobivine {
         Ok(proxy)
     }
 
-    /// Constructs the HTTP proxy.
-    ///
-    /// # Errors
-    ///
-    /// As [`Mobivine::location`].
-    pub fn http(&self) -> Result<Arc<dyn HttpProxy>, ProxyError> {
+    fn build_http(&self) -> Result<Arc<dyn HttpProxy>, ProxyError> {
         if !self.supports("Http") {
             return Err(self.unsupported("Http"));
         }
@@ -401,12 +735,7 @@ impl Mobivine {
         Ok(proxy)
     }
 
-    /// Constructs the Contacts proxy (extension feature).
-    ///
-    /// # Errors
-    ///
-    /// `UnsupportedOnPlatform` on WebView (no binding in the catalog).
-    pub fn contacts(&self) -> Result<Arc<dyn ContactsProxy>, ProxyError> {
+    fn build_contacts(&self) -> Result<Arc<dyn ContactsProxy>, ProxyError> {
         if !self.supports("Contacts") {
             return Err(self.unsupported("Contacts"));
         }
@@ -421,12 +750,7 @@ impl Mobivine {
         }
     }
 
-    /// Constructs the Calendar proxy (extension feature).
-    ///
-    /// # Errors
-    ///
-    /// `UnsupportedOnPlatform` on WebView (no binding in the catalog).
-    pub fn calendar(&self) -> Result<Arc<dyn CalendarProxy>, ProxyError> {
+    fn build_calendar(&self) -> Result<Arc<dyn CalendarProxy>, ProxyError> {
         if !self.supports("Calendar") {
             return Err(self.unsupported("Calendar"));
         }
@@ -439,6 +763,130 @@ impl Mobivine {
             Target::S60(platform) => Ok(Arc::new(S60CalendarProxy::new(platform.clone()))),
             Target::WebView(_) => Err(self.unsupported("Calendar")),
         }
+    }
+}
+
+/// Composable construction of a [`Mobivine`] runtime.
+///
+/// The legacy surface requires a fixed sequence — a `for_*` constructor
+/// first, then `with_resilience` / `with_telemetry` in an order the
+/// caller must get right. The builder accepts platform selection,
+/// resilience, telemetry and a shared catalog **in any order** and
+/// applies them canonically in [`MobivineBuilder::build`] (telemetry is
+/// wired before resilience so the resilience counters always land on
+/// the telemetry registry when both are present).
+///
+/// # Example
+///
+/// ```
+/// use mobivine::registry::Mobivine;
+/// use mobivine::resilience::ResiliencePolicy;
+/// use mobivine_android::{AndroidPlatform, SdkVersion};
+/// use mobivine_device::Device;
+///
+/// let platform = AndroidPlatform::new(Device::builder().build(), SdkVersion::M5Rc15);
+/// // Options first, platform last — any order works.
+/// let runtime = Mobivine::builder()
+///     .with_resilience(ResiliencePolicy::default())
+///     .with_telemetry()
+///     .android(platform.new_context())
+///     .build()?;
+/// assert!(runtime.tracer().is_some());
+/// assert!(runtime.resilience_metrics().is_some());
+/// # Ok::<(), mobivine::error::ProxyError>(())
+/// ```
+#[derive(Default)]
+pub struct MobivineBuilder {
+    target: Option<Target>,
+    catalog: Option<Arc<Vec<ProxyDescriptor>>>,
+    resilience: Option<ResiliencePolicy>,
+    telemetry: bool,
+}
+
+impl fmt::Debug for MobivineBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MobivineBuilder")
+            .field("target", &self.target.is_some())
+            .field("resilience", &self.resilience.is_some())
+            .field("telemetry", &self.telemetry)
+            .finish()
+    }
+}
+
+impl MobivineBuilder {
+    /// Targets an Android application context.
+    #[must_use]
+    pub fn android(mut self, ctx: Context) -> Self {
+        self.target = Some(Target::Android(ctx));
+        self
+    }
+
+    /// Targets an S60 platform.
+    #[must_use]
+    pub fn s60(mut self, platform: S60Platform) -> Self {
+        self.target = Some(Target::S60(platform));
+        self
+    }
+
+    /// Targets a WebView page. The Java wrappers are installed at
+    /// [`MobivineBuilder::build`] time.
+    #[must_use]
+    pub fn webview(mut self, webview: Arc<WebView>) -> Self {
+        self.target = Some(Target::WebView(webview));
+        self
+    }
+
+    /// Uses a shared descriptor catalog instead of a private copy of
+    /// the standard one. Fleet shards pass one `Arc` to every runtime
+    /// they own, so a 10k-device shard holds one catalog, not 10k.
+    #[must_use]
+    pub fn catalog(mut self, catalog: Arc<Vec<ProxyDescriptor>>) -> Self {
+        self.catalog = Some(catalog);
+        self
+    }
+
+    /// Enables the resilience layer (see [`Mobivine::with_resilience`]).
+    #[must_use]
+    pub fn with_resilience(mut self, policy: ResiliencePolicy) -> Self {
+        self.resilience = Some(policy);
+        self
+    }
+
+    /// Enables plane-aware telemetry (see [`Mobivine::with_telemetry`]).
+    #[must_use]
+    pub fn with_telemetry(mut self) -> Self {
+        self.telemetry = true;
+        self
+    }
+
+    /// Builds the runtime, applying the configured options in canonical
+    /// order regardless of the order the builder methods were called.
+    ///
+    /// # Errors
+    ///
+    /// `IllegalArgument` if no platform target was selected.
+    pub fn build(self) -> Result<Mobivine, ProxyError> {
+        let Some(target) = self.target else {
+            return Err(ProxyError::new(
+                ProxyErrorKind::IllegalArgument,
+                "MobivineBuilder needs a platform target: call android(), s60() or webview()",
+            ));
+        };
+        let mut runtime = match target {
+            Target::Android(ctx) => Mobivine::for_android(ctx),
+            Target::S60(platform) => Mobivine::for_s60(platform),
+            Target::WebView(webview) => Mobivine::for_webview(webview),
+        };
+        if let Some(catalog) = self.catalog {
+            runtime.catalog = catalog;
+        }
+        if self.telemetry {
+            runtime = runtime.with_telemetry();
+        }
+        if let Some(policy) = self.resilience {
+            runtime = runtime.with_resilience(policy);
+        }
+        Ok(runtime)
     }
 }
 
@@ -459,26 +907,27 @@ mod tests {
         for interface in ["Location", "SMS", "Call", "Http", "Contacts", "Calendar"] {
             assert!(runtime.supports(interface), "{interface}");
         }
-        assert!(runtime.location().is_ok());
-        assert!(runtime.sms().is_ok());
-        assert!(runtime.call().is_ok());
-        assert!(runtime.http().is_ok());
-        assert!(runtime.contacts().is_ok());
-        assert!(runtime.calendar().is_ok());
+        assert!(runtime.proxy::<dyn LocationProxy>().is_ok());
+        assert!(runtime.proxy::<dyn SmsProxy>().is_ok());
+        assert!(runtime.proxy::<dyn CallProxy>().is_ok());
+        assert!(runtime.proxy::<dyn HttpProxy>().is_ok());
+        assert!(runtime.proxy::<dyn ContactsProxy>().is_ok());
+        assert!(runtime.proxy::<dyn CalendarProxy>().is_ok());
     }
 
     #[test]
     fn s60_has_no_call_proxy() {
         let runtime = Mobivine::for_s60(S60Platform::new(Device::builder().build()));
         assert!(!runtime.supports("Call"));
-        let err = match runtime.call() {
+        assert!(!runtime.supports_kind(ProxyKind::Call));
+        let err = match runtime.proxy::<dyn CallProxy>() {
             Err(err) => err,
             Ok(_) => panic!("call proxy must not exist on S60"),
         };
         assert_eq!(err.kind(), ProxyErrorKind::UnsupportedOnPlatform);
-        assert!(runtime.location().is_ok());
-        assert!(runtime.sms().is_ok());
-        assert!(runtime.http().is_ok());
+        assert!(runtime.proxy::<dyn LocationProxy>().is_ok());
+        assert!(runtime.proxy::<dyn SmsProxy>().is_ok());
+        assert!(runtime.proxy::<dyn HttpProxy>().is_ok());
     }
 
     #[test]
@@ -487,9 +936,9 @@ mod tests {
         let webview = Arc::new(WebView::new(platform.new_context()));
         let runtime = Mobivine::for_webview(Arc::clone(&webview));
         assert_eq!(webview.interface_names().len(), 4);
-        assert!(runtime.location().is_ok());
-        assert!(runtime.call().is_ok());
-        assert!(runtime.contacts().is_err());
+        assert!(runtime.proxy::<dyn LocationProxy>().is_ok());
+        assert!(runtime.proxy::<dyn CallProxy>().is_ok());
+        assert!(runtime.proxy::<dyn ContactsProxy>().is_err());
     }
 
     #[test]
@@ -507,6 +956,46 @@ mod tests {
     }
 
     #[test]
+    fn proxy_kind_names_cover_the_catalog() {
+        let runtime = android_runtime();
+        for kind in ProxyKind::ALL {
+            assert!(
+                runtime.catalog().iter().any(|d| d.name == kind.interface()),
+                "catalog names {kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn resolution_is_memoized_per_kind() {
+        let runtime = android_runtime();
+        let first = runtime.proxy::<dyn LocationProxy>().unwrap();
+        let second = runtime.proxy::<dyn LocationProxy>().unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "same cached instance");
+        // Distinct runtimes have distinct caches.
+        let other = android_runtime().proxy::<dyn LocationProxy>().unwrap();
+        assert!(!Arc::ptr_eq(&first, &other));
+    }
+
+    #[test]
+    fn failed_resolution_is_not_cached() {
+        let runtime = Mobivine::for_s60(S60Platform::new(Device::builder().build()));
+        assert!(runtime.proxy::<dyn CallProxy>().is_err());
+        assert_eq!(runtime.resolved.resolved_count(), 0);
+        assert!(runtime.proxy::<dyn CallProxy>().is_err());
+    }
+
+    #[test]
+    fn warm_resolves_every_supported_kind() {
+        let runtime = android_runtime();
+        assert_eq!(runtime.warm().unwrap(), 6);
+        assert_eq!(runtime.resolved.resolved_count(), 6);
+
+        let s60 = Mobivine::for_s60(S60Platform::new(Device::builder().build()));
+        assert_eq!(s60.warm().unwrap(), 5, "everything but Call");
+    }
+
+    #[test]
     fn with_resilience_pre_wraps_proxies_on_every_platform() {
         let device = Device::builder().build();
         let android = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
@@ -519,7 +1008,7 @@ mod tests {
         for runtime in runtimes {
             let runtime = runtime.with_resilience(ResiliencePolicy::default());
             let metrics = runtime.resilience_metrics().expect("metrics installed");
-            let location = runtime.location().unwrap();
+            let location = runtime.proxy::<dyn LocationProxy>().unwrap();
             // The resilience property plane answers on the wrapped
             // proxy — proof the decorator is in front on this platform.
             location
@@ -532,13 +1021,89 @@ mod tests {
                 "call flowed through the decorator on {:?}",
                 runtime.platform_id()
             );
-            assert!(runtime.sms().is_ok());
-            assert!(runtime.http().is_ok());
+            assert!(runtime.proxy::<dyn SmsProxy>().is_ok());
+            assert!(runtime.proxy::<dyn HttpProxy>().is_ok());
         }
     }
 
     #[test]
     fn runtime_without_resilience_reports_no_metrics() {
         assert!(android_runtime().resilience_metrics().is_none());
+    }
+
+    #[test]
+    fn builder_composes_in_any_order() {
+        // Separate devices: resilience counters land on each device's
+        // own telemetry registry, so the assertions don't alias.
+        let option_first = Mobivine::builder()
+            .with_telemetry()
+            .with_resilience(ResiliencePolicy::default())
+            .android(
+                AndroidPlatform::new(Device::builder().build(), SdkVersion::M5Rc15).new_context(),
+            )
+            .build()
+            .unwrap();
+        let platform_first = Mobivine::builder()
+            .android(
+                AndroidPlatform::new(Device::builder().build(), SdkVersion::M5Rc15).new_context(),
+            )
+            .with_resilience(ResiliencePolicy::default())
+            .with_telemetry()
+            .build()
+            .unwrap();
+
+        for runtime in [option_first, platform_first] {
+            assert!(runtime.tracer().is_some());
+            let metrics = runtime.resilience_metrics().expect("resilience installed");
+            let location = runtime.proxy::<dyn LocationProxy>().unwrap();
+            let _ = location.get_location();
+            assert_eq!(metrics.snapshot().calls, 1);
+            // Resilience counters are homed on the telemetry registry
+            // regardless of builder-call order.
+            let exposition = runtime
+                .telemetry_metrics()
+                .expect("telemetry registry")
+                .render_prometheus();
+            assert!(
+                exposition.contains("resilience"),
+                "resilience series on the telemetry registry:\n{exposition}"
+            );
+        }
+    }
+
+    #[test]
+    fn builder_without_platform_is_an_error() {
+        let err = match Mobivine::builder().with_telemetry().build() {
+            Err(err) => err,
+            Ok(_) => panic!("platformless build must fail"),
+        };
+        assert_eq!(err.kind(), ProxyErrorKind::IllegalArgument);
+    }
+
+    #[test]
+    fn builder_shares_a_caller_provided_catalog() {
+        let device = Device::builder().build();
+        let platform = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
+        let catalog = Arc::new(mobivine_proxydl::catalog::standard_catalog());
+        let a = Mobivine::builder()
+            .catalog(Arc::clone(&catalog))
+            .android(platform.new_context())
+            .build()
+            .unwrap();
+        let b = Mobivine::builder()
+            .catalog(Arc::clone(&catalog))
+            .s60(S60Platform::new(device))
+            .build()
+            .unwrap();
+        assert!(std::ptr::eq(a.catalog().as_ptr(), b.catalog().as_ptr()));
+    }
+
+    #[test]
+    fn deprecated_accessors_share_the_resolver_cache() {
+        let runtime = android_runtime();
+        let via_resolver = runtime.proxy::<dyn LocationProxy>().unwrap();
+        #[allow(deprecated)]
+        let via_accessor = runtime.location().unwrap();
+        assert!(Arc::ptr_eq(&via_resolver, &via_accessor));
     }
 }

@@ -1,0 +1,279 @@
+//! Clock-coordinated stepping for fleets of simulated devices.
+//!
+//! A single [`crate::Device`] advances its own virtual clock with
+//! [`crate::Device::advance_to`]. A fleet of thousands needs those
+//! advances **coordinated**: every device must reach the same virtual
+//! instant before the workload inspects cross-device state, and the
+//! stepping order must not depend on thread scheduling, or runs stop
+//! being reproducible.
+//!
+//! [`Cohort`] provides that coordination as lockstep **rounds** of a
+//! fixed virtual tick. Each round has one target instant
+//! (`round × tick_ms`); stepping a round advances every member device to
+//! exactly that instant, pumping its event queue on the way. For
+//! multi-worker drivers, [`Cohort::partition`] splits the membership
+//! into disjoint contiguous slices of cloned device handles — each
+//! worker steps only its own slice, so workers never contend on a
+//! device, and the round barrier (step every slice to the same target,
+//! then proceed) keeps the fleet deterministic regardless of how the
+//! workers interleave in real time.
+
+use crate::device::Device;
+
+/// A fixed-tick lockstep scheduler over a set of member devices.
+///
+/// # Example
+///
+/// ```
+/// use mobivine_device::cohort::Cohort;
+/// use mobivine_device::Device;
+///
+/// let mut cohort = Cohort::with_tick(500);
+/// for seed in 0..4 {
+///     cohort.join(Device::builder().seed(seed).build());
+/// }
+/// cohort.step(); // everyone is now at 500ms virtual
+/// cohort.step(); // ... and now 1000ms
+/// assert_eq!(cohort.now_ms(), 1_000);
+/// assert!(cohort.devices().iter().all(|d| d.clock().now_ms() == 1_000));
+/// ```
+#[derive(Debug)]
+pub struct Cohort {
+    devices: Vec<Device>,
+    tick_ms: u64,
+    rounds_done: u64,
+}
+
+impl Cohort {
+    /// Creates an empty cohort stepping in rounds of `tick_ms` virtual
+    /// milliseconds (clamped to at least 1 so rounds always move time).
+    pub fn with_tick(tick_ms: u64) -> Self {
+        Self {
+            devices: Vec::new(),
+            tick_ms: tick_ms.max(1),
+            rounds_done: 0,
+        }
+    }
+
+    /// The virtual length of one round.
+    pub fn tick_ms(&self) -> u64 {
+        self.tick_ms
+    }
+
+    /// Completed rounds so far.
+    pub fn rounds_done(&self) -> u64 {
+        self.rounds_done
+    }
+
+    /// The coordinated virtual time every member has reached.
+    pub fn now_ms(&self) -> u64 {
+        self.rounds_done * self.tick_ms
+    }
+
+    /// Adds `device` to the cohort, returning its member index.
+    /// Late joiners are caught up to the cohort's current instant so
+    /// the lockstep invariant holds from their first round.
+    pub fn join(&mut self, device: Device) -> usize {
+        device.advance_to(self.now_ms());
+        self.devices.push(device);
+        self.devices.len() - 1
+    }
+
+    /// The member devices, in join order.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// The number of member devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the cohort has no members.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// The target instant of round `round` (1-based: round 1 ends at
+    /// one tick).
+    pub fn target_for(&self, round: u64) -> u64 {
+        round * self.tick_ms
+    }
+
+    /// Advances every member to the next round boundary, pumping each
+    /// device's event queue, and returns the new coordinated instant.
+    pub fn step(&mut self) -> u64 {
+        self.rounds_done += 1;
+        let target = self.now_ms();
+        for device in &self.devices {
+            device.advance_to(target);
+        }
+        target
+    }
+
+    /// Runs `rounds` lockstep rounds, returning the final instant.
+    pub fn run_rounds(&mut self, rounds: u64) -> u64 {
+        for _ in 0..rounds {
+            self.step();
+        }
+        self.now_ms()
+    }
+
+    /// Splits the membership into `workers` disjoint contiguous
+    /// partitions of cloned device handles (device `i` goes to
+    /// partition `i * workers / len`, preserving join order). Workers
+    /// step their own partition to a common round target with
+    /// [`CohortPartition::advance_to`]; because the partitions are
+    /// disjoint and each device only ever advances to the shared
+    /// barrier instant, the result is identical for any worker
+    /// interleaving.
+    ///
+    /// `workers` is clamped to at least 1; trailing partitions may be
+    /// empty when there are more workers than devices.
+    pub fn partition(&self, workers: usize) -> Vec<CohortPartition> {
+        let workers = workers.max(1);
+        let len = self.devices.len();
+        let mut partitions = Vec::with_capacity(workers);
+        // Balanced contiguous split: worker w owns [w*len/workers,
+        // (w+1)*len/workers), sizes differing by at most one.
+        for w in 0..workers {
+            let start = w * len / workers;
+            let end = (w + 1) * len / workers;
+            partitions.push(CohortPartition {
+                base_index: start,
+                devices: self.devices[start..end].to_vec(),
+            });
+        }
+        partitions
+    }
+}
+
+/// One worker's slice of a [`Cohort`]: cloned handles to a contiguous
+/// run of member devices, steppable independently of the other slices.
+#[derive(Debug, Clone)]
+pub struct CohortPartition {
+    base_index: usize,
+    devices: Vec<Device>,
+}
+
+impl CohortPartition {
+    /// The cohort index of this partition's first device.
+    pub fn base_index(&self) -> usize {
+        self.base_index
+    }
+
+    /// The member devices of this slice, in cohort order.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// The number of devices in this slice.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether this slice holds no devices.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Advances every device in the slice to `target_ms`, pumping event
+    /// queues, and returns the total number of events fired. Safe to
+    /// call concurrently with other partitions of the same cohort —
+    /// membership is disjoint.
+    pub fn advance_to(&self, target_ms: u64) -> usize {
+        self.devices
+            .iter()
+            .map(|device| device.advance_to(target_ms))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cohort_of(n: u64, tick_ms: u64) -> Cohort {
+        let mut cohort = Cohort::with_tick(tick_ms);
+        for seed in 0..n {
+            cohort.join(Device::builder().seed(seed).build());
+        }
+        cohort
+    }
+
+    #[test]
+    fn rounds_advance_every_member_in_lockstep() {
+        let mut cohort = cohort_of(5, 250);
+        assert_eq!(cohort.step(), 250);
+        assert_eq!(cohort.run_rounds(3), 1_000);
+        assert_eq!(cohort.rounds_done(), 4);
+        for device in cohort.devices() {
+            assert_eq!(device.clock().now_ms(), 1_000);
+        }
+    }
+
+    #[test]
+    fn zero_tick_is_clamped() {
+        let mut cohort = cohort_of(1, 0);
+        assert_eq!(cohort.tick_ms(), 1);
+        assert_eq!(cohort.step(), 1);
+    }
+
+    #[test]
+    fn late_joiners_catch_up() {
+        let mut cohort = cohort_of(2, 100);
+        cohort.run_rounds(3);
+        let index = cohort.join(Device::builder().seed(99).build());
+        assert_eq!(cohort.devices()[index].clock().now_ms(), 300);
+    }
+
+    #[test]
+    fn partitions_are_disjoint_contiguous_and_balanced() {
+        let cohort = cohort_of(10, 100);
+        let partitions = cohort.partition(3);
+        assert_eq!(partitions.len(), 3);
+        let sizes: Vec<usize> = partitions.iter().map(CohortPartition::len).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| s == 3 || s == 4));
+        // Contiguity: each partition starts where the previous ended.
+        let mut expected_base = 0;
+        for p in &partitions {
+            assert_eq!(p.base_index(), expected_base);
+            expected_base += p.len();
+        }
+    }
+
+    #[test]
+    fn more_workers_than_devices_leaves_empty_tails() {
+        let cohort = cohort_of(2, 100);
+        let partitions = cohort.partition(5);
+        assert_eq!(partitions.len(), 5);
+        let total: usize = partitions.iter().map(CohortPartition::len).sum();
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn partition_stepping_matches_cohort_stepping() {
+        let mut lockstep = cohort_of(6, 200);
+        let partitioned = cohort_of(6, 200);
+
+        lockstep.run_rounds(2);
+        let target = partitioned.target_for(2);
+        for p in partitioned.partition(2) {
+            p.advance_to(target);
+        }
+        for (a, b) in lockstep.devices().iter().zip(partitioned.devices()) {
+            assert_eq!(a.clock().now_ms(), b.clock().now_ms());
+        }
+    }
+
+    #[test]
+    fn partitions_share_the_underlying_devices() {
+        let cohort = cohort_of(2, 100);
+        let partitions = cohort.partition(2);
+        partitions[1].advance_to(700);
+        // The clone in the partition and the original share state.
+        assert_eq!(cohort.devices()[1].clock().now_ms(), 700);
+        assert_eq!(cohort.devices()[0].clock().now_ms(), 0);
+    }
+}

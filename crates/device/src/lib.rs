@@ -31,6 +31,7 @@
 pub mod calendar;
 pub mod call;
 pub mod clock;
+pub mod cohort;
 pub mod contacts;
 pub mod device;
 pub mod event;
@@ -45,6 +46,7 @@ pub mod radio;
 pub mod sms;
 
 pub use clock::SimClock;
+pub use cohort::{Cohort, CohortPartition};
 pub use device::{Device, DeviceBuilder};
 pub use fault::FaultPlan;
 pub use geo::GeoPoint;

@@ -15,7 +15,7 @@ use mobivine_repro::mobivine::enrich::{
 };
 use mobivine_repro::mobivine::registry::Mobivine;
 use mobivine_repro::mobivine::types::AngleUnit;
-use mobivine_repro::mobivine::SmsProxy;
+use mobivine_repro::mobivine::{CallProxy, LocationProxy, SmsProxy};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let device = Device::builder()
@@ -32,23 +32,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. Unit conversion: "proxy for fetching location information can
     //    be made to offer output in various formats".
-    let in_radians = UnitLocationProxy::new(runtime.location()?, AngleUnit::Radians);
+    let in_radians =
+        UnitLocationProxy::new(runtime.proxy::<dyn LocationProxy>()?, AngleUnit::Radians);
     let (lat_rad, lon_rad) = in_radians.get_coordinates()?;
     println!("position in radians: ({lat_rad:.6}, {lon_rad:.6})");
-    let in_degrees = UnitLocationProxy::new(runtime.location()?, AngleUnit::Degrees);
+    let in_degrees =
+        UnitLocationProxy::new(runtime.proxy::<dyn LocationProxy>()?, AngleUnit::Degrees);
     let (lat_deg, lon_deg) = in_degrees.get_coordinates()?;
     println!("position in degrees: ({lat_deg:.4}, {lon_deg:.4})");
 
     // 2. Call retry coordination: "the utility for coordinating the
     //    number of retries in case the callee is unreachable".
-    let retrying = RetryingCallProxy::new(runtime.call()?, device.clone(), 2).with_settle_ms(5_000);
+    let retrying = RetryingCallProxy::new(runtime.proxy::<dyn CallProxy>()?, device.clone(), 2)
+        .with_settle_ms(5_000);
     let (_id, attempts, connected) = retrying.call_with_retries("+91-98-SUPERVISOR")?;
     println!("supervisor unreachable: {attempts} attempts made, connected={connected}");
 
     // 3. Security / policy module: "a layer of trust, authentication
     //    and access control".
     let policy = Arc::new(AccessPolicy::new());
-    let gated_sms = PolicySmsProxy::new(runtime.sms()?, Arc::clone(&policy));
+    let gated_sms = PolicySmsProxy::new(runtime.proxy::<dyn SmsProxy>()?, Arc::clone(&policy));
     gated_sms.send_text_message("+91-98-SUPERVISOR", "first message", None)?;
     policy.deny("sms");
     let denied = gated_sms.send_text_message("+91-98-SUPERVISOR", "second message", None);

@@ -14,6 +14,7 @@ use mobivine_repro::android::{AndroidPlatform, SdkVersion};
 use mobivine_repro::device::Device;
 use mobivine_repro::mobivine::registry::Mobivine;
 use mobivine_repro::mobivine::types::ProximityEvent;
+use mobivine_repro::mobivine::LocationProxy;
 
 fn main() {
     for version in [SdkVersion::M5Rc15, SdkVersion::V1_0] {
@@ -55,7 +56,7 @@ fn main() {
 
         // Proxy code path — the same source on both SDKs.
         let runtime = Mobivine::for_android(ctx);
-        let proxied = runtime.location().and_then(|location| {
+        let proxied = runtime.proxy::<dyn LocationProxy>().and_then(|location| {
             location.add_proximity_alert(
                 28.5355,
                 77.3910,

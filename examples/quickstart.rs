@@ -11,6 +11,7 @@ use mobivine_repro::device::movement::MovementModel;
 use mobivine_repro::device::{Device, GeoPoint};
 use mobivine_repro::mobivine::registry::Mobivine;
 use mobivine_repro::mobivine::types::ProximityEvent;
+use mobivine_repro::mobivine::{LocationProxy, SmsProxy};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A simulated handset: starts 500 m west of the office and
@@ -30,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let runtime = Mobivine::for_android(platform.new_context());
 
     // 3. Read the current location through the uniform Location proxy.
-    let location = runtime.location()?;
+    let location = runtime.proxy::<dyn LocationProxy>()?;
     let fix = location.get_location()?;
     println!("current position: {fix}");
 
@@ -52,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     // 5. Send the supervisor a message through the uniform SMS proxy.
-    let sms = runtime.sms()?;
+    let sms = runtime.proxy::<dyn SmsProxy>()?;
     let message_id = sms.send_text_message("+91-98-SUPERVISOR", "heading to the office", None)?;
     println!("sms submitted: message id {message_id}");
 

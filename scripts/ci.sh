@@ -11,7 +11,28 @@ cargo clippy --workspace --all-targets -- -D warnings
 # Smoke-run the bench summary end to end: emit the machine-readable
 # figure10 document at zero scale and schema-check it.
 summary="$(mktemp)"
-trap 'rm -f "$summary"' EXIT
+fleet_summary="$(mktemp)"
+trap 'rm -f "$summary" "$fleet_summary"' EXIT
 cargo run -q --release -p mobivine-bench --bin figure10 -- \
     --scale zero --runs 3 --json "$summary"
 cargo run -q --release -p mobivine-bench --bin figure10 -- --check "$summary"
+
+# Fleet smoke: drive ~500 devices through the load engine, emit the
+# mobivine.fleet.v1 summary, and schema-check it.
+cargo run -q --release -p mobivine-bench --bin fleet -- \
+    --devices 500 --shards 1,4 --workers 2 --rounds 2 --json "$fleet_summary"
+cargo run -q --release -p mobivine-bench --bin fleet -- --check "$fleet_summary"
+
+# The deprecated per-interface accessors must not regrow call sites:
+# `#[allow(deprecated)]` is sanctioned only in the equivalence suite and
+# the registry's own unit tests (clippy -D warnings catches un-allowed
+# uses above).
+allowed_deprecated=$(grep -rln "allow(deprecated)" --include='*.rs' . \
+    | grep -v -e '^\./tests/api_equivalence\.rs$' \
+              -e '^\./crates/core/src/registry\.rs$' \
+              -e '^\./target/' || true)
+if [ -n "$allowed_deprecated" ]; then
+    echo "error: allow(deprecated) outside the sanctioned files:" >&2
+    echo "$allowed_deprecated" >&2
+    exit 1
+fi

@@ -1,0 +1,235 @@
+//! Equivalence of the legacy proxy-acquisition surface and the typed
+//! resolver introduced by the API redesign.
+//!
+//! Two guarantees are pinned here:
+//!
+//! 1. The deprecated per-interface accessors (`location()`, `sms()`,
+//!    ...) are thin wrappers over `proxy::<P>()` — both hand back the
+//!    *same memoized instance*, so mixed old/new code shares one proxy
+//!    stack per runtime.
+//! 2. A runtime assembled through [`MobivineBuilder`] is
+//!    indistinguishable from one made by the legacy `for_*`
+//!    constructors on every platform: same platform id, same catalog
+//!    support set, same proxy behaviour, same errors.
+//!
+//! This file is the one sanctioned home of `#[allow(deprecated)]`
+//! outside the registry's own unit tests; CI rejects new uses anywhere
+//! else.
+
+mod common;
+
+use std::sync::Arc;
+
+use common::{android_runtime, device, s60_runtime, webview_runtime};
+use mobivine::api::{CalendarProxy, CallProxy, ContactsProxy, HttpProxy, LocationProxy, SmsProxy};
+use mobivine::error::ProxyErrorKind;
+use mobivine::registry::{Mobivine, ProxyKind};
+use mobivine::resilience::ResiliencePolicy;
+use mobivine_android::{AndroidPlatform, SdkVersion};
+use mobivine_device::Device;
+use mobivine_s60::S60Platform;
+use mobivine_webview::WebView;
+
+fn legacy_runtimes(device: &Device) -> Vec<(&'static str, Mobivine)> {
+    let android = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
+    let web_platform = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
+    vec![
+        ("android", Mobivine::for_android(android.new_context())),
+        ("s60", Mobivine::for_s60(S60Platform::new(device.clone()))),
+        (
+            "webview",
+            Mobivine::for_webview(Arc::new(WebView::new(web_platform.new_context()))),
+        ),
+    ]
+}
+
+fn builder_runtimes(device: &Device) -> Vec<(&'static str, Mobivine)> {
+    vec![
+        ("android", android_runtime(device)),
+        ("s60", s60_runtime(device)),
+        ("webview", webview_runtime(device)),
+    ]
+}
+
+/// Old accessor and typed resolver must return the same cached `Arc`,
+/// per kind, on every platform that supports the kind.
+#[test]
+#[allow(deprecated)]
+fn deprecated_accessors_and_typed_resolver_share_one_instance() {
+    let device = device();
+    for (name, runtime) in legacy_runtimes(&device) {
+        if runtime.supports_kind(ProxyKind::Location) {
+            let new = runtime.proxy::<dyn LocationProxy>().unwrap();
+            let old = runtime.location().unwrap();
+            assert!(Arc::ptr_eq(&new, &old), "{name}: Location instance differs");
+        }
+        if runtime.supports_kind(ProxyKind::Sms) {
+            let new = runtime.proxy::<dyn SmsProxy>().unwrap();
+            let old = runtime.sms().unwrap();
+            assert!(Arc::ptr_eq(&new, &old), "{name}: SMS instance differs");
+        }
+        if runtime.supports_kind(ProxyKind::Call) {
+            let new = runtime.proxy::<dyn CallProxy>().unwrap();
+            let old = runtime.call().unwrap();
+            assert!(Arc::ptr_eq(&new, &old), "{name}: Call instance differs");
+        }
+        if runtime.supports_kind(ProxyKind::Http) {
+            let new = runtime.proxy::<dyn HttpProxy>().unwrap();
+            let old = runtime.http().unwrap();
+            assert!(Arc::ptr_eq(&new, &old), "{name}: HTTP instance differs");
+        }
+        if runtime.supports_kind(ProxyKind::Contacts) {
+            let new = runtime.proxy::<dyn ContactsProxy>().unwrap();
+            let old = runtime.contacts().unwrap();
+            assert!(Arc::ptr_eq(&new, &old), "{name}: Contacts instance differs");
+        }
+        if runtime.supports_kind(ProxyKind::Calendar) {
+            let new = runtime.proxy::<dyn CalendarProxy>().unwrap();
+            let old = runtime.calendar().unwrap();
+            assert!(Arc::ptr_eq(&new, &old), "{name}: Calendar instance differs");
+        }
+    }
+}
+
+/// Acquisition order must not matter either: resolving through the old
+/// accessor first still seeds the cache the typed resolver reads.
+#[test]
+#[allow(deprecated)]
+fn accessor_first_then_resolver_hits_the_same_cache() {
+    let device = device();
+    let runtime = android_runtime(&device);
+    let old = runtime.sms().unwrap();
+    let new = runtime.proxy::<dyn SmsProxy>().unwrap();
+    assert!(Arc::ptr_eq(&old, &new));
+}
+
+/// Unsupported kinds fail identically through both surfaces.
+#[test]
+#[allow(deprecated)]
+fn unsupported_kinds_error_identically_through_both_surfaces() {
+    let device = device();
+    let s60 = s60_runtime(&device);
+    assert_eq!(
+        s60.proxy::<dyn CallProxy>().err().map(|e| e.kind()),
+        s60.call().err().map(|e| e.kind()),
+    );
+    let webview = webview_runtime(&device);
+    assert_eq!(
+        webview.proxy::<dyn ContactsProxy>().err().map(|e| e.kind()),
+        webview.contacts().err().map(|e| e.kind()),
+    );
+    assert_eq!(
+        webview.proxy::<dyn ContactsProxy>().err().map(|e| e.kind()),
+        Some(ProxyErrorKind::UnsupportedOnPlatform)
+    );
+}
+
+/// Builder-made runtimes expose the same platform identity and catalog
+/// support set as the legacy constructors, on all three platforms.
+#[test]
+fn builder_matches_legacy_constructor_identity_and_support() {
+    let device = device();
+    let legacy = legacy_runtimes(&device);
+    let built = builder_runtimes(&device);
+    for ((legacy_name, legacy), (built_name, built)) in legacy.iter().zip(&built) {
+        assert_eq!(legacy_name, built_name);
+        assert_eq!(
+            legacy.platform_id(),
+            built.platform_id(),
+            "{legacy_name}: platform id differs"
+        );
+        for kind in ProxyKind::ALL {
+            assert_eq!(
+                legacy.supports_kind(kind),
+                built.supports_kind(kind),
+                "{legacy_name}: support for {kind} differs"
+            );
+        }
+    }
+}
+
+/// Builder-made runtimes behave the same at the proxy level: a location
+/// fix resolved through each pair of runtimes reads the same device
+/// state, and SMS dispatch reaches the same SMSC.
+#[test]
+fn builder_matches_legacy_constructor_behaviour() {
+    let device = device();
+    for ((name, legacy), (_, built)) in legacy_runtimes(&device)
+        .into_iter()
+        .zip(builder_runtimes(&device))
+    {
+        let legacy_fix = legacy
+            .proxy::<dyn LocationProxy>()
+            .unwrap()
+            .get_location()
+            .unwrap();
+        let built_fix = built
+            .proxy::<dyn LocationProxy>()
+            .unwrap()
+            .get_location()
+            .unwrap();
+        assert_eq!(
+            (legacy_fix.latitude, legacy_fix.longitude),
+            (built_fix.latitude, built_fix.longitude),
+            "{name}: location fix differs"
+        );
+        built
+            .proxy::<dyn SmsProxy>()
+            .unwrap()
+            .send_text_message("+91-sup", "builder parity", None)
+            .unwrap();
+    }
+    device.advance_ms(10_000);
+    assert_eq!(device.smsc().inbox("+91-sup").len(), 3);
+}
+
+/// `with_resilience` composes the same way on both construction paths:
+/// the happy-path call succeeds and the retry layer reports metrics on
+/// both, with identical attempt accounting.
+#[test]
+fn builder_resilience_matches_legacy_with_resilience() {
+    let device = device();
+    let legacy = Mobivine::for_android(
+        AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15).new_context(),
+    )
+    .with_resilience(ResiliencePolicy::default());
+    let built = Mobivine::builder()
+        .android(AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15).new_context())
+        .with_resilience(ResiliencePolicy::default())
+        .build()
+        .unwrap();
+
+    for runtime in [&legacy, &built] {
+        runtime
+            .proxy::<dyn LocationProxy>()
+            .unwrap()
+            .get_location()
+            .unwrap();
+    }
+    let legacy_metrics = legacy.resilience_metrics().expect("legacy metrics");
+    let built_metrics = built.resilience_metrics().expect("built metrics");
+    assert_eq!(
+        legacy_metrics.snapshot().calls,
+        built_metrics.snapshot().calls
+    );
+}
+
+/// `with_telemetry` composes the same way on both construction paths.
+#[test]
+fn builder_telemetry_matches_legacy_with_telemetry() {
+    let device = device();
+    let legacy = Mobivine::for_android(
+        AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15).new_context(),
+    )
+    .with_telemetry();
+    let built = Mobivine::builder()
+        .android(AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15).new_context())
+        .with_telemetry()
+        .build()
+        .unwrap();
+    assert_eq!(
+        legacy.telemetry_metrics().is_some(),
+        built.telemetry_metrics().is_some()
+    );
+    assert_eq!(legacy.tracer().is_some(), built.tracer().is_some());
+}

@@ -32,18 +32,27 @@ pub fn device() -> Device {
 /// An Android-bound runtime over `device`.
 pub fn android_runtime(device: &Device) -> Mobivine {
     let platform = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
-    Mobivine::for_android(platform.new_context())
+    Mobivine::builder()
+        .android(platform.new_context())
+        .build()
+        .expect("android runtime builds")
 }
 
 /// An S60-bound runtime over `device`.
 pub fn s60_runtime(device: &Device) -> Mobivine {
-    Mobivine::for_s60(S60Platform::new(device.clone()))
+    Mobivine::builder()
+        .s60(S60Platform::new(device.clone()))
+        .build()
+        .expect("s60 runtime builds")
 }
 
 /// A WebView-bound runtime over `device`.
 pub fn webview_runtime(device: &Device) -> Mobivine {
     let platform = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
-    Mobivine::for_webview(Arc::new(WebView::new(platform.new_context())))
+    Mobivine::builder()
+        .webview(Arc::new(WebView::new(platform.new_context())))
+        .build()
+        .expect("webview runtime builds")
 }
 
 /// One runtime per platform binding, all sharing `device`.

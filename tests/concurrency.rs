@@ -36,9 +36,9 @@ fn parallel_proxy_calls_from_many_threads() {
     let platform = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
     let runtime = Arc::new(Mobivine::for_android(platform.new_context()));
 
-    let location = runtime.location().unwrap();
-    let sms = runtime.sms().unwrap();
-    let http = runtime.http().unwrap();
+    let location = runtime.proxy::<dyn LocationProxy>().unwrap();
+    let sms = runtime.proxy::<dyn SmsProxy>().unwrap();
+    let http = runtime.proxy::<dyn HttpProxy>().unwrap();
 
     let mut handles = Vec::new();
     for worker in 0..8u32 {
@@ -72,7 +72,7 @@ fn clock_advance_races_with_proxy_calls() {
     device.smsc().register_address("+hub");
     let platform = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
     let runtime = Mobivine::for_android(platform.new_context());
-    let sms = runtime.sms().unwrap();
+    let sms = runtime.proxy::<dyn SmsProxy>().unwrap();
 
     let pump_device = device.clone();
     let pump = thread::spawn(move || {

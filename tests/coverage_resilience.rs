@@ -10,6 +10,7 @@ mod common;
 use std::sync::{Arc, Mutex};
 
 use common::android_runtime;
+use mobivine::api::{LocationProxy, SmsProxy};
 use mobivine::types::{DeliveryOutcome, ProximityEvent};
 use mobivine_device::movement::MovementModel;
 use mobivine_device::{Device, GeoPoint};
@@ -39,7 +40,7 @@ fn walking_out_device() -> Device {
 fn sms_fails_in_the_hole_and_recovers() {
     let device = walking_out_device();
     let runtime = android_runtime(&device);
-    let sms = runtime.sms().unwrap();
+    let sms = runtime.proxy::<dyn SmsProxy>().unwrap();
 
     // In coverage at the start.
     assert!(sms.send_text_message("+sup", "leaving depot", None).is_ok());
@@ -51,7 +52,11 @@ fn sms_fails_in_the_hole_and_recovers() {
     assert_eq!(err.kind(), mobivine::error::ProxyErrorKind::Io);
 
     // GPS still works: position is radio-independent.
-    assert!(runtime.location().unwrap().get_location().is_ok());
+    assert!(runtime
+        .proxy::<dyn LocationProxy>()
+        .unwrap()
+        .get_location()
+        .is_ok());
 
     // The operator extends the network; service resumes.
     device
@@ -78,7 +83,7 @@ fn proximity_alerts_unaffected_by_coverage_holes() {
     let events = Arc::new(Mutex::new(Vec::new()));
     let sink = Arc::clone(&events);
     runtime
-        .location()
+        .proxy::<dyn LocationProxy>()
         .unwrap()
         .add_proximity_alert(
             region.latitude,
@@ -100,7 +105,7 @@ fn delivery_reports_distinguish_radio_failure_from_network_loss() {
     // Failed. Distinct failure surfaces, both uniform.
     let device = walking_out_device();
     let runtime = android_runtime(&device);
-    let sms = runtime.sms().unwrap();
+    let sms = runtime.proxy::<dyn SmsProxy>().unwrap();
 
     let outcomes = Arc::new(Mutex::new(Vec::new()));
 

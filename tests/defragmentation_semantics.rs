@@ -5,6 +5,7 @@
 
 use std::sync::{Arc, Mutex};
 
+use mobivine::api::LocationProxy;
 use mobivine::registry::Mobivine;
 use mobivine::types::{ProximityEvent, SharedProximityListener};
 use mobivine_android::{AndroidPlatform, SdkVersion};
@@ -40,7 +41,9 @@ fn event_pattern(device: &Device, runtime: &Mobivine) -> Vec<bool> {
     let listener: SharedProximityListener = Arc::new(move |e: &ProximityEvent| {
         sink.lock().unwrap().push(e.entering);
     });
-    let location = runtime.location().expect("location proxy");
+    let location = runtime
+        .proxy::<dyn LocationProxy>()
+        .expect("location proxy");
     location
         .add_proximity_alert(HOME.latitude, HOME.longitude, 0.0, 100.0, -1, listener)
         .expect("registration succeeds");
@@ -92,7 +95,11 @@ fn identical_location_reads_on_all_three_platforms() {
     // agree across platform bindings (noise model included).
     let read = |runtime: &Mobivine, device: &Device| {
         device.advance_ms(5_000);
-        runtime.location().unwrap().get_location().unwrap()
+        runtime
+            .proxy::<dyn LocationProxy>()
+            .unwrap()
+            .get_location()
+            .unwrap()
     };
 
     let d1 = looping_device(33);
@@ -137,7 +144,7 @@ fn timer_semantics_uniform_across_platforms() {
             sink.lock().unwrap().push(e.entering);
         });
         runtime
-            .location()
+            .proxy::<dyn LocationProxy>()
             .unwrap()
             .add_proximity_alert(HOME.latitude, HOME.longitude, 0.0, 100.0, 30, listener)
             .unwrap();
@@ -172,7 +179,11 @@ fn uniform_error_model_for_denied_permissions() {
         mobivine_android::permissions::PermissionSet::new(),
     );
     let runtime = Mobivine::for_android(platform.new_context());
-    let err = runtime.location().unwrap().get_location().unwrap_err();
+    let err = runtime
+        .proxy::<dyn LocationProxy>()
+        .unwrap()
+        .get_location()
+        .unwrap_err();
     assert_eq!(err.kind(), ProxyErrorKind::Security);
 
     // S60 denial — different native exception, same uniform kind.
@@ -183,6 +194,10 @@ fn uniform_error_model_for_denied_permissions() {
     );
     let s60 = S60Platform::with_policy(Device::builder().build(), policy);
     let runtime = Mobivine::for_s60(s60);
-    let err = runtime.location().unwrap().get_location().unwrap_err();
+    let err = runtime
+        .proxy::<dyn LocationProxy>()
+        .unwrap()
+        .get_location()
+        .unwrap_err();
     assert_eq!(err.kind(), ProxyErrorKind::Security);
 }

@@ -8,6 +8,7 @@ mod common;
 use std::sync::{Arc, Mutex};
 
 use common::{android_runtime, device, resilient_runtimes_isolated, runtimes};
+use mobivine::api::{CallProxy, HttpProxy, LocationProxy, SmsProxy};
 use mobivine::error::ProxyErrorKind;
 use mobivine::resilience::{CircuitState, ResiliencePolicy};
 use mobivine::types::DeliveryOutcome;
@@ -22,7 +23,11 @@ fn gps_outage_is_unavailable_on_every_platform() {
         .gps()
         .set_availability(GpsAvailability::TemporarilyUnavailable);
     for (name, runtime) in runtimes(&device) {
-        let err = runtime.location().unwrap().get_location().unwrap_err();
+        let err = runtime
+            .proxy::<dyn LocationProxy>()
+            .unwrap()
+            .get_location()
+            .unwrap_err();
         assert_eq!(
             err.kind(),
             ProxyErrorKind::Unavailable,
@@ -37,7 +42,7 @@ fn network_down_is_io_on_every_platform() {
     device.network().set_down(true);
     for (name, runtime) in runtimes(&device) {
         let err = runtime
-            .http()
+            .proxy::<dyn HttpProxy>()
             .unwrap()
             .request("GET", "http://wfm.example/tasks", &[])
             .unwrap_err();
@@ -53,7 +58,7 @@ fn sms_loss_reports_failed_delivery_uniformly() {
         let outcomes = Arc::new(Mutex::new(Vec::new()));
         let sink = Arc::clone(&outcomes);
         runtime
-            .sms()
+            .proxy::<dyn SmsProxy>()
             .unwrap()
             .send_text_message(
                 "+91-sup",
@@ -77,7 +82,7 @@ fn empty_arguments_rejected_uniformly() {
     let device = device();
     for (name, runtime) in runtimes(&device) {
         let err = runtime
-            .sms()
+            .proxy::<dyn SmsProxy>()
             .unwrap()
             .send_text_message("", "hi", None)
             .unwrap_err();
@@ -87,7 +92,7 @@ fn empty_arguments_rejected_uniformly() {
             "platform {name}: {err}"
         );
         let err = runtime
-            .location()
+            .proxy::<dyn LocationProxy>()
             .unwrap()
             .add_proximity_alert(
                 28.5,
@@ -111,7 +116,7 @@ fn gps_recovery_restores_service_everywhere() {
     let device = device();
     device.gps().set_availability(GpsAvailability::OutOfService);
     let runtime = android_runtime(&device);
-    let location = runtime.location().unwrap();
+    let location = runtime.proxy::<dyn LocationProxy>().unwrap();
     assert!(location.get_location().is_err());
     device.gps().set_availability(GpsAvailability::Available);
     assert!(location.get_location().is_ok());
@@ -121,7 +126,7 @@ fn gps_recovery_restores_service_everywhere() {
 fn unknown_host_and_404_are_distinguished() {
     let device = device();
     for (name, runtime) in runtimes(&device) {
-        let http = runtime.http().unwrap();
+        let http = runtime.proxy::<dyn HttpProxy>().unwrap();
         // Unknown host: transport error.
         let err = http
             .request("GET", "http://ghost.example/", &[])
@@ -154,7 +159,7 @@ fn out_of_coverage_sms_fails_uniformly_at_the_device() {
     assert!(!device.signal_strength().in_coverage());
     for (name, runtime) in runtimes(&device) {
         let err = runtime
-            .sms()
+            .proxy::<dyn SmsProxy>()
             .unwrap()
             .send_text_message("+91-sup", "anyone there?", None)
             .unwrap_err();
@@ -164,7 +169,7 @@ fn out_of_coverage_sms_fails_uniformly_at_the_device() {
     device.coverage().clear();
     for (_name, runtime) in runtimes(&device) {
         assert!(runtime
-            .sms()
+            .proxy::<dyn SmsProxy>()
             .unwrap()
             .send_text_message("+91-sup", "back online", None)
             .is_ok());
@@ -178,7 +183,11 @@ fn out_of_coverage_call_fails_on_android() {
         .coverage()
         .add_cell(GeoPoint::new(10.0, 10.0), 1_000.0);
     let runtime = android_runtime(&device);
-    let err = runtime.call().unwrap().make_a_call("+91-sup").unwrap_err();
+    let err = runtime
+        .proxy::<dyn CallProxy>()
+        .unwrap()
+        .make_a_call("+91-sup")
+        .unwrap_err();
     assert_eq!(err.kind(), ProxyErrorKind::Io);
 }
 
@@ -187,7 +196,7 @@ fn intermittent_sms_loss_with_seeded_probability() {
     let device = device();
     device.smsc().set_loss_probability(0.5);
     let runtime = android_runtime(&device);
-    let sms = runtime.sms().unwrap();
+    let sms = runtime.proxy::<dyn SmsProxy>().unwrap();
     let outcomes = Arc::new(Mutex::new(Vec::new()));
     for _ in 0..40 {
         let sink = Arc::clone(&outcomes);
@@ -241,7 +250,7 @@ fn network_partition_mid_call_is_absorbed_identically_everywhere() {
         // retry (>= 501) lands.
         FaultPlan::new(&device).network_partition(1, 400);
         device.advance_ms(1);
-        let http = runtime.http().unwrap();
+        let http = runtime.proxy::<dyn HttpProxy>().unwrap();
         let resp = http
             .request("GET", "http://wfm.example/tasks", &[])
             .unwrap_or_else(|e| panic!("platform {name} must recover: {e}"));
@@ -267,7 +276,7 @@ fn gps_flap_during_tracking_is_ridden_out_by_retries() {
         // Two outage windows: [1, 401) and [801, 1201).
         FaultPlan::new(&device).gps_flap(1, 400, 2);
         device.advance_ms(1);
-        let location = runtime.location().unwrap();
+        let location = runtime.proxy::<dyn LocationProxy>().unwrap();
         // First read lands in the first outage; the retry (t >= 502)
         // falls in the recovered gap.
         let first = location
@@ -302,7 +311,7 @@ fn smsc_drop_window_notifies_listener_then_clears_uniformly() {
     for (name, device, runtime) in resilient_runtimes_isolated(&chaos_policy()) {
         FaultPlan::new(&device).sms_loss_window(1, 10_000, 1.0);
         device.advance_ms(1);
-        let sms = runtime.sms().unwrap();
+        let sms = runtime.proxy::<dyn SmsProxy>().unwrap();
         let outcomes = Arc::new(Mutex::new(Vec::new()));
         let sink = Arc::clone(&outcomes);
         // Submission succeeds (the radio is fine); the SMSC drops the
@@ -356,7 +365,7 @@ fn circuit_breaker_opens_rejects_fast_and_recovers_via_half_open_probe() {
             |_| mobivine_device::net::HttpResponse::ok("[]"),
         );
         device.network().set_down(true);
-        let http = runtime.http().unwrap();
+        let http = runtime.proxy::<dyn HttpProxy>().unwrap();
         // Three straight failures open the circuit.
         for i in 0..3 {
             let err = http
@@ -419,7 +428,7 @@ fn random_drops_yield_the_same_resilient_trace_on_every_platform() {
             |_| mobivine_device::net::HttpResponse::ok("[]"),
         );
         FaultPlan::new(&device).random_network_drops(77, 0, 30_000, 5, 700);
-        let http = runtime.http().unwrap();
+        let http = runtime.proxy::<dyn HttpProxy>().unwrap();
         let mut successes = 0;
         for call in 0..6 {
             device.advance_to((call as u64 + 1) * 4_000);
@@ -446,7 +455,7 @@ fn circuit_state_is_visible_through_the_decorator() {
     let device = device();
     device.network().set_down(true);
     let runtime = android_runtime(&device);
-    let inner = runtime.http().unwrap();
+    let inner = runtime.proxy::<dyn HttpProxy>().unwrap();
     let resilient = mobivine::resilience::ResilientHttpProxy::new(
         inner,
         device.clone(),

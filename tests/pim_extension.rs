@@ -4,6 +4,7 @@
 //! extension features: uniform Contacts and Calendar proxies on Android
 //! and S60.
 
+use mobivine::api::{CalendarProxy, CallProxy, ContactsProxy};
 use mobivine::error::ProxyErrorKind;
 use mobivine::registry::Mobivine;
 use mobivine_android::{AndroidPlatform, SdkVersion};
@@ -37,12 +38,12 @@ fn contacts_uniform_across_android_and_s60() {
     let device = populated_device();
     let android = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
     let android_found = Mobivine::for_android(android.new_context())
-        .contacts()
+        .proxy::<dyn ContactsProxy>()
         .unwrap()
         .find_contacts("supervisor")
         .unwrap();
     let s60_found = Mobivine::for_s60(S60Platform::new(device))
-        .contacts()
+        .proxy::<dyn ContactsProxy>()
         .unwrap()
         .find_contacts("supervisor")
         .unwrap();
@@ -56,12 +57,12 @@ fn calendar_uniform_across_android_and_s60() {
     let device = populated_device();
     let android = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
     let a = Mobivine::for_android(android.new_context())
-        .calendar()
+        .proxy::<dyn CalendarProxy>()
         .unwrap()
         .entries_between(0, 4 * 3_600_000)
         .unwrap();
     let s = Mobivine::for_s60(S60Platform::new(device))
-        .calendar()
+        .proxy::<dyn CalendarProxy>()
         .unwrap()
         .entries_between(0, 4 * 3_600_000)
         .unwrap();
@@ -78,11 +79,11 @@ fn pim_not_bound_on_webview_is_a_clean_unsupported_error() {
     assert!(!runtime.supports("Contacts"));
     assert!(!runtime.supports("Calendar"));
     assert_eq!(
-        runtime.contacts().err().map(|e| e.kind()),
+        runtime.proxy::<dyn ContactsProxy>().err().map(|e| e.kind()),
         Some(ProxyErrorKind::UnsupportedOnPlatform)
     );
     assert_eq!(
-        runtime.calendar().err().map(|e| e.kind()),
+        runtime.proxy::<dyn CalendarProxy>().err().map(|e| e.kind()),
         Some(ProxyErrorKind::UnsupportedOnPlatform)
     );
 }
@@ -95,12 +96,12 @@ fn pim_lookup_drives_the_call_proxy() {
     let android = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
     let runtime = Mobivine::for_android(android.new_context());
     let supervisor = runtime
-        .contacts()
+        .proxy::<dyn ContactsProxy>()
         .unwrap()
         .find_contacts("supervisor")
         .unwrap()
         .remove(0);
-    let call = runtime.call().unwrap();
+    let call = runtime.proxy::<dyn CallProxy>().unwrap();
     let id = call.make_a_call(&supervisor.numbers[0]).unwrap();
     device.advance_ms(10_000);
     assert_eq!(

@@ -319,6 +319,7 @@ proptest! {
         offset_m in 0.0..1_000.0f64,
         radius_m in 50.0..400.0f64,
     ) {
+        use mobivine::api::LocationProxy;
         use mobivine::registry::Mobivine;
         use mobivine_android::{AndroidPlatform, SdkVersion};
         use mobivine_device::movement::MovementModel;
@@ -340,7 +341,7 @@ proptest! {
         let fired = Arc::new(Mutex::new(false));
         let sink = Arc::clone(&fired);
         runtime
-            .location()
+            .proxy::<dyn LocationProxy>()
             .unwrap()
             .add_proximity_alert(
                 center.latitude,

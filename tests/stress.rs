@@ -5,6 +5,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
+use mobivine::api::{CallProxy, LocationProxy, SmsProxy};
 use mobivine::registry::Mobivine;
 use mobivine::types::ProximityEvent;
 use mobivine_android::{AndroidPlatform, SdkVersion};
@@ -31,7 +32,7 @@ fn fifty_proximity_alerts_fire_exactly_the_right_subset() {
     device.gps().set_noise_enabled(false);
     let platform = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
     let runtime = Mobivine::for_android(platform.new_context());
-    let location = runtime.location().unwrap();
+    let location = runtime.proxy::<dyn LocationProxy>().unwrap();
 
     let counts: Vec<Arc<(AtomicUsize, AtomicUsize)>> = (0..50)
         .map(|i| {
@@ -72,7 +73,7 @@ fn sms_storm_delivers_everything_in_order() {
     device.smsc().register_address("+hub");
     let platform = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
     let runtime = Mobivine::for_android(platform.new_context());
-    let sms = runtime.sms().unwrap();
+    let sms = runtime.proxy::<dyn SmsProxy>().unwrap();
     for i in 0..200 {
         sms.send_text_message("+hub", &format!("msg-{i}"), None)
             .unwrap();
@@ -93,7 +94,7 @@ fn removed_alerts_leave_no_residual_event_load() {
     let device = Device::builder().position(HOME).build();
     let platform = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
     let runtime = Mobivine::for_android(platform.new_context());
-    let location = runtime.location().unwrap();
+    let location = runtime.proxy::<dyn LocationProxy>().unwrap();
     for _ in 0..30 {
         let listener: mobivine::types::SharedProximityListener = Arc::new(|_: &ProximityEvent| {});
         location
@@ -121,7 +122,7 @@ fn expired_alerts_also_drain_the_queue() {
     let device = Device::builder().position(HOME).build();
     let platform = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
     let runtime = Mobivine::for_android(platform.new_context());
-    let location = runtime.location().unwrap();
+    let location = runtime.proxy::<dyn LocationProxy>().unwrap();
     for _ in 0..20 {
         location
             .add_proximity_alert(
@@ -153,7 +154,7 @@ fn s60_emulation_survives_long_runs_with_many_cycles() {
     let events = Arc::new(Mutex::new(Vec::new()));
     let sink = Arc::clone(&events);
     runtime
-        .location()
+        .proxy::<dyn LocationProxy>()
         .unwrap()
         .add_proximity_alert(
             HOME.latitude,
@@ -186,7 +187,7 @@ fn many_calls_in_flight_keep_independent_state() {
         .set_callee_profile("+busy", mobivine_device::call::CalleeProfile::Busy);
     let platform = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
     let runtime = Mobivine::for_android(platform.new_context());
-    let call = runtime.call().unwrap();
+    let call = runtime.proxy::<dyn CallProxy>().unwrap();
     let ok_ids: Vec<u64> = (0..20)
         .map(|_| call.make_a_call("+fine").unwrap())
         .collect();

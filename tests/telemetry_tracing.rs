@@ -62,7 +62,9 @@ fn assert_connected_and_monotonic(spans: &[SpanRecord]) {
 /// One traced `getLocation` under an application root span; returns the
 /// finished spans of that single trace.
 fn traced_get_location(runtime: &Mobivine, device: &mobivine_device::Device) -> Vec<SpanRecord> {
-    let proxy = runtime.location().expect("location proxy");
+    let proxy = runtime
+        .proxy::<dyn LocationProxy>()
+        .expect("location proxy");
     let tracer = runtime.tracer().expect("telemetry attached").clone();
     let root = tracer.root("app:main", Plane::App, device.now_ms());
     proxy.get_location().expect("getLocation succeeds");
@@ -171,7 +173,9 @@ fn s60_midlet_path_yields_one_connected_tree() {
     let platform = S60Platform::new(device.clone());
     let runtime = Mobivine::for_s60(platform.clone()).with_telemetry();
     let midlet = TracedMidlet {
-        proxy: runtime.location().expect("location proxy"),
+        proxy: runtime
+            .proxy::<dyn LocationProxy>()
+            .expect("location proxy"),
         tracer: runtime.tracer().expect("telemetry attached").clone(),
     };
     let mut host = MidletHost::new(midlet, platform);

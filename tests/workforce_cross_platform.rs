@@ -8,6 +8,7 @@ mod common;
 use std::sync::Arc;
 
 use common::{android_runtime, s60_runtime, webview_runtime};
+use mobivine::api::{HttpProxy, LocationProxy};
 use mobivine::registry::Mobivine;
 use mobivine::resilience::ResiliencePolicy;
 use mobivine_android::activity::ActivityHost;
@@ -197,8 +198,8 @@ fn agent_track_is_reported_through_the_http_proxy() {
     let scenario = Scenario::two_site_patrol(7);
     let platform = AndroidPlatform::new(scenario.device.clone(), SdkVersion::M5Rc15);
     let runtime = Mobivine::for_android(platform.new_context());
-    let http = runtime.http().unwrap();
-    let location = runtime.location().unwrap();
+    let http = runtime.proxy::<dyn HttpProxy>().unwrap();
+    let location = runtime.proxy::<dyn LocationProxy>().unwrap();
     for _ in 0..5 {
         scenario.device.advance_ms(10_000);
         let fix = location.get_location().unwrap();
