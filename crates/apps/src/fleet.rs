@@ -64,6 +64,15 @@ pub struct FleetConfig {
     pub ops_per_round: u32,
     /// Master seed; all per-device randomness derives from it.
     pub seed: u64,
+    /// When `true`, every device runtime is built with plane-aware
+    /// telemetry (traced proxy decorators + shared metrics registry).
+    /// The traced hot path is allocation-free after wiring, so this
+    /// costs atomics and span-record moves, not heap churn.
+    pub telemetry: bool,
+    /// Per-worker-sink span retention cap when `telemetry` is on.
+    /// Small by default: at fleet scale the spans are a sampling
+    /// window, not a full trace archive.
+    pub span_retention: usize,
 }
 
 impl Default for FleetConfig {
@@ -76,6 +85,8 @@ impl Default for FleetConfig {
             tick_ms: 1_000,
             ops_per_round: 2,
             seed: 7,
+            telemetry: false,
+            span_retention: 16,
         }
     }
 }
@@ -110,6 +121,9 @@ impl FleetConfig {
         }
         if self.ops_per_round == 0 {
             return illegal("ops_per_round");
+        }
+        if self.telemetry && self.span_retention == 0 {
+            return illegal("span_retention (with telemetry enabled)");
         }
         Ok(self)
     }
@@ -391,18 +405,29 @@ impl Fleet {
             let shard = registry.shard_of(index);
             servers[shard].install(device.network(), &shard_host(shard));
 
+            // Telemetry wiring happens here, at build time: the traced
+            // decorators resolve their span names and metric handles
+            // once per device, so the run loop's proxy calls stay
+            // allocation-free.
+            let instrument = |b: mobivine::registry::MobivineBuilder| {
+                if config.telemetry {
+                    b.with_telemetry_retention(config.span_retention)
+                } else {
+                    b
+                }
+            };
             match index % 3 {
                 0 => {
                     let platform = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
-                    registry.push_with(|b| b.android(platform.new_context()))?;
+                    registry.push_with(|b| instrument(b.android(platform.new_context())))?;
                 }
                 1 => {
-                    registry.push_with(|b| b.s60(S60Platform::new(device.clone())))?;
+                    registry.push_with(|b| instrument(b.s60(S60Platform::new(device.clone()))))?;
                 }
                 _ => {
                     let platform = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
                     let webview = Arc::new(WebView::new(platform.new_context()));
-                    registry.push_with(|b| b.webview(webview))?;
+                    registry.push_with(|b| instrument(b.webview(webview)))?;
                 }
             }
             cohort.join(device);
@@ -582,6 +607,8 @@ mod tests {
             tick_ms: 500,
             ops_per_round: 2,
             seed: 11,
+            telemetry: false,
+            span_retention: 16,
         }
     }
 
@@ -636,6 +663,48 @@ mod tests {
             assert_eq!(a.p99_ms, b.p99_ms);
             assert_eq!(a.server, b.server);
         }
+    }
+
+    #[test]
+    fn telemetry_keeps_reports_worker_invariant() {
+        let traced = FleetConfig {
+            telemetry: true,
+            span_retention: 8,
+            ..small_config()
+        };
+        let first = Fleet::build(traced.clone()).unwrap().run();
+        let single = Fleet::build(FleetConfig {
+            workers: 1,
+            ..traced.clone()
+        })
+        .unwrap()
+        .run();
+        assert_eq!(first.checksum, single.checksum);
+        assert_eq!(first.total_ops, single.total_ops);
+        assert_eq!(first.errors, 0);
+        // Tracing must not change *what* the fleet computes.
+        let untraced = Fleet::build(small_config()).unwrap().run();
+        assert_eq!(first.checksum, untraced.checksum);
+    }
+
+    #[test]
+    fn zero_retention_with_telemetry_is_rejected() {
+        let err = FleetConfig {
+            telemetry: true,
+            span_retention: 0,
+            ..small_config()
+        }
+        .validated()
+        .unwrap_err();
+        assert_eq!(err.kind(), ProxyErrorKind::IllegalArgument);
+        // Without telemetry the retention knob is inert.
+        assert!(FleetConfig {
+            telemetry: false,
+            span_retention: 0,
+            ..small_config()
+        }
+        .validated()
+        .is_ok());
     }
 
     #[test]

@@ -16,6 +16,9 @@ use mobivine_bench::figure10::{
     run_resilience_overhead, run_telemetry_overhead, Scale,
 };
 use mobivine_bench::summary::{summary_json, validate_summary_json};
+use mobivine_bench::telemetry_hotpath::{
+    hotpath_speedup, render_hotpath_table, run_hotpath_comparison,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -66,8 +69,11 @@ fn main() {
                 match validate_summary_json(&text) {
                     Ok(check) => {
                         println!(
-                            "{path}: valid ({} figure10 rows, {} resilience rows, {} telemetry rows)",
-                            check.figure10_rows, check.resilience_rows, check.telemetry_rows
+                            "{path}: valid ({} figure10 rows, {} resilience rows, {} telemetry rows, {} hotpath rows)",
+                            check.figure10_rows,
+                            check.resilience_rows,
+                            check.telemetry_rows,
+                            check.hotpath_rows
                         );
                         std::process::exit(0);
                     }
@@ -88,6 +94,11 @@ fn main() {
     let rows = run_figure10(scale, runs);
     let resilience_rows = run_resilience_overhead(scale, runs);
     let telemetry_rows = run_telemetry_overhead(scale, runs);
+    let hotpath_ops = match scale {
+        Scale::ZeroCost => 50_000,
+        _ => 500_000,
+    };
+    let hotpath_rows = run_hotpath_comparison(hotpath_ops);
 
     if let Some(target) = json_out {
         let json = summary_json(
@@ -96,6 +107,7 @@ fn main() {
             &rows,
             &resilience_rows,
             &telemetry_rows,
+            &hotpath_rows,
         );
         match target {
             Some(path) => {
@@ -129,6 +141,13 @@ fn main() {
 
     println!();
     print!("{}", render_telemetry_table(&telemetry_rows));
+
+    println!();
+    print!("{}", render_hotpath_table(&hotpath_rows));
+    if let Some(speedup) = hotpath_speedup(&hotpath_rows) {
+        let verdict = if speedup >= 5.0 { "PASS" } else { "FAIL" };
+        println!("acceptance (>= 5x cached-handle speedup): {verdict}");
+    }
 }
 
 trait Figure10RowExt {

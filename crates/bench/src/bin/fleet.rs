@@ -2,21 +2,85 @@
 //!
 //! Usage: `cargo run -p mobivine-bench --bin fleet [--devices N]
 //! [--shards A,B,C] [--workers N] [--rounds N] [--ops N] [--seed N]
-//! [--json [PATH]] [--check PATH]`
+//! [--json [PATH]] [--check PATH] [--compare PATH]`
 //!
-//! Runs the deterministic fleet load engine at each shard count and the
+//! Runs the deterministic fleet load engine at each shard count — plus
+//! one telemetry-on configuration at the first shard count, so the
+//! summary carries the tracing-overhead ablation — and the
 //! resolution-throughput comparison (per-call construction vs
 //! sharded + memoized). `--json` emits the machine-readable summary
 //! (schema `mobivine.fleet.v1`) — deterministic for a fixed
 //! configuration — on stdout, or at `PATH` when one follows the flag;
 //! `--check PATH` validates an existing summary file instead of
 //! measuring anything.
+//!
+//! `--compare PATH` is the regression gate CI runs against the
+//! committed baseline: every scaling row of the baseline is re-run at
+//! its recorded configuration and must reproduce its checksum exactly
+//! and reach at least 75% of its recorded deterministic throughput
+//! (>25% regression fails); the live proxy-acquisition and
+//! telemetry-recording comparisons must both clear their 5x speedup
+//! bars.
 
 use mobivine_bench::fleet_bench::{
     render_fleet_table, render_resolution_table, resolution_speedup, run_fleet_scaling,
-    run_resolution_comparison,
+    run_fleet_scaling_with_telemetry, run_resolution_comparison,
 };
-use mobivine_bench::summary::{fleet_summary_json, validate_fleet_json};
+use mobivine_bench::summary::{fleet_summary_json, parse_fleet_baseline, validate_fleet_json};
+use mobivine_bench::telemetry_hotpath::{hotpath_speedup, run_hotpath_comparison};
+
+/// Re-runs every baseline scaling row and the live speedup gates.
+fn compare_against_baseline(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let baseline = parse_fleet_baseline(&text)?;
+    for (i, row) in baseline.iter().enumerate() {
+        eprintln!(
+            "re-running baseline row {i}: {} devices, {} shards, telemetry {} ...",
+            row.devices, row.shards, row.telemetry
+        );
+        let rerun = run_fleet_scaling_with_telemetry(
+            row.devices,
+            &[row.shards],
+            row.workers,
+            row.rounds,
+            row.ops_per_round,
+            row.seed,
+            row.telemetry,
+        );
+        let current = &rerun[0];
+        if current.checksum != row.checksum {
+            return Err(format!(
+                "scaling[{i}]: checksum {:016x} != baseline {:016x} — the fleet no longer \
+                 computes the same results",
+                current.checksum, row.checksum
+            ));
+        }
+        let floor = row.virtual_ops_per_sec * 3 / 4;
+        if current.virtual_ops_per_sec < floor {
+            return Err(format!(
+                "scaling[{i}]: throughput {} ops/vsec is more than 25% below baseline {}",
+                current.virtual_ops_per_sec, row.virtual_ops_per_sec
+            ));
+        }
+    }
+    let resolution = run_resolution_comparison(64, 20_000);
+    let speedup = resolution_speedup(&resolution).ok_or("resolution comparison incomplete")?;
+    if speedup < 5.0 {
+        return Err(format!(
+            "proxy-acquisition speedup {speedup:.1}x is below the 5x bar"
+        ));
+    }
+    eprintln!("proxy-acquisition speedup: {speedup:.1}x");
+    let hotpath = run_hotpath_comparison(200_000);
+    let speedup = hotpath_speedup(&hotpath).ok_or("hotpath comparison incomplete")?;
+    if speedup < 5.0 {
+        return Err(format!(
+            "telemetry cached-handle speedup {speedup:.1}x is below the 5x bar"
+        ));
+    }
+    eprintln!("telemetry cached-handle speedup: {speedup:.1}x");
+    Ok(())
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -79,6 +143,22 @@ fn main() {
                     i += 1;
                 }
             },
+            "--compare" => {
+                let Some(path) = args.get(i + 1) else {
+                    eprintln!("--compare requires a baseline file path");
+                    std::process::exit(2);
+                };
+                match compare_against_baseline(path) {
+                    Ok(()) => {
+                        println!("{path}: no regression against baseline");
+                        std::process::exit(0);
+                    }
+                    Err(e) => {
+                        eprintln!("{path}: regression gate failed: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
             "--check" => {
                 let Some(path) = args.get(i + 1) else {
                     eprintln!("--check requires a file path");
@@ -116,7 +196,19 @@ fn main() {
         "running fleet benchmark: {devices} devices, shard counts {shard_counts:?}, \
          {workers} workers, {rounds} rounds x {ops} ops, seed {seed} ..."
     );
-    let scaling = run_fleet_scaling(devices, &shard_counts, workers, rounds, ops, seed);
+    let mut scaling = run_fleet_scaling(devices, &shard_counts, workers, rounds, ops, seed);
+    // One traced configuration at the first shard count: the summary
+    // then carries the telemetry-overhead ablation, and its checksum
+    // must equal the untraced row's.
+    scaling.extend(run_fleet_scaling_with_telemetry(
+        devices,
+        &shard_counts[..1],
+        workers,
+        rounds,
+        ops,
+        seed,
+        true,
+    ));
     let resolution = run_resolution_comparison(devices.min(64), 50_000);
 
     if let Some(target) = json_out {

@@ -37,6 +37,12 @@ pub struct FleetScalingRow {
     pub workers: usize,
     /// Lockstep rounds run.
     pub rounds: u64,
+    /// Proxy operations per device per round.
+    pub ops_per_round: u32,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// Whether the device runtimes carried plane-aware telemetry.
+    pub telemetry: bool,
     /// Total proxy operations issued.
     pub total_ops: u64,
     /// Operations that returned an error.
@@ -83,6 +89,35 @@ pub fn run_fleet_scaling(
     ops_per_round: u32,
     seed: u64,
 ) -> Vec<FleetScalingRow> {
+    run_fleet_scaling_with_telemetry(
+        devices,
+        shard_counts,
+        workers,
+        rounds,
+        ops_per_round,
+        seed,
+        false,
+    )
+}
+
+/// [`run_fleet_scaling`] with the telemetry decorators toggled: when
+/// `telemetry` is true every device runtime carries the traced proxy
+/// stack (span retention 16 per worker sink, the fleet default).
+///
+/// # Panics
+///
+/// Panics if the fleet cannot be built — a zero in the configuration or
+/// a proxy-construction failure, both programming errors here.
+#[allow(clippy::too_many_arguments)]
+pub fn run_fleet_scaling_with_telemetry(
+    devices: usize,
+    shard_counts: &[usize],
+    workers: usize,
+    rounds: u64,
+    ops_per_round: u32,
+    seed: u64,
+    telemetry: bool,
+) -> Vec<FleetScalingRow> {
     shard_counts
         .iter()
         .map(|&shards| {
@@ -94,6 +129,8 @@ pub fn run_fleet_scaling(
                 tick_ms: 1_000,
                 ops_per_round,
                 seed,
+                telemetry,
+                span_retention: 16,
             };
             let fleet = Fleet::build(config).expect("fleet configuration is valid");
             let started = Instant::now();
@@ -104,6 +141,9 @@ pub fn run_fleet_scaling(
                 devices,
                 workers,
                 rounds,
+                ops_per_round,
+                seed,
+                telemetry,
                 total_ops: report.total_ops,
                 errors: report.errors,
                 virtual_ops_per_sec: report.virtual_ops_per_sec(),
@@ -201,17 +241,18 @@ pub fn render_fleet_table(rows: &[FleetScalingRow]) -> String {
     let mut out = String::new();
     out.push_str("Fleet scaling (virtual ops/sec; latencies in virtual ms)\n");
     out.push_str(
-        "shards | devices | workers |   ops   | errors | vops/sec | p50 | p95 | p99 |  wall ms\n",
+        "shards | devices | workers | tel |   ops   | errors | vops/sec | p50 | p95 | p99 |  wall ms\n",
     );
     out.push_str(
-        "-------+---------+---------+---------+--------+----------+-----+-----+-----+---------\n",
+        "-------+---------+---------+-----+---------+--------+----------+-----+-----+-----+---------\n",
     );
     for row in rows {
         out.push_str(&format!(
-            "{:>6} | {:>7} | {:>7} | {:>7} | {:>6} | {:>8} | {:>3} | {:>3} | {:>3} | {:>8.1}\n",
+            "{:>6} | {:>7} | {:>7} | {:>3} | {:>7} | {:>6} | {:>8} | {:>3} | {:>3} | {:>3} | {:>8.1}\n",
             row.shards,
             row.devices,
             row.workers,
+            if row.telemetry { "on" } else { "off" },
             row.total_ops,
             row.errors,
             row.virtual_ops_per_sec,

@@ -12,15 +12,20 @@ pub mod figure10;
 pub mod fleet_bench;
 pub mod harness;
 pub mod summary;
+pub mod telemetry_hotpath;
 
 pub use figure10::{
     measure, run_figure10, run_resilience_overhead, run_telemetry_overhead, Figure10Row,
     LatencyStats, ResilienceOverheadRow, Scale, TelemetryOverheadRow,
 };
 pub use fleet_bench::{
-    run_fleet_scaling, run_resolution_comparison, FleetScalingRow, ResolutionRow,
+    run_fleet_scaling, run_fleet_scaling_with_telemetry, run_resolution_comparison,
+    FleetScalingRow, ResolutionRow,
 };
 pub use summary::{
-    fleet_summary_json, summary_json, validate_fleet_json, validate_summary_json, FleetCheck,
-    SummaryCheck,
+    fleet_summary_json, parse_fleet_baseline, summary_json, validate_fleet_json,
+    validate_summary_json, FleetBaselineRow, FleetCheck, SummaryCheck,
+};
+pub use telemetry_hotpath::{
+    hotpath_speedup, run_fleet_telemetry_ablation, run_hotpath_comparison, HotpathRow,
 };

@@ -13,6 +13,7 @@ use serde_json::Value;
 
 use crate::figure10::{Figure10Row, LatencyStats, ResilienceOverheadRow, TelemetryOverheadRow};
 use crate::fleet_bench::{FleetScalingRow, ResolutionRow};
+use crate::telemetry_hotpath::HotpathRow;
 
 /// Schema identifier stamped into (and required from) every summary.
 pub const SCHEMA: &str = "mobivine.figure10.v1";
@@ -48,6 +49,7 @@ pub fn summary_json(
     rows: &[Figure10Row],
     resilience: &[ResilienceOverheadRow],
     telemetry: &[TelemetryOverheadRow],
+    hotpath: &[HotpathRow],
 ) -> String {
     let figure10 = rows
         .iter()
@@ -85,6 +87,16 @@ pub fn summary_json(
             ])
         })
         .collect();
+    let hotpath = hotpath
+        .iter()
+        .map(|row| {
+            object(vec![
+                ("mode", text(row.mode)),
+                ("ops", num(row.ops as f64)),
+                ("wall_ops_per_sec", num(row.wall_ops_per_sec)),
+            ])
+        })
+        .collect();
     object(vec![
         ("schema", text(SCHEMA)),
         ("scale", text(scale)),
@@ -92,6 +104,7 @@ pub fn summary_json(
         ("figure10", Value::Array(figure10)),
         ("resilience_overhead", Value::Array(resilience)),
         ("telemetry_overhead", Value::Array(telemetry)),
+        ("telemetry_hotpath", Value::Array(hotpath)),
     ])
     .to_string()
 }
@@ -105,6 +118,8 @@ pub struct SummaryCheck {
     pub resilience_rows: usize,
     /// Number of telemetry-overhead rows.
     pub telemetry_rows: usize,
+    /// Number of telemetry hot-path rows (both modes must be present).
+    pub hotpath_rows: usize,
 }
 
 fn require_number(entry: &Value, key: &str, context: &str) -> Result<f64, String> {
@@ -196,10 +211,30 @@ pub fn validate_summary_json(json: &str) -> Result<SummaryCheck, String> {
         }
     }
 
+    let hotpath = require_array(&root, "telemetry_hotpath")?;
+    for (i, entry) in hotpath.iter().enumerate() {
+        let context = format!("telemetry_hotpath[{i}]");
+        require_string(entry, "mode", &context)?;
+        require_number(entry, "ops", &context)?;
+        let rate = require_number(entry, "wall_ops_per_sec", &context)?;
+        if rate < 0.0 {
+            return Err(format!("{context}: negative wall_ops_per_sec"));
+        }
+    }
+    for mode in ["per-call-lookup", "cached-handles"] {
+        if !hotpath
+            .iter()
+            .any(|entry| matches!(entry.get_field("mode"), Some(Value::String(s)) if s == mode))
+        {
+            return Err(format!("telemetry_hotpath: missing row for mode {mode:?}"));
+        }
+    }
+
     Ok(SummaryCheck {
         figure10_rows: figure10.len(),
         resilience_rows: resilience.len(),
         telemetry_rows: telemetry.len(),
+        hotpath_rows: hotpath.len(),
     })
 }
 
@@ -217,6 +252,9 @@ pub fn fleet_summary_json(scaling: &[FleetScalingRow], resolution: &[ResolutionR
                 ("devices", num(row.devices as f64)),
                 ("workers", num(row.workers as f64)),
                 ("rounds", num(row.rounds as f64)),
+                ("ops_per_round", num(row.ops_per_round as f64)),
+                ("seed", num(row.seed as f64)),
+                ("telemetry", Value::Bool(row.telemetry)),
                 ("total_ops", num(row.total_ops as f64)),
                 ("errors", num(row.errors as f64)),
                 ("virtual_ops_per_sec", num(row.virtual_ops_per_sec as f64)),
@@ -280,6 +318,8 @@ pub fn validate_fleet_json(json: &str) -> Result<FleetCheck, String> {
             "devices",
             "workers",
             "rounds",
+            "ops_per_round",
+            "seed",
             "total_ops",
             "errors",
             "virtual_ops_per_sec",
@@ -287,6 +327,14 @@ pub fn validate_fleet_json(json: &str) -> Result<FleetCheck, String> {
             let value = require_number(entry, key, &context)?;
             if value < 0.0 {
                 return Err(format!("{context}: negative {key}"));
+            }
+        }
+        match entry.get_field("telemetry") {
+            Some(Value::Bool(_)) => {}
+            other => {
+                return Err(format!(
+                    "{context}: telemetry is {other:?}, expected a bool"
+                ))
             }
         }
         let p50 = require_number(entry, "p50_ms", &context)?;
@@ -327,6 +375,65 @@ pub fn validate_fleet_json(json: &str) -> Result<FleetCheck, String> {
     })
 }
 
+/// One scaling row parsed back out of a committed fleet baseline, with
+/// enough configuration to re-run it and enough results to compare.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetBaselineRow {
+    /// Shard count of the baseline run.
+    pub shards: usize,
+    /// Device count of the baseline run.
+    pub devices: usize,
+    /// Worker count of the baseline run.
+    pub workers: usize,
+    /// Rounds of the baseline run.
+    pub rounds: u64,
+    /// Ops per device per round of the baseline run.
+    pub ops_per_round: u32,
+    /// Seed of the baseline run.
+    pub seed: u64,
+    /// Whether the baseline run traced its devices.
+    pub telemetry: bool,
+    /// Recorded deterministic throughput, ops per virtual second.
+    pub virtual_ops_per_sec: u64,
+    /// Recorded determinism fingerprint.
+    pub checksum: u64,
+}
+
+/// Parses the scaling rows of a fleet baseline document (validating it
+/// first) so a regression gate can re-run each configuration.
+///
+/// # Errors
+///
+/// Everything [`validate_fleet_json`] rejects, plus a malformed
+/// checksum.
+pub fn parse_fleet_baseline(json: &str) -> Result<Vec<FleetBaselineRow>, String> {
+    validate_fleet_json(json)?;
+    let root: Value = serde_json::from_str(json).map_err(|e| format!("not valid JSON: {e}"))?;
+    let scaling = require_array(&root, "scaling")?;
+    scaling
+        .iter()
+        .enumerate()
+        .map(|(i, entry)| {
+            let context = format!("scaling[{i}]");
+            let checksum_hex = require_string(entry, "checksum", &context)?;
+            let checksum = u64::from_str_radix(checksum_hex, 16)
+                .map_err(|e| format!("{context}: bad checksum: {e}"))?;
+            let telemetry = matches!(entry.get_field("telemetry"), Some(Value::Bool(true)));
+            Ok(FleetBaselineRow {
+                shards: require_number(entry, "shards", &context)? as usize,
+                devices: require_number(entry, "devices", &context)? as usize,
+                workers: require_number(entry, "workers", &context)? as usize,
+                rounds: require_number(entry, "rounds", &context)? as u64,
+                ops_per_round: require_number(entry, "ops_per_round", &context)? as u32,
+                seed: require_number(entry, "seed", &context)? as u64,
+                telemetry,
+                virtual_ops_per_sec: require_number(entry, "virtual_ops_per_sec", &context)? as u64,
+                checksum,
+            })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -339,6 +446,7 @@ mod tests {
             &run_figure10(Scale::ZeroCost, 2),
             &run_resilience_overhead(Scale::ZeroCost, 2),
             &run_telemetry_overhead(Scale::ZeroCost, 2),
+            &crate::telemetry_hotpath::run_hotpath_comparison(5_000),
         )
     }
 
@@ -351,8 +459,16 @@ mod tests {
                 figure10_rows: 9,
                 resilience_rows: 3,
                 telemetry_rows: 3,
+                hotpath_rows: 2,
             }
         );
+    }
+
+    #[test]
+    fn summary_rejects_missing_hotpath_mode() {
+        let json = sample().replace("cached-handles", "cached-nothing");
+        let err = validate_summary_json(&json).unwrap_err();
+        assert!(err.contains("cached-handles"), "{err}");
     }
 
     #[test]

@@ -66,6 +66,13 @@ impl AndroidLocationProxy {
             .get_str("provider")
             .unwrap_or_else(|| "gps".to_owned())
     }
+
+    /// Borrowed-provider variant for the per-call path: no clone of the
+    /// property value, no `to_owned` of the default.
+    fn with_provider<T>(&self, f: impl FnOnce(&str) -> T) -> T {
+        self.properties
+            .with_str("provider", |p| f(p.unwrap_or("gps")))
+    }
 }
 
 /// Adapts broadcast intents to the common `ProximityListener` — the
@@ -201,9 +208,8 @@ impl LocationProxy for AndroidLocationProxy {
 
     fn get_location(&self) -> Result<Location, ProxyError> {
         let ctx = self.context()?;
-        let location = ctx
-            .location_manager()
-            .get_current_location(&self.provider())?;
+        let location =
+            self.with_provider(|provider| ctx.location_manager().get_current_location(provider))?;
         Ok(android_to_common(&location))
     }
 }

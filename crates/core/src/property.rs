@@ -174,6 +174,32 @@ impl PropertyBag {
             .map(|d| PropertyValue::Str(d.clone()))
     }
 
+    /// Reads a string property by reference, without cloning: `f`
+    /// receives the set value (or the descriptor default) borrowed in
+    /// place. The hot-path variant of [`PropertyBag::get_str`] — a
+    /// traced call that consults a property each invocation must not
+    /// pay a heap allocation for it. `f` runs under the bag's read
+    /// lock when the value was explicitly set, so it must not call
+    /// back into this bag.
+    ///
+    /// Non-string set values (int/bool) fall back to [`None`]; use
+    /// [`PropertyBag::get_str`] when those spellings matter.
+    pub fn with_str<T>(&self, key: &str, f: impl FnOnce(Option<&str>) -> T) -> T {
+        let values = self.values.read();
+        if let Some(PropertyValue::Str(s)) = values.get(key) {
+            return f(Some(s.as_str()));
+        }
+        let set_non_string = values.get(key).is_some();
+        drop(values);
+        if set_non_string {
+            return f(None);
+        }
+        f(self
+            .binding
+            .find_property(key)
+            .and_then(|spec| spec.default_value.as_deref()))
+    }
+
     /// Reads a string property (set value or descriptor default).
     pub fn get_str(&self, key: &str) -> Option<String> {
         self.get(key).and_then(|v| match v {
@@ -184,13 +210,24 @@ impl PropertyBag {
         })
     }
 
-    /// Reads an integer property, parsing string defaults.
+    /// Reads an integer property, parsing string defaults. Never
+    /// allocates: set values are read under the lock and descriptor
+    /// defaults are parsed from the borrowed spec string (hot-path
+    /// criteria assembly calls this per traced invocation).
     pub fn get_int(&self, key: &str) -> Option<i64> {
-        self.get(key).and_then(|v| match v {
-            PropertyValue::Int(i) => Some(i),
-            PropertyValue::Str(s) => s.parse().ok(),
-            _ => None,
-        })
+        {
+            let values = self.values.read();
+            match values.get(key) {
+                Some(PropertyValue::Int(i)) => return Some(*i),
+                Some(PropertyValue::Str(s)) => return s.parse().ok(),
+                Some(_) => return None,
+                None => {}
+            }
+        }
+        self.binding
+            .find_property(key)
+            .and_then(|spec| spec.default_value.as_deref())
+            .and_then(|d| d.parse().ok())
     }
 
     /// Fetches a required opaque platform object.

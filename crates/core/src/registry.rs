@@ -358,8 +358,19 @@ impl Mobivine {
     /// are re-homed onto the same registry so one exporter covers the
     /// whole call path.
     #[must_use]
-    pub fn with_telemetry(mut self) -> Self {
-        let telemetry = TelemetryRuntime::new(Arc::clone(self.device().metrics()));
+    pub fn with_telemetry(self) -> Self {
+        self.with_telemetry_retention(mobivine_telemetry::DEFAULT_SPAN_RETENTION)
+    }
+
+    /// Like [`Mobivine::with_telemetry`], but each worker thread's span
+    /// sink keeps at most `span_retention` finished spans (further
+    /// spans are dropped and counted). Fleet-scale runs use a small
+    /// retention so tracing ten thousand devices does not hold ten
+    /// thousand unbounded span buffers.
+    #[must_use]
+    pub fn with_telemetry_retention(mut self, span_retention: usize) -> Self {
+        let telemetry =
+            TelemetryRuntime::with_retention(Arc::clone(self.device().metrics()), span_retention);
         if let Some(r) = &mut self.resilience {
             r.metrics = ResilienceMetrics::on_registry(telemetry.metrics());
         }
@@ -800,7 +811,8 @@ pub struct MobivineBuilder {
     target: Option<Target>,
     catalog: Option<Arc<Vec<ProxyDescriptor>>>,
     resilience: Option<ResiliencePolicy>,
-    telemetry: bool,
+    /// Span retention per worker sink, when telemetry is enabled.
+    telemetry: Option<usize>,
 }
 
 impl fmt::Debug for MobivineBuilder {
@@ -808,7 +820,7 @@ impl fmt::Debug for MobivineBuilder {
         f.debug_struct("MobivineBuilder")
             .field("target", &self.target.is_some())
             .field("resilience", &self.resilience.is_some())
-            .field("telemetry", &self.telemetry)
+            .field("telemetry", &self.telemetry.is_some())
             .finish()
     }
 }
@@ -855,7 +867,15 @@ impl MobivineBuilder {
     /// Enables plane-aware telemetry (see [`Mobivine::with_telemetry`]).
     #[must_use]
     pub fn with_telemetry(mut self) -> Self {
-        self.telemetry = true;
+        self.telemetry = Some(mobivine_telemetry::DEFAULT_SPAN_RETENTION);
+        self
+    }
+
+    /// Enables telemetry with a bounded per-worker span retention (see
+    /// [`Mobivine::with_telemetry_retention`]).
+    #[must_use]
+    pub fn with_telemetry_retention(mut self, span_retention: usize) -> Self {
+        self.telemetry = Some(span_retention);
         self
     }
 
@@ -880,8 +900,8 @@ impl MobivineBuilder {
         if let Some(catalog) = self.catalog {
             runtime.catalog = catalog;
         }
-        if self.telemetry {
-            runtime = runtime.with_telemetry();
+        if let Some(span_retention) = self.telemetry {
+            runtime = runtime.with_telemetry_retention(span_retention);
         }
         if let Some(policy) = self.resilience {
             runtime = runtime.with_resilience(policy);

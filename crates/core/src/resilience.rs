@@ -325,7 +325,7 @@ macro_rules! counters {
                 Arc::new(Self {
                     $($name: registry.counter(
                         concat!("resilience_", stringify!($name), "_total"),
-                        Labels::empty(),
+                        &Labels::empty(),
                     ),)*
                 })
             }
@@ -468,18 +468,25 @@ impl Engine {
         operation: &str,
         call: &dyn Fn() -> Result<T, ProxyError>,
     ) -> Result<T, FailureMode> {
-        let mut span = ambient::child(
-            &format!("resilience:{operation}"),
-            Plane::Resilience,
-            self.device.now_ms(),
-        );
+        // `is_active` first: when no trace is open (telemetry off, or
+        // an unspanned call path) the name `format!` is skipped
+        // entirely, keeping the resilience layer allocation-free.
+        let mut span = if ambient::is_active() {
+            ambient::child(
+                format!("resilience:{operation}"),
+                Plane::Resilience,
+                self.device.now_ms(),
+            )
+        } else {
+            None
+        };
         let result = self.execute_inner(operation, call, span.as_mut());
         if let Some(mut s) = span.take() {
             if let Err(failure) = &result {
                 let e = match failure {
                     FailureMode::Degraded(e) | FailureMode::Fatal(e) => e,
                 };
-                s.attr("error", &format!("{:?}", e.kind()));
+                s.attr("error", crate::telemetry::kind_name(e.kind()));
             }
             s.end(self.device.now_ms());
         }

@@ -44,6 +44,12 @@ pub struct S60LocationProxy {
     platform: S60Platform,
     properties: PropertyBag,
     alerts: Mutex<Vec<AlertEntry>>,
+    /// Provider memoized for the current criteria. JSR-179 applications
+    /// hold one `LocationProvider` per criteria set; re-deriving it per
+    /// call would also put a `Device` clone and an `Arc` on the traced
+    /// hot path. Invalidated by `setProperty`, since criteria derive
+    /// from the property bag.
+    provider_cache: Mutex<Option<Arc<LocationProvider>>>,
 }
 
 struct AlertEntry {
@@ -74,6 +80,7 @@ impl S60LocationProxy {
             platform,
             properties: PropertyBag::new(binding),
             alerts: Mutex::new(Vec::new()),
+            provider_cache: Mutex::new(None),
         }
     }
 
@@ -87,19 +94,24 @@ impl S60LocationProxy {
         }
         if let Some(p) = self
             .properties
-            .get_str("powerConsumption")
-            .and_then(|s| PowerLevel::parse(&s))
+            .with_str("powerConsumption", |s| s.and_then(PowerLevel::parse))
         {
             criteria.set_preferred_power_consumption(p);
         }
         criteria
     }
 
-    fn provider(&self) -> Result<LocationProvider, ProxyError> {
-        Ok(LocationProvider::get_instance(
+    fn provider(&self) -> Result<Arc<LocationProvider>, ProxyError> {
+        let mut cache = self.provider_cache.lock();
+        if let Some(provider) = cache.as_ref() {
+            return Ok(Arc::clone(provider));
+        }
+        let provider = Arc::new(LocationProvider::get_instance(
             &self.platform,
             self.criteria(),
-        )?)
+        )?);
+        *cache = Some(Arc::clone(&provider));
+        Ok(provider)
     }
 }
 
@@ -238,7 +250,11 @@ fn teardown(shared: &Arc<AlertShared>) {
 
 impl ProxyBase for S60LocationProxy {
     fn set_property(&self, key: &str, value: PropertyValue) -> Result<(), ProxyError> {
-        self.properties.set(key, value)
+        self.properties.set(key, value)?;
+        // Criteria may have changed; the next call re-derives the
+        // provider (matching a fresh getInstance with the new criteria).
+        *self.provider_cache.lock() = None;
+        Ok(())
     }
 }
 
@@ -252,7 +268,7 @@ impl LocationProxy for S60LocationProxy {
         timer_s: i64,
         listener: SharedProximityListener,
     ) -> Result<(), ProxyError> {
-        let provider = Arc::new(self.provider()?);
+        let provider = self.provider()?;
         let shared = Arc::new(AlertShared {
             active: AtomicBool::new(true),
             platform: self.platform.clone(),

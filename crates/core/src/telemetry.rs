@@ -25,6 +25,17 @@
 //! `proxy_call_ms` latency histogram, all labelled
 //! `(proxy, method, platform)`.
 //!
+//! **The per-call path performs no heap allocation and takes no global
+//! lock.** Everything string-shaped is resolved once, at decorator
+//! construction (`Mobivine::with_telemetry` wiring time): each method
+//! gets a pre-formatted [`SpanName`] and — at the proxy plane — a
+//! [`CallInstruments`] bundle of pre-resolved counter/histogram
+//! handles. A traced call is then: clone two `Arc` span names, two or
+//! three atomic increments, one histogram bucket add, and a record
+//! moved into a per-thread span sink. `Labels::call` must never appear
+//! inside the per-call methods (CI greps for it); it belongs in
+//! [`CallInstruments::resolve`] alone.
+//!
 //! Spans parent implicitly through the ambient span stack
 //! ([`mobivine_telemetry::span::ambient`]): if the application opened
 //! its own root span the proxy call nests under it; otherwise the
@@ -33,11 +44,11 @@
 use std::sync::Arc;
 
 use mobivine_device::Device;
-use mobivine_telemetry::span::{ambient, ActiveSpan, Plane};
-use mobivine_telemetry::{Labels, MetricsRegistry, Tracer};
+use mobivine_telemetry::span::{ambient, Plane, SpanName};
+use mobivine_telemetry::{Counter, Histogram, Labels, MetricsRegistry, Tracer};
 
 use crate::api::{CallProxy, HttpProxy, LocationProxy, ProxyBase, SmsProxy};
-use crate::error::ProxyError;
+use crate::error::{ProxyError, ProxyErrorKind};
 use crate::property::PropertyValue;
 use crate::types::{CallProgress, DeliveryListener, HttpResult, Location, SharedProximityListener};
 
@@ -60,6 +71,16 @@ impl TelemetryRuntime {
         }
     }
 
+    /// Like [`TelemetryRuntime::new`], but the tracer's per-thread
+    /// span sinks keep at most `span_retention` records each — the
+    /// knob fleet-scale runs use to bound trace memory per device.
+    pub fn with_retention(metrics: Arc<MetricsRegistry>, span_retention: usize) -> Self {
+        Self {
+            tracer: Tracer::with_retention(span_retention),
+            metrics,
+        }
+    }
+
     /// The tracer holding every finished span.
     pub fn tracer(&self) -> &Tracer {
         &self.tracer
@@ -71,15 +92,71 @@ impl TelemetryRuntime {
     }
 }
 
+/// The static name of an error kind, for the span `error` attribute.
+/// Matches the `Debug` rendering the attribute used to carry, without
+/// the per-error `format!`.
+pub(crate) fn kind_name(kind: ProxyErrorKind) -> &'static str {
+    match kind {
+        ProxyErrorKind::Security => "Security",
+        ProxyErrorKind::IllegalArgument => "IllegalArgument",
+        ProxyErrorKind::Unavailable => "Unavailable",
+        ProxyErrorKind::Io => "Io",
+        ProxyErrorKind::UnsupportedOnPlatform => "UnsupportedOnPlatform",
+        ProxyErrorKind::UnknownProperty => "UnknownProperty",
+        ProxyErrorKind::BadPropertyValue => "BadPropertyValue",
+        ProxyErrorKind::MissingProperty => "MissingProperty",
+        ProxyErrorKind::PolicyDenied => "PolicyDenied",
+        ProxyErrorKind::CircuitOpen => "CircuitOpen",
+        ProxyErrorKind::DeadlineExceeded => "DeadlineExceeded",
+    }
+}
+
+/// The pre-resolved metric handles for one `(proxy, method, platform)`
+/// series: the call/error counter pair and the latency histogram the
+/// proxy plane publishes. Resolved once at wiring time; recording
+/// through them is pure atomics.
+struct CallInstruments {
+    calls: Counter,
+    errors: Counter,
+    latency: Histogram,
+}
+
+impl CallInstruments {
+    /// The only sanctioned `Labels::call` construction on the traced
+    /// path — everything downstream reuses these handles.
+    fn resolve(
+        metrics: &MetricsRegistry,
+        proxy: &'static str,
+        method: &'static str,
+        platform: &str,
+    ) -> Self {
+        let labels = Labels::call(proxy, method, platform);
+        Self {
+            calls: metrics.counter("proxy_calls_total", &labels),
+            errors: metrics.counter("proxy_errors_total", &labels),
+            latency: metrics.histogram("proxy_call_ms", &labels),
+        }
+    }
+}
+
+/// One method's wiring-time state: its pre-formatted span name and, at
+/// the proxy plane, its metric handles.
+struct MethodInstrument {
+    method: &'static str,
+    span_name: SpanName,
+    instruments: Option<CallInstruments>,
+}
+
 /// The per-decorator instrumentation kit: where to time, trace and
-/// count.
+/// count. All names and handles are resolved in [`Instrument::new`];
+/// the per-call [`Instrument::traced`] only copies symbols and bumps
+/// atomics.
 struct Instrument {
     device: Device,
     tracer: Tracer,
-    metrics: Arc<MetricsRegistry>,
     plane: Plane,
-    proxy: &'static str,
-    platform: String,
+    platform: SpanName,
+    methods: Vec<MethodInstrument>,
 }
 
 impl Instrument {
@@ -89,52 +166,56 @@ impl Instrument {
         plane: Plane,
         proxy: &'static str,
         platform: &str,
+        methods: &[&'static str],
     ) -> Self {
+        let methods = methods
+            .iter()
+            .map(|&method| MethodInstrument {
+                method,
+                span_name: SpanName::from(format!("{plane}:{proxy}.{method}")),
+                instruments: (plane == Plane::Proxy)
+                    .then(|| CallInstruments::resolve(&runtime.metrics, proxy, method, platform)),
+            })
+            .collect();
         Self {
             device,
             tracer: runtime.tracer.clone(),
-            metrics: Arc::clone(&runtime.metrics),
             plane,
-            proxy,
-            platform: platform.to_owned(),
+            platform: SpanName::from(platform.to_owned()),
+            methods,
         }
     }
 
-    fn start(&self, method: &str) -> (ActiveSpan, u64) {
-        let now = self.device.now_ms();
-        let name = format!("{}:{}.{method}", self.plane, self.proxy);
-        let mut span = ambient::child(&name, self.plane, now)
-            .unwrap_or_else(|| self.tracer.root(&name, self.plane, now));
-        span.attr("platform", &self.platform);
-        (span, now)
+    fn method(&self, method: &'static str) -> &MethodInstrument {
+        self.methods
+            .iter()
+            .find(|m| m.method == method)
+            .expect("method listed in the traced_proxy! method table")
     }
 
     /// Runs one proxy call inside a span; the proxy plane additionally
     /// publishes call/error counters and the latency histogram.
     fn traced<T>(
         &self,
-        method: &str,
+        method: &'static str,
         call: impl FnOnce() -> Result<T, ProxyError>,
     ) -> Result<T, ProxyError> {
-        let (mut span, start) = self.start(method);
+        let entry = self.method(method);
+        let now = self.device.now_ms();
+        let mut span = ambient::child(entry.span_name.clone(), self.plane, now)
+            .unwrap_or_else(|| self.tracer.root(entry.span_name.clone(), self.plane, now));
+        span.attr("platform", self.platform.clone());
         let result = call();
         let end = self.device.now_ms();
-        if self.plane == Plane::Proxy {
-            let labels = Labels::call(self.proxy, method, &self.platform);
-            self.metrics
-                .counter("proxy_calls_total", labels.clone())
-                .inc();
+        if let Some(instruments) = &entry.instruments {
+            instruments.calls.inc();
             if result.is_err() {
-                self.metrics
-                    .counter("proxy_errors_total", labels.clone())
-                    .inc();
+                instruments.errors.inc();
             }
-            self.metrics
-                .histogram("proxy_call_ms", labels)
-                .record(end.saturating_sub(start));
+            instruments.latency.record(end.saturating_sub(now));
         }
         if let Err(e) = &result {
-            span.attr("error", &format!("{:?}", e.kind()));
+            span.attr("error", kind_name(e.kind()));
         }
         span.end(end);
         result
@@ -142,7 +223,8 @@ impl Instrument {
 }
 
 macro_rules! traced_proxy {
-    ($(#[$doc:meta])* $name:ident, $trait:ident, $label:literal) => {
+    ($(#[$doc:meta])* $name:ident, $trait:ident, $label:literal,
+     [$($method:literal),+ $(,)?]) => {
         $(#[$doc])*
         pub struct $name {
             inner: Arc<dyn $trait>,
@@ -151,7 +233,9 @@ macro_rules! traced_proxy {
 
         impl $name {
             /// Wraps `inner` at `plane`, timing against `device`'s
-            /// simulated clock and reporting through `runtime`.
+            /// simulated clock and reporting through `runtime`. Span
+            /// names and (proxy-plane) metric handles for every method
+            /// are resolved here, once.
             pub fn new(
                 inner: Arc<dyn $trait>,
                 device: Device,
@@ -161,7 +245,14 @@ macro_rules! traced_proxy {
             ) -> Self {
                 Self {
                     inner,
-                    instrument: Instrument::new(device, runtime, plane, $label, platform),
+                    instrument: Instrument::new(
+                        device,
+                        runtime,
+                        plane,
+                        $label,
+                        platform,
+                        &[$($method),+],
+                    ),
                 }
             }
         }
@@ -181,7 +272,8 @@ traced_proxy!(
     /// proxy plane, metrics) per call.
     TracedLocationProxy,
     LocationProxy,
-    "Location"
+    "Location",
+    ["addProximityAlert", "removeProximityAlert", "getLocation"]
 );
 
 impl LocationProxy for TracedLocationProxy {
@@ -220,7 +312,8 @@ traced_proxy!(
     /// plane, metrics) per call.
     TracedSmsProxy,
     SmsProxy,
-    "SMS"
+    "SMS",
+    ["sendTextMessage"]
 );
 
 impl SmsProxy for TracedSmsProxy {
@@ -242,7 +335,8 @@ traced_proxy!(
     /// plane, metrics) per call.
     TracedHttpProxy,
     HttpProxy,
-    "Http"
+    "Http",
+    ["request"]
 );
 
 impl HttpProxy for TracedHttpProxy {
@@ -257,7 +351,8 @@ traced_proxy!(
     /// plane, metrics) per call.
     TracedCallProxy,
     CallProxy,
-    "Call"
+    "Call",
+    ["makeACall", "callProgress", "endCall"]
 );
 
 impl CallProxy for TracedCallProxy {
@@ -346,9 +441,40 @@ mod tests {
         assert_eq!(
             telemetry
                 .metrics()
-                .histogram("proxy_call_ms", labels)
+                .histogram("proxy_call_ms", &labels)
                 .count(),
             1
+        );
+    }
+
+    #[test]
+    fn instruments_are_resolved_at_wiring_time() {
+        let (device, telemetry) = runtime();
+        let proxy = TracedLocationProxy::new(
+            Arc::new(FixedLocation),
+            device,
+            &telemetry,
+            Plane::Proxy,
+            "android",
+        );
+        // The series exist (at zero) before the first call: resolution
+        // happened in `new`, not per call.
+        let labels = Labels::call("Location", "getLocation", "android");
+        assert_eq!(
+            telemetry
+                .metrics()
+                .histogram("proxy_call_ms", &labels)
+                .count(),
+            0
+        );
+        for _ in 0..3 {
+            proxy.get_location().unwrap();
+        }
+        assert_eq!(
+            telemetry
+                .metrics()
+                .counter_value("proxy_calls_total", &labels),
+            3
         );
     }
 
@@ -417,6 +543,25 @@ mod tests {
             .attrs
             .iter()
             .any(|(k, v)| k == "error" && v == "Io"));
+    }
+
+    #[test]
+    fn every_error_kind_has_a_static_name_matching_debug() {
+        for kind in [
+            ProxyErrorKind::Security,
+            ProxyErrorKind::IllegalArgument,
+            ProxyErrorKind::Unavailable,
+            ProxyErrorKind::Io,
+            ProxyErrorKind::UnsupportedOnPlatform,
+            ProxyErrorKind::UnknownProperty,
+            ProxyErrorKind::BadPropertyValue,
+            ProxyErrorKind::MissingProperty,
+            ProxyErrorKind::PolicyDenied,
+            ProxyErrorKind::CircuitOpen,
+            ProxyErrorKind::DeadlineExceeded,
+        ] {
+            assert_eq!(kind_name(kind), format!("{kind:?}"));
+        }
     }
 
     #[test]

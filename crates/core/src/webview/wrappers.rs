@@ -124,7 +124,7 @@ where
     let mut span = parent.and_then(|ctx| {
         ambient::child_of(
             ctx,
-            &format!("bridge:{wrapper}.{method}"),
+            format!("bridge:{wrapper}.{method}"),
             Plane::Bridge,
             device.now_ms(),
         )
@@ -132,7 +132,7 @@ where
     let out = call();
     if let Err(e) = &out {
         if let Some(s) = span.as_mut() {
-            s.attr("error", &format!("{:?}", e.code));
+            s.attr("error", format!("{:?}", e.code));
         }
     }
     if let Some(s) = span {

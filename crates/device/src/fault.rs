@@ -71,7 +71,7 @@ impl FaultPlan {
     fn schedule(&self, at_ms: u64, label: &'static str, action: impl FnOnce(u64) + Send + 'static) {
         let transitions = self.device.metrics().counter(
             "device_fault_transitions_total",
-            mobivine_telemetry::Labels::new(&[("fault", label)]),
+            &mobivine_telemetry::Labels::new(&[("fault", label)]),
         );
         let id = self
             .device

@@ -149,8 +149,8 @@ impl GpsEngine {
     /// constructed standalone publish nothing.
     pub fn bind_metrics(&self, registry: Arc<MetricsRegistry>) {
         *self.metrics.lock() = Some(GpsMetrics {
-            fixes: registry.counter("device_gps_fixes_total", Labels::empty()),
-            errors: registry.counter("device_gps_errors_total", Labels::empty()),
+            fixes: registry.counter("device_gps_fixes_total", &Labels::empty()),
+            errors: registry.counter("device_gps_errors_total", &Labels::empty()),
         });
     }
 
@@ -222,7 +222,7 @@ impl GpsEngine {
         }
         if let Some(mut span) = span {
             if let Err(e) = &result {
-                span.attr("error", &e.to_string());
+                span.attr("error", e.to_string());
             }
             span.end(self.clock.now_ms());
         }

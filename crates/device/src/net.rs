@@ -350,9 +350,9 @@ impl SimNetwork {
     /// Until bound, the network publishes nothing.
     pub fn bind_metrics(&self, registry: Arc<MetricsRegistry>, clock: SimClock) {
         *self.metrics.lock() = Some(NetMetrics {
-            requests: registry.counter("device_net_requests_total", Labels::empty()),
-            errors: registry.counter("device_net_errors_total", Labels::empty()),
-            rtt: registry.histogram("device_net_rtt_ms", Labels::empty()),
+            requests: registry.counter("device_net_requests_total", &Labels::empty()),
+            errors: registry.counter("device_net_errors_total", &Labels::empty()),
+            rtt: registry.histogram("device_net_rtt_ms", &Labels::empty()),
             clock,
         });
     }
@@ -421,9 +421,9 @@ impl SimNetwork {
         let now = metrics.as_ref().map(|m| m.clock.now_ms()).unwrap_or(0);
         let mut span = ambient::child("device:net.request", Plane::Device, now);
         if let Some(s) = span.as_mut() {
-            s.attr("method", &request.method.to_string());
-            s.attr("host", &request.url.host);
-            s.attr("path", &request.url.path);
+            s.attr("method", request.method.to_string());
+            s.attr("host", request.url.host.clone());
+            s.attr("path", request.url.path.clone());
         }
         if let Some(m) = &metrics {
             m.requests.inc();
@@ -435,7 +435,7 @@ impl SimNetwork {
                     m.rtt.record(*elapsed);
                 }
                 if let Some(mut s) = span {
-                    s.attr("status", &response.status.to_string());
+                    s.attr("status", response.status.to_string());
                     s.end(now + elapsed);
                 }
             }
@@ -444,7 +444,7 @@ impl SimNetwork {
                     m.errors.inc();
                 }
                 if let Some(mut s) = span {
-                    s.attr("error", &err.to_string());
+                    s.attr("error", err.to_string());
                     s.end(now);
                 }
             }

@@ -48,12 +48,19 @@ impl PowerLevel {
 
     /// Parses the textual values used in proxy property lists.
     pub fn parse(value: &str) -> Option<Self> {
-        match value.to_ascii_lowercase().as_str() {
-            "norequirement" | "no_requirement" => Some(PowerLevel::NoRequirement),
-            "low" => Some(PowerLevel::Low),
-            "medium" => Some(PowerLevel::Medium),
-            "high" => Some(PowerLevel::High),
-            _ => None,
+        // Case-insensitive comparison in place: this runs on the traced
+        // proxy hot path, which must not allocate.
+        let eq = |spelling: &str| value.eq_ignore_ascii_case(spelling);
+        if eq("norequirement") || eq("no_requirement") {
+            Some(PowerLevel::NoRequirement)
+        } else if eq("low") {
+            Some(PowerLevel::Low)
+        } else if eq("medium") {
+            Some(PowerLevel::Medium)
+        } else if eq("high") {
+            Some(PowerLevel::High)
+        } else {
+            None
         }
     }
 }
@@ -74,7 +81,10 @@ impl PowerLevel {
 /// ```
 #[derive(Default)]
 pub struct PowerMeter {
-    ledger: Mutex<HashMap<String, f64>>,
+    /// Keyed by `&'static str`: component names form a fixed
+    /// compile-time vocabulary, so a draw on the hot path never
+    /// allocates a key.
+    ledger: Mutex<HashMap<&'static str, f64>>,
 }
 
 impl fmt::Debug for PowerMeter {
@@ -92,12 +102,8 @@ impl PowerMeter {
     }
 
     /// Records `amount_mj` millijoules drawn by `component`.
-    pub fn draw(&self, component: &str, amount_mj: f64) {
-        *self
-            .ledger
-            .lock()
-            .entry(component.to_owned())
-            .or_insert(0.0) += amount_mj;
+    pub fn draw(&self, component: &'static str, amount_mj: f64) {
+        *self.ledger.lock().entry(component).or_insert(0.0) += amount_mj;
     }
 
     /// Total energy drawn by one component.
@@ -116,7 +122,7 @@ impl PowerMeter {
             .ledger
             .lock()
             .iter()
-            .map(|(k, v)| (k.clone(), *v))
+            .map(|(k, v)| ((*k).to_owned(), *v))
             .collect();
         entries.sort_by(|a, b| a.0.cmp(&b.0));
         entries

@@ -240,9 +240,9 @@ impl Smsc {
     /// publishes nothing (standalone instances stay silent).
     pub fn bind_metrics(&self, registry: Arc<MetricsRegistry>) {
         *self.metrics.lock() = Some(SmsMetrics {
-            submitted: registry.counter("device_sms_submitted_total", Labels::empty()),
-            delivered: registry.counter("device_sms_delivered_total", Labels::empty()),
-            lost: registry.counter("device_sms_lost_total", Labels::empty()),
+            submitted: registry.counter("device_sms_submitted_total", &Labels::empty()),
+            delivered: registry.counter("device_sms_delivered_total", &Labels::empty()),
+            lost: registry.counter("device_sms_lost_total", &Labels::empty()),
         });
     }
 
@@ -324,7 +324,7 @@ impl Smsc {
         }
         let segments = segment_message(body);
         if let Some(s) = span.as_mut() {
-            s.attr("segments", &segments.count().to_string());
+            s.attr("segments", segments.count().to_string());
         }
         let (id, deliver_at, lost) = {
             let mut state = self.state.lock();

@@ -157,12 +157,21 @@ impl LocationManager {
             device.now_ms(),
         );
         if let Some(s) = span.as_mut() {
-            s.attr("provider", provider);
+            // Providers form a closed vocabulary; mapping to the static
+            // constant keeps the traced fast path allocation-free.
+            s.attr(
+                "provider",
+                match provider {
+                    GPS_PROVIDER => GPS_PROVIDER,
+                    NETWORK_PROVIDER => NETWORK_PROVIDER,
+                    _ => "unknown",
+                },
+            );
         }
         let result = self.get_current_location_inner(provider);
         if let Some(mut s) = span {
             if let Err(e) = &result {
-                s.attr("error", &e.to_string());
+                s.attr("error", e.to_string());
             }
             s.end(device.now_ms());
         }

@@ -328,7 +328,7 @@ impl LocationProvider {
         let result = self.get_location_inner();
         if let Some(mut s) = span.take() {
             if let Err(e) = &result {
-                s.attr("error", &e.to_string());
+                s.attr("error", e.to_string());
             }
             s.end(device.now_ms());
         }

@@ -35,8 +35,8 @@ fn span_args(span: &SpanRecord) -> Value {
     if let Some(parent) = span.parent_id {
         fields.push(("parent_id".to_owned(), Value::String(hex_id(parent.0, 16))));
     }
-    for (key, value) in &span.attrs {
-        fields.push((format!("attr.{key}"), Value::String(value.clone())));
+    for (key, value) in span.attrs.iter() {
+        fields.push((format!("attr.{key}"), Value::String(value.to_owned())));
     }
     Value::Object(fields)
 }
@@ -51,7 +51,7 @@ pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
     let mut events = Vec::new();
     for span in spans {
         events.push(Value::Object(vec![
-            ("name".to_owned(), Value::String(span.name.clone())),
+            ("name".to_owned(), Value::String(span.name.to_string())),
             ("cat".to_owned(), Value::String(span.plane.to_string())),
             ("ph".to_owned(), Value::String("X".to_owned())),
             (

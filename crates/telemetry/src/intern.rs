@@ -1,0 +1,153 @@
+//! Process-wide interners for metric names and label sets.
+//!
+//! The hot recording path never wants to touch strings: a metric is
+//! identified by a [`NameKey`] and a [`LabelKey`] — small, copyable
+//! symbols minted once per distinct string/label-set and stable for the
+//! life of the process. The string tables behind them are only read
+//! back at export/scrape time ([`resolve_name`], [`resolve_labels`]),
+//! so registries can key their shards by `(NameKey, LabelKey)` and
+//! compare/hash two machine words instead of heap data.
+//!
+//! Interning is global (one table per process, shared by every
+//! [`crate::MetricsRegistry`]): the vocabulary is tiny — metric names
+//! and `(proxy, method, platform)` triples — so sharing maximises
+//! symbol reuse across the thousands of per-device registries a fleet
+//! run creates, and a symbol minted through one registry stays valid in
+//! every other.
+
+use std::collections::HashMap;
+use std::sync::LazyLock;
+
+use parking_lot::RwLock;
+
+use crate::metrics::Labels;
+
+/// Interned metric name. Copyable, two words of lookup on the cold
+/// path, zero strings on the hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NameKey(u32);
+
+impl NameKey {
+    /// The raw table index, for shard selection.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// Interned canonical label set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LabelKey(u32);
+
+impl LabelKey {
+    /// The raw table index, for shard selection.
+    pub fn index(self) -> u32 {
+        self.0
+    }
+}
+
+/// A symbol table: values are append-only, symbols are indices.
+struct Table<T> {
+    index: HashMap<T, u32>,
+    values: Vec<T>,
+}
+
+impl<T: Clone + Eq + std::hash::Hash> Table<T> {
+    fn new() -> Self {
+        Self {
+            index: HashMap::new(),
+            values: Vec::new(),
+        }
+    }
+
+    fn intern(&mut self, value: &T) -> u32 {
+        if let Some(&symbol) = self.index.get(value) {
+            return symbol;
+        }
+        let symbol = u32::try_from(self.values.len()).expect("interner overflow");
+        self.values.push(value.clone());
+        self.index.insert(value.clone(), symbol);
+        symbol
+    }
+}
+
+static NAMES: LazyLock<RwLock<Table<String>>> = LazyLock::new(|| RwLock::new(Table::new()));
+static LABEL_SETS: LazyLock<RwLock<Table<Labels>>> = LazyLock::new(|| RwLock::new(Table::new()));
+
+/// Interns a metric name, minting a symbol on first sight. The fast
+/// path (already interned) takes a read lock and allocates nothing.
+pub fn intern_name(name: &str) -> NameKey {
+    if let Some(&symbol) = NAMES.read().index.get(name) {
+        return NameKey(symbol);
+    }
+    NameKey(NAMES.write().intern(&name.to_owned()))
+}
+
+/// Looks a name up without interning it; `None` if never seen.
+pub fn lookup_name(name: &str) -> Option<NameKey> {
+    NAMES.read().index.get(name).copied().map(NameKey)
+}
+
+/// The string behind a [`NameKey`].
+///
+/// # Panics
+///
+/// Panics on a key that was never minted by [`intern_name`] — keys are
+/// process-global and never freed, so this is a programming error.
+pub fn resolve_name(key: NameKey) -> String {
+    NAMES.read().values[key.0 as usize].clone()
+}
+
+/// Interns a canonical label set. The fast path (already interned)
+/// takes a read lock and allocates nothing.
+pub fn intern_labels(labels: &Labels) -> LabelKey {
+    if let Some(&symbol) = LABEL_SETS.read().index.get(labels) {
+        return LabelKey(symbol);
+    }
+    LabelKey(LABEL_SETS.write().intern(labels))
+}
+
+/// Looks a label set up without interning it; `None` if never seen.
+pub fn lookup_labels(labels: &Labels) -> Option<LabelKey> {
+    LABEL_SETS.read().index.get(labels).copied().map(LabelKey)
+}
+
+/// The label set behind a [`LabelKey`].
+///
+/// # Panics
+///
+/// Panics on a key that was never minted by [`intern_labels`].
+pub fn resolve_labels(key: LabelKey) -> Labels {
+    LABEL_SETS.read().values[key.0 as usize].clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_resolves_back() {
+        let a = intern_name("proxy_calls_total");
+        let b = intern_name("proxy_calls_total");
+        assert_eq!(a, b);
+        assert_eq!(resolve_name(a), "proxy_calls_total");
+        assert_eq!(lookup_name("proxy_calls_total"), Some(a));
+
+        let labels = Labels::call("Location", "getLocation", "android");
+        let k1 = intern_labels(&labels);
+        let k2 = intern_labels(&Labels::call("Location", "getLocation", "android"));
+        assert_eq!(k1, k2);
+        assert_eq!(resolve_labels(k1), labels);
+        assert_eq!(lookup_labels(&labels), Some(k1));
+    }
+
+    #[test]
+    fn distinct_values_get_distinct_symbols() {
+        let a = intern_name("intern_test_metric_a");
+        let b = intern_name("intern_test_metric_b");
+        assert_ne!(a, b);
+        let la = intern_labels(&Labels::new(&[("intern_test", "a")]));
+        let lb = intern_labels(&Labels::new(&[("intern_test", "b")]));
+        assert_ne!(la, lb);
+        assert_eq!(lookup_labels(&Labels::new(&[("intern_test", "c")])), None);
+    }
+}

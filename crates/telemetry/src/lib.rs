@@ -19,7 +19,11 @@
 //!   shared memory.
 //! * [`metrics`] — a [`MetricsRegistry`] of named counters, gauges and
 //!   log-bucketed latency histograms keyed by sorted label sets (the
-//!   canonical key being `(proxy, method, platform)`).
+//!   canonical key being `(proxy, method, platform)`), striped into
+//!   lock shards keyed by interned symbols.
+//! * [`intern`] — process-wide symbol tables turning metric names and
+//!   label sets into copyable `u32` keys, so the recording path never
+//!   hashes or compares strings.
 //! * [`export`] — Chrome trace-event JSON for span trees (load the file
 //!   in `chrome://tracing` / Perfetto) and Prometheus-style text
 //!   exposition for the registry, plus validators that round-trip the
@@ -31,9 +35,14 @@
 
 pub mod context;
 pub mod export;
+pub mod intern;
 pub mod metrics;
 pub mod span;
 
 pub use context::TraceContext;
+pub use intern::{LabelKey, NameKey};
 pub use metrics::{Counter, Gauge, Histogram, Labels, MetricsRegistry};
-pub use span::{ambient, ActiveSpan, Plane, SpanEvent, SpanId, SpanRecord, TraceId, Tracer};
+pub use span::{
+    ambient, ActiveSpan, AttrList, Plane, SpanEvent, SpanId, SpanName, SpanRecord, TraceId, Tracer,
+    DEFAULT_SPAN_RETENTION,
+};

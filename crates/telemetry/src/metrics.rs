@@ -3,15 +3,22 @@
 //!
 //! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap clones of
 //! shared atomics — get them once, update them lock-free on the hot
-//! path. The registry itself is only locked on get-or-create and on
-//! export.
+//! path. Internally the registry is striped into a fixed power-of-two
+//! number of shards keyed by interned `(NameKey, LabelKey)` symbols
+//! (see [`crate::intern`]): get-or-create only locks one shard, and a
+//! Prometheus scrape walks the shards one at a time, so registration
+//! and export never stall recorders on a global lock. Export re-sorts
+//! by `(name, labels)`, so the rendered text is deterministic and
+//! identical to what a single sorted map would produce.
 
-use std::collections::BTreeMap;
+use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+
+use crate::intern::{self, LabelKey, NameKey};
 
 /// A canonicalised (sorted, deduplicated) label set.
 #[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -237,21 +244,57 @@ impl Histogram {
     }
 }
 
+/// Number of lock stripes. Power of two so shard selection is a mask;
+/// fixed so shard membership of a symbol never moves.
+const SHARD_COUNT: usize = 8;
+
+/// One metric's identity after interning: two machine words.
+type MetricId = (NameKey, LabelKey);
+
+#[derive(Default)]
+struct Shard {
+    counters: Mutex<HashMap<MetricId, Counter>>,
+    gauges: Mutex<HashMap<MetricId, Gauge>>,
+    histograms: Mutex<HashMap<MetricId, Histogram>>,
+}
+
+fn shard_of(id: MetricId) -> usize {
+    // splitmix64-style finalizer over the two symbol indices: cheap and
+    // spreads consecutive symbols across stripes.
+    let mut h = (u64::from(id.0.index()) << 32) | u64::from(id.1.index());
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    (h as usize) & (SHARD_COUNT - 1)
+}
+
 /// The registry: get-or-create metric handles by `(name, labels)` and
 /// render the whole set as Prometheus-style text.
-#[derive(Default)]
+///
+/// Lookups intern the key once and then touch a single shard; a scrape
+/// locks one shard at a time, so it never blocks recorders that hold
+/// pre-resolved handles and only briefly delays get-or-create on the
+/// shard currently being copied out.
 pub struct MetricsRegistry {
-    counters: Mutex<BTreeMap<(String, Labels), Counter>>,
-    gauges: Mutex<BTreeMap<(String, Labels), Gauge>>,
-    histograms: Mutex<BTreeMap<(String, Labels), Histogram>>,
+    shards: [Shard; SHARD_COUNT],
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self {
+            shards: std::array::from_fn(|_| Shard::default()),
+        }
+    }
 }
 
 impl std::fmt::Debug for MetricsRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let count =
+            |pick: &dyn Fn(&Shard) -> usize| -> usize { self.shards.iter().map(pick).sum() };
         f.debug_struct("MetricsRegistry")
-            .field("counters", &self.counters.lock().len())
-            .field("gauges", &self.gauges.lock().len())
-            .field("histograms", &self.histograms.lock().len())
+            .field("counters", &count(&|s: &Shard| s.counters.lock().len()))
+            .field("gauges", &count(&|s: &Shard| s.gauges.lock().len()))
+            .field("histograms", &count(&|s: &Shard| s.histograms.lock().len()))
             .finish()
     }
 }
@@ -268,48 +311,84 @@ impl MetricsRegistry {
     }
 
     /// Get-or-create a counter.
-    pub fn counter(&self, name: &str, labels: Labels) -> Counter {
-        self.counters
+    pub fn counter(&self, name: &str, labels: &Labels) -> Counter {
+        let id = (intern::intern_name(name), intern::intern_labels(labels));
+        self.shards[shard_of(id)]
+            .counters
             .lock()
-            .entry((name.to_owned(), labels))
+            .entry(id)
             .or_default()
             .clone()
     }
 
     /// Get-or-create a gauge.
-    pub fn gauge(&self, name: &str, labels: Labels) -> Gauge {
-        self.gauges
+    pub fn gauge(&self, name: &str, labels: &Labels) -> Gauge {
+        let id = (intern::intern_name(name), intern::intern_labels(labels));
+        self.shards[shard_of(id)]
+            .gauges
             .lock()
-            .entry((name.to_owned(), labels))
+            .entry(id)
             .or_default()
             .clone()
     }
 
     /// Get-or-create a histogram.
-    pub fn histogram(&self, name: &str, labels: Labels) -> Histogram {
-        self.histograms
+    pub fn histogram(&self, name: &str, labels: &Labels) -> Histogram {
+        let id = (intern::intern_name(name), intern::intern_labels(labels));
+        self.shards[shard_of(id)]
+            .histograms
             .lock()
-            .entry((name.to_owned(), labels))
+            .entry(id)
             .or_default()
             .clone()
     }
 
     /// The current value of a counter, `0` if it was never created
-    /// (reading does not create it).
+    /// (reading does not create it, and does not even intern the key).
     pub fn counter_value(&self, name: &str, labels: &Labels) -> u64 {
-        self.counters
+        let Some(name_key) = intern::lookup_name(name) else {
+            return 0;
+        };
+        let Some(label_key) = intern::lookup_labels(labels) else {
+            return 0;
+        };
+        let id = (name_key, label_key);
+        self.shards[shard_of(id)]
+            .counters
             .lock()
-            .get(&(name.to_owned(), labels.clone()))
+            .get(&id)
             .map_or(0, Counter::value)
     }
 
     /// Every counter as `(name, labels, value)`, sorted by key.
     pub fn counter_values(&self) -> Vec<(String, Labels, u64)> {
-        self.counters
-            .lock()
-            .iter()
-            .map(|((name, labels), counter)| (name.clone(), labels.clone(), counter.value()))
+        self.sorted_entries(|shard| &shard.counters)
+            .into_iter()
+            .map(|(name, labels, counter)| (name, labels, counter.value()))
             .collect()
+    }
+
+    /// Snapshots one metric kind across all shards, resolves the
+    /// interned symbols back to strings, and sorts by `(name, labels)`
+    /// — the deterministic export order the single-map registry had.
+    fn sorted_entries<T: Clone>(
+        &self,
+        pick: impl Fn(&Shard) -> &Mutex<HashMap<MetricId, T>>,
+    ) -> Vec<(String, Labels, T)> {
+        let mut entries = Vec::new();
+        for shard in &self.shards {
+            let map = pick(shard).lock();
+            entries.reserve(map.len());
+            for (&(name, labels), value) in map.iter() {
+                entries.push((
+                    intern::resolve_name(name),
+                    intern::resolve_labels(labels),
+                    value.clone(),
+                ));
+            }
+        }
+        entries.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+        entries
     }
 
     /// Renders the registry in Prometheus text exposition format.
@@ -319,26 +398,26 @@ impl MetricsRegistry {
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
         let mut last_name = String::new();
-        for ((name, labels), counter) in self.counters.lock().iter() {
-            if *name != last_name {
+        for (name, labels, counter) in self.sorted_entries(|shard| &shard.counters) {
+            if name != last_name {
                 let _ = writeln!(out, "# TYPE {name} counter");
-                last_name.clone_from(name);
+                last_name.clone_from(&name);
             }
             let _ = writeln!(out, "{name}{} {}", labels.render(&[]), counter.value());
         }
         last_name.clear();
-        for ((name, labels), gauge) in self.gauges.lock().iter() {
-            if *name != last_name {
+        for (name, labels, gauge) in self.sorted_entries(|shard| &shard.gauges) {
+            if name != last_name {
                 let _ = writeln!(out, "# TYPE {name} gauge");
-                last_name.clone_from(name);
+                last_name.clone_from(&name);
             }
             let _ = writeln!(out, "{name}{} {}", labels.render(&[]), gauge.value());
         }
         last_name.clear();
-        for ((name, labels), histogram) in self.histograms.lock().iter() {
-            if *name != last_name {
+        for (name, labels, histogram) in self.sorted_entries(|shard| &shard.histograms) {
+            if name != last_name {
                 let _ = writeln!(out, "# TYPE {name} summary");
-                last_name.clone_from(name);
+                last_name.clone_from(&name);
             }
             for (q, tag) in [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
                 let _ = writeln!(
@@ -384,15 +463,112 @@ mod tests {
         assert_eq!(call.get("platform"), Some("android"));
     }
 
+    /// Deterministic randomized sweep over the `Labels::new` contract:
+    /// keys sorted, later duplicates win, input order irrelevant. (The
+    /// proptest mirror of this lives in `tests/properties.rs`; this
+    /// version actually executes under the offline proptest stub.)
+    #[test]
+    fn labels_invariant_randomized() {
+        fn splitmix64(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        const KEYS: [&str; 6] = ["a", "b", "proxy", "method", "platform", "zz"];
+        const VALUES: [&str; 4] = ["", "1", "x", "longer value"];
+        let mut state = 0xDEAD_BEEF;
+        for _ in 0..500 {
+            let len = (splitmix64(&mut state) % 7) as usize;
+            let pairs: Vec<(&str, &str)> = (0..len)
+                .map(|_| {
+                    let k = KEYS[(splitmix64(&mut state) % KEYS.len() as u64) as usize];
+                    let v = VALUES[(splitmix64(&mut state) % VALUES.len() as u64) as usize];
+                    (k, v)
+                })
+                .collect();
+            let labels = Labels::new(&pairs);
+            // Keys strictly sorted (sorted + deduplicated).
+            assert!(
+                labels.pairs().windows(2).all(|w| w[0].0 < w[1].0),
+                "keys not strictly sorted for input {pairs:?}: {labels:?}"
+            );
+            // Later duplicates win.
+            for (k, v) in &pairs {
+                let last = pairs.iter().rev().find(|(pk, _)| pk == k).unwrap().1;
+                assert_eq!(labels.get(k), Some(last), "key {k} (inserted {v})");
+            }
+            // No invented keys.
+            assert!(labels
+                .pairs()
+                .iter()
+                .all(|(k, _)| KEYS.contains(&k.as_str())));
+            // Input order is irrelevant: reversing the pairs changes
+            // which duplicate wins, so compare via a dedup-last map.
+            let mut dedup: Vec<(&str, &str)> = Vec::new();
+            for (k, v) in &pairs {
+                match dedup.iter_mut().find(|(dk, _)| dk == k) {
+                    Some(slot) => slot.1 = v,
+                    None => dedup.push((k, v)),
+                }
+            }
+            assert_eq!(labels, Labels::new(&dedup));
+        }
+    }
+
+    /// Deterministic randomized sweep over exporter-order independence:
+    /// registering the same series in any permutation renders
+    /// byte-identical Prometheus text. (The proptest mirror of this
+    /// lives in `tests/properties.rs`; this version actually executes
+    /// under the offline proptest stub.)
+    #[test]
+    fn prometheus_order_randomized() {
+        fn splitmix64(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        let series: Vec<Labels> = (0..12)
+            .map(|i| Labels::call("Location", &format!("method{i:02}"), "android"))
+            .collect();
+        let reference = MetricsRegistry::new();
+        for labels in &series {
+            reference.counter("proxy_calls_total", labels).inc();
+        }
+        let mut state = 0x5EED;
+        for _ in 0..20 {
+            // A random permutation of the registration order.
+            let mut order: Vec<usize> = (0..series.len()).collect();
+            for i in (1..order.len()).rev() {
+                order.swap(i, (splitmix64(&mut state) % (i as u64 + 1)) as usize);
+            }
+            let shuffled = MetricsRegistry::new();
+            for &i in &order {
+                shuffled.counter("proxy_calls_total", &series[i]).inc();
+            }
+            assert_eq!(
+                reference.render_prometheus(),
+                shuffled.render_prometheus(),
+                "registration order {order:?} changed the exposition"
+            );
+        }
+    }
+
     #[test]
     fn counter_handles_share_state() {
         let registry = MetricsRegistry::new();
-        let a = registry.counter("calls_total", Labels::empty());
-        let b = registry.counter("calls_total", Labels::empty());
+        let a = registry.counter("calls_total", &Labels::empty());
+        let b = registry.counter("calls_total", &Labels::empty());
         a.inc();
         b.add(2);
         assert_eq!(registry.counter_value("calls_total", &Labels::empty()), 3);
-        assert_eq!(registry.counter_value("other", &Labels::empty()), 0);
+        assert_eq!(
+            registry.counter_value("never_created_counter", &Labels::empty()),
+            0
+        );
     }
 
     #[test]
@@ -429,13 +605,13 @@ mod tests {
         registry
             .counter(
                 "proxy_calls_total",
-                Labels::call("location", "getLocation", "android"),
+                &Labels::call("location", "getLocation", "android"),
             )
             .inc();
-        registry.gauge("queue_depth", Labels::empty()).set(4);
+        registry.gauge("queue_depth", &Labels::empty()).set(4);
         let h = registry.histogram(
             "proxy_call_ms",
-            Labels::call("location", "getLocation", "android"),
+            &Labels::call("location", "getLocation", "android"),
         );
         h.record(10);
         h.record(20);
@@ -450,5 +626,29 @@ mod tests {
         assert!(text.contains("quantile=\"0.95\""));
         assert!(text.contains("proxy_call_ms_count{"));
         assert_eq!(text, registry.render_prometheus(), "deterministic");
+    }
+
+    #[test]
+    fn sharded_export_matches_sorted_single_map_order() {
+        let registry = MetricsRegistry::new();
+        // Enough distinct series to land in several shards.
+        for i in 0..32 {
+            let name = format!("shardtest_metric_{:02}", i % 4);
+            let labels = Labels::new(&[("series", &format!("{i:02}"))]);
+            registry.counter(&name, &labels).add(i);
+        }
+        let values = registry.counter_values();
+        let mut expected = values.clone();
+        expected.sort_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+        assert_eq!(values, expected, "counter_values sorted by (name, labels)");
+        let text = registry.render_prometheus();
+        let lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("shardtest_metric_"))
+            .collect();
+        assert_eq!(lines.len(), 32);
+        let mut sorted = lines.clone();
+        sorted.sort();
+        assert_eq!(lines, sorted, "rendered series sorted within the page");
     }
 }

@@ -10,10 +10,23 @@
 //! span is open the ambient constructors return `None` and
 //! instrumentation costs one thread-local read.
 //!
+//! The recording path is allocation-free after warm-up: span names are
+//! [`SpanName`] symbols (a `&'static str` or a shared `Arc<str>`
+//! resolved once at wiring time), attributes live inline in an
+//! [`AttrList`] until they overflow, and a finished record is **moved**
+//! into a per-thread bounded sink — there is no global
+//! `Mutex<Vec<_>>` that every worker thread serialises through. Each
+//! sink pre-allocates its full retention capacity on creation and
+//! drops (and counts) spans beyond it, so 50k-device fleet runs with
+//! tracing on have bounded memory. [`Tracer::finished`] stitches the
+//! per-thread sinks back together in registration order.
+//!
 //! All timestamps are `u64` virtual milliseconds supplied by the
 //! caller (the simulated device clock in this workspace), never the
 //! wall clock — traces replay bit-identically.
 
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -71,6 +84,145 @@ impl fmt::Display for Plane {
     }
 }
 
+/// A span name or attribute value that is free to copy on the hot
+/// path: either a `&'static str` or a shared `Arc<str>` resolved once
+/// at wiring time. Cloning never allocates.
+#[derive(Clone)]
+pub enum SpanName {
+    /// A compile-time string.
+    Static(&'static str),
+    /// A runtime string interned behind an `Arc` (refcount bump to
+    /// clone, no heap copy).
+    Shared(Arc<str>),
+}
+
+impl SpanName {
+    /// The underlying string.
+    pub fn as_str(&self) -> &str {
+        match self {
+            SpanName::Static(s) => s,
+            SpanName::Shared(s) => s,
+        }
+    }
+}
+
+impl std::ops::Deref for SpanName {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl fmt::Display for SpanName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for SpanName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+impl PartialEq for SpanName {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl Eq for SpanName {}
+
+impl PartialEq<str> for SpanName {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for SpanName {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl From<&'static str> for SpanName {
+    fn from(s: &'static str) -> Self {
+        SpanName::Static(s)
+    }
+}
+
+impl From<String> for SpanName {
+    fn from(s: String) -> Self {
+        SpanName::Shared(s.into())
+    }
+}
+
+impl From<Arc<str>> for SpanName {
+    fn from(s: Arc<str>) -> Self {
+        SpanName::Shared(s)
+    }
+}
+
+/// How many attributes a span stores without touching the heap. Proxy
+/// and platform spans carry one or two (`platform`, plus `error` or
+/// `provider`); only the chatty device/net spans overflow.
+const INLINE_ATTRS: usize = 2;
+
+/// Key/value annotations with inline storage for the common case.
+/// Keys are `&'static str` (attribute vocabularies are fixed at
+/// compile time); values are [`SpanName`]s so static values cost
+/// nothing and dynamic ones are a moved allocation, never a copy.
+#[derive(Clone, Debug, Default)]
+pub struct AttrList {
+    inline: [Option<(&'static str, SpanName)>; INLINE_ATTRS],
+    overflow: Vec<(&'static str, SpanName)>,
+}
+
+impl AttrList {
+    /// Appends an annotation (duplicates are kept, like the previous
+    /// `Vec<(String, String)>` representation).
+    pub fn push(&mut self, key: &'static str, value: SpanName) {
+        for slot in &mut self.inline {
+            if slot.is_none() {
+                *slot = Some((key, value));
+                return;
+            }
+        }
+        self.overflow.push((key, value));
+    }
+
+    /// Iterates `(key, value)` in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, &str)> + '_ {
+        self.inline
+            .iter()
+            .filter_map(|slot| slot.as_ref())
+            .chain(self.overflow.iter())
+            .map(|(k, v)| (*k, v.as_str()))
+    }
+
+    /// The first value recorded under `key`, if any.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// Number of annotations.
+    pub fn len(&self) -> usize {
+        self.inline.iter().filter(|slot| slot.is_some()).count() + self.overflow.len()
+    }
+
+    /// Whether there are no annotations.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl PartialEq for AttrList {
+    fn eq(&self, other: &Self) -> bool {
+        self.iter().eq(other.iter())
+    }
+}
+
 /// A point-in-time annotation inside a span (a retry, a circuit
 /// transition, …).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -91,7 +243,7 @@ pub struct SpanRecord {
     /// The parent span, `None` for a trace root.
     pub parent_id: Option<SpanId>,
     /// Human-readable operation name, e.g. `proxy:Location.getLocation`.
-    pub name: String,
+    pub name: SpanName,
     /// The layer this span instruments.
     pub plane: Plane,
     /// Start, in virtual milliseconds.
@@ -101,18 +253,47 @@ pub struct SpanRecord {
     /// Point events recorded while the span was open.
     pub events: Vec<SpanEvent>,
     /// Key/value annotations.
-    pub attrs: Vec<(String, String)>,
+    pub attrs: AttrList,
+}
+
+/// Default per-thread span retention per tracer. See
+/// [`Tracer::with_retention`] for the trade-off.
+pub const DEFAULT_SPAN_RETENTION: usize = 4096;
+
+/// One thread's bounded buffer of finished spans for one tracer.
+struct SpanSink {
+    records: Mutex<Vec<SpanRecord>>,
 }
 
 struct TracerInner {
+    /// Process-unique tracer identity; the key into each thread's
+    /// local sink table.
+    id: u64,
     next_id: AtomicU64,
-    finished: Mutex<Vec<SpanRecord>>,
+    /// Per-sink record cap; the sink's buffer is allocated at this
+    /// capacity once, so filing a record never reallocates.
+    retention: usize,
+    /// Spans discarded because a sink was full.
+    dropped: AtomicU64,
+    /// Every sink ever registered, in registration order. Only locked
+    /// on sink creation and on drain — never on the recording path.
+    sinks: Mutex<Vec<Arc<SpanSink>>>,
+}
+
+static NEXT_TRACER_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// This thread's sink per tracer id. An entry appears the first
+    /// time a thread files a span for a tracer and lives for the
+    /// thread's lifetime.
+    static LOCAL_SINKS: RefCell<HashMap<u64, Arc<SpanSink>>> = RefCell::new(HashMap::new());
 }
 
 /// Mints spans and collects the finished records.
 ///
-/// Cheap to clone (all clones share the same record sink), `Send +
-/// Sync`, and id allocation is lock-free.
+/// Cheap to clone (all clones share the same record sinks), `Send +
+/// Sync`, and both id allocation and record filing are free of global
+/// locks: each recording thread owns a bounded sink per tracer.
 #[derive(Clone)]
 pub struct Tracer {
     inner: Arc<TracerInner>,
@@ -126,21 +307,54 @@ impl Default for Tracer {
 
 impl fmt::Debug for Tracer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let finished: usize = self
+            .inner
+            .sinks
+            .lock()
+            .iter()
+            .map(|sink| sink.records.lock().len())
+            .sum();
         f.debug_struct("Tracer")
-            .field("finished", &self.inner.finished.lock().len())
+            .field("finished", &finished)
+            .field("retention", &self.inner.retention)
+            .field("dropped", &self.dropped_spans())
             .finish()
     }
 }
 
 impl Tracer {
-    /// A fresh tracer with no finished spans.
+    /// A fresh tracer with no finished spans and the default retention.
     pub fn new() -> Self {
+        Self::with_retention(DEFAULT_SPAN_RETENTION)
+    }
+
+    /// A tracer whose per-thread sinks keep at most `retention`
+    /// finished spans each (minimum 1). Each sink allocates its full
+    /// capacity up front — recording never reallocates — so pick a
+    /// small cap for fleet-scale runs (thousands of tracers) and a
+    /// roomy one for single-device traces you intend to export whole.
+    /// Spans beyond the cap are dropped and counted
+    /// ([`Tracer::dropped_spans`]).
+    pub fn with_retention(retention: usize) -> Self {
         Self {
             inner: Arc::new(TracerInner {
+                id: NEXT_TRACER_ID.fetch_add(1, Ordering::Relaxed),
                 next_id: AtomicU64::new(1),
-                finished: Mutex::new(Vec::new()),
+                retention: retention.max(1),
+                dropped: AtomicU64::new(0),
+                sinks: Mutex::new(Vec::new()),
             }),
         }
+    }
+
+    /// The per-thread sink capacity.
+    pub fn retention(&self) -> usize {
+        self.inner.retention
+    }
+
+    /// How many spans have been discarded because a sink was full.
+    pub fn dropped_spans(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
     }
 
     fn fresh_id(&self) -> u64 {
@@ -149,9 +363,9 @@ impl Tracer {
 
     /// Starts a new trace with a root span and pushes it onto the
     /// ambient stack.
-    pub fn root(&self, name: &str, plane: Plane, now_ms: u64) -> ActiveSpan {
+    pub fn root(&self, name: impl Into<SpanName>, plane: Plane, now_ms: u64) -> ActiveSpan {
         let trace_id = TraceId(self.fresh_id());
-        self.start(trace_id, None, name, plane, now_ms)
+        self.start(trace_id, None, name.into(), plane, now_ms)
     }
 
     /// Starts a span under an explicit parent context (same trace) and
@@ -159,18 +373,24 @@ impl Tracer {
     pub fn child_of(
         &self,
         parent: TraceContext,
-        name: &str,
+        name: impl Into<SpanName>,
         plane: Plane,
         now_ms: u64,
     ) -> ActiveSpan {
-        self.start(parent.trace_id, Some(parent.span_id), name, plane, now_ms)
+        self.start(
+            parent.trace_id,
+            Some(parent.span_id),
+            name.into(),
+            plane,
+            now_ms,
+        )
     }
 
     fn start(
         &self,
         trace_id: TraceId,
         parent_id: Option<SpanId>,
-        name: &str,
+        name: SpanName,
         plane: Plane,
         now_ms: u64,
     ) -> ActiveSpan {
@@ -179,30 +399,72 @@ impl Tracer {
             trace_id,
             span_id,
             parent_id,
-            name: name.to_owned(),
+            name,
             plane,
             start_ms: now_ms,
             end_ms: now_ms,
             events: Vec::new(),
-            attrs: Vec::new(),
+            attrs: AttrList::default(),
         };
         let span = ActiveSpan {
             tracer: self.clone(),
-            record,
-            ended: false,
+            record: Some(record),
         };
         ambient::push(self.clone(), span.context());
         span
     }
 
-    /// A copy of every finished span, in finish order.
-    pub fn finished(&self) -> Vec<SpanRecord> {
-        self.inner.finished.lock().clone()
+    /// Moves a finished record into this thread's sink for this
+    /// tracer, creating (and registering) the sink on first use.
+    fn file(&self, record: SpanRecord) {
+        let filed = LOCAL_SINKS.with(|sinks| {
+            let mut sinks = sinks.borrow_mut();
+            let sink = sinks.entry(self.inner.id).or_insert_with(|| {
+                let sink = Arc::new(SpanSink {
+                    records: Mutex::new(Vec::with_capacity(self.inner.retention)),
+                });
+                self.inner.sinks.lock().push(Arc::clone(&sink));
+                sink
+            });
+            let mut records = sink.records.lock();
+            if records.len() < self.inner.retention {
+                records.push(record);
+                true
+            } else {
+                false
+            }
+        });
+        if !filed {
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
-    /// Drains the finished spans, leaving the tracer empty.
+    /// A copy of every finished span: per-sink finish order, sinks in
+    /// registration order (on one thread that is plain finish order).
+    pub fn finished(&self) -> Vec<SpanRecord> {
+        let sinks = self.inner.sinks.lock();
+        let mut out = Vec::new();
+        for sink in sinks.iter() {
+            out.extend_from_slice(&sink.records.lock());
+        }
+        out
+    }
+
+    /// Drains the finished spans, leaving the tracer empty. The sinks
+    /// keep their capacity, so recording after a drain still does not
+    /// reallocate.
     pub fn take_finished(&self) -> Vec<SpanRecord> {
-        std::mem::take(&mut *self.inner.finished.lock())
+        let sinks = self.inner.sinks.lock();
+        let mut out = Vec::new();
+        for sink in sinks.iter() {
+            let mut records = sink.records.lock();
+            if out.is_empty() {
+                out = records.split_off(0);
+            } else {
+                out.append(&mut records.split_off(0));
+            }
+        }
+        out
     }
 }
 
@@ -211,30 +473,46 @@ impl Tracer {
 /// record and the ambient stack stay consistent on early returns.
 pub struct ActiveSpan {
     tracer: Tracer,
-    record: SpanRecord,
-    ended: bool,
+    /// `Some` while open; `finish` moves the record out into the sink,
+    /// so closing a span copies nothing.
+    record: Option<SpanRecord>,
 }
 
 impl ActiveSpan {
+    fn record(&self) -> &SpanRecord {
+        self.record.as_ref().expect("span is open")
+    }
+
     /// The propagatable identity of this span.
     pub fn context(&self) -> TraceContext {
+        let record = self.record();
         TraceContext {
-            trace_id: self.record.trace_id,
-            span_id: self.record.span_id,
+            trace_id: record.trace_id,
+            span_id: record.span_id,
         }
     }
 
     /// Records a point event at `at_ms` virtual time.
     pub fn event(&mut self, name: &str, at_ms: u64) {
-        self.record.events.push(SpanEvent {
-            name: name.to_owned(),
-            at_ms,
-        });
+        self.record
+            .as_mut()
+            .expect("span is open")
+            .events
+            .push(SpanEvent {
+                name: name.to_owned(),
+                at_ms,
+            });
     }
 
-    /// Attaches (or appends) a key/value annotation.
-    pub fn attr(&mut self, key: &str, value: &str) {
-        self.record.attrs.push((key.to_owned(), value.to_owned()));
+    /// Attaches (or appends) a key/value annotation. Static values are
+    /// free; pass owned `String`s for dynamic ones — they are moved,
+    /// not copied.
+    pub fn attr(&mut self, key: &'static str, value: impl Into<SpanName>) {
+        self.record
+            .as_mut()
+            .expect("span is open")
+            .attrs
+            .push(key, value.into());
     }
 
     /// Closes the span at `now_ms` and files the record with the
@@ -244,27 +522,28 @@ impl ActiveSpan {
     }
 
     fn finish(&mut self, now_ms: u64) {
-        if self.ended {
+        let Some(mut record) = self.record.take() else {
             return;
-        }
-        self.ended = true;
-        self.record.end_ms = now_ms.max(self.record.start_ms);
-        ambient::pop(self.record.span_id);
-        self.tracer.inner.finished.lock().push(self.record.clone());
+        };
+        record.end_ms = now_ms.max(record.start_ms);
+        ambient::pop(record.span_id);
+        self.tracer.file(record);
     }
 }
 
 impl Drop for ActiveSpan {
     fn drop(&mut self) {
-        let started = self.record.start_ms;
-        self.finish(started);
+        if let Some(record) = &self.record {
+            let started = record.start_ms;
+            self.finish(started);
+        }
     }
 }
 
 /// The ambient span stack: implicit parenting for layers that are not
 /// telemetry-aware in their signatures.
 pub mod ambient {
-    use super::{ActiveSpan, Plane, Tracer};
+    use super::{ActiveSpan, Plane, SpanName, Tracer};
     use crate::context::TraceContext;
 
     thread_local! {
@@ -292,14 +571,22 @@ pub mod ambient {
         STACK.with(|stack| stack.borrow().last().map(|(_, ctx)| *ctx))
     }
 
+    /// Whether any span is open on this thread. Lets callers skip
+    /// building a dynamic span name (a `format!`) when it would go
+    /// nowhere.
+    pub fn is_active() -> bool {
+        STACK.with(|stack| !stack.borrow().is_empty())
+    }
+
     fn top() -> Option<(Tracer, TraceContext)> {
         STACK.with(|stack| stack.borrow().last().cloned())
     }
 
     /// Opens a child of the innermost open span, using its tracer.
     /// Returns `None` (and records nothing) when no span is open —
-    /// instrumented code paths are free when telemetry is off.
-    pub fn child(name: &str, plane: Plane, now_ms: u64) -> Option<ActiveSpan> {
+    /// instrumented code paths are free when telemetry is off. The
+    /// name is only converted when a span is actually opened.
+    pub fn child(name: impl Into<SpanName>, plane: Plane, now_ms: u64) -> Option<ActiveSpan> {
         let (tracer, ctx) = top()?;
         Some(tracer.child_of(ctx, name, plane, now_ms))
     }
@@ -310,7 +597,7 @@ pub mod ambient {
     /// when no tracer is ambient.
     pub fn child_of(
         parent: TraceContext,
-        name: &str,
+        name: impl Into<SpanName>,
         plane: Plane,
         now_ms: u64,
     ) -> Option<ActiveSpan> {
@@ -403,6 +690,7 @@ mod tests {
     fn no_ambient_span_means_no_recording() {
         assert!(ambient::child("x", Plane::Device, 0).is_none());
         assert_eq!(ambient::current(), None);
+        assert!(!ambient::is_active());
     }
 
     #[test]
@@ -448,5 +736,76 @@ mod tests {
                 at_ms: 120
             }]
         );
+    }
+
+    #[test]
+    fn attrs_overflow_past_the_inline_slots_in_order() {
+        let mut attrs = AttrList::default();
+        assert!(attrs.is_empty());
+        attrs.push("a", SpanName::Static("1"));
+        attrs.push("b", SpanName::Static("2"));
+        attrs.push("c", SpanName::from(String::from("3")));
+        attrs.push("a", SpanName::Static("4"));
+        assert_eq!(attrs.len(), 4);
+        assert_eq!(attrs.get("a"), Some("1"), "first value wins for get");
+        let collected: Vec<_> = attrs.iter().collect();
+        assert_eq!(
+            collected,
+            vec![("a", "1"), ("b", "2"), ("c", "3"), ("a", "4")]
+        );
+    }
+
+    #[test]
+    fn dynamic_and_static_names_compare_by_content() {
+        let owned = SpanName::from(String::from("proxy:op"));
+        assert_eq!(owned, SpanName::Static("proxy:op"));
+        assert_eq!(owned, "proxy:op");
+        assert_eq!(owned.as_str(), "proxy:op");
+        assert!(owned.contains("proxy"));
+        assert_eq!(format!("{owned}"), "proxy:op");
+    }
+
+    #[test]
+    fn retention_cap_drops_and_counts_overflow() {
+        let tracer = Tracer::with_retention(3);
+        assert_eq!(tracer.retention(), 3);
+        for i in 0..5 {
+            tracer.root("op", Plane::App, i).end(i + 1);
+        }
+        assert_eq!(tracer.finished().len(), 3, "bounded by retention");
+        assert_eq!(tracer.dropped_spans(), 2);
+        // Draining frees the sink: recording resumes.
+        assert_eq!(tracer.take_finished().len(), 3);
+        tracer.root("op", Plane::App, 9).end(10);
+        assert_eq!(tracer.finished().len(), 1);
+        assert_eq!(tracer.dropped_spans(), 2, "no new drops after drain");
+    }
+
+    #[test]
+    fn worker_threads_record_without_a_shared_sink() {
+        let tracer = Tracer::new();
+        std::thread::scope(|scope| {
+            for worker in 0..4u64 {
+                let tracer = tracer.clone();
+                scope.spawn(move || {
+                    for i in 0..50 {
+                        let root = tracer.root("op", Plane::App, worker * 1_000 + i);
+                        root.end(worker * 1_000 + i + 1);
+                    }
+                });
+            }
+        });
+        let spans = tracer.finished();
+        assert_eq!(spans.len(), 200, "every span landed in some sink");
+        // Per-sink order is preserved: start times are monotonic within
+        // each worker's contiguous block.
+        let mut seen = 0;
+        while seen < spans.len() {
+            let base = spans[seen].start_ms;
+            for offset in 0..50 {
+                assert_eq!(spans[seen + offset].start_ms, base + offset as u64);
+            }
+            seen += 50;
+        }
     }
 }

@@ -18,10 +18,20 @@ cargo run -q --release -p mobivine-bench --bin figure10 -- \
 cargo run -q --release -p mobivine-bench --bin figure10 -- --check "$summary"
 
 # Fleet smoke: drive ~500 devices through the load engine, emit the
-# mobivine.fleet.v1 summary, and schema-check it.
+# mobivine.fleet.v1 summary, and schema-check it. The figure10 run above
+# already smoke-runs the telemetry_hotpath ablation (its summary embeds
+# and --check validates the per-call-lookup vs cached-handles rows).
 cargo run -q --release -p mobivine-bench --bin fleet -- \
     --devices 500 --shards 1,4 --workers 2 --rounds 2 --json "$fleet_summary"
 cargo run -q --release -p mobivine-bench --bin fleet -- --check "$fleet_summary"
+
+# Regression gate against the committed baselines: schema-check both,
+# then re-run every BENCH_fleet.json scaling row (checksums must
+# reproduce exactly; deterministic throughput may not drop more than
+# 25%) and the live acquisition + telemetry-recording 5x speedup bars.
+cargo run -q --release -p mobivine-bench --bin figure10 -- --check BENCH_figure10.json
+cargo run -q --release -p mobivine-bench --bin fleet -- --check BENCH_fleet.json
+cargo run -q --release -p mobivine-bench --bin fleet -- --compare BENCH_fleet.json
 
 # The deprecated per-interface accessors must not regrow call sites:
 # `#[allow(deprecated)]` is sanctioned only in the equivalence suite and
@@ -34,5 +44,25 @@ allowed_deprecated=$(grep -rln "allow(deprecated)" --include='*.rs' . \
 if [ -n "$allowed_deprecated" ]; then
     echo "error: allow(deprecated) outside the sanctioned files:" >&2
     echo "$allowed_deprecated" >&2
+    exit 1
+fi
+
+# The traced hot path must stay allocation-free: label construction in
+# the decorator module is sanctioned only inside CallInstruments::resolve
+# (which runs once, at wiring time). Any other Labels::call/Labels::new
+# in the non-test portion of telemetry.rs is a per-call allocation
+# sneaking back in. (tests/zero_alloc_telemetry.rs proves the property
+# dynamically; this guard catches it at review time.)
+hot_labels=$(awk '
+    /#\[cfg\(test\)\]/ { exit }
+    /^[[:space:]]*\/\// { next }
+    /Labels::(call|new)/ && !/Labels::call\(proxy, method, platform\)/ {
+        print "crates/core/src/telemetry.rs:" FNR ": " $0
+    }
+' crates/core/src/telemetry.rs)
+if [ -n "$hot_labels" ]; then
+    echo "error: label construction on the traced hot path (use the" >&2
+    echo "cached CallInstruments handles resolved at wiring time):" >&2
+    echo "$hot_labels" >&2
     exit 1
 fi

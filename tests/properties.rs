@@ -366,3 +366,74 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    // ---- Telemetry label canonicalisation ------------------------
+
+    /// `Labels::new` canonicalises: keys come out strictly sorted and,
+    /// when the input repeats a key, the *last* value wins. Building a
+    /// label set from its own canonical pairs is a fixpoint. (The
+    /// deterministic mirror of this property lives in the telemetry
+    /// crate's `labels_invariant_randomized` unit test.)
+    #[test]
+    fn labels_are_sorted_and_last_duplicate_wins(
+        pairs in proptest::collection::vec(("[a-c]{1,2}", "[a-z]{0,4}"), 0..8)
+    ) {
+        use mobivine_telemetry::Labels;
+        let refs: Vec<(&str, &str)> =
+            pairs.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+        let labels = Labels::new(&refs);
+        let keys: Vec<&str> = labels.pairs().iter().map(|(k, _)| k.as_str()).collect();
+        prop_assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "keys not strictly sorted: {:?}", keys
+        );
+        for (key, value) in labels.pairs() {
+            let expected = refs
+                .iter()
+                .rev()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| *v)
+                .expect("every output key appeared in the input");
+            prop_assert_eq!(value.as_str(), expected, "later duplicate must win");
+        }
+        prop_assert_eq!(labels.pairs().len(), keys.len());
+        let canonical: Vec<(&str, &str)> = labels
+            .pairs()
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        prop_assert_eq!(&Labels::new(&canonical), &labels, "canonical form is a fixpoint");
+    }
+
+    /// The sharded registry's exporters are insertion-order (and
+    /// shard-layout) independent: registering the same series in any
+    /// permutation renders byte-identical Prometheus text.
+    #[test]
+    fn prometheus_export_is_insertion_order_independent(
+        order in proptest::collection::vec(0usize..12, 12..13)
+    ) {
+        use mobivine_telemetry::{Labels, MetricsRegistry};
+        let mut order = order;
+        let series: Vec<Labels> = (0..12)
+            .map(|i| Labels::call("Location", &format!("method{i:02}"), "android"))
+            .collect();
+
+        let sorted = MetricsRegistry::new();
+        for labels in &series {
+            sorted.counter("proxy_calls_total", labels).inc();
+        }
+
+        let shuffled = MetricsRegistry::new();
+        order.extend(0..12); // ensure every series is registered
+        for &i in &order {
+            shuffled.counter("proxy_calls_total", &series[i]).inc();
+        }
+        // Equalise the counts so only ordering is under test.
+        for labels in &series {
+            let want = shuffled.counter_value("proxy_calls_total", labels);
+            sorted.counter("proxy_calls_total", labels).add(want - 1);
+        }
+        prop_assert_eq!(sorted.render_prometheus(), shuffled.render_prometheus());
+    }
+}
