@@ -28,6 +28,8 @@ use std::sync::Arc;
 
 use mobivine::api::{HttpProxy, LocationProxy, SmsProxy};
 use mobivine::error::{ProxyError, ProxyErrorKind};
+use mobivine::overload::{with_deadline, Deadline, OverloadPolicy, OverloadSnapshot};
+use mobivine::property::PropertyValue;
 use mobivine::shard::ShardedRegistry;
 use mobivine_android::{AndroidPlatform, SdkVersion};
 use mobivine_device::cohort::{Cohort, CohortPartition};
@@ -44,6 +46,45 @@ pub const FLEET_SUPERVISOR: &str = "+91-98-SUPERVISOR";
 /// reachable from every member device's simulated network).
 pub fn shard_host(shard: usize) -> String {
     format!("wfm.shard{shard}.example")
+}
+
+/// A brownout scenario: one shard's devices are hit with a traffic ramp
+/// (`ops_multiplier`× the fleet's per-round ops) while every one of
+/// their calls runs under a batch-arrival deadline. With `admission`
+/// on, those devices are built with the overload layer
+/// ([`mobivine::overload`]): the AIMD admission gate sheds the excess,
+/// the deadline budget fail-fasts the queue tail, and the accepted
+/// calls' sojourn p99 stays within `p99_target_ms`. With `admission`
+/// off the same ramp runs unprotected and the sojourn p99 blows past
+/// the target — the comparison the bench gate pins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BrownoutConfig {
+    /// The shard whose member devices receive the ramp.
+    pub target_shard: usize,
+    /// Traffic multiplier applied to the target shard's per-round ops.
+    pub ops_multiplier: u32,
+    /// Per-batch deadline budget, virtual ms: every op of a round's
+    /// batch conceptually arrives at flush start and must finish within
+    /// this budget of that instant.
+    pub deadline_budget_ms: u64,
+    /// The accepted-call sojourn p99 bound the overload layer must
+    /// hold; also the AIMD loop's convergence target.
+    pub p99_target_ms: u64,
+    /// Whether the target shard's devices get the overload layer. Off
+    /// = the unprotected baseline arm.
+    pub admission: bool,
+}
+
+impl Default for BrownoutConfig {
+    fn default() -> Self {
+        Self {
+            target_shard: 0,
+            ops_multiplier: 10,
+            deadline_budget_ms: 400,
+            p99_target_ms: 256,
+            admission: true,
+        }
+    }
 }
 
 /// Configuration of one fleet run.
@@ -73,6 +114,8 @@ pub struct FleetConfig {
     /// Small by default: at fleet scale the spans are a sampling
     /// window, not a full trace archive.
     pub span_retention: usize,
+    /// Optional brownout scenario overwhelming one shard.
+    pub brownout: Option<BrownoutConfig>,
 }
 
 impl Default for FleetConfig {
@@ -87,6 +130,7 @@ impl Default for FleetConfig {
             seed: 7,
             telemetry: false,
             span_retention: 16,
+            brownout: None,
         }
     }
 }
@@ -124,6 +168,26 @@ impl FleetConfig {
         }
         if self.telemetry && self.span_retention == 0 {
             return illegal("span_retention (with telemetry enabled)");
+        }
+        if let Some(brownout) = &self.brownout {
+            if brownout.target_shard >= self.shards {
+                return Err(ProxyError::new(
+                    ProxyErrorKind::IllegalArgument,
+                    format!(
+                        "FleetConfig: brownout target_shard {} out of range ({} shards)",
+                        brownout.target_shard, self.shards
+                    ),
+                ));
+            }
+            if brownout.ops_multiplier == 0 {
+                return illegal("brownout ops_multiplier");
+            }
+            if brownout.deadline_budget_ms == 0 {
+                return illegal("brownout deadline_budget_ms");
+            }
+            if brownout.p99_target_ms == 0 {
+                return illegal("brownout p99_target_ms");
+            }
         }
         Ok(self)
     }
@@ -165,6 +229,14 @@ pub struct FleetReport {
     pub location_fixes: u64,
     /// Operations that returned an error.
     pub errors: u64,
+    /// Calls rejected by the admission gate (overload layer).
+    pub shed: u64,
+    /// Calls served degraded — a shed absorbed by a cached/coarse
+    /// location fix or a droppable HTTP request's synthetic accept.
+    pub degraded: u64,
+    /// Calls failed fast because their deadline budget was exhausted
+    /// before the binding plane was touched.
+    pub deadline_exceeded: u64,
     /// Coordinated virtual duration of the run, ms.
     pub virtual_elapsed_ms: u64,
     /// Fleet-wide median per-op virtual latency (bucketed), ms.
@@ -306,7 +378,16 @@ impl TrafficBatch {
     }
 
     /// Executes the batch through the device's memoized proxies,
-    /// recording per-op virtual latency (clock delta) into `stats`.
+    /// recording per-op virtual latency into `stats`.
+    ///
+    /// Without a deadline budget, latency is the per-op clock delta and
+    /// every op records. Under a brownout budget the batch has
+    /// **arrival semantics**: every op conceptually arrived at flush
+    /// start, runs inside an ambient [`Deadline`] opened there, and —
+    /// when accepted — records its *sojourn* (completion minus flush
+    /// start), the queueing-inclusive latency the admission gate's AIMD
+    /// loop also observes. Rejected ops (shed or deadline-exceeded) do
+    /// not record: the gate's claim is about the calls it accepted.
     fn flush(
         self,
         registry: &ShardedRegistry,
@@ -314,47 +395,78 @@ impl TrafficBatch {
         device: &Device,
         host: &str,
         stats: &mut DeviceStats,
+        deadline_budget_ms: Option<u64>,
     ) {
         let agent_id = device_index as u64;
+        let flush_start_ms = device.clock().now_ms();
         for op in self.ops {
             stats.ops += 1;
             let before_ms = device.clock().now_ms();
-            let outcome: Result<(), ProxyError> = match op {
-                FleetOp::LocationFix => registry
-                    .resolve::<dyn LocationProxy>(device_index)
-                    .and_then(|location| location.get_location())
-                    .map(|_| stats.location_fixes += 1),
-                FleetOp::Sms { text } => registry
-                    .resolve::<dyn SmsProxy>(device_index)
-                    .and_then(|sms| sms.send_text_message(FLEET_SUPERVISOR, &text, None))
-                    .map(|_| stats.sms_sent += 1),
-                FleetOp::HttpReport {
-                    latitude,
-                    longitude,
-                } => registry
-                    .resolve::<dyn HttpProxy>(device_index)
-                    .and_then(|http| {
-                        let point = TrackPoint {
-                            agent_id,
-                            latitude,
-                            longitude,
-                            at_ms: before_ms,
-                        };
-                        let body = serde_json::to_vec(&point).unwrap_or_default();
-                        http.request("POST", &format!("http://{host}/report-location"), &body)
-                    })
-                    .map(|response| {
-                        if (200..300).contains(&response.status) {
-                            stats.http_ok += 1;
-                        }
-                    }),
+            let execute = || -> Result<(), ProxyError> {
+                match op {
+                    FleetOp::LocationFix => registry
+                        .resolve::<dyn LocationProxy>(device_index)
+                        .and_then(|location| location.get_location())
+                        .map(|_| stats.location_fixes += 1),
+                    FleetOp::Sms { text } => registry
+                        .resolve::<dyn SmsProxy>(device_index)
+                        .and_then(|sms| sms.send_text_message(FLEET_SUPERVISOR, &text, None))
+                        .map(|_| stats.sms_sent += 1),
+                    FleetOp::HttpReport {
+                        latitude,
+                        longitude,
+                    } => registry
+                        .resolve::<dyn HttpProxy>(device_index)
+                        .and_then(|http| {
+                            let point = TrackPoint {
+                                agent_id,
+                                latitude,
+                                longitude,
+                                at_ms: before_ms,
+                            };
+                            let body = serde_json::to_vec(&point).unwrap_or_default();
+                            http.request("POST", &format!("http://{host}/report-location"), &body)
+                        })
+                        .map(|response| {
+                            if (200..300).contains(&response.status) {
+                                stats.http_ok += 1;
+                            }
+                        }),
+                }
             };
-            if outcome.is_err() {
-                stats.errors += 1;
+            match deadline_budget_ms {
+                Some(budget_ms) => {
+                    let deadline = Deadline::after(flush_start_ms, budget_ms);
+                    let outcome = with_deadline(deadline, execute);
+                    match outcome {
+                        Ok(()) => stats
+                            .latency
+                            .record(deadline.sojourn_ms(device.clock().now_ms())),
+                        Err(e) => {
+                            stats.errors += 1;
+                            // Rejections are not accepted calls; their
+                            // (cheap) sojourn stays out of the accepted
+                            // latency distribution.
+                            if !matches!(
+                                e.kind(),
+                                ProxyErrorKind::Overloaded | ProxyErrorKind::DeadlineExceeded
+                            ) {
+                                stats
+                                    .latency
+                                    .record(deadline.sojourn_ms(device.clock().now_ms()));
+                            }
+                        }
+                    }
+                }
+                None => {
+                    if execute().is_err() {
+                        stats.errors += 1;
+                    }
+                    stats
+                        .latency
+                        .record(device.clock().now_ms().saturating_sub(before_ms));
+                }
             }
-            stats
-                .latency
-                .record(device.clock().now_ms().saturating_sub(before_ms));
         }
     }
 }
@@ -409,11 +521,20 @@ impl Fleet {
             // decorators resolve their span names and metric handles
             // once per device, so the run loop's proxy calls stay
             // allocation-free.
+            let overload_policy = config
+                .brownout
+                .as_ref()
+                .filter(|b| b.admission && shard == b.target_shard)
+                .map(|b| OverloadPolicy::default().target_ms(b.p99_target_ms));
             let instrument = |b: mobivine::registry::MobivineBuilder| {
-                if config.telemetry {
+                let b = if config.telemetry {
                     b.with_telemetry_retention(config.span_retention)
                 } else {
                     b
+                };
+                match overload_policy.clone() {
+                    Some(policy) => b.with_overload(policy),
+                    None => b,
                 }
             };
             match index % 3 {
@@ -434,6 +555,20 @@ impl Fleet {
         }
 
         registry.warm()?;
+        // Graceful degradation wiring: the ramped shard's location
+        // reports are enrichment traffic the server can live without,
+        // so under shed pressure the overload HTTP decorator degrades
+        // them to a synthetic accept instead of surfacing an error.
+        if let Some(brownout) = config.brownout.as_ref().filter(|b| b.admission) {
+            for index in 0..config.devices {
+                if registry.shard_of(index) == brownout.target_shard {
+                    registry.resolve::<dyn HttpProxy>(index)?.set_property(
+                        "shed.droppable_path",
+                        PropertyValue::str("/report-location"),
+                    )?;
+                }
+            }
+        }
         Ok(Self {
             config,
             registry: Arc::new(registry),
@@ -488,6 +623,17 @@ impl Fleet {
                             for (offset, device) in partition.devices().iter().enumerate() {
                                 let index = partition.base_index() + offset;
                                 let shard = registry.shard_of(index);
+                                // The brownout ramp: the target shard's
+                                // devices plan a multiplied batch and run
+                                // it under the batch-arrival deadline.
+                                let ramped =
+                                    config.brownout.as_ref().filter(|b| shard == b.target_shard);
+                                let ops_per_round = match ramped {
+                                    Some(b) => {
+                                        config.ops_per_round.saturating_mul(b.ops_multiplier)
+                                    }
+                                    None => config.ops_per_round,
+                                };
                                 // Independent stream per (device, round):
                                 // batch planning never depends on how
                                 // much traffic earlier rounds ran.
@@ -495,17 +641,15 @@ impl Fleet {
                                     .seed
                                     .wrapping_add((index as u64) << 20)
                                     .wrapping_add(round);
-                                let batch = TrafficBatch::plan(
-                                    &mut rng,
-                                    config.ops_per_round,
-                                    index as u64,
-                                );
+                                let batch =
+                                    TrafficBatch::plan(&mut rng, ops_per_round, index as u64);
                                 batch.flush(
                                     registry,
                                     index,
                                     device,
                                     &shard_host(shard),
                                     &mut slice[offset],
+                                    ramped.map(|b| b.deadline_budget_ms),
                                 );
                             }
                             partition.advance_to(target);
@@ -530,6 +674,9 @@ impl Fleet {
         let mut http_ok = 0;
         let mut location_fixes = 0;
         let mut errors = 0;
+        let mut shed = 0;
+        let mut degraded = 0;
+        let mut deadline_exceeded = 0;
         let mut checksum = 0xCBF2_9CE4_8422_2325u64;
         let mut shard_latency: Vec<LatencyBuckets> = vec![LatencyBuckets::default(); config.shards];
         let mut shard_ops = vec![0u64; config.shards];
@@ -541,6 +688,19 @@ impl Fleet {
             http_ok += device_stats.http_ok;
             location_fixes += device_stats.location_fixes;
             errors += device_stats.errors;
+            // Per-device overload counters, straight off the runtime's
+            // shared metric block (zero when the device has no overload
+            // layer). Each device is stepped by exactly one worker, so
+            // these are as deterministic as the op counters.
+            let overload: OverloadSnapshot = self
+                .registry
+                .runtime(index)
+                .and_then(|runtime| runtime.overload_metrics())
+                .map(|metrics| metrics.snapshot())
+                .unwrap_or_default();
+            shed += overload.shed;
+            degraded += overload.degraded;
+            deadline_exceeded += overload.deadline_fail_fast;
             let shard = self.registry.shard_of(index);
             shard_latency[shard].merge(&device_stats.latency);
             shard_ops[shard] += device_stats.ops;
@@ -551,6 +711,9 @@ impl Fleet {
                 device_stats.http_ok,
                 device_stats.location_fixes,
                 device_stats.errors,
+                overload.shed,
+                overload.degraded,
+                overload.deadline_fail_fast,
             ] {
                 checksum = fnv_fold(checksum, value);
             }
@@ -584,6 +747,9 @@ impl Fleet {
             http_ok,
             location_fixes,
             errors,
+            shed,
+            degraded,
+            deadline_exceeded,
             per_shard,
             checksum,
         }
@@ -609,6 +775,18 @@ mod tests {
             seed: 11,
             telemetry: false,
             span_retention: 16,
+            brownout: None,
+        }
+    }
+
+    fn brownout_config(admission: bool) -> FleetConfig {
+        FleetConfig {
+            brownout: Some(BrownoutConfig {
+                target_shard: 1,
+                admission,
+                ..BrownoutConfig::default()
+            }),
+            ..small_config()
         }
     }
 
@@ -705,6 +883,70 @@ mod tests {
         }
         .validated()
         .is_ok());
+    }
+
+    #[test]
+    fn brownout_target_shard_must_exist() {
+        let err = FleetConfig {
+            brownout: Some(BrownoutConfig {
+                target_shard: 4,
+                ..BrownoutConfig::default()
+            }),
+            ..small_config()
+        }
+        .validated()
+        .unwrap_err();
+        assert_eq!(err.kind(), ProxyErrorKind::IllegalArgument);
+    }
+
+    #[test]
+    fn brownout_with_admission_sheds_and_bounds_accepted_p99() {
+        let config = brownout_config(true);
+        let target = config.brownout.as_ref().unwrap().target_shard;
+        let p99_target = config.brownout.as_ref().unwrap().p99_target_ms;
+        let report = Fleet::build(config).unwrap().run();
+        assert!(report.shed > 0, "the gate shed load: {report:?}");
+        let shard = &report.per_shard[target];
+        assert!(
+            shard.p99_ms <= p99_target,
+            "accepted-call p99 {} must hold the {p99_target}ms target under the ramp",
+            shard.p99_ms
+        );
+        // Degradation absorbed part of the pressure instead of erroring.
+        assert!(report.degraded > 0, "degradation tiers engaged: {report:?}");
+    }
+
+    #[test]
+    fn brownout_without_admission_blows_past_the_target() {
+        let config = brownout_config(false);
+        let target = config.brownout.as_ref().unwrap().target_shard;
+        let p99_target = config.brownout.as_ref().unwrap().p99_target_ms;
+        let report = Fleet::build(config).unwrap().run();
+        assert_eq!(report.shed, 0, "no gate, no sheds");
+        assert_eq!(report.deadline_exceeded, 0);
+        let shard = &report.per_shard[target];
+        assert!(
+            shard.p99_ms > p99_target,
+            "unprotected sojourn p99 {} must blow past {p99_target}ms",
+            shard.p99_ms
+        );
+    }
+
+    #[test]
+    fn brownout_is_deterministic_across_workers() {
+        let first = Fleet::build(brownout_config(true)).unwrap().run();
+        let second = Fleet::build(brownout_config(true)).unwrap().run();
+        assert_eq!(first, second, "same config ⇒ identical brownout report");
+        let reworked = Fleet::build(FleetConfig {
+            workers: 1,
+            ..brownout_config(true)
+        })
+        .unwrap()
+        .run();
+        assert_eq!(first.checksum, reworked.checksum);
+        assert_eq!(first.shed, reworked.shed);
+        assert_eq!(first.degraded, reworked.degraded);
+        assert_eq!(first.deadline_exceeded, reworked.deadline_exceeded);
     }
 
     #[test]

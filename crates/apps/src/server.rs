@@ -59,6 +59,15 @@ struct ServerState {
     completed: Vec<(u64, u64)>, // (agent, task id)
     activity: Vec<ActivityEntry>,
     tracks: Vec<TrackPoint>,
+    /// When set, `/report-location` stops accepting once this many
+    /// track points are stored and answers `503` + `Retry-After`
+    /// instead — the server-side half of the overload story, giving
+    /// clients an explicit back-off hint.
+    track_capacity: Option<u64>,
+    /// The back-off hint emitted on a capacity rejection, virtual ms.
+    retry_after_ms: u64,
+    /// `/report-location` posts rejected over capacity.
+    tracks_rejected: u64,
 }
 
 /// The workforce-management server: agent tracking, request assignment
@@ -88,6 +97,21 @@ impl WfmServer {
     /// assignment" role).
     pub fn assign_task(&self, agent_id: u64, task: Task) {
         self.state.lock().tasks.push((agent_id, task));
+    }
+
+    /// Caps stored track points at `capacity`: further
+    /// `/report-location` posts are rejected with `503` and a
+    /// `Retry-After` header advising `retry_after_ms` of virtual
+    /// back-off (rounded up to whole seconds on the wire, per HTTP).
+    pub fn set_track_capacity(&self, capacity: u64, retry_after_ms: u64) {
+        let mut state = self.state.lock();
+        state.track_capacity = Some(capacity);
+        state.retry_after_ms = retry_after_ms.max(1);
+    }
+
+    /// How many `/report-location` posts the capacity guard rejected.
+    pub fn tracks_rejected(&self) -> u64 {
+        self.state.lock().tracks_rejected
     }
 
     /// Open tasks currently assigned to `agent_id`.
@@ -185,7 +209,16 @@ impl WfmServer {
         network.register_route(host, Method::Post, "/report-location", move |req| {
             match serde_json::from_slice::<TrackPoint>(&req.body) {
                 Ok(point) => {
-                    state.lock().tracks.push(point);
+                    let mut state = state.lock();
+                    if let Some(capacity) = state.track_capacity {
+                        if state.tracks.len() as u64 >= capacity {
+                            state.tracks_rejected += 1;
+                            let retry_after_secs = state.retry_after_ms.div_ceil(1_000);
+                            return HttpResponse::status_only(503)
+                                .header("Retry-After", retry_after_secs.to_string());
+                        }
+                    }
+                    state.tracks.push(point);
                     HttpResponse::ok("tracked")
                 }
                 Err(_) => HttpResponse::status_only(400),
@@ -336,5 +369,34 @@ mod tests {
         }
         assert_eq!(server.track(1).len(), 2);
         assert_eq!(server.track(2).len(), 1);
+    }
+
+    #[test]
+    fn over_capacity_tracks_get_503_with_retry_after() {
+        let (device, server) = installed();
+        server.set_track_capacity(2, 2_500);
+        let post = |at_ms: u64| {
+            let point = TrackPoint {
+                agent_id: 1,
+                latitude: 28.0,
+                longitude: 77.0,
+                at_ms,
+            };
+            let req = HttpRequest::post(
+                "http://wfm.example/report-location",
+                serde_json::to_vec(&point).unwrap(),
+            )
+            .unwrap();
+            device.network().execute(&req).unwrap().0
+        };
+        assert_eq!(post(1).status, 200);
+        assert_eq!(post(2).status, 200);
+        let rejected = post(3);
+        assert_eq!(rejected.status, 503);
+        // 2500ms rounds up to 3 whole seconds on the wire.
+        assert_eq!(rejected.header_value("retry-after"), Some("3"));
+        assert_eq!(server.track(1).len(), 2, "over-capacity post not stored");
+        assert_eq!(server.tracks_rejected(), 1);
+        assert_eq!(server.counts().tracks, 2);
     }
 }

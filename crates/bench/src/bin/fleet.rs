@@ -2,17 +2,21 @@
 //!
 //! Usage: `cargo run -p mobivine-bench --bin fleet [--devices N]
 //! [--shards A,B,C] [--workers N] [--rounds N] [--ops N] [--seed N]
-//! [--json [PATH]] [--check PATH] [--compare PATH]`
+//! [--json [PATH]] [--check PATH] [--compare PATH] [--brownout]`
 //!
 //! Runs the deterministic fleet load engine at each shard count — plus
 //! one telemetry-on configuration at the first shard count, so the
-//! summary carries the tracing-overhead ablation — and the
+//! summary carries the tracing-overhead ablation — the
 //! resolution-throughput comparison (per-call construction vs
-//! sharded + memoized). `--json` emits the machine-readable summary
-//! (schema `mobivine.fleet.v1`) — deterministic for a fixed
+//! sharded + memoized), and the brownout comparison (one shard ramped,
+//! overload layer on vs off, at a fixed small configuration so the gate
+//! margins stay pinned). `--json` emits the machine-readable summary
+//! (schema `mobivine.fleet.v2`) — deterministic for a fixed
 //! configuration — on stdout, or at `PATH` when one follows the flag;
 //! `--check PATH` validates an existing summary file instead of
-//! measuring anything.
+//! measuring anything; `--brownout` runs only the brownout comparison
+//! and exits non-zero unless both arms hold the overload gate (the CI
+//! chaos smoke).
 //!
 //! `--compare PATH` is the regression gate CI runs against the
 //! committed baseline: every scaling row of the baseline is re-run at
@@ -23,11 +27,19 @@
 //! bars.
 
 use mobivine_bench::fleet_bench::{
-    render_fleet_table, render_resolution_table, resolution_speedup, run_fleet_scaling,
-    run_fleet_scaling_with_telemetry, run_resolution_comparison,
+    render_brownout_table, render_fleet_table, render_resolution_table, resolution_speedup,
+    run_fleet_brownout, run_fleet_scaling, run_fleet_scaling_with_telemetry,
+    run_resolution_comparison, BrownoutRow,
 };
 use mobivine_bench::summary::{fleet_summary_json, parse_fleet_baseline, validate_fleet_json};
 use mobivine_bench::telemetry_hotpath::{hotpath_speedup, run_hotpath_comparison};
+
+/// The brownout comparison's fixed configuration: small enough for a
+/// CI smoke, large enough that the ramp overloads the target shard.
+/// Keeping it independent of the sweep flags pins the gate margins.
+fn brownout_comparison() -> Vec<BrownoutRow> {
+    run_fleet_brownout(30, 4, 3, 3, 2, 11)
+}
 
 /// Re-runs every baseline scaling row and the live speedup gates.
 fn compare_against_baseline(path: &str) -> Result<(), String> {
@@ -79,6 +91,12 @@ fn compare_against_baseline(path: &str) -> Result<(), String> {
         ));
     }
     eprintln!("telemetry cached-handle speedup: {speedup:.1}x");
+    for row in brownout_comparison() {
+        if !row.holds_the_gate() {
+            return Err(format!("brownout overload gate failed: {row:?}"));
+        }
+    }
+    eprintln!("brownout overload gate: both arms hold");
     Ok(())
 }
 
@@ -159,6 +177,16 @@ fn main() {
                     }
                 }
             }
+            "--brownout" => {
+                let rows = brownout_comparison();
+                print!("{}", render_brownout_table(&rows));
+                if rows.iter().all(BrownoutRow::holds_the_gate) {
+                    println!("acceptance (shed keeps accepted p99 within target): PASS");
+                    std::process::exit(0);
+                }
+                println!("acceptance (shed keeps accepted p99 within target): FAIL");
+                std::process::exit(1);
+            }
             "--check" => {
                 let Some(path) = args.get(i + 1) else {
                     eprintln!("--check requires a file path");
@@ -174,8 +202,8 @@ fn main() {
                 match validate_fleet_json(&text) {
                     Ok(check) => {
                         println!(
-                            "{path}: valid ({} scaling rows, {} resolution rows)",
-                            check.scaling_rows, check.resolution_rows
+                            "{path}: valid ({} scaling rows, {} resolution rows, {} brownout arms)",
+                            check.scaling_rows, check.resolution_rows, check.brownout_rows
                         );
                         std::process::exit(0);
                     }
@@ -210,9 +238,10 @@ fn main() {
         true,
     ));
     let resolution = run_resolution_comparison(devices.min(64), 50_000);
+    let brownout = brownout_comparison();
 
     if let Some(target) = json_out {
-        let json = fleet_summary_json(&scaling, &resolution);
+        let json = fleet_summary_json(&scaling, &resolution, &brownout);
         match target {
             Some(path) => {
                 if let Err(e) = std::fs::write(&path, &json) {
@@ -233,4 +262,6 @@ fn main() {
         let verdict = if speedup >= 5.0 { "PASS" } else { "FAIL" };
         println!("acceptance (>= 5x memoized speedup): {verdict}");
     }
+    println!();
+    print!("{}", render_brownout_table(&brownout));
 }

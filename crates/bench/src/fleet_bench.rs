@@ -23,7 +23,7 @@ use mobivine::api::LocationProxy;
 use mobivine::registry::Mobivine;
 use mobivine::shard::ShardedRegistry;
 use mobivine_android::{AndroidPlatform, SdkVersion};
-use mobivine_apps::fleet::{Fleet, FleetConfig};
+use mobivine_apps::fleet::{BrownoutConfig, Fleet, FleetConfig};
 use mobivine_device::Device;
 
 /// One scaling-sweep configuration's results.
@@ -60,6 +60,53 @@ pub struct FleetScalingRow {
     /// Wall-clock duration of the run, ms (table only — never in the
     /// JSON, which must be reproducible).
     pub wall_ms: f64,
+}
+
+/// One arm of the brownout comparison: the same traffic ramp run with
+/// the overload layer on (`admission = true`) or off. Every field but
+/// `wall_ms` derives from virtual time and seeded streams.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BrownoutRow {
+    /// Whether the target shard's devices carried the overload layer.
+    pub admission: bool,
+    /// The ramped shard.
+    pub target_shard: usize,
+    /// Traffic multiplier applied to the target shard.
+    pub ops_multiplier: u32,
+    /// Per-batch deadline budget, virtual ms.
+    pub deadline_budget_ms: u64,
+    /// The accepted-call sojourn p99 bound the gate pins.
+    pub p99_target_ms: u64,
+    /// Total proxy operations issued fleet-wide.
+    pub total_ops: u64,
+    /// Operations that returned an error.
+    pub errors: u64,
+    /// Calls rejected by the admission gate or bulkhead.
+    pub shed: u64,
+    /// Calls served degraded (cached fix / synthetic HTTP accept).
+    pub degraded: u64,
+    /// Calls failed fast on an exhausted deadline budget.
+    pub deadline_exceeded: u64,
+    /// Accepted-call sojourn p99 of the ramped shard, virtual ms.
+    pub shard_p99_ms: u64,
+    /// Determinism fingerprint of the run.
+    pub checksum: u64,
+    /// Wall-clock duration, ms (table only).
+    pub wall_ms: f64,
+}
+
+impl BrownoutRow {
+    /// Whether this arm behaved as the overload design promises: with
+    /// admission on, excess load was shed and the accepted-call p99 of
+    /// the ramped shard stayed within target; with admission off,
+    /// nothing was shed and the p99 blew past it.
+    pub fn holds_the_gate(&self) -> bool {
+        if self.admission {
+            self.shed > 0 && self.shard_p99_ms <= self.p99_target_ms
+        } else {
+            self.shed == 0 && self.shard_p99_ms > self.p99_target_ms
+        }
+    }
 }
 
 /// One row of the resolution-throughput comparison.
@@ -131,6 +178,7 @@ pub fn run_fleet_scaling_with_telemetry(
                 seed,
                 telemetry,
                 span_retention: 16,
+                brownout: None,
             };
             let fleet = Fleet::build(config).expect("fleet configuration is valid");
             let started = Instant::now();
@@ -150,6 +198,66 @@ pub fn run_fleet_scaling_with_telemetry(
                 p50_ms: report.p50_ms,
                 p95_ms: report.p95_ms,
                 p99_ms: report.p99_ms,
+                checksum: report.checksum,
+                wall_ms,
+            }
+        })
+        .collect()
+}
+
+/// Runs the brownout comparison: the same traffic ramp against one
+/// shard, once with the overload layer protecting the ramped devices
+/// and once without. Returns the protected arm first.
+///
+/// # Panics
+///
+/// Panics if the fleet cannot be built — a zero in the configuration or
+/// a proxy-construction failure, both programming errors here.
+pub fn run_fleet_brownout(
+    devices: usize,
+    shards: usize,
+    workers: usize,
+    rounds: u64,
+    ops_per_round: u32,
+    seed: u64,
+) -> Vec<BrownoutRow> {
+    [true, false]
+        .into_iter()
+        .map(|admission| {
+            let brownout = BrownoutConfig {
+                target_shard: 1 % shards,
+                admission,
+                ..BrownoutConfig::default()
+            };
+            let config = FleetConfig {
+                devices,
+                shards,
+                workers,
+                rounds,
+                tick_ms: 1_000,
+                ops_per_round,
+                seed,
+                telemetry: false,
+                span_retention: 16,
+                brownout: Some(brownout.clone()),
+            };
+            let fleet = Fleet::build(config).expect("brownout configuration is valid");
+            let started = Instant::now();
+            let report = fleet.run();
+            let wall_ms = started.elapsed().as_secs_f64() * 1_000.0;
+            let shard_p99_ms = report.per_shard[brownout.target_shard].p99_ms;
+            BrownoutRow {
+                admission,
+                target_shard: brownout.target_shard,
+                ops_multiplier: brownout.ops_multiplier,
+                deadline_budget_ms: brownout.deadline_budget_ms,
+                p99_target_ms: brownout.p99_target_ms,
+                total_ops: report.total_ops,
+                errors: report.errors,
+                shed: report.shed,
+                degraded: report.degraded,
+                deadline_exceeded: report.deadline_exceeded,
+                shard_p99_ms,
                 checksum: report.checksum,
                 wall_ms,
             }
@@ -265,6 +373,37 @@ pub fn render_fleet_table(rows: &[FleetScalingRow]) -> String {
     out
 }
 
+/// Renders the brownout comparison, including the verdict line per arm.
+pub fn render_brownout_table(rows: &[BrownoutRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Brownout: one shard ramped, overload layer on vs off (virtual ms)\n");
+    out.push_str(
+        "admission |   ops   | errors |  shed | degraded | dl-exceeded | shard p99 | target | verdict\n",
+    );
+    out.push_str(
+        "----------+---------+--------+-------+----------+-------------+-----------+--------+--------\n",
+    );
+    for row in rows {
+        out.push_str(&format!(
+            "{:>9} | {:>7} | {:>6} | {:>5} | {:>8} | {:>11} | {:>9} | {:>6} | {}\n",
+            if row.admission { "on" } else { "off" },
+            row.total_ops,
+            row.errors,
+            row.shed,
+            row.degraded,
+            row.deadline_exceeded,
+            row.shard_p99_ms,
+            row.p99_target_ms,
+            if row.holds_the_gate() {
+                "holds"
+            } else {
+                "FAILS"
+            },
+        ));
+    }
+    out
+}
+
 /// Renders the resolution comparison, including the speedup line the
 /// acceptance gate reads.
 pub fn render_resolution_table(rows: &[ResolutionRow]) -> String {
@@ -305,6 +444,31 @@ mod tests {
             );
         }
         assert_eq!(first[0].total_ops, 60 * 2 * 2);
+    }
+
+    #[test]
+    fn brownout_rows_pin_the_overload_gate() {
+        let rows = run_fleet_brownout(30, 4, 3, 3, 2, 11);
+        assert_eq!(rows.len(), 2);
+        let (on, off) = (&rows[0], &rows[1]);
+        assert!(on.admission && !off.admission);
+        assert!(on.holds_the_gate(), "protected arm: {on:?}");
+        assert!(off.holds_the_gate(), "unprotected arm: {off:?}");
+        assert!(on.shed > 0 && on.degraded > 0 && on.deadline_exceeded > 0);
+
+        // Deterministic: a re-run reproduces both arms exactly.
+        let again = run_fleet_brownout(30, 4, 3, 3, 2, 11);
+        for (a, b) in rows.iter().zip(&again) {
+            assert_eq!(a.checksum, b.checksum);
+            assert_eq!(
+                (a.shed, a.degraded, a.deadline_exceeded, a.shard_p99_ms),
+                (b.shed, b.degraded, b.deadline_exceeded, b.shard_p99_ms)
+            );
+        }
+
+        let table = render_brownout_table(&rows);
+        assert!(table.contains("holds"), "{table}");
+        assert!(!table.contains("FAILS"), "{table}");
     }
 
     #[test]

@@ -12,14 +12,15 @@
 use serde_json::Value;
 
 use crate::figure10::{Figure10Row, LatencyStats, ResilienceOverheadRow, TelemetryOverheadRow};
-use crate::fleet_bench::{FleetScalingRow, ResolutionRow};
+use crate::fleet_bench::{BrownoutRow, FleetScalingRow, ResolutionRow};
 use crate::telemetry_hotpath::HotpathRow;
 
 /// Schema identifier stamped into (and required from) every summary.
 pub const SCHEMA: &str = "mobivine.figure10.v1";
 
-/// Schema identifier of the fleet benchmark summary.
-pub const FLEET_SCHEMA: &str = "mobivine.fleet.v1";
+/// Schema identifier of the fleet benchmark summary. `v2` added the
+/// required `brownout` section (the overload-protection gate).
+pub const FLEET_SCHEMA: &str = "mobivine.fleet.v2";
 
 fn num(v: f64) -> Value {
     Value::Number(v)
@@ -243,7 +244,11 @@ pub fn validate_summary_json(json: &str) -> Result<SummaryCheck, String> {
 /// human-readable tables are intentionally absent, and the `u64`
 /// checksum is rendered as a hex string so no precision is lost to
 /// JSON's doubles.
-pub fn fleet_summary_json(scaling: &[FleetScalingRow], resolution: &[ResolutionRow]) -> String {
+pub fn fleet_summary_json(
+    scaling: &[FleetScalingRow],
+    resolution: &[ResolutionRow],
+    brownout: &[BrownoutRow],
+) -> String {
     let scaling = scaling
         .iter()
         .map(|row| {
@@ -275,10 +280,30 @@ pub fn fleet_summary_json(scaling: &[FleetScalingRow], resolution: &[ResolutionR
             ])
         })
         .collect();
+    let brownout = brownout
+        .iter()
+        .map(|row| {
+            object(vec![
+                ("admission", Value::Bool(row.admission)),
+                ("target_shard", num(row.target_shard as f64)),
+                ("ops_multiplier", num(f64::from(row.ops_multiplier))),
+                ("deadline_budget_ms", num(row.deadline_budget_ms as f64)),
+                ("p99_target_ms", num(row.p99_target_ms as f64)),
+                ("total_ops", num(row.total_ops as f64)),
+                ("errors", num(row.errors as f64)),
+                ("shed", num(row.shed as f64)),
+                ("degraded", num(row.degraded as f64)),
+                ("deadline_exceeded", num(row.deadline_exceeded as f64)),
+                ("shard_p99_ms", num(row.shard_p99_ms as f64)),
+                ("checksum", text(&format!("{:016x}", row.checksum))),
+            ])
+        })
+        .collect();
     object(vec![
         ("schema", text(FLEET_SCHEMA)),
         ("scaling", Value::Array(scaling)),
         ("resolution", Value::Array(resolution)),
+        ("brownout", Value::Array(brownout)),
     ])
     .to_string()
 }
@@ -290,6 +315,9 @@ pub struct FleetCheck {
     pub scaling_rows: usize,
     /// Number of resolution-mode rows (both modes must be present).
     pub resolution_rows: usize,
+    /// Number of brownout arms (both admission modes must be present
+    /// and each must hold its side of the overload gate).
+    pub brownout_rows: usize,
 }
 
 /// Validates a `fleet --json` document against the [`FLEET_SCHEMA`]
@@ -369,9 +397,75 @@ pub fn validate_fleet_json(json: &str) -> Result<FleetCheck, String> {
         }
     }
 
+    let brownout = require_array(&root, "brownout")?;
+    for (i, entry) in brownout.iter().enumerate() {
+        let context = format!("brownout[{i}]");
+        let admission = match entry.get_field("admission") {
+            Some(Value::Bool(b)) => *b,
+            other => {
+                return Err(format!(
+                    "{context}: admission is {other:?}, expected a bool"
+                ))
+            }
+        };
+        for key in [
+            "target_shard",
+            "ops_multiplier",
+            "deadline_budget_ms",
+            "total_ops",
+            "errors",
+            "degraded",
+            "deadline_exceeded",
+        ] {
+            let value = require_number(entry, key, &context)?;
+            if value < 0.0 {
+                return Err(format!("{context}: negative {key}"));
+            }
+        }
+        let target = require_number(entry, "p99_target_ms", &context)?;
+        let shed = require_number(entry, "shed", &context)?;
+        let shard_p99 = require_number(entry, "shard_p99_ms", &context)?;
+        let checksum = require_string(entry, "checksum", &context)?;
+        if checksum.len() != 16 || !checksum.chars().all(|c| c.is_ascii_hexdigit()) {
+            return Err(format!(
+                "{context}: checksum is not a 16-digit hex string: {checksum:?}"
+            ));
+        }
+        // The overload gate itself: shedding must keep the accepted-call
+        // p99 of the ramped shard within target, and the unprotected arm
+        // must demonstrably blow past it.
+        if admission {
+            if shed <= 0.0 {
+                return Err(format!("{context}: admission arm shed nothing"));
+            }
+            if shard_p99 > target {
+                return Err(format!(
+                    "{context}: admission arm p99 {shard_p99} exceeds target {target}"
+                ));
+            }
+        } else {
+            if shed != 0.0 {
+                return Err(format!("{context}: unprotected arm shed {shed} calls"));
+            }
+            if shard_p99 <= target {
+                return Err(format!(
+                    "{context}: unprotected arm p99 {shard_p99} within target {target} — the ramp did not overload the shard"
+                ));
+            }
+        }
+    }
+    for (admission, label) in [(true, "admission-on"), (false, "admission-off")] {
+        if !brownout.iter().any(
+            |entry| matches!(entry.get_field("admission"), Some(Value::Bool(b)) if *b == admission),
+        ) {
+            return Err(format!("brownout: missing the {label} arm"));
+        }
+    }
+
     Ok(FleetCheck {
         scaling_rows: scaling.len(),
         resolution_rows: resolution.len(),
+        brownout_rows: brownout.len(),
     })
 }
 
@@ -493,7 +587,8 @@ mod tests {
     fn fleet_sample() -> String {
         let scaling = crate::fleet_bench::run_fleet_scaling(24, &[1, 2], 2, 1, 1, 3);
         let resolution = crate::fleet_bench::run_resolution_comparison(4, 100);
-        fleet_summary_json(&scaling, &resolution)
+        let brownout = crate::fleet_bench::run_fleet_brownout(30, 4, 3, 3, 2, 11);
+        fleet_summary_json(&scaling, &resolution, &brownout)
     }
 
     #[test]
@@ -504,8 +599,16 @@ mod tests {
             FleetCheck {
                 scaling_rows: 2,
                 resolution_rows: 2,
+                brownout_rows: 2,
             }
         );
+    }
+
+    #[test]
+    fn fleet_summary_rejects_a_missing_brownout_arm() {
+        let json = fleet_sample().replace("\"admission\":false", "\"admission\":true");
+        let err = validate_fleet_json(&json).unwrap_err();
+        assert!(err.contains("brownout"), "{err}");
     }
 
     #[test]

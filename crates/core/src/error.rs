@@ -43,6 +43,10 @@ pub enum ProxyErrorKind {
     /// The resilience retry budget was exhausted before the call
     /// succeeded.
     DeadlineExceeded,
+    /// Shed by the overload-protection layer (admission controller or
+    /// bulkhead) before reaching the platform binding. Carries a
+    /// deterministic retry hint via [`ProxyError::retry_after_ms`].
+    Overloaded,
 }
 
 /// The uniform error returned by every proxy API.
@@ -53,6 +57,9 @@ pub struct ProxyError {
     /// The originating platform exception class, when the error wraps
     /// one (`java.lang.SecurityException`, …).
     platform_exception: Option<String>,
+    /// For [`ProxyErrorKind::Overloaded`]: how long the shedding layer
+    /// suggests the caller waits before trying again, virtual ms.
+    retry_after_ms: Option<u64>,
 }
 
 impl ProxyError {
@@ -62,6 +69,7 @@ impl ProxyError {
             kind,
             message: message.into(),
             platform_exception: None,
+            retry_after_ms: None,
         }
     }
 
@@ -96,7 +104,20 @@ impl ProxyError {
             ProxyErrorKind::PolicyDenied => 9,
             ProxyErrorKind::CircuitOpen => 10,
             ProxyErrorKind::DeadlineExceeded => 11,
+            ProxyErrorKind::Overloaded => 12,
         }
+    }
+
+    /// The shedding layer's retry hint, when this error carries one.
+    pub fn retry_after_ms(&self) -> Option<u64> {
+        self.retry_after_ms
+    }
+
+    /// Attaches a retry hint (the `Retry-After` analogue of the typed
+    /// error channel). Set by the overload layer on every shed.
+    pub fn with_retry_after(mut self, ms: u64) -> Self {
+        self.retry_after_ms = Some(ms);
+        self
     }
 
     /// Attaches the originating platform exception class
@@ -156,6 +177,8 @@ impl From<BridgeError> for ProxyError {
             ErrorCode::Io => ProxyErrorKind::Io,
             ErrorCode::ApiRemoved => ProxyErrorKind::UnsupportedOnPlatform,
             ErrorCode::Bridge => ProxyErrorKind::IllegalArgument,
+            ErrorCode::Deadline => ProxyErrorKind::DeadlineExceeded,
+            ErrorCode::Overloaded => ProxyErrorKind::Overloaded,
         };
         let class = e.code.canonical_java_class();
         let err = ProxyError::new(kind, e.message);
@@ -244,6 +267,7 @@ mod tests {
             ProxyErrorKind::PolicyDenied,
             ProxyErrorKind::CircuitOpen,
             ProxyErrorKind::DeadlineExceeded,
+            ProxyErrorKind::Overloaded,
         ];
         let mut codes: Vec<i32> = kinds
             .iter()
@@ -256,6 +280,35 @@ mod tests {
             ProxyError::new(ProxyErrorKind::Security, "x").error_code(),
             1
         );
+    }
+
+    #[test]
+    fn overloaded_carries_a_retry_hint() {
+        let err = ProxyError::new(ProxyErrorKind::Overloaded, "shed").with_retry_after(250);
+        assert_eq!(err.retry_after_ms(), Some(250));
+        assert_eq!(err.error_code(), 12);
+        let plain = ProxyError::new(ProxyErrorKind::Io, "transport");
+        assert_eq!(plain.retry_after_ms(), None);
+    }
+
+    #[test]
+    fn bridge_deadline_and_overload_codes_map_back_to_their_kinds() {
+        let deadline: ProxyError = BridgeError {
+            code: ErrorCode::Deadline,
+            message: "budget exhausted at the bridge".into(),
+        }
+        .into();
+        assert_eq!(deadline.kind(), ProxyErrorKind::DeadlineExceeded);
+        assert_eq!(
+            deadline.platform_exception(),
+            Some("java.util.concurrent.TimeoutException")
+        );
+        let shed: ProxyError = BridgeError {
+            code: ErrorCode::Overloaded,
+            message: "rejected".into(),
+        }
+        .into();
+        assert_eq!(shed.kind(), ProxyErrorKind::Overloaded);
     }
 
     #[test]

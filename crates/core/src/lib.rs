@@ -59,6 +59,7 @@ pub mod android;
 pub mod api;
 pub mod enrich;
 pub mod error;
+pub mod overload;
 pub mod property;
 pub mod registry;
 pub mod resilience;
@@ -70,6 +71,10 @@ pub mod webview;
 
 pub use api::{CallProxy, HttpProxy, LocationProxy, SmsProxy};
 pub use error::{ProxyError, ProxyErrorKind};
+pub use overload::{
+    current_deadline, with_deadline, AdmissionController, Bulkhead, Deadline, DegradeTier,
+    OverloadMetrics, OverloadPolicy, OverloadSnapshot,
+};
 pub use registry::{Mobivine, MobivineBuilder, ProxyApi, ProxyKind};
 pub use resilience::{
     CircuitBreaker, CircuitState, ResilienceMetrics, ResiliencePolicy, ResilienceSnapshot,

@@ -59,6 +59,10 @@ use crate::api::{
     CalendarProxy, CallProxy, ContactsProxy, HttpProxy, LocationProxy, ProxyBase, SmsProxy,
 };
 use crate::error::{ProxyError, ProxyErrorKind};
+use crate::overload::{
+    OverloadCallProxy, OverloadHttpProxy, OverloadLocationProxy, OverloadMetrics, OverloadPolicy,
+    OverloadSmsProxy,
+};
 use crate::property::PropertyValue;
 use crate::resilience::{
     ResilienceMetrics, ResiliencePolicy, ResilientCallProxy, ResilientHttpProxy,
@@ -269,11 +273,20 @@ struct ResilienceRuntime {
     metrics: Arc<ResilienceMetrics>,
 }
 
+/// The runtime's overload-protection configuration: one policy and one
+/// shared counter block applied identically to every proxy it
+/// constructs.
+struct OverloadRuntime {
+    policy: OverloadPolicy,
+    metrics: Arc<OverloadMetrics>,
+}
+
 /// The MobiVine runtime for one application on one platform.
 pub struct Mobivine {
     target: Target,
     catalog: Arc<Vec<ProxyDescriptor>>,
     resilience: Option<ResilienceRuntime>,
+    overload: Option<OverloadRuntime>,
     telemetry: Option<TelemetryRuntime>,
     resolved: ResolutionCache,
 }
@@ -294,6 +307,7 @@ impl Mobivine {
             target,
             catalog: Arc::new(mobivine_proxydl::catalog::standard_catalog()),
             resilience: None,
+            overload: None,
             telemetry: None,
             resolved: ResolutionCache::default(),
         }
@@ -343,6 +357,26 @@ impl Mobivine {
         self
     }
 
+    /// Turns on overload protection: every Location/SMS/Call/HTTP proxy
+    /// this runtime constructs is wrapped in the matching
+    /// [`crate::overload`] decorator under `policy` — a per-proxy
+    /// bulkhead, an adaptive load-shedding admission gate and
+    /// deadline-aware fail-fast, sitting **outside** the resilience
+    /// layer (when present) so a shed never spends retry budget.
+    ///
+    /// All decorators share one [`OverloadMetrics`] block, readable
+    /// through [`Mobivine::overload_metrics`].
+    #[must_use]
+    pub fn with_overload(mut self, policy: OverloadPolicy) -> Self {
+        let metrics = match &self.telemetry {
+            Some(t) => OverloadMetrics::on_registry(t.metrics()),
+            None => OverloadMetrics::shared(),
+        };
+        self.overload = Some(OverloadRuntime { policy, metrics });
+        self.resolved = ResolutionCache::default();
+        self
+    }
+
     /// Turns on plane-aware telemetry: every Location/SMS/Call/HTTP
     /// proxy this runtime constructs is wrapped **twice** in the
     /// matching [`crate::telemetry`] traced decorator — at the
@@ -374,6 +408,9 @@ impl Mobivine {
         if let Some(r) = &mut self.resilience {
             r.metrics = ResilienceMetrics::on_registry(telemetry.metrics());
         }
+        if let Some(o) = &mut self.overload {
+            o.metrics = OverloadMetrics::on_registry(telemetry.metrics());
+        }
         self.telemetry = Some(telemetry);
         self.resolved = ResolutionCache::default();
         self
@@ -383,6 +420,12 @@ impl Mobivine {
     /// [`Mobivine::with_resilience`] was applied.
     pub fn resilience_metrics(&self) -> Option<Arc<ResilienceMetrics>> {
         self.resilience.as_ref().map(|r| Arc::clone(&r.metrics))
+    }
+
+    /// The shared overload-protection counters, when
+    /// [`Mobivine::with_overload`] was applied.
+    pub fn overload_metrics(&self) -> Option<Arc<OverloadMetrics>> {
+        self.overload.as_ref().map(|o| Arc::clone(&o.metrics))
     }
 
     /// The tracer collecting proxy-call spans, when
@@ -608,6 +651,14 @@ impl Mobivine {
                 Arc::clone(&r.metrics),
             ));
         }
+        if let Some(o) = &self.overload {
+            proxy = Arc::new(OverloadLocationProxy::new(
+                proxy,
+                self.device(),
+                o.policy.clone(),
+                Arc::clone(&o.metrics),
+            ));
+        }
         if let Some(t) = &self.telemetry {
             proxy = Arc::new(TracedLocationProxy::new(
                 proxy,
@@ -648,6 +699,14 @@ impl Mobivine {
                 self.device(),
                 r.policy.clone(),
                 Arc::clone(&r.metrics),
+            ));
+        }
+        if let Some(o) = &self.overload {
+            proxy = Arc::new(OverloadSmsProxy::new(
+                proxy,
+                self.device(),
+                o.policy.clone(),
+                Arc::clone(&o.metrics),
             ));
         }
         if let Some(t) = &self.telemetry {
@@ -692,6 +751,14 @@ impl Mobivine {
                 Arc::clone(&r.metrics),
             ));
         }
+        if let Some(o) = &self.overload {
+            proxy = Arc::new(OverloadCallProxy::new(
+                proxy,
+                self.device(),
+                o.policy.clone(),
+                Arc::clone(&o.metrics),
+            ));
+        }
         if let Some(t) = &self.telemetry {
             proxy = Arc::new(TracedCallProxy::new(
                 proxy,
@@ -732,6 +799,14 @@ impl Mobivine {
                 self.device(),
                 r.policy.clone(),
                 Arc::clone(&r.metrics),
+            ));
+        }
+        if let Some(o) = &self.overload {
+            proxy = Arc::new(OverloadHttpProxy::new(
+                proxy,
+                self.device(),
+                o.policy.clone(),
+                Arc::clone(&o.metrics),
             ));
         }
         if let Some(t) = &self.telemetry {
@@ -811,6 +886,7 @@ pub struct MobivineBuilder {
     target: Option<Target>,
     catalog: Option<Arc<Vec<ProxyDescriptor>>>,
     resilience: Option<ResiliencePolicy>,
+    overload: Option<OverloadPolicy>,
     /// Span retention per worker sink, when telemetry is enabled.
     telemetry: Option<usize>,
 }
@@ -820,6 +896,7 @@ impl fmt::Debug for MobivineBuilder {
         f.debug_struct("MobivineBuilder")
             .field("target", &self.target.is_some())
             .field("resilience", &self.resilience.is_some())
+            .field("overload", &self.overload.is_some())
             .field("telemetry", &self.telemetry.is_some())
             .finish()
     }
@@ -864,6 +941,13 @@ impl MobivineBuilder {
         self
     }
 
+    /// Enables overload protection (see [`Mobivine::with_overload`]).
+    #[must_use]
+    pub fn with_overload(mut self, policy: OverloadPolicy) -> Self {
+        self.overload = Some(policy);
+        self
+    }
+
     /// Enables plane-aware telemetry (see [`Mobivine::with_telemetry`]).
     #[must_use]
     pub fn with_telemetry(mut self) -> Self {
@@ -905,6 +989,9 @@ impl MobivineBuilder {
         }
         if let Some(policy) = self.resilience {
             runtime = runtime.with_resilience(policy);
+        }
+        if let Some(policy) = self.overload {
+            runtime = runtime.with_overload(policy);
         }
         Ok(runtime)
     }
@@ -1049,6 +1136,66 @@ mod tests {
     #[test]
     fn runtime_without_resilience_reports_no_metrics() {
         assert!(android_runtime().resilience_metrics().is_none());
+        assert!(android_runtime().overload_metrics().is_none());
+    }
+
+    #[test]
+    fn with_overload_pre_wraps_proxies_on_every_platform() {
+        let device = Device::builder().build();
+        let android = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
+        let webview = Arc::new(WebView::new(android.new_context()));
+        let runtimes = [
+            Mobivine::for_android(android.new_context()),
+            Mobivine::for_s60(S60Platform::new(device.clone())),
+            Mobivine::for_webview(webview),
+        ];
+        for runtime in runtimes {
+            let runtime = runtime.with_overload(OverloadPolicy::default());
+            let metrics = runtime.overload_metrics().expect("metrics installed");
+            let location = runtime.proxy::<dyn LocationProxy>().unwrap();
+            // The overload property plane answers on the wrapped proxy
+            // — proof the decorator is in front on this platform.
+            location
+                .set_property("bulkhead.max_concurrency", PropertyValue::Int(3))
+                .unwrap();
+            let _ = location.get_location();
+            assert_eq!(
+                metrics.snapshot().admitted,
+                1,
+                "call was admitted through the gate on {:?}",
+                runtime.platform_id()
+            );
+            assert!(runtime.proxy::<dyn SmsProxy>().is_ok());
+            assert!(runtime.proxy::<dyn HttpProxy>().is_ok());
+        }
+    }
+
+    #[test]
+    fn overload_sits_outside_resilience_and_homes_on_the_telemetry_registry() {
+        let builder_runtime = Mobivine::builder()
+            .with_telemetry()
+            .with_resilience(ResiliencePolicy::default())
+            .with_overload(OverloadPolicy::default())
+            .android(
+                AndroidPlatform::new(Device::builder().build(), SdkVersion::M5Rc15).new_context(),
+            )
+            .build()
+            .unwrap();
+        let overload = builder_runtime.overload_metrics().expect("overload");
+        let resilience = builder_runtime.resilience_metrics().expect("resilience");
+        let location = builder_runtime.proxy::<dyn LocationProxy>().unwrap();
+        let _ = location.get_location();
+        // One call traverses admission first, then the retry engine.
+        assert_eq!(overload.snapshot().admitted, 1);
+        assert_eq!(resilience.snapshot().calls, 1);
+        let exposition = builder_runtime
+            .telemetry_metrics()
+            .expect("telemetry registry")
+            .render_prometheus();
+        assert!(
+            exposition.contains("overload_admitted_total"),
+            "overload series on the telemetry registry:\n{exposition}"
+        );
     }
 
     #[test]

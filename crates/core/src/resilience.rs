@@ -514,7 +514,14 @@ impl Engine {
             )));
         }
         let salt = self.seq.fetch_add(1, Ordering::Relaxed);
-        let deadline = self.device.now_ms().saturating_add(policy.deadline_ms);
+        // The retry budget is the policy deadline, tightened by any
+        // ambient cancellation context the overload layer (or the
+        // caller) opened above us — the deadline decrements across
+        // retry → circuit → fallback hops instead of resetting.
+        let mut deadline = self.device.now_ms().saturating_add(policy.deadline_ms);
+        if let Some(ambient_deadline) = crate::overload::current_deadline() {
+            deadline = deadline.min(ambient_deadline.expires_at_ms());
+        }
         let mut attempt: u32 = 0;
         loop {
             attempt += 1;
@@ -544,6 +551,14 @@ impl Engine {
                         self.metrics.bump(&self.metrics.deadline_exhausted);
                         if let Some(s) = span.as_deref_mut() {
                             s.event("deadline_exhausted", self.device.now_ms());
+                            // Cause attribution: without it a trace
+                            // shows a bare DeadlineExceeded with no hint
+                            // of which failure ate the budget.
+                            s.attr("deadline.cause", crate::telemetry::kind_name(e.kind()));
+                            if let Some(class) = e.platform_exception() {
+                                s.attr("deadline.platform_exception", class.to_owned());
+                            }
+                            s.attr("deadline.attempts", format!("{attempt}"));
                         }
                         let mut err = ProxyError::new(
                             ProxyErrorKind::DeadlineExceeded,
@@ -564,6 +579,18 @@ impl Engine {
                         s.event("retry", self.device.now_ms());
                     }
                     self.device.advance_ms(backoff);
+                }
+                Err(e) if e.kind() == ProxyErrorKind::Overloaded => {
+                    // The overload layer beneath us shed this call.
+                    // Retrying here would pile more load on a stack
+                    // that just asked us to back off — but the failure
+                    // is load, not correctness, so the fallback chain
+                    // may still serve a degraded answer.
+                    self.metrics.bump(&self.metrics.fatal_failures);
+                    if let Some(s) = span.as_deref_mut() {
+                        s.event("overload_shed", self.device.now_ms());
+                    }
+                    return Err(FailureMode::Degraded(e));
                 }
                 Err(e) => {
                     self.metrics.bump(&self.metrics.fatal_failures);
@@ -992,9 +1019,82 @@ mod tests {
             ProxyErrorKind::PolicyDenied,
             ProxyErrorKind::CircuitOpen,
             ProxyErrorKind::DeadlineExceeded,
+            ProxyErrorKind::Overloaded,
         ] {
             assert!(!is_transient(fatal), "{fatal:?} must not be retried");
         }
+    }
+
+    #[test]
+    fn ambient_deadline_tightens_the_retry_budget() {
+        let dev = device();
+        let proxy = ResilientLocationProxy::new(
+            Arc::new(Flaky::new(50, ProxyErrorKind::Unavailable)),
+            dev.clone(),
+            ResiliencePolicy::default()
+                .max_attempts(50)
+                .backoff_base_ms(400)
+                .deadline_ms(1_000_000),
+            ResilienceMetrics::shared(),
+        );
+        // The policy budget is effectively unlimited, but the ambient
+        // cancellation context caps the whole retry loop at 1 s.
+        let deadline = crate::overload::Deadline::after(dev.now_ms(), 1_000);
+        let err = crate::overload::with_deadline(deadline, || proxy.get_location().unwrap_err());
+        assert_eq!(err.kind(), ProxyErrorKind::DeadlineExceeded);
+        assert!(
+            dev.now_ms() <= deadline.expires_at_ms(),
+            "retries never burned past the ambient expiry"
+        );
+        assert_eq!(proxy.engine.metrics.snapshot().deadline_exhausted, 1);
+    }
+
+    #[test]
+    fn overload_sheds_are_not_retried_but_are_fallback_eligible() {
+        struct Shedding;
+        impl ProxyBase for Shedding {
+            fn set_property(&self, _key: &str, _value: PropertyValue) -> Result<(), ProxyError> {
+                Ok(())
+            }
+        }
+        impl LocationProxy for Shedding {
+            fn add_proximity_alert(
+                &self,
+                _latitude: f64,
+                _longitude: f64,
+                _altitude: f64,
+                _radius: f64,
+                _timer_s: i64,
+                _listener: SharedProximityListener,
+            ) -> Result<(), ProxyError> {
+                Ok(())
+            }
+            fn remove_proximity_alert(
+                &self,
+                _listener: &SharedProximityListener,
+            ) -> Result<bool, ProxyError> {
+                Ok(false)
+            }
+            fn get_location(&self) -> Result<Location, ProxyError> {
+                Err(
+                    ProxyError::new(ProxyErrorKind::Overloaded, "admission shed")
+                        .with_retry_after(120),
+                )
+            }
+        }
+        let proxy = ResilientLocationProxy::new(
+            Arc::new(Shedding),
+            device(),
+            ResiliencePolicy::default()
+                .max_attempts(5)
+                .fallback_position(28.6, 77.2),
+            ResilienceMetrics::shared(),
+        );
+        let fix = proxy.get_location().expect("shed degrades to fallback");
+        assert_eq!((fix.latitude, fix.longitude), (28.6, 77.2));
+        let snap = proxy.engine.metrics.snapshot();
+        assert_eq!(snap.attempts, 1, "a shed is never retried here");
+        assert_eq!(snap.fallback_default, 1);
     }
 
     #[test]

@@ -108,6 +108,7 @@ pub(crate) fn kind_name(kind: ProxyErrorKind) -> &'static str {
         ProxyErrorKind::PolicyDenied => "PolicyDenied",
         ProxyErrorKind::CircuitOpen => "CircuitOpen",
         ProxyErrorKind::DeadlineExceeded => "DeadlineExceeded",
+        ProxyErrorKind::Overloaded => "Overloaded",
     }
 }
 
@@ -559,6 +560,7 @@ mod tests {
             ProxyErrorKind::PolicyDenied,
             ProxyErrorKind::CircuitOpen,
             ProxyErrorKind::DeadlineExceeded,
+            ProxyErrorKind::Overloaded,
         ] {
             assert_eq!(kind_name(kind), format!("{kind:?}"));
         }

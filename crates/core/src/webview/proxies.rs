@@ -71,13 +71,19 @@ impl JsProxyCore {
         })
     }
 
-    /// Crosses the bridge with the ambient trace context rendered as a
-    /// `traceparent` string, so the Java-side wrapper can parent its
-    /// Bridge-plane span off the JavaScript caller's span.
+    /// Crosses the bridge with the full marshalled call context: the
+    /// ambient trace context rendered as a `traceparent` string (so the
+    /// Java-side wrapper can parent its Bridge-plane span off the
+    /// JavaScript caller's span) plus the ambient deadline's remaining
+    /// budget in virtual milliseconds (the ambient stack itself cannot
+    /// cross the marshalling boundary, so the budget is re-opened as a
+    /// native-side scope by the wrapper).
     fn invoke(&self, method: &str, args: &[JsValue]) -> Result<JsValue, BridgeError> {
         let traceparent = ambient::current().map(|ctx| ctx.traceparent());
+        let deadline_budget_ms = crate::overload::current_deadline()
+            .map(|deadline| deadline.remaining_ms(self.device.now_ms()));
         self.handle
-            .invoke_traced(method, args, traceparent.as_deref())
+            .invoke_with_context(method, args, traceparent.as_deref(), deadline_budget_ms)
     }
 
     fn set_property(&self, key: &str, value: PropertyValue) -> Result<(), ProxyError> {

@@ -46,7 +46,9 @@ fn to_bridge(e: ProxyError) -> BridgeError {
         | ProxyErrorKind::BadPropertyValue
         | ProxyErrorKind::MissingProperty => ErrorCode::IllegalArgument,
         ProxyErrorKind::Unavailable | ProxyErrorKind::CircuitOpen => ErrorCode::Remote,
-        ProxyErrorKind::Io | ProxyErrorKind::DeadlineExceeded => ErrorCode::Io,
+        ProxyErrorKind::Io => ErrorCode::Io,
+        ProxyErrorKind::DeadlineExceeded => ErrorCode::Deadline,
+        ProxyErrorKind::Overloaded => ErrorCode::Overloaded,
         ProxyErrorKind::UnsupportedOnPlatform => ErrorCode::ApiRemoved,
     };
     BridgeError {
@@ -141,6 +143,38 @@ where
     out
 }
 
+/// Applies the deadline budget marshalled over the bridge: the ambient
+/// deadline stack does not cross the JavaScript↔Java boundary in a real
+/// WebView, so the wire value is the only legitimate source. A budget
+/// that is already zero fails fast with [`ErrorCode::Deadline`] before
+/// the wrapper touches the Android proxy; a positive budget re-opens a
+/// native-side cancellation scope for the layers below.
+fn with_bridge_deadline<F>(
+    device: &Device,
+    wrapper: &str,
+    method: &str,
+    deadline_budget_ms: Option<u64>,
+    call: F,
+) -> Result<JsValue, BridgeError>
+where
+    F: FnOnce() -> Result<JsValue, BridgeError>,
+{
+    match deadline_budget_ms {
+        Some(0) => Err(BridgeError {
+            code: ErrorCode::Deadline,
+            message: format!(
+                "{wrapper}.{method}: deadline budget exhausted at the bridge; \
+                 call rejected before the native proxy"
+            ),
+        }),
+        Some(budget) => {
+            let deadline = crate::overload::Deadline::after(device.now_ms(), budget);
+            crate::overload::with_deadline(deadline, call)
+        }
+        None => call(),
+    }
+}
+
 /// The `LocationWrapper` Java class.
 pub struct LocationWrapper {
     proxy: AndroidLocationProxy,
@@ -233,6 +267,22 @@ impl JavaScriptInterface for LocationWrapper {
             self.call(method, call_args)
         })
     }
+
+    fn call_with_context(
+        &self,
+        method: &str,
+        call_args: &[JsValue],
+        traceparent: Option<&str>,
+        deadline_budget_ms: Option<u64>,
+    ) -> Result<JsValue, BridgeError> {
+        with_bridge_deadline(
+            &self.device,
+            "LocationWrapper",
+            method,
+            deadline_budget_ms,
+            || self.call_traced(method, call_args, traceparent),
+        )
+    }
 }
 
 fn notif_id_raw(id: NotificationId) -> u64 {
@@ -319,6 +369,22 @@ impl JavaScriptInterface for SmsWrapper {
             self.call(method, call_args)
         })
     }
+
+    fn call_with_context(
+        &self,
+        method: &str,
+        call_args: &[JsValue],
+        traceparent: Option<&str>,
+        deadline_budget_ms: Option<u64>,
+    ) -> Result<JsValue, BridgeError> {
+        with_bridge_deadline(
+            &self.device,
+            "SmsWrapper",
+            method,
+            deadline_budget_ms,
+            || self.call_traced(method, call_args, traceparent),
+        )
+    }
 }
 
 /// The `CallWrapper` Java class.
@@ -373,6 +439,22 @@ impl JavaScriptInterface for CallWrapper {
             self.call(method, call_args)
         })
     }
+
+    fn call_with_context(
+        &self,
+        method: &str,
+        call_args: &[JsValue],
+        traceparent: Option<&str>,
+        deadline_budget_ms: Option<u64>,
+    ) -> Result<JsValue, BridgeError> {
+        with_bridge_deadline(
+            &self.device,
+            "CallWrapper",
+            method,
+            deadline_budget_ms,
+            || self.call_traced(method, call_args, traceparent),
+        )
+    }
 }
 
 /// The `HttpWrapper` Java class.
@@ -420,6 +502,22 @@ impl JavaScriptInterface for HttpWrapper {
         bridge_traced(&self.device, "HttpWrapper", method, traceparent, || {
             self.call(method, call_args)
         })
+    }
+
+    fn call_with_context(
+        &self,
+        method: &str,
+        call_args: &[JsValue],
+        traceparent: Option<&str>,
+        deadline_budget_ms: Option<u64>,
+    ) -> Result<JsValue, BridgeError> {
+        with_bridge_deadline(
+            &self.device,
+            "HttpWrapper",
+            method,
+            deadline_budget_ms,
+            || self.call_traced(method, call_args, traceparent),
+        )
     }
 }
 

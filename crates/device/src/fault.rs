@@ -151,6 +151,62 @@ impl FaultPlan {
         self
     }
 
+    /// Multiplies the network's base round-trip latency by `factor`
+    /// over `from_ms..until_ms`, restoring the value observed at plan
+    /// time afterwards — the "slow backend" half of a brownout, where
+    /// the link stays up but every call crawls.
+    pub fn latency_spike(&self, from_ms: u64, until_ms: u64, factor: u64) -> &Self {
+        let restore = self.device.network().round_trip_ms(0);
+        let spiked = restore.saturating_mul(factor.max(1));
+        let net = Arc::clone(self.device.network());
+        self.schedule(from_ms, "fault.network.latency_spike", move |_| {
+            net.set_base_latency_ms(spiked);
+        });
+        let net = Arc::clone(self.device.network());
+        self.schedule(until_ms, "fault.network.latency_restored", move |_| {
+            net.set_base_latency_ms(restore);
+        });
+        self
+    }
+
+    /// An overload burst: over `from_ms..until_ms` both the network and
+    /// the SMSC serve at `factor`× their plan-time latency — the
+    /// saturated-backend condition the overload layer's admission gate
+    /// is built to survive. Restores both latencies when the burst ends.
+    pub fn overload_burst(&self, from_ms: u64, until_ms: u64, factor: u64) -> &Self {
+        self.latency_spike(from_ms, until_ms, factor);
+        let restore = self.device.smsc().latency_ms();
+        let spiked = restore.saturating_mul(factor.max(1));
+        let smsc = Arc::clone(self.device.smsc());
+        self.schedule(from_ms, "fault.smsc.overloaded", move |_| {
+            smsc.set_latency_ms(spiked);
+        });
+        let smsc = Arc::clone(self.device.smsc());
+        self.schedule(until_ms, "fault.smsc.drained", move |_| {
+            smsc.set_latency_ms(restore);
+        });
+        self
+    }
+
+    /// Drops the device out of cell coverage over `from_ms..until_ms`:
+    /// at `from_ms` the coverage map is replaced by a single distant
+    /// cell (so the radio sees no signal wherever the device stands),
+    /// and at `until_ms` the map is cleared back to blanket coverage.
+    /// Circuit-switched services — calls, SMS submission — fail at the
+    /// radio while the window is open.
+    pub fn coverage_outage(&self, from_ms: u64, until_ms: u64) -> &Self {
+        let coverage = Arc::clone(self.device.coverage());
+        self.schedule(from_ms, "fault.radio.out_of_coverage", move |_| {
+            coverage.clear();
+            coverage.add_cell(crate::geo::GeoPoint::new(-89.9, 0.0), 1.0);
+        });
+        let coverage = Arc::clone(self.device.coverage());
+        self.schedule(until_ms, "fault.radio.coverage_restored", move |_| {
+            coverage.clear();
+        });
+        self
+    }
+
     /// Seeded-probabilistic partitions: `count` network outages of
     /// `outage_ms` each, at splitmix64-derived offsets within
     /// `from_ms..until_ms`. The same seed always yields the same outage
@@ -243,6 +299,44 @@ mod tests {
             transitions.push(device_a.network().is_down());
         }
         assert!(transitions.iter().any(|d| *d), "at least one outage fired");
+    }
+
+    #[test]
+    fn latency_spike_raises_and_restores_the_round_trip() {
+        let device = device();
+        let baseline = device.network().round_trip_ms(0);
+        FaultPlan::new(&device).latency_spike(1_000, 3_000, 10);
+        device.advance_ms(1_500);
+        assert_eq!(device.network().round_trip_ms(0), baseline * 10);
+        device.advance_ms(2_000);
+        assert_eq!(device.network().round_trip_ms(0), baseline, "restored");
+    }
+
+    #[test]
+    fn overload_burst_saturates_network_and_smsc_together() {
+        let device = device();
+        let net_baseline = device.network().round_trip_ms(0);
+        let smsc_baseline = device.smsc().latency_ms();
+        let plan = FaultPlan::new(&device);
+        plan.overload_burst(500, 2_500, 8);
+        assert_eq!(plan.scheduled_count(), 4, "two pairs of transitions");
+        device.advance_ms(1_000);
+        assert_eq!(device.network().round_trip_ms(0), net_baseline * 8);
+        assert_eq!(device.smsc().latency_ms(), smsc_baseline * 8);
+        device.advance_ms(2_000);
+        assert_eq!(device.network().round_trip_ms(0), net_baseline);
+        assert_eq!(device.smsc().latency_ms(), smsc_baseline);
+    }
+
+    #[test]
+    fn coverage_outage_window_drops_and_restores_the_radio() {
+        let device = device();
+        assert!(device.signal_strength().in_coverage());
+        FaultPlan::new(&device).coverage_outage(1_000, 3_000);
+        device.advance_ms(1_500);
+        assert!(!device.signal_strength().in_coverage(), "inside the window");
+        device.advance_ms(2_000);
+        assert!(device.signal_strength().in_coverage(), "restored");
     }
 
     #[test]

@@ -242,6 +242,21 @@ impl HttpResponse {
         }
     }
 
+    /// Adds a header (builder-style).
+    #[must_use]
+    pub fn header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// The first header named `name` (case-insensitive), if present.
+    pub fn header_value(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
     /// Body interpreted as UTF-8 (lossy).
     pub fn body_text(&self) -> String {
         String::from_utf8_lossy(&self.body).into_owned()

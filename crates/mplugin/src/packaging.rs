@@ -40,17 +40,21 @@ pub struct S60Extension;
 impl S60Extension {
     /// Produces the implementation jar for one proxy (the proxy
     /// drawer's "associated implementation modules").
-    pub fn proxy_jar(proxy: &str) -> Jar {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PackagingError`] if a generated entry name
+    /// conflicts — e.g. a proxy name that lowercases onto another
+    /// proxy's package path.
+    pub fn proxy_jar(proxy: &str) -> Result<Jar, PackagingError> {
         let mut jar = Jar::new(&format!("{}-proxy.jar", proxy.to_lowercase()));
         let class = format!("com/ibm/S60/{}/{}Proxy.class", proxy.to_lowercase(), proxy);
-        jar.add_entry(&class, format!("{proxy} proxy bytecode").into_bytes())
-            .expect("fresh jar accepts its first entry");
+        jar.add_entry(&class, format!("{proxy} proxy bytecode").into_bytes())?;
         jar.add_entry(
             &format!("com/ibm/telecom/proxy/{proxy}Types.class"),
             b"common types".to_vec(),
-        )
-        .expect("fresh jar accepts entries");
-        jar
+        )?;
+        Ok(jar)
     }
 
     /// Merges the selected proxies' jars into the application jar and
@@ -68,7 +72,7 @@ impl S60Extension {
     ) -> Result<MidletSuite, PackagingError> {
         let mut merged = app_jar;
         for proxy in &selection.proxies {
-            merged.merge(&Self::proxy_jar(proxy))?;
+            merged.merge(&Self::proxy_jar(proxy)?)?;
         }
         let mut jad = jad;
         jad.jar_size = merged.byte_size();

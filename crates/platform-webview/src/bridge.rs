@@ -33,6 +33,12 @@ pub enum ErrorCode {
     /// The bridge itself rejected the call (bad interface name, bad
     /// method, type mismatch).
     Bridge = 6,
+    /// The caller's deadline budget was exhausted before (or while)
+    /// crossing the bridge (`TimeoutException` on the Java side).
+    Deadline = 7,
+    /// The native side shed the call under overload
+    /// (`RejectedExecutionException` on the Java side).
+    Overloaded = 8,
 }
 
 impl ErrorCode {
@@ -50,6 +56,8 @@ impl ErrorCode {
             4 => Some(ErrorCode::Io),
             5 => Some(ErrorCode::ApiRemoved),
             6 => Some(ErrorCode::Bridge),
+            7 => Some(ErrorCode::Deadline),
+            8 => Some(ErrorCode::Overloaded),
             _ => None,
         }
     }
@@ -67,6 +75,8 @@ impl ErrorCode {
             ErrorCode::Io => Some("java.io.IOException"),
             ErrorCode::ApiRemoved => Some("java.lang.NoSuchMethodError"),
             ErrorCode::Bridge => None,
+            ErrorCode::Deadline => Some("java.util.concurrent.TimeoutException"),
+            ErrorCode::Overloaded => Some("java.util.concurrent.RejectedExecutionException"),
         }
     }
 
@@ -169,6 +179,31 @@ pub trait JavaScriptInterface: Send + Sync {
         let _ = traceparent;
         self.call(method, args)
     }
+
+    /// Invokes `method` carrying both the optional W3C `traceparent`
+    /// string and the caller's remaining deadline budget in virtual
+    /// milliseconds — the two pieces of call context the page side
+    /// marshals over the bridge. A budget of `Some(0)` means the caller
+    /// entered the bridge with nothing left; deadline-aware wrappers
+    /// fail fast with [`ErrorCode::Deadline`] instead of invoking the
+    /// platform.
+    ///
+    /// The default implementation ignores the budget and delegates to
+    /// [`JavaScriptInterface::call_traced`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`JavaScriptInterface::call`].
+    fn call_with_context(
+        &self,
+        method: &str,
+        args: &[JsValue],
+        traceparent: Option<&str>,
+        deadline_budget_ms: Option<u64>,
+    ) -> Result<JsValue, BridgeError> {
+        let _ = deadline_budget_ms;
+        self.call_traced(method, args, traceparent)
+    }
 }
 
 /// Argument-extraction helpers shared by wrapper implementations.
@@ -246,6 +281,8 @@ mod tests {
             ErrorCode::Io,
             ErrorCode::ApiRemoved,
             ErrorCode::Bridge,
+            ErrorCode::Deadline,
+            ErrorCode::Overloaded,
         ] {
             assert_eq!(ErrorCode::from_code(code.code()), Some(code));
         }

@@ -182,6 +182,27 @@ impl JsInterfaceHandle {
     ) -> Result<JsValue, BridgeError> {
         self.object.call_traced(method, args, traceparent)
     }
+
+    /// Invokes a method across the bridge carrying the full marshalled
+    /// call context: an optional W3C `traceparent` plus the caller's
+    /// remaining deadline budget in virtual milliseconds. Wrappers that
+    /// are neither trace- nor deadline-aware ignore both.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`JsInterfaceHandle::invoke`]; deadline-aware wrappers
+    /// additionally fail fast with a deadline-coded error when the
+    /// budget is already exhausted.
+    pub fn invoke_with_context(
+        &self,
+        method: &str,
+        args: &[JsValue],
+        traceparent: Option<&str>,
+        deadline_budget_ms: Option<u64>,
+    ) -> Result<JsValue, BridgeError> {
+        self.object
+            .call_with_context(method, args, traceparent, deadline_budget_ms)
+    }
 }
 
 #[cfg(test)]

@@ -100,6 +100,64 @@ fn location_resilience_properties() -> Vec<PropertySpec> {
     properties
 }
 
+/// The overload-protection knobs every retry-capable binding declares,
+/// consumed by the core crate's overload decorators (bulkhead +
+/// admission gate + deadline fail-fast). Like the resilience knobs,
+/// deliberately without default values: generated configuration
+/// snippets must only mention overload protection when an application
+/// opts in.
+fn overload_properties() -> Vec<PropertySpec> {
+    vec![
+        PropertySpec::new(
+            "bulkhead.max_concurrency",
+            "int",
+            "concurrent in-flight calls the bulkhead admits per proxy",
+        ),
+        PropertySpec::new(
+            "bulkhead.queue_depth",
+            "int",
+            "bounded wait-queue slots behind a saturated bulkhead",
+        ),
+        PropertySpec::new(
+            "bulkhead.queue_wait_ms",
+            "int",
+            "virtual ms one queued wait costs before re-probing the bulkhead",
+        ),
+        PropertySpec::new(
+            "shed.enabled",
+            "boolean",
+            "whether the adaptive admission gate sheds load",
+        ),
+        PropertySpec::new(
+            "shed.target_ms",
+            "int",
+            "sojourn-latency target the AIMD admission loop converges on, virtual ms",
+        ),
+        PropertySpec::new(
+            "shed.seed",
+            "int",
+            "seed for deterministic admission coin flips",
+        ),
+        PropertySpec::new(
+            "deadline.default_ms",
+            "int",
+            "deadline budget opened per call when no ambient deadline is set, virtual ms",
+        ),
+    ]
+}
+
+/// Http additionally declares which request paths are droppable under
+/// shed pressure (degraded to a synthetic 202 instead of an error).
+fn http_overload_properties() -> Vec<PropertySpec> {
+    let mut properties = overload_properties();
+    properties.push(PropertySpec::new(
+        "shed.droppable_path",
+        "string",
+        "URL fragment marking enrichment requests droppable under shed pressure",
+    ));
+    properties
+}
+
 fn with_properties(mut binding: PlatformBinding, properties: Vec<PropertySpec>) -> PlatformBinding {
     for p in properties {
         binding = binding.property(p);
@@ -210,12 +268,18 @@ pub fn location() -> ProxyDescriptor {
             .default_value("200"),
     );
 
+    let decorated = |binding| {
+        with_properties(
+            with_properties(binding, location_resilience_properties()),
+            overload_properties(),
+        )
+    };
     ProxyDescriptor::new("Location", "Telecom", semantic)
         .syntax(java)
         .syntax(javascript)
-        .binding(with_properties(android, location_resilience_properties()))
-        .binding(with_properties(s60, location_resilience_properties()))
-        .binding(with_properties(webview, location_resilience_properties()))
+        .binding(decorated(android))
+        .binding(decorated(s60))
+        .binding(decorated(webview))
 }
 
 /// The SMS proxy descriptor.
@@ -269,12 +333,18 @@ pub fn sms() -> ProxyDescriptor {
             PropertySpec::new("pollInterval", "int", "notification poll period, ms")
                 .default_value("200"),
         );
+    let decorated = |binding| {
+        with_properties(
+            with_properties(binding, resilience_properties()),
+            overload_properties(),
+        )
+    };
     ProxyDescriptor::new("SMS", "Telecom", semantic)
         .syntax(java)
         .syntax(javascript)
-        .binding(with_properties(android, resilience_properties()))
-        .binding(with_properties(s60, resilience_properties()))
-        .binding(with_properties(webview, resilience_properties()))
+        .binding(decorated(android))
+        .binding(decorated(s60))
+        .binding(decorated(webview))
 }
 
 /// The Call proxy descriptor — no S60 binding, per §4.1.
@@ -322,11 +392,17 @@ pub fn call() -> ProxyDescriptor {
         .default_value("0"),
     );
     let webview = PlatformBinding::new(PlatformId::AndroidWebView, "js/proxies/CallProxyImpl.js");
+    let decorated = |binding| {
+        with_properties(
+            with_properties(binding, resilience_properties()),
+            overload_properties(),
+        )
+    };
     ProxyDescriptor::new("Call", "Telecom", semantic)
         .syntax(java)
         .syntax(javascript)
-        .binding(with_properties(android, resilience_properties()))
-        .binding(with_properties(webview, resilience_properties()))
+        .binding(decorated(android))
+        .binding(decorated(webview))
 }
 
 /// The Http proxy descriptor.
@@ -383,12 +459,18 @@ pub fn http() -> ProxyDescriptor {
         ],
     );
     let webview = PlatformBinding::new(PlatformId::AndroidWebView, "js/proxies/HttpProxyImpl.js");
+    let decorated = |binding| {
+        with_properties(
+            with_properties(binding, resilience_properties()),
+            http_overload_properties(),
+        )
+    };
     ProxyDescriptor::new("Http", "Connectivity", semantic)
         .syntax(java)
         .syntax(javascript)
-        .binding(with_properties(android, resilience_properties()))
-        .binding(with_properties(s60, resilience_properties()))
-        .binding(with_properties(webview, resilience_properties()))
+        .binding(decorated(android))
+        .binding(decorated(s60))
+        .binding(decorated(webview))
 }
 
 /// The Contacts proxy descriptor (paper future work, §7).
@@ -565,6 +647,13 @@ mod tests {
                     "retry.jitter_seed",
                     "circuit.threshold",
                     "circuit.cooldown_ms",
+                    "bulkhead.max_concurrency",
+                    "bulkhead.queue_depth",
+                    "bulkhead.queue_wait_ms",
+                    "shed.enabled",
+                    "shed.target_ms",
+                    "shed.seed",
+                    "deadline.default_ms",
                 ] {
                     let spec = binding.find_property(key).unwrap_or_else(|| {
                         panic!("{} {:?} lacks {key}", descriptor.name, binding.platform)
@@ -584,6 +673,13 @@ mod tests {
         }
         assert!(http().bindings[0]
             .find_property("fallback.latitude")
+            .is_none());
+        // The droppable-path marker is an Http-only concept.
+        for binding in &http().bindings {
+            assert!(binding.find_property("shed.droppable_path").is_some());
+        }
+        assert!(location.bindings[0]
+            .find_property("shed.droppable_path")
             .is_none());
     }
 

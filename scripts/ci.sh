@@ -18,12 +18,20 @@ cargo run -q --release -p mobivine-bench --bin figure10 -- \
 cargo run -q --release -p mobivine-bench --bin figure10 -- --check "$summary"
 
 # Fleet smoke: drive ~500 devices through the load engine, emit the
-# mobivine.fleet.v1 summary, and schema-check it. The figure10 run above
-# already smoke-runs the telemetry_hotpath ablation (its summary embeds
-# and --check validates the per-call-lookup vs cached-handles rows).
+# mobivine.fleet.v2 summary, and schema-check it (the check also
+# enforces the brownout overload gate embedded in the summary). The
+# figure10 run above already smoke-runs the telemetry_hotpath ablation
+# (its summary embeds and --check validates the per-call-lookup vs
+# cached-handles rows).
 cargo run -q --release -p mobivine-bench --bin fleet -- \
     --devices 500 --shards 1,4 --workers 2 --rounds 2 --json "$fleet_summary"
 cargo run -q --release -p mobivine-bench --bin fleet -- --check "$fleet_summary"
+
+# Chaos/brownout smoke: ramp one shard 10x under batch-arrival
+# deadlines, overload layer on vs off. Exits non-zero unless the
+# admission arm sheds while holding the ramped shard's accepted-call
+# p99 within target AND the unprotected arm blows past it.
+cargo run -q --release -p mobivine-bench --bin fleet -- --brownout
 
 # Regression gate against the committed baselines: schema-check both,
 # then re-run every BENCH_fleet.json scaling row (checksums must
@@ -44,6 +52,20 @@ allowed_deprecated=$(grep -rln "allow(deprecated)" --include='*.rs' . \
 if [ -n "$allowed_deprecated" ]; then
     echo "error: allow(deprecated) outside the sanctioned files:" >&2
     echo "$allowed_deprecated" >&2
+    exit 1
+fi
+
+# clippy runs with -D warnings above, so every `#[allow(clippy::…)]` is
+# a pinned, reviewed exception. The allowlist below is exhaustive; a new
+# allow anywhere else must either fix the lint or extend this list in
+# the same change.
+clippy_allows=$(grep -rln "allow(clippy" --include='*.rs' . \
+    | grep -v -e '^\./crates/bench/src/fleet_bench\.rs$' \
+              -e '^\./target/' \
+              -e '^\./stubs/' || true)
+if [ -n "$clippy_allows" ]; then
+    echo "error: allow(clippy::…) outside the pinned allowlist:" >&2
+    echo "$clippy_allows" >&2
     exit 1
 fi
 

@@ -448,6 +448,169 @@ fn random_drops_yield_the_same_resilient_trace_on_every_platform() {
     );
 }
 
+/// The fault-transition provenance counter for `label` on `device`.
+fn fault_transitions(device: &mobivine_device::Device, label: &str) -> u64 {
+    device.metrics().counter_value(
+        "device_fault_transitions_total",
+        &mobivine_telemetry::Labels::new(&[("fault", label)]),
+    )
+}
+
+#[test]
+fn http_latency_spike_window_stretches_and_restores_round_trips() {
+    for (name, device, runtime) in resilient_runtimes_isolated(&chaos_policy()) {
+        device.network().register_route(
+            "wfm.example",
+            mobivine_device::net::Method::Get,
+            "/tasks",
+            |_| mobivine_device::net::HttpResponse::ok("[]"),
+        );
+        FaultPlan::new(&device).latency_spike(1_000, 60_000, 10);
+        let http = runtime.proxy::<dyn HttpProxy>().unwrap();
+
+        let timed_request = |at_ms: u64| {
+            device.advance_to(at_ms);
+            let before = device.now_ms();
+            http.request("GET", "http://wfm.example/tasks", &[])
+                .unwrap_or_else(|e| panic!("platform {name}: {e}"));
+            device.now_ms() - before
+        };
+
+        let baseline = timed_request(100);
+        assert!(
+            baseline > 0,
+            "platform {name}: round trips cost virtual time"
+        );
+        let spiked = timed_request(2_000);
+        assert!(
+            spiked > baseline,
+            "platform {name}: spike must stretch the round trip \
+             (baseline {baseline} ms, spiked {spiked} ms)"
+        );
+        // Provenance: the spike transition fired, the restore is pending.
+        assert_eq!(
+            fault_transitions(&device, "fault.network.latency_spike"),
+            1,
+            "platform {name}"
+        );
+        assert_eq!(
+            fault_transitions(&device, "fault.network.latency_restored"),
+            0,
+            "platform {name}"
+        );
+        let restored = timed_request(70_000);
+        assert_eq!(
+            restored, baseline,
+            "platform {name}: latency must return to baseline after the window"
+        );
+        assert_eq!(
+            fault_transitions(&device, "fault.network.latency_restored"),
+            1,
+            "platform {name}"
+        );
+        // No retries were needed — the link stayed up, just slow.
+        let snap = runtime.resilience_metrics().unwrap().snapshot();
+        assert_eq!(snap.successes, 3, "platform {name}");
+        assert_eq!(snap.attempts, 3, "platform {name}: slow is not failed");
+    }
+}
+
+#[test]
+fn smsc_overload_burst_delays_delivery_then_drains() {
+    for (name, device, runtime) in resilient_runtimes_isolated(&chaos_policy()) {
+        let baseline_ms = device.smsc().latency_ms();
+        FaultPlan::new(&device).overload_burst(1, 60_000, 5);
+        device.advance_ms(2);
+        let sms = runtime.proxy::<dyn SmsProxy>().unwrap();
+        let outcomes = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&outcomes);
+        sms.send_text_message(
+            "+91-sup",
+            "under pressure",
+            Some(Arc::new(move |_id: u64, o: DeliveryOutcome| {
+                sink.lock().unwrap().push(o);
+            })),
+        )
+        .unwrap_or_else(|e| panic!("platform {name} submit: {e}"));
+        // At the baseline latency nothing has landed — the saturated
+        // SMSC is serving 5x slower.
+        device.advance_ms(baseline_ms + 1);
+        assert!(
+            outcomes.lock().unwrap().is_empty(),
+            "platform {name}: delivery must be delayed by the burst"
+        );
+        device.advance_ms(baseline_ms * 5);
+        assert_eq!(
+            outcomes.lock().unwrap().as_slice(),
+            &[DeliveryOutcome::Delivered],
+            "platform {name}: delayed, not lost"
+        );
+        // Provenance: both saturation transitions fired together.
+        assert_eq!(
+            fault_transitions(&device, "fault.smsc.overloaded"),
+            1,
+            "platform {name}"
+        );
+        assert_eq!(
+            fault_transitions(&device, "fault.network.latency_spike"),
+            1,
+            "platform {name}: the burst saturates the packet network too"
+        );
+        // After the window the SMSC drains back to its baseline.
+        device.advance_to(61_000);
+        assert_eq!(device.smsc().latency_ms(), baseline_ms, "platform {name}");
+        assert_eq!(
+            fault_transitions(&device, "fault.smsc.drained"),
+            1,
+            "platform {name}"
+        );
+    }
+}
+
+#[test]
+fn coverage_outage_mid_call_is_ridden_out_where_calls_exist() {
+    // S60 has no Call proxy, so the chaos case covers the two bindings
+    // that do; their fault traces must match exactly.
+    let mut attempt_counts = Vec::new();
+    for (name, device, runtime) in resilient_runtimes_isolated(&chaos_policy()) {
+        if name == "s60" {
+            continue;
+        }
+        // Radio outage [1, 400): the first dial fails at the radio, the
+        // retry (t >= 501) lands after coverage is restored.
+        FaultPlan::new(&device).coverage_outage(1, 400);
+        device.advance_ms(1);
+        let call = runtime.proxy::<dyn CallProxy>().unwrap();
+        let call_id = call
+            .make_a_call("+91-sup")
+            .unwrap_or_else(|e| panic!("platform {name} must recover: {e}"));
+        assert!(call_id > 0, "platform {name}");
+        // Provenance: both coverage transitions fired.
+        assert_eq!(
+            fault_transitions(&device, "fault.radio.out_of_coverage"),
+            1,
+            "platform {name}"
+        );
+        assert_eq!(
+            fault_transitions(&device, "fault.radio.coverage_restored"),
+            1,
+            "platform {name}"
+        );
+        let snap = runtime.resilience_metrics().unwrap().snapshot();
+        assert_eq!(snap.successes, 1, "platform {name}: eventual success");
+        assert_eq!(snap.transient_failures, 1, "platform {name}");
+        attempt_counts.push((name, snap.attempts));
+    }
+    assert_eq!(attempt_counts.len(), 2, "android and webview both dialled");
+    assert!(
+        attempt_counts
+            .iter()
+            .all(|(_, a)| *a == attempt_counts[0].1),
+        "attempt counts must be identical across platforms: {attempt_counts:?}"
+    );
+    assert_eq!(attempt_counts[0].1, 2, "fail once, succeed on the retry");
+}
+
 #[test]
 fn circuit_state_is_visible_through_the_decorator() {
     // Direct decorator-level visibility check (registry returns trait

@@ -437,3 +437,106 @@ proptest! {
         prop_assert_eq!(sorted.render_prometheus(), shuffled.render_prometheus());
     }
 }
+
+proptest! {
+    // ---- Overload admission invariants ---------------------------
+
+    /// However acquire/release interleave, the bulkhead never lets more
+    /// than `cap` permits exist at once, and `in_flight` always equals
+    /// the number of live permits.
+    #[test]
+    fn bulkhead_in_flight_never_exceeds_cap(
+        cap in 1u32..6,
+        ops in proptest::collection::vec(any::<bool>(), 0..48),
+    ) {
+        use mobivine::overload::Bulkhead;
+        let bulkhead = Bulkhead::new(cap);
+        let mut permits = Vec::new();
+        for acquire in ops {
+            if acquire {
+                match bulkhead.try_acquire() {
+                    Some(permit) => permits.push(permit),
+                    None => prop_assert_eq!(
+                        bulkhead.in_flight(), cap,
+                        "a refusal means the bulkhead is exactly full"
+                    ),
+                }
+            } else {
+                permits.pop();
+            }
+            prop_assert!(bulkhead.in_flight() <= cap);
+            prop_assert_eq!(bulkhead.in_flight() as usize, permits.len());
+        }
+        drop(permits);
+        prop_assert_eq!(bulkhead.in_flight(), 0, "all permits returned");
+    }
+
+    /// Two controllers on the same seed fed the same observation/admit
+    /// interleaving make identical shed decisions — decision streams
+    /// are a pure function of (seed, history).
+    #[test]
+    fn admission_decisions_replay_per_seed(
+        seed in any::<u64>(),
+        history in proptest::collection::vec((0u64..500, 1u64..300), 1..60),
+    ) {
+        use mobivine::overload::AdmissionController;
+        let a = AdmissionController::new(seed);
+        let b = AdmissionController::new(seed);
+        for (sojourn, target) in &history {
+            a.observe(*sojourn, *target);
+            b.observe(*sojourn, *target);
+            prop_assert_eq!(a.admit(), b.admit());
+            prop_assert_eq!(a.rate(), b.rate());
+            prop_assert_eq!(a.tier(), b.tier());
+        }
+        // Reseeding restores the full-open gate and resynchronises the
+        // decision streams no matter how they diverged before.
+        a.reseed(seed ^ 1);
+        b.reseed(seed ^ 1);
+        for _ in 0..16 {
+            prop_assert_eq!(a.admit(), b.admit());
+        }
+    }
+
+    /// AIMD converges: sustained over-target sojourns drive the rate
+    /// monotonically down to a positive floor (never a full outage),
+    /// and sustained under-target sojourns recover it monotonically
+    /// back to fully open, where every call is admitted again.
+    #[test]
+    fn aimd_converges_to_the_floor_and_recovers(
+        seed in any::<u64>(),
+        target in 1u64..100,
+        pressure in 1usize..200,
+    ) {
+        use mobivine::overload::AdmissionController;
+        let gate = AdmissionController::new(seed);
+        let open_rate = gate.rate();
+        prop_assert!(gate.admit(), "a fresh gate is fully open");
+
+        let mut floor = open_rate;
+        for _ in 0..pressure {
+            let before = gate.rate();
+            gate.observe(target + 1, target);
+            prop_assert!(gate.rate() <= before, "decrease is monotone");
+            floor = gate.rate();
+        }
+        prop_assert!(floor > 0, "the gate never closes completely");
+        // The floor is stable: more pressure cannot push below it.
+        for _ in 0..50 {
+            gate.observe(target.saturating_mul(10), target);
+        }
+        prop_assert!(gate.rate() >= floor.min(gate.rate()) && gate.rate() > 0);
+
+        // Recovery: additive increase climbs back to fully open.
+        let mut last = gate.rate();
+        for _ in 0..200 {
+            gate.observe(0, target);
+            prop_assert!(gate.rate() >= last, "increase is monotone");
+            last = gate.rate();
+        }
+        prop_assert_eq!(last, open_rate, "converged back to fully open");
+        for _ in 0..16 {
+            prop_assert!(gate.admit(), "fully open admits everything");
+        }
+    }
+}
