@@ -35,6 +35,9 @@ use mobivine_android::{AndroidPlatform, SdkVersion};
 use mobivine_device::cohort::{Cohort, CohortPartition};
 use mobivine_device::Device;
 use mobivine_s60::S60Platform;
+use mobivine_telemetry::{
+    Labels, PromotionPolicy, PromotionReason, SloEngine, SloObjective, SloReport, SloTarget,
+};
 use mobivine_webview::WebView;
 
 use crate::server::{TrackPoint, WfmServer, WfmServerCounts};
@@ -110,10 +113,21 @@ pub struct FleetConfig {
     /// The traced hot path is allocation-free after wiring, so this
     /// costs atomics and span-record moves, not heap churn.
     pub telemetry: bool,
-    /// Per-worker-sink span retention cap when `telemetry` is on.
-    /// Small by default: at fleet scale the spans are a sampling
-    /// window, not a full trace archive.
+    /// Per-worker-ring span retention cap when `telemetry` is on.
+    /// Small by default: at fleet scale the rings are a sampling
+    /// window; traces worth keeping are *promoted* out of them into
+    /// each device's bounded incident store.
     pub span_retention: usize,
+    /// Per-device incident-store capacity: how many promoted traces
+    /// each device keeps (further promotions are counted and dropped).
+    /// Only meaningful with `telemetry` on.
+    pub incident_capacity: usize,
+    /// When `true` (requires `telemetry`), every device runtime gets a
+    /// per-device [`SloEngine`] over a fleet-wide objective template
+    /// (availability per proxy method per platform, plus latency
+    /// objectives under a brownout); the per-device reports are merged
+    /// in device-index order into the report's incident digest.
+    pub slo: bool,
     /// Optional brownout scenario overwhelming one shard.
     pub brownout: Option<BrownoutConfig>,
 }
@@ -130,6 +144,8 @@ impl Default for FleetConfig {
             seed: 7,
             telemetry: false,
             span_retention: 16,
+            incident_capacity: 256,
+            slo: false,
             brownout: None,
         }
     }
@@ -168,6 +184,15 @@ impl FleetConfig {
         }
         if self.telemetry && self.span_retention == 0 {
             return illegal("span_retention (with telemetry enabled)");
+        }
+        if self.telemetry && self.incident_capacity == 0 {
+            return illegal("incident_capacity (with telemetry enabled)");
+        }
+        if self.slo && !self.telemetry {
+            return Err(ProxyError::new(
+                ProxyErrorKind::IllegalArgument,
+                "FleetConfig: slo requires telemetry (outcomes are observed at the proxy plane)",
+            ));
         }
         if let Some(brownout) = &self.brownout {
             if brownout.target_shard >= self.shards {
@@ -237,6 +262,11 @@ pub struct FleetReport {
     /// Calls failed fast because their deadline budget was exhausted
     /// before the binding plane was touched.
     pub deadline_exceeded: u64,
+    /// Ops (any outcome) that finished past their batch-arrival
+    /// deadline — the breaches the flight recorder must explain with a
+    /// promoted trace. Zero without a brownout budget. Derived from
+    /// flush sojourns, so it is identical with telemetry on or off.
+    pub deadline_blown: u64,
     /// Coordinated virtual duration of the run, ms.
     pub virtual_elapsed_ms: u64,
     /// Fleet-wide median per-op virtual latency (bucketed), ms.
@@ -249,8 +279,40 @@ pub struct FleetReport {
     pub per_shard: Vec<ShardReport>,
     /// Order-insensitive-free fingerprint: an FNV fold over every
     /// device's counters in device-index order. Two runs are
-    /// byte-identical iff their checksums match.
+    /// byte-identical iff their checksums match. Telemetry-independent
+    /// by design: tracing a run must not change what it computes.
     pub checksum: u64,
+    /// Flight-recorder digest (promoted traces, exemplars, SLO
+    /// breaches), present when `telemetry` was on.
+    pub incidents: Option<IncidentDigest>,
+}
+
+/// The incident-debugging digest of one traced fleet run: what the
+/// per-device flight recorders promoted, which histogram buckets carry
+/// exemplars, and which declared objectives are burning. All fields are
+/// folded in device-index order after the workers join, so the digest —
+/// including its own checksum — is worker-count-independent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IncidentDigest {
+    /// Traces promoted across all devices (kept + dropped).
+    pub promoted_traces: u64,
+    /// Kept promoted traces whose reason is a blown deadline.
+    pub promoted_deadline: u64,
+    /// Promotions dropped because a device's incident store was full.
+    pub promoted_dropped: u64,
+    /// Spans overwritten by ring wrap-around across all devices.
+    pub spans_evicted: u64,
+    /// The first few exemplar trace ids (16-hex, device-index order)
+    /// pinned on `proxy_call_ms` histogram buckets.
+    pub exemplar_trace_ids: Vec<String>,
+    /// Names of the worst breached SLO objectives (fast-burn
+    /// descending, capped), from the merged per-device reports. Empty
+    /// when the run declared no objectives (`slo: false`).
+    pub top_breached: Vec<String>,
+    /// FNV fold over every kept promoted trace id + reason and every
+    /// histogram exemplar, in device-index order. Separate from the
+    /// main report checksum so tracing stays invisible to it.
+    pub incident_checksum: u64,
 }
 
 impl FleetReport {
@@ -327,6 +389,7 @@ struct DeviceStats {
     http_ok: u64,
     location_fixes: u64,
     errors: u64,
+    deadline_blown: u64,
     latency: LatencyBuckets,
 }
 
@@ -340,6 +403,45 @@ fn splitmix64(state: &mut u64) -> u64 {
 
 fn fnv_fold(hash: u64, value: u64) -> u64 {
     (hash ^ value).wrapping_mul(0x0000_0100_0000_01B3)
+}
+
+/// The fleet-wide SLO objective template: availability per traffic
+/// method per platform, plus — under a brownout — a latency objective
+/// at the scenario's p99 target. Every device gets the *same* list (its
+/// recorder only matches its own platform's series), so the per-device
+/// reports merge index-for-index at digest time.
+fn fleet_slo_objectives(brownout: Option<&BrownoutConfig>) -> Vec<SloObjective> {
+    let mut objectives = Vec::new();
+    for platform in ["android", "s60", "android-webview"] {
+        for (proxy, method) in [
+            ("Location", "getLocation"),
+            ("SMS", "sendTextMessage"),
+            ("Http", "request"),
+        ] {
+            objectives.push(SloObjective {
+                name: format!("avail:{proxy}.{method}@{platform}"),
+                proxy: proxy.into(),
+                method: method.into(),
+                platform: platform.into(),
+                target: SloTarget::Availability {
+                    target_ppm: 995_000,
+                },
+            });
+            if let Some(b) = brownout {
+                objectives.push(SloObjective {
+                    name: format!("latency:{proxy}.{method}@{platform}"),
+                    proxy: proxy.into(),
+                    method: method.into(),
+                    platform: platform.into(),
+                    target: SloTarget::Latency {
+                        threshold_ms: b.p99_target_ms,
+                        target_ppm: 990_000,
+                    },
+                });
+            }
+        }
+    }
+    objectives
 }
 
 /// One queued unit of traffic, dispatched at batch flush.
@@ -438,6 +540,14 @@ impl TrafficBatch {
                 Some(budget_ms) => {
                     let deadline = Deadline::after(flush_start_ms, budget_ms);
                     let outcome = with_deadline(deadline, execute);
+                    // The same comparison the proxy-plane decorator
+                    // makes when it stamps `deadline = blown` on the
+                    // root span — kept telemetry-independent here so
+                    // the count (and the checksum folding it) is
+                    // identical with tracing on or off.
+                    if device.clock().now_ms() > deadline.expires_at_ms() {
+                        stats.deadline_blown += 1;
+                    }
                     match outcome {
                         Ok(()) => stats
                             .latency
@@ -526,9 +636,40 @@ impl Fleet {
                 .as_ref()
                 .filter(|b| b.admission && shard == b.target_shard)
                 .map(|b| OverloadPolicy::default().target_ms(b.p99_target_ms));
+            // The target shard's devices additionally promote traces
+            // whose root call ran longer than the brownout's p99
+            // target; every device promotes errors and blown deadlines
+            // (the policy default).
+            let promotion = config
+                .brownout
+                .as_ref()
+                .filter(|b| shard == b.target_shard)
+                .map(|b| {
+                    PromotionPolicy::default()
+                        .latency_threshold("proxy:Location.getLocation", b.p99_target_ms)
+                        .latency_threshold("proxy:SMS.sendTextMessage", b.p99_target_ms)
+                        .latency_threshold("proxy:Http.request", b.p99_target_ms)
+                })
+                .unwrap_or_default()
+                .max_incidents(config.incident_capacity);
+            // One engine *per device*: shared burn-rate windows would
+            // interleave worker writes; per-device engines merge in
+            // index order at report time, keeping the digest
+            // worker-count-independent.
+            let slo_engine = config.slo.then(|| {
+                Arc::new(SloEngine::new(fleet_slo_objectives(
+                    config.brownout.as_ref(),
+                )))
+            });
             let instrument = |b: mobivine::registry::MobivineBuilder| {
                 let b = if config.telemetry {
-                    b.with_telemetry_retention(config.span_retention)
+                    let b = b
+                        .with_telemetry_retention(config.span_retention)
+                        .with_promotion_policy(promotion.clone());
+                    match &slo_engine {
+                        Some(engine) => b.with_slo(Arc::clone(engine)),
+                        None => b,
+                    }
                 } else {
                     b
                 };
@@ -677,6 +818,7 @@ impl Fleet {
         let mut shed = 0;
         let mut degraded = 0;
         let mut deadline_exceeded = 0;
+        let mut deadline_blown = 0;
         let mut checksum = 0xCBF2_9CE4_8422_2325u64;
         let mut shard_latency: Vec<LatencyBuckets> = vec![LatencyBuckets::default(); config.shards];
         let mut shard_ops = vec![0u64; config.shards];
@@ -701,6 +843,7 @@ impl Fleet {
             shed += overload.shed;
             degraded += overload.degraded;
             deadline_exceeded += overload.deadline_fail_fast;
+            deadline_blown += device_stats.deadline_blown;
             let shard = self.registry.shard_of(index);
             shard_latency[shard].merge(&device_stats.latency);
             shard_ops[shard] += device_stats.ops;
@@ -711,6 +854,7 @@ impl Fleet {
                 device_stats.http_ok,
                 device_stats.location_fixes,
                 device_stats.errors,
+                device_stats.deadline_blown,
                 overload.shed,
                 overload.degraded,
                 overload.deadline_fail_fast,
@@ -718,6 +862,8 @@ impl Fleet {
                 checksum = fnv_fold(checksum, value);
             }
         }
+
+        let incidents = config.telemetry.then(|| self.incident_digest(&config));
 
         let mut overall = LatencyBuckets::default();
         for buckets in &shard_latency {
@@ -750,8 +896,94 @@ impl Fleet {
             shed,
             degraded,
             deadline_exceeded,
+            deadline_blown,
             per_shard,
             checksum,
+            incidents,
+        }
+    }
+
+    /// Walks every device runtime in index order and folds its flight
+    /// recorder, histogram exemplars and SLO report into one digest.
+    /// Each device was stepped by exactly one worker, so every input is
+    /// as deterministic as the op counters.
+    fn incident_digest(&self, config: &FleetConfig) -> IncidentDigest {
+        const EXEMPLAR_ID_CAP: usize = 8;
+        let mut promoted_traces = 0;
+        let mut promoted_deadline = 0;
+        let mut promoted_dropped = 0;
+        let mut spans_evicted = 0;
+        let mut exemplar_trace_ids = Vec::new();
+        let mut incident_checksum = 0xCBF2_9CE4_8422_2325u64;
+        let mut merged_slo: Option<SloReport> = None;
+        let now_ms = config.rounds * config.tick_ms;
+
+        for index in 0..config.devices {
+            let Some(runtime) = self.registry.runtime(index) else {
+                continue;
+            };
+            if let Some(store) = runtime.incidents() {
+                promoted_traces += store.promoted_total();
+                promoted_dropped += store.dropped();
+                for trace in store.traces() {
+                    if matches!(trace.reason, PromotionReason::DeadlineBlown) {
+                        promoted_deadline += 1;
+                    }
+                    incident_checksum = fnv_fold(incident_checksum, trace.trace_id.0);
+                    incident_checksum = fnv_fold(incident_checksum, trace.reason.code());
+                }
+            }
+            if let Some(tracer) = runtime.tracer() {
+                spans_evicted += tracer.evicted_spans();
+            }
+            if let Some(metrics) = runtime.telemetry_metrics() {
+                let platform = runtime.platform_id().id().to_owned();
+                for (proxy, method) in [
+                    ("Location", "getLocation"),
+                    ("SMS", "sendTextMessage"),
+                    ("Http", "request"),
+                ] {
+                    let labels = Labels::call(proxy, method, &platform);
+                    for (_, trace_id, _) in metrics.histogram("proxy_call_ms", &labels).exemplars()
+                    {
+                        incident_checksum = fnv_fold(incident_checksum, trace_id.0);
+                        if exemplar_trace_ids.len() < EXEMPLAR_ID_CAP {
+                            exemplar_trace_ids.push(format!("{:016x}", trace_id.0));
+                        }
+                    }
+                }
+            }
+            if let Some(engine) = runtime.slo_engine() {
+                let report = engine.report(now_ms);
+                match &mut merged_slo {
+                    // Same template everywhere, so the merge cannot
+                    // mismatch; a failure would be a bug worth hearing.
+                    Some(merged) => merged.merge(&report).expect("identical objective template"),
+                    None => merged_slo = Some(report),
+                }
+            }
+        }
+
+        let top_breached = merged_slo
+            .map(|merged| {
+                let mut breached: Vec<(u64, String)> = merged
+                    .breached()
+                    .into_iter()
+                    .map(|status| (status.fast_burn_milli(), status.objective.name.clone()))
+                    .collect();
+                breached.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+                breached.into_iter().take(5).map(|(_, name)| name).collect()
+            })
+            .unwrap_or_default();
+
+        IncidentDigest {
+            promoted_traces,
+            promoted_deadline,
+            promoted_dropped,
+            spans_evicted,
+            exemplar_trace_ids,
+            top_breached,
+            incident_checksum,
         }
     }
 }
@@ -775,6 +1007,8 @@ mod tests {
             seed: 11,
             telemetry: false,
             span_retention: 16,
+            incident_capacity: 256,
+            slo: false,
             brownout: None,
         }
     }
@@ -924,11 +1158,96 @@ mod tests {
         let report = Fleet::build(config).unwrap().run();
         assert_eq!(report.shed, 0, "no gate, no sheds");
         assert_eq!(report.deadline_exceeded, 0);
+        assert!(
+            report.deadline_blown > 0,
+            "the ramp must push ops past the batch deadline: {report:?}"
+        );
         let shard = &report.per_shard[target];
         assert!(
             shard.p99_ms > p99_target,
             "unprotected sojourn p99 {} must blow past {p99_target}ms",
             shard.p99_ms
+        );
+    }
+
+    fn traced_brownout_config(admission: bool) -> FleetConfig {
+        FleetConfig {
+            telemetry: true,
+            slo: true,
+            ..brownout_config(admission)
+        }
+    }
+
+    #[test]
+    fn slo_without_telemetry_is_rejected() {
+        let err = FleetConfig {
+            slo: true,
+            telemetry: false,
+            ..small_config()
+        }
+        .validated()
+        .unwrap_err();
+        assert_eq!(err.kind(), ProxyErrorKind::IllegalArgument);
+    }
+
+    #[test]
+    fn untraced_runs_have_no_incident_digest() {
+        let report = Fleet::build(small_config()).unwrap().run();
+        assert!(report.incidents.is_none());
+        assert_eq!(report.deadline_blown, 0, "no brownout, no deadline budget");
+    }
+
+    #[test]
+    fn unprotected_brownout_promotes_every_deadline_breach() {
+        let report = Fleet::build(traced_brownout_config(false)).unwrap().run();
+        assert!(
+            report.deadline_blown > 0,
+            "the unprotected ramp must blow deadlines: {report:?}"
+        );
+        let digest = report.incidents.as_ref().expect("telemetry ⇒ digest");
+        assert_eq!(digest.promoted_dropped, 0, "stores must not overflow here");
+        assert_eq!(
+            digest.promoted_deadline, report.deadline_blown,
+            "every deadline-blown call must have a promoted trace explaining it"
+        );
+        assert!(
+            !digest.exemplar_trace_ids.is_empty(),
+            "promotions pin histogram exemplars: {digest:?}"
+        );
+
+        // The whole digest — promoted trace ids included — is
+        // worker-count-independent.
+        let single = Fleet::build(FleetConfig {
+            workers: 1,
+            ..traced_brownout_config(false)
+        })
+        .unwrap()
+        .run();
+        assert_eq!(report.incidents, single.incidents);
+        assert_eq!(report.checksum, single.checksum);
+        assert_eq!(report.deadline_blown, single.deadline_blown);
+
+        let rerun = Fleet::build(traced_brownout_config(false)).unwrap().run();
+        assert_eq!(report, rerun, "same config ⇒ identical traced report");
+    }
+
+    #[test]
+    fn protected_brownout_surfaces_breached_objectives() {
+        let report = Fleet::build(traced_brownout_config(true)).unwrap().run();
+        let digest = report.incidents.as_ref().expect("telemetry ⇒ digest");
+        // Sheds are availability errors on the target shard's series:
+        // the merged burn-rate report must name the burning objectives.
+        assert!(
+            !digest.top_breached.is_empty(),
+            "sheds must breach availability objectives: {digest:?}"
+        );
+        assert!(digest
+            .top_breached
+            .iter()
+            .all(|name| name.starts_with("avail:") || name.starts_with("latency:")));
+        assert!(
+            digest.promoted_traces > 0,
+            "shed errors promote traces: {digest:?}"
         );
     }
 

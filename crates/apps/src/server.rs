@@ -10,7 +10,10 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
+use mobivine::registry::Mobivine;
 use mobivine_device::net::{HttpResponse, Method, SimNetwork};
+use mobivine_device::Device;
+use mobivine_telemetry::slo::{links_from_incidents, slo_report_json};
 use mobivine_telemetry::MetricsRegistry;
 
 use crate::model::{ActivityEntry, Task};
@@ -23,6 +26,80 @@ use crate::model::{ActivityEntry, Task};
 pub fn install_metrics_route(network: &SimNetwork, host: &str, registry: Arc<MetricsRegistry>) {
     network.register_route(host, Method::Get, "/metrics", move |_req| {
         HttpResponse::ok(registry.render_prometheus())
+    });
+}
+
+/// Installs a `GET /health` liveness route on `network` under `host`,
+/// reporting `runtime`'s protection-layer state as JSON.
+///
+/// The answer is always `200` (the route responding *is* the liveness
+/// signal); the body carries `"status": "ok"` until the overload layer
+/// has shed a call or the resilience layer has opened a circuit, after
+/// which it reads `"degraded"` — the counters are cumulative over the
+/// runtime's life, matching the simulated fleet's "has this device ever
+/// been in trouble" digest. Layers that are not wired report `null`.
+pub fn install_health_route(network: &SimNetwork, host: &str, runtime: Arc<Mobivine>) {
+    network.register_route(host, Method::Get, "/health", move |_req| {
+        let overload = runtime.overload_metrics().map(|m| m.snapshot());
+        let resilience = runtime.resilience_metrics().map(|m| m.snapshot());
+        let shed = overload.as_ref().map_or(0, |o| o.shed);
+        let circuit_opens = resilience.as_ref().map_or(0, |r| r.circuit_opens);
+        let status = if shed > 0 || circuit_opens > 0 {
+            "degraded"
+        } else {
+            "ok"
+        };
+        let overload_json = overload.map_or(serde_json::Value::Null, |o| {
+            serde_json::json!({
+                "shed": o.shed,
+                "deadline_fail_fast": o.deadline_fail_fast,
+                "bulkhead_rejections": o.bulkhead_rejections,
+            })
+        });
+        let resilience_json = resilience.map_or(serde_json::Value::Null, |r| {
+            serde_json::json!({
+                "circuit_opens": r.circuit_opens,
+                "circuit_rejections": r.circuit_rejections,
+                "deadline_exhausted": r.deadline_exhausted,
+            })
+        });
+        let incidents_json = runtime.incidents().map_or(serde_json::Value::Null, |s| {
+            serde_json::json!({
+                "promoted": s.promoted_total(),
+                "dropped": s.dropped(),
+            })
+        });
+        let body = serde_json::json!({
+            "status": status,
+            "overload": overload_json,
+            "resilience": resilience_json,
+            "incidents": incidents_json,
+        });
+        HttpResponse::ok(body.to_string())
+    });
+}
+
+/// Installs a `GET /slo` route on `network` under `host`, answering the
+/// `mobivine.slo.v1` burn-rate report for `runtime`'s SLO engine
+/// evaluated at `device`'s current virtual time, with links into the
+/// flight recorder's promoted traces
+/// ([`mobivine_telemetry::slo::validate_slo_json`] round-trips the
+/// body).
+///
+/// Answers `404` when the runtime has no SLO engine attached — the
+/// route is installable unconditionally; the status tells scrapers
+/// whether objectives are declared.
+pub fn install_slo_route(network: &SimNetwork, host: &str, device: Device, runtime: Arc<Mobivine>) {
+    network.register_route(host, Method::Get, "/slo", move |_req| {
+        let Some(engine) = runtime.slo_engine() else {
+            return HttpResponse::status_only(404);
+        };
+        let report = engine.report(device.now_ms());
+        let links = match runtime.incidents() {
+            Some(store) => links_from_incidents(std::slice::from_ref(store)),
+            None => Vec::new(),
+        };
+        HttpResponse::ok(slo_report_json(&report, &links))
     });
 }
 
@@ -348,6 +425,99 @@ mod tests {
             text.contains("device_net_requests_total"),
             "exposition missing net counter:\n{text}"
         );
+    }
+
+    #[test]
+    fn health_route_reports_protection_state() {
+        use mobivine::overload::OverloadPolicy;
+        use mobivine::resilience::ResiliencePolicy;
+        use mobivine_android::{AndroidPlatform, SdkVersion};
+
+        let device = Device::builder().build();
+        let platform = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
+        let runtime = Arc::new(
+            mobivine::registry::Mobivine::builder()
+                .with_telemetry()
+                .with_resilience(ResiliencePolicy::default())
+                .with_overload(OverloadPolicy::default())
+                .android(platform.new_context())
+                .build()
+                .unwrap(),
+        );
+        install_health_route(device.network(), "wfm.example", runtime);
+        let req = HttpRequest::get("http://wfm.example/health").unwrap();
+        let (resp, _) = device.network().execute(&req).unwrap();
+        assert_eq!(resp.status, 200);
+        let doc: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(
+            doc.get_field("status"),
+            Some(&serde_json::Value::String("ok".into()))
+        );
+        let overload = doc.get_field("overload").expect("overload block");
+        assert_eq!(
+            overload.get_field("shed"),
+            Some(&serde_json::Value::Number(0.0))
+        );
+        let incidents = doc.get_field("incidents").expect("incidents block");
+        assert_eq!(
+            incidents.get_field("promoted"),
+            Some(&serde_json::Value::Number(0.0))
+        );
+    }
+
+    #[test]
+    fn slo_route_serves_a_valid_burn_rate_report() {
+        use mobivine::api::LocationProxy;
+        use mobivine_android::{AndroidPlatform, SdkVersion};
+        use mobivine_telemetry::slo::validate_slo_json;
+        use mobivine_telemetry::{SloEngine, SloObjective, SloTarget};
+
+        let device = Device::builder().build();
+        let platform = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
+        let engine = Arc::new(SloEngine::new(vec![SloObjective {
+            name: "location-availability".into(),
+            proxy: "Location".into(),
+            method: "getLocation".into(),
+            platform: "android".into(),
+            target: SloTarget::Availability {
+                target_ppm: 999_000,
+            },
+        }]));
+        let runtime = Arc::new(
+            mobivine::registry::Mobivine::builder()
+                .with_telemetry()
+                .with_slo(Arc::clone(&engine))
+                .android(platform.new_context())
+                .build()
+                .unwrap(),
+        );
+        let location = runtime.proxy::<dyn LocationProxy>().unwrap();
+        for _ in 0..4 {
+            location.get_location().unwrap();
+        }
+        install_slo_route(device.network(), "wfm.example", device.clone(), runtime);
+        let req = HttpRequest::get("http://wfm.example/slo").unwrap();
+        let (resp, _) = device.network().execute(&req).unwrap();
+        assert_eq!(resp.status, 200);
+        let body = String::from_utf8(resp.body).unwrap();
+        let summary = validate_slo_json(&body).expect("slo report round-trips");
+        assert_eq!(summary.objectives, 1);
+        assert_eq!(summary.breached, 0);
+    }
+
+    #[test]
+    fn slo_route_is_404_without_an_engine() {
+        use mobivine_android::{AndroidPlatform, SdkVersion};
+
+        let device = Device::builder().build();
+        let platform = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
+        let runtime = Arc::new(
+            mobivine::registry::Mobivine::for_android(platform.new_context()).with_telemetry(),
+        );
+        install_slo_route(device.network(), "wfm.example", device.clone(), runtime);
+        let req = HttpRequest::get("http://wfm.example/slo").unwrap();
+        let (resp, _) = device.network().execute(&req).unwrap();
+        assert_eq!(resp.status, 404);
     }
 
     #[test]

@@ -10,13 +10,16 @@
 //! resolution-throughput comparison (per-call construction vs
 //! sharded + memoized), and the brownout comparison (one shard ramped,
 //! overload layer on vs off, at a fixed small configuration so the gate
-//! margins stay pinned). `--json` emits the machine-readable summary
-//! (schema `mobivine.fleet.v2`) — deterministic for a fixed
-//! configuration — on stdout, or at `PATH` when one follows the flag;
-//! `--check PATH` validates an existing summary file instead of
-//! measuring anything; `--brownout` runs only the brownout comparison
-//! and exits non-zero unless both arms hold the overload gate (the CI
-//! chaos smoke).
+//! margins stay pinned; both arms trace their devices, so each row also
+//! carries the flight-recorder evidence). `--json` emits the
+//! machine-readable summary (schema `mobivine.fleet.v3`) —
+//! deterministic for a fixed configuration — on stdout, or at `PATH`
+//! when one follows the flag; `--check PATH` validates an existing
+//! summary file instead of measuring anything; `--brownout` runs only
+//! the brownout comparison and exits non-zero unless both arms hold the
+//! overload gate, which since v3 includes the accountability clause:
+//! every deadline-blown call of the unprotected arm must have a
+//! promoted trace in the incident store (the CI chaos smoke).
 //!
 //! `--compare PATH` is the regression gate CI runs against the
 //! committed baseline: every scaling row of the baseline is re-run at

@@ -7,7 +7,7 @@
 //!    per-configuration throughput and virtual-latency percentiles.
 //!    Everything in these rows except the wall-clock column derives
 //!    from virtual time and seeded streams, so the JSON summary
-//!    (`mobivine.fleet.v1`) is byte-identical across runs.
+//!    (`mobivine.fleet.v3`) is byte-identical across runs.
 //! 2. **Resolution comparison** — acquisition throughput of the
 //!    unsharded per-call-construction baseline (a fresh runtime and a
 //!    freshly constructed proxy stack per acquisition, the shape of the
@@ -63,8 +63,11 @@ pub struct FleetScalingRow {
 }
 
 /// One arm of the brownout comparison: the same traffic ramp run with
-/// the overload layer on (`admission = true`) or off. Every field but
-/// `wall_ms` derives from virtual time and seeded streams.
+/// the overload layer on (`admission = true`) or off. Both arms run
+/// with the flight recorder and SLO engine on, so each row also carries
+/// the incident-debugging evidence (how many deadlines blew, how many
+/// of those breaches the recorder promoted a trace for). Every field
+/// but `wall_ms` derives from virtual time and seeded streams.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BrownoutRow {
     /// Whether the target shard's devices carried the overload layer.
@@ -89,6 +92,16 @@ pub struct BrownoutRow {
     pub deadline_exceeded: u64,
     /// Accepted-call sojourn p99 of the ramped shard, virtual ms.
     pub shard_p99_ms: u64,
+    /// Calls whose per-batch deadline had expired by the time they
+    /// finished (telemetry-independent; derived from flush sojourns).
+    pub deadline_blown: u64,
+    /// Traces the flight recorder promoted (kept + dropped).
+    pub promoted_traces: u64,
+    /// Kept promoted traces whose reason is a blown deadline.
+    pub promoted_deadline: u64,
+    /// Fingerprint of the incident digest (promoted trace ids, reasons
+    /// and exemplars); separate from `checksum` by design.
+    pub incident_checksum: u64,
     /// Determinism fingerprint of the run.
     pub checksum: u64,
     /// Wall-clock duration, ms (table only).
@@ -99,12 +112,17 @@ impl BrownoutRow {
     /// Whether this arm behaved as the overload design promises: with
     /// admission on, excess load was shed and the accepted-call p99 of
     /// the ramped shard stayed within target; with admission off,
-    /// nothing was shed and the p99 blew past it.
+    /// nothing was shed, the p99 blew past it, **and** every
+    /// deadline-blown call has a promoted trace explaining the breach
+    /// (the flight recorder's accountability half of the gate).
     pub fn holds_the_gate(&self) -> bool {
         if self.admission {
             self.shed > 0 && self.shard_p99_ms <= self.p99_target_ms
         } else {
-            self.shed == 0 && self.shard_p99_ms > self.p99_target_ms
+            self.shed == 0
+                && self.shard_p99_ms > self.p99_target_ms
+                && self.deadline_blown > 0
+                && self.promoted_deadline == self.deadline_blown
         }
     }
 }
@@ -178,6 +196,8 @@ pub fn run_fleet_scaling_with_telemetry(
                 seed,
                 telemetry,
                 span_retention: 16,
+                incident_capacity: 256,
+                slo: false,
                 brownout: None,
             };
             let fleet = Fleet::build(config).expect("fleet configuration is valid");
@@ -207,7 +227,9 @@ pub fn run_fleet_scaling_with_telemetry(
 
 /// Runs the brownout comparison: the same traffic ramp against one
 /// shard, once with the overload layer protecting the ramped devices
-/// and once without. Returns the protected arm first.
+/// and once without. Both arms trace their devices (flight recorder +
+/// SLO engine on) so the rows carry the incident evidence the gate
+/// audits. Returns the protected arm first.
 ///
 /// # Panics
 ///
@@ -237,8 +259,10 @@ pub fn run_fleet_brownout(
                 tick_ms: 1_000,
                 ops_per_round,
                 seed,
-                telemetry: false,
+                telemetry: true,
                 span_retention: 16,
+                incident_capacity: 256,
+                slo: true,
                 brownout: Some(brownout.clone()),
             };
             let fleet = Fleet::build(config).expect("brownout configuration is valid");
@@ -246,6 +270,10 @@ pub fn run_fleet_brownout(
             let report = fleet.run();
             let wall_ms = started.elapsed().as_secs_f64() * 1_000.0;
             let shard_p99_ms = report.per_shard[brownout.target_shard].p99_ms;
+            let incidents = report
+                .incidents
+                .as_ref()
+                .expect("telemetry is on, so the digest is present");
             BrownoutRow {
                 admission,
                 target_shard: brownout.target_shard,
@@ -258,6 +286,10 @@ pub fn run_fleet_brownout(
                 degraded: report.degraded,
                 deadline_exceeded: report.deadline_exceeded,
                 shard_p99_ms,
+                deadline_blown: report.deadline_blown,
+                promoted_traces: incidents.promoted_traces,
+                promoted_deadline: incidents.promoted_deadline,
+                incident_checksum: incidents.incident_checksum,
                 checksum: report.checksum,
                 wall_ms,
             }
@@ -378,20 +410,22 @@ pub fn render_brownout_table(rows: &[BrownoutRow]) -> String {
     let mut out = String::new();
     out.push_str("Brownout: one shard ramped, overload layer on vs off (virtual ms)\n");
     out.push_str(
-        "admission |   ops   | errors |  shed | degraded | dl-exceeded | shard p99 | target | verdict\n",
+        "admission |   ops   | errors |  shed | degraded | dl-exceeded | dl-blown | promoted | shard p99 | target | verdict\n",
     );
     out.push_str(
-        "----------+---------+--------+-------+----------+-------------+-----------+--------+--------\n",
+        "----------+---------+--------+-------+----------+-------------+----------+----------+-----------+--------+--------\n",
     );
     for row in rows {
         out.push_str(&format!(
-            "{:>9} | {:>7} | {:>6} | {:>5} | {:>8} | {:>11} | {:>9} | {:>6} | {}\n",
+            "{:>9} | {:>7} | {:>6} | {:>5} | {:>8} | {:>11} | {:>8} | {:>8} | {:>9} | {:>6} | {}\n",
             if row.admission { "on" } else { "off" },
             row.total_ops,
             row.errors,
             row.shed,
             row.degraded,
             row.deadline_exceeded,
+            row.deadline_blown,
+            row.promoted_traces,
             row.shard_p99_ms,
             row.p99_target_ms,
             if row.holds_the_gate() {
@@ -456,13 +490,25 @@ mod tests {
         assert!(off.holds_the_gate(), "unprotected arm: {off:?}");
         assert!(on.shed > 0 && on.degraded > 0 && on.deadline_exceeded > 0);
 
+        // The accountability half: the unprotected arm blew deadlines
+        // and the recorder promoted a trace for every one of them.
+        assert!(off.deadline_blown > 0, "unprotected arm: {off:?}");
+        assert_eq!(off.promoted_deadline, off.deadline_blown);
+        assert!(off.promoted_traces >= off.promoted_deadline);
+        assert!(off.incident_checksum != 0, "digest fingerprint missing");
+
         // Deterministic: a re-run reproduces both arms exactly.
         let again = run_fleet_brownout(30, 4, 3, 3, 2, 11);
         for (a, b) in rows.iter().zip(&again) {
             assert_eq!(a.checksum, b.checksum);
+            assert_eq!(a.incident_checksum, b.incident_checksum);
             assert_eq!(
                 (a.shed, a.degraded, a.deadline_exceeded, a.shard_p99_ms),
                 (b.shed, b.degraded, b.deadline_exceeded, b.shard_p99_ms)
+            );
+            assert_eq!(
+                (a.deadline_blown, a.promoted_traces, a.promoted_deadline),
+                (b.deadline_blown, b.promoted_traces, b.promoted_deadline)
             );
         }
 

@@ -19,8 +19,12 @@ use crate::telemetry_hotpath::HotpathRow;
 pub const SCHEMA: &str = "mobivine.figure10.v1";
 
 /// Schema identifier of the fleet benchmark summary. `v2` added the
-/// required `brownout` section (the overload-protection gate).
-pub const FLEET_SCHEMA: &str = "mobivine.fleet.v2";
+/// required `brownout` section (the overload-protection gate); `v3`
+/// added the flight-recorder evidence to each brownout arm
+/// (`deadline_blown`, `promoted_traces`, `promoted_deadline`,
+/// `incident_checksum`) and extended the gate: the unprotected arm must
+/// carry a promoted trace for every deadline-blown call.
+pub const FLEET_SCHEMA: &str = "mobivine.fleet.v3";
 
 fn num(v: f64) -> Value {
     Value::Number(v)
@@ -295,6 +299,13 @@ pub fn fleet_summary_json(
                 ("degraded", num(row.degraded as f64)),
                 ("deadline_exceeded", num(row.deadline_exceeded as f64)),
                 ("shard_p99_ms", num(row.shard_p99_ms as f64)),
+                ("deadline_blown", num(row.deadline_blown as f64)),
+                ("promoted_traces", num(row.promoted_traces as f64)),
+                ("promoted_deadline", num(row.promoted_deadline as f64)),
+                (
+                    "incident_checksum",
+                    text(&format!("{:016x}", row.incident_checksum)),
+                ),
                 ("checksum", text(&format!("{:016x}", row.checksum))),
             ])
         })
@@ -425,15 +436,26 @@ pub fn validate_fleet_json(json: &str) -> Result<FleetCheck, String> {
         let target = require_number(entry, "p99_target_ms", &context)?;
         let shed = require_number(entry, "shed", &context)?;
         let shard_p99 = require_number(entry, "shard_p99_ms", &context)?;
-        let checksum = require_string(entry, "checksum", &context)?;
-        if checksum.len() != 16 || !checksum.chars().all(|c| c.is_ascii_hexdigit()) {
+        let deadline_blown = require_number(entry, "deadline_blown", &context)?;
+        let promoted_traces = require_number(entry, "promoted_traces", &context)?;
+        let promoted_deadline = require_number(entry, "promoted_deadline", &context)?;
+        if promoted_deadline > promoted_traces {
             return Err(format!(
-                "{context}: checksum is not a 16-digit hex string: {checksum:?}"
+                "{context}: promoted_deadline {promoted_deadline} exceeds promoted_traces {promoted_traces}"
             ));
+        }
+        for key in ["checksum", "incident_checksum"] {
+            let checksum = require_string(entry, key, &context)?;
+            if checksum.len() != 16 || !checksum.chars().all(|c| c.is_ascii_hexdigit()) {
+                return Err(format!(
+                    "{context}: {key} is not a 16-digit hex string: {checksum:?}"
+                ));
+            }
         }
         // The overload gate itself: shedding must keep the accepted-call
         // p99 of the ramped shard within target, and the unprotected arm
-        // must demonstrably blow past it.
+        // must demonstrably blow past it — with a promoted trace in the
+        // incident store explaining every deadline breach.
         if admission {
             if shed <= 0.0 {
                 return Err(format!("{context}: admission arm shed nothing"));
@@ -450,6 +472,16 @@ pub fn validate_fleet_json(json: &str) -> Result<FleetCheck, String> {
             if shard_p99 <= target {
                 return Err(format!(
                     "{context}: unprotected arm p99 {shard_p99} within target {target} — the ramp did not overload the shard"
+                ));
+            }
+            if deadline_blown <= 0.0 {
+                return Err(format!(
+                    "{context}: unprotected arm blew no deadlines — the ramp did not overload the shard"
+                ));
+            }
+            if promoted_deadline != deadline_blown {
+                return Err(format!(
+                    "{context}: {promoted_deadline} promoted deadline traces for {deadline_blown} blown deadlines — the flight recorder lost evidence"
                 ));
             }
         }
@@ -621,6 +653,35 @@ mod tests {
         let json = fleet_sample().replace("sharded-memoized", "sharded-unknown");
         let err = validate_fleet_json(&json).unwrap_err();
         assert!(err.contains("sharded-memoized"), "{err}");
+    }
+
+    #[test]
+    fn fleet_summary_rejects_unexplained_deadline_breaches() {
+        // Zero out the promoted-deadline evidence of every arm; the
+        // unprotected arm then has blown deadlines with no promoted
+        // traces, which the v3 gate must reject.
+        let json = regex_free_replace(&fleet_sample(), "promoted_deadline", 0.0);
+        let err = validate_fleet_json(&json).unwrap_err();
+        assert!(err.contains("flight recorder lost evidence"), "{err}");
+    }
+
+    /// Replaces field `key`'s numeric value with `value` in every
+    /// object of a compact serde_json document (string hack — the stub
+    /// serializer emits `"key":value` with no spaces).
+    fn regex_free_replace(json: &str, key: &str, value: f64) -> String {
+        let needle = format!("\"{key}\":");
+        let mut out = String::with_capacity(json.len());
+        let mut rest = json;
+        while let Some(at) = rest.find(&needle) {
+            let after = at + needle.len();
+            out.push_str(&rest[..after]);
+            let tail = &rest[after..];
+            let end = tail.find([',', '}']).unwrap_or(tail.len());
+            out.push_str(&format!("{value}"));
+            rest = &tail[end..];
+        }
+        out.push_str(rest);
+        out
     }
 
     #[test]

@@ -48,7 +48,7 @@ use mobivine_device::Device;
 use mobivine_proxydl::{PlatformId, ProxyDescriptor};
 use mobivine_s60::S60Platform;
 use mobivine_telemetry::span::Plane;
-use mobivine_telemetry::MetricsRegistry;
+use mobivine_telemetry::{IncidentStore, MetricsRegistry, PromotionPolicy, SloEngine};
 use mobivine_webview::WebView;
 
 use crate::android::{
@@ -288,6 +288,7 @@ pub struct Mobivine {
     resilience: Option<ResilienceRuntime>,
     overload: Option<OverloadRuntime>,
     telemetry: Option<TelemetryRuntime>,
+    slo: Option<Arc<SloEngine>>,
     resolved: ResolutionCache,
 }
 
@@ -309,6 +310,7 @@ impl Mobivine {
             resilience: None,
             overload: None,
             telemetry: None,
+            slo: None,
             resolved: ResolutionCache::default(),
         }
     }
@@ -397,14 +399,34 @@ impl Mobivine {
     }
 
     /// Like [`Mobivine::with_telemetry`], but each worker thread's span
-    /// sink keeps at most `span_retention` finished spans (further
-    /// spans are dropped and counted). Fleet-scale runs use a small
-    /// retention so tracing ten thousand devices does not hold ten
-    /// thousand unbounded span buffers.
+    /// ring keeps at most `span_retention` finished spans (the oldest
+    /// are overwritten and counted as evicted). Fleet-scale runs use a
+    /// small retention so tracing ten thousand devices does not hold
+    /// ten thousand unbounded span buffers.
     #[must_use]
-    pub fn with_telemetry_retention(mut self, span_retention: usize) -> Self {
-        let telemetry =
-            TelemetryRuntime::with_retention(Arc::clone(self.device().metrics()), span_retention);
+    pub fn with_telemetry_retention(self, span_retention: usize) -> Self {
+        self.with_telemetry_recorder(span_retention, PromotionPolicy::default())
+    }
+
+    /// Like [`Mobivine::with_telemetry_retention`], but with an
+    /// explicit tail-based [`PromotionPolicy`] deciding which finished
+    /// traces the flight recorder promotes into the incident store
+    /// ([`Mobivine::incidents`]) before ring wrap-around can overwrite
+    /// them.
+    #[must_use]
+    pub fn with_telemetry_recorder(
+        mut self,
+        span_retention: usize,
+        policy: PromotionPolicy,
+    ) -> Self {
+        let mut telemetry = TelemetryRuntime::with_recorder(
+            Arc::clone(self.device().metrics()),
+            span_retention,
+            policy,
+        );
+        if let Some(engine) = &self.slo {
+            telemetry = telemetry.with_slo(Arc::clone(engine));
+        }
         if let Some(r) = &mut self.resilience {
             r.metrics = ResilienceMetrics::on_registry(telemetry.metrics());
         }
@@ -412,6 +434,23 @@ impl Mobivine {
             o.metrics = OverloadMetrics::on_registry(telemetry.metrics());
         }
         self.telemetry = Some(telemetry);
+        self.resolved = ResolutionCache::default();
+        self
+    }
+
+    /// Attaches a declarative SLO engine: proxy-plane decorators feed
+    /// every finished call's `(ok, latency)` into the engine's matching
+    /// `(proxy, method, platform)` objectives, evaluated on virtual-time
+    /// multi-window burn rates. Order-independent with
+    /// [`Mobivine::with_telemetry`] — whichever comes second picks up
+    /// the other. Without telemetry the engine records nothing (the
+    /// proxy plane is where outcomes are observed).
+    #[must_use]
+    pub fn with_slo(mut self, engine: Arc<SloEngine>) -> Self {
+        if let Some(telemetry) = self.telemetry.take() {
+            self.telemetry = Some(telemetry.with_slo(Arc::clone(&engine)));
+        }
+        self.slo = Some(engine);
         self.resolved = ResolutionCache::default();
         self
     }
@@ -440,6 +479,20 @@ impl Mobivine {
     /// series.
     pub fn telemetry_metrics(&self) -> Option<Arc<MetricsRegistry>> {
         self.telemetry.as_ref().map(|t| Arc::clone(t.metrics()))
+    }
+
+    /// The flight recorder's bounded store of promoted incident traces,
+    /// when [`Mobivine::with_telemetry`] was applied.
+    pub fn incidents(&self) -> Option<&Arc<IncidentStore>> {
+        self.telemetry
+            .as_ref()
+            .and_then(TelemetryRuntime::incidents)
+    }
+
+    /// The SLO engine grading proxy-plane calls, when
+    /// [`Mobivine::with_slo`] was applied.
+    pub fn slo_engine(&self) -> Option<&Arc<SloEngine>> {
+        self.slo.as_ref()
     }
 
     /// The simulated device underneath whichever platform binding this
@@ -887,8 +940,11 @@ pub struct MobivineBuilder {
     catalog: Option<Arc<Vec<ProxyDescriptor>>>,
     resilience: Option<ResiliencePolicy>,
     overload: Option<OverloadPolicy>,
-    /// Span retention per worker sink, when telemetry is enabled.
+    /// Span retention per worker ring, when telemetry is enabled.
     telemetry: Option<usize>,
+    /// Tail-based promotion policy override, when telemetry is enabled.
+    promotion: Option<PromotionPolicy>,
+    slo: Option<Arc<SloEngine>>,
 }
 
 impl fmt::Debug for MobivineBuilder {
@@ -963,6 +1019,24 @@ impl MobivineBuilder {
         self
     }
 
+    /// Overrides the flight recorder's tail-based promotion policy (see
+    /// [`Mobivine::with_telemetry_recorder`]). Implies telemetry at the
+    /// default retention unless `with_telemetry_retention` also runs.
+    #[must_use]
+    pub fn with_promotion_policy(mut self, policy: PromotionPolicy) -> Self {
+        self.telemetry
+            .get_or_insert(mobivine_telemetry::DEFAULT_SPAN_RETENTION);
+        self.promotion = Some(policy);
+        self
+    }
+
+    /// Attaches a declarative SLO engine (see [`Mobivine::with_slo`]).
+    #[must_use]
+    pub fn with_slo(mut self, engine: Arc<SloEngine>) -> Self {
+        self.slo = Some(engine);
+        self
+    }
+
     /// Builds the runtime, applying the configured options in canonical
     /// order regardless of the order the builder methods were called.
     ///
@@ -984,8 +1058,12 @@ impl MobivineBuilder {
         if let Some(catalog) = self.catalog {
             runtime.catalog = catalog;
         }
+        if let Some(engine) = self.slo {
+            runtime = runtime.with_slo(engine);
+        }
         if let Some(span_retention) = self.telemetry {
-            runtime = runtime.with_telemetry_retention(span_retention);
+            let policy = self.promotion.unwrap_or_default();
+            runtime = runtime.with_telemetry_recorder(span_retention, policy);
         }
         if let Some(policy) = self.resilience {
             runtime = runtime.with_resilience(policy);
@@ -1235,6 +1313,48 @@ mod tests {
                 exposition.contains("resilience"),
                 "resilience series on the telemetry registry:\n{exposition}"
             );
+        }
+    }
+
+    #[test]
+    fn slo_composes_in_any_order_and_incidents_are_reachable() {
+        use mobivine_telemetry::{SloObjective, SloTarget};
+
+        let objectives = || {
+            vec![SloObjective {
+                name: "location-availability".into(),
+                proxy: "Location".into(),
+                method: "getLocation".into(),
+                platform: "android".into(),
+                target: SloTarget::Availability {
+                    target_ppm: 999_000,
+                },
+            }]
+        };
+        let slo_first = Mobivine::builder()
+            .with_slo(Arc::new(SloEngine::new(objectives())))
+            .with_telemetry()
+            .android(
+                AndroidPlatform::new(Device::builder().build(), SdkVersion::M5Rc15).new_context(),
+            )
+            .build()
+            .unwrap();
+        let telemetry_first = Mobivine::for_android(
+            AndroidPlatform::new(Device::builder().build(), SdkVersion::M5Rc15).new_context(),
+        )
+        .with_telemetry()
+        .with_slo(Arc::new(SloEngine::new(objectives())));
+
+        for runtime in [slo_first, telemetry_first] {
+            let engine = Arc::clone(runtime.slo_engine().expect("slo engine"));
+            let location = runtime.proxy::<dyn LocationProxy>().unwrap();
+            location.get_location().unwrap();
+            let report = engine.report(1);
+            assert_eq!(
+                report.statuses[0].fast.good, 1,
+                "proxy plane feeds the engine regardless of wiring order"
+            );
+            assert!(runtime.incidents().expect("incident store").is_empty());
         }
     }
 

@@ -32,9 +32,18 @@
 //! [`CallInstruments`] bundle of pre-resolved counter/histogram
 //! handles. A traced call is then: clone two `Arc` span names, two or
 //! three atomic increments, one histogram bucket add, and a record
-//! moved into a per-thread span sink. `Labels::call` must never appear
+//! moved into a per-thread span ring. `Labels::call` must never appear
 //! inside the per-call methods (CI greps for it); it belongs in
 //! [`CallInstruments::resolve`] alone.
+//!
+//! The proxy plane also closes the incident-debugging loop: it stamps
+//! `deadline = blown` on the span when the ambient
+//! [`crate::overload::Deadline`] expired mid-call (so the flight
+//! recorder's tail-based policy can promote the trace), attaches the
+//! promoted trace id to the latency histogram bucket as an OpenMetrics
+//! exemplar, and feeds `(ok, latency)` into any [`SloEngine`]
+//! objectives watching the series — all through handles resolved at
+//! wiring time, so the healthy warmed path stays allocation-free.
 //!
 //! Spans parent implicitly through the ambient span stack
 //! ([`mobivine_telemetry::span::ambient`]): if the application opened
@@ -44,8 +53,12 @@
 use std::sync::Arc;
 
 use mobivine_device::Device;
-use mobivine_telemetry::span::{ambient, Plane, SpanName};
-use mobivine_telemetry::{Counter, Histogram, Labels, MetricsRegistry, Tracer};
+use mobivine_telemetry::recorder::take_promotion;
+use mobivine_telemetry::span::{ambient, Plane, SpanName, DEFAULT_SPAN_RETENTION};
+use mobivine_telemetry::{
+    Counter, Histogram, IncidentStore, Labels, MetricsRegistry, PromotionPolicy, Recorder,
+    RecorderCounters, SloEngine, SloRecorder, Tracer,
+};
 
 use crate::api::{CallProxy, HttpProxy, LocationProxy, ProxyBase, SmsProxy};
 use crate::error::{ProxyError, ProxyErrorKind};
@@ -53,32 +66,66 @@ use crate::property::PropertyValue;
 use crate::types::{CallProgress, DeliveryListener, HttpResult, Location, SharedProximityListener};
 
 /// One runtime's telemetry wiring: the tracer collecting span records
-/// and the metrics registry every layer publishes into.
+/// (with its flight-recorder promotion policy), the metrics registry
+/// every layer publishes into, and — when configured — the SLO engine
+/// grading proxy-plane outcomes against declared objectives.
 #[derive(Clone)]
 pub struct TelemetryRuntime {
     tracer: Tracer,
     metrics: Arc<MetricsRegistry>,
+    slo: Option<Arc<SloEngine>>,
 }
 
 impl TelemetryRuntime {
     /// Creates a runtime collecting spans into a fresh [`Tracer`] and
     /// metrics into `metrics` (usually the device's registry, so the
-    /// whole call path shares one exporter surface).
+    /// whole call path shares one exporter surface). The flight
+    /// recorder is on by default with [`PromotionPolicy::default`]:
+    /// errored and deadline-blown traces are promoted into the
+    /// incident store before ring wrap-around can overwrite them.
     pub fn new(metrics: Arc<MetricsRegistry>) -> Self {
-        Self {
-            tracer: Tracer::new(),
-            metrics,
-        }
+        Self::with_retention(metrics, DEFAULT_SPAN_RETENTION)
     }
 
     /// Like [`TelemetryRuntime::new`], but the tracer's per-thread
-    /// span sinks keep at most `span_retention` records each — the
+    /// span rings keep at most `span_retention` records each — the
     /// knob fleet-scale runs use to bound trace memory per device.
     pub fn with_retention(metrics: Arc<MetricsRegistry>, span_retention: usize) -> Self {
+        Self::with_recorder(metrics, span_retention, PromotionPolicy::default())
+    }
+
+    /// Full-control constructor: span retention plus an explicit
+    /// tail-based [`PromotionPolicy`]. The recorder's health counters
+    /// (`telemetry_spans_evicted_total`,
+    /// `telemetry_traces_promoted_total`,
+    /// `telemetry_promotions_dropped_total`) are resolved against
+    /// `metrics` here, once, so bumping them on the call path is pure
+    /// atomics.
+    pub fn with_recorder(
+        metrics: Arc<MetricsRegistry>,
+        span_retention: usize,
+        policy: PromotionPolicy,
+    ) -> Self {
+        let tracer = Tracer::with_recorder(span_retention, Recorder::new(policy));
+        let none = Labels::empty();
+        tracer.install_counters(RecorderCounters {
+            evicted: metrics.counter("telemetry_spans_evicted_total", &none),
+            promoted: metrics.counter("telemetry_traces_promoted_total", &none),
+            promoted_dropped: metrics.counter("telemetry_promotions_dropped_total", &none),
+        });
         Self {
-            tracer: Tracer::with_retention(span_retention),
+            tracer,
             metrics,
+            slo: None,
         }
+    }
+
+    /// Attaches an SLO engine; proxy-plane decorators wired after this
+    /// call feed every finished call's `(ok, latency)` into the
+    /// engine's matching objectives.
+    pub fn with_slo(mut self, slo: Arc<SloEngine>) -> Self {
+        self.slo = Some(slo);
+        self
     }
 
     /// The tracer holding every finished span.
@@ -89,6 +136,19 @@ impl TelemetryRuntime {
     /// The shared metrics registry.
     pub fn metrics(&self) -> &Arc<MetricsRegistry> {
         &self.metrics
+    }
+
+    /// The SLO engine, when one was attached via
+    /// [`TelemetryRuntime::with_slo`].
+    pub fn slo(&self) -> Option<&Arc<SloEngine>> {
+        self.slo.as_ref()
+    }
+
+    /// The bounded store of promoted (incident) traces, when the
+    /// tracer carries a flight recorder — always the case for runtimes
+    /// built through this type's constructors.
+    pub fn incidents(&self) -> Option<&Arc<IncidentStore>> {
+        self.tracer.incident_store()
     }
 }
 
@@ -141,11 +201,14 @@ impl CallInstruments {
 }
 
 /// One method's wiring-time state: its pre-formatted span name and, at
-/// the proxy plane, its metric handles.
+/// the proxy plane, its metric handles and the SLO recorder feeding
+/// whichever declared objectives watch this `(proxy, method,
+/// platform)` series.
 struct MethodInstrument {
     method: &'static str,
     span_name: SpanName,
     instruments: Option<CallInstruments>,
+    slo: Option<SloRecorder>,
 }
 
 /// The per-decorator instrumentation kit: where to time, trace and
@@ -176,6 +239,11 @@ impl Instrument {
                 span_name: SpanName::from(format!("{plane}:{proxy}.{method}")),
                 instruments: (plane == Plane::Proxy)
                     .then(|| CallInstruments::resolve(&runtime.metrics, proxy, method, platform)),
+                slo: (plane == Plane::Proxy)
+                    .then_some(runtime.slo.as_ref())
+                    .flatten()
+                    .map(|engine| engine.recorder(proxy, method, platform))
+                    .filter(|recorder| !recorder.is_empty()),
             })
             .collect();
         Self {
@@ -195,7 +263,15 @@ impl Instrument {
     }
 
     /// Runs one proxy call inside a span; the proxy plane additionally
-    /// publishes call/error counters and the latency histogram.
+    /// publishes call/error counters, the latency histogram (with an
+    /// OpenMetrics exemplar when the call's trace was just promoted),
+    /// and the SLO recorder for this series.
+    ///
+    /// The span is ended *before* the latency record so that when this
+    /// span is a trace root, the flight recorder's tail-based
+    /// classification has already run — [`take_promotion`] then hands
+    /// back the promoted [`mobivine_telemetry::TraceId`] to pin on the
+    /// latency bucket as an exemplar.
     fn traced<T>(
         &self,
         method: &'static str,
@@ -208,17 +284,31 @@ impl Instrument {
         span.attr("platform", self.platform.clone());
         let result = call();
         let end = self.device.now_ms();
+        if let Err(e) = &result {
+            span.attr("error", kind_name(e.kind()));
+        }
+        if entry.instruments.is_some() {
+            if let Some(deadline) = crate::overload::current_deadline() {
+                if end > deadline.expires_at_ms() {
+                    span.attr("deadline", "blown");
+                }
+            }
+        }
+        span.end(end);
         if let Some(instruments) = &entry.instruments {
             instruments.calls.inc();
             if result.is_err() {
                 instruments.errors.inc();
             }
-            instruments.latency.record(end.saturating_sub(now));
+            let latency = end.saturating_sub(now);
+            instruments.latency.record(latency);
+            if let Some(trace_id) = take_promotion(&self.tracer) {
+                instruments.latency.attach_exemplar(latency, trace_id);
+            }
+            if let Some(slo) = &entry.slo {
+                slo.record(end, result.is_ok(), latency);
+            }
         }
-        if let Err(e) = &result {
-            span.attr("error", kind_name(e.kind()));
-        }
-        span.end(end);
         result
     }
 }
@@ -564,6 +654,179 @@ mod tests {
         ] {
             assert_eq!(kind_name(kind), format!("{kind:?}"));
         }
+    }
+
+    #[test]
+    fn blown_deadline_promotes_the_trace_and_pins_an_exemplar() {
+        use mobivine_telemetry::PromotionReason;
+
+        struct SlowLocation(Device);
+        impl ProxyBase for SlowLocation {
+            fn set_property(&self, _k: &str, _v: PropertyValue) -> Result<(), ProxyError> {
+                Ok(())
+            }
+        }
+        impl LocationProxy for SlowLocation {
+            fn add_proximity_alert(
+                &self,
+                _latitude: f64,
+                _longitude: f64,
+                _altitude: f64,
+                _radius: f64,
+                _timer_s: i64,
+                _listener: SharedProximityListener,
+            ) -> Result<(), ProxyError> {
+                Ok(())
+            }
+            fn remove_proximity_alert(
+                &self,
+                _listener: &SharedProximityListener,
+            ) -> Result<bool, ProxyError> {
+                Ok(true)
+            }
+            fn get_location(&self) -> Result<Location, ProxyError> {
+                self.0.advance_ms(50);
+                Ok(Location::default())
+            }
+        }
+
+        let (device, telemetry) = runtime();
+        let proxy = TracedLocationProxy::new(
+            Arc::new(SlowLocation(device.clone())),
+            device.clone(),
+            &telemetry,
+            Plane::Proxy,
+            "android",
+        );
+        let deadline = crate::overload::Deadline::after(device.now_ms(), 10);
+        crate::overload::with_deadline(deadline, || proxy.get_location().unwrap());
+
+        let spans = telemetry.tracer().finished();
+        assert!(spans[0]
+            .attrs
+            .iter()
+            .any(|(k, v)| k == "deadline" && v == "blown"));
+
+        let store = telemetry.incidents().expect("recorder is on by default");
+        assert_eq!(store.len(), 1, "blown deadline promotes the trace");
+        let traces = store.traces();
+        assert!(matches!(traces[0].reason, PromotionReason::DeadlineBlown));
+        assert!(traces[0].complete, "promoted tree validates");
+
+        let labels = Labels::call("Location", "getLocation", "android");
+        let exemplars = telemetry
+            .metrics()
+            .histogram("proxy_call_ms", &labels)
+            .exemplars();
+        assert_eq!(exemplars.len(), 1, "promotion pins a bucket exemplar");
+        assert_eq!(exemplars[0].1, traces[0].trace_id);
+        assert_eq!(exemplars[0].2, 50, "exemplar carries the observed latency");
+    }
+
+    #[test]
+    fn healthy_calls_within_deadline_are_not_promoted() {
+        let (device, telemetry) = runtime();
+        let proxy = TracedLocationProxy::new(
+            Arc::new(FixedLocation),
+            device.clone(),
+            &telemetry,
+            Plane::Proxy,
+            "android",
+        );
+        let deadline = crate::overload::Deadline::after(device.now_ms(), 100);
+        crate::overload::with_deadline(deadline, || proxy.get_location().unwrap());
+        assert!(telemetry.incidents().unwrap().is_empty());
+        let labels = Labels::call("Location", "getLocation", "android");
+        assert!(telemetry
+            .metrics()
+            .histogram("proxy_call_ms", &labels)
+            .exemplars()
+            .is_empty());
+    }
+
+    #[test]
+    fn proxy_plane_feeds_slo_objectives() {
+        use mobivine_telemetry::{SloObjective, SloTarget};
+
+        let device = Device::builder().build();
+        let engine = Arc::new(SloEngine::new(vec![
+            SloObjective {
+                name: "location-availability".into(),
+                proxy: "Location".into(),
+                method: "getLocation".into(),
+                platform: "android".into(),
+                target: SloTarget::Availability {
+                    target_ppm: 999_000,
+                },
+            },
+            SloObjective {
+                name: "sms-availability".into(),
+                proxy: "SMS".into(),
+                method: "sendTextMessage".into(),
+                platform: "android".into(),
+                target: SloTarget::Availability {
+                    target_ppm: 999_000,
+                },
+            },
+        ]));
+        let telemetry =
+            TelemetryRuntime::new(Arc::clone(device.metrics())).with_slo(Arc::clone(&engine));
+        let proxy = TracedLocationProxy::new(
+            Arc::new(FixedLocation),
+            device.clone(),
+            &telemetry,
+            Plane::Proxy,
+            "android",
+        );
+        for _ in 0..5 {
+            proxy.get_location().unwrap();
+        }
+        let report = engine.report(device.now_ms());
+        let status = &report.statuses[0];
+        assert_eq!(status.fast.good, 5, "matching objective sees the calls");
+        assert_eq!(status.fast.bad, 0);
+        let sms = &report.statuses[1];
+        assert_eq!(
+            sms.fast.good + sms.fast.bad,
+            0,
+            "non-matching series stays idle"
+        );
+    }
+
+    #[test]
+    fn error_promotion_is_on_by_default() {
+        use mobivine_telemetry::PromotionReason;
+
+        struct Failing;
+        impl ProxyBase for Failing {
+            fn set_property(&self, _k: &str, _v: PropertyValue) -> Result<(), ProxyError> {
+                Ok(())
+            }
+        }
+        impl HttpProxy for Failing {
+            fn request(&self, _m: &str, _u: &str, _b: &[u8]) -> Result<HttpResult, ProxyError> {
+                Err(ProxyError::new(crate::error::ProxyErrorKind::Io, "down"))
+            }
+        }
+        let (device, telemetry) = runtime();
+        let proxy = TracedHttpProxy::new(
+            Arc::new(Failing),
+            device,
+            &telemetry,
+            Plane::Proxy,
+            "android",
+        );
+        assert!(proxy.request("GET", "http://s/x", b"").is_err());
+        let store = telemetry.incidents().unwrap();
+        assert_eq!(store.promoted_total(), 1);
+        assert!(matches!(&store.traces()[0].reason, PromotionReason::Error(kind) if kind == "Io"));
+        assert_eq!(
+            telemetry
+                .metrics()
+                .counter_value("telemetry_traces_promoted_total", &Labels::empty()),
+            1,
+            "promotion bumps the registry counter"
+        );
     }
 
     #[test]

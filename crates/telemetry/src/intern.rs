@@ -63,6 +63,11 @@ impl<T: Clone + Eq + std::hash::Hash> Table<T> {
         if let Some(&symbol) = self.index.get(value) {
             return symbol;
         }
+        // Infallible in practice: each symbol is a *distinct* metric
+        // name or label set, and 2^32 of those would exhaust memory
+        // long before this conversion could fail. Panicking (rather
+        // than silently aliasing symbols) is the correct response to a
+        // label-cardinality explosion of that magnitude.
         let symbol = u32::try_from(self.values.len()).expect("interner overflow");
         self.values.push(value.clone());
         self.index.insert(value.clone(), symbol);

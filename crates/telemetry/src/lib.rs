@@ -24,10 +24,20 @@
 //! * [`intern`] — process-wide symbol tables turning metric names and
 //!   label sets into copyable `u32` keys, so the recording path never
 //!   hashes or compares strings.
+//! * [`recorder`] — the flight recorder's tail-based promotion: a
+//!   [`PromotionPolicy`] classifies every closing trace root (error,
+//!   blown deadline, latency threshold) and promotes interesting trace
+//!   trees out of the overwrite-oldest rings into a bounded
+//!   [`IncidentStore`] before they can be overwritten.
+//! * [`slo`] — declarative availability / latency-quantile objectives
+//!   per `(proxy, method, platform)`, evaluated on virtual-time
+//!   multi-window burn rates (fast 5m / slow 1h) by an [`SloEngine`],
+//!   with a JSON report format linking breaches to promoted traces.
 //! * [`export`] — Chrome trace-event JSON for span trees (load the file
 //!   in `chrome://tracing` / Perfetto) and Prometheus-style text
-//!   exposition for the registry, plus validators that round-trip the
-//!   exported JSON.
+//!   exposition for the registry — including OpenMetrics exemplars on
+//!   histogram buckets — plus validators that round-trip the exported
+//!   documents.
 //!
 //! The crate deliberately has **no dependency on the device substrate**:
 //! every timestamp is passed in as a `u64` of virtual milliseconds, so
@@ -37,11 +47,18 @@ pub mod context;
 pub mod export;
 pub mod intern;
 pub mod metrics;
+pub mod recorder;
+pub mod slo;
 pub mod span;
 
 pub use context::TraceContext;
 pub use intern::{LabelKey, NameKey};
 pub use metrics::{Counter, Gauge, Histogram, Labels, MetricsRegistry};
+pub use recorder::{
+    IncidentStore, PromotedTrace, PromotionPolicy, PromotionReason, Recorder, RecorderCounters,
+    DEFAULT_INCIDENT_CAPACITY,
+};
+pub use slo::{SloEngine, SloObjective, SloRecorder, SloReport, SloStatus, SloTarget};
 pub use span::{
     ambient, ActiveSpan, AttrList, Plane, SpanEvent, SpanId, SpanName, SpanRecord, TraceId, Tracer,
     DEFAULT_SPAN_RETENTION,

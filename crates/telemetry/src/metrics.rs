@@ -19,6 +19,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::intern::{self, LabelKey, NameKey};
+use crate::span::TraceId;
 
 /// A canonicalised (sorted, deduplicated) label set.
 #[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -135,6 +136,12 @@ struct HistogramInner {
     /// Bucket 0 holds exact zeros; bucket `i >= 1` holds values in
     /// `[2^(i-1), 2^i - 1]` — power-of-two (log-bucketed) boundaries.
     buckets: Vec<AtomicU64>,
+    /// Per-bucket exemplar: the last promoted trace id whose sample
+    /// landed in the bucket (`0` = none) and that sample's value.
+    /// Written only on trace promotion — never on the plain recording
+    /// hot path — and rendered in OpenMetrics exemplar syntax.
+    exemplar_traces: Vec<AtomicU64>,
+    exemplar_values: Vec<AtomicU64>,
     count: AtomicU64,
     sum: AtomicU64,
 }
@@ -183,6 +190,8 @@ impl Histogram {
         Self {
             inner: Arc::new(HistogramInner {
                 buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+                exemplar_traces: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+                exemplar_values: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
                 count: AtomicU64::new(0),
                 sum: AtomicU64::new(0),
             }),
@@ -194,6 +203,40 @@ impl Histogram {
         self.inner.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
         self.inner.count.fetch_add(1, Ordering::Relaxed);
         self.inner.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Attaches `trace_id` as the exemplar for the bucket `value`
+    /// falls into (last writer wins). Two relaxed stores — no
+    /// allocation, safe on the warmed hot path; call it when a trace
+    /// is promoted so every bucket links to the most recent promoted
+    /// trace that landed there.
+    pub fn attach_exemplar(&self, value: u64, trace_id: TraceId) {
+        let bucket = bucket_index(value);
+        self.inner.exemplar_values[bucket].store(value, Ordering::Relaxed);
+        self.inner.exemplar_traces[bucket].store(trace_id.0, Ordering::Relaxed);
+    }
+
+    /// The exemplar attached to `bucket`, as `(trace id, sample
+    /// value)`, if any.
+    pub fn exemplar(&self, bucket: usize) -> Option<(TraceId, u64)> {
+        let trace = self
+            .inner
+            .exemplar_traces
+            .get(bucket)?
+            .load(Ordering::Relaxed);
+        if trace == 0 {
+            return None;
+        }
+        let value = self.inner.exemplar_values[bucket].load(Ordering::Relaxed);
+        Some((TraceId(trace), value))
+    }
+
+    /// Every exemplar currently attached, as `(bucket, trace id,
+    /// sample value)`.
+    pub fn exemplars(&self) -> Vec<(usize, TraceId, u64)> {
+        (0..BUCKETS)
+            .filter_map(|bucket| self.exemplar(bucket).map(|(id, v)| (bucket, id, v)))
+            .collect()
     }
 
     /// Number of samples recorded.
@@ -393,8 +436,11 @@ impl MetricsRegistry {
 
     /// Renders the registry in Prometheus text exposition format.
     /// Counters and gauges expose their value; histograms expose
-    /// summary quantiles (p50/p95/p99) plus `_sum` and `_count`.
-    /// Output is deterministic (sorted by name, then labels).
+    /// summary quantiles (p50/p95/p99), cumulative `_bucket` series
+    /// over the non-empty log buckets — with OpenMetrics exemplars
+    /// (`# {trace_id="…"} value`) where a promoted trace is attached —
+    /// plus `_sum` and `_count`. Output is deterministic (sorted by
+    /// name, then labels).
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
         let mut last_name = String::new();
@@ -426,6 +472,42 @@ impl MetricsRegistry {
                     labels.render(&[("quantile", tag)]),
                     format_float(histogram.quantile(q))
                 );
+            }
+            // Cumulative `_bucket` series over the non-empty log
+            // buckets, each carrying its exemplar (the last promoted
+            // trace that landed there) in OpenMetrics syntax:
+            //   name_bucket{...,le="X"} N # {trace_id="…"} value
+            let mut cumulative = 0u64;
+            for bucket in 0..BUCKETS {
+                let in_bucket = histogram.inner.buckets[bucket].load(Ordering::Relaxed);
+                cumulative += in_bucket;
+                if in_bucket == 0 || bucket == BUCKETS - 1 {
+                    continue;
+                }
+                let le = bucket_bounds(bucket).1.to_string();
+                let _ = write!(
+                    out,
+                    "{name}_bucket{} {cumulative}",
+                    labels.render(&[("le", &le)])
+                );
+                match histogram.exemplar(bucket) {
+                    Some((trace_id, value)) => {
+                        let _ = writeln!(out, " # {{trace_id=\"{:016x}\"}} {value}", trace_id.0);
+                    }
+                    None => out.push('\n'),
+                }
+            }
+            let _ = write!(
+                out,
+                "{name}_bucket{} {}",
+                labels.render(&[("le", "+Inf")]),
+                histogram.count()
+            );
+            match histogram.exemplar(BUCKETS - 1) {
+                Some((trace_id, value)) => {
+                    let _ = writeln!(out, " # {{trace_id=\"{:016x}\"}} {value}", trace_id.0);
+                }
+                None => out.push('\n'),
             }
             let _ = writeln!(out, "{name}_sum{} {}", labels.render(&[]), histogram.sum());
             let _ = writeln!(
@@ -626,6 +708,31 @@ mod tests {
         assert!(text.contains("quantile=\"0.95\""));
         assert!(text.contains("proxy_call_ms_count{"));
         assert_eq!(text, registry.render_prometheus(), "deterministic");
+    }
+
+    #[test]
+    fn histogram_buckets_render_with_openmetrics_exemplars() {
+        let registry = MetricsRegistry::new();
+        let labels = Labels::call("Http", "request", "android");
+        let h = registry.histogram("proxy_call_ms", &labels);
+        h.record(10);
+        h.record(300);
+        let text = registry.render_prometheus();
+        assert!(
+            text.contains("proxy_call_ms_bucket{method=\"request\",platform=\"android\",proxy=\"Http\",le=\"15\"} 1\n"),
+            "cumulative bucket line without exemplar: {text}"
+        );
+        assert!(text.contains("le=\"+Inf\"} 2\n"), "{text}");
+        assert!(!text.contains("trace_id"), "no exemplars attached yet");
+
+        h.attach_exemplar(300, TraceId(0xab));
+        assert_eq!(h.exemplar(9), Some((TraceId(0xab), 300)));
+        assert_eq!(h.exemplars(), vec![(9, TraceId(0xab), 300)]);
+        let text = registry.render_prometheus();
+        assert!(
+            text.contains("le=\"511\"} 2 # {trace_id=\"00000000000000ab\"} 300\n"),
+            "exemplar in OpenMetrics syntax: {text}"
+        );
     }
 
     #[test]

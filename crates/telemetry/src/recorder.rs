@@ -1,0 +1,505 @@
+//! Tail-based trace promotion out of the flight-recorder rings.
+//!
+//! The per-thread span rings ([`crate::span`]) retain only the most
+//! recent history; this module decides — at the moment a trace's root
+//! span closes, when the outcome is fully known — whether that trace
+//! is *interesting* enough to keep forever. Interesting means: the
+//! root carries an `error` attribute (any proxy error kind — a
+//! timeout, a circuit rejection, an `Overloaded` shed, a
+//! `DeadlineExceeded`, a retry exhaustion), the root is marked
+//! `deadline=blown` (the call finished past its propagated budget), or
+//! the root's duration crossed a per-operation latency threshold.
+//! Promoted traces are copied whole into a bounded [`IncidentStore`]
+//! before the ring can overwrite them, and the store keeps the
+//! *earliest* incidents (keep-first), so the promoted set for a
+//! deterministic run is itself deterministic and independent of how
+//! work is split across workers: every trace is classified on the one
+//! thread that recorded it, with the same virtual timestamps.
+//!
+//! Classification is allocation-free when the answer is "not
+//! interesting" — the common case on a healthy hot path — so the
+//! recorder can stay on in the zero-allocation traced configurations.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::metrics::Counter;
+use crate::span::{validate_tree, SpanId, SpanName, SpanRecord, TraceId, Tracer};
+
+/// Default incident-store capacity: roomy enough that a brownout run
+/// keeps one promoted trace per breached call, small enough that a
+/// misbehaving fleet device stays bounded.
+pub const DEFAULT_INCIDENT_CAPACITY: usize = 1024;
+
+/// Why a trace was promoted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PromotionReason {
+    /// The root span recorded an `error` attribute; the payload is the
+    /// error-kind name (e.g. `Overloaded`, `DeadlineExceeded`).
+    Error(String),
+    /// The call completed past its propagated deadline budget
+    /// (`deadline=blown` on the root span).
+    DeadlineBlown,
+    /// The root span's duration crossed a configured threshold.
+    SlowCall {
+        /// Observed root duration in virtual milliseconds.
+        observed_ms: u64,
+        /// The threshold that was crossed.
+        threshold_ms: u64,
+    },
+}
+
+impl PromotionReason {
+    /// Small stable discriminant, used in checksums and digests.
+    pub fn code(&self) -> u64 {
+        match self {
+            PromotionReason::Error(_) => 1,
+            PromotionReason::DeadlineBlown => 2,
+            PromotionReason::SlowCall { .. } => 3,
+        }
+    }
+
+    /// Human-readable label for reports.
+    pub fn label(&self) -> &str {
+        match self {
+            PromotionReason::Error(kind) => kind,
+            PromotionReason::DeadlineBlown => "deadline_blown",
+            PromotionReason::SlowCall { .. } => "slow_call",
+        }
+    }
+}
+
+/// Declarative rules for what counts as an interesting trace.
+///
+/// The default policy promotes errored and deadline-blown traces and
+/// has no latency thresholds; [`PromotionPolicy::latency_threshold`]
+/// adds per-operation ones keyed by the **root span name** (e.g.
+/// `proxy:Http.request`).
+#[derive(Debug, Clone)]
+pub struct PromotionPolicy {
+    promote_errors: bool,
+    promote_deadline_blown: bool,
+    /// `(root span name, threshold in virtual ms)`; linear scan — the
+    /// list is a handful of entries resolved against `&str` names, so
+    /// classification never allocates.
+    latency_thresholds: Vec<(String, u64)>,
+    max_incidents: usize,
+}
+
+impl Default for PromotionPolicy {
+    fn default() -> Self {
+        Self {
+            promote_errors: true,
+            promote_deadline_blown: true,
+            latency_thresholds: Vec::new(),
+            max_incidents: DEFAULT_INCIDENT_CAPACITY,
+        }
+    }
+}
+
+impl PromotionPolicy {
+    /// The default policy (promote errors + blown deadlines).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether traces whose root records an `error` attribute promote.
+    pub fn promote_errors(mut self, on: bool) -> Self {
+        self.promote_errors = on;
+        self
+    }
+
+    /// Whether traces marked `deadline=blown` promote.
+    pub fn promote_deadline_blown(mut self, on: bool) -> Self {
+        self.promote_deadline_blown = on;
+        self
+    }
+
+    /// Promotes traces whose root span named `root_name` ran for at
+    /// least `threshold_ms` virtual milliseconds.
+    pub fn latency_threshold(mut self, root_name: impl Into<String>, threshold_ms: u64) -> Self {
+        self.latency_thresholds
+            .push((root_name.into(), threshold_ms));
+        self
+    }
+
+    /// Caps the incident store at `capacity` promoted traces
+    /// (keep-first; minimum 1). Later promotions are counted as
+    /// dropped.
+    pub fn max_incidents(mut self, capacity: usize) -> Self {
+        self.max_incidents = capacity.max(1);
+        self
+    }
+
+    /// The configured incident-store capacity.
+    pub fn incident_capacity(&self) -> usize {
+        self.max_incidents
+    }
+
+    /// Classifies a closing trace root. `None` — the common, healthy
+    /// case — allocates nothing.
+    pub fn classify(&self, root: &SpanRecord) -> Option<PromotionReason> {
+        if self.promote_deadline_blown && root.attrs.get("deadline") == Some("blown") {
+            return Some(PromotionReason::DeadlineBlown);
+        }
+        if self.promote_errors {
+            if let Some(kind) = root.attrs.get("error") {
+                return Some(PromotionReason::Error(kind.to_owned()));
+            }
+        }
+        let name = root.name.as_str();
+        for (candidate, threshold_ms) in &self.latency_thresholds {
+            let observed_ms = root.end_ms - root.start_ms;
+            if candidate == name && observed_ms >= *threshold_ms {
+                return Some(PromotionReason::SlowCall {
+                    observed_ms,
+                    threshold_ms: *threshold_ms,
+                });
+            }
+        }
+        None
+    }
+}
+
+/// One promoted trace: the whole tree, copied out of the ring at the
+/// moment the root closed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromotedTrace {
+    /// The trace's id.
+    pub trace_id: TraceId,
+    /// The root span's id.
+    pub root_span: SpanId,
+    /// The root span's operation name.
+    pub root_name: SpanName,
+    /// Why the trace was promoted.
+    pub reason: PromotionReason,
+    /// Root start, virtual milliseconds.
+    pub start_ms: u64,
+    /// Root end, virtual milliseconds.
+    pub end_ms: u64,
+    /// Whether the captured spans passed [`validate_tree`] — `false`
+    /// means some children had already been evicted from the ring
+    /// (retention smaller than the trace).
+    pub complete: bool,
+    /// Every captured span of the trace, oldest first (root last).
+    pub spans: Vec<SpanRecord>,
+}
+
+impl PromotedTrace {
+    /// Root duration in virtual milliseconds.
+    pub fn duration_ms(&self) -> u64 {
+        self.end_ms - self.start_ms
+    }
+}
+
+/// A bounded keep-first store of promoted traces.
+#[derive(Debug)]
+pub struct IncidentStore {
+    capacity: usize,
+    promoted: AtomicU64,
+    dropped: AtomicU64,
+    traces: Mutex<Vec<PromotedTrace>>,
+}
+
+impl IncidentStore {
+    /// An empty store keeping at most `capacity` traces (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            capacity,
+            promoted: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            traces: Mutex::new(Vec::with_capacity(capacity.min(64))),
+        }
+    }
+
+    /// Stores a promoted trace if there is room. Returns whether it
+    /// was kept.
+    fn push(&self, trace: PromotedTrace) -> bool {
+        self.promoted.fetch_add(1, Ordering::Relaxed);
+        let mut traces = self.traces.lock();
+        if traces.len() < self.capacity {
+            traces.push(trace);
+            true
+        } else {
+            drop(traces);
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+    }
+
+    /// The store's capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Traces promoted so far (kept + dropped).
+    pub fn promoted_total(&self) -> u64 {
+        self.promoted.load(Ordering::Relaxed)
+    }
+
+    /// Promotions that found the store full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Number of traces currently kept.
+    pub fn len(&self) -> usize {
+        self.traces.lock().len()
+    }
+
+    /// Whether no trace has been kept.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A copy of the kept traces, in promotion order.
+    pub fn traces(&self) -> Vec<PromotedTrace> {
+        self.traces.lock().clone()
+    }
+}
+
+/// Registry counters mirroring the flight recorder's health: installed
+/// on a [`Tracer`] they surface eviction and promotion totals in the
+/// Prometheus exposition instead of only the `Debug` impl.
+#[derive(Debug, Clone)]
+pub struct RecorderCounters {
+    /// Spans overwritten by ring wrap-around
+    /// (`telemetry_spans_evicted_total`).
+    pub evicted: Counter,
+    /// Traces promoted into the incident store
+    /// (`telemetry_traces_promoted_total`).
+    pub promoted: Counter,
+    /// Promotions dropped because the store was full
+    /// (`telemetry_promotions_dropped_total`).
+    pub promoted_dropped: Counter,
+}
+
+/// The promotion engine a [`Tracer`] consults when a root span files:
+/// a [`PromotionPolicy`] plus the [`IncidentStore`] promoted traces
+/// land in.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    policy: Arc<PromotionPolicy>,
+    store: Arc<IncidentStore>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new(PromotionPolicy::default())
+    }
+}
+
+impl Recorder {
+    /// A recorder with a fresh store sized by the policy's
+    /// `max_incidents`.
+    pub fn new(policy: PromotionPolicy) -> Self {
+        let store = Arc::new(IncidentStore::new(policy.incident_capacity()));
+        Self {
+            policy: Arc::new(policy),
+            store,
+        }
+    }
+
+    /// The classification rules.
+    pub fn policy(&self) -> &PromotionPolicy {
+        &self.policy
+    }
+
+    /// The incident store.
+    pub fn store(&self) -> &Arc<IncidentStore> {
+        &self.store
+    }
+
+    /// Promotes a collected trace (called by `Tracer::file` with the
+    /// resident trace spans, root last).
+    pub(crate) fn promote(
+        &self,
+        tracer_id: u64,
+        reason: PromotionReason,
+        spans: Vec<SpanRecord>,
+        counters: Option<&RecorderCounters>,
+    ) {
+        let root = match spans.last() {
+            Some(root) => root,
+            None => return,
+        };
+        let trace = PromotedTrace {
+            trace_id: root.trace_id,
+            root_span: root.span_id,
+            root_name: root.name.clone(),
+            reason,
+            start_ms: root.start_ms,
+            end_ms: root.end_ms,
+            complete: validate_tree(&spans).is_ok(),
+            spans,
+        };
+        let trace_id = trace.trace_id;
+        let kept = self.store.push(trace);
+        if let Some(counters) = counters {
+            counters.promoted.inc();
+            if !kept {
+                counters.promoted_dropped.inc();
+            }
+        }
+        note_promotion(tracer_id, trace_id);
+    }
+}
+
+thread_local! {
+    /// The most recent promotion on this thread: `(tracer id, trace
+    /// id)`. Lets the traced decorator attach the promoted trace as a
+    /// histogram exemplar immediately after the root span ends,
+    /// without threading state through the call.
+    static LAST_PROMOTION: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
+}
+
+fn note_promotion(tracer_id: u64, trace_id: TraceId) {
+    LAST_PROMOTION.with(|cell| cell.set((tracer_id, trace_id.0)));
+}
+
+/// Consumes the trace id of the promotion that just happened on this
+/// thread for `tracer`, if any. One read clears it — exactly one
+/// exemplar per promotion.
+pub fn take_promotion(tracer: &Tracer) -> Option<TraceId> {
+    LAST_PROMOTION.with(|cell| {
+        let (tracer_id, trace_id) = cell.get();
+        if tracer_id == tracer.id() && trace_id != 0 {
+            cell.set((0, 0));
+            Some(TraceId(trace_id))
+        } else {
+            None
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{ambient, Plane};
+
+    fn recorder_tracer(retention: usize, policy: PromotionPolicy) -> Tracer {
+        Tracer::with_recorder(retention, Recorder::new(policy))
+    }
+
+    #[test]
+    fn errored_roots_promote_the_whole_tree() {
+        let tracer = recorder_tracer(64, PromotionPolicy::default());
+        let mut root = tracer.root("proxy:Location.getLocation", Plane::Proxy, 0);
+        ambient::child("platform:gps", Plane::Platform, 2)
+            .expect("ambient parent")
+            .end(9);
+        root.attr("error", "Timeout");
+        root.end(10);
+        // A healthy trace alongside it does not promote.
+        tracer
+            .root("proxy:Location.getLocation", Plane::Proxy, 20)
+            .end(25);
+
+        let store = tracer.incident_store().expect("recorder installed");
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.promoted_total(), 1);
+        let traces = store.traces();
+        assert_eq!(traces[0].reason, PromotionReason::Error("Timeout".into()));
+        assert_eq!(traces[0].spans.len(), 2);
+        assert!(traces[0].complete, "tree validated");
+        assert_eq!(traces[0].duration_ms(), 10);
+        // The promotion is consumable exactly once per tracer.
+        assert_eq!(take_promotion(&tracer), Some(traces[0].trace_id));
+        assert_eq!(take_promotion(&tracer), None);
+    }
+
+    #[test]
+    fn deadline_blown_outranks_error_and_latency() {
+        let policy = PromotionPolicy::default().latency_threshold("op", 1);
+        let tracer = recorder_tracer(8, policy);
+        let mut root = tracer.root("op", Plane::Proxy, 0);
+        root.attr("deadline", "blown");
+        root.attr("error", "DeadlineExceeded");
+        root.end(100);
+        let traces = tracer.incident_store().unwrap().traces();
+        assert_eq!(traces[0].reason, PromotionReason::DeadlineBlown);
+    }
+
+    #[test]
+    fn latency_thresholds_match_by_root_name() {
+        let policy = PromotionPolicy::default().latency_threshold("proxy:Http.request", 50);
+        let tracer = recorder_tracer(8, policy);
+        tracer.root("proxy:Http.request", Plane::Proxy, 0).end(49);
+        tracer.root("proxy:Sms.send", Plane::Proxy, 0).end(500);
+        tracer.root("proxy:Http.request", Plane::Proxy, 0).end(80);
+        let traces = tracer.incident_store().unwrap().traces();
+        assert_eq!(traces.len(), 1);
+        assert_eq!(
+            traces[0].reason,
+            PromotionReason::SlowCall {
+                observed_ms: 80,
+                threshold_ms: 50
+            }
+        );
+    }
+
+    #[test]
+    fn store_keeps_first_k_and_counts_drops() {
+        let policy = PromotionPolicy::default().max_incidents(2);
+        let tracer = recorder_tracer(8, policy);
+        for i in 0..5u64 {
+            let mut root = tracer.root("op", Plane::Proxy, i * 10);
+            root.attr("error", "Timeout");
+            root.end(i * 10 + 1);
+        }
+        let store = tracer.incident_store().unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.promoted_total(), 5);
+        assert_eq!(store.dropped(), 3);
+        let starts: Vec<u64> = store.traces().iter().map(|t| t.start_ms).collect();
+        assert_eq!(starts, vec![0, 10], "earliest incidents win");
+    }
+
+    #[test]
+    fn promotion_beats_ring_eviction() {
+        // Retention of 2 with a 3-span trace: the promotion still sees
+        // whatever is resident, and marks itself incomplete when the
+        // tree lost members.
+        let tracer = recorder_tracer(2, PromotionPolicy::default());
+        let mut root = tracer.root("op", Plane::Proxy, 0);
+        ambient::child("a", Plane::Platform, 1).unwrap().end(2);
+        ambient::child("b", Plane::Platform, 3).unwrap().end(4);
+        ambient::child("c", Plane::Device, 5).unwrap().end(6);
+        root.attr("error", "Timeout");
+        root.end(7);
+        let traces = tracer.incident_store().unwrap().traces();
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].spans.len(), 3, "two resident children + root");
+        assert!(traces[0].complete, "b and c still parent to the root");
+        // With enough retention the whole tree survives.
+        let roomy = recorder_tracer(16, PromotionPolicy::default());
+        let mut root = roomy.root("op", Plane::Proxy, 0);
+        ambient::child("a", Plane::Platform, 1).unwrap().end(2);
+        root.attr("error", "Timeout");
+        root.end(3);
+        let traces = roomy.incident_store().unwrap().traces();
+        assert!(traces[0].complete);
+        assert_eq!(
+            validate_tree(&traces[0].spans).unwrap(),
+            traces[0].root_span
+        );
+    }
+
+    #[test]
+    fn policy_knobs_disable_classes() {
+        let policy = PromotionPolicy::default()
+            .promote_errors(false)
+            .promote_deadline_blown(false);
+        let tracer = recorder_tracer(8, policy);
+        let mut root = tracer.root("op", Plane::Proxy, 0);
+        root.attr("error", "Timeout");
+        root.attr("deadline", "blown");
+        root.end(1);
+        assert!(tracer.incident_store().unwrap().is_empty());
+        assert_eq!(take_promotion(&tracer), None);
+    }
+}

@@ -1,0 +1,856 @@
+//! Declarative service-level objectives evaluated on virtual time.
+//!
+//! An [`SloObjective`] names a `(proxy, method, platform)` call path
+//! and a target: **availability** (at least `target_ppm` of calls
+//! succeed) or a **latency quantile** (at least `target_ppm` of
+//! successful calls complete within `threshold_ms`). The [`SloEngine`]
+//! evaluates objectives with the multi-window **burn-rate** method:
+//! each objective keeps two sliding windows of good/bad counts — a
+//! fast 5-minute window (catches sharp regressions quickly) and a slow
+//! 1-hour window (filters blips) — and an objective is *breached* only
+//! when **both** windows burn error budget faster than the configured
+//! threshold. All arithmetic is integer (parts-per-million targets,
+//! milli-scaled burn rates), so reports are `Eq`-comparable and
+//! bit-identical across reruns and worker splits.
+//!
+//! The recording path is built for the traced decorators: an
+//! [`SloRecorder`] is resolved once at wiring time (like the cached
+//! `CallInstruments` handles) and [`SloRecorder::record`] touches only
+//! pre-allocated atomics — no locks, no allocation — so objectives can
+//! stay on in the zero-allocation configurations.
+//!
+//! Windows slide on **virtual milliseconds**: slots are keyed by epoch
+//! (`now_ms / slot_ms`) and lazily reset when a new epoch lands on
+//! them, so there is no background task and idle objectives cost
+//! nothing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use serde_json::Value;
+
+use crate::recorder::IncidentStore;
+
+/// Fast window: 5 virtual minutes, 10-second slots.
+pub const FAST_WINDOW_MS: u64 = 5 * 60 * 1000;
+const FAST_SLOT_MS: u64 = 10 * 1000;
+/// Slow window: 1 virtual hour, 60-second slots.
+pub const SLOW_WINDOW_MS: u64 = 60 * 60 * 1000;
+const SLOW_SLOT_MS: u64 = 60 * 1000;
+
+/// Default breach threshold: both windows burning budget at ≥ 1.0×
+/// the sustainable rate (1000 milli-burn).
+pub const DEFAULT_BURN_THRESHOLD_MILLI: u64 = 1000;
+
+/// Burn rates are capped here so they stay exactly representable when
+/// rendered through an `f64` JSON number.
+pub const MAX_BURN_MILLI: u64 = 1_000_000_000;
+
+/// What an objective promises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SloTarget {
+    /// At least `target_ppm` parts-per-million of calls succeed.
+    Availability {
+        /// e.g. `990_000` for 99%.
+        target_ppm: u32,
+    },
+    /// At least `target_ppm` parts-per-million of **successful** calls
+    /// complete within `threshold_ms` virtual milliseconds (errors are
+    /// the availability objective's business).
+    Latency {
+        /// The latency bound.
+        threshold_ms: u64,
+        /// e.g. `990_000` for "p99 ≤ threshold".
+        target_ppm: u32,
+    },
+}
+
+impl SloTarget {
+    /// The promised good fraction in parts-per-million.
+    pub fn target_ppm(&self) -> u32 {
+        match self {
+            SloTarget::Availability { target_ppm } => *target_ppm,
+            SloTarget::Latency { target_ppm, .. } => *target_ppm,
+        }
+    }
+
+    /// Stable kind name for reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SloTarget::Availability { .. } => "availability",
+            SloTarget::Latency { .. } => "latency",
+        }
+    }
+}
+
+/// One declarative objective on a `(proxy, method, platform)` call
+/// path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SloObjective {
+    /// Report-facing name, e.g. `http-request-p99`.
+    pub name: String,
+    /// Proxy interface name as instrumented, e.g. `Http`.
+    pub proxy: String,
+    /// Method name, e.g. `request`.
+    pub method: String,
+    /// Platform id, e.g. `android`.
+    pub platform: String,
+    /// The promise.
+    pub target: SloTarget,
+}
+
+struct Slot {
+    epoch: AtomicU64,
+    good: AtomicU64,
+    bad: AtomicU64,
+}
+
+/// A sliding window of good/bad counts in epoch-keyed slots. A slot is
+/// lazily reset when a sample from a newer epoch lands on it; totals
+/// only read slots whose stored epoch is still inside the window.
+struct WindowRing {
+    slot_ms: u64,
+    slots: Vec<Slot>,
+}
+
+impl WindowRing {
+    fn new(window_ms: u64, slot_ms: u64) -> Self {
+        let slots = (window_ms / slot_ms) as usize;
+        Self {
+            slot_ms,
+            slots: (0..slots.max(1))
+                .map(|_| Slot {
+                    epoch: AtomicU64::new(0),
+                    good: AtomicU64::new(0),
+                    bad: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+
+    fn record(&self, now_ms: u64, good: bool) {
+        let epoch = now_ms / self.slot_ms;
+        let slot = &self.slots[(epoch as usize) % self.slots.len()];
+        if slot.epoch.load(Ordering::Relaxed) != epoch {
+            slot.epoch.store(epoch, Ordering::Relaxed);
+            slot.good.store(0, Ordering::Relaxed);
+            slot.bad.store(0, Ordering::Relaxed);
+        }
+        if good {
+            slot.good.fetch_add(1, Ordering::Relaxed);
+        } else {
+            slot.bad.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// `(good, bad)` over the slots still inside the window at
+    /// `now_ms`.
+    fn totals(&self, now_ms: u64) -> (u64, u64) {
+        let current = now_ms / self.slot_ms;
+        let span = self.slots.len() as u64;
+        let mut good = 0;
+        let mut bad = 0;
+        for slot in &self.slots {
+            let epoch = slot.epoch.load(Ordering::Relaxed);
+            if epoch <= current && epoch + span > current {
+                good += slot.good.load(Ordering::Relaxed);
+                bad += slot.bad.load(Ordering::Relaxed);
+            }
+        }
+        (good, bad)
+    }
+}
+
+struct ObjectiveState {
+    objective: SloObjective,
+    fast: WindowRing,
+    slow: WindowRing,
+}
+
+impl ObjectiveState {
+    fn record(&self, now_ms: u64, ok: bool, latency_ms: u64) {
+        let good = match self.objective.target {
+            SloTarget::Availability { .. } => ok,
+            SloTarget::Latency { threshold_ms, .. } => {
+                if !ok {
+                    return; // errors don't consume the latency budget
+                }
+                latency_ms <= threshold_ms
+            }
+        };
+        self.fast.record(now_ms, good);
+        self.slow.record(now_ms, good);
+    }
+}
+
+/// How fast the error budget is burning: `1000` means exactly the
+/// sustainable rate (the whole budget spent over the objective's
+/// horizon), `14_000` is the classic "page now" fast burn. Returns `0`
+/// for an empty window and saturates at [`MAX_BURN_MILLI`].
+pub fn burn_milli(good: u64, bad: u64, target_ppm: u32) -> u64 {
+    let total = good + bad;
+    if total == 0 || bad == 0 {
+        return 0;
+    }
+    let budget_ppm = 1_000_000u128.saturating_sub(u128::from(target_ppm));
+    if budget_ppm == 0 {
+        return MAX_BURN_MILLI;
+    }
+    let burn = (u128::from(bad) * 1_000_000 * 1000) / (u128::from(total) * budget_ppm);
+    burn.min(u128::from(MAX_BURN_MILLI)) as u64
+}
+
+/// Good/bad counts for one window of one objective.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WindowCounts {
+    /// Samples that met the target.
+    pub good: u64,
+    /// Samples that burned budget.
+    pub bad: u64,
+}
+
+impl WindowCounts {
+    fn merge(&mut self, other: &WindowCounts) {
+        self.good += other.good;
+        self.bad += other.bad;
+    }
+}
+
+/// One objective's evaluated state inside an [`SloReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SloStatus {
+    /// The objective.
+    pub objective: SloObjective,
+    /// The 5-minute window.
+    pub fast: WindowCounts,
+    /// The 1-hour window.
+    pub slow: WindowCounts,
+}
+
+impl SloStatus {
+    /// Fast-window burn rate, milli-scaled.
+    pub fn fast_burn_milli(&self) -> u64 {
+        burn_milli(
+            self.fast.good,
+            self.fast.bad,
+            self.objective.target.target_ppm(),
+        )
+    }
+
+    /// Slow-window burn rate, milli-scaled.
+    pub fn slow_burn_milli(&self) -> u64 {
+        burn_milli(
+            self.slow.good,
+            self.slow.bad,
+            self.objective.target.target_ppm(),
+        )
+    }
+
+    /// Multi-window breach: both windows burning at or above
+    /// `threshold_milli`.
+    pub fn breached(&self, threshold_milli: u64) -> bool {
+        self.fast.bad > 0
+            && self.fast_burn_milli() >= threshold_milli
+            && self.slow_burn_milli() >= threshold_milli
+    }
+}
+
+/// A point-in-time burn-rate report over every objective.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SloReport {
+    /// Evaluation time, virtual milliseconds.
+    pub now_ms: u64,
+    /// The breach threshold statuses were (or will be) judged against.
+    pub burn_threshold_milli: u64,
+    /// One status per objective, in engine declaration order.
+    pub statuses: Vec<SloStatus>,
+}
+
+impl SloReport {
+    /// The breached objectives, in declaration order.
+    pub fn breached(&self) -> Vec<&SloStatus> {
+        self.statuses
+            .iter()
+            .filter(|s| s.breached(self.burn_threshold_milli))
+            .collect()
+    }
+
+    /// Folds another report (same objectives, same order) into this
+    /// one by summing window counts — how a fleet merges per-device
+    /// engines into one deterministic digest.
+    ///
+    /// # Errors
+    ///
+    /// When the objective lists don't match.
+    pub fn merge(&mut self, other: &SloReport) -> Result<(), String> {
+        if self.statuses.len() != other.statuses.len() {
+            return Err(format!(
+                "objective count mismatch: {} vs {}",
+                self.statuses.len(),
+                other.statuses.len()
+            ));
+        }
+        for (mine, theirs) in self.statuses.iter_mut().zip(&other.statuses) {
+            if mine.objective != theirs.objective {
+                return Err(format!(
+                    "objective mismatch: {} vs {}",
+                    mine.objective.name, theirs.objective.name
+                ));
+            }
+            mine.fast.merge(&theirs.fast);
+            mine.slow.merge(&theirs.slow);
+        }
+        self.now_ms = self.now_ms.max(other.now_ms);
+        Ok(())
+    }
+}
+
+/// Pre-resolved recording handle for one call path: the objectives
+/// that watch it. Resolved once at wiring time; recording is atomics
+/// only.
+#[derive(Clone, Default)]
+pub struct SloRecorder {
+    states: Vec<Arc<ObjectiveState>>,
+}
+
+impl SloRecorder {
+    /// Whether any objective watches this call path.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Feeds one finished call into every watching objective.
+    pub fn record(&self, now_ms: u64, ok: bool, latency_ms: u64) {
+        for state in &self.states {
+            state.record(now_ms, ok, latency_ms);
+        }
+    }
+}
+
+/// Evaluates declarative objectives on multi-window burn rates.
+pub struct SloEngine {
+    burn_threshold_milli: u64,
+    states: Vec<Arc<ObjectiveState>>,
+}
+
+impl SloEngine {
+    /// An engine over `objectives` with the default breach threshold.
+    pub fn new(objectives: Vec<SloObjective>) -> Self {
+        Self {
+            burn_threshold_milli: DEFAULT_BURN_THRESHOLD_MILLI,
+            states: objectives
+                .into_iter()
+                .map(|objective| {
+                    Arc::new(ObjectiveState {
+                        objective,
+                        fast: WindowRing::new(FAST_WINDOW_MS, FAST_SLOT_MS),
+                        slow: WindowRing::new(SLOW_WINDOW_MS, SLOW_SLOT_MS),
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Overrides the breach threshold (milli-scaled burn).
+    pub fn with_burn_threshold(mut self, threshold_milli: u64) -> Self {
+        self.burn_threshold_milli = threshold_milli.max(1);
+        self
+    }
+
+    /// The breach threshold.
+    pub fn burn_threshold_milli(&self) -> u64 {
+        self.burn_threshold_milli
+    }
+
+    /// The declared objectives, in declaration order.
+    pub fn objectives(&self) -> Vec<SloObjective> {
+        self.states.iter().map(|s| s.objective.clone()).collect()
+    }
+
+    /// Resolves the recording handle for one call path (wiring time,
+    /// not per call).
+    pub fn recorder(&self, proxy: &str, method: &str, platform: &str) -> SloRecorder {
+        SloRecorder {
+            states: self
+                .states
+                .iter()
+                .filter(|s| {
+                    s.objective.proxy == proxy
+                        && s.objective.method == method
+                        && s.objective.platform == platform
+                })
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Evaluates every objective at `now_ms`.
+    pub fn report(&self, now_ms: u64) -> SloReport {
+        SloReport {
+            now_ms,
+            burn_threshold_milli: self.burn_threshold_milli,
+            statuses: self
+                .states
+                .iter()
+                .map(|state| {
+                    let (fast_good, fast_bad) = state.fast.totals(now_ms);
+                    let (slow_good, slow_bad) = state.slow.totals(now_ms);
+                    SloStatus {
+                        objective: state.objective.clone(),
+                        fast: WindowCounts {
+                            good: fast_good,
+                            bad: fast_bad,
+                        },
+                        slow: WindowCounts {
+                            good: slow_good,
+                            bad: slow_bad,
+                        },
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for SloEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SloEngine")
+            .field("objectives", &self.states.len())
+            .field("burn_threshold_milli", &self.burn_threshold_milli)
+            .finish()
+    }
+}
+
+/// A promoted trace linked to the objective watching its call path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SloTraceLink {
+    /// Proxy interface name parsed from the root span.
+    pub proxy: String,
+    /// Method name parsed from the root span.
+    pub method: String,
+    /// Platform from the root span's `platform` attribute (empty when
+    /// absent).
+    pub platform: String,
+    /// The promoted trace id, 16 hex digits.
+    pub trace_id_hex: String,
+    /// The promotion reason's label.
+    pub reason: String,
+}
+
+/// Builds trace links from incident stores: each promoted root span
+/// named `proxy:Interface.method` (with a `platform` attribute) links
+/// to the objectives on that call path.
+pub fn links_from_incidents(stores: &[Arc<IncidentStore>]) -> Vec<SloTraceLink> {
+    let mut links = Vec::new();
+    for store in stores {
+        for trace in store.traces() {
+            let name = trace.root_name.as_str();
+            let Some(rest) = name.strip_prefix("proxy:") else {
+                continue;
+            };
+            let Some((proxy, method)) = rest.split_once('.') else {
+                continue;
+            };
+            let root = match trace.spans.last() {
+                Some(root) => root,
+                None => continue,
+            };
+            links.push(SloTraceLink {
+                proxy: proxy.to_owned(),
+                method: method.to_owned(),
+                platform: root.attrs.get("platform").unwrap_or("").to_owned(),
+                trace_id_hex: format!("{:016x}", trace.trace_id.0),
+                reason: trace.reason.label().to_owned(),
+            });
+        }
+    }
+    links
+}
+
+/// Maximum trace links rendered per objective in the JSON report.
+const MAX_LINKS_PER_OBJECTIVE: usize = 5;
+
+/// Renders an [`SloReport`] (plus promoted-trace links) as the
+/// `mobivine.slo.v1` JSON document served by `GET /slo`.
+pub fn slo_report_json(report: &SloReport, links: &[SloTraceLink]) -> String {
+    let objectives: Vec<Value> = report
+        .statuses
+        .iter()
+        .map(|status| {
+            let objective = &status.objective;
+            let target = match objective.target {
+                SloTarget::Availability { target_ppm } => Value::Object(vec![
+                    ("kind".to_owned(), Value::String("availability".to_owned())),
+                    (
+                        "target_ppm".to_owned(),
+                        Value::Number(f64::from(target_ppm)),
+                    ),
+                ]),
+                SloTarget::Latency {
+                    threshold_ms,
+                    target_ppm,
+                } => Value::Object(vec![
+                    ("kind".to_owned(), Value::String("latency".to_owned())),
+                    (
+                        "threshold_ms".to_owned(),
+                        Value::Number(threshold_ms as f64),
+                    ),
+                    (
+                        "target_ppm".to_owned(),
+                        Value::Number(f64::from(target_ppm)),
+                    ),
+                ]),
+            };
+            let window = |window_ms: u64, counts: &WindowCounts, burn: u64| {
+                Value::Object(vec![
+                    ("window_ms".to_owned(), Value::Number(window_ms as f64)),
+                    ("good".to_owned(), Value::Number(counts.good as f64)),
+                    ("bad".to_owned(), Value::Number(counts.bad as f64)),
+                    ("burn_milli".to_owned(), Value::Number(burn as f64)),
+                ])
+            };
+            let traces: Vec<Value> = links
+                .iter()
+                .filter(|link| {
+                    link.proxy == objective.proxy
+                        && link.method == objective.method
+                        && link.platform == objective.platform
+                })
+                .take(MAX_LINKS_PER_OBJECTIVE)
+                .map(|link| {
+                    Value::Object(vec![
+                        (
+                            "trace_id".to_owned(),
+                            Value::String(link.trace_id_hex.clone()),
+                        ),
+                        ("reason".to_owned(), Value::String(link.reason.clone())),
+                    ])
+                })
+                .collect();
+            Value::Object(vec![
+                ("name".to_owned(), Value::String(objective.name.clone())),
+                ("proxy".to_owned(), Value::String(objective.proxy.clone())),
+                ("method".to_owned(), Value::String(objective.method.clone())),
+                (
+                    "platform".to_owned(),
+                    Value::String(objective.platform.clone()),
+                ),
+                ("target".to_owned(), target),
+                (
+                    "fast".to_owned(),
+                    window(FAST_WINDOW_MS, &status.fast, status.fast_burn_milli()),
+                ),
+                (
+                    "slow".to_owned(),
+                    window(SLOW_WINDOW_MS, &status.slow, status.slow_burn_milli()),
+                ),
+                (
+                    "breached".to_owned(),
+                    Value::Bool(status.breached(report.burn_threshold_milli)),
+                ),
+                ("traces".to_owned(), Value::Array(traces)),
+            ])
+        })
+        .collect();
+    Value::Object(vec![
+        (
+            "schema".to_owned(),
+            Value::String("mobivine.slo.v1".to_owned()),
+        ),
+        ("now_ms".to_owned(), Value::Number(report.now_ms as f64)),
+        (
+            "burn_threshold_milli".to_owned(),
+            Value::Number(report.burn_threshold_milli as f64),
+        ),
+        ("objectives".to_owned(), Value::Array(objectives)),
+    ])
+    .to_string()
+}
+
+/// What [`validate_slo_json`] found in a valid document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SloJsonSummary {
+    /// Objectives in the document.
+    pub objectives: usize,
+    /// Objectives marked breached.
+    pub breached: usize,
+    /// Promoted-trace links across all objectives.
+    pub trace_links: usize,
+}
+
+fn field_str<'a>(value: &'a Value, key: &str) -> Result<&'a str, String> {
+    match value.get_field(key) {
+        Some(Value::String(s)) => Ok(s),
+        other => Err(format!("field {key} is {other:?}, expected a string")),
+    }
+}
+
+fn field_num(value: &Value, key: &str) -> Result<f64, String> {
+    match value.get_field(key) {
+        Some(Value::Number(n)) => Ok(*n),
+        other => Err(format!("field {key} is {other:?}, expected a number")),
+    }
+}
+
+/// Parses a `mobivine.slo.v1` document back and checks its structure:
+/// schema tag, window sizes, non-negative counts, burn rates
+/// consistent with the counts, and well-formed 16-hex trace links.
+///
+/// # Errors
+///
+/// A description of the first violation (including JSON parse errors).
+pub fn validate_slo_json(json: &str) -> Result<SloJsonSummary, String> {
+    let doc: Value = serde_json::from_str(json).map_err(|e| e.to_string())?;
+    let schema = field_str(&doc, "schema")?;
+    if schema != "mobivine.slo.v1" {
+        return Err(format!("schema is {schema:?}, expected mobivine.slo.v1"));
+    }
+    let threshold = field_num(&doc, "burn_threshold_milli")? as u64;
+    field_num(&doc, "now_ms")?;
+    let objectives = match doc.get_field("objectives") {
+        Some(Value::Array(objectives)) => objectives,
+        other => return Err(format!("objectives is {other:?}, expected an array")),
+    };
+    let mut breached = 0usize;
+    let mut trace_links = 0usize;
+    for objective in objectives {
+        let name = field_str(objective, "name")?;
+        field_str(objective, "proxy")?;
+        field_str(objective, "method")?;
+        field_str(objective, "platform")?;
+        let target = objective
+            .get_field("target")
+            .ok_or_else(|| format!("objective {name} has no target"))?;
+        let target_ppm = field_num(target, "target_ppm")? as u32;
+        if target_ppm > 1_000_000 {
+            return Err(format!("objective {name} target_ppm {target_ppm} > 1e6"));
+        }
+        match field_str(target, "kind")? {
+            "availability" => {}
+            "latency" => {
+                field_num(target, "threshold_ms")?;
+            }
+            other => {
+                return Err(format!(
+                    "objective {name} has unknown target kind {other:?}"
+                ))
+            }
+        }
+        let mut burns = Vec::new();
+        for (window, expected_ms) in [("fast", FAST_WINDOW_MS), ("slow", SLOW_WINDOW_MS)] {
+            let counts = objective
+                .get_field(window)
+                .ok_or_else(|| format!("objective {name} has no {window} window"))?;
+            let window_ms = field_num(counts, "window_ms")? as u64;
+            if window_ms != expected_ms {
+                return Err(format!(
+                    "objective {name} {window} window is {window_ms}ms, expected {expected_ms}ms"
+                ));
+            }
+            let good = field_num(counts, "good")? as u64;
+            let bad = field_num(counts, "bad")? as u64;
+            let burn = field_num(counts, "burn_milli")? as u64;
+            if burn != burn_milli(good, bad, target_ppm) {
+                return Err(format!(
+                    "objective {name} {window} burn {burn} inconsistent with good={good} bad={bad}"
+                ));
+            }
+            burns.push((bad, burn));
+        }
+        let is_breached = match objective.get_field("breached") {
+            Some(Value::Bool(b)) => *b,
+            other => return Err(format!("objective {name} breached is {other:?}")),
+        };
+        let expected = burns[0].0 > 0 && burns.iter().all(|(_, burn)| *burn >= threshold);
+        if is_breached != expected {
+            return Err(format!(
+                "objective {name} breached={is_breached} inconsistent with burns {burns:?} \
+                 at threshold {threshold}"
+            ));
+        }
+        if is_breached {
+            breached += 1;
+        }
+        let traces = match objective.get_field("traces") {
+            Some(Value::Array(traces)) => traces,
+            other => return Err(format!("objective {name} traces is {other:?}")),
+        };
+        for trace in traces {
+            let id = field_str(trace, "trace_id")?;
+            if id.len() != 16 || !id.bytes().all(|b| b.is_ascii_hexdigit()) {
+                return Err(format!("objective {name} trace id {id:?} is not 16 hex"));
+            }
+            field_str(trace, "reason")?;
+            trace_links += 1;
+        }
+    }
+    Ok(SloJsonSummary {
+        objectives: objectives.len(),
+        breached,
+        trace_links,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn latency_objective() -> SloObjective {
+        SloObjective {
+            name: "http-request-p99".into(),
+            proxy: "Http".into(),
+            method: "request".into(),
+            platform: "android".into(),
+            target: SloTarget::Latency {
+                threshold_ms: 256,
+                target_ppm: 990_000,
+            },
+        }
+    }
+
+    fn availability_objective() -> SloObjective {
+        SloObjective {
+            name: "location-availability".into(),
+            proxy: "Location".into(),
+            method: "getLocation".into(),
+            platform: "android".into(),
+            target: SloTarget::Availability {
+                target_ppm: 990_000,
+            },
+        }
+    }
+
+    #[test]
+    fn burn_math_is_integer_and_saturating() {
+        assert_eq!(burn_milli(0, 0, 990_000), 0);
+        assert_eq!(burn_milli(100, 0, 990_000), 0);
+        // 1% bad at a 99% target: exactly the sustainable rate.
+        assert_eq!(burn_milli(99, 1, 990_000), 1000);
+        // 50% bad at a 99% target: 50x burn.
+        assert_eq!(burn_milli(1, 1, 990_000), 50_000);
+        // Zero budget saturates.
+        assert_eq!(burn_milli(1, 1, 1_000_000), MAX_BURN_MILLI);
+    }
+
+    #[test]
+    fn recorder_routes_to_matching_objectives_only() {
+        let engine = SloEngine::new(vec![latency_objective(), availability_objective()]);
+        assert!(engine.recorder("Http", "request", "s60").is_empty());
+        let recorder = engine.recorder("Http", "request", "android");
+        assert!(!recorder.is_empty());
+        for _ in 0..99 {
+            recorder.record(1_000, true, 10);
+        }
+        recorder.record(1_000, true, 9_999); // over threshold
+        recorder.record(1_000, false, 9_999); // error: not a latency sample
+        let report = engine.report(1_000);
+        let status = &report.statuses[0];
+        assert_eq!(status.objective.name, "http-request-p99");
+        assert_eq!(status.fast, WindowCounts { good: 99, bad: 1 });
+        assert_eq!(status.fast_burn_milli(), 1000);
+        let availability = &report.statuses[1];
+        assert_eq!(
+            availability.fast,
+            WindowCounts { good: 0, bad: 0 },
+            "different call path"
+        );
+    }
+
+    #[test]
+    fn breach_requires_both_windows() {
+        let engine = SloEngine::new(vec![availability_objective()]);
+        let recorder = engine.recorder("Location", "getLocation", "android");
+        // An old burst of errors: inside the slow window, outside fast.
+        for _ in 0..10 {
+            recorder.record(0, false, 0);
+        }
+        for _ in 0..10 {
+            recorder.record(0, true, 0);
+        }
+        let late = FAST_WINDOW_MS + 60_000;
+        let report = engine.report(late);
+        let status = &report.statuses[0];
+        assert_eq!(
+            status.fast,
+            WindowCounts::default(),
+            "fast window slid past"
+        );
+        assert!(status.slow.bad > 0);
+        assert!(!status.breached(1000), "fast window is quiet");
+        assert!(report.breached().is_empty());
+        // Fresh errors in both windows breach.
+        for _ in 0..5 {
+            recorder.record(late, false, 0);
+        }
+        let report = engine.report(late);
+        assert_eq!(report.breached().len(), 1);
+    }
+
+    #[test]
+    fn windows_slide_and_reset_slots() {
+        let engine = SloEngine::new(vec![availability_objective()]);
+        let recorder = engine.recorder("Location", "getLocation", "android");
+        recorder.record(0, false, 0);
+        // Far enough ahead that the same slot index is reused.
+        let wrap = SLOW_WINDOW_MS * 2;
+        recorder.record(wrap, true, 0);
+        let (good, bad) = {
+            let report = engine.report(wrap);
+            let s = &report.statuses[0];
+            (s.slow.good, s.slow.bad)
+        };
+        assert_eq!((good, bad), (1, 0), "stale slot did not leak");
+    }
+
+    #[test]
+    fn reports_merge_deterministically() {
+        let build = |bad: u64| {
+            let engine = SloEngine::new(vec![availability_objective()]);
+            let recorder = engine.recorder("Location", "getLocation", "android");
+            for _ in 0..10 {
+                recorder.record(500, true, 0);
+            }
+            for _ in 0..bad {
+                recorder.record(500, false, 0);
+            }
+            engine.report(500)
+        };
+        let mut merged = build(2);
+        merged.merge(&build(3)).expect("same objectives");
+        let status = &merged.statuses[0];
+        assert_eq!(status.fast, WindowCounts { good: 20, bad: 5 });
+        // Merging in either order gives the same report.
+        let mut reversed = build(3);
+        reversed.merge(&build(2)).expect("same objectives");
+        assert_eq!(merged, reversed);
+        // Mismatched objective lists refuse to merge.
+        let mut other = SloEngine::new(vec![latency_objective()]).report(0);
+        assert!(other.merge(&merged).is_err());
+    }
+
+    #[test]
+    fn json_report_round_trips_through_validation() {
+        let engine = SloEngine::new(vec![latency_objective(), availability_objective()]);
+        let http = engine.recorder("Http", "request", "android");
+        for _ in 0..9 {
+            http.record(1_000, true, 10);
+        }
+        http.record(1_000, true, 999);
+        let links = vec![SloTraceLink {
+            proxy: "Http".into(),
+            method: "request".into(),
+            platform: "android".into(),
+            trace_id_hex: format!("{:016x}", 0xabcd),
+            reason: "slow_call".into(),
+        }];
+        let json = slo_report_json(&engine.report(1_000), &links);
+        let summary = validate_slo_json(&json).expect("valid document");
+        assert_eq!(summary.objectives, 2);
+        assert_eq!(summary.breached, 1, "10% slow at a 1% budget breaches");
+        assert_eq!(summary.trace_links, 1);
+        // Tampered burn rates fail validation.
+        let tampered = json.replace("\"burn_milli\":10000", "\"burn_milli\":1");
+        assert_ne!(tampered, json, "the burn rate was present to tamper with");
+        assert!(validate_slo_json(&tampered).is_err());
+    }
+}

@@ -16,10 +16,21 @@
 //! [`AttrList`] until they overflow, and a finished record is **moved**
 //! into a per-thread bounded sink — there is no global
 //! `Mutex<Vec<_>>` that every worker thread serialises through. Each
-//! sink pre-allocates its full retention capacity on creation and
-//! drops (and counts) spans beyond it, so 50k-device fleet runs with
-//! tracing on have bounded memory. [`Tracer::finished`] stitches the
-//! per-thread sinks back together in registration order.
+//! sink is a **flight-recorder ring**: it pre-allocates its full
+//! retention capacity on creation and, once full, overwrites the
+//! oldest record in place (evictions are counted, never silent), so
+//! 50k-device fleet runs with tracing on have bounded memory while the
+//! most recent history is always resident. [`Tracer::finished`]
+//! stitches the per-thread sinks back together in registration order,
+//! oldest record first within each sink.
+//!
+//! An optional [`Recorder`](crate::recorder::Recorder) installed with
+//! [`Tracer::install_recorder`] adds **tail-based promotion**: when a
+//! trace's root span files with an interesting outcome (error, blown
+//! deadline, latency over a per-operation threshold) the whole trace
+//! tree — the children are still resident in the same thread's ring —
+//! is copied out into a bounded incident store before the ring can
+//! overwrite it.
 //!
 //! All timestamps are `u64` virtual milliseconds supplied by the
 //! caller (the simulated device clock in this workspace), never the
@@ -29,11 +40,12 @@ use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 
 use crate::context::TraceContext;
+use crate::recorder::{IncidentStore, Recorder, RecorderCounters};
 
 /// Identifies one end-to-end trace (one logical operation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -260,9 +272,66 @@ pub struct SpanRecord {
 /// [`Tracer::with_retention`] for the trade-off.
 pub const DEFAULT_SPAN_RETENTION: usize = 4096;
 
-/// One thread's bounded buffer of finished spans for one tracer.
+/// One thread's flight-recorder ring of finished spans for one tracer.
 struct SpanSink {
-    records: Mutex<Vec<SpanRecord>>,
+    ring: Mutex<Ring>,
+}
+
+/// A fixed-capacity overwrite-oldest ring. `slots` grows (within its
+/// pre-allocated capacity) until full; after that `next` is the write
+/// cursor and doubles as the index of the oldest resident record.
+struct Ring {
+    slots: Vec<SpanRecord>,
+    next: usize,
+    capacity: usize,
+}
+
+impl Ring {
+    fn with_capacity(capacity: usize) -> Self {
+        Self {
+            slots: Vec::with_capacity(capacity),
+            next: 0,
+            capacity,
+        }
+    }
+
+    /// Files one record, overwriting the oldest resident record when
+    /// the ring is full. Returns `true` when a record was evicted. The
+    /// evicted record is dropped in place — no reallocation either way.
+    fn push(&mut self, record: SpanRecord) -> bool {
+        if self.slots.len() < self.capacity {
+            self.slots.push(record);
+            false
+        } else {
+            self.slots[self.next] = record;
+            self.next = (self.next + 1) % self.capacity;
+            true
+        }
+    }
+
+    /// Copies out every resident record, oldest first.
+    fn snapshot_into(&self, out: &mut Vec<SpanRecord>) {
+        out.extend_from_slice(&self.slots[self.next..]);
+        out.extend_from_slice(&self.slots[..self.next]);
+    }
+
+    /// Copies out the resident records of one trace, oldest first.
+    fn collect_trace(&self, trace_id: TraceId) -> Vec<SpanRecord> {
+        self.slots[self.next..]
+            .iter()
+            .chain(self.slots[..self.next].iter())
+            .filter(|record| record.trace_id == trace_id)
+            .cloned()
+            .collect()
+    }
+
+    /// Moves every resident record out (oldest first), leaving the
+    /// ring empty but at full capacity.
+    fn drain(&mut self) -> Vec<SpanRecord> {
+        self.slots.rotate_left(self.next);
+        self.next = 0;
+        self.slots.split_off(0)
+    }
 }
 
 struct TracerInner {
@@ -270,14 +339,20 @@ struct TracerInner {
     /// local sink table.
     id: u64,
     next_id: AtomicU64,
-    /// Per-sink record cap; the sink's buffer is allocated at this
+    /// Per-sink ring capacity; each sink's buffer is allocated at this
     /// capacity once, so filing a record never reallocates.
     retention: usize,
-    /// Spans discarded because a sink was full.
-    dropped: AtomicU64,
+    /// Spans overwritten because a full ring wrapped around.
+    evicted: AtomicU64,
     /// Every sink ever registered, in registration order. Only locked
     /// on sink creation and on drain — never on the recording path.
     sinks: Mutex<Vec<Arc<SpanSink>>>,
+    /// Tail-based promotion: classifies closing trace roots and keeps
+    /// the interesting trace trees. Installed at most once.
+    recorder: OnceLock<Recorder>,
+    /// Registry counters mirroring the eviction/promotion totals, so
+    /// the flight recorder's health shows up in a Prometheus scrape.
+    counters: OnceLock<RecorderCounters>,
 }
 
 static NEXT_TRACER_ID: AtomicU64 = AtomicU64::new(1);
@@ -312,12 +387,12 @@ impl fmt::Debug for Tracer {
             .sinks
             .lock()
             .iter()
-            .map(|sink| sink.records.lock().len())
+            .map(|sink| sink.ring.lock().slots.len())
             .sum();
         f.debug_struct("Tracer")
             .field("finished", &finished)
             .field("retention", &self.inner.retention)
-            .field("dropped", &self.dropped_spans())
+            .field("evicted", &self.evicted_spans())
             .finish()
     }
 }
@@ -333,18 +408,27 @@ impl Tracer {
     /// capacity up front — recording never reallocates — so pick a
     /// small cap for fleet-scale runs (thousands of tracers) and a
     /// roomy one for single-device traces you intend to export whole.
-    /// Spans beyond the cap are dropped and counted
-    /// ([`Tracer::dropped_spans`]).
+    /// A full sink overwrites its oldest record (flight-recorder
+    /// semantics); evictions are counted ([`Tracer::evicted_spans`]).
     pub fn with_retention(retention: usize) -> Self {
         Self {
             inner: Arc::new(TracerInner {
                 id: NEXT_TRACER_ID.fetch_add(1, Ordering::Relaxed),
                 next_id: AtomicU64::new(1),
                 retention: retention.max(1),
-                dropped: AtomicU64::new(0),
+                evicted: AtomicU64::new(0),
                 sinks: Mutex::new(Vec::new()),
+                recorder: OnceLock::new(),
+                counters: OnceLock::new(),
             }),
         }
+    }
+
+    /// A tracer with tail-based promotion installed from the start.
+    pub fn with_recorder(retention: usize, recorder: Recorder) -> Self {
+        let tracer = Self::with_retention(retention);
+        tracer.install_recorder(recorder);
+        tracer
     }
 
     /// The per-thread sink capacity.
@@ -352,9 +436,39 @@ impl Tracer {
         self.inner.retention
     }
 
-    /// How many spans have been discarded because a sink was full.
-    pub fn dropped_spans(&self) -> u64 {
-        self.inner.dropped.load(Ordering::Relaxed)
+    /// How many spans have been overwritten by newer records because a
+    /// full ring wrapped around.
+    pub fn evicted_spans(&self) -> u64 {
+        self.inner.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Installs the tail-based promotion recorder. The first install
+    /// wins; returns `false` (and changes nothing) when a recorder is
+    /// already present.
+    pub fn install_recorder(&self, recorder: Recorder) -> bool {
+        self.inner.recorder.set(recorder).is_ok()
+    }
+
+    /// Mirrors eviction/promotion totals into registry [`Counter`]s
+    /// (see [`RecorderCounters`]). The first install wins.
+    pub fn install_counters(&self, counters: RecorderCounters) -> bool {
+        self.inner.counters.set(counters).is_ok()
+    }
+
+    /// The installed promotion recorder, if any.
+    pub fn recorder(&self) -> Option<&Recorder> {
+        self.inner.recorder.get()
+    }
+
+    /// The incident store holding promoted traces, when a recorder is
+    /// installed.
+    pub fn incident_store(&self) -> Option<&Arc<IncidentStore>> {
+        self.inner.recorder.get().map(Recorder::store)
+    }
+
+    /// The process-unique tracer identity (keys thread-local state).
+    pub(crate) fn id(&self) -> u64 {
+        self.inner.id
     }
 
     fn fresh_id(&self) -> u64 {
@@ -414,54 +528,75 @@ impl Tracer {
         span
     }
 
-    /// Moves a finished record into this thread's sink for this
-    /// tracer, creating (and registering) the sink on first use.
+    /// Moves a finished record into this thread's ring for this
+    /// tracer, creating (and registering) the sink on first use. When
+    /// the ring is full the oldest record is overwritten in place.
+    ///
+    /// Tail-based promotion happens here: a **root** record closing
+    /// means its trace is complete — in this synchronous world every
+    /// child filed into the same thread-local ring before it — so the
+    /// installed [`Recorder`] classifies the root and, if the outcome
+    /// is interesting, the trace tree is copied out *before* the root
+    /// is inserted (the collected set is exactly the resident children
+    /// plus the root).
     fn file(&self, record: SpanRecord) {
-        let filed = LOCAL_SINKS.with(|sinks| {
+        let promotion = LOCAL_SINKS.with(|sinks| {
             let mut sinks = sinks.borrow_mut();
             let sink = sinks.entry(self.inner.id).or_insert_with(|| {
                 let sink = Arc::new(SpanSink {
-                    records: Mutex::new(Vec::with_capacity(self.inner.retention)),
+                    ring: Mutex::new(Ring::with_capacity(self.inner.retention)),
                 });
                 self.inner.sinks.lock().push(Arc::clone(&sink));
                 sink
             });
-            let mut records = sink.records.lock();
-            if records.len() < self.inner.retention {
-                records.push(record);
-                true
-            } else {
-                false
+            let mut ring = sink.ring.lock();
+            let promotion = match (record.parent_id, self.inner.recorder.get()) {
+                (None, Some(recorder)) => recorder.policy().classify(&record).map(|reason| {
+                    let mut spans = ring.collect_trace(record.trace_id);
+                    spans.push(record.clone());
+                    (reason, spans)
+                }),
+                _ => None,
+            };
+            if ring.push(record) {
+                self.inner.evicted.fetch_add(1, Ordering::Relaxed);
+                if let Some(counters) = self.inner.counters.get() {
+                    counters.evicted.inc();
+                }
             }
+            promotion
         });
-        if !filed {
-            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+        if let Some((reason, spans)) = promotion {
+            if let Some(recorder) = self.inner.recorder.get() {
+                recorder.promote(self.inner.id, reason, spans, self.inner.counters.get());
+            }
         }
     }
 
-    /// A copy of every finished span: per-sink finish order, sinks in
-    /// registration order (on one thread that is plain finish order).
+    /// A copy of every finished span: oldest-first within each sink,
+    /// sinks in registration order (on one thread that is plain finish
+    /// order for the retained suffix).
     pub fn finished(&self) -> Vec<SpanRecord> {
         let sinks = self.inner.sinks.lock();
         let mut out = Vec::new();
         for sink in sinks.iter() {
-            out.extend_from_slice(&sink.records.lock());
+            sink.ring.lock().snapshot_into(&mut out);
         }
         out
     }
 
-    /// Drains the finished spans, leaving the tracer empty. The sinks
-    /// keep their capacity, so recording after a drain still does not
-    /// reallocate.
+    /// Drains the finished spans (oldest-first within each sink),
+    /// leaving the tracer empty. The rings keep their capacity, so
+    /// recording after a drain still does not reallocate.
     pub fn take_finished(&self) -> Vec<SpanRecord> {
         let sinks = self.inner.sinks.lock();
         let mut out = Vec::new();
         for sink in sinks.iter() {
-            let mut records = sink.records.lock();
+            let mut drained = sink.ring.lock().drain();
             if out.is_empty() {
-                out = records.split_off(0);
+                out = drained;
             } else {
-                out.append(&mut records.split_off(0));
+                out.append(&mut drained);
             }
         }
         out
@@ -479,8 +614,17 @@ pub struct ActiveSpan {
 }
 
 impl ActiveSpan {
+    /// The open record. Infallible by construction: `record` is `Some`
+    /// from `Tracer::span` until `finish`, and `finish` is reachable
+    /// only through `end(self)` (which consumes the span) or `Drop` —
+    /// no `&self` method can observe a closed span.
     fn record(&self) -> &SpanRecord {
-        self.record.as_ref().expect("span is open")
+        self.record.as_ref().expect("span is open until end/drop")
+    }
+
+    /// Mutable twin of [`Self::record`]; same invariant.
+    fn record_mut(&mut self) -> &mut SpanRecord {
+        self.record.as_mut().expect("span is open until end/drop")
     }
 
     /// The propagatable identity of this span.
@@ -494,25 +638,17 @@ impl ActiveSpan {
 
     /// Records a point event at `at_ms` virtual time.
     pub fn event(&mut self, name: &str, at_ms: u64) {
-        self.record
-            .as_mut()
-            .expect("span is open")
-            .events
-            .push(SpanEvent {
-                name: name.to_owned(),
-                at_ms,
-            });
+        self.record_mut().events.push(SpanEvent {
+            name: name.to_owned(),
+            at_ms,
+        });
     }
 
     /// Attaches (or appends) a key/value annotation. Static values are
     /// free; pass owned `String`s for dynamic ones — they are moved,
     /// not copied.
     pub fn attr(&mut self, key: &'static str, value: impl Into<SpanName>) {
-        self.record
-            .as_mut()
-            .expect("span is open")
-            .attrs
-            .push(key, value.into());
+        self.record_mut().attrs.push(key, value.into());
     }
 
     /// Closes the span at `now_ms` and files the record with the
@@ -766,19 +902,43 @@ mod tests {
     }
 
     #[test]
-    fn retention_cap_drops_and_counts_overflow() {
+    fn retention_cap_overwrites_oldest_and_counts_evictions() {
         let tracer = Tracer::with_retention(3);
         assert_eq!(tracer.retention(), 3);
         for i in 0..5 {
             tracer.root("op", Plane::App, i).end(i + 1);
         }
-        assert_eq!(tracer.finished().len(), 3, "bounded by retention");
-        assert_eq!(tracer.dropped_spans(), 2);
-        // Draining frees the sink: recording resumes.
+        let kept = tracer.finished();
+        assert_eq!(kept.len(), 3, "bounded by retention");
+        // Flight-recorder semantics: the two *oldest* spans were
+        // overwritten and the retained suffix reads oldest-first.
+        let starts: Vec<u64> = kept.iter().map(|s| s.start_ms).collect();
+        assert_eq!(starts, vec![2, 3, 4]);
+        assert_eq!(tracer.evicted_spans(), 2);
+        // Draining empties the ring: recording resumes at the front.
         assert_eq!(tracer.take_finished().len(), 3);
         tracer.root("op", Plane::App, 9).end(10);
         assert_eq!(tracer.finished().len(), 1);
-        assert_eq!(tracer.dropped_spans(), 2, "no new drops after drain");
+        assert_eq!(tracer.evicted_spans(), 2, "no new evictions after drain");
+    }
+
+    #[test]
+    fn wrapped_ring_drains_oldest_first_and_keeps_capacity() {
+        let tracer = Tracer::with_retention(4);
+        for i in 0..11 {
+            tracer.root("op", Plane::App, i).end(i + 1);
+        }
+        assert_eq!(tracer.evicted_spans(), 7);
+        let drained = tracer.take_finished();
+        let starts: Vec<u64> = drained.iter().map(|s| s.start_ms).collect();
+        assert_eq!(starts, vec![7, 8, 9, 10]);
+        // The ring was reset, not shrunk: it fills and wraps again.
+        for i in 20..25 {
+            tracer.root("op", Plane::App, i).end(i + 1);
+        }
+        let starts: Vec<u64> = tracer.finished().iter().map(|s| s.start_ms).collect();
+        assert_eq!(starts, vec![21, 22, 23, 24]);
+        assert_eq!(tracer.evicted_spans(), 8);
     }
 
     #[test]

@@ -18,20 +18,49 @@ cargo run -q --release -p mobivine-bench --bin figure10 -- \
 cargo run -q --release -p mobivine-bench --bin figure10 -- --check "$summary"
 
 # Fleet smoke: drive ~500 devices through the load engine, emit the
-# mobivine.fleet.v2 summary, and schema-check it (the check also
-# enforces the brownout overload gate embedded in the summary). The
-# figure10 run above already smoke-runs the telemetry_hotpath ablation
-# (its summary embeds and --check validates the per-call-lookup vs
-# cached-handles rows).
+# mobivine.fleet.v3 summary, and schema-check it (the check also
+# enforces the brownout overload gate embedded in the summary,
+# accountability clause included: the unprotected arm's deadline-blown
+# calls must all have promoted traces). The figure10 run above already
+# smoke-runs the telemetry_hotpath ablation (its summary embeds and
+# --check validates the per-call-lookup vs cached-handles rows).
 cargo run -q --release -p mobivine-bench --bin fleet -- \
     --devices 500 --shards 1,4 --workers 2 --rounds 2 --json "$fleet_summary"
 cargo run -q --release -p mobivine-bench --bin fleet -- --check "$fleet_summary"
 
+# SLO smoke: the brownout arms of the summary just emitted ran with the
+# flight recorder on, so a traced brownout must have promoted at least
+# one trace (promoted_traces > 0 in the JSON). Belt to the validator's
+# suspenders: the schema check above only proves the *unprotected* arm
+# explains its breaches.
+if ! grep -q '"promoted_traces":[1-9]' "$fleet_summary"; then
+    echo "error: no promoted traces in the fleet brownout arms:" >&2
+    grep -o '"promoted_traces":[0-9]*' "$fleet_summary" >&2 || true
+    exit 1
+fi
+
 # Chaos/brownout smoke: ramp one shard 10x under batch-arrival
 # deadlines, overload layer on vs off. Exits non-zero unless the
 # admission arm sheds while holding the ramped shard's accepted-call
-# p99 within target AND the unprotected arm blows past it.
+# p99 within target AND the unprotected arm both blows past it and has
+# a promoted trace for every deadline-blown call.
 cargo run -q --release -p mobivine-bench --bin fleet -- --brownout
+
+# SLO route smoke: a struggling traced runtime must serve a parsing
+# GET /slo report (validated against mobivine.slo.v1) and a /health
+# document — tests/flight_recorder.rs and the apps::server suite cover
+# this in `cargo test` above; re-assert here that the suites exist so a
+# deleted test cannot silently drop the gate.
+for gate in tests/flight_recorder.rs crates/apps/src/server.rs; do
+    if [ ! -f "$gate" ]; then
+        echo "error: SLO/incident gate file missing: $gate" >&2
+        exit 1
+    fi
+done
+grep -q "slo_route_serves_a_valid_burn_rate_report" crates/apps/src/server.rs || {
+    echo "error: the GET /slo round-trip test is gone" >&2
+    exit 1
+}
 
 # Regression gate against the committed baselines: schema-check both,
 # then re-run every BENCH_fleet.json scaling row (checksums must
@@ -86,5 +115,15 @@ if [ -n "$hot_labels" ]; then
     echo "error: label construction on the traced hot path (use the" >&2
     echo "cached CallInstruments handles resolved at wiring time):" >&2
     echo "$hot_labels" >&2
+    exit 1
+fi
+
+# The zero-alloc telemetry test must still gate at exactly 0 heap
+# allocations on the warmed traced path — with the flight recorder on.
+# `cargo test` above runs it; this guard pins the assertion itself so a
+# relaxed bound (e.g. `<= 2`) cannot slip through review.
+if [ "$(grep -Ec '^\s*(android|s60)_allocs, 0,' tests/zero_alloc_telemetry.rs)" -ne 2 ]; then
+    echo "error: tests/zero_alloc_telemetry.rs no longer pins the warmed" >&2
+    echo "traced android+s60 paths at exactly 0 allocations" >&2
     exit 1
 fi
