@@ -27,6 +27,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use mobivine::api::{HttpProxy, LocationProxy, SmsProxy};
+use mobivine::cache::{CachePolicy, CacheSnapshot};
 use mobivine::error::{ProxyError, ProxyErrorKind};
 use mobivine::overload::{with_deadline, Deadline, OverloadPolicy, OverloadSnapshot};
 use mobivine::property::PropertyValue;
@@ -108,6 +109,18 @@ pub struct FleetConfig {
     pub ops_per_round: u32,
     /// Master seed; all per-device randomness derives from it.
     pub seed: u64,
+    /// When `true`, the traffic planner draws a read-heavy mix (¾
+    /// location reads) instead of the default write-leaning mix. The
+    /// plan depends only on the seeded stream, so the same seed yields
+    /// the same batches with caching on or off.
+    pub read_heavy: bool,
+    /// When `true`, every device runtime is built with the read-through
+    /// proxy cache ([`mobivine::cache`], default [`CachePolicy`])
+    /// between the overload and traced layers. Cache counters are
+    /// reported in [`FleetReport::cache`] and deliberately kept out of
+    /// the checksum: caching must not change what the fleet computes,
+    /// only how much binding-plane work it takes.
+    pub cache: bool,
     /// When `true`, every device runtime is built with plane-aware
     /// telemetry (traced proxy decorators + shared metrics registry).
     /// The traced hot path is allocation-free after wiring, so this
@@ -142,6 +155,8 @@ impl Default for FleetConfig {
             tick_ms: 1_000,
             ops_per_round: 2,
             seed: 7,
+            read_heavy: false,
+            cache: false,
             telemetry: false,
             span_retention: 16,
             incident_capacity: 256,
@@ -285,6 +300,9 @@ pub struct FleetReport {
     /// Flight-recorder digest (promoted traces, exemplars, SLO
     /// breaches), present when `telemetry` was on.
     pub incidents: Option<IncidentDigest>,
+    /// Cache-plane counters, present when `cache` was on. Like
+    /// `incidents`, kept out of the checksum.
+    pub cache: Option<CacheDigest>,
 }
 
 /// The incident-debugging digest of one traced fleet run: what the
@@ -313,6 +331,25 @@ pub struct IncidentDigest {
     /// histogram exemplar, in device-index order. Separate from the
     /// main report checksum so tracing stays invisible to it.
     pub incident_checksum: u64,
+}
+
+/// Aggregate cache-plane counters of one cached fleet run, folded in
+/// device-index order from each runtime's shared
+/// [`mobivine::cache::CacheMetrics`] block. Deliberately excluded from
+/// [`FleetReport::checksum`]: caching must be invisible to what the
+/// fleet computes, only cutting how much binding-plane work it takes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheDigest {
+    /// Reads served from a fresh cached entry (no binding-plane work).
+    pub hits: u64,
+    /// Reads that went through to the layers below and filled the cache
+    /// — the cached arm's binding-plane invocation count for cacheable
+    /// reads.
+    pub misses: u64,
+    /// Reads that waited on another caller's in-flight fill.
+    pub coalesced: u64,
+    /// Entries discarded on a stamp mismatch or explicit invalidation.
+    pub invalidated: u64,
 }
 
 impl FleetReport {
@@ -461,19 +498,35 @@ struct TrafficBatch {
 }
 
 impl TrafficBatch {
-    fn plan(rng: &mut u64, ops_per_round: u32, agent_id: u64) -> Self {
+    fn plan(rng: &mut u64, ops_per_round: u32, agent_id: u64, read_heavy: bool) -> Self {
         let mut ops = Vec::with_capacity(ops_per_round as usize);
         for _ in 0..ops_per_round {
             let draw = splitmix64(rng);
-            ops.push(match draw % 4 {
-                0 | 1 => FleetOp::HttpReport {
-                    latitude: 28.5 + (draw % 1_000) as f64 * 1e-6,
-                    longitude: 77.3 + (draw % 977) as f64 * 1e-6,
-                },
-                2 => FleetOp::Sms {
-                    text: format!("agent {agent_id} checking in"),
-                },
-                _ => FleetOp::LocationFix,
+            // Both mixes consume exactly one draw per op, so a cached
+            // and an uncached run of the same seed plan identical
+            // traffic — the premise of the cache-arm checksum gate.
+            ops.push(if read_heavy {
+                match draw % 8 {
+                    6 => FleetOp::Sms {
+                        text: format!("agent {agent_id} checking in"),
+                    },
+                    7 => FleetOp::HttpReport {
+                        latitude: 28.5 + (draw % 1_000) as f64 * 1e-6,
+                        longitude: 77.3 + (draw % 977) as f64 * 1e-6,
+                    },
+                    _ => FleetOp::LocationFix,
+                }
+            } else {
+                match draw % 4 {
+                    0 | 1 => FleetOp::HttpReport {
+                        latitude: 28.5 + (draw % 1_000) as f64 * 1e-6,
+                        longitude: 77.3 + (draw % 977) as f64 * 1e-6,
+                    },
+                    2 => FleetOp::Sms {
+                        text: format!("agent {agent_id} checking in"),
+                    },
+                    _ => FleetOp::LocationFix,
+                }
             });
         }
         Self { ops }
@@ -557,10 +610,9 @@ impl TrafficBatch {
                             // Rejections are not accepted calls; their
                             // (cheap) sojourn stays out of the accepted
                             // latency distribution.
-                            if !matches!(
-                                e.kind(),
-                                ProxyErrorKind::Overloaded | ProxyErrorKind::DeadlineExceeded
-                            ) {
+                            if !e.kind().is_load_shed()
+                                && e.kind() != ProxyErrorKind::DeadlineExceeded
+                            {
                                 stats
                                     .latency
                                     .record(deadline.sojourn_ms(device.clock().now_ms()));
@@ -673,9 +725,17 @@ impl Fleet {
                 } else {
                     b
                 };
-                match overload_policy.clone() {
+                let b = match overload_policy.clone() {
                     Some(policy) => b.with_overload(policy),
                     None => b,
+                };
+                // The cache rides between the overload and traced
+                // layers (the builder normalizes the order); one shared
+                // counter block per device, read back at report time.
+                if config.cache {
+                    b.with_cache(CachePolicy::default())
+                } else {
+                    b
                 }
             };
             match index % 3 {
@@ -782,8 +842,12 @@ impl Fleet {
                                     .seed
                                     .wrapping_add((index as u64) << 20)
                                     .wrapping_add(round);
-                                let batch =
-                                    TrafficBatch::plan(&mut rng, ops_per_round, index as u64);
+                                let batch = TrafficBatch::plan(
+                                    &mut rng,
+                                    ops_per_round,
+                                    index as u64,
+                                    config.read_heavy,
+                                );
                                 batch.flush(
                                     registry,
                                     index,
@@ -864,6 +928,7 @@ impl Fleet {
         }
 
         let incidents = config.telemetry.then(|| self.incident_digest(&config));
+        let cache = config.cache.then(|| self.cache_digest(&config));
 
         let mut overall = LatencyBuckets::default();
         for buckets in &shard_latency {
@@ -900,7 +965,30 @@ impl Fleet {
             per_shard,
             checksum,
             incidents,
+            cache,
         }
+    }
+
+    /// Walks every device runtime in index order and sums its cache
+    /// counter block. Each device is stepped by exactly one worker, so
+    /// the digest is as deterministic as the op counters.
+    fn cache_digest(&self, config: &FleetConfig) -> CacheDigest {
+        let mut digest = CacheDigest::default();
+        for index in 0..config.devices {
+            let snapshot: CacheSnapshot = match self
+                .registry
+                .runtime(index)
+                .and_then(|runtime| runtime.cache_metrics())
+            {
+                Some(metrics) => metrics.snapshot(),
+                None => continue,
+            };
+            digest.hits += snapshot.hit;
+            digest.misses += snapshot.miss;
+            digest.coalesced += snapshot.coalesced;
+            digest.invalidated += snapshot.invalidated;
+        }
+        digest
     }
 
     /// Walks every device runtime in index order and folds its flight
@@ -1005,11 +1093,23 @@ mod tests {
             tick_ms: 500,
             ops_per_round: 2,
             seed: 11,
+            read_heavy: false,
+            cache: false,
             telemetry: false,
             span_retention: 16,
             incident_capacity: 256,
             slo: false,
             brownout: None,
+        }
+    }
+
+    fn read_heavy_config(cache: bool) -> FleetConfig {
+        FleetConfig {
+            read_heavy: true,
+            cache,
+            rounds: 4,
+            ops_per_round: 6,
+            ..small_config()
         }
     }
 
@@ -1266,6 +1366,51 @@ mod tests {
         assert_eq!(first.shed, reworked.shed);
         assert_eq!(first.degraded, reworked.degraded);
         assert_eq!(first.deadline_exceeded, reworked.deadline_exceeded);
+    }
+
+    #[test]
+    fn caching_is_invisible_to_the_checksum() {
+        let cached = Fleet::build(read_heavy_config(true)).unwrap().run();
+        let uncached = Fleet::build(read_heavy_config(false)).unwrap().run();
+        assert_eq!(
+            cached.checksum, uncached.checksum,
+            "caching must not change what the fleet computes"
+        );
+        assert_eq!(cached.total_ops, uncached.total_ops);
+        assert_eq!(cached.location_fixes, uncached.location_fixes);
+        assert_eq!(cached.errors, 0);
+        assert!(uncached.cache.is_none());
+
+        let digest = cached.cache.as_ref().expect("cache ⇒ digest");
+        assert!(digest.hits > 0, "read-heavy mix must hit: {digest:?}");
+        assert!(digest.misses > 0, "first reads must fill: {digest:?}");
+        assert_eq!(digest.hits + digest.misses, cached.location_fixes);
+        // The acceptance bar: the cached arm's binding-plane read
+        // invocations (= misses) are at least 5× fewer than the
+        // uncached arm's (= every fix goes to the binding).
+        assert!(
+            digest.misses * 5 <= uncached.location_fixes,
+            "cache must cut binding reads ≥5x: {digest:?} vs {}",
+            uncached.location_fixes
+        );
+    }
+
+    #[test]
+    fn cached_reports_are_worker_invariant() {
+        let first = Fleet::build(read_heavy_config(true)).unwrap().run();
+        let second = Fleet::build(read_heavy_config(true)).unwrap().run();
+        assert_eq!(first, second, "same config ⇒ identical cached report");
+        let single = Fleet::build(FleetConfig {
+            workers: 1,
+            ..read_heavy_config(true)
+        })
+        .unwrap()
+        .run();
+        assert_eq!(first.checksum, single.checksum);
+        assert_eq!(
+            first.cache, single.cache,
+            "cache digest is worker-invariant"
+        );
     }
 
     #[test]

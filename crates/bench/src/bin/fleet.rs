@@ -8,11 +8,13 @@
 //! one telemetry-on configuration at the first shard count, so the
 //! summary carries the tracing-overhead ablation — the
 //! resolution-throughput comparison (per-call construction vs
-//! sharded + memoized), and the brownout comparison (one shard ramped,
+//! sharded + memoized), the brownout comparison (one shard ramped,
 //! overload layer on vs off, at a fixed small configuration so the gate
 //! margins stay pinned; both arms trace their devices, so each row also
-//! carries the flight-recorder evidence). `--json` emits the
-//! machine-readable summary (schema `mobivine.fleet.v3`) —
+//! carries the flight-recorder evidence), and the cache comparison
+//! (the same read-heavy traffic with the read-through proxy cache on vs
+//! off, also at a fixed configuration). `--json` emits the
+//! machine-readable summary (schema `mobivine.fleet.v4`) —
 //! deterministic for a fixed configuration — on stdout, or at `PATH`
 //! when one follows the flag; `--check PATH` validates an existing
 //! summary file instead of measuring anything; `--brownout` runs only
@@ -27,12 +29,15 @@
 //! and reach at least 75% of its recorded deterministic throughput
 //! (>25% regression fails); the live proxy-acquisition and
 //! telemetry-recording comparisons must both clear their 5x speedup
-//! bars.
+//! bars; and since v4 the live cache comparison must hold its gate:
+//! byte-identical checksums across arms and a ≥5x cut in binding-plane
+//! read invocations.
 
 use mobivine_bench::fleet_bench::{
-    render_brownout_table, render_fleet_table, render_resolution_table, resolution_speedup,
-    run_fleet_brownout, run_fleet_scaling, run_fleet_scaling_with_telemetry,
-    run_resolution_comparison, BrownoutRow,
+    cache_gate_holds, render_brownout_table, render_cache_table, render_fleet_table,
+    render_resolution_table, resolution_speedup, run_fleet_brownout, run_fleet_cache,
+    run_fleet_scaling, run_fleet_scaling_with_telemetry, run_resolution_comparison, BrownoutRow,
+    CacheRow,
 };
 use mobivine_bench::summary::{fleet_summary_json, parse_fleet_baseline, validate_fleet_json};
 use mobivine_bench::telemetry_hotpath::{hotpath_speedup, run_hotpath_comparison};
@@ -42,6 +47,13 @@ use mobivine_bench::telemetry_hotpath::{hotpath_speedup, run_hotpath_comparison}
 /// Keeping it independent of the sweep flags pins the gate margins.
 fn brownout_comparison() -> Vec<BrownoutRow> {
     run_fleet_brownout(30, 4, 3, 3, 2, 11)
+}
+
+/// The cache comparison's fixed configuration: a read-heavy mix big
+/// enough that the warmed cache's hit rate dominates, small enough for
+/// a CI smoke. Independent of the sweep flags, like the brownout.
+fn cache_comparison() -> Vec<CacheRow> {
+    run_fleet_cache(30, 4, 3, 4, 6, 11)
 }
 
 /// Re-runs every baseline scaling row and the live speedup gates.
@@ -100,6 +112,13 @@ fn compare_against_baseline(path: &str) -> Result<(), String> {
         }
     }
     eprintln!("brownout overload gate: both arms hold");
+    let cache = cache_comparison();
+    if !cache_gate_holds(&cache) {
+        return Err(format!(
+            "cache gate failed (equal checksums + ≥5x binding-read cut required): {cache:?}"
+        ));
+    }
+    eprintln!("read-through cache gate: holds");
     Ok(())
 }
 
@@ -205,8 +224,11 @@ fn main() {
                 match validate_fleet_json(&text) {
                     Ok(check) => {
                         println!(
-                            "{path}: valid ({} scaling rows, {} resolution rows, {} brownout arms)",
-                            check.scaling_rows, check.resolution_rows, check.brownout_rows
+                            "{path}: valid ({} scaling rows, {} resolution rows, {} brownout arms, {} cache arms)",
+                            check.scaling_rows,
+                            check.resolution_rows,
+                            check.brownout_rows,
+                            check.cache_rows
                         );
                         std::process::exit(0);
                     }
@@ -242,9 +264,10 @@ fn main() {
     ));
     let resolution = run_resolution_comparison(devices.min(64), 50_000);
     let brownout = brownout_comparison();
+    let cache = cache_comparison();
 
     if let Some(target) = json_out {
-        let json = fleet_summary_json(&scaling, &resolution, &brownout);
+        let json = fleet_summary_json(&scaling, &resolution, &brownout, &cache);
         match target {
             Some(path) => {
                 if let Err(e) = std::fs::write(&path, &json) {
@@ -267,4 +290,12 @@ fn main() {
     }
     println!();
     print!("{}", render_brownout_table(&brownout));
+    println!();
+    print!("{}", render_cache_table(&cache));
+    let verdict = if cache_gate_holds(&cache) {
+        "PASS"
+    } else {
+        "FAIL"
+    };
+    println!("acceptance (equal checksums + >= 5x binding-read cut): {verdict}");
 }

@@ -1,13 +1,13 @@
 //! Fleet-scale throughput and scaling benchmark.
 //!
-//! Two measurements, one artifact:
+//! Three measurements, one artifact:
 //!
 //! 1. **Scaling sweep** — runs the [`mobivine_apps::fleet`] load engine
 //!    at a fixed device count across several shard counts, reporting
 //!    per-configuration throughput and virtual-latency percentiles.
 //!    Everything in these rows except the wall-clock column derives
 //!    from virtual time and seeded streams, so the JSON summary
-//!    (`mobivine.fleet.v3`) is byte-identical across runs.
+//!    (`mobivine.fleet.v4`) is byte-identical across runs.
 //! 2. **Resolution comparison** — acquisition throughput of the
 //!    unsharded per-call-construction baseline (a fresh runtime and a
 //!    freshly constructed proxy stack per acquisition, the shape of the
@@ -15,6 +15,9 @@
 //!    ([`mobivine::shard::ShardedRegistry::resolve`]). Wall-clock
 //!    ops/sec appears only in the human-readable table; the JSON
 //!    carries the deterministic fields.
+//! 3. **Cache comparison** — the same read-heavy traffic with the
+//!    read-through proxy cache on and off: byte-identical checksums,
+//!    ≥5x fewer binding-plane read invocations ([`cache_gate_holds`]).
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -127,6 +130,116 @@ impl BrownoutRow {
     }
 }
 
+/// One arm of the cache comparison: the same read-heavy traffic run
+/// with the read-through proxy cache ([`mobivine::cache`]) on or off.
+/// `binding_reads` is what the gate compares — the number of location
+/// reads that reached the binding plane: *all* of them in the uncached
+/// arm, only the cache misses in the cached arm. Every field but
+/// `wall_ms` derives from virtual time and seeded streams.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheRow {
+    /// Whether the devices carried the read-through cache.
+    pub cached: bool,
+    /// Simulated devices driven.
+    pub devices: usize,
+    /// Total proxy operations issued.
+    pub total_ops: u64,
+    /// Operations that returned an error.
+    pub errors: u64,
+    /// Location fixes obtained (identical across arms by design).
+    pub location_fixes: u64,
+    /// Location reads that invoked the binding plane.
+    pub binding_reads: u64,
+    /// Reads served from cache (zero in the uncached arm).
+    pub hits: u64,
+    /// Reads that waited on another caller's in-flight fill.
+    pub coalesced: u64,
+    /// Cached entries discarded by invalidation.
+    pub invalidated: u64,
+    /// Determinism fingerprint of the run — must equal the other arm's.
+    pub checksum: u64,
+    /// Wall-clock duration, ms (table only).
+    pub wall_ms: f64,
+}
+
+/// Whether a cached/uncached arm pair behaves as the cache design
+/// promises: byte-identical checksums (caching is invisible to what the
+/// fleet computes), a warm cache that actually hits, and at least a 5x
+/// cut in binding-plane read invocations.
+pub fn cache_gate_holds(rows: &[CacheRow]) -> bool {
+    let Some(on) = rows.iter().find(|r| r.cached) else {
+        return false;
+    };
+    let Some(off) = rows.iter().find(|r| !r.cached) else {
+        return false;
+    };
+    on.checksum == off.checksum
+        && on.hits > 0
+        && on.binding_reads > 0
+        && off.binding_reads >= on.binding_reads * 5
+}
+
+/// Runs the cache comparison: the same read-heavy traffic (¾ location
+/// reads), once with every device runtime carrying the read-through
+/// cache and once without. Returns the cached arm first.
+///
+/// # Panics
+///
+/// Panics if the fleet cannot be built — a zero in the configuration or
+/// a proxy-construction failure, both programming errors here.
+pub fn run_fleet_cache(
+    devices: usize,
+    shards: usize,
+    workers: usize,
+    rounds: u64,
+    ops_per_round: u32,
+    seed: u64,
+) -> Vec<CacheRow> {
+    [true, false]
+        .into_iter()
+        .map(|cached| {
+            let config = FleetConfig {
+                devices,
+                shards,
+                workers,
+                rounds,
+                tick_ms: 1_000,
+                ops_per_round,
+                seed,
+                read_heavy: true,
+                cache: cached,
+                telemetry: false,
+                span_retention: 16,
+                incident_capacity: 256,
+                slo: false,
+                brownout: None,
+            };
+            let fleet = Fleet::build(config).expect("cache configuration is valid");
+            let started = Instant::now();
+            let report = fleet.run();
+            let wall_ms = started.elapsed().as_secs_f64() * 1_000.0;
+            let digest = report.cache.clone().unwrap_or_default();
+            CacheRow {
+                cached,
+                devices,
+                total_ops: report.total_ops,
+                errors: report.errors,
+                location_fixes: report.location_fixes,
+                binding_reads: if cached {
+                    digest.misses
+                } else {
+                    report.location_fixes
+                },
+                hits: digest.hits,
+                coalesced: digest.coalesced,
+                invalidated: digest.invalidated,
+                checksum: report.checksum,
+                wall_ms,
+            }
+        })
+        .collect()
+}
+
 /// One row of the resolution-throughput comparison.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ResolutionRow {
@@ -194,6 +307,8 @@ pub fn run_fleet_scaling_with_telemetry(
                 tick_ms: 1_000,
                 ops_per_round,
                 seed,
+                read_heavy: false,
+                cache: false,
                 telemetry,
                 span_retention: 16,
                 incident_capacity: 256,
@@ -259,6 +374,8 @@ pub fn run_fleet_brownout(
                 tick_ms: 1_000,
                 ops_per_round,
                 seed,
+                read_heavy: false,
+                cache: false,
                 telemetry: true,
                 span_retention: 16,
                 incident_capacity: 256,
@@ -438,6 +555,45 @@ pub fn render_brownout_table(rows: &[BrownoutRow]) -> String {
     out
 }
 
+/// Renders the cache comparison, including the verdict line the
+/// acceptance gate reads.
+pub fn render_cache_table(rows: &[CacheRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Read-through cache: read-heavy fleet, cache on vs off\n");
+    out.push_str(
+        "cache |   ops   | fixes | binding reads |  hits | coalesced | invalidated |     checksum     |  wall ms\n",
+    );
+    out.push_str(
+        "------+---------+-------+---------------+-------+-----------+-------------+------------------+---------\n",
+    );
+    for row in rows {
+        out.push_str(&format!(
+            "{:>5} | {:>7} | {:>5} | {:>13} | {:>5} | {:>9} | {:>11} | {:016x} | {:>8.1}\n",
+            if row.cached { "on" } else { "off" },
+            row.total_ops,
+            row.location_fixes,
+            row.binding_reads,
+            row.hits,
+            row.coalesced,
+            row.invalidated,
+            row.checksum,
+            row.wall_ms,
+        ));
+    }
+    if let (Some(on), Some(off)) = (
+        rows.iter().find(|r| r.cached),
+        rows.iter().find(|r| !r.cached),
+    ) {
+        if on.binding_reads > 0 {
+            out.push_str(&format!(
+                "binding-plane read reduction: {:.1}x\n",
+                off.binding_reads as f64 / on.binding_reads as f64
+            ));
+        }
+    }
+    out
+}
+
 /// Renders the resolution comparison, including the speedup line the
 /// acceptance gate reads.
 pub fn render_resolution_table(rows: &[ResolutionRow]) -> String {
@@ -515,6 +671,52 @@ mod tests {
         let table = render_brownout_table(&rows);
         assert!(table.contains("holds"), "{table}");
         assert!(!table.contains("FAILS"), "{table}");
+    }
+
+    #[test]
+    fn cache_rows_hold_the_gate_and_are_deterministic() {
+        let rows = run_fleet_cache(30, 4, 3, 4, 6, 11);
+        assert_eq!(rows.len(), 2);
+        let (on, off) = (&rows[0], &rows[1]);
+        assert!(on.cached && !off.cached);
+        assert_eq!(
+            on.checksum, off.checksum,
+            "caching changed what the fleet computes: {on:?} vs {off:?}"
+        );
+        assert_eq!(on.location_fixes, off.location_fixes);
+        assert_eq!(off.hits, 0, "no cache, no hits");
+        assert!(on.hits > 0, "cached arm must hit: {on:?}");
+        assert!(
+            cache_gate_holds(&rows),
+            "≥5x binding-read cut required: {rows:?}"
+        );
+
+        let again = run_fleet_cache(30, 4, 3, 4, 6, 11);
+        for (a, b) in rows.iter().zip(&again) {
+            assert_eq!(a.checksum, b.checksum);
+            assert_eq!(
+                (a.binding_reads, a.hits, a.coalesced, a.invalidated),
+                (b.binding_reads, b.hits, b.coalesced, b.invalidated)
+            );
+        }
+
+        let table = render_cache_table(&rows);
+        assert!(table.contains("reduction"), "{table}");
+    }
+
+    #[test]
+    fn cache_gate_rejects_a_missing_or_cold_arm() {
+        let rows = run_fleet_cache(30, 4, 3, 4, 6, 11);
+        assert!(!cache_gate_holds(&rows[..1]), "one arm is not a comparison");
+        let mut cold = rows.clone();
+        cold[0].hits = 0;
+        assert!(!cache_gate_holds(&cold), "a cold cache must fail the gate");
+        let mut drifted = rows;
+        drifted[0].checksum ^= 1;
+        assert!(
+            !cache_gate_holds(&drifted),
+            "a checksum drift must fail the gate"
+        );
     }
 
     #[test]

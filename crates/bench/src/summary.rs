@@ -12,7 +12,7 @@
 use serde_json::Value;
 
 use crate::figure10::{Figure10Row, LatencyStats, ResilienceOverheadRow, TelemetryOverheadRow};
-use crate::fleet_bench::{BrownoutRow, FleetScalingRow, ResolutionRow};
+use crate::fleet_bench::{BrownoutRow, CacheRow, FleetScalingRow, ResolutionRow};
 use crate::telemetry_hotpath::HotpathRow;
 
 /// Schema identifier stamped into (and required from) every summary.
@@ -23,8 +23,12 @@ pub const SCHEMA: &str = "mobivine.figure10.v1";
 /// added the flight-recorder evidence to each brownout arm
 /// (`deadline_blown`, `promoted_traces`, `promoted_deadline`,
 /// `incident_checksum`) and extended the gate: the unprotected arm must
-/// carry a promoted trace for every deadline-blown call.
-pub const FLEET_SCHEMA: &str = "mobivine.fleet.v3";
+/// carry a promoted trace for every deadline-blown call. `v4` added the
+/// required `cache` section (read-heavy traffic with the read-through
+/// proxy cache on vs off) and its gate: both arms byte-identical by
+/// checksum, the cached arm actually hitting, and the uncached arm
+/// invoking the binding plane at least 5x more often for reads.
+pub const FLEET_SCHEMA: &str = "mobivine.fleet.v4";
 
 fn num(v: f64) -> Value {
     Value::Number(v)
@@ -252,6 +256,7 @@ pub fn fleet_summary_json(
     scaling: &[FleetScalingRow],
     resolution: &[ResolutionRow],
     brownout: &[BrownoutRow],
+    cache: &[CacheRow],
 ) -> String {
     let scaling = scaling
         .iter()
@@ -310,11 +315,29 @@ pub fn fleet_summary_json(
             ])
         })
         .collect();
+    let cache = cache
+        .iter()
+        .map(|row| {
+            object(vec![
+                ("cached", Value::Bool(row.cached)),
+                ("devices", num(row.devices as f64)),
+                ("total_ops", num(row.total_ops as f64)),
+                ("errors", num(row.errors as f64)),
+                ("location_fixes", num(row.location_fixes as f64)),
+                ("binding_reads", num(row.binding_reads as f64)),
+                ("hits", num(row.hits as f64)),
+                ("coalesced", num(row.coalesced as f64)),
+                ("invalidated", num(row.invalidated as f64)),
+                ("checksum", text(&format!("{:016x}", row.checksum))),
+            ])
+        })
+        .collect();
     object(vec![
         ("schema", text(FLEET_SCHEMA)),
         ("scaling", Value::Array(scaling)),
         ("resolution", Value::Array(resolution)),
         ("brownout", Value::Array(brownout)),
+        ("cache", Value::Array(cache)),
     ])
     .to_string()
 }
@@ -329,6 +352,9 @@ pub struct FleetCheck {
     /// Number of brownout arms (both admission modes must be present
     /// and each must hold its side of the overload gate).
     pub brownout_rows: usize,
+    /// Number of cache arms (cached and uncached must both be present
+    /// and the pair must hold the cache gate).
+    pub cache_rows: usize,
 }
 
 /// Validates a `fleet --json` document against the [`FLEET_SCHEMA`]
@@ -494,10 +520,70 @@ pub fn validate_fleet_json(json: &str) -> Result<FleetCheck, String> {
         }
     }
 
+    let cache = require_array(&root, "cache")?;
+    let mut arms: Vec<(bool, u64, u64, &str)> = Vec::new();
+    for (i, entry) in cache.iter().enumerate() {
+        let context = format!("cache[{i}]");
+        let cached = match entry.get_field("cached") {
+            Some(Value::Bool(b)) => *b,
+            other => return Err(format!("{context}: cached is {other:?}, expected a bool")),
+        };
+        for key in [
+            "devices",
+            "total_ops",
+            "errors",
+            "location_fixes",
+            "coalesced",
+            "invalidated",
+        ] {
+            let value = require_number(entry, key, &context)?;
+            if value < 0.0 {
+                return Err(format!("{context}: negative {key}"));
+            }
+        }
+        let binding_reads = require_number(entry, "binding_reads", &context)?;
+        let hits = require_number(entry, "hits", &context)?;
+        if binding_reads < 0.0 || hits < 0.0 {
+            return Err(format!("{context}: negative read counter"));
+        }
+        let checksum = require_string(entry, "checksum", &context)?;
+        if checksum.len() != 16 || !checksum.chars().all(|c| c.is_ascii_hexdigit()) {
+            return Err(format!(
+                "{context}: checksum is not a 16-digit hex string: {checksum:?}"
+            ));
+        }
+        arms.push((cached, binding_reads as u64, hits as u64, checksum));
+    }
+    // The cache gate: both arms present, byte-identical results, a
+    // cached arm that actually hit, and a ≥5x cut in binding-plane read
+    // invocations.
+    let Some(on) = arms.iter().find(|(cached, ..)| *cached) else {
+        return Err("cache: missing the cached arm".to_owned());
+    };
+    let Some(off) = arms.iter().find(|(cached, ..)| !*cached) else {
+        return Err("cache: missing the uncached arm".to_owned());
+    };
+    if on.3 != off.3 {
+        return Err(format!(
+            "cache: arm checksums differ ({} vs {}) — caching changed what the fleet computes",
+            on.3, off.3
+        ));
+    }
+    if on.2 == 0 {
+        return Err("cache: the cached arm never hit".to_owned());
+    }
+    if on.1 == 0 || off.1 < on.1 * 5 {
+        return Err(format!(
+            "cache: binding-plane reads {} (cached) vs {} (uncached) miss the 5x reduction bar",
+            on.1, off.1
+        ));
+    }
+
     Ok(FleetCheck {
         scaling_rows: scaling.len(),
         resolution_rows: resolution.len(),
         brownout_rows: brownout.len(),
+        cache_rows: cache.len(),
     })
 }
 
@@ -620,7 +706,8 @@ mod tests {
         let scaling = crate::fleet_bench::run_fleet_scaling(24, &[1, 2], 2, 1, 1, 3);
         let resolution = crate::fleet_bench::run_resolution_comparison(4, 100);
         let brownout = crate::fleet_bench::run_fleet_brownout(30, 4, 3, 3, 2, 11);
-        fleet_summary_json(&scaling, &resolution, &brownout)
+        let cache = crate::fleet_bench::run_fleet_cache(30, 4, 3, 4, 6, 11);
+        fleet_summary_json(&scaling, &resolution, &brownout, &cache)
     }
 
     #[test]
@@ -632,8 +719,23 @@ mod tests {
                 scaling_rows: 2,
                 resolution_rows: 2,
                 brownout_rows: 2,
+                cache_rows: 2,
             }
         );
+    }
+
+    #[test]
+    fn fleet_summary_rejects_a_missing_cache_arm() {
+        let json = fleet_sample().replace("\"cached\":false", "\"cached\":true");
+        let err = validate_fleet_json(&json).unwrap_err();
+        assert!(err.contains("uncached arm"), "{err}");
+    }
+
+    #[test]
+    fn fleet_summary_rejects_a_cold_cache() {
+        let json = regex_free_replace(&fleet_sample(), "hits", 0.0);
+        let err = validate_fleet_json(&json).unwrap_err();
+        assert!(err.contains("never hit"), "{err}");
     }
 
     #[test]

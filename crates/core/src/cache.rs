@@ -1,0 +1,1048 @@
+//! Read-through result caching with single-flight coalescing for the
+//! idempotent M-Proxy reads.
+//!
+//! Every `getLocation()` / `findContacts()` / `entriesBetween()` that
+//! reaches the binding plane pays the full platform cost — and on the
+//! WebView binding, a JavaScript bridge crossing on top. Yet those reads
+//! are idempotent over short windows: the GPS engine interpolates the
+//! same fix for the same instant, the contact store only changes when
+//! something writes to it. This module puts a `Cached` decorator between
+//! the overload and proxy-plane traced layers
+//! (`Resilient → Overload → Cached → Traced`) providing:
+//!
+//! * a **read-through cache** — results are stored under a per-proxy
+//!   TTL measured on the simulated clock, so expiry replays
+//!   bit-identically run over run;
+//! * **single-flight coalescing** — when an identical read is already
+//!   in flight, late arrivals wait on the leader's result instead of
+//!   issuing their own binding-plane invocation. The leader executes
+//!   the fill *without holding any cache lock*, which keeps the scheme
+//!   safe on the WebView binding where the fill crosses the JS bridge;
+//! * **explicit invalidation** — a [`Stamp`] of three monotone epochs
+//!   is recorded at fill time and compared on every read: the device's
+//!   fault epoch (bumped by every
+//!   [`FaultPlan`](mobivine_device::fault::FaultPlan) transition), the
+//!   resilience circuit breaker's transition epoch, and a per-decorator
+//!   generation bumped by `setProperty`. Any mismatch discards the
+//!   entry before it can be served, so a stale read never survives a
+//!   mutation.
+//!
+//! Writes (SMS send, calls, HTTP requests, `setProperty`) are never
+//! cached; `setProperty` through a cached proxy invalidates before it
+//! forwards. Knobs travel the ordinary property plane (`cache.ttl_ms`,
+//! `cache.coalescing`) exactly like the `retry.*` and `bulkhead.*`
+//! families.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use mobivine_device::Device;
+use mobivine_telemetry::span::{ambient, ActiveSpan, Plane};
+use mobivine_telemetry::{Counter, Labels, MetricsRegistry};
+
+use crate::api::{CalendarProxy, ContactsProxy, LocationProxy, ProxyBase};
+use crate::error::{ProxyError, ProxyErrorKind};
+use crate::property::PropertyValue;
+use crate::types::{CalendarRecord, ContactRecord, Location, SharedProximityListener};
+
+// ---------------------------------------------------------------------
+// Policy
+// ---------------------------------------------------------------------
+
+/// Tunable knobs for the read-through cache layer.
+///
+/// TTLs are simulated milliseconds per proxy kind; a TTL of zero
+/// disables storage for that proxy (every read refills) while leaving
+/// coalescing active.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachePolicy {
+    location_ttl_ms: u64,
+    contacts_ttl_ms: u64,
+    calendar_ttl_ms: u64,
+    coalescing: bool,
+}
+
+impl Default for CachePolicy {
+    /// Location fixes stay fresh for 10 s of simulated time; contact
+    /// and calendar lookups — which only change on writes the
+    /// invalidation stamps already catch — for 60 s. Coalescing on.
+    fn default() -> Self {
+        Self {
+            location_ttl_ms: 10_000,
+            contacts_ttl_ms: 60_000,
+            calendar_ttl_ms: 60_000,
+            coalescing: true,
+        }
+    }
+}
+
+impl CachePolicy {
+    /// Sets the `getLocation` result TTL (virtual ms).
+    #[must_use]
+    pub fn location_ttl_ms(mut self, ms: u64) -> Self {
+        self.location_ttl_ms = ms;
+        self
+    }
+
+    /// Sets the `findContacts` result TTL (virtual ms).
+    #[must_use]
+    pub fn contacts_ttl_ms(mut self, ms: u64) -> Self {
+        self.contacts_ttl_ms = ms;
+        self
+    }
+
+    /// Sets the `entriesBetween` result TTL (virtual ms).
+    #[must_use]
+    pub fn calendar_ttl_ms(mut self, ms: u64) -> Self {
+        self.calendar_ttl_ms = ms;
+        self
+    }
+
+    /// Enables or disables single-flight coalescing.
+    #[must_use]
+    pub fn coalescing(mut self, on: bool) -> Self {
+        self.coalescing = on;
+        self
+    }
+
+    /// The configured location TTL.
+    pub fn location_ttl(&self) -> u64 {
+        self.location_ttl_ms
+    }
+
+    /// The configured contacts TTL.
+    pub fn contacts_ttl(&self) -> u64 {
+        self.contacts_ttl_ms
+    }
+
+    /// The configured calendar TTL.
+    pub fn calendar_ttl(&self) -> u64 {
+        self.calendar_ttl_ms
+    }
+
+    /// Whether coalescing is enabled.
+    pub fn coalescing_enabled(&self) -> bool {
+        self.coalescing
+    }
+}
+
+// ---------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------
+
+macro_rules! cache_counters {
+    ($($(#[$doc:meta])* $name:ident),* $(,)?) => {
+        /// Shared cache counters, updated by the decorators and
+        /// snapshotted by observability code.
+        ///
+        /// A standalone block ([`CacheMetrics::shared`]) counts
+        /// privately; a registry-backed block
+        /// ([`CacheMetrics::on_registry`]) publishes the same counters
+        /// as `cache_<name>_total` series.
+        #[derive(Debug, Default)]
+        pub struct CacheMetrics {
+            $($(#[$doc])* $name: Counter,)*
+        }
+
+        /// A point-in-time copy of [`CacheMetrics`].
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+        pub struct CacheSnapshot {
+            $($(#[$doc])* pub $name: u64,)*
+        }
+
+        impl CacheMetrics {
+            /// Copies every counter at once.
+            pub fn snapshot(&self) -> CacheSnapshot {
+                CacheSnapshot {
+                    $($name: self.$name.value(),)*
+                }
+            }
+
+            /// A counter block whose handles live in `registry` under
+            /// `cache_<name>_total`.
+            pub fn on_registry(registry: &Arc<MetricsRegistry>) -> Arc<Self> {
+                Arc::new(Self {
+                    $($name: registry.counter(
+                        concat!("cache_", stringify!($name), "_total"),
+                        &Labels::empty(),
+                    ),)*
+                })
+            }
+        }
+    };
+}
+
+cache_counters! {
+    /// Reads served from a stored, still-fresh entry.
+    hit,
+    /// Reads that filled from the layer below (one binding-plane
+    /// invocation each).
+    miss,
+    /// Reads that joined an identical in-flight fill instead of issuing
+    /// their own.
+    coalesced,
+    /// Entries discarded by an invalidation trigger (`setProperty`,
+    /// fault-plan transition, circuit-state change) — natural TTL
+    /// expiry is not counted here.
+    invalidated,
+}
+
+impl CacheMetrics {
+    /// A fresh, shareable counter block (not registry-backed).
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+}
+
+impl fmt::Display for CacheSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hit={} miss={} coalesced={} invalidated={}",
+            self.hit, self.miss, self.coalesced, self.invalidated,
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Invalidation stamps
+// ---------------------------------------------------------------------
+
+/// The invalidation coordinates an entry was filled under. A read whose
+/// current stamp differs in *any* field discards the entry: something —
+/// a fault transition, a circuit-state change, a `setProperty` — has
+/// mutated the world since the fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stamp {
+    /// [`Device::fault_epoch`] at fill time.
+    pub fault_epoch: u64,
+    /// The resilience circuit breaker's transition epoch at fill time
+    /// (zero when the stack has no breaker under this proxy).
+    pub circuit_epoch: u64,
+    /// The decorator's `setProperty` generation at fill time.
+    pub generation: u64,
+}
+
+// ---------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------
+
+fn int_of(value: &PropertyValue) -> Option<i64> {
+    if let Some(i) = value.as_int() {
+        return Some(i);
+    }
+    value.as_str().and_then(|s| s.parse().ok())
+}
+
+fn bool_of(value: &PropertyValue) -> Option<bool> {
+    if let Some(b) = value.as_bool() {
+        return Some(b);
+    }
+    if let Some(i) = value.as_int() {
+        return Some(i != 0);
+    }
+    value.as_str().and_then(|s| s.parse().ok())
+}
+
+fn bad_value(key: &str, value: &PropertyValue) -> ProxyError {
+    ProxyError::new(
+        ProxyErrorKind::BadPropertyValue,
+        format!("cache property '{key}' cannot take value {value:?}"),
+    )
+}
+
+/// The TTL/stamp/knob state shared by one cached decorator.
+pub struct CacheEngine {
+    device: Device,
+    metrics: Arc<CacheMetrics>,
+    ttl_ms: AtomicU64,
+    coalescing: AtomicBool,
+    generation: AtomicU64,
+    circuit_epoch: Option<Arc<AtomicU64>>,
+}
+
+impl CacheEngine {
+    /// Creates an engine over `device` with the given starting TTL.
+    /// `circuit_epoch` is the breaker's transition-epoch handle when a
+    /// resilience layer sits below this decorator.
+    pub fn new(
+        device: Device,
+        ttl_ms: u64,
+        coalescing: bool,
+        circuit_epoch: Option<Arc<AtomicU64>>,
+        metrics: Arc<CacheMetrics>,
+    ) -> Self {
+        Self {
+            device,
+            metrics,
+            ttl_ms: AtomicU64::new(ttl_ms),
+            coalescing: AtomicBool::new(coalescing),
+            generation: AtomicU64::new(0),
+            circuit_epoch,
+        }
+    }
+
+    /// The counter block this engine reports into.
+    pub fn metrics(&self) -> &Arc<CacheMetrics> {
+        &self.metrics
+    }
+
+    /// The current TTL (virtual ms).
+    pub fn ttl_ms(&self) -> u64 {
+        self.ttl_ms.load(Ordering::Acquire)
+    }
+
+    /// Whether coalescing is currently enabled.
+    pub fn coalescing(&self) -> bool {
+        self.coalescing.load(Ordering::Acquire)
+    }
+
+    /// The invalidation coordinates as of now.
+    pub fn stamp(&self) -> Stamp {
+        Stamp {
+            fault_epoch: self.device.fault_epoch(),
+            circuit_epoch: self
+                .circuit_epoch
+                .as_ref()
+                .map_or(0, |e| e.load(Ordering::Acquire)),
+            generation: self.generation.load(Ordering::Acquire),
+        }
+    }
+
+    /// Bumps the `setProperty` generation, retiring every entry filled
+    /// before the bump (including fills still in flight).
+    pub fn bump_generation(&self) {
+        self.generation.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Intercepts the cache property keys; returns `None` for keys that
+    /// belong to the wrapped proxy.
+    fn try_set_cache_property(
+        &self,
+        key: &str,
+        value: &PropertyValue,
+    ) -> Option<Result<(), ProxyError>> {
+        let result = match key {
+            "cache.ttl_ms" => match int_of(value) {
+                Some(n) if n >= 0 => {
+                    self.ttl_ms.store(n as u64, Ordering::Release);
+                    Ok(())
+                }
+                _ => Err(bad_value(key, value)),
+            },
+            "cache.coalescing" => match bool_of(value) {
+                Some(b) => {
+                    self.coalescing.store(b, Ordering::Release);
+                    Ok(())
+                }
+                None => Err(bad_value(key, value)),
+            },
+            _ => return None,
+        };
+        Some(result)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Single-flight cell
+// ---------------------------------------------------------------------
+
+struct Entry<V> {
+    value: V,
+    stamp: Stamp,
+    expires_at_ms: u64,
+}
+
+/// One in-flight fill. Single-use: the leader publishes exactly once,
+/// then the flight is dropped from the map, so no epoch bookkeeping is
+/// needed. Uses the standard-library mutex/condvar pair because the
+/// follower side genuinely parks the thread.
+struct Flight<V> {
+    state: std::sync::Mutex<Option<Result<V, ProxyError>>>,
+    cv: std::sync::Condvar,
+}
+
+impl<V: Clone> Flight<V> {
+    fn new() -> Self {
+        Self {
+            state: std::sync::Mutex::new(None),
+            cv: std::sync::Condvar::new(),
+        }
+    }
+
+    /// A poisoned flight mutex means a publisher or waiter panicked
+    /// mid-section; the stored `Option` stays structurally valid either
+    /// way, so recover the guard rather than propagate the panic.
+    fn lock(&self) -> std::sync::MutexGuard<'_, Option<Result<V, ProxyError>>> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn publish(&self, result: Result<V, ProxyError>) {
+        *self.lock() = Some(result);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> Result<V, ProxyError> {
+        let mut state = self.lock();
+        loop {
+            if let Some(result) = state.as_ref() {
+                return result.clone();
+            }
+            state = self
+                .cv
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+/// The keyed store underneath one cached decorator: fresh entries plus
+/// the map of in-flight fills.
+///
+/// Lock discipline: `entries` and `flights` are taken briefly and never
+/// across the fill — the leader runs the wrapped call with no cache
+/// lock held, so a fill that blocks (or crosses the WebView bridge)
+/// cannot wedge readers of other keys.
+pub struct CacheCell<K, V> {
+    entries: Mutex<HashMap<K, Entry<V>>>,
+    flights: Mutex<HashMap<K, Arc<Flight<V>>>>,
+}
+
+impl<K, V> Default for CacheCell<K, V> {
+    fn default() -> Self {
+        Self {
+            entries: Mutex::new(HashMap::new()),
+            flights: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> CacheCell<K, V> {
+    /// An empty cell.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// How many live (possibly expired, not yet collected) entries the
+    /// cell holds.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether the cell holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    /// Drops every stored entry and retires in-flight fills via the
+    /// engine's generation. Cleared entries count as invalidated.
+    pub fn invalidate_all(&self, engine: &CacheEngine) {
+        engine.bump_generation();
+        let removed = {
+            let mut entries = self.entries.lock();
+            let n = entries.len();
+            entries.clear();
+            n
+        };
+        if removed > 0 {
+            engine.metrics.invalidated.add(removed as u64);
+        }
+    }
+
+    /// The read-through path: serve a fresh stored result, join an
+    /// identical in-flight fill, or lead a new fill of `fill` —
+    /// recording the decision as a `cache_*` counter always and as a
+    /// span event when a trace is ambient.
+    pub fn get_or_fill(
+        &self,
+        engine: &CacheEngine,
+        operation: &str,
+        key: K,
+        fill: impl FnOnce() -> Result<V, ProxyError>,
+    ) -> Result<V, ProxyError> {
+        let mut span = if ambient::is_active() {
+            ambient::child(
+                format!("cache:{operation}"),
+                Plane::Resilience,
+                engine.device.now_ms(),
+            )
+        } else {
+            None
+        };
+        let result = self.get_or_fill_inner(engine, key, fill, span.as_mut());
+        if let Some(mut s) = span.take() {
+            if let Err(e) = &result {
+                s.attr("error", crate::telemetry::kind_name(e.kind()));
+            }
+            s.end(engine.device.now_ms());
+        }
+        result
+    }
+
+    fn get_or_fill_inner(
+        &self,
+        engine: &CacheEngine,
+        key: K,
+        fill: impl FnOnce() -> Result<V, ProxyError>,
+        mut span: Option<&mut ActiveSpan>,
+    ) -> Result<V, ProxyError> {
+        // The stamp is taken *before* the fill and stored with the
+        // entry: if an invalidation epoch moves while the fill is in
+        // flight, the stored stamp is already stale and the next read
+        // discards it — a fill racing a mutation can never pin a
+        // pre-mutation answer.
+        let stamp = engine.stamp();
+        let now = engine.device.now_ms();
+        {
+            let mut entries = self.entries.lock();
+            match entries.get(&key) {
+                Some(entry) if entry.stamp != stamp => {
+                    entries.remove(&key);
+                    engine.metrics.invalidated.inc();
+                }
+                Some(entry) if now < entry.expires_at_ms => {
+                    engine.metrics.hit.inc();
+                    let value = entry.value.clone();
+                    drop(entries);
+                    if let Some(s) = span.as_deref_mut() {
+                        s.event("cache_hit", now);
+                    }
+                    return Ok(value);
+                }
+                Some(_) => {
+                    // Fresh stamp but past its TTL: plain expiry, the
+                    // refill below counts as an ordinary miss.
+                    entries.remove(&key);
+                }
+                None => {}
+            }
+        }
+
+        if !engine.coalescing() {
+            if let Some(s) = span.as_deref_mut() {
+                s.event("cache_miss", now);
+            }
+            return self.fill_and_store(engine, key, stamp, fill);
+        }
+
+        enum Role<V> {
+            Leader(Arc<Flight<V>>),
+            Follower(Arc<Flight<V>>),
+        }
+        let role = {
+            let mut flights = self.flights.lock();
+            match flights.get(&key) {
+                Some(flight) => Role::Follower(Arc::clone(flight)),
+                None => {
+                    let flight = Arc::new(Flight::new());
+                    flights.insert(key.clone(), Arc::clone(&flight));
+                    Role::Leader(flight)
+                }
+            }
+        };
+        match role {
+            Role::Follower(flight) => {
+                engine.metrics.coalesced.inc();
+                if let Some(s) = span.as_deref_mut() {
+                    s.event("cache_coalesced", now);
+                }
+                flight.wait()
+            }
+            Role::Leader(flight) => {
+                if let Some(s) = span {
+                    s.event("cache_miss", now);
+                }
+                let result = self.fill_and_store(engine, key.clone(), stamp, fill);
+                // Unpublish before publishing: a caller arriving after
+                // the removal starts a fresh flight instead of joining
+                // a finished one.
+                self.flights.lock().remove(&key);
+                flight.publish(result.clone());
+                result
+            }
+        }
+    }
+
+    /// Runs the fill with no cache lock held and stores a successful
+    /// result under `stamp`. Errors are never cached.
+    fn fill_and_store(
+        &self,
+        engine: &CacheEngine,
+        key: K,
+        stamp: Stamp,
+        fill: impl FnOnce() -> Result<V, ProxyError>,
+    ) -> Result<V, ProxyError> {
+        engine.metrics.miss.inc();
+        let result = fill();
+        if let Ok(value) = &result {
+            let filled_at = engine.device.now_ms();
+            self.entries.lock().insert(
+                key,
+                Entry {
+                    value: value.clone(),
+                    stamp,
+                    expires_at_ms: filled_at.saturating_add(engine.ttl_ms()),
+                },
+            );
+        }
+        result
+    }
+}
+
+// ---------------------------------------------------------------------
+// Decorators
+// ---------------------------------------------------------------------
+
+macro_rules! cached_set_property {
+    () => {
+        fn set_property(&self, key: &str, value: PropertyValue) -> Result<(), ProxyError> {
+            match self.engine.try_set_cache_property(key, &value) {
+                Some(result) => {
+                    if result.is_ok() {
+                        self.cell.invalidate_all(&self.engine);
+                    }
+                    result
+                }
+                None => {
+                    // Invalidate before forwarding, and even if the
+                    // inner layer rejects the key: a property write is
+                    // a mutation signal whether or not it lands.
+                    self.cell.invalidate_all(&self.engine);
+                    self.inner.set_property(key, value)
+                }
+            }
+        }
+    };
+}
+
+/// [`LocationProxy`] decorator: read-through caching and single-flight
+/// coalescing for `getLocation`. Proximity-alert registration mutates
+/// listener state and is forwarded untouched.
+pub struct CachedLocationProxy {
+    inner: Arc<dyn LocationProxy>,
+    engine: CacheEngine,
+    cell: CacheCell<(), Location>,
+}
+
+impl CachedLocationProxy {
+    /// Wraps `inner` under `policy`, stamping entries against `device`'s
+    /// fault epoch and (when present) the breaker epoch of the
+    /// resilience layer below.
+    pub fn new(
+        inner: Arc<dyn LocationProxy>,
+        device: Device,
+        policy: &CachePolicy,
+        circuit_epoch: Option<Arc<AtomicU64>>,
+        metrics: Arc<CacheMetrics>,
+    ) -> Self {
+        Self {
+            inner,
+            engine: CacheEngine::new(
+                device,
+                policy.location_ttl(),
+                policy.coalescing_enabled(),
+                circuit_epoch,
+                metrics,
+            ),
+            cell: CacheCell::new(),
+        }
+    }
+
+    /// The engine, for observability and tests.
+    pub fn engine(&self) -> &CacheEngine {
+        &self.engine
+    }
+}
+
+impl ProxyBase for CachedLocationProxy {
+    cached_set_property!();
+}
+
+impl LocationProxy for CachedLocationProxy {
+    fn add_proximity_alert(
+        &self,
+        latitude: f64,
+        longitude: f64,
+        altitude: f64,
+        radius: f64,
+        timer_s: i64,
+        listener: SharedProximityListener,
+    ) -> Result<(), ProxyError> {
+        self.inner
+            .add_proximity_alert(latitude, longitude, altitude, radius, timer_s, listener)
+    }
+
+    fn remove_proximity_alert(
+        &self,
+        listener: &SharedProximityListener,
+    ) -> Result<bool, ProxyError> {
+        self.inner.remove_proximity_alert(listener)
+    }
+
+    fn get_location(&self) -> Result<Location, ProxyError> {
+        let inner = &self.inner;
+        self.cell
+            .get_or_fill(&self.engine, "getLocation", (), || inner.get_location())
+    }
+}
+
+/// [`ContactsProxy`] decorator: read-through caching keyed by query.
+pub struct CachedContactsProxy {
+    inner: Arc<dyn ContactsProxy>,
+    engine: CacheEngine,
+    cell: CacheCell<String, Vec<ContactRecord>>,
+}
+
+impl CachedContactsProxy {
+    /// Wraps `inner` under `policy`.
+    pub fn new(
+        inner: Arc<dyn ContactsProxy>,
+        device: Device,
+        policy: &CachePolicy,
+        metrics: Arc<CacheMetrics>,
+    ) -> Self {
+        Self {
+            inner,
+            engine: CacheEngine::new(
+                device,
+                policy.contacts_ttl(),
+                policy.coalescing_enabled(),
+                None,
+                metrics,
+            ),
+            cell: CacheCell::new(),
+        }
+    }
+
+    /// The engine, for observability and tests.
+    pub fn engine(&self) -> &CacheEngine {
+        &self.engine
+    }
+}
+
+impl ProxyBase for CachedContactsProxy {
+    cached_set_property!();
+}
+
+impl ContactsProxy for CachedContactsProxy {
+    fn find_contacts(&self, query: &str) -> Result<Vec<ContactRecord>, ProxyError> {
+        let inner = &self.inner;
+        self.cell
+            .get_or_fill(&self.engine, "findContacts", query.to_owned(), || {
+                inner.find_contacts(query)
+            })
+    }
+}
+
+/// [`CalendarProxy`] decorator: read-through caching keyed by window.
+pub struct CachedCalendarProxy {
+    inner: Arc<dyn CalendarProxy>,
+    engine: CacheEngine,
+    cell: CacheCell<(u64, u64), Vec<CalendarRecord>>,
+}
+
+impl CachedCalendarProxy {
+    /// Wraps `inner` under `policy`.
+    pub fn new(
+        inner: Arc<dyn CalendarProxy>,
+        device: Device,
+        policy: &CachePolicy,
+        metrics: Arc<CacheMetrics>,
+    ) -> Self {
+        Self {
+            inner,
+            engine: CacheEngine::new(
+                device,
+                policy.calendar_ttl(),
+                policy.coalescing_enabled(),
+                None,
+                metrics,
+            ),
+            cell: CacheCell::new(),
+        }
+    }
+
+    /// The engine, for observability and tests.
+    pub fn engine(&self) -> &CacheEngine {
+        &self.engine
+    }
+}
+
+impl ProxyBase for CachedCalendarProxy {
+    cached_set_property!();
+}
+
+impl CalendarProxy for CachedCalendarProxy {
+    fn entries_between(&self, from_ms: u64, to_ms: u64) -> Result<Vec<CalendarRecord>, ProxyError> {
+        let inner = &self.inner;
+        self.cell
+            .get_or_fill(&self.engine, "entriesBetween", (from_ms, to_ms), || {
+                inner.entries_between(from_ms, to_ms)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn engine(device: &Device, ttl_ms: u64) -> CacheEngine {
+        CacheEngine::new(device.clone(), ttl_ms, true, None, CacheMetrics::shared())
+    }
+
+    #[test]
+    fn policy_defaults_and_builders() {
+        let policy = CachePolicy::default();
+        assert_eq!(policy.location_ttl(), 10_000);
+        assert_eq!(policy.contacts_ttl(), 60_000);
+        assert_eq!(policy.calendar_ttl(), 60_000);
+        assert!(policy.coalescing_enabled());
+        let tuned = CachePolicy::default()
+            .location_ttl_ms(1)
+            .contacts_ttl_ms(2)
+            .calendar_ttl_ms(3)
+            .coalescing(false);
+        assert_eq!(tuned.location_ttl(), 1);
+        assert_eq!(tuned.contacts_ttl(), 2);
+        assert_eq!(tuned.calendar_ttl(), 3);
+        assert!(!tuned.coalescing_enabled());
+    }
+
+    #[test]
+    fn second_read_hits_until_the_ttl_expires() {
+        let device = Device::builder().build();
+        let engine = engine(&device, 1_000);
+        let cell: CacheCell<(), u64> = CacheCell::new();
+        let fills = AtomicUsize::new(0);
+        let fill = || {
+            fills.fetch_add(1, Ordering::SeqCst);
+            Ok(7)
+        };
+        assert_eq!(cell.get_or_fill(&engine, "read", (), fill), Ok(7));
+        assert_eq!(cell.get_or_fill(&engine, "read", (), fill), Ok(7));
+        assert_eq!(fills.load(Ordering::SeqCst), 1, "second read served hot");
+        device.advance_ms(1_001);
+        assert_eq!(cell.get_or_fill(&engine, "read", (), fill), Ok(7));
+        assert_eq!(fills.load(Ordering::SeqCst), 2, "expired entry refilled");
+        let snap = engine.metrics().snapshot();
+        assert_eq!((snap.hit, snap.miss), (1, 2));
+        assert_eq!(snap.invalidated, 0, "TTL expiry is not an invalidation");
+    }
+
+    #[test]
+    fn zero_ttl_disables_storage() {
+        let device = Device::builder().build();
+        let engine = engine(&device, 0);
+        let cell: CacheCell<(), u64> = CacheCell::new();
+        let fills = AtomicUsize::new(0);
+        let fill = || {
+            fills.fetch_add(1, Ordering::SeqCst);
+            Ok(1)
+        };
+        for _ in 0..3 {
+            assert!(cell.get_or_fill(&engine, "read", (), fill).is_ok());
+        }
+        assert_eq!(fills.load(Ordering::SeqCst), 3);
+        assert_eq!(engine.metrics().snapshot().hit, 0);
+    }
+
+    #[test]
+    fn errors_are_never_cached() {
+        let device = Device::builder().build();
+        let engine = engine(&device, 10_000);
+        let cell: CacheCell<(), u64> = CacheCell::new();
+        let fills = AtomicUsize::new(0);
+        let fill = || {
+            fills.fetch_add(1, Ordering::SeqCst);
+            Err(ProxyError::new(ProxyErrorKind::Unavailable, "no fix"))
+        };
+        for _ in 0..2 {
+            assert!(cell.get_or_fill(&engine, "read", (), fill).is_err());
+        }
+        assert_eq!(fills.load(Ordering::SeqCst), 2, "each failure re-fills");
+        assert!(cell.is_empty());
+    }
+
+    #[test]
+    fn fault_epoch_bump_invalidates_before_the_ttl() {
+        let device = Device::builder().build();
+        let engine = engine(&device, 60_000);
+        let cell: CacheCell<(), u64> = CacheCell::new();
+        let fills = AtomicUsize::new(0);
+        let fill = || {
+            fills.fetch_add(1, Ordering::SeqCst);
+            Ok(9)
+        };
+        cell.get_or_fill(&engine, "read", (), fill).ok();
+        device.bump_fault_epoch();
+        cell.get_or_fill(&engine, "read", (), fill).ok();
+        assert_eq!(fills.load(Ordering::SeqCst), 2);
+        assert_eq!(engine.metrics().snapshot().invalidated, 1);
+    }
+
+    #[test]
+    fn circuit_epoch_bump_invalidates() {
+        let device = Device::builder().build();
+        let breaker_epoch = Arc::new(AtomicU64::new(0));
+        let engine = CacheEngine::new(
+            device.clone(),
+            60_000,
+            true,
+            Some(Arc::clone(&breaker_epoch)),
+            CacheMetrics::shared(),
+        );
+        let cell: CacheCell<(), u64> = CacheCell::new();
+        let fills = AtomicUsize::new(0);
+        let fill = || {
+            fills.fetch_add(1, Ordering::SeqCst);
+            Ok(3)
+        };
+        cell.get_or_fill(&engine, "read", (), fill).ok();
+        cell.get_or_fill(&engine, "read", (), fill).ok();
+        assert_eq!(fills.load(Ordering::SeqCst), 1);
+        breaker_epoch.fetch_add(1, Ordering::SeqCst);
+        cell.get_or_fill(&engine, "read", (), fill).ok();
+        assert_eq!(fills.load(Ordering::SeqCst), 2);
+        assert_eq!(engine.metrics().snapshot().invalidated, 1);
+    }
+
+    #[test]
+    fn invalidate_all_counts_cleared_entries_and_retires_inflight_stamps() {
+        let device = Device::builder().build();
+        let engine = engine(&device, 60_000);
+        let cell: CacheCell<u32, u64> = CacheCell::new();
+        for k in 0..3 {
+            cell.get_or_fill(&engine, "read", k, || Ok(u64::from(k)))
+                .ok();
+        }
+        assert_eq!(cell.len(), 3);
+        let before = engine.stamp();
+        cell.invalidate_all(&engine);
+        assert!(cell.is_empty());
+        assert_eq!(engine.metrics().snapshot().invalidated, 3);
+        assert_ne!(engine.stamp(), before, "generation moved");
+    }
+
+    #[test]
+    fn a_fill_racing_a_mutation_cannot_pin_a_stale_answer() {
+        // The stamp is taken before the fill: bumping an epoch *during*
+        // the fill leaves the stored entry already stale.
+        let device = Device::builder().build();
+        let engine = engine(&device, 60_000);
+        let cell: CacheCell<(), u64> = CacheCell::new();
+        let fills = AtomicUsize::new(0);
+        cell.get_or_fill(&engine, "read", (), || {
+            fills.fetch_add(1, Ordering::SeqCst);
+            device.bump_fault_epoch(); // mutation mid-flight
+            Ok(1)
+        })
+        .ok();
+        cell.get_or_fill(&engine, "read", (), || {
+            fills.fetch_add(1, Ordering::SeqCst);
+            Ok(2)
+        })
+        .ok();
+        assert_eq!(fills.load(Ordering::SeqCst), 2, "mid-flight bump re-fills");
+    }
+
+    #[test]
+    fn followers_share_the_leaders_single_invocation() {
+        let device = Device::builder().build();
+        let engine = Arc::new(engine(&device, 60_000));
+        let cell: Arc<CacheCell<(), u64>> = Arc::new(CacheCell::new());
+        let fills = Arc::new(AtomicUsize::new(0));
+        const FOLLOWERS: usize = 4;
+
+        // The leader's fill spins until every follower has joined the
+        // flight (observable through the coalesced counter), making the
+        // interleaving deterministic: exactly one fill, FOLLOWERS joins.
+        let leader = {
+            let engine = Arc::clone(&engine);
+            let cell = Arc::clone(&cell);
+            let fills = Arc::clone(&fills);
+            std::thread::spawn(move || {
+                cell.get_or_fill(&engine, "read", (), || {
+                    fills.fetch_add(1, Ordering::SeqCst);
+                    while engine.metrics().snapshot().coalesced < FOLLOWERS as u64 {
+                        std::thread::yield_now();
+                    }
+                    Ok(42)
+                })
+            })
+        };
+        while engine.metrics().snapshot().miss == 0 {
+            std::thread::yield_now(); // leader holds the flight
+        }
+        let followers: Vec<_> = (0..FOLLOWERS)
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                let cell = Arc::clone(&cell);
+                let fills = Arc::clone(&fills);
+                std::thread::spawn(move || {
+                    cell.get_or_fill(&engine, "read", (), || {
+                        fills.fetch_add(1, Ordering::SeqCst);
+                        Ok(0)
+                    })
+                })
+            })
+            .collect();
+        assert_eq!(leader.join().map_err(|_| "leader panicked"), Ok(Ok(42)));
+        for follower in followers {
+            assert_eq!(follower.join().map_err(|_| "follower panicked"), Ok(Ok(42)));
+        }
+        assert_eq!(fills.load(Ordering::SeqCst), 1, "one binding invocation");
+        let snap = engine.metrics().snapshot();
+        assert_eq!(snap.coalesced, FOLLOWERS as u64);
+        assert_eq!(snap.miss, 1);
+    }
+
+    #[test]
+    fn coalescing_off_fills_independently() {
+        let device = Device::builder().build();
+        let engine = CacheEngine::new(device, 0, false, None, CacheMetrics::shared());
+        let cell: CacheCell<(), u64> = CacheCell::new();
+        let fills = AtomicUsize::new(0);
+        for _ in 0..2 {
+            cell.get_or_fill(&engine, "read", (), || {
+                fills.fetch_add(1, Ordering::SeqCst);
+                Ok(5)
+            })
+            .ok();
+        }
+        assert_eq!(fills.load(Ordering::SeqCst), 2);
+        assert_eq!(engine.metrics().snapshot().coalesced, 0);
+    }
+
+    #[test]
+    fn property_plane_tunes_ttl_and_coalescing() {
+        let device = Device::builder().build();
+        let engine = engine(&device, 10_000);
+        assert_eq!(
+            engine.try_set_cache_property("cache.ttl_ms", &PropertyValue::Int(500)),
+            Some(Ok(()))
+        );
+        assert_eq!(engine.ttl_ms(), 500);
+        assert_eq!(
+            engine.try_set_cache_property("cache.coalescing", &PropertyValue::Bool(false)),
+            Some(Ok(()))
+        );
+        assert!(!engine.coalescing());
+        assert!(matches!(
+            engine.try_set_cache_property("cache.ttl_ms", &PropertyValue::Int(-1)),
+            Some(Err(_))
+        ));
+        assert_eq!(
+            engine.try_set_cache_property("provider", &PropertyValue::str("gps")),
+            None,
+            "foreign keys fall through to the wrapped proxy"
+        );
+    }
+}

@@ -49,6 +49,24 @@ pub enum ProxyErrorKind {
     Overloaded,
 }
 
+impl ProxyErrorKind {
+    /// Whether a retry of the same call can plausibly succeed — the
+    /// transient classes of the paper's error model (`Unavailable`,
+    /// `Io`). Permission, argument, and platform-support failures are
+    /// permanent; resilience layers retry only when this returns true.
+    pub fn is_retryable(self) -> bool {
+        matches!(self, ProxyErrorKind::Unavailable | ProxyErrorKind::Io)
+    }
+
+    /// Whether this error was manufactured by the overload-protection
+    /// layer shedding the call before it reached the platform binding.
+    /// Shed calls carry a retry hint ([`ProxyError::retry_after`]) and
+    /// must not spend resilience retry budget.
+    pub fn is_load_shed(self) -> bool {
+        matches!(self, ProxyErrorKind::Overloaded)
+    }
+}
+
 /// The uniform error returned by every proxy API.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProxyError {
@@ -111,6 +129,13 @@ impl ProxyError {
     /// The shedding layer's retry hint, when this error carries one.
     pub fn retry_after_ms(&self) -> Option<u64> {
         self.retry_after_ms
+    }
+
+    /// The retry hint as a [`std::time::Duration`] — the typed twin of
+    /// [`retry_after_ms`](Self::retry_after_ms) for callers that feed
+    /// the hint into duration arithmetic.
+    pub fn retry_after(&self) -> Option<std::time::Duration> {
+        self.retry_after_ms.map(std::time::Duration::from_millis)
     }
 
     /// Attaches a retry hint (the `Retry-After` analogue of the typed
@@ -286,9 +311,40 @@ mod tests {
     fn overloaded_carries_a_retry_hint() {
         let err = ProxyError::new(ProxyErrorKind::Overloaded, "shed").with_retry_after(250);
         assert_eq!(err.retry_after_ms(), Some(250));
+        assert_eq!(
+            err.retry_after(),
+            Some(std::time::Duration::from_millis(250))
+        );
         assert_eq!(err.error_code(), 12);
         let plain = ProxyError::new(ProxyErrorKind::Io, "transport");
         assert_eq!(plain.retry_after_ms(), None);
+        assert_eq!(plain.retry_after(), None);
+    }
+
+    #[test]
+    fn kind_accessors_partition_the_error_model() {
+        let retryable = [ProxyErrorKind::Unavailable, ProxyErrorKind::Io];
+        let permanent = [
+            ProxyErrorKind::Security,
+            ProxyErrorKind::IllegalArgument,
+            ProxyErrorKind::UnsupportedOnPlatform,
+            ProxyErrorKind::UnknownProperty,
+            ProxyErrorKind::BadPropertyValue,
+            ProxyErrorKind::MissingProperty,
+            ProxyErrorKind::PolicyDenied,
+            ProxyErrorKind::CircuitOpen,
+            ProxyErrorKind::DeadlineExceeded,
+            ProxyErrorKind::Overloaded,
+        ];
+        for kind in retryable {
+            assert!(kind.is_retryable(), "{kind:?} retries");
+            assert!(!kind.is_load_shed());
+        }
+        for kind in permanent {
+            assert!(!kind.is_retryable(), "{kind:?} never retries");
+        }
+        assert!(ProxyErrorKind::Overloaded.is_load_shed());
+        assert!(!ProxyErrorKind::DeadlineExceeded.is_load_shed());
     }
 
     #[test]

@@ -31,7 +31,10 @@
 //!   retries, policy gating — §3.3),
 //! - a [`resilience`] layer (retry policies with simulated-clock
 //!   backoff, per-proxy circuit breakers, location fallback chains —
-//!   applied uniformly via [`registry::Mobivine::with_resilience`]), and
+//!   applied uniformly via [`registry::Mobivine::with_resilience`]),
+//! - a [`cache`] layer (read-through result caching with single-flight
+//!   coalescing and stamp-based invalidation for the idempotent reads —
+//!   [`registry::Mobivine::with_cache`]), and
 //! - a [`registry::Mobivine`] runtime facade constructing proxies per
 //!   platform from the standard descriptor catalog.
 //!
@@ -57,6 +60,7 @@
 
 pub mod android;
 pub mod api;
+pub mod cache;
 pub mod enrich;
 pub mod error;
 pub mod overload;
@@ -70,6 +74,7 @@ pub mod types;
 pub mod webview;
 
 pub use api::{CallProxy, HttpProxy, LocationProxy, SmsProxy};
+pub use cache::{CacheMetrics, CachePolicy, CacheSnapshot};
 pub use error::{ProxyError, ProxyErrorKind};
 pub use overload::{
     current_deadline, with_deadline, AdmissionController, Bulkhead, Deadline, DegradeTier,

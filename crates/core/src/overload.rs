@@ -884,7 +884,7 @@ impl OverloadLocationProxy {
     /// Absorbs a shed into a degraded answer when a cached fix exists:
     /// Reduced serves it as-is, Minimal coarsens the stated accuracy.
     fn degrade(&self, shed: ProxyError) -> Result<Location, ProxyError> {
-        if shed.kind() != ProxyErrorKind::Overloaded {
+        if !shed.kind().is_load_shed() {
             return Err(shed);
         }
         let cached = *self.last_fix.lock();
@@ -1033,7 +1033,7 @@ impl OverloadHttpProxy {
     /// Absorbs a shed into a synthetic degraded response when the URL
     /// is droppable enrichment.
     fn degrade(&self, url: &str, shed: ProxyError) -> Result<HttpResult, ProxyError> {
-        if shed.kind() != ProxyErrorKind::Overloaded {
+        if !shed.kind().is_load_shed() {
             return Err(shed);
         }
         let droppable = self.droppable_path.lock();

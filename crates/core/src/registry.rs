@@ -29,15 +29,19 @@
 //!
 //! Resolution is **memoized**: the first acquisition of a kind
 //! constructs the decorated proxy stack, every later acquisition is a
-//! lock-free read returning the same shared instance. The six legacy
-//! accessors (`location()`, `sms()`, …) remain as deprecated wrappers
-//! over the resolver and share its cache.
+//! lock-free read returning the same shared instance. The typed
+//! resolver is the *only* acquisition surface — the six legacy
+//! accessors (`location()`, `sms()`, …) were deprecated in 0.2.0 and
+//! have been removed.
 //!
 //! ## Composable construction
 //!
-//! [`Mobivine::builder`] composes platform selection, resilience and
-//! telemetry in any order with a single `build()`; the legacy
-//! `for_*`/`with_*` chain remains for simple cases.
+//! [`Mobivine::builder`] composes platform selection, resilience,
+//! overload protection, caching and telemetry in any order with a
+//! single `build()`; the legacy `for_*`/`with_*` chain remains for
+//! simple cases. Either way the decorator stack always comes out in
+//! the one canonical order, outermost first:
+//! `Traced(Proxy) → Cached → Overload → Resilient → Traced(Binding)`.
 
 use std::fmt;
 use std::sync::Arc;
@@ -57,6 +61,9 @@ use crate::android::{
 };
 use crate::api::{
     CalendarProxy, CallProxy, ContactsProxy, HttpProxy, LocationProxy, ProxyBase, SmsProxy,
+};
+use crate::cache::{
+    CacheMetrics, CachePolicy, CachedCalendarProxy, CachedContactsProxy, CachedLocationProxy,
 };
 use crate::error::{ProxyError, ProxyErrorKind};
 use crate::overload::{
@@ -281,12 +288,21 @@ struct OverloadRuntime {
     metrics: Arc<OverloadMetrics>,
 }
 
+/// The runtime's read-through cache configuration: one policy and one
+/// shared counter block applied identically to every cacheable proxy
+/// it constructs.
+struct CacheRuntime {
+    policy: CachePolicy,
+    metrics: Arc<CacheMetrics>,
+}
+
 /// The MobiVine runtime for one application on one platform.
 pub struct Mobivine {
     target: Target,
     catalog: Arc<Vec<ProxyDescriptor>>,
     resilience: Option<ResilienceRuntime>,
     overload: Option<OverloadRuntime>,
+    cache: Option<CacheRuntime>,
     telemetry: Option<TelemetryRuntime>,
     slo: Option<Arc<SloEngine>>,
     resolved: ResolutionCache,
@@ -309,6 +325,7 @@ impl Mobivine {
             catalog: Arc::new(mobivine_proxydl::catalog::standard_catalog()),
             resilience: None,
             overload: None,
+            cache: None,
             telemetry: None,
             slo: None,
             resolved: ResolutionCache::default(),
@@ -379,6 +396,29 @@ impl Mobivine {
         self
     }
 
+    /// Turns on the read-through cache layer: the idempotent-read
+    /// proxies this runtime constructs (Location, Contacts, Calendar)
+    /// are wrapped in the matching [`crate::cache`] decorator under
+    /// `policy` — a TTL'd result cache with single-flight coalescing
+    /// and stamp-based invalidation, sitting **outside** the overload
+    /// layer (when present) so a cache hit costs neither admission nor
+    /// binding-plane work, and **inside** the proxy-plane traced layer
+    /// so hits and misses both appear in the span tree. Write-shaped
+    /// proxies (SMS, Call, HTTP) are never cached.
+    ///
+    /// All decorators share one [`CacheMetrics`] block, readable
+    /// through [`Mobivine::cache_metrics`].
+    #[must_use]
+    pub fn with_cache(mut self, policy: CachePolicy) -> Self {
+        let metrics = match &self.telemetry {
+            Some(t) => CacheMetrics::on_registry(t.metrics()),
+            None => CacheMetrics::shared(),
+        };
+        self.cache = Some(CacheRuntime { policy, metrics });
+        self.resolved = ResolutionCache::default();
+        self
+    }
+
     /// Turns on plane-aware telemetry: every Location/SMS/Call/HTTP
     /// proxy this runtime constructs is wrapped **twice** in the
     /// matching [`crate::telemetry`] traced decorator — at the
@@ -433,6 +473,9 @@ impl Mobivine {
         if let Some(o) = &mut self.overload {
             o.metrics = OverloadMetrics::on_registry(telemetry.metrics());
         }
+        if let Some(c) = &mut self.cache {
+            c.metrics = CacheMetrics::on_registry(telemetry.metrics());
+        }
         self.telemetry = Some(telemetry);
         self.resolved = ResolutionCache::default();
         self
@@ -465,6 +508,12 @@ impl Mobivine {
     /// [`Mobivine::with_overload`] was applied.
     pub fn overload_metrics(&self) -> Option<Arc<OverloadMetrics>> {
         self.overload.as_ref().map(|o| Arc::clone(&o.metrics))
+    }
+
+    /// The shared cache counters, when [`Mobivine::with_cache`] was
+    /// applied.
+    pub fn cache_metrics(&self) -> Option<Arc<CacheMetrics>> {
+        self.cache.as_ref().map(|c| Arc::clone(&c.metrics))
     }
 
     /// The tracer collecting proxy-call spans, when
@@ -613,67 +662,6 @@ impl Mobivine {
         Ok(resolved)
     }
 
-    /// Constructs the Location proxy.
-    ///
-    /// # Errors
-    ///
-    /// As [`Mobivine::proxy`].
-    #[deprecated(since = "0.2.0", note = "use `proxy::<dyn LocationProxy>()`")]
-    pub fn location(&self) -> Result<Arc<dyn LocationProxy>, ProxyError> {
-        self.proxy::<dyn LocationProxy>()
-    }
-
-    /// Constructs the SMS proxy.
-    ///
-    /// # Errors
-    ///
-    /// As [`Mobivine::proxy`].
-    #[deprecated(since = "0.2.0", note = "use `proxy::<dyn SmsProxy>()`")]
-    pub fn sms(&self) -> Result<Arc<dyn SmsProxy>, ProxyError> {
-        self.proxy::<dyn SmsProxy>()
-    }
-
-    /// Constructs the Call proxy.
-    ///
-    /// # Errors
-    ///
-    /// `UnsupportedOnPlatform` on S60 ("the core functionality was not
-    /// exposed on the S60 platform", §4.1).
-    #[deprecated(since = "0.2.0", note = "use `proxy::<dyn CallProxy>()`")]
-    pub fn call(&self) -> Result<Arc<dyn CallProxy>, ProxyError> {
-        self.proxy::<dyn CallProxy>()
-    }
-
-    /// Constructs the HTTP proxy.
-    ///
-    /// # Errors
-    ///
-    /// As [`Mobivine::proxy`].
-    #[deprecated(since = "0.2.0", note = "use `proxy::<dyn HttpProxy>()`")]
-    pub fn http(&self) -> Result<Arc<dyn HttpProxy>, ProxyError> {
-        self.proxy::<dyn HttpProxy>()
-    }
-
-    /// Constructs the Contacts proxy (extension feature).
-    ///
-    /// # Errors
-    ///
-    /// `UnsupportedOnPlatform` on WebView (no binding in the catalog).
-    #[deprecated(since = "0.2.0", note = "use `proxy::<dyn ContactsProxy>()`")]
-    pub fn contacts(&self) -> Result<Arc<dyn ContactsProxy>, ProxyError> {
-        self.proxy::<dyn ContactsProxy>()
-    }
-
-    /// Constructs the Calendar proxy (extension feature).
-    ///
-    /// # Errors
-    ///
-    /// `UnsupportedOnPlatform` on WebView (no binding in the catalog).
-    #[deprecated(since = "0.2.0", note = "use `proxy::<dyn CalendarProxy>()`")]
-    pub fn calendar(&self) -> Result<Arc<dyn CalendarProxy>, ProxyError> {
-        self.proxy::<dyn CalendarProxy>()
-    }
-
     fn build_location(&self) -> Result<Arc<dyn LocationProxy>, ProxyError> {
         if !self.supports("Location") {
             return Err(self.unsupported("Location"));
@@ -696,13 +684,16 @@ impl Mobivine {
                 self.platform_id().id(),
             ));
         }
+        let mut circuit_epoch = None;
         if let Some(r) = &self.resilience {
-            proxy = Arc::new(ResilientLocationProxy::new(
+            let resilient = ResilientLocationProxy::new(
                 proxy,
                 self.device(),
                 r.policy.clone(),
                 Arc::clone(&r.metrics),
-            ));
+            );
+            circuit_epoch = Some(resilient.circuit_epoch_handle());
+            proxy = Arc::new(resilient);
         }
         if let Some(o) = &self.overload {
             proxy = Arc::new(OverloadLocationProxy::new(
@@ -710,6 +701,15 @@ impl Mobivine {
                 self.device(),
                 o.policy.clone(),
                 Arc::clone(&o.metrics),
+            ));
+        }
+        if let Some(c) = &self.cache {
+            proxy = Arc::new(CachedLocationProxy::new(
+                proxy,
+                self.device(),
+                &c.policy,
+                circuit_epoch,
+                Arc::clone(&c.metrics),
             ));
         }
         if let Some(t) = &self.telemetry {
@@ -878,30 +878,48 @@ impl Mobivine {
         if !self.supports("Contacts") {
             return Err(self.unsupported("Contacts"));
         }
-        match &self.target {
+        let mut proxy: Arc<dyn ContactsProxy> = match &self.target {
             Target::Android(ctx) => {
                 let proxy = AndroidContactsProxy::new();
                 proxy.set_property("context", PropertyValue::opaque(ctx.clone()))?;
-                Ok(Arc::new(proxy))
+                Arc::new(proxy)
             }
-            Target::S60(platform) => Ok(Arc::new(S60ContactsProxy::new(platform.clone()))),
-            Target::WebView(_) => Err(self.unsupported("Contacts")),
+            Target::S60(platform) => Arc::new(S60ContactsProxy::new(platform.clone())),
+            Target::WebView(_) => return Err(self.unsupported("Contacts")),
+        };
+        if let Some(c) = &self.cache {
+            proxy = Arc::new(CachedContactsProxy::new(
+                proxy,
+                self.device(),
+                &c.policy,
+                Arc::clone(&c.metrics),
+            ));
         }
+        Ok(proxy)
     }
 
     fn build_calendar(&self) -> Result<Arc<dyn CalendarProxy>, ProxyError> {
         if !self.supports("Calendar") {
             return Err(self.unsupported("Calendar"));
         }
-        match &self.target {
+        let mut proxy: Arc<dyn CalendarProxy> = match &self.target {
             Target::Android(ctx) => {
                 let proxy = AndroidCalendarProxy::new();
                 proxy.set_property("context", PropertyValue::opaque(ctx.clone()))?;
-                Ok(Arc::new(proxy))
+                Arc::new(proxy)
             }
-            Target::S60(platform) => Ok(Arc::new(S60CalendarProxy::new(platform.clone()))),
-            Target::WebView(_) => Err(self.unsupported("Calendar")),
+            Target::S60(platform) => Arc::new(S60CalendarProxy::new(platform.clone())),
+            Target::WebView(_) => return Err(self.unsupported("Calendar")),
+        };
+        if let Some(c) = &self.cache {
+            proxy = Arc::new(CachedCalendarProxy::new(
+                proxy,
+                self.device(),
+                &c.policy,
+                Arc::clone(&c.metrics),
+            ));
         }
+        Ok(proxy)
     }
 }
 
@@ -940,6 +958,7 @@ pub struct MobivineBuilder {
     catalog: Option<Arc<Vec<ProxyDescriptor>>>,
     resilience: Option<ResiliencePolicy>,
     overload: Option<OverloadPolicy>,
+    cache: Option<CachePolicy>,
     /// Span retention per worker ring, when telemetry is enabled.
     telemetry: Option<usize>,
     /// Tail-based promotion policy override, when telemetry is enabled.
@@ -953,6 +972,7 @@ impl fmt::Debug for MobivineBuilder {
             .field("target", &self.target.is_some())
             .field("resilience", &self.resilience.is_some())
             .field("overload", &self.overload.is_some())
+            .field("cache", &self.cache.is_some())
             .field("telemetry", &self.telemetry.is_some())
             .finish()
     }
@@ -1001,6 +1021,14 @@ impl MobivineBuilder {
     #[must_use]
     pub fn with_overload(mut self, policy: OverloadPolicy) -> Self {
         self.overload = Some(policy);
+        self
+    }
+
+    /// Enables the read-through cache layer (see
+    /// [`Mobivine::with_cache`]).
+    #[must_use]
+    pub fn with_cache(mut self, policy: CachePolicy) -> Self {
+        self.cache = Some(policy);
         self
     }
 
@@ -1070,6 +1098,9 @@ impl MobivineBuilder {
         }
         if let Some(policy) = self.overload {
             runtime = runtime.with_overload(policy);
+        }
+        if let Some(policy) = self.cache {
+            runtime = runtime.with_cache(policy);
         }
         Ok(runtime)
     }
@@ -1386,11 +1417,96 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_accessors_share_the_resolver_cache() {
-        let runtime = android_runtime();
-        let via_resolver = runtime.proxy::<dyn LocationProxy>().unwrap();
-        #[allow(deprecated)]
-        let via_accessor = runtime.location().unwrap();
-        assert!(Arc::ptr_eq(&via_resolver, &via_accessor));
+    fn with_cache_serves_the_second_read_without_binding_work() {
+        let device = Device::builder().build();
+        let android = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
+        let webview = Arc::new(WebView::new(android.new_context()));
+        let runtimes = [
+            Mobivine::for_android(android.new_context()),
+            Mobivine::for_s60(S60Platform::new(device.clone())),
+            Mobivine::for_webview(webview),
+        ];
+        for runtime in runtimes {
+            let runtime = runtime.with_cache(CachePolicy::default());
+            let metrics = runtime.cache_metrics().expect("metrics installed");
+            let location = runtime.proxy::<dyn LocationProxy>().unwrap();
+            location.get_location().unwrap();
+            location.get_location().unwrap();
+            let snap = metrics.snapshot();
+            assert_eq!(
+                (snap.miss, snap.hit),
+                (1, 1),
+                "second read served hot on {:?}",
+                runtime.platform_id()
+            );
+        }
+    }
+
+    /// Pins the canonical decorator layering,
+    /// `Traced(Proxy) → Cached → Overload → Resilient →
+    /// Traced(Binding)`, for every wiring order: a cache hit must cost
+    /// no admission (Cached outside Overload), a miss must pass the
+    /// gate exactly once, and the cache counters must land on the
+    /// telemetry registry whichever call came first.
+    #[test]
+    fn decorator_layering_is_canonical_regardless_of_wiring_order() {
+        let runtime_for = |n: usize| {
+            let ctx =
+                AndroidPlatform::new(Device::builder().build(), SdkVersion::M5Rc15).new_context();
+            match n {
+                // Builder, options before platform.
+                0 => Mobivine::builder()
+                    .with_cache(CachePolicy::default())
+                    .with_overload(OverloadPolicy::default())
+                    .with_resilience(ResiliencePolicy::default())
+                    .with_telemetry()
+                    .android(ctx)
+                    .build()
+                    .unwrap(),
+                // Builder, reversed option order.
+                1 => Mobivine::builder()
+                    .android(ctx)
+                    .with_telemetry()
+                    .with_resilience(ResiliencePolicy::default())
+                    .with_overload(OverloadPolicy::default())
+                    .with_cache(CachePolicy::default())
+                    .build()
+                    .unwrap(),
+                // Legacy chain, cache wired before telemetry — the
+                // re-homing path.
+                _ => Mobivine::for_android(ctx)
+                    .with_cache(CachePolicy::default())
+                    .with_overload(OverloadPolicy::default())
+                    .with_resilience(ResiliencePolicy::default())
+                    .with_telemetry(),
+            }
+        };
+        for n in 0..3 {
+            let runtime = runtime_for(n);
+            let cache = runtime.cache_metrics().expect("cache installed");
+            let overload = runtime.overload_metrics().expect("overload installed");
+            let resilience = runtime.resilience_metrics().expect("resilience installed");
+            let location = runtime.proxy::<dyn LocationProxy>().unwrap();
+            location.get_location().unwrap();
+            location.get_location().unwrap();
+            let (c, o, r) = (cache.snapshot(), overload.snapshot(), resilience.snapshot());
+            assert_eq!((c.miss, c.hit), (1, 1), "order {n}: one fill, one hit");
+            assert_eq!(
+                o.admitted, 1,
+                "order {n}: the hit bypassed admission — Cached sits outside Overload"
+            );
+            assert_eq!(
+                r.calls, 1,
+                "order {n}: the hit spent no retry budget — Cached sits outside Resilient"
+            );
+            let exposition = runtime
+                .telemetry_metrics()
+                .expect("telemetry registry")
+                .render_prometheus();
+            assert!(
+                exposition.contains("cache_hit_total"),
+                "order {n}: cache series homed on the telemetry registry:\n{exposition}"
+            );
+        }
     }
 }

@@ -43,9 +43,11 @@ use crate::types::{CallProgress, DeliveryListener, HttpResult, Location, SharedP
 /// (transport hiccup) are transient: the same call can succeed moments
 /// later. Everything else — security denials, unsupported interfaces,
 /// property-plane mistakes, policy denials — is deterministic and
-/// retrying would only repeat the failure.
+/// retrying would only repeat the failure. Thin alias over
+/// [`ProxyErrorKind::is_retryable`], kept for callers that read better
+/// with the paper's "transient" vocabulary.
 pub fn is_transient(kind: ProxyErrorKind) -> bool {
-    matches!(kind, ProxyErrorKind::Unavailable | ProxyErrorKind::Io)
+    kind.is_retryable()
 }
 
 /// splitmix64 — a tiny, high-quality mixing function used to derive
@@ -206,6 +208,7 @@ struct BreakerInner {
 /// deterministically.
 pub struct CircuitBreaker {
     inner: Mutex<BreakerInner>,
+    epoch: Arc<AtomicU64>,
 }
 
 impl CircuitBreaker {
@@ -220,6 +223,7 @@ impl CircuitBreaker {
                 state: CircuitState::Closed,
                 opened_at_ms: 0,
             }),
+            epoch: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -227,6 +231,21 @@ impl CircuitBreaker {
     /// [`CircuitBreaker::admit`]).
     pub fn state(&self) -> CircuitState {
         self.inner.lock().state
+    }
+
+    /// The breaker's transition epoch: a monotone counter bumped on
+    /// every state change (and only on actual changes — a success while
+    /// already closed leaves it untouched). Caches keyed off this epoch
+    /// discard entries filled under a previous circuit state.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// A shared handle on the transition epoch, for observers (the
+    /// read-through cache layer) that outlive their borrow of the
+    /// breaker.
+    pub fn epoch_handle(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.epoch)
     }
 
     /// Re-tunes threshold/cooldown at run time (the property plane).
@@ -247,6 +266,7 @@ impl CircuitBreaker {
             CircuitState::Open => {
                 if now_ms >= inner.opened_at_ms.saturating_add(inner.cooldown_ms) {
                     inner.state = CircuitState::HalfOpen;
+                    self.epoch.fetch_add(1, Ordering::AcqRel);
                     true
                 } else {
                     false
@@ -259,6 +279,9 @@ impl CircuitBreaker {
     /// count resets.
     pub fn record_success(&self) {
         let mut inner = self.inner.lock();
+        if inner.state != CircuitState::Closed {
+            self.epoch.fetch_add(1, Ordering::AcqRel);
+        }
         inner.state = CircuitState::Closed;
         inner.consecutive_failures = 0;
     }
@@ -272,6 +295,7 @@ impl CircuitBreaker {
             CircuitState::HalfOpen => {
                 inner.state = CircuitState::Open;
                 inner.opened_at_ms = now_ms;
+                self.epoch.fetch_add(1, Ordering::AcqRel);
                 true
             }
             CircuitState::Closed => {
@@ -279,6 +303,7 @@ impl CircuitBreaker {
                 if inner.consecutive_failures >= inner.threshold {
                     inner.state = CircuitState::Open;
                     inner.opened_at_ms = now_ms;
+                    self.epoch.fetch_add(1, Ordering::AcqRel);
                     true
                 } else {
                     false
@@ -580,7 +605,7 @@ impl Engine {
                     }
                     self.device.advance_ms(backoff);
                 }
-                Err(e) if e.kind() == ProxyErrorKind::Overloaded => {
+                Err(e) if e.kind().is_load_shed() => {
                     // The overload layer beneath us shed this call.
                     // Retrying here would pile more load on a stack
                     // that just asked us to back off — but the failure
@@ -713,6 +738,13 @@ impl ResilientLocationProxy {
     /// The breaker state, for observability and tests.
     pub fn circuit_state(&self) -> CircuitState {
         self.engine.breaker.state()
+    }
+
+    /// A shared handle on the breaker's transition epoch — the cache
+    /// layer snapshots this at fill time so circuit-state changes
+    /// invalidate reads cached under the previous state.
+    pub fn circuit_epoch_handle(&self) -> Arc<AtomicU64> {
+        self.engine.breaker.epoch_handle()
     }
 
     /// Serves the fallback chain after a degraded failure: the last

@@ -2,6 +2,7 @@
 //! subsystem wired to them.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use mobivine_telemetry::MetricsRegistry;
@@ -52,6 +53,7 @@ pub struct Device {
     coverage: Arc<CellCoverage>,
     latency: LatencyModel,
     metrics: Arc<MetricsRegistry>,
+    fault_epoch: Arc<AtomicU64>,
     msisdn: String,
 }
 
@@ -136,6 +138,21 @@ impl Device {
     /// above share it so one registry exports the whole call path.
     pub fn metrics(&self) -> &Arc<MetricsRegistry> {
         &self.metrics
+    }
+
+    /// The device-wide fault epoch: a monotone counter bumped every
+    /// time a [`FaultPlan`](crate::fault::FaultPlan) transition fires.
+    /// Read-through caches above the proxy stack compare the epoch they
+    /// observed at fill time against the current value, so a fault
+    /// transition invalidates every cached answer taken before it.
+    pub fn fault_epoch(&self) -> u64 {
+        self.fault_epoch.load(Ordering::Acquire)
+    }
+
+    /// Records one fault transition (called by the fault plan when a
+    /// scheduled transition fires).
+    pub fn bump_fault_epoch(&self) {
+        self.fault_epoch.fetch_add(1, Ordering::AcqRel);
     }
 
     /// This device's phone number.
@@ -267,6 +284,7 @@ impl DeviceBuilder {
             coverage: Arc::new(CellCoverage::new()),
             latency: self.latency,
             metrics,
+            fault_epoch: Arc::new(AtomicU64::new(0)),
             msisdn: self.msisdn,
         }
     }

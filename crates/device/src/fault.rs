@@ -73,11 +73,13 @@ impl FaultPlan {
             "device_fault_transitions_total",
             &mobivine_telemetry::Labels::new(&[("fault", label)]),
         );
+        let device = self.device.clone();
         let id = self
             .device
             .events()
             .schedule_at(at_ms, label, move |at_ms| {
                 transitions.inc();
+                device.bump_fault_epoch();
                 action(at_ms);
             });
         self.scheduled.lock().push(id);

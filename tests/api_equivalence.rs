@@ -1,20 +1,20 @@
-//! Equivalence of the legacy proxy-acquisition surface and the typed
-//! resolver introduced by the API redesign.
+//! Equivalence of the two construction surfaces after the typed-API
+//! migration.
 //!
-//! Two guarantees are pinned here:
+//! The deprecated per-interface accessors (`location()`, `sms()`, ...)
+//! are gone: `proxy::<P>()` is the only acquisition surface, and this
+//! file pins what remains of the old contract:
 //!
-//! 1. The deprecated per-interface accessors (`location()`, `sms()`,
-//!    ...) are thin wrappers over `proxy::<P>()` — both hand back the
-//!    *same memoized instance*, so mixed old/new code shares one proxy
-//!    stack per runtime.
+//! 1. The typed resolver memoizes — repeated resolution hands back the
+//!    *same instance*, so every caller shares one proxy stack per
+//!    runtime, exactly as mixed old/new code used to.
 //! 2. A runtime assembled through [`MobivineBuilder`] is
 //!    indistinguishable from one made by the legacy `for_*`
 //!    constructors on every platform: same platform id, same catalog
 //!    support set, same proxy behaviour, same errors.
 //!
-//! This file is the one sanctioned home of `#[allow(deprecated)]`
-//! outside the registry's own unit tests; CI rejects new uses anywhere
-//! else.
+//! CI rejects reintroducing the deprecated-lint escape hatch anywhere
+//! in the tree.
 
 mod common;
 
@@ -51,73 +51,82 @@ fn builder_runtimes(device: &Device) -> Vec<(&'static str, Mobivine)> {
     ]
 }
 
-/// Old accessor and typed resolver must return the same cached `Arc`,
-/// per kind, on every platform that supports the kind.
+/// Repeated typed resolution must return the same cached `Arc`, per
+/// kind, on every platform that supports the kind — the memoization the
+/// removed accessors used to lean on.
 #[test]
-#[allow(deprecated)]
-fn deprecated_accessors_and_typed_resolver_share_one_instance() {
+fn typed_resolver_memoizes_one_instance_per_kind() {
     let device = device();
     for (name, runtime) in legacy_runtimes(&device) {
         if runtime.supports_kind(ProxyKind::Location) {
-            let new = runtime.proxy::<dyn LocationProxy>().unwrap();
-            let old = runtime.location().unwrap();
-            assert!(Arc::ptr_eq(&new, &old), "{name}: Location instance differs");
+            let first = runtime.proxy::<dyn LocationProxy>().unwrap();
+            let second = runtime.proxy::<dyn LocationProxy>().unwrap();
+            assert!(
+                Arc::ptr_eq(&first, &second),
+                "{name}: Location instance differs"
+            );
         }
         if runtime.supports_kind(ProxyKind::Sms) {
-            let new = runtime.proxy::<dyn SmsProxy>().unwrap();
-            let old = runtime.sms().unwrap();
-            assert!(Arc::ptr_eq(&new, &old), "{name}: SMS instance differs");
+            let first = runtime.proxy::<dyn SmsProxy>().unwrap();
+            let second = runtime.proxy::<dyn SmsProxy>().unwrap();
+            assert!(Arc::ptr_eq(&first, &second), "{name}: SMS instance differs");
         }
         if runtime.supports_kind(ProxyKind::Call) {
-            let new = runtime.proxy::<dyn CallProxy>().unwrap();
-            let old = runtime.call().unwrap();
-            assert!(Arc::ptr_eq(&new, &old), "{name}: Call instance differs");
+            let first = runtime.proxy::<dyn CallProxy>().unwrap();
+            let second = runtime.proxy::<dyn CallProxy>().unwrap();
+            assert!(
+                Arc::ptr_eq(&first, &second),
+                "{name}: Call instance differs"
+            );
         }
         if runtime.supports_kind(ProxyKind::Http) {
-            let new = runtime.proxy::<dyn HttpProxy>().unwrap();
-            let old = runtime.http().unwrap();
-            assert!(Arc::ptr_eq(&new, &old), "{name}: HTTP instance differs");
+            let first = runtime.proxy::<dyn HttpProxy>().unwrap();
+            let second = runtime.proxy::<dyn HttpProxy>().unwrap();
+            assert!(
+                Arc::ptr_eq(&first, &second),
+                "{name}: HTTP instance differs"
+            );
         }
         if runtime.supports_kind(ProxyKind::Contacts) {
-            let new = runtime.proxy::<dyn ContactsProxy>().unwrap();
-            let old = runtime.contacts().unwrap();
-            assert!(Arc::ptr_eq(&new, &old), "{name}: Contacts instance differs");
+            let first = runtime.proxy::<dyn ContactsProxy>().unwrap();
+            let second = runtime.proxy::<dyn ContactsProxy>().unwrap();
+            assert!(
+                Arc::ptr_eq(&first, &second),
+                "{name}: Contacts instance differs"
+            );
         }
         if runtime.supports_kind(ProxyKind::Calendar) {
-            let new = runtime.proxy::<dyn CalendarProxy>().unwrap();
-            let old = runtime.calendar().unwrap();
-            assert!(Arc::ptr_eq(&new, &old), "{name}: Calendar instance differs");
+            let first = runtime.proxy::<dyn CalendarProxy>().unwrap();
+            let second = runtime.proxy::<dyn CalendarProxy>().unwrap();
+            assert!(
+                Arc::ptr_eq(&first, &second),
+                "{name}: Calendar instance differs"
+            );
         }
     }
 }
 
-/// Acquisition order must not matter either: resolving through the old
-/// accessor first still seeds the cache the typed resolver reads.
+/// Unsupported kinds fail with the catalog's error through the typed
+/// resolver: Call is absent on S60, Contacts/Calendar on WebView.
 #[test]
-#[allow(deprecated)]
-fn accessor_first_then_resolver_hits_the_same_cache() {
-    let device = device();
-    let runtime = android_runtime(&device);
-    let old = runtime.sms().unwrap();
-    let new = runtime.proxy::<dyn SmsProxy>().unwrap();
-    assert!(Arc::ptr_eq(&old, &new));
-}
-
-/// Unsupported kinds fail identically through both surfaces.
-#[test]
-#[allow(deprecated)]
-fn unsupported_kinds_error_identically_through_both_surfaces() {
+fn unsupported_kinds_error_through_the_typed_resolver() {
     let device = device();
     let s60 = s60_runtime(&device);
     assert_eq!(
         s60.proxy::<dyn CallProxy>().err().map(|e| e.kind()),
-        s60.call().err().map(|e| e.kind()),
+        Some(ProxyErrorKind::UnsupportedOnPlatform)
     );
     let webview = webview_runtime(&device);
     assert_eq!(
         webview.proxy::<dyn ContactsProxy>().err().map(|e| e.kind()),
-        webview.contacts().err().map(|e| e.kind()),
+        Some(ProxyErrorKind::UnsupportedOnPlatform)
     );
+    assert_eq!(
+        webview.proxy::<dyn CalendarProxy>().err().map(|e| e.kind()),
+        Some(ProxyErrorKind::UnsupportedOnPlatform)
+    );
+    // A failed resolution is not memoized as success: asking again
+    // yields the same error, not a stale half-built proxy.
     assert_eq!(
         webview.proxy::<dyn ContactsProxy>().err().map(|e| e.kind()),
         Some(ProxyErrorKind::UnsupportedOnPlatform)
@@ -232,4 +241,29 @@ fn builder_telemetry_matches_legacy_with_telemetry() {
         built.telemetry_metrics().is_some()
     );
     assert_eq!(legacy.tracer().is_some(), built.tracer().is_some());
+}
+
+/// `with_cache` composes the same way on both construction paths: both
+/// runtimes report cache metrics and serve the second read from cache.
+#[test]
+fn builder_cache_matches_legacy_with_cache() {
+    let device = device();
+    let legacy = Mobivine::for_android(
+        AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15).new_context(),
+    )
+    .with_cache(mobivine::cache::CachePolicy::default());
+    let built = Mobivine::builder()
+        .android(AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15).new_context())
+        .with_cache(mobivine::cache::CachePolicy::default())
+        .build()
+        .unwrap();
+
+    for runtime in [&legacy, &built] {
+        let location = runtime.proxy::<dyn LocationProxy>().unwrap();
+        location.get_location().unwrap();
+        location.get_location().unwrap();
+        let metrics = runtime.cache_metrics().expect("cache metrics");
+        let snapshot = metrics.snapshot();
+        assert_eq!((snapshot.miss, snapshot.hit), (1, 1));
+    }
 }
