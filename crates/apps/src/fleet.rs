@@ -32,6 +32,7 @@ use mobivine::error::{ProxyError, ProxyErrorKind};
 use mobivine::overload::{with_deadline, Deadline, OverloadPolicy, OverloadSnapshot};
 use mobivine::property::PropertyValue;
 use mobivine::shard::ShardedRegistry;
+use mobivine::webview::BATCH_PROPERTY;
 use mobivine_android::{AndroidPlatform, SdkVersion};
 use mobivine_device::cohort::{Cohort, CohortPartition};
 use mobivine_device::Device;
@@ -143,6 +144,19 @@ pub struct FleetConfig {
     pub slo: bool,
     /// Optional brownout scenario overwhelming one shard.
     pub brownout: Option<BrownoutConfig>,
+    /// Bridge-bound workload arm. `None` keeps the classic plan: every
+    /// `LocationFix` op is a plain `getLocation`. `Some(batched)` turns
+    /// every `LocationFix` into a *multi-read*
+    /// ([`LocationProxy::get_location_with_power`]): on WebView devices
+    /// the read crosses the JavaScript bridge, and `batched` selects
+    /// whether the two reads share one batched crossing (`true`) or
+    /// make two wire calls (`false`) — toggled per device through the
+    /// JavaScript-local [`BATCH_PROPERTY`] after warm-up. Android/S60
+    /// devices serve the same multi-read natively, so the two arms
+    /// compute identical counters and their checksums must match;
+    /// [`FleetReport::bridge`] reports the crossing counts the arms
+    /// differ by (kept out of the checksum, like the cache digest).
+    pub bridge_batch: Option<bool>,
 }
 
 impl Default for FleetConfig {
@@ -162,6 +176,7 @@ impl Default for FleetConfig {
             incident_capacity: 256,
             slo: false,
             brownout: None,
+            bridge_batch: None,
         }
     }
 }
@@ -303,6 +318,11 @@ pub struct FleetReport {
     /// Cache-plane counters, present when `cache` was on. Like
     /// `incidents`, kept out of the checksum.
     pub cache: Option<CacheDigest>,
+    /// Bridge-plane counters, present when `bridge_batch` was set.
+    /// Like `cache`, kept out of the checksum: batching changes how
+    /// many times the fleet crosses the JavaScript bridge, never what
+    /// it computes.
+    pub bridge: Option<BridgeDigest>,
 }
 
 /// The incident-debugging digest of one traced fleet run: what the
@@ -350,6 +370,22 @@ pub struct CacheDigest {
     pub coalesced: u64,
     /// Entries discarded on a stamp mismatch or explicit invalidation.
     pub invalidated: u64,
+}
+
+/// Aggregate bridge-plane counters of one bridge-arm fleet run, summed
+/// in device-index order from each WebView device's crossing counter.
+/// Deliberately excluded from [`FleetReport::checksum`]: batching must
+/// be invisible to what the fleet computes, only cutting how many times
+/// it crosses the JavaScript bridge.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BridgeDigest {
+    /// WebView devices in the fleet (the only ones whose multi-reads
+    /// cross a bridge).
+    pub webview_devices: u64,
+    /// Total JavaScript-bridge crossings over the whole run, warm-up
+    /// included. One multi-read costs two crossings unbatched and one
+    /// batched, so the batched arm's total must come in lower.
+    pub crossings: u64,
 }
 
 impl FleetReport {
@@ -495,10 +531,20 @@ enum FleetOp {
 /// deterministic.
 struct TrafficBatch {
     ops: Vec<FleetOp>,
+    /// Widen every location fix into a fix + power-draw multi-read
+    /// (the bridge arms exercise this; native platforms serve it
+    /// directly, WebView over the JS bridge).
+    multi_read: bool,
 }
 
 impl TrafficBatch {
-    fn plan(rng: &mut u64, ops_per_round: u32, agent_id: u64, read_heavy: bool) -> Self {
+    fn plan(
+        rng: &mut u64,
+        ops_per_round: u32,
+        agent_id: u64,
+        read_heavy: bool,
+        multi_read: bool,
+    ) -> Self {
         let mut ops = Vec::with_capacity(ops_per_round as usize);
         for _ in 0..ops_per_round {
             let draw = splitmix64(rng);
@@ -529,7 +575,7 @@ impl TrafficBatch {
                 }
             });
         }
-        Self { ops }
+        Self { ops, multi_read }
     }
 
     /// Executes the batch through the device's memoized proxies,
@@ -553,12 +599,22 @@ impl TrafficBatch {
         deadline_budget_ms: Option<u64>,
     ) {
         let agent_id = device_index as u64;
+        let multi_read = self.multi_read;
         let flush_start_ms = device.clock().now_ms();
         for op in self.ops {
             stats.ops += 1;
             let before_ms = device.clock().now_ms();
             let execute = || -> Result<(), ProxyError> {
                 match op {
+                    // The bridge arm widens every fix into a multi-read
+                    // (fix + power draw). Android/S60 serve it natively
+                    // and WebView over the bridge — batched or not, the
+                    // counters below are identical, which is what the
+                    // cross-arm checksum gate pins.
+                    FleetOp::LocationFix if multi_read => registry
+                        .resolve::<dyn LocationProxy>(device_index)
+                        .and_then(|location| location.get_location_with_power())
+                        .map(|_| stats.location_fixes += 1),
                     FleetOp::LocationFix => registry
                         .resolve::<dyn LocationProxy>(device_index)
                         .and_then(|location| location.get_location())
@@ -640,6 +696,9 @@ pub struct Fleet {
     registry: Arc<ShardedRegistry>,
     cohort: Cohort,
     servers: Vec<WfmServer>,
+    /// The WebView substrates, in device-index order, retained so the
+    /// bridge digest can read their crossing counters after the run.
+    webviews: Vec<Arc<WebView>>,
 }
 
 impl fmt::Debug for Fleet {
@@ -666,6 +725,7 @@ impl Fleet {
         let mut registry = ShardedRegistry::new(config.shards)?;
         let mut cohort = Cohort::with_tick(config.tick_ms);
         let servers: Vec<WfmServer> = (0..config.shards).map(|_| WfmServer::new()).collect();
+        let mut webviews: Vec<Arc<WebView>> = Vec::new();
 
         for index in 0..config.devices {
             let mut seed_state = config.seed ^ (index as u64).wrapping_mul(0xA076_1D64_78BD_642F);
@@ -749,6 +809,7 @@ impl Fleet {
                 _ => {
                     let platform = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
                     let webview = Arc::new(WebView::new(platform.new_context()));
+                    webviews.push(Arc::clone(&webview));
                     registry.push_with(|b| instrument(b.webview(webview)))?;
                 }
             }
@@ -770,11 +831,26 @@ impl Fleet {
                 }
             }
         }
+        // The bridge arm's batching toggle: a JavaScript-local property
+        // flipped on every WebView device's location proxy (the same
+        // plumbing as the shed.droppable_path wiring above). It never
+        // crosses the bridge or touches the catalogs, so the property
+        // is valid on every decorator stack.
+        if let Some(batched) = config.bridge_batch {
+            for index in 0..config.devices {
+                if index % 3 == 2 {
+                    registry
+                        .resolve::<dyn LocationProxy>(index)?
+                        .set_property(BATCH_PROPERTY, PropertyValue::Bool(batched))?;
+                }
+            }
+        }
         Ok(Self {
             config,
             registry: Arc::new(registry),
             cohort,
             servers,
+            webviews,
         })
     }
 
@@ -847,6 +923,7 @@ impl Fleet {
                                     ops_per_round,
                                     index as u64,
                                     config.read_heavy,
+                                    config.bridge_batch.is_some(),
                                 );
                                 batch.flush(
                                     registry,
@@ -929,6 +1006,7 @@ impl Fleet {
 
         let incidents = config.telemetry.then(|| self.incident_digest(&config));
         let cache = config.cache.then(|| self.cache_digest(&config));
+        let bridge = config.bridge_batch.is_some().then(|| self.bridge_digest());
 
         let mut overall = LatencyBuckets::default();
         for buckets in &shard_latency {
@@ -966,7 +1044,20 @@ impl Fleet {
             checksum,
             incidents,
             cache,
+            bridge,
         }
+    }
+
+    /// Sums every WebView device's bridge-crossing counter, in
+    /// device-index order. Each device is stepped by exactly one
+    /// worker, so the digest is as deterministic as the op counters.
+    fn bridge_digest(&self) -> BridgeDigest {
+        let mut digest = BridgeDigest::default();
+        for webview in &self.webviews {
+            digest.webview_devices += 1;
+            digest.crossings += webview.bridge_crossings();
+        }
+        digest
     }
 
     /// Walks every device runtime in index order and sums its cache
@@ -1100,6 +1191,7 @@ mod tests {
             incident_capacity: 256,
             slo: false,
             brownout: None,
+            bridge_batch: None,
         }
     }
 
@@ -1410,6 +1502,64 @@ mod tests {
         assert_eq!(
             first.cache, single.cache,
             "cache digest is worker-invariant"
+        );
+    }
+
+    fn bridge_config(batched: bool) -> FleetConfig {
+        FleetConfig {
+            read_heavy: true,
+            bridge_batch: Some(batched),
+            rounds: 4,
+            ops_per_round: 6,
+            ..small_config()
+        }
+    }
+
+    #[test]
+    fn bridge_batching_is_invisible_to_the_checksum() {
+        let batched = Fleet::build(bridge_config(true)).unwrap().run();
+        let unbatched = Fleet::build(bridge_config(false)).unwrap().run();
+        assert_eq!(
+            batched.checksum, unbatched.checksum,
+            "batching must not change what the fleet computes"
+        );
+        assert_eq!(batched.total_ops, unbatched.total_ops);
+        assert_eq!(batched.location_fixes, unbatched.location_fixes);
+        assert_eq!(batched.sms_sent, unbatched.sms_sent);
+        assert_eq!(batched.http_ok, unbatched.http_ok);
+        assert_eq!(batched.errors, 0);
+        assert_eq!(unbatched.errors, 0);
+
+        let on = batched.bridge.as_ref().expect("bridge arm ⇒ digest");
+        let off = unbatched.bridge.as_ref().expect("bridge arm ⇒ digest");
+        assert_eq!(on.webview_devices, 10, "30 devices, every third WebView");
+        assert_eq!(on.webview_devices, off.webview_devices);
+        // The acceptance bar: a multi-read is two crossings unbatched
+        // and one batched, so the batched arm crosses strictly less.
+        assert!(
+            on.crossings < off.crossings,
+            "batching must cut bridge crossings: {on:?} vs {off:?}"
+        );
+        // The classic arm reports no bridge digest at all.
+        let classic = Fleet::build(small_config()).unwrap().run();
+        assert!(classic.bridge.is_none());
+    }
+
+    #[test]
+    fn bridge_arm_reports_are_worker_invariant() {
+        let first = Fleet::build(bridge_config(true)).unwrap().run();
+        let second = Fleet::build(bridge_config(true)).unwrap().run();
+        assert_eq!(first, second, "same config ⇒ identical bridge report");
+        let single = Fleet::build(FleetConfig {
+            workers: 1,
+            ..bridge_config(true)
+        })
+        .unwrap()
+        .run();
+        assert_eq!(first.checksum, single.checksum);
+        assert_eq!(
+            first.bridge, single.bridge,
+            "bridge digest is worker-invariant"
         );
     }
 

@@ -69,7 +69,7 @@ impl JavaScriptInterface for AppBridge {
             "httpGet" => {
                 let url = args::string(call_args, 0)?;
                 let request =
-                    HttpUriRequest::get(&url).map_err(|e| BridgeError::bridge(e.to_string()))?;
+                    HttpUriRequest::get(url).map_err(|e| BridgeError::bridge(e.to_string()))?;
                 let response = self
                     .ctx
                     .http_client()
@@ -80,7 +80,7 @@ impl JavaScriptInterface for AppBridge {
             "httpPost" => {
                 let url = args::string(call_args, 0)?;
                 let body = args::string(call_args, 1)?;
-                let request = HttpUriRequest::post(&url, body.into_bytes())
+                let request = HttpUriRequest::post(url, body.as_bytes().to_vec())
                     .map_err(|e| BridgeError::bridge(e.to_string()))?;
                 let response = self
                     .ctx
@@ -94,7 +94,7 @@ impl JavaScriptInterface for AppBridge {
                 let text = args::string(call_args, 1)?;
                 match self.ctx.get_system_service(service_names::SMS_SERVICE) {
                     Ok(SystemService::Sms(sms)) => {
-                        sms.send_text_message(&destination, None, &text, None)
+                        sms.send_text_message(destination, None, text, None)
                             .map_err(|e| BridgeError::bridge(e.to_string()))?;
                         Ok(JsValue::Bool(true))
                     }
@@ -234,8 +234,14 @@ fn schedule_poll(
         }
         if let Ok(JsValue::Array(notifications)) = bridge.invoke("pollProximity", &[]) {
             for notification in notifications {
-                let task_id = notification.get("taskId").as_number().unwrap_or(0.0) as u64;
-                let entering = notification.get("entering").as_bool().unwrap_or(false);
+                let task_id = notification
+                    .get_ref("taskId")
+                    .and_then(JsValue::as_number)
+                    .unwrap_or(0.0) as u64;
+                let entering = notification
+                    .get_ref("entering")
+                    .and_then(JsValue::as_bool)
+                    .unwrap_or(false);
                 let task = tasks.lock().iter().find(|t| t.id == task_id).cloned();
                 let Some(task) = task else { continue };
                 // Business logic inline in the poll loop — the

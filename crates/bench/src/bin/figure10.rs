@@ -7,10 +7,14 @@
 //! the proxy overhead on top is real measured Rust. The paper's values
 //! are printed alongside each measured pair. `--json` replaces the
 //! human-readable tables with a machine-readable summary (schema
-//! `mobivine.figure10.v1`) on stdout, or at `PATH` when one follows the
-//! flag; `--check PATH` validates an existing summary file instead of
-//! measuring anything.
+//! `mobivine.figure10.v2`, which adds the WebView bridge-marshalling
+//! ablation and its 3x gate) on stdout, or at `PATH` when one follows
+//! the flag; `--check PATH` validates an existing summary file instead
+//! of measuring anything.
 
+use mobivine_bench::bridge_overhead::{
+    bridge_overhead_speedup, render_bridge_overhead_table, run_bridge_overhead,
+};
 use mobivine_bench::figure10::{
     render_resilience_table, render_table, render_telemetry_table, run_figure10,
     run_resilience_overhead, run_telemetry_overhead, Scale,
@@ -69,11 +73,12 @@ fn main() {
                 match validate_summary_json(&text) {
                     Ok(check) => {
                         println!(
-                            "{path}: valid ({} figure10 rows, {} resilience rows, {} telemetry rows, {} hotpath rows)",
+                            "{path}: valid ({} figure10 rows, {} resilience rows, {} telemetry rows, {} hotpath rows, {} bridge rows)",
                             check.figure10_rows,
                             check.resilience_rows,
                             check.telemetry_rows,
-                            check.hotpath_rows
+                            check.hotpath_rows,
+                            check.bridge_rows
                         );
                         std::process::exit(0);
                     }
@@ -99,6 +104,11 @@ fn main() {
         _ => 500_000,
     };
     let hotpath_rows = run_hotpath_comparison(hotpath_ops);
+    let bridge_reads = match scale {
+        Scale::ZeroCost => 20_000,
+        _ => 200_000,
+    };
+    let bridge_rows = run_bridge_overhead(bridge_reads);
 
     if let Some(target) = json_out {
         let json = summary_json(
@@ -108,6 +118,7 @@ fn main() {
             &resilience_rows,
             &telemetry_rows,
             &hotpath_rows,
+            &bridge_rows,
         );
         match target {
             Some(path) => {
@@ -147,6 +158,13 @@ fn main() {
     if let Some(speedup) = hotpath_speedup(&hotpath_rows) {
         let verdict = if speedup >= 5.0 { "PASS" } else { "FAIL" };
         println!("acceptance (>= 5x cached-handle speedup): {verdict}");
+    }
+
+    println!();
+    print!("{}", render_bridge_overhead_table(&bridge_rows));
+    if let Some(speedup) = bridge_overhead_speedup(&bridge_rows) {
+        let verdict = if speedup >= 3.0 { "PASS" } else { "FAIL" };
+        println!("acceptance (>= 3x batched wire-buf speedup): {verdict}");
     }
 }
 

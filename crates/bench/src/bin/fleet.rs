@@ -13,8 +13,10 @@
 //! margins stay pinned; both arms trace their devices, so each row also
 //! carries the flight-recorder evidence), and the cache comparison
 //! (the same read-heavy traffic with the read-through proxy cache on vs
-//! off, also at a fixed configuration). `--json` emits the
-//! machine-readable summary (schema `mobivine.fleet.v4`) —
+//! off, also at a fixed configuration), and the bridge comparison (the
+//! same read-heavy traffic turned into power-aware multi-reads, with
+//! WebView bridge batching on vs off). `--json` emits the
+//! machine-readable summary (schema `mobivine.fleet.v5`) —
 //! deterministic for a fixed configuration — on stdout, or at `PATH`
 //! when one follows the flag; `--check PATH` validates an existing
 //! summary file instead of measuring anything; `--brownout` runs only
@@ -29,15 +31,17 @@
 //! and reach at least 75% of its recorded deterministic throughput
 //! (>25% regression fails); the live proxy-acquisition and
 //! telemetry-recording comparisons must both clear their 5x speedup
-//! bars; and since v4 the live cache comparison must hold its gate:
+//! bars; since v4 the live cache comparison must hold its gate:
 //! byte-identical checksums across arms and a ≥5x cut in binding-plane
-//! read invocations.
+//! read invocations; and since v5 the live bridge comparison must hold
+//! its gate: byte-identical checksums across the batched and unbatched
+//! arms and strictly fewer bridge crossings batched.
 
 use mobivine_bench::fleet_bench::{
-    cache_gate_holds, render_brownout_table, render_cache_table, render_fleet_table,
-    render_resolution_table, resolution_speedup, run_fleet_brownout, run_fleet_cache,
-    run_fleet_scaling, run_fleet_scaling_with_telemetry, run_resolution_comparison, BrownoutRow,
-    CacheRow,
+    bridge_gate_holds, cache_gate_holds, render_bridge_table, render_brownout_table,
+    render_cache_table, render_fleet_table, render_resolution_table, resolution_speedup,
+    run_fleet_bridge, run_fleet_brownout, run_fleet_cache, run_fleet_scaling,
+    run_fleet_scaling_with_telemetry, run_resolution_comparison, BridgeRow, BrownoutRow, CacheRow,
 };
 use mobivine_bench::summary::{fleet_summary_json, parse_fleet_baseline, validate_fleet_json};
 use mobivine_bench::telemetry_hotpath::{hotpath_speedup, run_hotpath_comparison};
@@ -54,6 +58,13 @@ fn brownout_comparison() -> Vec<BrownoutRow> {
 /// a CI smoke. Independent of the sweep flags, like the brownout.
 fn cache_comparison() -> Vec<CacheRow> {
     run_fleet_cache(30, 4, 3, 4, 6, 11)
+}
+
+/// The bridge comparison's fixed configuration: the cache comparison's
+/// read-heavy shape, with every fix turned into a power-aware
+/// multi-read so the WebView devices have something to batch.
+fn bridge_comparison() -> Vec<BridgeRow> {
+    run_fleet_bridge(30, 4, 3, 4, 6, 11)
 }
 
 /// Re-runs every baseline scaling row and the live speedup gates.
@@ -119,6 +130,13 @@ fn compare_against_baseline(path: &str) -> Result<(), String> {
         ));
     }
     eprintln!("read-through cache gate: holds");
+    let bridge = bridge_comparison();
+    if !bridge_gate_holds(&bridge) {
+        return Err(format!(
+            "bridge gate failed (equal checksums + fewer batched crossings required): {bridge:?}"
+        ));
+    }
+    eprintln!("webview bridge-batching gate: holds");
     Ok(())
 }
 
@@ -224,11 +242,12 @@ fn main() {
                 match validate_fleet_json(&text) {
                     Ok(check) => {
                         println!(
-                            "{path}: valid ({} scaling rows, {} resolution rows, {} brownout arms, {} cache arms)",
+                            "{path}: valid ({} scaling rows, {} resolution rows, {} brownout arms, {} cache arms, {} bridge arms)",
                             check.scaling_rows,
                             check.resolution_rows,
                             check.brownout_rows,
-                            check.cache_rows
+                            check.cache_rows,
+                            check.bridge_rows
                         );
                         std::process::exit(0);
                     }
@@ -265,9 +284,10 @@ fn main() {
     let resolution = run_resolution_comparison(devices.min(64), 50_000);
     let brownout = brownout_comparison();
     let cache = cache_comparison();
+    let bridge = bridge_comparison();
 
     if let Some(target) = json_out {
-        let json = fleet_summary_json(&scaling, &resolution, &brownout, &cache);
+        let json = fleet_summary_json(&scaling, &resolution, &brownout, &cache, &bridge);
         match target {
             Some(path) => {
                 if let Err(e) = std::fs::write(&path, &json) {
@@ -298,4 +318,12 @@ fn main() {
         "FAIL"
     };
     println!("acceptance (equal checksums + >= 5x binding-read cut): {verdict}");
+    println!();
+    print!("{}", render_bridge_table(&bridge));
+    let verdict = if bridge_gate_holds(&bridge) {
+        "PASS"
+    } else {
+        "FAIL"
+    };
+    println!("acceptance (equal checksums + fewer batched crossings): {verdict}");
 }

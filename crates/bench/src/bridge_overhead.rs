@@ -1,0 +1,406 @@
+//! WebView bridge marshalling ablation (the zero-copy wire layer).
+//!
+//! One multi-read — a location fix plus the GPS power draw — against a
+//! minimal in-memory [`JavaScriptInterface`] serving fixed values, in
+//! three shapes:
+//!
+//! - `per-call-marshalling`: the classic crossing. Two
+//!   [`invoke_with_context`] calls, each rendering the traceparent to a
+//!   heap string, building the reply as a `JsValue` object (a
+//!   `BTreeMap` with owned string keys), and carrying that reply
+//!   across the boundary **as text** — stringified on the page side
+//!   and parsed back on the native side, the string shape values
+//!   actually take across `addJavaScriptInterface` (the repo's
+//!   in-memory `JsValue` hand-off is a simulation shortcut that
+//!   understates it; this baseline pays the real toll).
+//! - `wire-buf`: two [`invoke_wire`] crossings through the handle's
+//!   reusable call/reply arenas. The arena *is* the wire
+//!   representation — both sides read and write offset views, so
+//!   there is no text form and no heap once warm.
+//! - `batched`: one [`invoke_batch`] crossing carrying both call
+//!   frames, halving the crossings on top of the arena savings.
+//!
+//! The acceptance gate requires the batched wire path to be at least
+//! 3x the per-call-marshalling baseline.
+//!
+//! [`invoke_with_context`]: mobivine_webview::webview::JsInterfaceHandle::invoke_with_context
+//! [`invoke_wire`]: mobivine_webview::webview::JsInterfaceHandle::invoke_wire
+//! [`invoke_batch`]: mobivine_webview::webview::JsInterfaceHandle::invoke_batch
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use mobivine_android::{AndroidPlatform, SdkVersion};
+use mobivine_device::Device;
+use mobivine_webview::bridge::{BridgeError, JavaScriptInterface};
+use mobivine_webview::webview::JsInterfaceHandle;
+use mobivine_webview::{JsValue, NodeId, WebView, WireBuf, WireValue};
+
+/// One row of the bridge-marshalling comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BridgeOverheadRow {
+    /// `per-call-marshalling`, `wire-buf` or `batched`.
+    pub mode: &'static str,
+    /// Multi-reads timed (each = one fix + one power draw).
+    pub multi_reads: u64,
+    /// Wall-clock multi-reads per second (table only — never committed
+    /// to a deterministic artifact).
+    pub wall_ops_per_sec: f64,
+}
+
+/// The fixed fix the fixture serves; the fields mirror a real
+/// `getLocation` reply so the marshalling cost is representative.
+const FIX: [(&str, f64); 7] = [
+    ("latitude", 28.6139),
+    ("longitude", 77.209),
+    ("altitude", 216.0),
+    ("accuracy", 12.5),
+    ("time", 1_234_567.0),
+    ("speed", 1.25),
+    ("bearing", 90.0),
+];
+
+const POWER_MW: f64 = 42.5;
+
+/// The minimal wire-aware interface: `call` marshals `JsValue`s (the
+/// baseline's cost), `call_wire` writes straight into the reply arena.
+struct FixtureBridge;
+
+impl FixtureBridge {
+    fn encode_fix(reply: &mut WireBuf) -> NodeId {
+        let mark = reply.begin();
+        for (key, value) in FIX {
+            let node = reply.push_number(value);
+            reply.stage_entry(key, node);
+        }
+        reply.end_object(mark)
+    }
+}
+
+impl JavaScriptInterface for FixtureBridge {
+    fn call(&self, method: &str, _args: &[JsValue]) -> Result<JsValue, BridgeError> {
+        match method {
+            "getLocation" => Ok(JsValue::object(
+                FIX.iter()
+                    .map(|&(key, value)| (key, JsValue::Number(value))),
+            )),
+            "getPowerDrawn" => Ok(JsValue::Number(POWER_MW)),
+            other => Err(BridgeError::bridge(format!("unknown method {other}"))),
+        }
+    }
+
+    fn call_wire(
+        &self,
+        method: &str,
+        _args: WireValue<'_>,
+        reply: &mut WireBuf,
+        _traceparent: Option<&str>,
+        _deadline_budget_ms: Option<u64>,
+    ) -> Result<NodeId, BridgeError> {
+        match method {
+            "getLocation" => Ok(Self::encode_fix(reply)),
+            "getPowerDrawn" => Ok(reply.push_number(POWER_MW)),
+            other => Err(BridgeError::bridge(format!("unknown method {other}"))),
+        }
+    }
+}
+
+/// A fixed, already-rendered W3C traceparent — what the wire modes
+/// carry (the proxy plane renders it into a stack buffer).
+const TRACEPARENT: &str = "00-00000000000000000123456789abcdef-0123456789abcdef-01";
+const DEADLINE_BUDGET_MS: u64 = 5_000;
+
+/// What the pre-optimization proxy plane paid per crossing for the
+/// trace context: rendering the traceparent into a fresh heap `String`.
+fn rendered_traceparent() -> String {
+    format!(
+        "00-{:016x}{:016x}-{:016x}-01",
+        0u64,
+        std::hint::black_box(0x0123_4567_89ab_cdefu64),
+        0x0123_4567_89ab_cdefu64
+    )
+}
+
+fn fixture_handle() -> JsInterfaceHandle {
+    let platform = AndroidPlatform::new(Device::builder().build(), SdkVersion::M5Rc15);
+    let webview = WebView::new(platform.new_context());
+    webview.add_javascript_interface(Arc::new(FixtureBridge), "fixture");
+    webview
+        .js_interface("fixture")
+        .expect("the fixture interface was just added")
+}
+
+/// The sum a multi-read folds its reads into (keeps the optimizer from
+/// discarding the decode work). Every mode decodes the *full* fix —
+/// all seven fields, as the proxy plane's `Location` decoder does —
+/// plus the power figure.
+fn fold(fix_sum: f64, power: f64) -> f64 {
+    fix_sum + power
+}
+
+/// One leg of the textual wire format a real `addJavaScriptInterface`
+/// crossing pays: the page side stringifies the value, the native side
+/// parses it back. The wire-buf modes replace exactly this hop with
+/// offset views into a shared arena.
+fn cross_as_text(value: &JsValue) -> JsValue {
+    fn to_json(value: &JsValue) -> serde_json::Value {
+        match value {
+            JsValue::Undefined | JsValue::Null => serde_json::Value::Null,
+            JsValue::Bool(b) => serde_json::Value::Bool(*b),
+            JsValue::Number(n) => serde_json::Value::Number(*n),
+            JsValue::Str(s) => serde_json::Value::String(s.clone()),
+            JsValue::Array(items) => serde_json::Value::Array(items.iter().map(to_json).collect()),
+            JsValue::Object(map) => serde_json::Value::Object(
+                map.iter().map(|(k, v)| (k.clone(), to_json(v))).collect(),
+            ),
+        }
+    }
+    fn from_json(value: &serde_json::Value) -> JsValue {
+        match value {
+            serde_json::Value::Null => JsValue::Null,
+            serde_json::Value::Bool(b) => JsValue::Bool(*b),
+            serde_json::Value::Number(n) => JsValue::Number(*n),
+            serde_json::Value::String(s) => JsValue::Str(s.clone()),
+            serde_json::Value::Array(items) => {
+                JsValue::Array(items.iter().map(from_json).collect())
+            }
+            serde_json::Value::Object(map) => {
+                JsValue::Object(map.iter().map(|(k, v)| (k.clone(), from_json(v))).collect())
+            }
+        }
+    }
+    let text = to_json(value).to_string();
+    let parsed: serde_json::Value = serde_json::from_str(&text).expect("own rendering parses");
+    from_json(&parsed)
+}
+
+/// Decodes all seven fix fields from a `JsValue` reply, mirroring the
+/// proxy plane's `location_from_js`.
+fn js_fix_sum(fix: &JsValue) -> f64 {
+    FIX.iter()
+        .map(|&(key, _)| fix.get_ref(key).and_then(JsValue::as_number).unwrap_or(0.0))
+        .sum()
+}
+
+/// Decodes all seven fix fields from a wire reply view, mirroring the
+/// proxy plane's `location_from_wire`.
+fn wire_fix_sum(fix: WireValue<'_>) -> f64 {
+    FIX.iter()
+        .map(|&(key, _)| fix.get(key).and_then(|v| v.as_number()).unwrap_or(0.0))
+        .sum()
+}
+
+/// Times `multi_reads` fix+power multi-reads in all three shapes
+/// against the same fixture interface, baseline first.
+pub fn run_bridge_overhead(multi_reads: u64) -> Vec<BridgeOverheadRow> {
+    let handle = fixture_handle();
+    let mut acc = 0.0f64;
+
+    // Baseline: the classic crossing — per call, a heap traceparent, a
+    // heap-marshalled reply, and the reply's trip through its text
+    // form (the string shape real bridge values take).
+    let started = Instant::now();
+    for _ in 0..multi_reads {
+        let traceparent = rendered_traceparent();
+        let fix = handle
+            .invoke_with_context(
+                "getLocation",
+                &[],
+                Some(&traceparent),
+                Some(DEADLINE_BUDGET_MS),
+            )
+            .expect("fixture serves getLocation");
+        let fix = cross_as_text(&fix);
+        let traceparent = rendered_traceparent();
+        let power = handle
+            .invoke_with_context(
+                "getPowerDrawn",
+                &[],
+                Some(&traceparent),
+                Some(DEADLINE_BUDGET_MS),
+            )
+            .expect("fixture serves getPowerDrawn");
+        let power = cross_as_text(&power);
+        acc += fold(js_fix_sum(&fix), power.as_number().unwrap_or(0.0));
+    }
+    let marshalling_secs = started.elapsed().as_secs_f64();
+
+    // Wire arenas: still two crossings, but encode/decode are offset
+    // views into the handle's reusable buffers — zero heap once warm.
+    let started = Instant::now();
+    for _ in 0..multi_reads {
+        let fix_sum = handle
+            .invoke_wire(
+                "getLocation",
+                Some(TRACEPARENT),
+                Some(DEADLINE_BUDGET_MS),
+                WireBuf::empty_args,
+                |reply| Ok(wire_fix_sum(reply)),
+            )
+            .expect("fixture serves getLocation");
+        let power = handle
+            .invoke_wire(
+                "getPowerDrawn",
+                Some(TRACEPARENT),
+                Some(DEADLINE_BUDGET_MS),
+                WireBuf::empty_args,
+                |reply| Ok(reply.as_number().unwrap_or(0.0)),
+            )
+            .expect("fixture serves getPowerDrawn");
+        acc += fold(fix_sum, power);
+    }
+    let wire_secs = started.elapsed().as_secs_f64();
+
+    // Batched: both reads ride one crossing — one lock, one dispatch,
+    // two frames through the same arenas.
+    let started = Instant::now();
+    for _ in 0..multi_reads {
+        let (fix_sum, power) = handle
+            .invoke_batch(
+                Some(TRACEPARENT),
+                Some(DEADLINE_BUDGET_MS),
+                |call| {
+                    let args = call.empty_args();
+                    call.push_frame("getLocation", args);
+                    let args = call.empty_args();
+                    call.push_frame("getPowerDrawn", args);
+                },
+                |replies| {
+                    let number = |i: usize, pick: fn(WireValue<'_>) -> f64| match replies.get(i) {
+                        Some(Ok(value)) => Ok(pick(value)),
+                        Some(Err((code, message))) => Err(BridgeError {
+                            code,
+                            message: message.to_owned(),
+                        }),
+                        None => Err(BridgeError::bridge("missing batch reply")),
+                    };
+                    Ok((
+                        number(0, wire_fix_sum)?,
+                        number(1, |v| v.as_number().unwrap_or(0.0))?,
+                    ))
+                },
+            )
+            .expect("fixture serves the batch");
+        acc += fold(fix_sum, power);
+    }
+    let batched_secs = started.elapsed().as_secs_f64();
+    std::hint::black_box(acc);
+
+    let rate = |secs: f64| {
+        if secs > 0.0 {
+            multi_reads as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    };
+    vec![
+        BridgeOverheadRow {
+            mode: "per-call-marshalling",
+            multi_reads,
+            wall_ops_per_sec: rate(marshalling_secs),
+        },
+        BridgeOverheadRow {
+            mode: "wire-buf",
+            multi_reads,
+            wall_ops_per_sec: rate(wire_secs),
+        },
+        BridgeOverheadRow {
+            mode: "batched",
+            multi_reads,
+            wall_ops_per_sec: rate(batched_secs),
+        },
+    ]
+}
+
+/// The batched-over-marshalling speedup factor, when both rows are
+/// present — the figure the acceptance gate pins at ≥3x.
+pub fn bridge_overhead_speedup(rows: &[BridgeOverheadRow]) -> Option<f64> {
+    let baseline = rows.iter().find(|r| r.mode == "per-call-marshalling")?;
+    let batched = rows.iter().find(|r| r.mode == "batched")?;
+    if baseline.wall_ops_per_sec > 0.0 {
+        Some(batched.wall_ops_per_sec / baseline.wall_ops_per_sec)
+    } else {
+        None
+    }
+}
+
+/// Renders the comparison, including the speedup line the acceptance
+/// gate reads.
+pub fn render_bridge_overhead_table(rows: &[BridgeOverheadRow]) -> String {
+    let mut out = String::new();
+    out.push_str("WebView bridge marshalling (wall clock; 1 op = fix + power multi-read)\n");
+    out.push_str("mode                 | multi-reads |    ops/sec\n");
+    out.push_str("---------------------+-------------+-----------\n");
+    for row in rows {
+        out.push_str(&format!(
+            "{:<20} | {:>11} | {:>10.0}\n",
+            row.mode, row.multi_reads, row.wall_ops_per_sec,
+        ));
+    }
+    if let Some(speedup) = bridge_overhead_speedup(rows) {
+        out.push_str(&format!(
+            "batched wire-buf speedup over per-call marshalling: {speedup:.1}x\n"
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batched_wire_path_clears_the_speedup_bar() {
+        let rows = run_bridge_overhead(100_000);
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].mode, "per-call-marshalling");
+        assert_eq!(rows[1].mode, "wire-buf");
+        assert_eq!(rows[2].mode, "batched");
+        let speedup = bridge_overhead_speedup(&rows).expect("both rows present");
+        assert!(
+            speedup >= 3.0,
+            "batched wire path must be >= 3x the per-call marshalling baseline, got {speedup:.1}x"
+        );
+    }
+
+    #[test]
+    fn all_three_paths_read_the_same_values() {
+        let handle = fixture_handle();
+        let via_js = handle
+            .invoke("getLocation", &[])
+            .expect("fixture serves getLocation");
+        let js_latitude = via_js.get_ref("latitude").and_then(JsValue::as_number);
+        let wire_latitude = handle
+            .invoke_wire("getLocation", None, None, WireBuf::empty_args, |reply| {
+                Ok(reply.get("latitude").and_then(|v| v.as_number()))
+            })
+            .expect("fixture serves getLocation");
+        assert_eq!(js_latitude, wire_latitude);
+        let batch_latitude = handle
+            .invoke_batch(
+                None,
+                None,
+                |call| {
+                    let args = call.empty_args();
+                    call.push_frame("getLocation", args);
+                },
+                |replies| {
+                    Ok(replies
+                        .get(0)
+                        .and_then(Result::ok)
+                        .and_then(|v| v.get("latitude").and_then(|v| v.as_number())))
+                },
+            )
+            .expect("fixture serves the batch");
+        assert_eq!(js_latitude, batch_latitude);
+    }
+
+    #[test]
+    fn table_renders_all_modes() {
+        let table = render_bridge_overhead_table(&run_bridge_overhead(5_000));
+        assert!(table.contains("per-call-marshalling"));
+        assert!(table.contains("wire-buf"));
+        assert!(table.contains("batched"));
+        assert!(table.contains("speedup"));
+    }
+}

@@ -213,6 +213,7 @@ pub fn run_fleet_cache(
                 incident_capacity: 256,
                 slo: false,
                 brownout: None,
+                bridge_batch: None,
             };
             let fleet = Fleet::build(config).expect("cache configuration is valid");
             let started = Instant::now();
@@ -233,6 +234,106 @@ pub fn run_fleet_cache(
                 hits: digest.hits,
                 coalesced: digest.coalesced,
                 invalidated: digest.invalidated,
+                checksum: report.checksum,
+                wall_ms,
+            }
+        })
+        .collect()
+}
+
+/// One arm of the bridge comparison: the same read-heavy traffic with
+/// every `LocationFix` widened into a multi-read (fix + power draw),
+/// run with WebView bridge batching on or off. `crossings` is what the
+/// gate compares — the number of times the fleet's WebView devices
+/// crossed the JavaScript bridge: one per multi-read batched, two
+/// unbatched. Every field but `wall_ms` derives from virtual time and
+/// seeded streams.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BridgeRow {
+    /// Whether the WebView devices batched their multi-reads.
+    pub batched: bool,
+    /// Simulated devices driven (every third one WebView).
+    pub devices: usize,
+    /// WebView devices contributing crossings.
+    pub webview_devices: u64,
+    /// Total proxy operations issued.
+    pub total_ops: u64,
+    /// Operations that returned an error.
+    pub errors: u64,
+    /// Location fixes obtained (identical across arms by design).
+    pub location_fixes: u64,
+    /// JavaScript-bridge crossings over the run, warm-up included.
+    pub crossings: u64,
+    /// Determinism fingerprint of the run — must equal the other arm's.
+    pub checksum: u64,
+    /// Wall-clock duration, ms (table only).
+    pub wall_ms: f64,
+}
+
+/// Whether a batched/unbatched arm pair behaves as the wire layer
+/// promises: byte-identical checksums (batching is invisible to what
+/// the fleet computes) and strictly fewer bridge crossings on the
+/// batched arm.
+pub fn bridge_gate_holds(rows: &[BridgeRow]) -> bool {
+    let Some(on) = rows.iter().find(|r| r.batched) else {
+        return false;
+    };
+    let Some(off) = rows.iter().find(|r| !r.batched) else {
+        return false;
+    };
+    on.checksum == off.checksum && on.crossings > 0 && on.crossings < off.crossings
+}
+
+/// Runs the bridge comparison: the same read-heavy multi-read traffic
+/// (every location fix also reads the GPS power draw), once with the
+/// WebView devices batching the two reads into one bridge crossing and
+/// once making two wire calls. Returns the batched arm first.
+///
+/// # Panics
+///
+/// Panics if the fleet cannot be built — a zero in the configuration or
+/// a proxy-construction failure, both programming errors here.
+pub fn run_fleet_bridge(
+    devices: usize,
+    shards: usize,
+    workers: usize,
+    rounds: u64,
+    ops_per_round: u32,
+    seed: u64,
+) -> Vec<BridgeRow> {
+    [true, false]
+        .into_iter()
+        .map(|batched| {
+            let config = FleetConfig {
+                devices,
+                shards,
+                workers,
+                rounds,
+                tick_ms: 1_000,
+                ops_per_round,
+                seed,
+                read_heavy: true,
+                cache: false,
+                telemetry: false,
+                span_retention: 16,
+                incident_capacity: 256,
+                slo: false,
+                brownout: None,
+                bridge_batch: Some(batched),
+            };
+            let fleet = Fleet::build(config).expect("bridge configuration is valid");
+            let started = Instant::now();
+            let report = fleet.run();
+            let wall_ms = started.elapsed().as_secs_f64() * 1_000.0;
+            let digest = report.bridge.clone().unwrap_or_default();
+            BridgeRow {
+                batched,
+                devices,
+                webview_devices: digest.webview_devices,
+                total_ops: report.total_ops,
+                errors: report.errors,
+                location_fixes: report.location_fixes,
+                crossings: digest.crossings,
                 checksum: report.checksum,
                 wall_ms,
             }
@@ -314,6 +415,7 @@ pub fn run_fleet_scaling_with_telemetry(
                 incident_capacity: 256,
                 slo: false,
                 brownout: None,
+                bridge_batch: None,
             };
             let fleet = Fleet::build(config).expect("fleet configuration is valid");
             let started = Instant::now();
@@ -381,6 +483,7 @@ pub fn run_fleet_brownout(
                 incident_capacity: 256,
                 slo: true,
                 brownout: Some(brownout.clone()),
+                bridge_batch: None,
             };
             let fleet = Fleet::build(config).expect("brownout configuration is valid");
             let started = Instant::now();
@@ -594,6 +697,39 @@ pub fn render_cache_table(rows: &[CacheRow]) -> String {
     out
 }
 
+/// Renders the bridge comparison, including the crossing-reduction
+/// line the acceptance gate reads.
+pub fn render_bridge_table(rows: &[BridgeRow]) -> String {
+    let mut out = String::new();
+    out.push_str("WebView bridge batching: read-heavy multi-read fleet, batching on vs off\n");
+    out.push_str("batch |   ops   | fixes | webviews | crossings |     checksum     |  wall ms\n");
+    out.push_str("------+---------+-------+----------+-----------+------------------+---------\n");
+    for row in rows {
+        out.push_str(&format!(
+            "{:>5} | {:>7} | {:>5} | {:>8} | {:>9} | {:016x} | {:>8.1}\n",
+            if row.batched { "on" } else { "off" },
+            row.total_ops,
+            row.location_fixes,
+            row.webview_devices,
+            row.crossings,
+            row.checksum,
+            row.wall_ms,
+        ));
+    }
+    if let (Some(on), Some(off)) = (
+        rows.iter().find(|r| r.batched),
+        rows.iter().find(|r| !r.batched),
+    ) {
+        if on.crossings > 0 {
+            out.push_str(&format!(
+                "bridge-crossing reduction: {:.2}x\n",
+                off.crossings as f64 / on.crossings as f64
+            ));
+        }
+    }
+    out
+}
+
 /// Renders the resolution comparison, including the speedup line the
 /// acceptance gate reads.
 pub fn render_resolution_table(rows: &[ResolutionRow]) -> String {
@@ -702,6 +838,53 @@ mod tests {
 
         let table = render_cache_table(&rows);
         assert!(table.contains("reduction"), "{table}");
+    }
+
+    #[test]
+    fn bridge_rows_hold_the_gate_and_are_deterministic() {
+        let rows = run_fleet_bridge(30, 4, 3, 4, 6, 11);
+        assert_eq!(rows.len(), 2);
+        let (on, off) = (&rows[0], &rows[1]);
+        assert!(on.batched && !off.batched);
+        assert_eq!(
+            on.checksum, off.checksum,
+            "batching changed what the fleet computes: {on:?} vs {off:?}"
+        );
+        assert_eq!(on.location_fixes, off.location_fixes);
+        assert!(
+            bridge_gate_holds(&rows),
+            "batched arm must cut crossings: {rows:?}"
+        );
+
+        let again = run_fleet_bridge(30, 4, 3, 4, 6, 11);
+        for (a, b) in rows.iter().zip(&again) {
+            assert_eq!(a.checksum, b.checksum);
+            assert_eq!(a.crossings, b.crossings);
+        }
+
+        let table = render_bridge_table(&rows);
+        assert!(table.contains("reduction"), "{table}");
+    }
+
+    #[test]
+    fn bridge_gate_rejects_a_missing_or_drifted_arm() {
+        let rows = run_fleet_bridge(30, 4, 3, 4, 6, 11);
+        assert!(
+            !bridge_gate_holds(&rows[..1]),
+            "one arm is not a comparison"
+        );
+        let mut drifted = rows.clone();
+        drifted[0].checksum ^= 1;
+        assert!(
+            !bridge_gate_holds(&drifted),
+            "a checksum drift must fail the gate"
+        );
+        let mut inflated = rows;
+        inflated[0].crossings = inflated[1].crossings;
+        assert!(
+            !bridge_gate_holds(&inflated),
+            "equal crossings must fail the gate"
+        );
     }
 
     #[test]

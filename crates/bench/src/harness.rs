@@ -315,7 +315,7 @@ impl JavaScriptInterface for RawBridge {
                 let text = args::string(call_args, 1)?;
                 self.ctx
                     .sms_manager()
-                    .send_text_message(&destination, None, &text, None)
+                    .send_text_message(destination, None, text, None)
                     .map_err(|e| BridgeError::bridge(e.to_string()))?;
                 Ok(JsValue::Bool(true))
             }

@@ -8,6 +8,7 @@
 //! to the paper's measurements. [`harness`] holds the per-platform
 //! setup shared by the report binary and the Criterion benches.
 
+pub mod bridge_overhead;
 pub mod figure10;
 pub mod fleet_bench;
 pub mod harness;

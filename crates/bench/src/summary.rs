@@ -11,12 +11,17 @@
 
 use serde_json::Value;
 
+use crate::bridge_overhead::{bridge_overhead_speedup, BridgeOverheadRow};
 use crate::figure10::{Figure10Row, LatencyStats, ResilienceOverheadRow, TelemetryOverheadRow};
-use crate::fleet_bench::{BrownoutRow, CacheRow, FleetScalingRow, ResolutionRow};
+use crate::fleet_bench::{BridgeRow, BrownoutRow, CacheRow, FleetScalingRow, ResolutionRow};
 use crate::telemetry_hotpath::HotpathRow;
 
 /// Schema identifier stamped into (and required from) every summary.
-pub const SCHEMA: &str = "mobivine.figure10.v1";
+/// `v2` added the required `bridge_overhead` section (the WebView
+/// marshalling ablation: per-call text marshalling vs the arena wire
+/// format vs batched crossings) and its gate — the batched wire path
+/// must clear a 3x speedup over per-call marshalling.
+pub const SCHEMA: &str = "mobivine.figure10.v2";
 
 /// Schema identifier of the fleet benchmark summary. `v2` added the
 /// required `brownout` section (the overload-protection gate); `v3`
@@ -27,8 +32,13 @@ pub const SCHEMA: &str = "mobivine.figure10.v1";
 /// required `cache` section (read-heavy traffic with the read-through
 /// proxy cache on vs off) and its gate: both arms byte-identical by
 /// checksum, the cached arm actually hitting, and the uncached arm
-/// invoking the binding plane at least 5x more often for reads.
-pub const FLEET_SCHEMA: &str = "mobivine.fleet.v4";
+/// invoking the binding plane at least 5x more often for reads. `v5`
+/// added the required `bridge` section (the same read-heavy multi-read
+/// traffic with WebView bridge batching on vs off) and its gate: both
+/// arms byte-identical by checksum — batching must be invisible to
+/// what the fleet computes — and the batched arm crossing the bridge
+/// strictly fewer times.
+pub const FLEET_SCHEMA: &str = "mobivine.fleet.v5";
 
 fn num(v: f64) -> Value {
     Value::Number(v)
@@ -59,6 +69,7 @@ pub fn summary_json(
     resilience: &[ResilienceOverheadRow],
     telemetry: &[TelemetryOverheadRow],
     hotpath: &[HotpathRow],
+    bridge: &[BridgeOverheadRow],
 ) -> String {
     let figure10 = rows
         .iter()
@@ -106,6 +117,16 @@ pub fn summary_json(
             ])
         })
         .collect();
+    let bridge = bridge
+        .iter()
+        .map(|row| {
+            object(vec![
+                ("mode", text(row.mode)),
+                ("multi_reads", num(row.multi_reads as f64)),
+                ("wall_ops_per_sec", num(row.wall_ops_per_sec)),
+            ])
+        })
+        .collect();
     object(vec![
         ("schema", text(SCHEMA)),
         ("scale", text(scale)),
@@ -114,6 +135,7 @@ pub fn summary_json(
         ("resilience_overhead", Value::Array(resilience)),
         ("telemetry_overhead", Value::Array(telemetry)),
         ("telemetry_hotpath", Value::Array(hotpath)),
+        ("bridge_overhead", Value::Array(bridge)),
     ])
     .to_string()
 }
@@ -129,6 +151,9 @@ pub struct SummaryCheck {
     pub telemetry_rows: usize,
     /// Number of telemetry hot-path rows (both modes must be present).
     pub hotpath_rows: usize,
+    /// Number of bridge-marshalling rows (all three modes must be
+    /// present and the batched path must clear the 3x speedup bar).
+    pub bridge_rows: usize,
 }
 
 fn require_number(entry: &Value, key: &str, context: &str) -> Result<f64, String> {
@@ -239,11 +264,50 @@ pub fn validate_summary_json(json: &str) -> Result<SummaryCheck, String> {
         }
     }
 
+    let bridge = require_array(&root, "bridge_overhead")?;
+    let mut bridge_rows: Vec<BridgeOverheadRow> = Vec::new();
+    for (i, entry) in bridge.iter().enumerate() {
+        let context = format!("bridge_overhead[{i}]");
+        // Re-intern the mode so the parsed rows can flow back through
+        // the same speedup helper the table renderer uses.
+        let mode: &'static str = match require_string(entry, "mode", &context)? {
+            "per-call-marshalling" => "per-call-marshalling",
+            "wire-buf" => "wire-buf",
+            "batched" => "batched",
+            other => return Err(format!("{context}: unknown mode {other:?}")),
+        };
+        let multi_reads = require_number(entry, "multi_reads", &context)?;
+        let rate = require_number(entry, "wall_ops_per_sec", &context)?;
+        if multi_reads <= 0.0 || rate <= 0.0 {
+            return Err(format!("{context}: non-positive measurement"));
+        }
+        bridge_rows.push(BridgeOverheadRow {
+            mode,
+            multi_reads: multi_reads as u64,
+            wall_ops_per_sec: rate,
+        });
+    }
+    for mode in ["per-call-marshalling", "wire-buf", "batched"] {
+        if !bridge_rows.iter().any(|row| row.mode == mode) {
+            return Err(format!("bridge_overhead: missing row for mode {mode:?}"));
+        }
+    }
+    // The wire-layer gate: batching the arena-encoded crossings must
+    // beat per-call text marshalling by at least 3x.
+    let speedup =
+        bridge_overhead_speedup(&bridge_rows).ok_or("bridge_overhead: incomplete comparison")?;
+    if speedup < 3.0 {
+        return Err(format!(
+            "bridge_overhead: batched speedup {speedup:.1}x is below the 3x bar"
+        ));
+    }
+
     Ok(SummaryCheck {
         figure10_rows: figure10.len(),
         resilience_rows: resilience.len(),
         telemetry_rows: telemetry.len(),
         hotpath_rows: hotpath.len(),
+        bridge_rows: bridge.len(),
     })
 }
 
@@ -257,6 +321,7 @@ pub fn fleet_summary_json(
     resolution: &[ResolutionRow],
     brownout: &[BrownoutRow],
     cache: &[CacheRow],
+    bridge: &[BridgeRow],
 ) -> String {
     let scaling = scaling
         .iter()
@@ -332,12 +397,28 @@ pub fn fleet_summary_json(
             ])
         })
         .collect();
+    let bridge = bridge
+        .iter()
+        .map(|row| {
+            object(vec![
+                ("batched", Value::Bool(row.batched)),
+                ("devices", num(row.devices as f64)),
+                ("webview_devices", num(row.webview_devices as f64)),
+                ("total_ops", num(row.total_ops as f64)),
+                ("errors", num(row.errors as f64)),
+                ("location_fixes", num(row.location_fixes as f64)),
+                ("crossings", num(row.crossings as f64)),
+                ("checksum", text(&format!("{:016x}", row.checksum))),
+            ])
+        })
+        .collect();
     object(vec![
         ("schema", text(FLEET_SCHEMA)),
         ("scaling", Value::Array(scaling)),
         ("resolution", Value::Array(resolution)),
         ("brownout", Value::Array(brownout)),
         ("cache", Value::Array(cache)),
+        ("bridge", Value::Array(bridge)),
     ])
     .to_string()
 }
@@ -355,6 +436,9 @@ pub struct FleetCheck {
     /// Number of cache arms (cached and uncached must both be present
     /// and the pair must hold the cache gate).
     pub cache_rows: usize,
+    /// Number of bridge arms (batched and unbatched must both be
+    /// present and the pair must hold the bridge gate).
+    pub bridge_rows: usize,
 }
 
 /// Validates a `fleet --json` document against the [`FLEET_SCHEMA`]
@@ -579,11 +663,69 @@ pub fn validate_fleet_json(json: &str) -> Result<FleetCheck, String> {
         ));
     }
 
+    let bridge = require_array(&root, "bridge")?;
+    let mut bridge_arms: Vec<(bool, u64, &str)> = Vec::new();
+    for (i, entry) in bridge.iter().enumerate() {
+        let context = format!("bridge[{i}]");
+        let batched = match entry.get_field("batched") {
+            Some(Value::Bool(b)) => *b,
+            other => return Err(format!("{context}: batched is {other:?}, expected a bool")),
+        };
+        for key in [
+            "devices",
+            "webview_devices",
+            "total_ops",
+            "errors",
+            "location_fixes",
+        ] {
+            let value = require_number(entry, key, &context)?;
+            if value < 0.0 {
+                return Err(format!("{context}: negative {key}"));
+            }
+        }
+        let crossings = require_number(entry, "crossings", &context)?;
+        if crossings < 0.0 {
+            return Err(format!("{context}: negative crossings"));
+        }
+        let checksum = require_string(entry, "checksum", &context)?;
+        if checksum.len() != 16 || !checksum.chars().all(|c| c.is_ascii_hexdigit()) {
+            return Err(format!(
+                "{context}: checksum is not a 16-digit hex string: {checksum:?}"
+            ));
+        }
+        bridge_arms.push((batched, crossings as u64, checksum));
+    }
+    // The bridge gate: both arms present, byte-identical results —
+    // batching must be invisible to what the fleet computes — and a
+    // batched arm that crossed the bridge strictly fewer times.
+    let Some(on) = bridge_arms.iter().find(|(batched, ..)| *batched) else {
+        return Err("bridge: missing the batched arm".to_owned());
+    };
+    let Some(off) = bridge_arms.iter().find(|(batched, ..)| !*batched) else {
+        return Err("bridge: missing the unbatched arm".to_owned());
+    };
+    if on.2 != off.2 {
+        return Err(format!(
+            "bridge: arm checksums differ ({} vs {}) — batching changed what the fleet computes",
+            on.2, off.2
+        ));
+    }
+    if on.1 == 0 {
+        return Err("bridge: the batched arm never crossed the bridge".to_owned());
+    }
+    if off.1 <= on.1 {
+        return Err(format!(
+            "bridge: crossings {} (batched) vs {} (unbatched) show no reduction",
+            on.1, off.1
+        ));
+    }
+
     Ok(FleetCheck {
         scaling_rows: scaling.len(),
         resolution_rows: resolution.len(),
         brownout_rows: brownout.len(),
         cache_rows: cache.len(),
+        bridge_rows: bridge.len(),
     })
 }
 
@@ -659,6 +801,7 @@ mod tests {
             &run_resilience_overhead(Scale::ZeroCost, 2),
             &run_telemetry_overhead(Scale::ZeroCost, 2),
             &crate::telemetry_hotpath::run_hotpath_comparison(5_000),
+            &crate::bridge_overhead::run_bridge_overhead(20_000),
         )
     }
 
@@ -672,8 +815,16 @@ mod tests {
                 resilience_rows: 3,
                 telemetry_rows: 3,
                 hotpath_rows: 2,
+                bridge_rows: 3,
             }
         );
+    }
+
+    #[test]
+    fn summary_rejects_missing_bridge_mode() {
+        let json = sample().replace("wire-buf", "wire-gone");
+        let err = validate_summary_json(&json).unwrap_err();
+        assert!(err.contains("unknown mode"), "{err}");
     }
 
     #[test]
@@ -707,7 +858,8 @@ mod tests {
         let resolution = crate::fleet_bench::run_resolution_comparison(4, 100);
         let brownout = crate::fleet_bench::run_fleet_brownout(30, 4, 3, 3, 2, 11);
         let cache = crate::fleet_bench::run_fleet_cache(30, 4, 3, 4, 6, 11);
-        fleet_summary_json(&scaling, &resolution, &brownout, &cache)
+        let bridge = crate::fleet_bench::run_fleet_bridge(30, 4, 3, 4, 6, 11);
+        fleet_summary_json(&scaling, &resolution, &brownout, &cache, &bridge)
     }
 
     #[test]
@@ -720,8 +872,25 @@ mod tests {
                 resolution_rows: 2,
                 brownout_rows: 2,
                 cache_rows: 2,
+                bridge_rows: 2,
             }
         );
+    }
+
+    #[test]
+    fn fleet_summary_rejects_a_missing_bridge_arm() {
+        let json = fleet_sample().replace("\"batched\":false", "\"batched\":true");
+        let err = validate_fleet_json(&json).unwrap_err();
+        assert!(err.contains("unbatched arm"), "{err}");
+    }
+
+    #[test]
+    fn fleet_summary_rejects_a_bridge_arm_without_reduction() {
+        // Pinning both arms' crossings to the same value erases the
+        // batched arm's advantage, which the v5 gate must reject.
+        let json = regex_free_replace(&fleet_sample(), "crossings", 500.0);
+        let err = validate_fleet_json(&json).unwrap_err();
+        assert!(err.contains("no reduction"), "{err}");
     }
 
     #[test]

@@ -66,6 +66,20 @@ pub trait LocationProxy: ProxyBase {
     ///
     /// [`ProxyError`] with kind `Unavailable` when no fix is possible.
     fn get_location(&self) -> Result<Location, ProxyError>;
+
+    /// `getLocationWithPower()` — the bridge-bound multi-read: a fresh
+    /// fix plus the cumulative GPS energy drawn (millijoules). On the
+    /// WebView platform this is serviced by the batched wire path (one
+    /// bridge crossing for both reads); the default reports the fix
+    /// with a zero power figure for platforms without a power ledger
+    /// behind the proxy.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`LocationProxy::get_location`].
+    fn get_location_with_power(&self) -> Result<(Location, f64), ProxyError> {
+        Ok((self.get_location()?, 0.0))
+    }
 }
 
 /// The uniform SMS proxy.

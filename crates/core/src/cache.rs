@@ -691,6 +691,12 @@ impl LocationProxy for CachedLocationProxy {
         self.cell
             .get_or_fill(&self.engine, "getLocation", (), || inner.get_location())
     }
+
+    fn get_location_with_power(&self) -> Result<(Location, f64), ProxyError> {
+        // The power ledger is monotonic — caching the pair would serve
+        // stale energy figures — so the multi-read always goes through.
+        self.inner.get_location_with_power()
+    }
 }
 
 /// [`ContactsProxy`] decorator: read-through caching keyed by query.

@@ -947,6 +947,20 @@ impl LocationProxy for OverloadLocationProxy {
             Err(e) => self.degrade(e),
         }
     }
+
+    fn get_location_with_power(&self) -> Result<(Location, f64), ProxyError> {
+        match self.engine.execute("getLocationWithPower", &|| {
+            self.inner.get_location_with_power()
+        }) {
+            Ok((fix, power)) => {
+                *self.last_fix.lock() = Some(fix);
+                Ok((fix, power))
+            }
+            // Degraded multi-reads serve the cached fix with a zero
+            // power figure — the ledger cannot be read without crossing.
+            Err(e) => self.degrade(e).map(|fix| (fix, 0.0)),
+        }
+    }
 }
 
 /// [`SmsProxy`] decorator: deadline fail-fast, admission control and

@@ -827,6 +827,20 @@ impl LocationProxy for ResilientLocationProxy {
             Err(failure) => self.fallback_location(failure),
         }
     }
+
+    fn get_location_with_power(&self) -> Result<(Location, f64), ProxyError> {
+        match self.engine.execute("getLocationWithPower", &|| {
+            self.inner.get_location_with_power()
+        }) {
+            Ok((fix, power)) => {
+                *self.last_fix.lock() = Some(fix);
+                Ok((fix, power))
+            }
+            // Fallback fixes carry no energy reading — the ledger lives
+            // behind the (failed) platform call.
+            Err(failure) => self.fallback_location(failure).map(|fix| (fix, 0.0)),
+        }
+    }
 }
 
 /// [`SmsProxy`] decorator: retries and circuit breaking around

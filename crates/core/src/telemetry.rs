@@ -364,7 +364,12 @@ traced_proxy!(
     TracedLocationProxy,
     LocationProxy,
     "Location",
-    ["addProximityAlert", "removeProximityAlert", "getLocation"]
+    [
+        "addProximityAlert",
+        "removeProximityAlert",
+        "getLocation",
+        "getLocationWithPower"
+    ]
 );
 
 impl LocationProxy for TracedLocationProxy {
@@ -395,6 +400,12 @@ impl LocationProxy for TracedLocationProxy {
     fn get_location(&self) -> Result<Location, ProxyError> {
         self.instrument
             .traced("getLocation", || self.inner.get_location())
+    }
+
+    fn get_location_with_power(&self) -> Result<(Location, f64), ProxyError> {
+        self.instrument.traced("getLocationWithPower", || {
+            self.inner.get_location_with_power()
+        })
     }
 }
 

@@ -18,5 +18,7 @@
 pub mod proxies;
 pub mod wrappers;
 
-pub use proxies::{WebViewCallProxy, WebViewHttpProxy, WebViewLocationProxy, WebViewSmsProxy};
+pub use proxies::{
+    WebViewCallProxy, WebViewHttpProxy, WebViewLocationProxy, WebViewSmsProxy, BATCH_PROPERTY,
+};
 pub use wrappers::install_wrappers;

@@ -8,15 +8,18 @@
 //! each retrieved notification to the registered callback.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use mobivine_device::Device;
 use mobivine_telemetry::span::ambient;
+use mobivine_telemetry::TraceparentBuf;
 use mobivine_webview::bridge::BridgeError;
 use mobivine_webview::notification::{NotifHandler, NotificationId, NotificationTable};
 use mobivine_webview::webview::JsInterfaceHandle;
+use mobivine_webview::wire::{BatchReplies, NodeId, WireBuf, WireValue};
 use mobivine_webview::{JsValue, WebView};
 
 use crate::api::{CallProxy, HttpProxy, LocationProxy, ProxyBase, SmsProxy};
@@ -25,7 +28,12 @@ use crate::property::{PropertyBag, PropertyValue};
 use crate::types::{
     CallProgress, DeliveryListener, DeliveryOutcome, HttpResult, Location, SharedProximityListener,
 };
-use crate::webview::wrappers::{interface_names, location_from_js, proximity_event_from_js};
+use crate::webview::wrappers::{interface_names, location_from_wire, proximity_event_from_js};
+
+/// The JavaScript-local property that flips the location proxy's
+/// multi-read between one batched crossing and two wire calls. It never
+/// crosses the bridge — the JavaScript plane owns the batching policy.
+pub const BATCH_PROPERTY: &str = "bridge.batch";
 
 fn property_value_to_js_string(value: &PropertyValue) -> Result<String, ProxyError> {
     match value {
@@ -79,11 +87,57 @@ impl JsProxyCore {
     /// cross the marshalling boundary, so the budget is re-opened as a
     /// native-side scope by the wrapper).
     fn invoke(&self, method: &str, args: &[JsValue]) -> Result<JsValue, BridgeError> {
-        let traceparent = ambient::current().map(|ctx| ctx.traceparent());
+        let (traceparent, deadline_budget_ms) = self.marshalled_context();
+        self.handle.invoke_with_context(
+            method,
+            args,
+            traceparent.as_ref().map(TraceparentBuf::as_str),
+            deadline_budget_ms,
+        )
+    }
+
+    /// The two marshallable pieces of ambient call context: the trace
+    /// context rendered into a fixed stack buffer (no heap) and the
+    /// deadline's remaining budget as a plain integer.
+    fn marshalled_context(&self) -> (Option<TraceparentBuf>, Option<u64>) {
+        let traceparent = ambient::current().as_ref().map(TraceparentBuf::render);
         let deadline_budget_ms = crate::overload::current_deadline()
             .map(|deadline| deadline.remaining_ms(self.device.now_ms()));
-        self.handle
-            .invoke_with_context(method, args, traceparent.as_deref(), deadline_budget_ms)
+        (traceparent, deadline_budget_ms)
+    }
+
+    /// Crosses the bridge through the zero-copy wire path with the same
+    /// marshalled context as [`JsProxyCore::invoke`].
+    fn invoke_wire<T>(
+        &self,
+        method: &str,
+        encode: impl FnOnce(&mut WireBuf) -> NodeId,
+        decode: impl FnOnce(WireValue<'_>) -> Result<T, BridgeError>,
+    ) -> Result<T, BridgeError> {
+        let (traceparent, deadline_budget_ms) = self.marshalled_context();
+        self.handle.invoke_wire(
+            method,
+            traceparent.as_ref().map(TraceparentBuf::as_str),
+            deadline_budget_ms,
+            encode,
+            decode,
+        )
+    }
+
+    /// One crossing carrying several queued wrapper calls, with the
+    /// same marshalled context as [`JsProxyCore::invoke`].
+    fn invoke_batch<T>(
+        &self,
+        encode: impl FnOnce(&mut WireBuf),
+        decode: impl FnOnce(BatchReplies<'_>) -> Result<T, BridgeError>,
+    ) -> Result<T, BridgeError> {
+        let (traceparent, deadline_budget_ms) = self.marshalled_context();
+        self.handle.invoke_batch(
+            traceparent.as_ref().map(TraceparentBuf::as_str),
+            deadline_budget_ms,
+            encode,
+            decode,
+        )
     }
 
     fn set_property(&self, key: &str, value: PropertyValue) -> Result<(), ProxyError> {
@@ -127,6 +181,9 @@ type AlertRegistration = (u64, Arc<NotifHandler>, SharedProximityListener);
 pub struct WebViewLocationProxy {
     core: JsProxyCore,
     registrations: Mutex<HashMap<usize, AlertRegistration>>,
+    /// Whether multi-reads cross the bridge as one batched crossing
+    /// (toggled through the JavaScript-local [`BATCH_PROPERTY`]).
+    batched: AtomicBool,
 }
 
 impl WebViewLocationProxy {
@@ -144,12 +201,31 @@ impl WebViewLocationProxy {
         Ok(Self {
             core: JsProxyCore::new(webview, interface_names::LOCATION, binding)?,
             registrations: Mutex::new(HashMap::new()),
+            batched: AtomicBool::new(false),
         })
     }
 }
 
 impl ProxyBase for WebViewLocationProxy {
     fn set_property(&self, key: &str, value: PropertyValue) -> Result<(), ProxyError> {
+        // The batch toggle is a JavaScript-plane policy knob, not a
+        // platform property: intercept it before catalog validation so
+        // it never crosses the bridge.
+        if key == BATCH_PROPERTY {
+            let on = match &value {
+                PropertyValue::Bool(b) => *b,
+                PropertyValue::Str(s) if s == "true" => true,
+                PropertyValue::Str(s) if s == "false" => false,
+                _ => {
+                    return Err(ProxyError::new(
+                        ProxyErrorKind::BadPropertyValue,
+                        format!("{BATCH_PROPERTY} takes a boolean"),
+                    ))
+                }
+            };
+            self.batched.store(on, Ordering::Relaxed);
+            return Ok(());
+        }
         self.core.set_property(key, value)
     }
 }
@@ -213,8 +289,53 @@ impl LocationProxy for WebViewLocationProxy {
     }
 
     fn get_location(&self) -> Result<Location, ProxyError> {
-        let out = self.core.invoke("getLocation", &[])?;
-        Ok(location_from_js(&out))
+        let location = self
+            .core
+            .invoke_wire("getLocation", WireBuf::empty_args, |reply| {
+                Ok(location_from_wire(reply))
+            })?;
+        Ok(location)
+    }
+
+    fn get_location_with_power(&self) -> Result<(Location, f64), ProxyError> {
+        if self.batched.load(Ordering::Relaxed) {
+            // One crossing carrying both reads; per-entry errors are
+            // surfaced as the whole multi-read's failure.
+            let out = self.core.invoke_batch(
+                |buf| {
+                    let args = buf.empty_args();
+                    buf.push_frame("getLocation", args);
+                    let args = buf.empty_args();
+                    buf.push_frame("getPowerDrawn", args);
+                },
+                |replies| {
+                    let entry = |i: usize| match replies.get(i) {
+                        Some(Ok(value)) => Ok(value),
+                        Some(Err((code, message))) => Err(BridgeError {
+                            code,
+                            message: message.to_owned(),
+                        }),
+                        None => Err(BridgeError::bridge("batch reply missing")),
+                    };
+                    let location = location_from_wire(entry(0)?);
+                    let power = entry(1)?.as_number().unwrap_or(0.0);
+                    Ok((location, power))
+                },
+            )?;
+            Ok(out)
+        } else {
+            let location = self
+                .core
+                .invoke_wire("getLocation", WireBuf::empty_args, |reply| {
+                    Ok(location_from_wire(reply))
+                })?;
+            let power = self
+                .core
+                .invoke_wire("getPowerDrawn", WireBuf::empty_args, |reply| {
+                    Ok(reply.as_number().unwrap_or(0.0))
+                })?;
+            Ok((location, power))
+        }
     }
 }
 
@@ -266,8 +387,12 @@ impl SmsProxy for WebViewSmsProxy {
                 JsValue::Bool(want_report),
             ],
         )?;
-        let message_id = out.get("messageId").as_number().unwrap_or(0.0) as u64;
-        if let (Some(listener), Some(raw)) = (delivery_listener, out.get("notifId").as_number()) {
+        let message_id = out
+            .get_ref("messageId")
+            .and_then(JsValue::as_number)
+            .unwrap_or(0.0) as u64;
+        let notif_raw = out.get_ref("notifId").and_then(JsValue::as_number);
+        if let (Some(listener), Some(raw)) = (delivery_listener, notif_raw) {
             if let Some(notif_id) = NotificationId::from_raw(raw as u64) {
                 let table = Arc::clone(&self.core.table);
                 // The delivery report arrives exactly once; the handler
@@ -277,8 +402,15 @@ impl SmsProxy for WebViewSmsProxy {
                     Arc::new(Mutex::new(None));
                 let self_stop_in_callback = Arc::clone(&self_stop);
                 let handler = self.core.start_handler(notif_id, move |value| {
-                    let id = value.get("messageId").as_number().unwrap_or(0.0) as u64;
-                    let outcome = if value.get("delivered").as_bool().unwrap_or(false) {
+                    let id = value
+                        .get_ref("messageId")
+                        .and_then(JsValue::as_number)
+                        .unwrap_or(0.0) as u64;
+                    let delivered = value
+                        .get_ref("delivered")
+                        .and_then(JsValue::as_bool)
+                        .unwrap_or(false);
+                    let outcome = if delivered {
                         DeliveryOutcome::Delivered
                     } else {
                         DeliveryOutcome::Failed
@@ -397,9 +529,17 @@ impl HttpProxy for WebViewHttpProxy {
             ],
         )?;
         Ok(HttpResult {
-            status: out.get("status").as_number().unwrap_or(0.0) as u16,
+            status: out
+                .get_ref("status")
+                .and_then(JsValue::as_number)
+                .unwrap_or(0.0) as u16,
             headers: Vec::new(),
-            body: out.get("body").as_str().unwrap_or("").as_bytes().to_vec(),
+            body: out
+                .get_ref("body")
+                .and_then(JsValue::as_str)
+                .unwrap_or("")
+                .as_bytes()
+                .to_vec(),
         })
     }
 }

@@ -13,10 +13,11 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use mobivine_device::Device;
-use mobivine_telemetry::span::{ambient, Plane};
+use mobivine_telemetry::span::{ambient, Plane, SpanName};
 use mobivine_telemetry::TraceContext;
 use mobivine_webview::bridge::{args, BridgeError, ErrorCode, JavaScriptInterface};
 use mobivine_webview::notification::{NotificationId, NotificationTable};
+use mobivine_webview::wire::{NodeId, WireBuf, WireValue};
 use mobivine_webview::{JsValue, WebView};
 
 use crate::android::{AndroidCallProxy, AndroidHttpProxy, AndroidLocationProxy, AndroidSmsProxy};
@@ -74,14 +75,56 @@ pub fn location_to_js(location: &Location) -> JsValue {
 /// Parses the JavaScript object shape back into the common
 /// [`Location`].
 pub fn location_from_js(value: &JsValue) -> Location {
+    let num = |key| {
+        value
+            .get_ref(key)
+            .and_then(JsValue::as_number)
+            .unwrap_or(0.0)
+    };
     Location {
-        latitude: value.get("latitude").as_number().unwrap_or(0.0),
-        longitude: value.get("longitude").as_number().unwrap_or(0.0),
-        altitude: value.get("altitude").as_number().unwrap_or(0.0),
-        accuracy_m: value.get("accuracy").as_number().unwrap_or(0.0),
-        timestamp_ms: value.get("time").as_number().unwrap_or(0.0) as u64,
-        speed_mps: value.get("speed").as_number().unwrap_or(0.0),
-        course_deg: value.get("bearing").as_number().unwrap_or(0.0),
+        latitude: num("latitude"),
+        longitude: num("longitude"),
+        altitude: num("altitude"),
+        accuracy_m: num("accuracy"),
+        timestamp_ms: num("time") as u64,
+        speed_mps: num("speed"),
+        course_deg: num("bearing"),
+    }
+}
+
+/// Encodes a [`Location`] directly into a reply arena — the wire-path
+/// counterpart of [`location_to_js`], same key set, no owned tree.
+pub fn write_location(buf: &mut WireBuf, location: &Location) -> NodeId {
+    let mark = buf.begin();
+    let node = buf.push_number(location.latitude);
+    buf.stage_entry("latitude", node);
+    let node = buf.push_number(location.longitude);
+    buf.stage_entry("longitude", node);
+    let node = buf.push_number(location.altitude);
+    buf.stage_entry("altitude", node);
+    let node = buf.push_number(location.accuracy_m);
+    buf.stage_entry("accuracy", node);
+    let node = buf.push_number(location.timestamp_ms as f64);
+    buf.stage_entry("time", node);
+    let node = buf.push_number(location.speed_mps);
+    buf.stage_entry("speed", node);
+    let node = buf.push_number(location.course_deg);
+    buf.stage_entry("bearing", node);
+    buf.end_object(mark)
+}
+
+/// Decodes the wire object shape back into the common [`Location`] —
+/// the borrowed-view counterpart of [`location_from_js`].
+pub fn location_from_wire(value: WireValue<'_>) -> Location {
+    let num = |key| value.get(key).and_then(|v| v.as_number()).unwrap_or(0.0);
+    Location {
+        latitude: num("latitude"),
+        longitude: num("longitude"),
+        altitude: num("altitude"),
+        accuracy_m: num("accuracy"),
+        timestamp_ms: num("time") as u64,
+        speed_mps: num("speed"),
+        course_deg: num("bearing"),
     }
 }
 
@@ -98,12 +141,70 @@ pub fn proximity_event_to_js(event: &ProximityEvent) -> JsValue {
 
 /// Parses a notification object back into a proximity event.
 pub fn proximity_event_from_js(value: &JsValue) -> ProximityEvent {
+    let num = |key| {
+        value
+            .get_ref(key)
+            .and_then(JsValue::as_number)
+            .unwrap_or(0.0)
+    };
     ProximityEvent {
-        ref_latitude: value.get("refLatitude").as_number().unwrap_or(0.0),
-        ref_longitude: value.get("refLongitude").as_number().unwrap_or(0.0),
-        ref_altitude: value.get("refAltitude").as_number().unwrap_or(0.0),
-        entering: value.get("entering").as_bool().unwrap_or(false),
-        current_location: location_from_js(&value.get("currentLocation")),
+        ref_latitude: num("refLatitude"),
+        ref_longitude: num("refLongitude"),
+        ref_altitude: num("refAltitude"),
+        entering: value
+            .get_ref("entering")
+            .and_then(JsValue::as_bool)
+            .unwrap_or(false),
+        current_location: value
+            .get_ref("currentLocation")
+            .map(location_from_js)
+            .unwrap_or_default(),
+    }
+}
+
+/// The Bridge-plane span name for a wrapper invocation. Every method a
+/// shipped wrapper exposes resolves to a static name (cloning a
+/// [`SpanName::Static`] never allocates — the warmed hot path depends
+/// on this); unknown combinations fall back to an owned rendering.
+fn bridge_span_name(wrapper: &str, method: &str) -> SpanName {
+    let known: Option<&'static str> = match (wrapper, method) {
+        ("LocationWrapper", "getLocation") => Some("bridge:LocationWrapper.getLocation"),
+        ("LocationWrapper", "getPowerDrawn") => Some("bridge:LocationWrapper.getPowerDrawn"),
+        ("LocationWrapper", "addProximityAlert") => {
+            Some("bridge:LocationWrapper.addProximityAlert")
+        }
+        ("LocationWrapper", "removeProximityAlert") => {
+            Some("bridge:LocationWrapper.removeProximityAlert")
+        }
+        ("LocationWrapper", "setProperty") => Some("bridge:LocationWrapper.setProperty"),
+        ("SmsWrapper", "sendTextMessage") => Some("bridge:SmsWrapper.sendTextMessage"),
+        ("SmsWrapper", "setProperty") => Some("bridge:SmsWrapper.setProperty"),
+        ("CallWrapper", "makeACall") => Some("bridge:CallWrapper.makeACall"),
+        ("CallWrapper", "callProgress") => Some("bridge:CallWrapper.callProgress"),
+        ("CallWrapper", "endCall") => Some("bridge:CallWrapper.endCall"),
+        ("CallWrapper", "setProperty") => Some("bridge:CallWrapper.setProperty"),
+        ("HttpWrapper", "request") => Some("bridge:HttpWrapper.request"),
+        ("HttpWrapper", "setProperty") => Some("bridge:HttpWrapper.setProperty"),
+        _ => None,
+    };
+    match known {
+        Some(name) => SpanName::from(name),
+        None => SpanName::from(format!("bridge:{wrapper}.{method}")),
+    }
+}
+
+/// The static rendering of an error code for span attributes — matches
+/// the code's `Debug` form without formatting on the hot path.
+fn error_code_name(code: ErrorCode) -> &'static str {
+    match code {
+        ErrorCode::Security => "Security",
+        ErrorCode::IllegalArgument => "IllegalArgument",
+        ErrorCode::Remote => "Remote",
+        ErrorCode::Io => "Io",
+        ErrorCode::ApiRemoved => "ApiRemoved",
+        ErrorCode::Bridge => "Bridge",
+        ErrorCode::Deadline => "Deadline",
+        ErrorCode::Overloaded => "Overloaded",
     }
 }
 
@@ -112,21 +213,23 @@ pub fn proximity_event_from_js(value: &JsValue) -> ProximityEvent {
 /// ambient stack does not cross the marshalling boundary in a real
 /// WebView, so the wire string is the only legitimate parent source).
 /// Records nothing when no context crossed or no tracer is ambient.
-fn bridge_traced<F>(
+/// Generic over the result payload so the wire path traces without
+/// owned [`JsValue`] trees.
+fn bridge_traced<T, F>(
     device: &Device,
     wrapper: &str,
     method: &str,
     traceparent: Option<&str>,
     call: F,
-) -> Result<JsValue, BridgeError>
+) -> Result<T, BridgeError>
 where
-    F: FnOnce() -> Result<JsValue, BridgeError>,
+    F: FnOnce() -> Result<T, BridgeError>,
 {
     let parent = traceparent.and_then(TraceContext::parse_traceparent);
     let mut span = parent.and_then(|ctx| {
         ambient::child_of(
             ctx,
-            format!("bridge:{wrapper}.{method}"),
+            bridge_span_name(wrapper, method),
             Plane::Bridge,
             device.now_ms(),
         )
@@ -134,7 +237,7 @@ where
     let out = call();
     if let Err(e) = &out {
         if let Some(s) = span.as_mut() {
-            s.attr("error", format!("{:?}", e.code));
+            s.attr("error", error_code_name(e.code));
         }
     }
     if let Some(s) = span {
@@ -149,15 +252,15 @@ where
 /// that is already zero fails fast with [`ErrorCode::Deadline`] before
 /// the wrapper touches the Android proxy; a positive budget re-opens a
 /// native-side cancellation scope for the layers below.
-fn with_bridge_deadline<F>(
+fn with_bridge_deadline<T, F>(
     device: &Device,
     wrapper: &str,
     method: &str,
     deadline_budget_ms: Option<u64>,
     call: F,
-) -> Result<JsValue, BridgeError>
+) -> Result<T, BridgeError>
 where
-    F: FnOnce() -> Result<JsValue, BridgeError>,
+    F: FnOnce() -> Result<T, BridgeError>,
 {
     match deadline_budget_ms {
         Some(0) => Err(BridgeError {
@@ -201,7 +304,7 @@ impl JavaScriptInterface for LocationWrapper {
                 let key = args::string(call_args, 0)?;
                 let value = args::string(call_args, 1)?;
                 self.proxy
-                    .set_property(&key, PropertyValue::str(&value))
+                    .set_property(key, PropertyValue::str(value))
                     .map_err(to_bridge)?;
                 Ok(JsValue::Undefined)
             }
@@ -209,6 +312,9 @@ impl JavaScriptInterface for LocationWrapper {
                 let location = self.proxy.get_location().map_err(to_bridge)?;
                 Ok(location_to_js(&location))
             }
+            // Reads the GPS line of the device power ledger — paired
+            // with `getLocation` in the proxy plane's multi-read batch.
+            "getPowerDrawn" => Ok(JsValue::Number(self.device.power().component_total("gps"))),
             "addProximityAlert" => {
                 let latitude = args::number(call_args, 0)?;
                 let longitude = args::number(call_args, 1)?;
@@ -283,6 +389,53 @@ impl JavaScriptInterface for LocationWrapper {
             || self.call_traced(method, call_args, traceparent),
         )
     }
+
+    // The zero-copy path for the hot read methods: the location is
+    // encoded straight into the caller's reply arena, so a warmed call
+    // crosses the bridge without owned `JsValue` trees. Cold methods
+    // fall back to the owned-value chain.
+    fn call_wire(
+        &self,
+        method: &str,
+        call_args: WireValue<'_>,
+        reply: &mut WireBuf,
+        traceparent: Option<&str>,
+        deadline_budget_ms: Option<u64>,
+    ) -> Result<NodeId, BridgeError> {
+        match method {
+            "getLocation" => with_bridge_deadline(
+                &self.device,
+                "LocationWrapper",
+                method,
+                deadline_budget_ms,
+                || {
+                    bridge_traced(&self.device, "LocationWrapper", method, traceparent, || {
+                        let location = self.proxy.get_location().map_err(to_bridge)?;
+                        Ok(write_location(reply, &location))
+                    })
+                },
+            ),
+            "getPowerDrawn" => with_bridge_deadline(
+                &self.device,
+                "LocationWrapper",
+                method,
+                deadline_budget_ms,
+                || {
+                    bridge_traced(&self.device, "LocationWrapper", method, traceparent, || {
+                        Ok(reply.push_number(self.device.power().component_total("gps")))
+                    })
+                },
+            ),
+            _ => mobivine_webview::bridge::call_wire_via_values(
+                self,
+                method,
+                call_args,
+                reply,
+                traceparent,
+                deadline_budget_ms,
+            ),
+        }
+    }
 }
 
 fn notif_id_raw(id: NotificationId) -> u64 {
@@ -304,6 +457,40 @@ impl SmsWrapper {
             device,
         }
     }
+
+    /// The shared send path behind both calling conventions: arguments
+    /// arrive borrowed, the optional delivery report is wired into the
+    /// notification table, and `(messageId, notifId)` comes back as
+    /// plain values for the caller to encode.
+    fn send(
+        &self,
+        destination: &str,
+        text: &str,
+        want_report: bool,
+    ) -> Result<(u64, Option<u64>), BridgeError> {
+        let (notif_raw, listener) = if want_report {
+            let notif_id = self.table.allocate();
+            let table = Arc::clone(&self.table);
+            let listener: Arc<dyn crate::types::DeliveryListener> =
+                Arc::new(move |id: u64, outcome: DeliveryOutcome| {
+                    table.post(
+                        notif_id,
+                        JsValue::object([
+                            ("messageId", id.into()),
+                            ("delivered", (outcome == DeliveryOutcome::Delivered).into()),
+                        ]),
+                    );
+                });
+            (Some(notif_id_raw(notif_id)), Some(listener))
+        } else {
+            (None, None)
+        };
+        let message_id = self
+            .proxy
+            .send_text_message(destination, text, listener)
+            .map_err(to_bridge)?;
+        Ok((message_id, notif_raw))
+    }
 }
 
 impl JavaScriptInterface for SmsWrapper {
@@ -313,7 +500,7 @@ impl JavaScriptInterface for SmsWrapper {
                 let key = args::string(call_args, 0)?;
                 let value = args::string(call_args, 1)?;
                 self.proxy
-                    .set_property(&key, PropertyValue::str(&value))
+                    .set_property(key, PropertyValue::str(value))
                     .map_err(to_bridge)?;
                 Ok(JsValue::Undefined)
             }
@@ -324,27 +511,7 @@ impl JavaScriptInterface for SmsWrapper {
                 let destination = args::string(call_args, 0)?;
                 let text = args::string(call_args, 1)?;
                 let want_report = args::bool_or(call_args, 2, false);
-                let (notif_raw, listener) = if want_report {
-                    let notif_id = self.table.allocate();
-                    let table = Arc::clone(&self.table);
-                    let listener: Arc<dyn crate::types::DeliveryListener> =
-                        Arc::new(move |id: u64, outcome: DeliveryOutcome| {
-                            table.post(
-                                notif_id,
-                                JsValue::object([
-                                    ("messageId", id.into()),
-                                    ("delivered", (outcome == DeliveryOutcome::Delivered).into()),
-                                ]),
-                            );
-                        });
-                    (Some(notif_id_raw(notif_id)), Some(listener))
-                } else {
-                    (None, None)
-                };
-                let message_id = self
-                    .proxy
-                    .send_text_message(&destination, &text, listener)
-                    .map_err(to_bridge)?;
+                let (message_id, notif_raw) = self.send(destination, text, want_report)?;
                 Ok(JsValue::object([
                     ("messageId", message_id.into()),
                     (
@@ -385,6 +552,59 @@ impl JavaScriptInterface for SmsWrapper {
             || self.call_traced(method, call_args, traceparent),
         )
     }
+
+    // The zero-copy path for the hot send method: destination and text
+    // are read as borrowed views out of the call arena and the result
+    // object is encoded straight into the reply arena.
+    fn call_wire(
+        &self,
+        method: &str,
+        call_args: WireValue<'_>,
+        reply: &mut WireBuf,
+        traceparent: Option<&str>,
+        deadline_budget_ms: Option<u64>,
+    ) -> Result<NodeId, BridgeError> {
+        match method {
+            "sendTextMessage" => with_bridge_deadline(
+                &self.device,
+                "SmsWrapper",
+                method,
+                deadline_budget_ms,
+                || {
+                    bridge_traced(&self.device, "SmsWrapper", method, traceparent, || {
+                        let destination = call_args
+                            .item(0)
+                            .and_then(|v| v.as_str())
+                            .ok_or_else(|| BridgeError::bridge("argument 0 must be a string"))?;
+                        let text = call_args
+                            .item(1)
+                            .and_then(|v| v.as_str())
+                            .ok_or_else(|| BridgeError::bridge("argument 1 must be a string"))?;
+                        let want_report =
+                            call_args.item(2).and_then(|v| v.as_bool()).unwrap_or(false);
+                        let (message_id, notif_raw) = self.send(destination, text, want_report)?;
+                        let mark = reply.begin();
+                        let node = reply.push_number(message_id as f64);
+                        reply.stage_entry("messageId", node);
+                        let node = match notif_raw {
+                            Some(raw) => reply.push_number(raw as f64),
+                            None => reply.push_null(),
+                        };
+                        reply.stage_entry("notifId", node);
+                        Ok(reply.end_object(mark))
+                    })
+                },
+            ),
+            _ => mobivine_webview::bridge::call_wire_via_values(
+                self,
+                method,
+                call_args,
+                reply,
+                traceparent,
+                deadline_budget_ms,
+            ),
+        }
+    }
 }
 
 /// The `CallWrapper` Java class.
@@ -400,13 +620,13 @@ impl JavaScriptInterface for CallWrapper {
                 let key = args::string(call_args, 0)?;
                 let value = args::string(call_args, 1)?;
                 self.proxy
-                    .set_property(&key, PropertyValue::str(&value))
+                    .set_property(key, PropertyValue::str(value))
                     .map_err(to_bridge)?;
                 Ok(JsValue::Undefined)
             }
             "makeACall" => {
                 let number = args::string(call_args, 0)?;
-                let id = self.proxy.make_a_call(&number).map_err(to_bridge)?;
+                let id = self.proxy.make_a_call(number).map_err(to_bridge)?;
                 Ok(JsValue::Number(id as f64))
             }
             "callProgress" => {
@@ -470,17 +690,17 @@ impl JavaScriptInterface for HttpWrapper {
                 let key = args::string(call_args, 0)?;
                 let value = args::string(call_args, 1)?;
                 self.proxy
-                    .set_property(&key, PropertyValue::str(&value))
+                    .set_property(key, PropertyValue::str(value))
                     .map_err(to_bridge)?;
                 Ok(JsValue::Undefined)
             }
             "request" => {
                 let http_method = args::string(call_args, 0)?;
                 let url = args::string(call_args, 1)?;
-                let body = args::string(call_args, 2).unwrap_or_default();
+                let body = args::string(call_args, 2).unwrap_or("");
                 let result = self
                     .proxy
-                    .request(&http_method, &url, body.as_bytes())
+                    .request(http_method, url, body.as_bytes())
                     .map_err(to_bridge)?;
                 Ok(JsValue::object([
                     ("status", JsValue::Number(result.status as f64)),
@@ -682,6 +902,84 @@ mod tests {
             )
             .unwrap_err();
         assert_eq!(err.code, ErrorCode::Security);
+    }
+
+    #[test]
+    fn zero_deadline_budget_fails_fast_at_the_bridge() {
+        let (platform, webview) = webview();
+        platform.device().smsc().register_address("+91-sup");
+        let sms = webview.js_interface(interface_names::SMS).unwrap();
+        let send_args = [
+            JsValue::str("+91-sup"),
+            JsValue::str("too late"),
+            JsValue::Bool(false),
+        ];
+
+        // Context path: the exhausted budget is rejected at the bridge.
+        let err = sms
+            .invoke_with_context("sendTextMessage", &send_args, None, Some(0))
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::Deadline);
+        assert!(
+            err.message.contains("deadline budget exhausted"),
+            "{}",
+            err.message
+        );
+
+        // Wire path: the same fail-fast, surfaced from the arena
+        // crossing before any argument decoding pays off.
+        let err = sms
+            .invoke_wire(
+                "sendTextMessage",
+                None,
+                Some(0),
+                |call| {
+                    let mark = call.begin();
+                    let to = call.push_str("+91-sup");
+                    call.stage_item(to);
+                    let body = call.push_str("too late");
+                    call.stage_item(body);
+                    let report = call.push_bool(false);
+                    call.stage_item(report);
+                    call.end_array(mark)
+                },
+                |reply| Ok(reply.to_js()),
+            )
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::Deadline);
+
+        // Batched path: the exhausted budget poisons each entry with
+        // its own deadline code instead of failing the whole crossing.
+        let err = sms
+            .invoke_batch(
+                None,
+                Some(0),
+                |call| {
+                    let args = call.empty_args();
+                    call.push_frame("getServiceCenterAddress", args);
+                },
+                |replies| match replies.get(0) {
+                    Some(Ok(value)) => Ok(value.to_js()),
+                    Some(Err((code, message))) => Err(BridgeError {
+                        code,
+                        message: message.to_owned(),
+                    }),
+                    None => Err(BridgeError::bridge("missing reply")),
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err.code, ErrorCode::Deadline);
+
+        // None of it reached the platform: nothing was ever submitted.
+        platform.device().advance_ms(5_000);
+        assert!(platform.device().smsc().inbox("+91-sup").is_empty());
+
+        // A positive budget goes through — it was the budget, not the
+        // call, that the bridge rejected.
+        sms.invoke_with_context("sendTextMessage", &send_args, None, Some(5_000))
+            .unwrap();
+        platform.device().advance_ms(5_000);
+        assert_eq!(platform.device().smsc().inbox("+91-sup").len(), 1);
     }
 
     #[test]

@@ -15,6 +15,7 @@ use std::fmt;
 use mobivine_android::AndroidException;
 
 use crate::value::JsValue;
+use crate::wire::{NodeId, WireBuf, WireValue};
 
 /// Stable numeric error codes for every Android exception the bridge
 /// can see. (The JavaScript proxy maps these back to thrown errors.)
@@ -204,6 +205,82 @@ pub trait JavaScriptInterface: Send + Sync {
         let _ = deadline_budget_ms;
         self.call_traced(method, args, traceparent)
     }
+
+    /// Invokes `method` with arena-encoded arguments, writing the result
+    /// into the caller-owned `reply` buffer. This is the zero-copy entry
+    /// point: the arguments are borrowed views into the call arena and
+    /// the result is encoded in place, so a wire-aware wrapper crosses
+    /// the bridge without owned [`JsValue`] trees on either side.
+    ///
+    /// The default implementation decodes the arguments into owned
+    /// values and delegates to
+    /// [`call_with_context`](JavaScriptInterface::call_with_context), so
+    /// an interface that only implements [`call`](JavaScriptInterface::call)
+    /// still services wire invocations (paying the marshalling cost the
+    /// override avoids).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`JavaScriptInterface::call`].
+    fn call_wire(
+        &self,
+        method: &str,
+        args: WireValue<'_>,
+        reply: &mut WireBuf,
+        traceparent: Option<&str>,
+        deadline_budget_ms: Option<u64>,
+    ) -> Result<NodeId, BridgeError> {
+        call_wire_via_values(self, method, args, reply, traceparent, deadline_budget_ms)
+    }
+
+    /// Services a batched crossing: every queued frame in `calls` is
+    /// invoked in order and exactly one reply frame — result node or
+    /// per-entry error code — is appended to `reply`. One entry failing
+    /// does not abort the rest of the batch.
+    ///
+    /// The default implementation loops over
+    /// [`call_wire`](JavaScriptInterface::call_wire), so batching
+    /// composes with the default-delegation chain down to plain
+    /// [`call`](JavaScriptInterface::call).
+    fn call_batch(
+        &self,
+        calls: &WireBuf,
+        reply: &mut WireBuf,
+        traceparent: Option<&str>,
+        deadline_budget_ms: Option<u64>,
+    ) {
+        for i in 0..calls.frame_count() {
+            let (method, args) = calls.frame(i);
+            match self.call_wire(method, args, reply, traceparent, deadline_budget_ms) {
+                Ok(node) => reply.push_ok_frame(node),
+                Err(e) => reply.push_err_frame(e.code, &e.message),
+            }
+        }
+    }
+}
+
+/// The compatibility path behind the default
+/// [`JavaScriptInterface::call_wire`]: decode the argument views into
+/// owned values, delegate to `call_with_context`, and re-encode the
+/// owned result into the reply arena.
+///
+/// Wire-aware wrappers that override `call_wire` for their hot methods
+/// call this from their fallback arm so cold methods keep working.
+///
+/// # Errors
+///
+/// Same as [`JavaScriptInterface::call`].
+pub fn call_wire_via_values(
+    iface: &(impl JavaScriptInterface + ?Sized),
+    method: &str,
+    args: WireValue<'_>,
+    reply: &mut WireBuf,
+    traceparent: Option<&str>,
+    deadline_budget_ms: Option<u64>,
+) -> Result<NodeId, BridgeError> {
+    let owned = args.to_js_args()?;
+    let out = iface.call_with_context(method, &owned, traceparent, deadline_budget_ms)?;
+    Ok(reply.push_js(&out))
 }
 
 /// Argument-extraction helpers shared by wrapper implementations.
@@ -223,17 +300,17 @@ pub mod args {
             .ok_or_else(|| BridgeError::bridge(format!("argument {index} must be a number")))
     }
 
-    /// Extracts a required string argument.
+    /// Extracts a required string argument, borrowed from the call
+    /// arguments — no allocation on the success path.
     ///
     /// # Errors
     ///
     /// Returns a bridge-coded error naming the position on a missing or
     /// non-string argument.
-    pub fn string(call_args: &[JsValue], index: usize) -> Result<String, BridgeError> {
+    pub fn string(call_args: &[JsValue], index: usize) -> Result<&str, BridgeError> {
         call_args
             .get(index)
             .and_then(JsValue::as_str)
-            .map(str::to_owned)
             .ok_or_else(|| BridgeError::bridge(format!("argument {index} must be a string")))
     }
 

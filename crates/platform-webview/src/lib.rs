@@ -25,7 +25,9 @@ pub mod bridge;
 pub mod notification;
 pub mod value;
 pub mod webview;
+pub mod wire;
 
 pub use bridge::{BridgeError, ErrorCode};
 pub use value::JsValue;
 pub use webview::WebView;
+pub use wire::{BatchReplies, NodeId, WireBuf, WireValue};

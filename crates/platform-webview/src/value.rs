@@ -88,6 +88,27 @@ impl JsValue {
         }
     }
 
+    /// Borrowed object property lookup: `None` for non-objects or
+    /// missing keys. Unlike [`JsValue::get`] this never clones the
+    /// value — hot callers use it to read fields without allocating.
+    pub fn get_ref(&self, key: &str) -> Option<&JsValue> {
+        match self {
+            JsValue::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// Borrowed iteration over an object's entries in key order; empty
+    /// for non-objects.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &JsValue)> {
+        match self {
+            JsValue::Object(map) => Some(map.iter().map(|(k, v)| (k.as_str(), v))),
+            _ => None,
+        }
+        .into_iter()
+        .flatten()
+    }
+
     /// JavaScript truthiness.
     pub fn is_truthy(&self) -> bool {
         match self {
@@ -198,6 +219,20 @@ mod tests {
         assert_eq!(obj.get("lat"), JsValue::Number(28.5));
         assert_eq!(obj.get("missing"), JsValue::Undefined);
         assert_eq!(JsValue::Number(1.0).get("x"), JsValue::Undefined);
+    }
+
+    #[test]
+    fn get_ref_borrows_without_cloning() {
+        let obj = JsValue::object([
+            ("lat", JsValue::Number(28.5)),
+            ("name", JsValue::str("fix")),
+        ]);
+        assert_eq!(obj.get_ref("lat").and_then(JsValue::as_number), Some(28.5));
+        assert!(obj.get_ref("missing").is_none());
+        assert!(JsValue::Number(1.0).get_ref("x").is_none());
+        let keys: Vec<&str> = obj.entries().map(|(k, _)| k).collect();
+        assert_eq!(keys, ["lat", "name"]);
+        assert_eq!(JsValue::Null.entries().count(), 0);
     }
 
     #[test]

@@ -7,15 +7,17 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use mobivine_android::Context;
 
-use crate::bridge::{BridgeError, JavaScriptInterface};
+use crate::bridge::{BridgeError, ErrorCode, JavaScriptInterface};
 use crate::notification::NotificationTable;
 use crate::value::JsValue;
+use crate::wire::{BatchReplies, NodeId, WireBuf, WireValue};
 
 /// A WebView page hosting JavaScript with injected Java interfaces.
 ///
@@ -50,6 +52,7 @@ pub struct WebView {
     interfaces: Arc<Mutex<HashMap<String, Arc<dyn JavaScriptInterface>>>>,
     notifications: Arc<NotificationTable>,
     loaded: std::sync::atomic::AtomicBool,
+    crossings: Arc<AtomicU64>,
 }
 
 impl fmt::Debug for WebView {
@@ -69,7 +72,15 @@ impl WebView {
             interfaces: Arc::new(Mutex::new(HashMap::new())),
             notifications: Arc::new(NotificationTable::new()),
             loaded: std::sync::atomic::AtomicBool::new(true),
+            crossings: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Total bridge crossings made through handles of this page, across
+    /// every invocation flavour. A batched call of N frames counts as
+    /// one crossing — the whole point of batching.
+    pub fn bridge_crossings(&self) -> u64 {
+        self.crossings.load(Ordering::Relaxed)
     }
 
     /// Whether the page is still loaded.
@@ -122,6 +133,8 @@ impl WebView {
             .map(|object| JsInterfaceHandle {
                 name: name.to_owned(),
                 object: Arc::clone(object),
+                crossings: Arc::clone(&self.crossings),
+                scratch: Arc::new(Mutex::new(WireScratch::default())),
             })
     }
 
@@ -133,11 +146,23 @@ impl WebView {
     }
 }
 
+/// The reusable call/reply arena pair behind one interface handle —
+/// "one scratch pair per device/handle". Cleared (capacity retained)
+/// at the start of every wire invocation, so a warmed handle crosses
+/// the bridge without allocating.
+#[derive(Default)]
+pub struct WireScratch {
+    call: WireBuf,
+    reply: WireBuf,
+}
+
 /// The JavaScript-side view of an injected Java object.
 #[derive(Clone)]
 pub struct JsInterfaceHandle {
     name: String,
     object: Arc<dyn JavaScriptInterface>,
+    crossings: Arc<AtomicU64>,
+    scratch: Arc<Mutex<WireScratch>>,
 }
 
 impl fmt::Debug for JsInterfaceHandle {
@@ -164,6 +189,7 @@ impl JsInterfaceHandle {
     /// Propagates the wrapper's [`BridgeError`] (an error code plus
     /// message, per the paper's exception mapping).
     pub fn invoke(&self, method: &str, args: &[JsValue]) -> Result<JsValue, BridgeError> {
+        self.crossings.fetch_add(1, Ordering::Relaxed);
         self.object.call(method, args)
     }
 
@@ -180,6 +206,7 @@ impl JsInterfaceHandle {
         args: &[JsValue],
         traceparent: Option<&str>,
     ) -> Result<JsValue, BridgeError> {
+        self.crossings.fetch_add(1, Ordering::Relaxed);
         self.object.call_traced(method, args, traceparent)
     }
 
@@ -200,8 +227,81 @@ impl JsInterfaceHandle {
         traceparent: Option<&str>,
         deadline_budget_ms: Option<u64>,
     ) -> Result<JsValue, BridgeError> {
+        self.crossings.fetch_add(1, Ordering::Relaxed);
         self.object
             .call_with_context(method, args, traceparent, deadline_budget_ms)
+    }
+
+    /// Invokes a method through the zero-copy wire path: `encode` writes
+    /// the argument array into the handle's reusable call arena,
+    /// [`JavaScriptInterface::call_wire`] services it, and `decode`
+    /// reads the reply view. Both arenas are cleared (capacity retained)
+    /// first, so a warmed handle allocates nothing here.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`JsInterfaceHandle::invoke`].
+    pub fn invoke_wire<T>(
+        &self,
+        method: &str,
+        traceparent: Option<&str>,
+        deadline_budget_ms: Option<u64>,
+        encode: impl FnOnce(&mut WireBuf) -> NodeId,
+        decode: impl FnOnce(WireValue<'_>) -> Result<T, BridgeError>,
+    ) -> Result<T, BridgeError> {
+        self.crossings.fetch_add(1, Ordering::Relaxed);
+        let mut scratch = self.scratch.lock();
+        let WireScratch { call, reply } = &mut *scratch;
+        call.clear();
+        reply.clear();
+        let args = encode(call);
+        let node = self.object.call_wire(
+            method,
+            call.view(args),
+            reply,
+            traceparent,
+            deadline_budget_ms,
+        )?;
+        decode(reply.view(node))
+    }
+
+    /// One crossing carrying N queued calls: `encode` pushes call
+    /// frames (method + argument array each), the interface services
+    /// them via [`JavaScriptInterface::call_batch`], and `decode` reads
+    /// the reply frames — one per call, in order, each carrying either
+    /// a result view or its own error code.
+    ///
+    /// # Errors
+    ///
+    /// Returns a bridge-coded error when the interface produced a
+    /// mismatched reply count; per-entry failures are surfaced to
+    /// `decode` inside the reply cursor instead of failing the batch.
+    pub fn invoke_batch<T>(
+        &self,
+        traceparent: Option<&str>,
+        deadline_budget_ms: Option<u64>,
+        encode: impl FnOnce(&mut WireBuf),
+        decode: impl FnOnce(BatchReplies<'_>) -> Result<T, BridgeError>,
+    ) -> Result<T, BridgeError> {
+        self.crossings.fetch_add(1, Ordering::Relaxed);
+        let mut scratch = self.scratch.lock();
+        let WireScratch { call, reply } = &mut *scratch;
+        call.clear();
+        reply.clear();
+        encode(call);
+        self.object
+            .call_batch(call, reply, traceparent, deadline_budget_ms);
+        if reply.reply_count() != call.frame_count() {
+            return Err(BridgeError {
+                code: ErrorCode::Bridge,
+                message: format!(
+                    "batch of {} frames produced {} replies",
+                    call.frame_count(),
+                    reply.reply_count()
+                ),
+            });
+        }
+        decode(reply.replies())
     }
 }
 
@@ -301,6 +401,110 @@ mod tests {
         wv.add_javascript_interface(Arc::new(Adder), "Zeta");
         wv.add_javascript_interface(Arc::new(Adder), "Alpha");
         assert_eq!(wv.interface_names(), vec!["Alpha", "Zeta"]);
+    }
+
+    #[test]
+    fn call_only_interface_services_wire_invocations() {
+        // `Adder` implements nothing but `call`; the default-delegation
+        // chain (call_wire → call_with_context → call_traced → call)
+        // must still service the zero-copy entry point.
+        let wv = webview();
+        wv.add_javascript_interface(Arc::new(Adder), "Calc");
+        let calc = wv.js_interface("Calc").unwrap();
+        let sum = calc
+            .invoke_wire(
+                "add",
+                Some("00-0000000000000000000000000000002a-000000000000002a-01"),
+                Some(5_000),
+                |buf| {
+                    let mark = buf.begin();
+                    let a = buf.push_number(2.0);
+                    buf.stage_item(a);
+                    let b = buf.push_number(3.0);
+                    buf.stage_item(b);
+                    buf.end_array(mark)
+                },
+                |reply| {
+                    reply
+                        .as_number()
+                        .ok_or_else(|| BridgeError::bridge("expected a number"))
+                },
+            )
+            .unwrap();
+        assert_eq!(sum, 5.0);
+    }
+
+    #[test]
+    fn call_only_interface_services_batches_with_per_entry_errors() {
+        let wv = webview();
+        wv.add_javascript_interface(Arc::new(Adder), "Calc");
+        let calc = wv.js_interface("Calc").unwrap();
+        let out = calc
+            .invoke_batch(
+                None,
+                None,
+                |buf| {
+                    let mark = buf.begin();
+                    let a = buf.push_number(1.0);
+                    buf.stage_item(a);
+                    let b = buf.push_number(2.0);
+                    buf.stage_item(b);
+                    let args = buf.end_array(mark);
+                    buf.push_frame("add", args);
+                    let bad = buf.empty_args();
+                    buf.push_frame("mul", bad);
+                    let args2 = {
+                        let mark = buf.begin();
+                        let a = buf.push_number(10.0);
+                        buf.stage_item(a);
+                        let b = buf.push_number(20.0);
+                        buf.stage_item(b);
+                        buf.end_array(mark)
+                    };
+                    buf.push_frame("add", args2);
+                },
+                |replies| {
+                    Ok(replies
+                        .map(|r| match r {
+                            Ok(v) => Ok(v.as_number().unwrap()),
+                            Err((code, _)) => Err(code),
+                        })
+                        .collect::<Vec<_>>())
+                },
+            )
+            .unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0], Ok(3.0));
+        assert_eq!(out[1], Err(ErrorCode::Bridge));
+        assert_eq!(out[2], Ok(30.0));
+    }
+
+    #[test]
+    fn crossings_count_every_invocation_once() {
+        let wv = webview();
+        wv.add_javascript_interface(Arc::new(Adder), "Calc");
+        let calc = wv.js_interface("Calc").unwrap();
+        assert_eq!(wv.bridge_crossings(), 0);
+        let _ = calc.invoke("add", &[JsValue::Number(1.0), JsValue::Number(1.0)]);
+        let _ = calc.invoke_with_context(
+            "add",
+            &[JsValue::Number(1.0), JsValue::Number(1.0)],
+            None,
+            None,
+        );
+        // A three-frame batch is still one crossing.
+        let _ = calc.invoke_batch(
+            None,
+            None,
+            |buf| {
+                for _ in 0..3 {
+                    let args = buf.empty_args();
+                    buf.push_frame("mul", args);
+                }
+            },
+            |_replies| Ok(()),
+        );
+        assert_eq!(wv.bridge_crossings(), 3);
     }
 
     #[test]

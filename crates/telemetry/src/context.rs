@@ -26,8 +26,12 @@ pub struct TraceContext {
 
 impl TraceContext {
     /// Renders the context as a W3C-style `traceparent` header value.
+    ///
+    /// Hot paths that must not allocate render into a
+    /// [`TraceparentBuf`] instead; this owned form is the convenience
+    /// wrapper over it.
     pub fn traceparent(&self) -> String {
-        format!("00-{:032x}-{:016x}-01", self.trace_id.0, self.span_id.0)
+        TraceparentBuf::render(self).as_str().to_owned()
     }
 
     /// Parses a `traceparent` header value back into a context.
@@ -65,7 +69,51 @@ impl TraceContext {
 
 impl fmt::Display for TraceContext {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.traceparent())
+        f.write_str(TraceparentBuf::render(self).as_str())
+    }
+}
+
+/// A `traceparent` header value rendered into a fixed 55-byte stack
+/// buffer — `00-` + 32 hex + `-` + 16 hex + `-01` — so the WebView
+/// bridge can marshal trace context without touching the heap.
+#[derive(Clone, Copy)]
+pub struct TraceparentBuf([u8; 55]);
+
+impl TraceparentBuf {
+    /// Renders a context. The repro's trace ids are 64-bit, so the
+    /// upper 16 hex digits of the trace-id field are always zero —
+    /// matching what [`TraceContext::parse_traceparent`] accepts.
+    pub fn render(ctx: &TraceContext) -> Self {
+        let mut buf = [b'0'; 55];
+        buf[2] = b'-';
+        write_hex(&mut buf[19..35], ctx.trace_id.0);
+        buf[35] = b'-';
+        write_hex(&mut buf[36..52], ctx.span_id.0);
+        buf[52] = b'-';
+        buf[54] = b'1';
+        Self(buf)
+    }
+
+    /// The rendered header as a borrowed string slice.
+    pub fn as_str(&self) -> &str {
+        // Invariant: the buffer is filled exclusively with ASCII hex
+        // digits and dashes.
+        core::str::from_utf8(&self.0).expect("traceparent buffer is ASCII")
+    }
+}
+
+impl fmt::Debug for TraceparentBuf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Writes `value` as exactly 16 lowercase hex digits into `out`.
+fn write_hex(out: &mut [u8], value: u64) {
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
+    for (i, slot) in out.iter_mut().enumerate() {
+        let shift = 60 - 4 * i;
+        *slot = DIGITS[((value >> shift) & 0xF) as usize];
     }
 }
 
@@ -85,6 +133,20 @@ mod tests {
             "00-000000000000000000000000deadbeef-000000000000002a-01"
         );
         assert_eq!(TraceContext::parse_traceparent(&wire), Some(ctx));
+    }
+
+    #[test]
+    fn stack_buffer_matches_the_owned_rendering() {
+        for (trace, span) in [(1, 1), (0xDEAD_BEEF, 42), (u64::MAX, u64::MAX >> 3)] {
+            let ctx = TraceContext {
+                trace_id: TraceId(trace),
+                span_id: SpanId(span),
+            };
+            let buf = TraceparentBuf::render(&ctx);
+            assert_eq!(buf.as_str(), ctx.traceparent());
+            assert_eq!(buf.as_str().len(), 55);
+            assert_eq!(TraceContext::parse_traceparent(buf.as_str()), Some(ctx));
+        }
     }
 
     #[test]

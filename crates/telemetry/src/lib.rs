@@ -51,7 +51,7 @@ pub mod recorder;
 pub mod slo;
 pub mod span;
 
-pub use context::TraceContext;
+pub use context::{TraceContext, TraceparentBuf};
 pub use intern::{LabelKey, NameKey};
 pub use metrics::{Counter, Gauge, Histogram, Labels, MetricsRegistry};
 pub use recorder::{

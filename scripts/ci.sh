@@ -18,14 +18,17 @@ cargo run -q --release -p mobivine-bench --bin figure10 -- \
 cargo run -q --release -p mobivine-bench --bin figure10 -- --check "$summary"
 
 # Fleet smoke: drive ~500 devices through the load engine, emit the
-# mobivine.fleet.v4 summary, and schema-check it (the check also
+# mobivine.fleet.v5 summary, and schema-check it (the check also
 # enforces the brownout overload gate embedded in the summary,
 # accountability clause included — the unprotected arm's deadline-blown
-# calls must all have promoted traces — and the cache gate: equal
+# calls must all have promoted traces — the cache gate: equal
 # checksums across the cached/uncached arms plus a ≥5x cut in
-# binding-plane reads). The figure10 run above already smoke-runs the
-# telemetry_hotpath ablation (its summary embeds and --check validates
-# the per-call-lookup vs cached-handles rows).
+# binding-plane reads — and the bridge gate: equal checksums across the
+# batched/unbatched arms plus strictly fewer bridge crossings batched).
+# The figure10 run above already smoke-runs the telemetry_hotpath and
+# bridge-marshalling ablations (its summary embeds and --check enforces
+# the per-call-lookup vs cached-handles rows and the ≥3x batched
+# wire-buf speedup over per-call marshalling).
 cargo run -q --release -p mobivine-bench --bin fleet -- \
     --devices 500 --shards 1,4 --workers 2 --rounds 2 --json "$fleet_summary"
 cargo run -q --release -p mobivine-bench --bin fleet -- --check "$fleet_summary"
@@ -128,11 +131,13 @@ if [ -n "$hot_labels" ]; then
 fi
 
 # The zero-alloc telemetry test must still gate at exactly 0 heap
-# allocations on the warmed traced path — with the flight recorder on.
-# `cargo test` above runs it; this guard pins the assertion itself so a
-# relaxed bound (e.g. `<= 2`) cannot slip through review.
-if [ "$(grep -Ec '^\s*(android|s60)_allocs, 0,' tests/zero_alloc_telemetry.rs)" -ne 2 ]; then
+# allocations on the warmed traced path — with the flight recorder on,
+# and since the wire arenas landed the WebView bridge crossing is held
+# to the same bar as the native platforms. `cargo test` above runs it;
+# this guard pins the assertions themselves so a relaxed bound (e.g.
+# `<= 2`) cannot slip through review.
+if [ "$(grep -Ec '^\s*(android|s60|webview)_allocs, 0,' tests/zero_alloc_telemetry.rs)" -ne 3 ]; then
     echo "error: tests/zero_alloc_telemetry.rs no longer pins the warmed" >&2
-    echo "traced android+s60 paths at exactly 0 allocations" >&2
+    echo "traced android+s60+webview paths at exactly 0 allocations" >&2
     exit 1
 fi

@@ -9,6 +9,7 @@ use mobivine_proxydl::xml::{escape, unescape, XmlNode};
 use mobivine_proxydl::{
     MethodSpec, PlatformBinding, PlatformId, PropertySpec, ProxyDescriptor, SemanticPlane,
 };
+use mobivine_webview::{JsValue, WireBuf};
 
 fn arb_latitude() -> impl Strategy<Value = f64> {
     -85.0..85.0f64
@@ -52,6 +53,53 @@ fn arb_xml_node() -> impl Strategy<Value = mobivine_proxydl::xml::XmlNode> {
 
 fn arb_longitude() -> impl Strategy<Value = f64> {
     -179.0..179.0f64
+}
+
+/// Arbitrary JavaScript values: every scalar shape (NaN included, via
+/// the unconstrained `f64`), empty strings, and nested arrays/objects
+/// of bounded depth — the full domain the WebView wire arena must
+/// carry without loss.
+fn arb_js_value() -> impl Strategy<Value = JsValue> {
+    let leaf = (0u8..5, any::<f64>(), "[ -~]{0,12}").prop_map(|(tag, n, s)| match tag {
+        0 => JsValue::Undefined,
+        1 => JsValue::Null,
+        2 => JsValue::Bool(n.to_bits() & 1 == 1),
+        3 => JsValue::Number(n),
+        _ => JsValue::Str(s),
+    });
+    leaf.prop_recursive(3, 32, 4, |inner| {
+        (
+            any::<bool>(),
+            proptest::collection::vec(inner.clone(), 0..4),
+            proptest::collection::vec(("[a-z]{1,6}", inner), 0..4),
+        )
+            .prop_map(|(as_object, items, entries)| {
+                if as_object {
+                    JsValue::Object(entries.into_iter().collect())
+                } else {
+                    JsValue::Array(items)
+                }
+            })
+    })
+}
+
+/// Structural equality that treats NaN as equal to itself — the wire
+/// arena round-trips the bit pattern, but `f64::eq` would reject it.
+fn js_eq(a: &JsValue, b: &JsValue) -> bool {
+    match (a, b) {
+        (JsValue::Number(x), JsValue::Number(y)) => x == y || (x.is_nan() && y.is_nan()),
+        (JsValue::Array(xs), JsValue::Array(ys)) => {
+            xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| js_eq(x, y))
+        }
+        (JsValue::Object(xs), JsValue::Object(ys)) => {
+            xs.len() == ys.len()
+                && xs
+                    .iter()
+                    .zip(ys)
+                    .all(|((ka, va), (kb, vb))| ka == kb && js_eq(va, vb))
+        }
+        _ => a == b,
+    }
 }
 
 proptest! {
@@ -435,6 +483,71 @@ proptest! {
             sorted.counter("proxy_calls_total", labels).add(want - 1);
         }
         prop_assert_eq!(sorted.render_prometheus(), shuffled.render_prometheus());
+    }
+}
+
+proptest! {
+    // ---- WebView wire arena --------------------------------------
+
+    /// Every JavaScript value survives `JsValue → WireBuf → WireValue →
+    /// JsValue` unchanged, and a cleared (capacity-retaining) arena
+    /// encodes it identically — the invariant behind reusing one
+    /// scratch buffer pair per bridge handle. (The deterministic mirror
+    /// lives in the wire module's `random_js_values_round_trip_deterministically`.)
+    #[test]
+    fn js_values_round_trip_through_the_wire_arena(value in arb_js_value()) {
+        let mut buf = WireBuf::new();
+        let node = buf.push_js(&value);
+        prop_assert!(js_eq(&buf.view(node).to_js(), &value));
+        buf.clear();
+        let node = buf.push_js(&value);
+        prop_assert!(js_eq(&buf.view(node).to_js(), &value));
+    }
+
+    /// Batch framing: N call frames in produce N reply frames out, in
+    /// order, each carrying either its result or its own error code —
+    /// one entry failing never disturbs its neighbours.
+    #[test]
+    fn batch_framing_preserves_order_and_error_codes(
+        methods in proptest::collection::vec("[a-z]{1,8}", 1..8),
+        failures in proptest::collection::vec(any::<bool>(), 1..8),
+    ) {
+        use mobivine_webview::ErrorCode;
+        let mut call = WireBuf::new();
+        for method in &methods {
+            let args = call.empty_args();
+            call.push_frame(method, args);
+        }
+        prop_assert_eq!(call.frame_count(), methods.len());
+        for (i, method) in methods.iter().enumerate() {
+            prop_assert_eq!(call.frame(i).0, method.as_str());
+        }
+        let mut reply = WireBuf::new();
+        for i in 0..methods.len() {
+            if failures[i % failures.len()] {
+                reply.push_err_frame(ErrorCode::Deadline, &format!("entry {i}"));
+            } else {
+                let node = reply.push_number(i as f64);
+                reply.push_ok_frame(node);
+            }
+        }
+        prop_assert_eq!(reply.reply_count(), methods.len());
+        let replies = reply.replies();
+        prop_assert_eq!(replies.len(), methods.len());
+        for i in 0..methods.len() {
+            let failed = failures[i % failures.len()];
+            match replies.get(i).expect("one reply per frame") {
+                Ok(value) => {
+                    prop_assert!(!failed, "entry {} lost its error", i);
+                    prop_assert_eq!(value.as_number(), Some(i as f64));
+                }
+                Err((code, message)) => {
+                    prop_assert!(failed, "entry {} failed spuriously", i);
+                    prop_assert_eq!(code, ErrorCode::Deadline);
+                    prop_assert_eq!(message, format!("entry {i}").as_str());
+                }
+            }
+        }
     }
 }
 
