@@ -33,8 +33,10 @@ use mobivine::overload::{with_deadline, Deadline, OverloadPolicy, OverloadSnapsh
 use mobivine::property::PropertyValue;
 use mobivine::shard::ShardedRegistry;
 use mobivine::webview::BATCH_PROPERTY;
+use mobivine::{with_idempotency_key, IdempotencyKey, JournalPolicy};
 use mobivine_android::{AndroidPlatform, SdkVersion};
 use mobivine_device::cohort::{Cohort, CohortPartition};
+use mobivine_device::fault::{CrashKind, CrashSchedule, FaultPlan};
 use mobivine_device::Device;
 use mobivine_s60::S60Platform;
 use mobivine_telemetry::{
@@ -42,7 +44,7 @@ use mobivine_telemetry::{
 };
 use mobivine_webview::WebView;
 
-use crate::server::{TrackPoint, WfmServer, WfmServerCounts};
+use crate::server::{DurabilityConfig, TrackPoint, WfmServer, WfmServerCounts};
 
 /// The supervisor MSISDN every fleet device texts.
 pub const FLEET_SUPERVISOR: &str = "+91-98-SUPERVISOR";
@@ -88,6 +90,50 @@ impl Default for BrownoutConfig {
             deadline_budget_ms: 400,
             p99_target_ms: 256,
             admission: true,
+        }
+    }
+}
+
+/// Durability arm of a fleet run: every device runtime journals its
+/// mutating proxy calls ([`mobivine::registry::MobivineBuilder::with_journal`])
+/// and every shard's [`WfmServer`] is built crash-fault-tolerant
+/// ([`WfmServer::durable`]) with intents journaled before effects and
+/// idempotency-key dedup on re-delivery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurabilityFleetConfig {
+    /// Server checkpoint cadence (state snapshot every N applies;
+    /// `0` = journal-only, replay from genesis). A crash storm
+    /// requires `1` so each recovery's replay length is determined by
+    /// the crash kind alone, keeping the digest worker-invariant.
+    pub checkpoint_every: u32,
+}
+
+impl Default for DurabilityFleetConfig {
+    fn default() -> Self {
+        Self {
+            checkpoint_every: 1,
+        }
+    }
+}
+
+/// A crash storm: each shard's middleware is killed at deterministic
+/// points — mid-record (torn write), between intent and effect, and
+/// after the effect but before its checkpoint — and recovers by
+/// checkpoint + journal replay. Victim calls are chosen by idempotency
+/// key from the seeded traffic plan, so the storm is identical across
+/// worker counts and reruns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashStormConfig {
+    /// Crashes to schedule per shard, cycling through the crash kinds
+    /// starting with torn-write then intent/effect-gap — so any value
+    /// ≥ 2 exercises both headline kinds on every shard.
+    pub crashes_per_shard: usize,
+}
+
+impl Default for CrashStormConfig {
+    fn default() -> Self {
+        Self {
+            crashes_per_shard: 3,
         }
     }
 }
@@ -157,6 +203,16 @@ pub struct FleetConfig {
     /// [`FleetReport::bridge`] reports the crossing counts the arms
     /// differ by (kept out of the checksum, like the cache digest).
     pub bridge_batch: Option<bool>,
+    /// When set, the fleet runs durable: client runtimes journal
+    /// mutating calls, shard servers journal intents before effects,
+    /// and every HTTP report carries a deterministic idempotency key.
+    /// Journal counters land in [`FleetReport::recovery`], kept out of
+    /// the checksum: durability must not change what the fleet
+    /// computes, only how much it survives.
+    pub durability: Option<DurabilityFleetConfig>,
+    /// Optional crash storm (requires `durability` with
+    /// `checkpoint_every == 1`; mutually exclusive with `brownout`).
+    pub crash_plan: Option<CrashStormConfig>,
 }
 
 impl Default for FleetConfig {
@@ -177,6 +233,8 @@ impl Default for FleetConfig {
             slo: false,
             brownout: None,
             bridge_batch: None,
+            durability: None,
+            crash_plan: None,
         }
     }
 }
@@ -242,6 +300,36 @@ impl FleetConfig {
             }
             if brownout.p99_target_ms == 0 {
                 return illegal("brownout p99_target_ms");
+            }
+        }
+        if let Some(storm) = &self.crash_plan {
+            if storm.crashes_per_shard == 0 {
+                return illegal("crash_plan crashes_per_shard");
+            }
+            let Some(durability) = &self.durability else {
+                return Err(ProxyError::new(
+                    ProxyErrorKind::IllegalArgument,
+                    "FleetConfig: crash_plan requires durability (crashes without a journal \
+                     lose state unrecoverably)",
+                ));
+            };
+            if durability.checkpoint_every != 1 {
+                // With a checkpoint after every apply, each recovery's
+                // replay length depends only on the crash kind, never
+                // on which ops other workers interleaved before the
+                // crash — the worker-invariance the digest gate pins.
+                return Err(ProxyError::new(
+                    ProxyErrorKind::IllegalArgument,
+                    "FleetConfig: crash_plan requires durability.checkpoint_every == 1 \
+                     (replay-from-checkpoint must be worker-invariant)",
+                ));
+            }
+            if self.brownout.is_some() {
+                return Err(ProxyError::new(
+                    ProxyErrorKind::IllegalArgument,
+                    "FleetConfig: crash_plan and brownout are mutually exclusive (both \
+                     answer 503; re-delivery retries would fight the shed gate)",
+                ));
             }
         }
         Ok(self)
@@ -323,6 +411,47 @@ pub struct FleetReport {
     /// many times the fleet crosses the JavaScript bridge, never what
     /// it computes.
     pub bridge: Option<BridgeDigest>,
+    /// Durability-plane counters, present when `durability` was set.
+    /// Like `cache`, kept out of the checksum: a crash storm must not
+    /// change what the fleet computes — that parity IS the gate.
+    pub recovery: Option<RecoveryDigest>,
+}
+
+/// Aggregate durability counters of one durable fleet run: per-shard
+/// server recovery ledgers folded in shard order, client journal
+/// counters folded in device-index order, and nearest-rank quantiles
+/// over the virtual recovery costs. Deliberately excluded from
+/// [`FleetReport::checksum`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryDigest {
+    /// Crashes survived across all shards (one recovery pass each).
+    pub recoveries: u64,
+    /// Mid-record (torn-write) crashes recovered.
+    pub torn_crashes: u64,
+    /// Intent/effect-gap crashes recovered.
+    pub gap_crashes: u64,
+    /// Post-effect (pre-checkpoint) crashes recovered.
+    pub effect_crashes: u64,
+    /// Committed records replayed across all recoveries.
+    pub replayed_records: u64,
+    /// Torn tail records truncated across all recoveries.
+    pub torn_truncated: u64,
+    /// Server checkpoints taken.
+    pub checkpoints: u64,
+    /// Re-deliveries the servers answered from their journals.
+    pub suppressed_duplicates: u64,
+    /// Keyed effects applied more than once — exactly-once demands 0.
+    pub duplicates: u64,
+    /// Median virtual recovery cost, µs (0 with no crashes).
+    pub recovery_p50_us: u64,
+    /// 99th-percentile virtual recovery cost, µs.
+    pub recovery_p99_us: u64,
+    /// Client-side journal intent records appended (all devices).
+    pub client_appends: u64,
+    /// Client-side fsync barriers crossed (all devices).
+    pub client_fsyncs: u64,
+    /// Client-side `AlreadyApplied` dedup hits (all devices).
+    pub client_already_applied: u64,
 }
 
 /// The incident-debugging digest of one traced fleet run: what the
@@ -577,7 +706,18 @@ impl TrafficBatch {
         }
         Self { ops, multi_read }
     }
+}
 
+/// The round-scoped knobs a [`TrafficBatch::flush`] runs under: the
+/// round identity plus the brownout arm's deadline budget and the
+/// durable arm's idempotency seed, when those arms are on.
+struct FlushCtx {
+    deadline_budget_ms: Option<u64>,
+    round: u64,
+    idem_seed: Option<u64>,
+}
+
+impl TrafficBatch {
     /// Executes the batch through the device's memoized proxies,
     /// recording per-op virtual latency into `stats`.
     ///
@@ -596,14 +736,24 @@ impl TrafficBatch {
         device: &Device,
         host: &str,
         stats: &mut DeviceStats,
-        deadline_budget_ms: Option<u64>,
+        ctx: FlushCtx,
     ) {
+        let FlushCtx {
+            deadline_budget_ms,
+            round,
+            idem_seed,
+        } = ctx;
         let agent_id = device_index as u64;
         let multi_read = self.multi_read;
         let flush_start_ms = device.clock().now_ms();
-        for op in self.ops {
+        for (ordinal, op) in self.ops.into_iter().enumerate() {
             stats.ops += 1;
             let before_ms = device.clock().now_ms();
+            // Durable arms give every op of the run a deterministic
+            // identity: the same `(seed, device, round, op)` key on
+            // first delivery and on any crash-retry re-delivery.
+            let key =
+                idem_seed.map(|seed| IdempotencyKey::derive(seed, agent_id, round, ordinal as u64));
             let execute = || -> Result<(), ProxyError> {
                 match op {
                     // The bridge arm widens every fix into a multi-read
@@ -636,7 +786,21 @@ impl TrafficBatch {
                                 at_ms: before_ms,
                             };
                             let body = serde_json::to_vec(&point).unwrap_or_default();
-                            http.request("POST", &format!("http://{host}/report-location"), &body)
+                            let url = format!("http://{host}/report-location");
+                            let mut response = http.request("POST", &url, &body)?;
+                            // At-least-once re-delivery: a crash-killed
+                            // call answers 503; the retry re-sends the
+                            // SAME idempotency key and the server's
+                            // durability layer dedups, so only the
+                            // final outcome is counted — the checksum
+                            // stays byte-identical to the crash-free
+                            // arm.
+                            let mut attempts = 0;
+                            while key.is_some() && response.status == 503 && attempts < 3 {
+                                attempts += 1;
+                                response = http.request("POST", &url, &body)?;
+                            }
+                            Ok(response)
                         })
                         .map(|response| {
                             if (200..300).contains(&response.status) {
@@ -644,6 +808,13 @@ impl TrafficBatch {
                             }
                         }),
                 }
+            };
+            // The ambient idempotency-key scope wraps the whole call
+            // path (client journal decorators read it; the HTTP
+            // decorator stamps it onto the wire).
+            let execute = || match key {
+                Some(k) => with_idempotency_key(k, execute),
+                None => execute(),
             };
             match deadline_budget_ms {
                 Some(budget_ms) => {
@@ -724,7 +895,33 @@ impl Fleet {
         let config = config.validated()?;
         let mut registry = ShardedRegistry::new(config.shards)?;
         let mut cohort = Cohort::with_tick(config.tick_ms);
-        let servers: Vec<WfmServer> = (0..config.shards).map(|_| WfmServer::new()).collect();
+        // The crash storm's victims are precomputed from the seeded
+        // traffic plan (same draws [`TrafficBatch::plan`] will make),
+        // keyed by idempotency key — NOT by arrival order — so the
+        // storm hits identical logical calls whatever the worker
+        // interleaving.
+        let crash_schedules: Option<Vec<Arc<CrashSchedule>>> = match &config.crash_plan {
+            Some(storm) => Some(
+                crash_victims(&config, &registry, storm.crashes_per_shard)?
+                    .into_iter()
+                    .map(CrashSchedule::new)
+                    .collect(),
+            ),
+            None => None,
+        };
+        let servers: Vec<WfmServer> = (0..config.shards)
+            .map(|shard| match &config.durability {
+                Some(durability) => WfmServer::durable(DurabilityConfig {
+                    checkpoint_every: durability.checkpoint_every,
+                    policy: JournalPolicy::default(),
+                    crash: crash_schedules
+                        .as_ref()
+                        .map(|schedules| Arc::clone(&schedules[shard])),
+                }),
+                None => WfmServer::new(),
+            })
+            .collect();
+        let mut armed_shards = vec![false; config.shards];
         let mut webviews: Vec<Arc<WebView>> = Vec::new();
 
         for index in 0..config.devices {
@@ -738,6 +935,19 @@ impl Fleet {
 
             let shard = registry.shard_of(index);
             servers[shard].install(device.network(), &shard_host(shard));
+
+            // Arm each shard's crash storm through the fault plan of
+            // its first member device, firing the arming transition at
+            // build time (virtual t=0) so every round's traffic runs
+            // under an armed schedule — deterministically, before any
+            // worker starts.
+            if let Some(schedules) = &crash_schedules {
+                if !armed_shards[shard] {
+                    armed_shards[shard] = true;
+                    FaultPlan::new(&device).crash_storm(0, &schedules[shard]);
+                    device.events().run_until(0);
+                }
+            }
 
             // Telemetry wiring happens here, at build time: the traced
             // decorators resolve their span names and metric handles
@@ -792,8 +1002,16 @@ impl Fleet {
                 // The cache rides between the overload and traced
                 // layers (the builder normalizes the order); one shared
                 // counter block per device, read back at report time.
-                if config.cache {
+                let b = if config.cache {
                     b.with_cache(CachePolicy::default())
+                } else {
+                    b
+                };
+                // The durable arm journals client-side too: mutating
+                // proxy calls append an intent and cross the fsync
+                // barrier before their side effect.
+                if config.durability.is_some() {
+                    b.with_journal(JournalPolicy::default())
                 } else {
                     b
                 }
@@ -931,7 +1149,11 @@ impl Fleet {
                                     device,
                                     &shard_host(shard),
                                     &mut slice[offset],
-                                    ramped.map(|b| b.deadline_budget_ms),
+                                    FlushCtx {
+                                        deadline_budget_ms: ramped.map(|b| b.deadline_budget_ms),
+                                        round,
+                                        idem_seed: config.durability.as_ref().map(|_| config.seed),
+                                    },
                                 );
                             }
                             partition.advance_to(target);
@@ -1007,6 +1229,10 @@ impl Fleet {
         let incidents = config.telemetry.then(|| self.incident_digest(&config));
         let cache = config.cache.then(|| self.cache_digest(&config));
         let bridge = config.bridge_batch.is_some().then(|| self.bridge_digest());
+        let recovery = config
+            .durability
+            .is_some()
+            .then(|| self.recovery_digest(&config));
 
         let mut overall = LatencyBuckets::default();
         for buckets in &shard_latency {
@@ -1045,7 +1271,57 @@ impl Fleet {
             incidents,
             cache,
             bridge,
+            recovery,
         }
+    }
+
+    /// Folds every shard server's recovery ledger (shard order) and
+    /// every device runtime's client journal counters (device-index
+    /// order) into one digest. Recovery costs are sorted before the
+    /// quantile pull, so the digest is worker-invariant even though
+    /// shards absorb their crashes in interleaving-dependent order.
+    fn recovery_digest(&self, config: &FleetConfig) -> RecoveryDigest {
+        let mut digest = RecoveryDigest::default();
+        let mut costs: Vec<u64> = Vec::new();
+        for server in &self.servers {
+            let Some(ledger) = server.recovery_snapshot() else {
+                continue;
+            };
+            digest.recoveries += ledger.recoveries;
+            digest.torn_crashes += ledger.torn_crashes;
+            digest.gap_crashes += ledger.gap_crashes;
+            digest.effect_crashes += ledger.effect_crashes;
+            digest.replayed_records += ledger.replayed_records;
+            digest.torn_truncated += ledger.torn_truncated;
+            digest.checkpoints += ledger.checkpoints;
+            digest.suppressed_duplicates += ledger.suppressed_duplicates;
+            digest.duplicates += ledger.duplicates();
+            costs.extend(ledger.recovery_cost_us);
+        }
+        costs.sort_unstable();
+        let quantile = |q: f64| -> u64 {
+            if costs.is_empty() {
+                return 0;
+            }
+            let rank = ((costs.len() as f64 * q).ceil() as usize).clamp(1, costs.len());
+            costs[rank - 1]
+        };
+        digest.recovery_p50_us = quantile(0.50);
+        digest.recovery_p99_us = quantile(0.99);
+        for index in 0..config.devices {
+            let Some(metrics) = self
+                .registry
+                .runtime(index)
+                .and_then(|runtime| runtime.journal_metrics())
+            else {
+                continue;
+            };
+            let snapshot = metrics.snapshot();
+            digest.client_appends += snapshot.appends;
+            digest.client_fsyncs += snapshot.fsyncs;
+            digest.client_already_applied += snapshot.already_applied;
+        }
+        digest
     }
 
     /// Sums every WebView device's bridge-crossing counter, in
@@ -1171,6 +1447,72 @@ fn partition_target(tick_ms: u64, round: u64) -> u64 {
     tick_ms * round
 }
 
+/// Precomputes each shard's crash victims by replaying the seeded
+/// traffic plan's draws: for every `(round, device, op)` in
+/// deterministic order, the op is an HTTP report iff the same draw
+/// [`TrafficBatch::plan`] will make says so, and HTTP reports are the
+/// calls that reach the shard server's durability layer. Victims are
+/// spread evenly over the candidates and cycle through the crash kinds
+/// starting torn-write, then intent/effect-gap.
+fn crash_victims(
+    config: &FleetConfig,
+    registry: &ShardedRegistry,
+    crashes_per_shard: usize,
+) -> Result<Vec<Vec<(u64, CrashKind)>>, ProxyError> {
+    const KINDS: [CrashKind; 3] = [
+        CrashKind::TornWrite,
+        CrashKind::BeforeEffect,
+        CrashKind::AfterEffect,
+    ];
+    let mut candidates: Vec<Vec<u64>> = vec![Vec::new(); config.shards];
+    for round in 1..=config.rounds {
+        for index in 0..config.devices {
+            let mut rng = config
+                .seed
+                .wrapping_add((index as u64) << 20)
+                .wrapping_add(round);
+            for ordinal in 0..config.ops_per_round {
+                let draw = splitmix64(&mut rng);
+                let is_http = if config.read_heavy {
+                    draw % 8 == 7
+                } else {
+                    matches!(draw % 4, 0 | 1)
+                };
+                if is_http {
+                    let key = IdempotencyKey::derive(
+                        config.seed,
+                        index as u64,
+                        round,
+                        u64::from(ordinal),
+                    );
+                    candidates[registry.shard_of(index)].push(key.0);
+                }
+            }
+        }
+    }
+    let mut victims = Vec::with_capacity(config.shards);
+    for (shard, keys) in candidates.into_iter().enumerate() {
+        if keys.len() < crashes_per_shard {
+            return Err(ProxyError::new(
+                ProxyErrorKind::IllegalArgument,
+                format!(
+                    "FleetConfig: shard {shard} plans only {} HTTP reports; cannot schedule \
+                     {crashes_per_shard} crashes (raise rounds/ops_per_round or lower \
+                     crashes_per_shard)",
+                    keys.len()
+                ),
+            ));
+        }
+        let step = keys.len() / crashes_per_shard;
+        victims.push(
+            (0..crashes_per_shard)
+                .map(|i| (keys[i * step], KINDS[i % KINDS.len()]))
+                .collect(),
+        );
+    }
+    Ok(victims)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1192,6 +1534,8 @@ mod tests {
             slo: false,
             brownout: None,
             bridge_batch: None,
+            durability: None,
+            crash_plan: None,
         }
     }
 
@@ -1560,6 +1904,124 @@ mod tests {
         assert_eq!(
             first.bridge, single.bridge,
             "bridge digest is worker-invariant"
+        );
+    }
+
+    fn durable_config() -> FleetConfig {
+        FleetConfig {
+            durability: Some(DurabilityFleetConfig::default()),
+            ..small_config()
+        }
+    }
+
+    fn crash_config() -> FleetConfig {
+        FleetConfig {
+            crash_plan: Some(CrashStormConfig {
+                crashes_per_shard: 3,
+            }),
+            ..durable_config()
+        }
+    }
+
+    #[test]
+    fn crash_plan_requires_durability_with_per_apply_checkpoints() {
+        let err = FleetConfig {
+            crash_plan: Some(CrashStormConfig::default()),
+            ..small_config()
+        }
+        .validated()
+        .unwrap_err();
+        assert_eq!(err.kind(), ProxyErrorKind::IllegalArgument);
+
+        let err = FleetConfig {
+            durability: Some(DurabilityFleetConfig {
+                checkpoint_every: 4,
+            }),
+            crash_plan: Some(CrashStormConfig::default()),
+            ..small_config()
+        }
+        .validated()
+        .unwrap_err();
+        assert_eq!(err.kind(), ProxyErrorKind::IllegalArgument);
+
+        let err = FleetConfig {
+            brownout: Some(BrownoutConfig::default()),
+            ..crash_config()
+        }
+        .validated()
+        .unwrap_err();
+        assert_eq!(err.kind(), ProxyErrorKind::IllegalArgument);
+    }
+
+    #[test]
+    fn journaling_is_invisible_to_the_checksum() {
+        // Durability on (client + server journals, idempotency keys on
+        // the wire) must not change what the fleet computes.
+        let durable = Fleet::build(durable_config()).unwrap().run();
+        let plain = Fleet::build(small_config()).unwrap().run();
+        assert_eq!(durable.checksum, plain.checksum);
+        assert_eq!(durable.total_ops, plain.total_ops);
+        assert_eq!(durable.http_ok, plain.http_ok);
+        assert_eq!(durable.errors, 0);
+        assert!(plain.recovery.is_none());
+
+        let digest = durable.recovery.as_ref().expect("durability ⇒ digest");
+        assert_eq!(digest.recoveries, 0, "no crash plan, no crashes");
+        assert_eq!(digest.duplicates, 0);
+        assert!(digest.client_appends > 0, "mutating calls journal intents");
+        assert_eq!(digest.client_fsyncs, digest.client_appends);
+        assert!(digest.checkpoints > 0, "server checkpoints every apply");
+    }
+
+    #[test]
+    fn crash_storm_recovers_to_the_crash_free_checksum_with_zero_duplicates() {
+        let stormed = Fleet::build(crash_config()).unwrap().run();
+        let crash_free = Fleet::build(durable_config()).unwrap().run();
+        // THE gate: a fleet that crashed and recovered on every shard
+        // computes byte-identically to one that never crashed.
+        assert_eq!(stormed.checksum, crash_free.checksum);
+        assert_eq!(stormed.total_ops, crash_free.total_ops);
+        assert_eq!(stormed.http_ok, crash_free.http_ok);
+        assert_eq!(stormed.sms_sent, crash_free.sms_sent);
+        assert_eq!(stormed.errors, 0, "recovery absorbs every crash");
+        // Server-side state converges too, shard by shard.
+        for (a, b) in stormed.per_shard.iter().zip(&crash_free.per_shard) {
+            assert_eq!(a.server, b.server);
+        }
+
+        let digest = stormed.recovery.as_ref().expect("durability ⇒ digest");
+        assert_eq!(digest.recoveries, 4 * 3, "3 crashes on each of 4 shards");
+        assert!(digest.torn_crashes >= 4, "≥1 torn-write crash per shard");
+        assert!(
+            digest.gap_crashes >= 4,
+            "≥1 intent/effect-gap crash per shard"
+        );
+        assert_eq!(digest.duplicates, 0, "exactly-once under the storm");
+        assert_eq!(digest.torn_truncated, digest.torn_crashes);
+        assert_eq!(
+            digest.suppressed_duplicates,
+            digest.gap_crashes + digest.effect_crashes,
+            "every durable-intent crash retry dedups; torn retries re-commit"
+        );
+        assert!(digest.recovery_p50_us > 0);
+        assert!(digest.recovery_p99_us >= digest.recovery_p50_us);
+    }
+
+    #[test]
+    fn crash_storm_is_deterministic_and_worker_invariant() {
+        let first = Fleet::build(crash_config()).unwrap().run();
+        let second = Fleet::build(crash_config()).unwrap().run();
+        assert_eq!(first, second, "same config ⇒ identical stormed report");
+        let single = Fleet::build(FleetConfig {
+            workers: 1,
+            ..crash_config()
+        })
+        .unwrap()
+        .run();
+        assert_eq!(first.checksum, single.checksum);
+        assert_eq!(
+            first.recovery, single.recovery,
+            "recovery digest is worker-invariant"
         );
     }
 

@@ -5,12 +5,18 @@
 //! etc." Built "using Web standards": JSON over HTTP routes on the
 //! simulated network.
 
+use std::collections::HashSet;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
+use mobivine::journal::fnv1a;
 use mobivine::registry::Mobivine;
+use mobivine::{
+    CheckpointCell, IdempotencyKey, Journal, JournalMetrics, JournalPolicy, JournalSnapshot, Lsn,
+};
+use mobivine_device::fault::{CrashKind, CrashSchedule};
 use mobivine_device::net::{HttpResponse, Method, SimNetwork};
 use mobivine_device::Device;
 use mobivine_telemetry::slo::{links_from_incidents, slo_report_json};
@@ -130,6 +136,98 @@ pub struct TrackPoint {
     pub at_ms: u64,
 }
 
+/// Knobs for a crash-fault-tolerant [`WfmServer`]
+/// ([`WfmServer::durable`]).
+#[derive(Debug, Clone, Default)]
+pub struct DurabilityConfig {
+    /// Take a checkpoint (state snapshot + journal high-water mark)
+    /// after this many applied mutations. `0` disables checkpoints —
+    /// recovery replays from genesis.
+    pub checkpoint_every: u32,
+    /// Journal knobs (segment size; fsync latency is a client-side
+    /// concern and unused here).
+    pub policy: JournalPolicy,
+    /// When set, mutations whose idempotency key the schedule claims
+    /// crash the server at the scheduled point (torn write / intent
+    /// gap / post-effect) and immediately recover.
+    pub crash: Option<Arc<CrashSchedule>>,
+}
+
+/// The checkpoint payload: everything the journal protects. Task
+/// assignments and capacity knobs are dispatcher-owned configuration
+/// (they arrive out-of-band, not through the mutating HTTP routes) and
+/// survive a middleware crash on their own.
+#[derive(Debug, Clone, Default)]
+struct DurableSnapshot {
+    completed: Vec<(u64, u64)>,
+    activity: Vec<ActivityEntry>,
+    tracks: Vec<TrackPoint>,
+    applied: HashSet<u64>,
+    keyed_applies: u64,
+}
+
+/// Per-server durability state: the WAL, the checkpoint slot, the
+/// applied-key table, the crash schedule and the recovery ledger.
+#[derive(Debug)]
+struct DurableState {
+    journal: Journal,
+    metrics: Arc<JournalMetrics>,
+    checkpoint: CheckpointCell<DurableSnapshot>,
+    checkpoint_every: u32,
+    since_checkpoint: u32,
+    /// Idempotency keys whose effect committed in the current state
+    /// generation (wiped by a crash, rebuilt by checkpoint + replay).
+    applied: HashSet<u64>,
+    /// Total keyed applies in the current generation. Exactly-once
+    /// holds iff this equals `applied.len()` — the duplicates gate.
+    keyed_applies: u64,
+    /// Re-deliveries answered from the journal (`already-applied`).
+    suppressed_duplicates: u64,
+    crash: Option<Arc<CrashSchedule>>,
+    recoveries: u64,
+    torn_crashes: u64,
+    gap_crashes: u64,
+    effect_crashes: u64,
+    replayed_records: u64,
+    /// Deterministic virtual recovery cost per crash survived, µs.
+    recovery_cost_us: Vec<u64>,
+}
+
+/// The recovery ledger of a durable [`WfmServer`], reported by the
+/// fleet's crash-storm digest.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServerRecoverySnapshot {
+    /// Crashes survived (one recovery pass each).
+    pub recoveries: u64,
+    /// Crashes that tore the intent record mid-write.
+    pub torn_crashes: u64,
+    /// Crashes in the gap between a durable intent and its effect.
+    pub gap_crashes: u64,
+    /// Crashes after the effect but before the covering checkpoint.
+    pub effect_crashes: u64,
+    /// Committed records replayed across all recoveries.
+    pub replayed_records: u64,
+    /// Torn tail records truncated across all recoveries.
+    pub torn_truncated: u64,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// Re-deliveries answered from the journal.
+    pub suppressed_duplicates: u64,
+    /// Total keyed applies in the current state generation.
+    pub keyed_applies: u64,
+    /// Distinct idempotency keys applied in the current generation.
+    pub distinct_keys: u64,
+    /// Virtual recovery cost per crash, µs, in crash order.
+    pub recovery_cost_us: Vec<u64>,
+}
+
+impl ServerRecoverySnapshot {
+    /// Keyed effects applied more than once — exactly-once demands 0.
+    pub fn duplicates(&self) -> u64 {
+        self.keyed_applies.saturating_sub(self.distinct_keys)
+    }
+}
+
 #[derive(Debug, Default)]
 struct ServerState {
     tasks: Vec<(u64, Task)>,    // (assigned agent, task)
@@ -145,6 +243,209 @@ struct ServerState {
     retry_after_ms: u64,
     /// `/report-location` posts rejected over capacity.
     tracks_rejected: u64,
+    /// Present on servers built with [`WfmServer::durable`].
+    durability: Option<DurableState>,
+}
+
+/// Completion report body, shared by the live route and journal replay.
+#[derive(Debug, Serialize, Deserialize)]
+struct CompleteBody {
+    agent_id: u64,
+    task_id: u64,
+}
+
+/// Extracts the `idem` query parameter carried by the client-side
+/// `Journaled` HTTP decorator.
+fn idem_from_query(query: Option<&str>) -> Option<IdempotencyKey> {
+    query.and_then(|q| {
+        q.split('&')
+            .find_map(|kv| kv.strip_prefix("idem="))
+            .and_then(IdempotencyKey::from_hex)
+    })
+}
+
+/// Encodes one journal record: `{tag}|{key-hex-or-dash}|{json}`.
+fn encode_record(tag: &str, key: Option<IdempotencyKey>, json: &str) -> String {
+    let key = key
+        .map(IdempotencyKey::to_hex)
+        .unwrap_or_else(|| "-".into());
+    format!("{tag}|{key}|{json}")
+}
+
+/// Applies one decoded mutation. This is the ONLY place journaled
+/// effects reach server state — live requests and recovery replay both
+/// come through here, which is what makes replay idempotent by
+/// construction. Returns `false` for an undecodable record.
+fn apply_record(
+    state: &mut ServerState,
+    mut bookkeeping: Option<(&mut HashSet<u64>, &mut u64)>,
+    payload: &str,
+) -> bool {
+    let mut parts = payload.splitn(3, '|');
+    let (Some(tag), Some(key), Some(json)) = (parts.next(), parts.next(), parts.next()) else {
+        return false;
+    };
+    let applied = match tag {
+        "track" => serde_json::from_str::<TrackPoint>(json)
+            .map(|p| state.tracks.push(p))
+            .is_ok(),
+        "activity" => serde_json::from_str::<ActivityEntry>(json)
+            .map(|e| state.activity.push(e))
+            .is_ok(),
+        "complete" => serde_json::from_str::<CompleteBody>(json)
+            .map(|c| state.completed.push((c.agent_id, c.task_id)))
+            .is_ok(),
+        _ => false,
+    };
+    if applied {
+        if let (Some((applied_set, keyed)), Some(k)) =
+            (bookkeeping.as_mut(), IdempotencyKey::from_hex(key))
+        {
+            applied_set.insert(k.0);
+            **keyed += 1;
+        }
+    }
+    applied
+}
+
+/// Wipes the crashed generation and rebuilds it from the latest
+/// checkpoint plus a journal replay, recording the crash in the
+/// recovery ledger.
+fn recover_after_crash(state: &mut ServerState, d: &mut DurableState, kind: CrashKind) {
+    // Process death: journal-protected in-memory state is gone.
+    state.completed.clear();
+    state.activity.clear();
+    state.tracks.clear();
+    d.applied.clear();
+    d.keyed_applies = 0;
+    let from = match d.checkpoint.load() {
+        Some((snap, high_water)) => {
+            state.completed = snap.completed;
+            state.activity = snap.activity;
+            state.tracks = snap.tracks;
+            d.applied = snap.applied;
+            d.keyed_applies = snap.keyed_applies;
+            high_water
+        }
+        None => Lsn(0),
+    };
+    let recovery = d.journal.recover(from);
+    let replayed = recovery.records.len() as u64;
+    for record in &recovery.records {
+        if let Ok(payload) = std::str::from_utf8(&record.payload) {
+            apply_record(state, Some((&mut d.applied, &mut d.keyed_applies)), payload);
+        }
+    }
+    d.recoveries += 1;
+    match kind {
+        CrashKind::TornWrite => d.torn_crashes += 1,
+        CrashKind::BeforeEffect => d.gap_crashes += 1,
+        CrashKind::AfterEffect => d.effect_crashes += 1,
+    }
+    d.replayed_records += replayed;
+    // Deterministic virtual recovery cost: a fixed restart overhead,
+    // per-record replay work, and a torn-tail scan surcharge (µs).
+    let cost_us = 150 + 40 * replayed + 90 * recovery.torn_records;
+    d.recovery_cost_us.push(cost_us);
+}
+
+/// Snapshots state + applied table into the checkpoint slot once
+/// `checkpoint_every` applies have accumulated, then GCs sealed journal
+/// segments below the new high-water mark.
+fn maybe_checkpoint(state: &mut ServerState, d: &mut DurableState) {
+    if d.checkpoint_every == 0 {
+        return;
+    }
+    d.since_checkpoint += 1;
+    if d.since_checkpoint < d.checkpoint_every {
+        return;
+    }
+    d.since_checkpoint = 0;
+    let snapshot = DurableSnapshot {
+        completed: state.completed.clone(),
+        activity: state.activity.clone(),
+        tracks: state.tracks.clone(),
+        applied: d.applied.clone(),
+        keyed_applies: d.keyed_applies,
+    };
+    let high_water = d.journal.durable_end();
+    d.checkpoint.save(snapshot, high_water);
+    d.journal.truncate_before(high_water);
+    d.metrics.note_checkpoint();
+}
+
+/// The durable mutation path: duplicate check → journal the intent →
+/// (scheduled crash?) → fsync barrier → effect → checkpoint. The
+/// intent is journaled and fsynced BEFORE `apply_record` runs — the
+/// write-ahead invariant.
+fn durable_mutate(
+    state: &mut ServerState,
+    tag: &str,
+    key: Option<IdempotencyKey>,
+    json: &str,
+    success_body: &str,
+) -> HttpResponse {
+    let Some(mut d) = state.durability.take() else {
+        return HttpResponse::status_only(500);
+    };
+    if let Some(k) = key {
+        if d.applied.contains(&k.0) {
+            d.suppressed_duplicates += 1;
+            d.metrics.note_already_applied();
+            state.durability = Some(d);
+            return HttpResponse::ok("already-applied");
+        }
+    }
+    let payload = encode_record(tag, key, json);
+    d.journal.append(payload.as_bytes());
+    let scheduled = key.and_then(|k| d.crash.as_ref().and_then(|c| c.take(k.0)));
+    let response = match scheduled {
+        Some(kind @ CrashKind::TornWrite) => {
+            // Process dies mid-write: all but the last byte of the
+            // frame reached the disk queue — a torn tail for recovery
+            // to truncate.
+            let keep = d.journal.volatile_len().saturating_sub(1);
+            d.journal.crash(Some(keep));
+            recover_after_crash(state, &mut d, kind);
+            HttpResponse::status_only(503)
+        }
+        Some(kind @ CrashKind::BeforeEffect) => {
+            // Intent is durable, effect never ran: replay applies it.
+            d.journal.fsync();
+            d.journal.crash(None);
+            recover_after_crash(state, &mut d, kind);
+            HttpResponse::status_only(503)
+        }
+        Some(kind @ CrashKind::AfterEffect) => {
+            // Effect ran but the covering checkpoint didn't: the wipe
+            // discards it and replay re-applies it — net exactly once.
+            d.journal.fsync();
+            apply_record(
+                state,
+                Some((&mut d.applied, &mut d.keyed_applies)),
+                &payload,
+            );
+            d.journal.crash(None);
+            recover_after_crash(state, &mut d, kind);
+            HttpResponse::status_only(503)
+        }
+        None => {
+            d.journal.fsync();
+            let applied = apply_record(
+                state,
+                Some((&mut d.applied, &mut d.keyed_applies)),
+                &payload,
+            );
+            if applied {
+                maybe_checkpoint(state, &mut d);
+                HttpResponse::ok(success_body)
+            } else {
+                HttpResponse::status_only(500)
+            }
+        }
+    };
+    state.durability = Some(d);
+    response
 }
 
 /// The workforce-management server: agent tracking, request assignment
@@ -168,6 +469,85 @@ impl WfmServer {
     /// Creates an empty server.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty crash-fault-tolerant server: every mutating
+    /// route journals an intent record (and crosses the fsync barrier)
+    /// *before* its effect runs, checkpoints every
+    /// `config.checkpoint_every` applies, dedups re-deliveries by
+    /// idempotency key, and — when `config.crash` is armed — dies and
+    /// recovers at the scheduled crash points.
+    pub fn durable(config: DurabilityConfig) -> Self {
+        let metrics = JournalMetrics::shared();
+        let journal = Journal::new(&config.policy, Arc::clone(&metrics));
+        let server = Self::default();
+        server.state.lock().durability = Some(DurableState {
+            journal,
+            metrics,
+            checkpoint: CheckpointCell::new(),
+            checkpoint_every: config.checkpoint_every,
+            since_checkpoint: 0,
+            applied: HashSet::new(),
+            keyed_applies: 0,
+            suppressed_duplicates: 0,
+            crash: config.crash,
+            recoveries: 0,
+            torn_crashes: 0,
+            gap_crashes: 0,
+            effect_crashes: 0,
+            replayed_records: 0,
+            recovery_cost_us: Vec::new(),
+        });
+        server
+    }
+
+    /// The durability counters, when built with [`WfmServer::durable`].
+    pub fn journal_snapshot(&self) -> Option<JournalSnapshot> {
+        self.state
+            .lock()
+            .durability
+            .as_ref()
+            .map(|d| d.metrics.snapshot())
+    }
+
+    /// The recovery ledger, when built with [`WfmServer::durable`].
+    pub fn recovery_snapshot(&self) -> Option<ServerRecoverySnapshot> {
+        let state = self.state.lock();
+        state.durability.as_ref().map(|d| ServerRecoverySnapshot {
+            recoveries: d.recoveries,
+            torn_crashes: d.torn_crashes,
+            gap_crashes: d.gap_crashes,
+            effect_crashes: d.effect_crashes,
+            replayed_records: d.replayed_records,
+            torn_truncated: d.metrics.snapshot().torn_truncated,
+            checkpoints: d.metrics.snapshot().checkpoints,
+            suppressed_duplicates: d.suppressed_duplicates,
+            keyed_applies: d.keyed_applies,
+            distinct_keys: d.applied.len() as u64,
+            recovery_cost_us: d.recovery_cost_us.clone(),
+        })
+    }
+
+    /// An order-sensitive FNV-1a digest of the journal-protected state
+    /// (completions, activity log, track points). Two servers that
+    /// processed the same logical mutations — crash-free or through
+    /// any number of recoveries — digest identically.
+    pub fn state_digest(&self) -> u64 {
+        let state = self.state.lock();
+        let mut buf = String::new();
+        for (agent, task) in &state.completed {
+            buf.push_str(&format!("c|{agent}|{task}\n"));
+        }
+        for e in &state.activity {
+            buf.push_str(&format!("a|{}|{}|{}\n", e.agent_id, e.at_ms, e.event));
+        }
+        for p in &state.tracks {
+            buf.push_str(&format!(
+                "t|{}|{:.6}|{:.6}|{}\n",
+                p.agent_id, p.latitude, p.longitude, p.at_ms
+            ));
+        }
+        fnv1a(buf.as_bytes())
     }
 
     /// Assigns `task` to `agent_id` (the dispatcher's "request
@@ -275,7 +655,15 @@ impl WfmServer {
         network.register_route(host, Method::Post, "/activity-log", move |req| {
             match serde_json::from_slice::<ActivityEntry>(&req.body) {
                 Ok(entry) => {
-                    state.lock().activity.push(entry);
+                    let mut state = state.lock();
+                    if state.durability.is_some() {
+                        let Ok(json) = serde_json::to_string(&entry) else {
+                            return HttpResponse::status_only(500);
+                        };
+                        let key = idem_from_query(req.url.query.as_deref());
+                        return durable_mutate(&mut state, "activity", key, &json, "logged");
+                    }
+                    state.activity.push(entry);
                     HttpResponse::ok("logged")
                 }
                 Err(_) => HttpResponse::status_only(400),
@@ -287,6 +675,8 @@ impl WfmServer {
             match serde_json::from_slice::<TrackPoint>(&req.body) {
                 Ok(point) => {
                     let mut state = state.lock();
+                    // Capacity shedding happens before journaling: a
+                    // rejected request burns no intent record.
                     if let Some(capacity) = state.track_capacity {
                         if state.tracks.len() as u64 >= capacity {
                             state.tracks_rejected += 1;
@@ -294,6 +684,13 @@ impl WfmServer {
                             return HttpResponse::status_only(503)
                                 .header("Retry-After", retry_after_secs.to_string());
                         }
+                    }
+                    if state.durability.is_some() {
+                        let Ok(json) = serde_json::to_string(&point) else {
+                            return HttpResponse::status_only(500);
+                        };
+                        let key = idem_from_query(req.url.query.as_deref());
+                        return durable_mutate(&mut state, "track", key, &json, "tracked");
                     }
                     state.tracks.push(point);
                     HttpResponse::ok("tracked")
@@ -304,14 +701,17 @@ impl WfmServer {
 
         let state = Arc::clone(&self.state);
         network.register_route(host, Method::Post, "/task-complete", move |req| {
-            #[derive(Deserialize)]
-            struct Complete {
-                agent_id: u64,
-                task_id: u64,
-            }
-            match serde_json::from_slice::<Complete>(&req.body) {
+            match serde_json::from_slice::<CompleteBody>(&req.body) {
                 Ok(c) => {
-                    state.lock().completed.push((c.agent_id, c.task_id));
+                    let mut state = state.lock();
+                    if state.durability.is_some() {
+                        let Ok(json) = serde_json::to_string(&c) else {
+                            return HttpResponse::status_only(500);
+                        };
+                        let key = idem_from_query(req.url.query.as_deref());
+                        return durable_mutate(&mut state, "complete", key, &json, "completed");
+                    }
+                    state.completed.push((c.agent_id, c.task_id));
                     HttpResponse::ok("completed")
                 }
                 Err(_) => HttpResponse::status_only(400),
@@ -539,6 +939,168 @@ mod tests {
         }
         assert_eq!(server.track(1).len(), 2);
         assert_eq!(server.track(2).len(), 1);
+    }
+
+    fn durable_installed(config: DurabilityConfig) -> (Device, WfmServer) {
+        let device = Device::builder().build();
+        let server = WfmServer::durable(config);
+        server.install(device.network(), "wfm.example");
+        (device, server)
+    }
+
+    fn post_track(device: &Device, key: IdempotencyKey, at_ms: u64) -> u16 {
+        let point = TrackPoint {
+            agent_id: 1,
+            latitude: 28.0,
+            longitude: 77.0,
+            at_ms,
+        };
+        let url = format!("http://wfm.example/report-location?idem={}", key.to_hex());
+        let req = HttpRequest::post(&url, serde_json::to_vec(&point).unwrap()).unwrap();
+        device.network().execute(&req).unwrap().0.status
+    }
+
+    #[test]
+    fn durable_server_dedups_re_delivered_idempotency_keys() {
+        let (device, server) = durable_installed(DurabilityConfig {
+            checkpoint_every: 1,
+            ..Default::default()
+        });
+        let key = IdempotencyKey::derive(11, 0, 1, 0);
+        assert_eq!(post_track(&device, key, 100), 200);
+        assert_eq!(post_track(&device, key, 100), 200, "duplicate is a 200");
+        assert_eq!(server.counts().tracks, 1, "effect committed exactly once");
+        let ledger = server.recovery_snapshot().unwrap();
+        assert_eq!(ledger.suppressed_duplicates, 1);
+        assert_eq!(ledger.duplicates(), 0);
+        let journal = server.journal_snapshot().unwrap();
+        assert_eq!(journal.appends, 1);
+        assert_eq!(journal.already_applied, 1);
+        assert_eq!(journal.checkpoints, 1);
+    }
+
+    #[test]
+    fn torn_write_crash_truncates_the_tail_and_the_retry_commits_once() {
+        let key = IdempotencyKey::derive(11, 0, 1, 0);
+        let schedule = CrashSchedule::new([(key.0, CrashKind::TornWrite)]);
+        schedule.arm();
+        let (device, server) = durable_installed(DurabilityConfig {
+            checkpoint_every: 1,
+            crash: Some(Arc::clone(&schedule)),
+            ..Default::default()
+        });
+        assert_eq!(post_track(&device, key, 100), 503, "crash kills the call");
+        assert_eq!(server.counts().tracks, 0, "torn intent never committed");
+        assert_eq!(post_track(&device, key, 100), 200, "retry commits");
+        assert_eq!(server.counts().tracks, 1);
+        let ledger = server.recovery_snapshot().unwrap();
+        assert_eq!(ledger.recoveries, 1);
+        assert_eq!(ledger.torn_crashes, 1);
+        assert_eq!(ledger.torn_truncated, 1);
+        assert_eq!(ledger.replayed_records, 0, "torn frame is not replayable");
+        assert_eq!(ledger.duplicates(), 0);
+    }
+
+    #[test]
+    fn intent_effect_gap_crash_is_healed_by_replay_and_the_retry_dedups() {
+        let key = IdempotencyKey::derive(11, 0, 2, 0);
+        let schedule = CrashSchedule::new([(key.0, CrashKind::BeforeEffect)]);
+        schedule.arm();
+        let (device, server) = durable_installed(DurabilityConfig {
+            checkpoint_every: 1,
+            crash: Some(Arc::clone(&schedule)),
+            ..Default::default()
+        });
+        assert_eq!(post_track(&device, key, 200), 503);
+        assert_eq!(server.counts().tracks, 1, "replay applied the intent");
+        assert_eq!(post_track(&device, key, 200), 200, "retry is a dedup hit");
+        assert_eq!(server.counts().tracks, 1, "still exactly once");
+        let ledger = server.recovery_snapshot().unwrap();
+        assert_eq!(ledger.gap_crashes, 1);
+        assert_eq!(ledger.replayed_records, 1);
+        assert_eq!(ledger.suppressed_duplicates, 1);
+        assert_eq!(ledger.duplicates(), 0);
+    }
+
+    #[test]
+    fn post_effect_crash_does_not_duplicate_across_wipe_and_replay() {
+        let key = IdempotencyKey::derive(11, 0, 3, 0);
+        let schedule = CrashSchedule::new([(key.0, CrashKind::AfterEffect)]);
+        schedule.arm();
+        let (device, server) = durable_installed(DurabilityConfig {
+            checkpoint_every: 1,
+            crash: Some(Arc::clone(&schedule)),
+            ..Default::default()
+        });
+        assert_eq!(post_track(&device, key, 300), 503);
+        assert_eq!(server.counts().tracks, 1, "wipe + replay nets one apply");
+        assert_eq!(post_track(&device, key, 300), 200);
+        assert_eq!(server.counts().tracks, 1);
+        let ledger = server.recovery_snapshot().unwrap();
+        assert_eq!(ledger.effect_crashes, 1);
+        assert_eq!(ledger.replayed_records, 1);
+        assert_eq!(ledger.duplicates(), 0);
+    }
+
+    #[test]
+    fn crashed_and_crash_free_servers_digest_identically() {
+        let crash_key = IdempotencyKey::derive(11, 0, 2, 1);
+        let schedule = CrashSchedule::new([(crash_key.0, CrashKind::BeforeEffect)]);
+        schedule.arm();
+        let (crashing_device, crashing) = durable_installed(DurabilityConfig {
+            checkpoint_every: 1,
+            crash: Some(Arc::clone(&schedule)),
+            ..Default::default()
+        });
+        let (clean_device, clean) = durable_installed(DurabilityConfig {
+            checkpoint_every: 1,
+            ..Default::default()
+        });
+        for round in 1..=3u64 {
+            for op in 0..4u64 {
+                let key = IdempotencyKey::derive(11, 0, round, op);
+                let at_ms = round * 1_000 + op;
+                let status = post_track(&crashing_device, key, at_ms);
+                if status == 503 {
+                    assert_eq!(post_track(&crashing_device, key, at_ms), 200);
+                }
+                assert_eq!(post_track(&clean_device, key, at_ms), 200);
+            }
+        }
+        assert_eq!(crashing.state_digest(), clean.state_digest());
+        assert_eq!(crashing.counts(), clean.counts());
+        assert_eq!(crashing.recovery_snapshot().unwrap().duplicates(), 0);
+        assert_eq!(crashing.recovery_snapshot().unwrap().recoveries, 1);
+    }
+
+    #[test]
+    fn sparse_checkpoints_bound_replay_but_preserve_state() {
+        // checkpoint_every=3: a crash after 5 applies replays the 2
+        // records past the checkpoint, not all 5.
+        let crash_key = IdempotencyKey::derive(7, 0, 1, 5);
+        let schedule = CrashSchedule::new([(crash_key.0, CrashKind::BeforeEffect)]);
+        schedule.arm();
+        let (device, server) = durable_installed(DurabilityConfig {
+            checkpoint_every: 3,
+            crash: Some(Arc::clone(&schedule)),
+            ..Default::default()
+        });
+        for op in 0..5u64 {
+            let key = IdempotencyKey::derive(7, 0, 1, op);
+            assert_eq!(post_track(&device, key, 100 + op), 200);
+        }
+        assert_eq!(post_track(&device, crash_key, 105), 503);
+        assert_eq!(
+            server.counts().tracks,
+            6,
+            "checkpoint + replay restored all"
+        );
+        let ledger = server.recovery_snapshot().unwrap();
+        // Applies 0..2 are covered by the checkpoint; 3, 4 and the
+        // crashed intent replay.
+        assert_eq!(ledger.replayed_records, 3);
+        assert_eq!(ledger.checkpoints, 1);
+        assert_eq!(ledger.duplicates(), 0);
     }
 
     #[test]

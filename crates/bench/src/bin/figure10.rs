@@ -7,19 +7,22 @@
 //! the proxy overhead on top is real measured Rust. The paper's values
 //! are printed alongside each measured pair. `--json` replaces the
 //! human-readable tables with a machine-readable summary (schema
-//! `mobivine.figure10.v2`, which adds the WebView bridge-marshalling
-//! ablation and its 3x gate) on stdout, or at `PATH` when one follows
-//! the flag; `--check PATH` validates an existing summary file instead
-//! of measuring anything.
+//! `mobivine.figure10.v3`, which adds the journal-overhead ablation —
+//! durability off vs journal vs journal + checkpoints on the same
+//! fleet traffic — and its bounded-overhead gate, on top of v2's
+//! WebView bridge-marshalling ablation and its 3x gate) on stdout, or
+//! at `PATH` when one follows the flag; `--check PATH` validates an
+//! existing summary file instead of measuring anything.
 
 use mobivine_bench::bridge_overhead::{
     bridge_overhead_speedup, render_bridge_overhead_table, run_bridge_overhead,
 };
 use mobivine_bench::figure10::{
-    render_resilience_table, render_table, render_telemetry_table, run_figure10,
-    run_resilience_overhead, run_telemetry_overhead, Scale,
+    journal_overhead_factor, render_journal_table, render_resilience_table, render_table,
+    render_telemetry_table, run_figure10, run_journal_ablation, run_resilience_overhead,
+    run_telemetry_overhead, Scale,
 };
-use mobivine_bench::summary::{summary_json, validate_summary_json};
+use mobivine_bench::summary::{summary_json, validate_summary_json, SummarySections};
 use mobivine_bench::telemetry_hotpath::{
     hotpath_speedup, render_hotpath_table, run_hotpath_comparison,
 };
@@ -73,12 +76,13 @@ fn main() {
                 match validate_summary_json(&text) {
                     Ok(check) => {
                         println!(
-                            "{path}: valid ({} figure10 rows, {} resilience rows, {} telemetry rows, {} hotpath rows, {} bridge rows)",
+                            "{path}: valid ({} figure10 rows, {} resilience rows, {} telemetry rows, {} hotpath rows, {} bridge rows, {} journal rows)",
                             check.figure10_rows,
                             check.resilience_rows,
                             check.telemetry_rows,
                             check.hotpath_rows,
-                            check.bridge_rows
+                            check.bridge_rows,
+                            check.journal_rows
                         );
                         std::process::exit(0);
                     }
@@ -109,16 +113,20 @@ fn main() {
         _ => 200_000,
     };
     let bridge_rows = run_bridge_overhead(bridge_reads);
+    let journal_rows = run_journal_ablation();
 
     if let Some(target) = json_out {
         let json = summary_json(
             scale.as_str(),
             runs,
-            &rows,
-            &resilience_rows,
-            &telemetry_rows,
-            &hotpath_rows,
-            &bridge_rows,
+            &SummarySections {
+                rows: &rows,
+                resilience: &resilience_rows,
+                telemetry: &telemetry_rows,
+                hotpath: &hotpath_rows,
+                bridge: &bridge_rows,
+                journal: &journal_rows,
+            },
         );
         match target {
             Some(path) => {
@@ -165,6 +173,15 @@ fn main() {
     if let Some(speedup) = bridge_overhead_speedup(&bridge_rows) {
         let verdict = if speedup >= 3.0 { "PASS" } else { "FAIL" };
         println!("acceptance (>= 3x batched wire-buf speedup): {verdict}");
+    }
+
+    println!();
+    print!("{}", render_journal_table(&journal_rows));
+    match journal_overhead_factor(&journal_rows) {
+        Some(factor) if factor < 10.0 => {
+            println!("acceptance (checksum parity + durable cost < 10x baseline): PASS");
+        }
+        _ => println!("acceptance (checksum parity + durable cost < 10x baseline): FAIL"),
     }
 }
 

@@ -2,7 +2,8 @@
 //!
 //! Usage: `cargo run -p mobivine-bench --bin fleet [--devices N]
 //! [--shards A,B,C] [--workers N] [--rounds N] [--ops N] [--seed N]
-//! [--json [PATH]] [--check PATH] [--compare PATH] [--brownout]`
+//! [--json [PATH]] [--check PATH] [--compare PATH] [--brownout]
+//! [--crash]`
 //!
 //! Runs the deterministic fleet load engine at each shard count — plus
 //! one telemetry-on configuration at the first shard count, so the
@@ -15,15 +16,22 @@
 //! (the same read-heavy traffic with the read-through proxy cache on vs
 //! off, also at a fixed configuration), and the bridge comparison (the
 //! same read-heavy traffic turned into power-aware multi-reads, with
-//! WebView bridge batching on vs off). `--json` emits the
-//! machine-readable summary (schema `mobivine.fleet.v5`) —
+//! WebView bridge batching on vs off), and the crash comparison (the
+//! same durable traffic with a deterministic crash storm armed vs
+//! crash-free). `--json` emits the
+//! machine-readable summary (schema `mobivine.fleet.v6`) —
 //! deterministic for a fixed configuration — on stdout, or at `PATH`
 //! when one follows the flag; `--check PATH` validates an existing
 //! summary file instead of measuring anything; `--brownout` runs only
 //! the brownout comparison and exits non-zero unless both arms hold the
 //! overload gate, which since v3 includes the accountability clause:
 //! every deadline-blown call of the unprotected arm must have a
-//! promoted trace in the incident store (the CI chaos smoke).
+//! promoted trace in the incident store (the CI chaos smoke);
+//! `--crash` runs only the crash comparison and exits non-zero unless
+//! the stormed arm reproduced the crash-free checksum with zero
+//! duplicate effects, ≥1 torn-write and ≥1 intent/effect-gap crash
+//! recovered per shard (the CI crash smoke — it also prints a one-line
+//! JSON digest of the stormed arm).
 //!
 //! `--compare PATH` is the regression gate CI runs against the
 //! committed baseline: every scaling row of the baseline is re-run at
@@ -35,13 +43,15 @@
 //! byte-identical checksums across arms and a ≥5x cut in binding-plane
 //! read invocations; and since v5 the live bridge comparison must hold
 //! its gate: byte-identical checksums across the batched and unbatched
-//! arms and strictly fewer bridge crossings batched.
+//! arms and strictly fewer bridge crossings batched; and since v6 the
+//! live crash comparison must hold its exactly-once gate.
 
 use mobivine_bench::fleet_bench::{
-    bridge_gate_holds, cache_gate_holds, render_bridge_table, render_brownout_table,
-    render_cache_table, render_fleet_table, render_resolution_table, resolution_speedup,
-    run_fleet_bridge, run_fleet_brownout, run_fleet_cache, run_fleet_scaling,
-    run_fleet_scaling_with_telemetry, run_resolution_comparison, BridgeRow, BrownoutRow, CacheRow,
+    bridge_gate_holds, cache_gate_holds, crash_gate_holds, render_bridge_table,
+    render_brownout_table, render_cache_table, render_crash_table, render_fleet_table,
+    render_resolution_table, resolution_speedup, run_fleet_bridge, run_fleet_brownout,
+    run_fleet_cache, run_fleet_crash, run_fleet_scaling, run_fleet_scaling_with_telemetry,
+    run_resolution_comparison, BridgeRow, BrownoutRow, CacheRow, CrashRow,
 };
 use mobivine_bench::summary::{fleet_summary_json, parse_fleet_baseline, validate_fleet_json};
 use mobivine_bench::telemetry_hotpath::{hotpath_speedup, run_hotpath_comparison};
@@ -65,6 +75,13 @@ fn cache_comparison() -> Vec<CacheRow> {
 /// multi-read so the WebView devices have something to batch.
 fn bridge_comparison() -> Vec<BridgeRow> {
     run_fleet_bridge(30, 4, 3, 4, 6, 11)
+}
+
+/// The crash comparison's fixed configuration: the brownout shape with
+/// durability on, three deterministic crashes per shard when stormed.
+/// Independent of the sweep flags so the gate margins stay pinned.
+fn crash_comparison() -> Vec<CrashRow> {
+    run_fleet_crash(30, 4, 3, 3, 2, 11, 3)
 }
 
 /// Re-runs every baseline scaling row and the live speedup gates.
@@ -137,6 +154,13 @@ fn compare_against_baseline(path: &str) -> Result<(), String> {
         ));
     }
     eprintln!("webview bridge-batching gate: holds");
+    let crash = crash_comparison();
+    if !crash_gate_holds(&crash) {
+        return Err(format!(
+            "crash gate failed (equal checksums + zero duplicates + full storm coverage required): {crash:?}"
+        ));
+    }
+    eprintln!("crash-storm exactly-once gate: holds");
     Ok(())
 }
 
@@ -217,6 +241,25 @@ fn main() {
                     }
                 }
             }
+            "--crash" => {
+                let rows = crash_comparison();
+                print!("{}", render_crash_table(&rows));
+                let digest = rows.first().map(|r| {
+                    format!(
+                        "{{\"recoveries\":{},\"torn_crashes\":{},\"gap_crashes\":{},\"duplicates\":{}}}",
+                        r.recoveries, r.torn_crashes, r.gap_crashes, r.duplicates
+                    )
+                });
+                if let Some(digest) = digest {
+                    println!("{digest}");
+                }
+                if crash_gate_holds(&rows) {
+                    println!("acceptance (checksum parity + exactly-once under the storm): PASS");
+                    std::process::exit(0);
+                }
+                println!("acceptance (checksum parity + exactly-once under the storm): FAIL");
+                std::process::exit(1);
+            }
             "--brownout" => {
                 let rows = brownout_comparison();
                 print!("{}", render_brownout_table(&rows));
@@ -242,12 +285,13 @@ fn main() {
                 match validate_fleet_json(&text) {
                     Ok(check) => {
                         println!(
-                            "{path}: valid ({} scaling rows, {} resolution rows, {} brownout arms, {} cache arms, {} bridge arms)",
+                            "{path}: valid ({} scaling rows, {} resolution rows, {} brownout arms, {} cache arms, {} bridge arms, {} crash arms)",
                             check.scaling_rows,
                             check.resolution_rows,
                             check.brownout_rows,
                             check.cache_rows,
-                            check.bridge_rows
+                            check.bridge_rows,
+                            check.crash_rows
                         );
                         std::process::exit(0);
                     }
@@ -285,9 +329,10 @@ fn main() {
     let brownout = brownout_comparison();
     let cache = cache_comparison();
     let bridge = bridge_comparison();
+    let crash = crash_comparison();
 
     if let Some(target) = json_out {
-        let json = fleet_summary_json(&scaling, &resolution, &brownout, &cache, &bridge);
+        let json = fleet_summary_json(&scaling, &resolution, &brownout, &cache, &bridge, &crash);
         match target {
             Some(path) => {
                 if let Err(e) = std::fs::write(&path, &json) {
@@ -326,4 +371,12 @@ fn main() {
         "FAIL"
     };
     println!("acceptance (equal checksums + fewer batched crossings): {verdict}");
+    println!();
+    print!("{}", render_crash_table(&crash));
+    let verdict = if crash_gate_holds(&crash) {
+        "PASS"
+    } else {
+        "FAIL"
+    };
+    println!("acceptance (checksum parity + exactly-once under the storm): {verdict}");
 }

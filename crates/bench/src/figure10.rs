@@ -9,6 +9,7 @@
 use std::fmt;
 use std::time::Instant;
 
+use mobivine_apps::fleet::{DurabilityFleetConfig, Fleet, FleetConfig};
 use mobivine_device::latency::LatencyModel;
 use mobivine_telemetry::Histogram;
 
@@ -391,6 +392,153 @@ pub fn run_telemetry_overhead(scale: Scale, runs: u32) -> Vec<TelemetryOverheadR
     ]
 }
 
+/// One arm of the journal-overhead ablation: the same deterministic
+/// fleet traffic with durability off, with the write-ahead journal on
+/// (intents + fsync barriers, no checkpoints, replay-from-genesis
+/// recovery), and with per-apply checkpoints on top. The checksum must
+/// be identical across all three arms — durability is bookkeeping, not
+/// behaviour — and `wall_us_per_op` is what the bounded-overhead gate
+/// compares.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalOverheadRow {
+    /// `off`, `journal` or `journal+checkpoints`.
+    pub mode: &'static str,
+    /// Total proxy operations issued.
+    pub total_ops: u64,
+    /// Operations that returned an error.
+    pub errors: u64,
+    /// Client-side journal intents appended (zero with durability off).
+    pub client_appends: u64,
+    /// Server checkpoints taken (zero below the checkpointed arm).
+    pub checkpoints: u64,
+    /// Determinism fingerprint — identical across all three arms.
+    pub checksum: u64,
+    /// Mean wall-clock cost per operation, µs (table + gate).
+    pub wall_us_per_op: f64,
+}
+
+/// The journal ablation's fixed fleet configuration — the brownout/
+/// cache comparisons' shape, kept independent of the sweep flags.
+fn journal_arm_config(durability: Option<DurabilityFleetConfig>) -> FleetConfig {
+    FleetConfig {
+        devices: 30,
+        shards: 4,
+        workers: 3,
+        rounds: 3,
+        tick_ms: 1_000,
+        ops_per_round: 2,
+        seed: 11,
+        read_heavy: false,
+        cache: false,
+        telemetry: false,
+        span_retention: 16,
+        incident_capacity: 256,
+        slo: false,
+        brownout: None,
+        bridge_batch: None,
+        durability,
+        crash_plan: None,
+    }
+}
+
+/// Runs the journal-overhead ablation: the same fleet traffic with
+/// durability off, journal-only (`checkpoint_every = 0`), and journal +
+/// per-apply checkpoints. Returns the arms in that order.
+///
+/// # Panics
+///
+/// Panics if a fleet cannot be built — a programming error here, the
+/// configurations are fixed.
+pub fn run_journal_ablation() -> Vec<JournalOverheadRow> {
+    [
+        ("off", None),
+        (
+            "journal",
+            Some(DurabilityFleetConfig {
+                checkpoint_every: 0,
+            }),
+        ),
+        (
+            "journal+checkpoints",
+            Some(DurabilityFleetConfig {
+                checkpoint_every: 1,
+            }),
+        ),
+    ]
+    .into_iter()
+    .map(|(mode, durability)| {
+        let fleet =
+            Fleet::build(journal_arm_config(durability)).expect("ablation configuration is valid");
+        let started = Instant::now();
+        let report = fleet.run();
+        let wall_us = started.elapsed().as_secs_f64() * 1_000_000.0;
+        let digest = report.recovery.as_ref();
+        JournalOverheadRow {
+            mode,
+            total_ops: report.total_ops,
+            errors: report.errors,
+            client_appends: digest.map_or(0, |d| d.client_appends),
+            checkpoints: digest.map_or(0, |d| d.checkpoints),
+            checksum: report.checksum,
+            wall_us_per_op: if report.total_ops > 0 {
+                wall_us / report.total_ops as f64
+            } else {
+                0.0
+            },
+        }
+    })
+    .collect()
+}
+
+/// The fully durable arm's per-op wall cost relative to the
+/// durability-off arm, when all three arms are present with identical
+/// checksums. `None` signals a missing arm or a checksum drift — the
+/// ablation is only meaningful when durability changed nothing the
+/// fleet computes.
+pub fn journal_overhead_factor(rows: &[JournalOverheadRow]) -> Option<f64> {
+    let off = rows.iter().find(|r| r.mode == "off")?;
+    let journal = rows.iter().find(|r| r.mode == "journal")?;
+    let checkpointed = rows.iter().find(|r| r.mode == "journal+checkpoints")?;
+    if journal.checksum != off.checksum || checkpointed.checksum != off.checksum {
+        return None;
+    }
+    if journal.client_appends == 0 || checkpointed.checkpoints == 0 {
+        return None;
+    }
+    if off.wall_us_per_op > 0.0 {
+        Some(checkpointed.wall_us_per_op / off.wall_us_per_op)
+    } else {
+        None
+    }
+}
+
+/// Renders the journal-overhead table the `figure10` binary prints
+/// below the bridge-marshalling ablation.
+pub fn render_journal_table(rows: &[JournalOverheadRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Journal overhead — same fleet traffic, durability off vs on vs on+checkpoints\n");
+    out.push_str("mode                |   ops   | errors | appends | checkpoints |     checksum     | wall µs/op\n");
+    out.push_str("--------------------+---------+--------+---------+-------------+------------------+-----------\n");
+    for row in rows {
+        out.push_str(&format!(
+            "{:<19} | {:>7} | {:>6} | {:>7} | {:>11} | {:016x} | {:>10.2}\n",
+            row.mode,
+            row.total_ops,
+            row.errors,
+            row.client_appends,
+            row.checkpoints,
+            row.checksum,
+            row.wall_us_per_op,
+        ));
+    }
+    if let Some(factor) = journal_overhead_factor(rows) {
+        out.push_str(&format!(
+            "durable per-op cost over the undurable baseline: {factor:.2}x\n"
+        ));
+    }
+    out
+}
+
 /// Renders the telemetry-overhead table the `figure10` binary prints
 /// below the resilience table.
 pub fn render_telemetry_table(rows: &[TelemetryOverheadRow]) -> String {
@@ -562,6 +710,45 @@ mod tests {
         assert!(table.contains("Android WebView"));
         assert!(table.contains("Nokia S60"));
         assert_eq!(table.lines().count(), 2 + 3);
+    }
+
+    #[test]
+    fn journal_ablation_arms_agree_and_bound_the_overhead() {
+        let rows = run_journal_ablation();
+        assert_eq!(rows.len(), 3);
+        let off = &rows[0];
+        assert_eq!(off.mode, "off");
+        assert_eq!(off.client_appends, 0, "no journal, no appends");
+        for row in &rows[1..] {
+            assert_eq!(
+                row.checksum, off.checksum,
+                "durability changed what the fleet computes: {row:?}"
+            );
+            assert!(row.client_appends > 0, "{row:?}");
+        }
+        assert_eq!(rows[1].checkpoints, 0, "checkpoint_every=0 disables them");
+        assert!(rows[2].checkpoints > 0, "per-apply checkpoints fire");
+        let factor = journal_overhead_factor(&rows).expect("arms agree");
+        assert!(
+            factor.is_finite() && factor > 0.0 && factor < 10.0,
+            "durable per-op cost {factor:.2}x blows the bounded-overhead gate"
+        );
+
+        let table = render_journal_table(&rows);
+        assert!(table.contains("journal+checkpoints"), "{table}");
+        assert!(table.contains("undurable baseline"), "{table}");
+    }
+
+    #[test]
+    fn journal_overhead_factor_rejects_a_drifted_or_missing_arm() {
+        let rows = run_journal_ablation();
+        assert!(journal_overhead_factor(&rows[..2]).is_none());
+        let mut drifted = rows.clone();
+        drifted[2].checksum ^= 1;
+        assert!(journal_overhead_factor(&drifted).is_none());
+        let mut unjournalled = rows;
+        unjournalled[1].client_appends = 0;
+        assert!(journal_overhead_factor(&unjournalled).is_none());
     }
 
     #[test]

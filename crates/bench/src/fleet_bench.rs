@@ -26,7 +26,9 @@ use mobivine::api::LocationProxy;
 use mobivine::registry::Mobivine;
 use mobivine::shard::ShardedRegistry;
 use mobivine_android::{AndroidPlatform, SdkVersion};
-use mobivine_apps::fleet::{BrownoutConfig, Fleet, FleetConfig};
+use mobivine_apps::fleet::{
+    BrownoutConfig, CrashStormConfig, DurabilityFleetConfig, Fleet, FleetConfig,
+};
 use mobivine_device::Device;
 
 /// One scaling-sweep configuration's results.
@@ -214,6 +216,8 @@ pub fn run_fleet_cache(
                 slo: false,
                 brownout: None,
                 bridge_batch: None,
+                durability: None,
+                crash_plan: None,
             };
             let fleet = Fleet::build(config).expect("cache configuration is valid");
             let started = Instant::now();
@@ -320,6 +324,8 @@ pub fn run_fleet_bridge(
                 slo: false,
                 brownout: None,
                 bridge_batch: Some(batched),
+                durability: None,
+                crash_plan: None,
             };
             let fleet = Fleet::build(config).expect("bridge configuration is valid");
             let started = Instant::now();
@@ -334,6 +340,148 @@ pub fn run_fleet_bridge(
                 errors: report.errors,
                 location_fixes: report.location_fixes,
                 crossings: digest.crossings,
+                checksum: report.checksum,
+                wall_ms,
+            }
+        })
+        .collect()
+}
+
+/// One arm of the crash-storm comparison: the same durable traffic run
+/// with the deterministic crash schedule armed (`stormed = true`) or
+/// not. Both arms journal every mutating call, so the gate can pin the
+/// storm's recovery work *and* prove it changed nothing the fleet
+/// computes. Every field but `wall_ms` derives from virtual time and
+/// seeded streams.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrashRow {
+    /// Whether the crash schedule was armed on every shard.
+    pub stormed: bool,
+    /// Simulated devices driven.
+    pub devices: usize,
+    /// Shards (each takes `crashes_per_shard` crashes when stormed).
+    pub shards: usize,
+    /// Crashes injected per shard (zero in the crash-free arm).
+    pub crashes_per_shard: usize,
+    /// Total proxy operations issued.
+    pub total_ops: u64,
+    /// Operations that returned an error after retries.
+    pub errors: u64,
+    /// Middleware recoveries performed (wipe + checkpoint + replay).
+    pub recoveries: u64,
+    /// Crashes that tore a journal record mid-write.
+    pub torn_crashes: u64,
+    /// Crashes landing between a durable intent and its effect.
+    pub gap_crashes: u64,
+    /// Crashes landing after the effect was applied.
+    pub effect_crashes: u64,
+    /// Journal records replayed across all recoveries.
+    pub replayed_records: u64,
+    /// Torn tails truncated during recovery.
+    pub torn_truncated: u64,
+    /// Retries absorbed by idempotency-key dedup.
+    pub suppressed_duplicates: u64,
+    /// Effects applied more than once (the exactly-once gate: zero).
+    pub duplicates: u64,
+    /// Median recovery latency, virtual µs.
+    pub recovery_p50_us: u64,
+    /// 99th-percentile recovery latency, virtual µs.
+    pub recovery_p99_us: u64,
+    /// Determinism fingerprint of the run — must equal the other arm's.
+    pub checksum: u64,
+    /// Wall-clock duration, ms (table only).
+    pub wall_ms: f64,
+}
+
+/// Whether a stormed/crash-free arm pair behaves as the durability
+/// design promises: byte-identical checksums (a storm of recovered
+/// crashes is invisible to what the fleet computes), zero duplicate
+/// effects, and a storm that actually exercised both hard crash points
+/// — at least one torn write and one intent/effect gap per shard.
+pub fn crash_gate_holds(rows: &[CrashRow]) -> bool {
+    let Some(on) = rows.iter().find(|r| r.stormed) else {
+        return false;
+    };
+    let Some(off) = rows.iter().find(|r| !r.stormed) else {
+        return false;
+    };
+    on.checksum == off.checksum
+        && on.errors == 0
+        && on.duplicates == 0
+        && off.duplicates == 0
+        && on.recoveries == (on.shards * on.crashes_per_shard) as u64
+        && on.torn_crashes >= on.shards as u64
+        && on.gap_crashes >= on.shards as u64
+        && off.recoveries == 0
+}
+
+/// Runs the crash-storm comparison: the same durable traffic (client
+/// journals, per-apply server checkpoints, idempotency keys on the
+/// wire), once with [`CrashStormConfig`] killing every shard's
+/// middleware at deterministic points and once crash-free. Returns the
+/// stormed arm first.
+///
+/// # Panics
+///
+/// Panics if the fleet cannot be built — a zero in the configuration,
+/// too few mutating calls per shard for the requested storm, or a
+/// proxy-construction failure, all programming errors here.
+pub fn run_fleet_crash(
+    devices: usize,
+    shards: usize,
+    workers: usize,
+    rounds: u64,
+    ops_per_round: u32,
+    seed: u64,
+    crashes_per_shard: usize,
+) -> Vec<CrashRow> {
+    [true, false]
+        .into_iter()
+        .map(|stormed| {
+            let config = FleetConfig {
+                devices,
+                shards,
+                workers,
+                rounds,
+                tick_ms: 1_000,
+                ops_per_round,
+                seed,
+                read_heavy: false,
+                cache: false,
+                telemetry: false,
+                span_retention: 16,
+                incident_capacity: 256,
+                slo: false,
+                brownout: None,
+                bridge_batch: None,
+                durability: Some(DurabilityFleetConfig::default()),
+                crash_plan: stormed.then_some(CrashStormConfig { crashes_per_shard }),
+            };
+            let fleet = Fleet::build(config).expect("crash configuration is valid");
+            let started = Instant::now();
+            let report = fleet.run();
+            let wall_ms = started.elapsed().as_secs_f64() * 1_000.0;
+            let digest = report
+                .recovery
+                .as_ref()
+                .expect("durability is on, so the digest is present");
+            CrashRow {
+                stormed,
+                devices,
+                shards,
+                crashes_per_shard: if stormed { crashes_per_shard } else { 0 },
+                total_ops: report.total_ops,
+                errors: report.errors,
+                recoveries: digest.recoveries,
+                torn_crashes: digest.torn_crashes,
+                gap_crashes: digest.gap_crashes,
+                effect_crashes: digest.effect_crashes,
+                replayed_records: digest.replayed_records,
+                torn_truncated: digest.torn_truncated,
+                suppressed_duplicates: digest.suppressed_duplicates,
+                duplicates: digest.duplicates,
+                recovery_p50_us: digest.recovery_p50_us,
+                recovery_p99_us: digest.recovery_p99_us,
                 checksum: report.checksum,
                 wall_ms,
             }
@@ -416,6 +564,8 @@ pub fn run_fleet_scaling_with_telemetry(
                 slo: false,
                 brownout: None,
                 bridge_batch: None,
+                durability: None,
+                crash_plan: None,
             };
             let fleet = Fleet::build(config).expect("fleet configuration is valid");
             let started = Instant::now();
@@ -484,6 +634,8 @@ pub fn run_fleet_brownout(
                 slo: true,
                 brownout: Some(brownout.clone()),
                 bridge_batch: None,
+                durability: None,
+                crash_plan: None,
             };
             let fleet = Fleet::build(config).expect("brownout configuration is valid");
             let started = Instant::now();
@@ -730,6 +882,49 @@ pub fn render_bridge_table(rows: &[BridgeRow]) -> String {
     out
 }
 
+/// Renders the crash-storm comparison, including the verdict line the
+/// acceptance gate reads.
+pub fn render_crash_table(rows: &[CrashRow]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Crash storm: durable fleet, deterministic crashes on vs off (recovery in virtual µs)\n",
+    );
+    out.push_str(
+        "storm |   ops   | errors | recoveries | torn | gap | post | replayed | dedup | dups | rec p50 | rec p99 |     checksum     |  wall ms\n",
+    );
+    out.push_str(
+        "------+---------+--------+------------+------+-----+------+----------+-------+------+---------+---------+------------------+---------\n",
+    );
+    for row in rows {
+        out.push_str(&format!(
+            "{:>5} | {:>7} | {:>6} | {:>10} | {:>4} | {:>3} | {:>4} | {:>8} | {:>5} | {:>4} | {:>7} | {:>7} | {:016x} | {:>8.1}\n",
+            if row.stormed { "on" } else { "off" },
+            row.total_ops,
+            row.errors,
+            row.recoveries,
+            row.torn_crashes,
+            row.gap_crashes,
+            row.effect_crashes,
+            row.replayed_records,
+            row.suppressed_duplicates,
+            row.duplicates,
+            row.recovery_p50_us,
+            row.recovery_p99_us,
+            row.checksum,
+            row.wall_ms,
+        ));
+    }
+    out.push_str(&format!(
+        "exactly-once gate: {}\n",
+        if crash_gate_holds(rows) {
+            "holds"
+        } else {
+            "FAILS"
+        }
+    ));
+    out
+}
+
 /// Renders the resolution comparison, including the speedup line the
 /// acceptance gate reads.
 pub fn render_resolution_table(rows: &[ResolutionRow]) -> String {
@@ -899,6 +1094,66 @@ mod tests {
         assert!(
             !cache_gate_holds(&drifted),
             "a checksum drift must fail the gate"
+        );
+    }
+
+    #[test]
+    fn crash_rows_hold_the_gate_and_are_deterministic() {
+        let rows = run_fleet_crash(30, 4, 3, 3, 2, 11, 3);
+        assert_eq!(rows.len(), 2);
+        let (on, off) = (&rows[0], &rows[1]);
+        assert!(on.stormed && !off.stormed);
+        assert_eq!(
+            on.checksum, off.checksum,
+            "the storm changed what the fleet computes: {on:?} vs {off:?}"
+        );
+        assert_eq!(on.duplicates, 0, "exactly-once violated: {on:?}");
+        assert_eq!(on.recoveries, 12, "3 crashes on each of 4 shards");
+        assert!(crash_gate_holds(&rows), "{rows:?}");
+
+        let again = run_fleet_crash(30, 4, 3, 3, 2, 11, 3);
+        for (a, b) in rows.iter().zip(&again) {
+            assert_eq!(a.checksum, b.checksum);
+            assert_eq!(
+                (
+                    a.recoveries,
+                    a.torn_crashes,
+                    a.gap_crashes,
+                    a.effect_crashes
+                ),
+                (
+                    b.recoveries,
+                    b.torn_crashes,
+                    b.gap_crashes,
+                    b.effect_crashes
+                )
+            );
+            assert_eq!(
+                (a.replayed_records, a.recovery_p50_us, a.recovery_p99_us),
+                (b.replayed_records, b.recovery_p50_us, b.recovery_p99_us)
+            );
+        }
+
+        let table = render_crash_table(&rows);
+        assert!(table.contains("holds"), "{table}");
+        assert!(!table.contains("FAILS"), "{table}");
+    }
+
+    #[test]
+    fn crash_gate_rejects_a_missing_or_drifted_arm() {
+        let rows = run_fleet_crash(30, 4, 3, 3, 2, 11, 3);
+        assert!(!crash_gate_holds(&rows[..1]), "one arm is not a comparison");
+        let mut drifted = rows.clone();
+        drifted[0].checksum ^= 1;
+        assert!(
+            !crash_gate_holds(&drifted),
+            "a checksum drift must fail the gate"
+        );
+        let mut duplicated = rows;
+        duplicated[0].duplicates = 1;
+        assert!(
+            !crash_gate_holds(&duplicated),
+            "a duplicate effect must fail the gate"
         );
     }
 

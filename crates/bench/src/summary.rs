@@ -12,16 +12,26 @@
 use serde_json::Value;
 
 use crate::bridge_overhead::{bridge_overhead_speedup, BridgeOverheadRow};
-use crate::figure10::{Figure10Row, LatencyStats, ResilienceOverheadRow, TelemetryOverheadRow};
-use crate::fleet_bench::{BridgeRow, BrownoutRow, CacheRow, FleetScalingRow, ResolutionRow};
+use crate::figure10::{
+    journal_overhead_factor, Figure10Row, JournalOverheadRow, LatencyStats, ResilienceOverheadRow,
+    TelemetryOverheadRow,
+};
+use crate::fleet_bench::{
+    BridgeRow, BrownoutRow, CacheRow, CrashRow, FleetScalingRow, ResolutionRow,
+};
 use crate::telemetry_hotpath::HotpathRow;
 
 /// Schema identifier stamped into (and required from) every summary.
 /// `v2` added the required `bridge_overhead` section (the WebView
 /// marshalling ablation: per-call text marshalling vs the arena wire
 /// format vs batched crossings) and its gate — the batched wire path
-/// must clear a 3x speedup over per-call marshalling.
-pub const SCHEMA: &str = "mobivine.figure10.v2";
+/// must clear a 3x speedup over per-call marshalling. `v3` added the
+/// required `journal_overhead` section (the same fleet traffic with
+/// durability off, journal-only, and journal + per-apply checkpoints)
+/// and its bounded-overhead gate: all three arms byte-identical by
+/// checksum and the fully durable arm within 10x of the undurable
+/// per-op wall cost.
+pub const SCHEMA: &str = "mobivine.figure10.v3";
 
 /// Schema identifier of the fleet benchmark summary. `v2` added the
 /// required `brownout` section (the overload-protection gate); `v3`
@@ -37,8 +47,12 @@ pub const SCHEMA: &str = "mobivine.figure10.v2";
 /// traffic with WebView bridge batching on vs off) and its gate: both
 /// arms byte-identical by checksum — batching must be invisible to
 /// what the fleet computes — and the batched arm crossing the bridge
-/// strictly fewer times.
-pub const FLEET_SCHEMA: &str = "mobivine.fleet.v5";
+/// strictly fewer times. `v6` added the required `crash` section (the
+/// same durable traffic with a deterministic crash storm armed vs
+/// crash-free) and its exactly-once gate: byte-identical checksums,
+/// zero duplicate effects, and a storm that exercised at least one
+/// torn-write and one intent/effect-gap crash per shard.
+pub const FLEET_SCHEMA: &str = "mobivine.fleet.v6";
 
 fn num(v: f64) -> Value {
     Value::Number(v)
@@ -61,16 +75,33 @@ fn stats_value(stats: &LatencyStats) -> Value {
     ])
 }
 
+/// The per-section row slices a figure10 summary document is built
+/// from — one field per required section of the schema.
+pub struct SummarySections<'a> {
+    /// Figure-10 overhead rows (per platform × API).
+    pub rows: &'a [Figure10Row],
+    /// Resilience-layer overhead ablation.
+    pub resilience: &'a [ResilienceOverheadRow],
+    /// Telemetry on/off ablation.
+    pub telemetry: &'a [TelemetryOverheadRow],
+    /// Recording hot-path ablation (per-call lookup vs cached handles).
+    pub hotpath: &'a [HotpathRow],
+    /// WebView bridge-marshalling ablation.
+    pub bridge: &'a [BridgeOverheadRow],
+    /// Write-ahead-journal cost ablation.
+    pub journal: &'a [JournalOverheadRow],
+}
+
 /// Builds the summary document as a JSON string.
-pub fn summary_json(
-    scale: &str,
-    runs: u32,
-    rows: &[Figure10Row],
-    resilience: &[ResilienceOverheadRow],
-    telemetry: &[TelemetryOverheadRow],
-    hotpath: &[HotpathRow],
-    bridge: &[BridgeOverheadRow],
-) -> String {
+pub fn summary_json(scale: &str, runs: u32, sections: &SummarySections<'_>) -> String {
+    let SummarySections {
+        rows,
+        resilience,
+        telemetry,
+        hotpath,
+        bridge,
+        journal,
+    } = *sections;
     let figure10 = rows
         .iter()
         .map(|row| {
@@ -127,6 +158,20 @@ pub fn summary_json(
             ])
         })
         .collect();
+    let journal = journal
+        .iter()
+        .map(|row| {
+            object(vec![
+                ("mode", text(row.mode)),
+                ("total_ops", num(row.total_ops as f64)),
+                ("errors", num(row.errors as f64)),
+                ("client_appends", num(row.client_appends as f64)),
+                ("checkpoints", num(row.checkpoints as f64)),
+                ("checksum", text(&format!("{:016x}", row.checksum))),
+                ("wall_us_per_op", num(row.wall_us_per_op)),
+            ])
+        })
+        .collect();
     object(vec![
         ("schema", text(SCHEMA)),
         ("scale", text(scale)),
@@ -136,6 +181,7 @@ pub fn summary_json(
         ("telemetry_overhead", Value::Array(telemetry)),
         ("telemetry_hotpath", Value::Array(hotpath)),
         ("bridge_overhead", Value::Array(bridge)),
+        ("journal_overhead", Value::Array(journal)),
     ])
     .to_string()
 }
@@ -154,6 +200,9 @@ pub struct SummaryCheck {
     /// Number of bridge-marshalling rows (all three modes must be
     /// present and the batched path must clear the 3x speedup bar).
     pub bridge_rows: usize,
+    /// Number of journal-ablation rows (all three modes must be present
+    /// with identical checksums and a bounded durable per-op cost).
+    pub journal_rows: usize,
 }
 
 fn require_number(entry: &Value, key: &str, context: &str) -> Result<f64, String> {
@@ -302,12 +351,67 @@ pub fn validate_summary_json(json: &str) -> Result<SummaryCheck, String> {
         ));
     }
 
+    let journal = require_array(&root, "journal_overhead")?;
+    let mut journal_rows: Vec<JournalOverheadRow> = Vec::new();
+    for (i, entry) in journal.iter().enumerate() {
+        let context = format!("journal_overhead[{i}]");
+        // Re-intern the mode so the parsed rows can flow back through
+        // the same overhead helper the table renderer uses.
+        let mode: &'static str = match require_string(entry, "mode", &context)? {
+            "off" => "off",
+            "journal" => "journal",
+            "journal+checkpoints" => "journal+checkpoints",
+            other => return Err(format!("{context}: unknown mode {other:?}")),
+        };
+        let total_ops = require_number(entry, "total_ops", &context)?;
+        let errors = require_number(entry, "errors", &context)?;
+        let client_appends = require_number(entry, "client_appends", &context)?;
+        let checkpoints = require_number(entry, "checkpoints", &context)?;
+        let wall_us_per_op = require_number(entry, "wall_us_per_op", &context)?;
+        if total_ops <= 0.0 || errors < 0.0 || wall_us_per_op <= 0.0 {
+            return Err(format!("{context}: non-positive measurement"));
+        }
+        let checksum_hex = require_string(entry, "checksum", &context)?;
+        if checksum_hex.len() != 16 || !checksum_hex.chars().all(|c| c.is_ascii_hexdigit()) {
+            return Err(format!(
+                "{context}: checksum is not a 16-digit hex string: {checksum_hex:?}"
+            ));
+        }
+        let checksum = u64::from_str_radix(checksum_hex, 16)
+            .map_err(|e| format!("{context}: bad checksum: {e}"))?;
+        journal_rows.push(JournalOverheadRow {
+            mode,
+            total_ops: total_ops as u64,
+            errors: errors as u64,
+            client_appends: client_appends as u64,
+            checkpoints: checkpoints as u64,
+            checksum,
+            wall_us_per_op,
+        });
+    }
+    for mode in ["off", "journal", "journal+checkpoints"] {
+        if !journal_rows.iter().any(|row| row.mode == mode) {
+            return Err(format!("journal_overhead: missing row for mode {mode:?}"));
+        }
+    }
+    // The durability gate: all three arms byte-identical — journalling
+    // must be invisible to what the fleet computes — and the fully
+    // durable arm's per-op wall cost bounded by 10x the undurable one.
+    let factor = journal_overhead_factor(&journal_rows)
+        .ok_or("journal_overhead: arms drifted or the ablation never journalled")?;
+    if factor >= 10.0 {
+        return Err(format!(
+            "journal_overhead: durable per-op cost {factor:.2}x blows the 10x bound"
+        ));
+    }
+
     Ok(SummaryCheck {
         figure10_rows: figure10.len(),
         resilience_rows: resilience.len(),
         telemetry_rows: telemetry.len(),
         hotpath_rows: hotpath.len(),
         bridge_rows: bridge.len(),
+        journal_rows: journal.len(),
     })
 }
 
@@ -322,6 +426,7 @@ pub fn fleet_summary_json(
     brownout: &[BrownoutRow],
     cache: &[CacheRow],
     bridge: &[BridgeRow],
+    crash: &[CrashRow],
 ) -> String {
     let scaling = scaling
         .iter()
@@ -412,6 +517,33 @@ pub fn fleet_summary_json(
             ])
         })
         .collect();
+    let crash = crash
+        .iter()
+        .map(|row| {
+            object(vec![
+                ("stormed", Value::Bool(row.stormed)),
+                ("devices", num(row.devices as f64)),
+                ("shards", num(row.shards as f64)),
+                ("crashes_per_shard", num(row.crashes_per_shard as f64)),
+                ("total_ops", num(row.total_ops as f64)),
+                ("errors", num(row.errors as f64)),
+                ("recoveries", num(row.recoveries as f64)),
+                ("torn_crashes", num(row.torn_crashes as f64)),
+                ("gap_crashes", num(row.gap_crashes as f64)),
+                ("effect_crashes", num(row.effect_crashes as f64)),
+                ("replayed_records", num(row.replayed_records as f64)),
+                ("torn_truncated", num(row.torn_truncated as f64)),
+                (
+                    "suppressed_duplicates",
+                    num(row.suppressed_duplicates as f64),
+                ),
+                ("duplicates", num(row.duplicates as f64)),
+                ("recovery_p50_us", num(row.recovery_p50_us as f64)),
+                ("recovery_p99_us", num(row.recovery_p99_us as f64)),
+                ("checksum", text(&format!("{:016x}", row.checksum))),
+            ])
+        })
+        .collect();
     object(vec![
         ("schema", text(FLEET_SCHEMA)),
         ("scaling", Value::Array(scaling)),
@@ -419,6 +551,7 @@ pub fn fleet_summary_json(
         ("brownout", Value::Array(brownout)),
         ("cache", Value::Array(cache)),
         ("bridge", Value::Array(bridge)),
+        ("crash", Value::Array(crash)),
     ])
     .to_string()
 }
@@ -439,6 +572,9 @@ pub struct FleetCheck {
     /// Number of bridge arms (batched and unbatched must both be
     /// present and the pair must hold the bridge gate).
     pub bridge_rows: usize,
+    /// Number of crash arms (stormed and crash-free must both be
+    /// present and the pair must hold the exactly-once gate).
+    pub crash_rows: usize,
 }
 
 /// Validates a `fleet --json` document against the [`FLEET_SCHEMA`]
@@ -720,12 +856,112 @@ pub fn validate_fleet_json(json: &str) -> Result<FleetCheck, String> {
         ));
     }
 
+    let crash = require_array(&root, "crash")?;
+    struct CrashArm {
+        stormed: bool,
+        shards: u64,
+        crashes_per_shard: u64,
+        recoveries: u64,
+        torn_crashes: u64,
+        gap_crashes: u64,
+        duplicates: u64,
+        checksum: String,
+    }
+    let mut crash_arms: Vec<CrashArm> = Vec::new();
+    for (i, entry) in crash.iter().enumerate() {
+        let context = format!("crash[{i}]");
+        let stormed = match entry.get_field("stormed") {
+            Some(Value::Bool(b)) => *b,
+            other => return Err(format!("{context}: stormed is {other:?}, expected a bool")),
+        };
+        for key in [
+            "devices",
+            "shards",
+            "crashes_per_shard",
+            "total_ops",
+            "errors",
+            "recoveries",
+            "torn_crashes",
+            "gap_crashes",
+            "effect_crashes",
+            "replayed_records",
+            "torn_truncated",
+            "suppressed_duplicates",
+            "duplicates",
+            "recovery_p50_us",
+            "recovery_p99_us",
+        ] {
+            let value = require_number(entry, key, &context)?;
+            if value < 0.0 {
+                return Err(format!("{context}: negative {key}"));
+            }
+        }
+        let checksum = require_string(entry, "checksum", &context)?;
+        if checksum.len() != 16 || !checksum.chars().all(|c| c.is_ascii_hexdigit()) {
+            return Err(format!(
+                "{context}: checksum is not a 16-digit hex string: {checksum:?}"
+            ));
+        }
+        crash_arms.push(CrashArm {
+            stormed,
+            shards: require_number(entry, "shards", &context)? as u64,
+            crashes_per_shard: require_number(entry, "crashes_per_shard", &context)? as u64,
+            recoveries: require_number(entry, "recoveries", &context)? as u64,
+            torn_crashes: require_number(entry, "torn_crashes", &context)? as u64,
+            gap_crashes: require_number(entry, "gap_crashes", &context)? as u64,
+            duplicates: require_number(entry, "duplicates", &context)? as u64,
+            checksum: checksum.to_owned(),
+        });
+    }
+    // The exactly-once gate: both arms present, byte-identical results
+    // — a storm of recovered crashes must be invisible to what the
+    // fleet computes — zero duplicate effects on either arm, every
+    // scheduled crash recovered, and both hard crash points exercised
+    // on every shard.
+    let Some(on) = crash_arms.iter().find(|a| a.stormed) else {
+        return Err("crash: missing the stormed arm".to_owned());
+    };
+    let Some(off) = crash_arms.iter().find(|a| !a.stormed) else {
+        return Err("crash: missing the crash-free arm".to_owned());
+    };
+    if on.checksum != off.checksum {
+        return Err(format!(
+            "crash: arm checksums differ ({} vs {}) — recovery changed what the fleet computes",
+            on.checksum, off.checksum
+        ));
+    }
+    if on.duplicates != 0 || off.duplicates != 0 {
+        return Err(format!(
+            "crash: {} stormed / {} crash-free duplicate effects — exactly-once is violated",
+            on.duplicates, off.duplicates
+        ));
+    }
+    if on.recoveries != on.shards * on.crashes_per_shard {
+        return Err(format!(
+            "crash: {} recoveries for {} shards x {} scheduled crashes",
+            on.recoveries, on.shards, on.crashes_per_shard
+        ));
+    }
+    if on.torn_crashes < on.shards || on.gap_crashes < on.shards {
+        return Err(format!(
+            "crash: {} torn / {} gap crashes did not cover all {} shards",
+            on.torn_crashes, on.gap_crashes, on.shards
+        ));
+    }
+    if off.recoveries != 0 {
+        return Err(format!(
+            "crash: the crash-free arm recovered {} times",
+            off.recoveries
+        ));
+    }
+
     Ok(FleetCheck {
         scaling_rows: scaling.len(),
         resolution_rows: resolution.len(),
         brownout_rows: brownout.len(),
         cache_rows: cache.len(),
         bridge_rows: bridge.len(),
+        crash_rows: crash.len(),
     })
 }
 
@@ -797,11 +1033,14 @@ mod tests {
         summary_json(
             "zero",
             2,
-            &run_figure10(Scale::ZeroCost, 2),
-            &run_resilience_overhead(Scale::ZeroCost, 2),
-            &run_telemetry_overhead(Scale::ZeroCost, 2),
-            &crate::telemetry_hotpath::run_hotpath_comparison(5_000),
-            &crate::bridge_overhead::run_bridge_overhead(20_000),
+            &SummarySections {
+                rows: &run_figure10(Scale::ZeroCost, 2),
+                resilience: &run_resilience_overhead(Scale::ZeroCost, 2),
+                telemetry: &run_telemetry_overhead(Scale::ZeroCost, 2),
+                hotpath: &crate::telemetry_hotpath::run_hotpath_comparison(5_000),
+                bridge: &crate::bridge_overhead::run_bridge_overhead(20_000),
+                journal: &crate::figure10::run_journal_ablation(),
+            },
         )
     }
 
@@ -816,8 +1055,23 @@ mod tests {
                 telemetry_rows: 3,
                 hotpath_rows: 2,
                 bridge_rows: 3,
+                journal_rows: 3,
             }
         );
+    }
+
+    #[test]
+    fn summary_rejects_missing_journal_mode() {
+        let json = sample().replace("journal+checkpoints", "journal+nothing");
+        let err = validate_summary_json(&json).unwrap_err();
+        assert!(err.contains("unknown mode"), "{err}");
+    }
+
+    #[test]
+    fn summary_rejects_an_unjournalled_ablation() {
+        let json = regex_free_replace(&sample(), "client_appends", 0.0);
+        let err = validate_summary_json(&json).unwrap_err();
+        assert!(err.contains("never journalled"), "{err}");
     }
 
     #[test]
@@ -859,7 +1113,8 @@ mod tests {
         let brownout = crate::fleet_bench::run_fleet_brownout(30, 4, 3, 3, 2, 11);
         let cache = crate::fleet_bench::run_fleet_cache(30, 4, 3, 4, 6, 11);
         let bridge = crate::fleet_bench::run_fleet_bridge(30, 4, 3, 4, 6, 11);
-        fleet_summary_json(&scaling, &resolution, &brownout, &cache, &bridge)
+        let crash = crate::fleet_bench::run_fleet_crash(30, 4, 3, 3, 2, 11, 3);
+        fleet_summary_json(&scaling, &resolution, &brownout, &cache, &bridge, &crash)
     }
 
     #[test]
@@ -873,8 +1128,23 @@ mod tests {
                 brownout_rows: 2,
                 cache_rows: 2,
                 bridge_rows: 2,
+                crash_rows: 2,
             }
         );
+    }
+
+    #[test]
+    fn fleet_summary_rejects_a_missing_crash_arm() {
+        let json = fleet_sample().replace("\"stormed\":false", "\"stormed\":true");
+        let err = validate_fleet_json(&json).unwrap_err();
+        assert!(err.contains("crash-free arm"), "{err}");
+    }
+
+    #[test]
+    fn fleet_summary_rejects_a_duplicated_effect() {
+        let json = regex_free_replace(&fleet_sample(), "duplicates", 1.0);
+        let err = validate_fleet_json(&json).unwrap_err();
+        assert!(err.contains("exactly-once"), "{err}");
     }
 
     #[test]

@@ -47,6 +47,11 @@ pub enum ProxyErrorKind {
     /// bulkhead) before reaching the platform binding. Carries a
     /// deterministic retry hint via [`ProxyError::retry_after_ms`].
     Overloaded,
+    /// A mutating call whose idempotency key is already journaled as
+    /// committed. The durability layer answers from the journal without
+    /// re-running the effect — an observed no-op on at-least-once
+    /// re-delivery, counted (never surfaced as a failure to callers).
+    AlreadyApplied,
 }
 
 impl ProxyErrorKind {
@@ -64,6 +69,14 @@ impl ProxyErrorKind {
     /// must not spend resilience retry budget.
     pub fn is_load_shed(self) -> bool {
         matches!(self, ProxyErrorKind::Overloaded)
+    }
+
+    /// Whether this "error" records a duplicate-suppressed mutation —
+    /// the journal already holds a committed record for the call's
+    /// idempotency key, so the effect was applied exactly once by an
+    /// earlier delivery. Retrying is harmless and pointless.
+    pub fn is_duplicate(self) -> bool {
+        matches!(self, ProxyErrorKind::AlreadyApplied)
     }
 }
 
@@ -123,6 +136,7 @@ impl ProxyError {
             ProxyErrorKind::CircuitOpen => 10,
             ProxyErrorKind::DeadlineExceeded => 11,
             ProxyErrorKind::Overloaded => 12,
+            ProxyErrorKind::AlreadyApplied => 13,
         }
     }
 
@@ -293,6 +307,7 @@ mod tests {
             ProxyErrorKind::CircuitOpen,
             ProxyErrorKind::DeadlineExceeded,
             ProxyErrorKind::Overloaded,
+            ProxyErrorKind::AlreadyApplied,
         ];
         let mut codes: Vec<i32> = kinds
             .iter()
@@ -335,6 +350,7 @@ mod tests {
             ProxyErrorKind::CircuitOpen,
             ProxyErrorKind::DeadlineExceeded,
             ProxyErrorKind::Overloaded,
+            ProxyErrorKind::AlreadyApplied,
         ];
         for kind in retryable {
             assert!(kind.is_retryable(), "{kind:?} retries");
@@ -345,6 +361,10 @@ mod tests {
         }
         assert!(ProxyErrorKind::Overloaded.is_load_shed());
         assert!(!ProxyErrorKind::DeadlineExceeded.is_load_shed());
+        assert!(ProxyErrorKind::AlreadyApplied.is_duplicate());
+        assert!(!ProxyErrorKind::Io.is_duplicate());
+        assert!(!ProxyErrorKind::AlreadyApplied.is_retryable());
+        assert!(!ProxyErrorKind::AlreadyApplied.is_load_shed());
     }
 
     #[test]

@@ -34,7 +34,11 @@
 //!   applied uniformly via [`registry::Mobivine::with_resilience`]),
 //! - a [`cache`] layer (read-through result caching with single-flight
 //!   coalescing and stamp-based invalidation for the idempotent reads —
-//!   [`registry::Mobivine::with_cache`]), and
+//!   [`registry::Mobivine::with_cache`]),
+//! - a [`journal`] layer (write-ahead intent journaling with
+//!   fsync-barrier simulation, idempotency keys and torn-tail-safe
+//!   crash recovery for the mutating paths —
+//!   [`registry::Mobivine::with_journal`]), and
 //! - a [`registry::Mobivine`] runtime facade constructing proxies per
 //!   platform from the standard descriptor catalog.
 //!
@@ -63,6 +67,7 @@ pub mod api;
 pub mod cache;
 pub mod enrich;
 pub mod error;
+pub mod journal;
 pub mod overload;
 pub mod property;
 pub mod registry;
@@ -76,6 +81,10 @@ pub mod webview;
 pub use api::{CallProxy, HttpProxy, LocationProxy, SmsProxy};
 pub use cache::{CacheMetrics, CachePolicy, CacheSnapshot};
 pub use error::{ProxyError, ProxyErrorKind};
+pub use journal::{
+    current_idempotency_key, with_idempotency_key, CheckpointCell, IdempotencyKey, Journal,
+    JournalMetrics, JournalPolicy, JournalSnapshot, Lsn,
+};
 pub use overload::{
     current_deadline, with_deadline, AdmissionController, Bulkhead, Deadline, DegradeTier,
     OverloadMetrics, OverloadPolicy, OverloadSnapshot,

@@ -41,7 +41,10 @@
 //! single `build()`; the legacy `for_*`/`with_*` chain remains for
 //! simple cases. Either way the decorator stack always comes out in
 //! the one canonical order, outermost first:
-//! `Traced(Proxy) → Cached → Overload → Resilient → Traced(Binding)`.
+//! `Traced(Proxy) → Cached → Overload → Journaled → Resilient →
+//! Traced(Binding)` — the journal sits inside the overload gate (shed
+//! calls burn no intent record) and outside the retry engine (one
+//! logical call appends one intent, however many retries it takes).
 
 use std::fmt;
 use std::sync::Arc;
@@ -66,6 +69,9 @@ use crate::cache::{
     CacheMetrics, CachePolicy, CachedCalendarProxy, CachedContactsProxy, CachedLocationProxy,
 };
 use crate::error::{ProxyError, ProxyErrorKind};
+use crate::journal::{
+    JournalEngine, JournalMetrics, JournalPolicy, JournaledHttpProxy, JournaledSmsProxy,
+};
 use crate::overload::{
     OverloadCallProxy, OverloadHttpProxy, OverloadLocationProxy, OverloadMetrics, OverloadPolicy,
     OverloadSmsProxy,
@@ -296,6 +302,15 @@ struct CacheRuntime {
     metrics: Arc<CacheMetrics>,
 }
 
+/// The runtime's durability configuration: one policy, one shared
+/// counter block, and one shared [`JournalEngine`] (the write-ahead
+/// log + applied-key table) behind every mutating proxy it constructs.
+struct JournalRuntime {
+    policy: JournalPolicy,
+    metrics: Arc<JournalMetrics>,
+    engine: Arc<JournalEngine>,
+}
+
 /// The MobiVine runtime for one application on one platform.
 pub struct Mobivine {
     target: Target,
@@ -303,6 +318,7 @@ pub struct Mobivine {
     resilience: Option<ResilienceRuntime>,
     overload: Option<OverloadRuntime>,
     cache: Option<CacheRuntime>,
+    journal: Option<JournalRuntime>,
     telemetry: Option<TelemetryRuntime>,
     slo: Option<Arc<SloEngine>>,
     resolved: ResolutionCache,
@@ -326,6 +342,7 @@ impl Mobivine {
             resilience: None,
             overload: None,
             cache: None,
+            journal: None,
             telemetry: None,
             slo: None,
             resolved: ResolutionCache::default(),
@@ -419,6 +436,40 @@ impl Mobivine {
         self
     }
 
+    /// Turns on the durability layer: the mutating proxies this
+    /// runtime constructs (SMS, HTTP) are wrapped in the matching
+    /// [`crate::journal`] decorator under `policy` — every send or
+    /// submit appends an intent record to a shared write-ahead journal
+    /// and crosses a simulated fsync barrier *before* the side effect
+    /// runs, and mutations carrying an ambient
+    /// [`crate::journal::IdempotencyKey`] are deduplicated against the
+    /// journal (the `AlreadyApplied` fast path). The decorator sits
+    /// **inside** the overload gate (shed calls burn no intent) and
+    /// **outside** the retry engine (one logical call appends one
+    /// intent, however many retries it takes).
+    ///
+    /// All decorators share one [`JournalMetrics`] block, readable
+    /// through [`Mobivine::journal_metrics`].
+    #[must_use]
+    pub fn with_journal(mut self, policy: JournalPolicy) -> Self {
+        let metrics = match &self.telemetry {
+            Some(t) => JournalMetrics::on_registry(t.metrics()),
+            None => JournalMetrics::shared(),
+        };
+        let engine = Arc::new(JournalEngine::new(
+            self.device(),
+            policy.clone(),
+            Arc::clone(&metrics),
+        ));
+        self.journal = Some(JournalRuntime {
+            policy,
+            metrics,
+            engine,
+        });
+        self.resolved = ResolutionCache::default();
+        self
+    }
+
     /// Turns on plane-aware telemetry: every Location/SMS/Call/HTTP
     /// proxy this runtime constructs is wrapped **twice** in the
     /// matching [`crate::telemetry`] traced decorator — at the
@@ -476,6 +527,18 @@ impl Mobivine {
         if let Some(c) = &mut self.cache {
             c.metrics = CacheMetrics::on_registry(telemetry.metrics());
         }
+        let device = self.device();
+        if let Some(j) = &mut self.journal {
+            // Re-home the counters and rebuild the engine on them: this
+            // runs at wiring time, before any intent could have been
+            // appended, so the fresh (empty) journal is equivalent.
+            j.metrics = JournalMetrics::on_registry(telemetry.metrics());
+            j.engine = Arc::new(JournalEngine::new(
+                device,
+                j.policy.clone(),
+                Arc::clone(&j.metrics),
+            ));
+        }
         self.telemetry = Some(telemetry);
         self.resolved = ResolutionCache::default();
         self
@@ -514,6 +577,18 @@ impl Mobivine {
     /// applied.
     pub fn cache_metrics(&self) -> Option<Arc<CacheMetrics>> {
         self.cache.as_ref().map(|c| Arc::clone(&c.metrics))
+    }
+
+    /// The shared durability counters, when [`Mobivine::with_journal`]
+    /// was applied.
+    pub fn journal_metrics(&self) -> Option<Arc<JournalMetrics>> {
+        self.journal.as_ref().map(|j| Arc::clone(&j.metrics))
+    }
+
+    /// The shared write-ahead journal engine, when
+    /// [`Mobivine::with_journal`] was applied.
+    pub fn journal_engine(&self) -> Option<&Arc<JournalEngine>> {
+        self.journal.as_ref().map(|j| &j.engine)
     }
 
     /// The tracer collecting proxy-call spans, when
@@ -754,6 +829,9 @@ impl Mobivine {
                 Arc::clone(&r.metrics),
             ));
         }
+        if let Some(j) = &self.journal {
+            proxy = Arc::new(JournaledSmsProxy::new(proxy, Arc::clone(&j.engine)));
+        }
         if let Some(o) = &self.overload {
             proxy = Arc::new(OverloadSmsProxy::new(
                 proxy,
@@ -853,6 +931,9 @@ impl Mobivine {
                 r.policy.clone(),
                 Arc::clone(&r.metrics),
             ));
+        }
+        if let Some(j) = &self.journal {
+            proxy = Arc::new(JournaledHttpProxy::new(proxy, Arc::clone(&j.engine)));
         }
         if let Some(o) = &self.overload {
             proxy = Arc::new(OverloadHttpProxy::new(
@@ -959,6 +1040,7 @@ pub struct MobivineBuilder {
     resilience: Option<ResiliencePolicy>,
     overload: Option<OverloadPolicy>,
     cache: Option<CachePolicy>,
+    journal: Option<JournalPolicy>,
     /// Span retention per worker ring, when telemetry is enabled.
     telemetry: Option<usize>,
     /// Tail-based promotion policy override, when telemetry is enabled.
@@ -973,6 +1055,7 @@ impl fmt::Debug for MobivineBuilder {
             .field("resilience", &self.resilience.is_some())
             .field("overload", &self.overload.is_some())
             .field("cache", &self.cache.is_some())
+            .field("journal", &self.journal.is_some())
             .field("telemetry", &self.telemetry.is_some())
             .finish()
     }
@@ -1029,6 +1112,13 @@ impl MobivineBuilder {
     #[must_use]
     pub fn with_cache(mut self, policy: CachePolicy) -> Self {
         self.cache = Some(policy);
+        self
+    }
+
+    /// Enables the durability layer (see [`Mobivine::with_journal`]).
+    #[must_use]
+    pub fn with_journal(mut self, policy: JournalPolicy) -> Self {
+        self.journal = Some(policy);
         self
     }
 
@@ -1095,6 +1185,9 @@ impl MobivineBuilder {
         }
         if let Some(policy) = self.resilience {
             runtime = runtime.with_resilience(policy);
+        }
+        if let Some(policy) = self.journal {
+            runtime = runtime.with_journal(policy);
         }
         if let Some(policy) = self.overload {
             runtime = runtime.with_overload(policy);
@@ -1440,6 +1533,87 @@ mod tests {
                 runtime.platform_id()
             );
         }
+    }
+
+    #[test]
+    fn with_journal_dedups_sms_and_stamps_http_urls() {
+        use crate::journal::{with_idempotency_key, IdempotencyKey, JournalPolicy};
+
+        let device = Device::builder().build();
+        let platform = AndroidPlatform::new(device.clone(), SdkVersion::M5Rc15);
+        let runtime = Mobivine::builder()
+            .with_resilience(ResiliencePolicy::default())
+            .with_journal(JournalPolicy::default())
+            .android(platform.new_context())
+            .build()
+            .unwrap();
+        let metrics = runtime.journal_metrics().expect("journal installed");
+        let resilience = runtime.resilience_metrics().expect("resilience installed");
+        let sms = runtime.proxy::<dyn SmsProxy>().unwrap();
+
+        let key = IdempotencyKey::derive(7, 1, 1, 0);
+        let first = with_idempotency_key(key, || sms.send_text_message("100", "hi", None));
+        let second = with_idempotency_key(key, || sms.send_text_message("100", "hi", None));
+        let (first, second) = (first.unwrap(), second.unwrap());
+        assert_eq!(first, second, "duplicate answered with the memoized id");
+        let snap = metrics.snapshot();
+        assert_eq!(snap.appends, 1, "one logical send, one intent");
+        assert_eq!(snap.fsyncs, 1);
+        assert_eq!(snap.already_applied, 1, "the duplicate was counted");
+        assert_eq!(
+            resilience.snapshot().calls,
+            1,
+            "the duplicate never reached the retry engine — Journaled sits outside Resilient"
+        );
+
+        // A fresh key is a fresh logical call.
+        let other = IdempotencyKey::derive(7, 1, 2, 0);
+        let third = with_idempotency_key(other, || sms.send_text_message("100", "hi", None));
+        assert_ne!(first, third.unwrap());
+        assert_eq!(metrics.snapshot().appends, 2);
+    }
+
+    #[test]
+    fn journaled_http_carries_the_idempotency_key_on_the_wire() {
+        use crate::journal::{with_idempotency_key, IdempotencyKey, JournalPolicy};
+        use std::sync::Mutex;
+
+        let device = Device::builder().build();
+        let seen: Arc<Mutex<Vec<Option<String>>>> = Arc::new(Mutex::new(Vec::new()));
+        let seen_by_route = Arc::clone(&seen);
+        device.network().register_route(
+            "backend.example",
+            mobivine_device::net::Method::Post,
+            "/submit",
+            move |req: &mobivine_device::net::HttpRequest| {
+                seen_by_route.lock().unwrap().push(req.url.query.clone());
+                mobivine_device::net::HttpResponse::ok(b"{}".to_vec())
+            },
+        );
+        let platform = AndroidPlatform::new(device, SdkVersion::M5Rc15);
+        let runtime = Mobivine::builder()
+            .with_journal(JournalPolicy::default())
+            .android(platform.new_context())
+            .build()
+            .unwrap();
+        let http = runtime.proxy::<dyn HttpProxy>().unwrap();
+
+        let key = IdempotencyKey::derive(7, 2, 1, 0);
+        let res = with_idempotency_key(key, || {
+            http.request("POST", "http://backend.example/submit", b"{}")
+        })
+        .unwrap();
+        assert!(res.is_success());
+        // Keyless requests stay unstamped.
+        http.request("POST", "http://backend.example/submit", b"{}")
+            .unwrap();
+        let queries = seen.lock().unwrap().clone();
+        assert_eq!(
+            queries,
+            vec![Some(format!("idem={}", key.to_hex())), None],
+            "the key travels as the idem query parameter"
+        );
+        assert_eq!(runtime.journal_metrics().unwrap().snapshot().appends, 2);
     }
 
     /// Pins the canonical decorator layering,

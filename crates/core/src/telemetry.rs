@@ -169,6 +169,7 @@ pub(crate) fn kind_name(kind: ProxyErrorKind) -> &'static str {
         ProxyErrorKind::CircuitOpen => "CircuitOpen",
         ProxyErrorKind::DeadlineExceeded => "DeadlineExceeded",
         ProxyErrorKind::Overloaded => "Overloaded",
+        ProxyErrorKind::AlreadyApplied => "AlreadyApplied",
     }
 }
 

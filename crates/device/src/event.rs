@@ -187,17 +187,16 @@ impl EventQueue {
         loop {
             let event = {
                 let mut state = self.state.lock();
-                match state.heap.peek() {
-                    Some(next) if next.fire_at_ms <= now_ms => {
-                        let event = state.heap.pop().expect("peeked event must pop");
-                        if let Some(pos) = state.cancelled.iter().position(|&s| s == event.seq) {
-                            state.cancelled.swap_remove(pos);
-                            continue;
-                        }
-                        event
-                    }
-                    _ => break,
+                let due = matches!(state.heap.peek(), Some(next) if next.fire_at_ms <= now_ms);
+                if !due {
+                    break;
                 }
+                let Some(event) = state.heap.pop() else { break };
+                if let Some(pos) = state.cancelled.iter().position(|&s| s == event.seq) {
+                    state.cancelled.swap_remove(pos);
+                    continue;
+                }
+                event
             };
             // Run outside the lock so callbacks can schedule/cancel.
             (event.callback)(event.fire_at_ms);

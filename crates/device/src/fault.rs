@@ -30,6 +30,8 @@
 //! assert!(device.network().is_down());
 //! ```
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -46,6 +48,88 @@ fn splitmix64(mut x: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// Where in the durability pipeline a scheduled crash kills the
+/// middleware process — the three windows that distinguish a correct
+/// write-ahead-journal implementation from a lucky one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrashKind {
+    /// Death mid-record: the intent frame reached the disk queue only
+    /// partially, leaving a torn tail for recovery to truncate. The
+    /// effect never ran; replay must not invent it.
+    TornWrite,
+    /// Death in the intent/effect gap: the intent is durably fsynced
+    /// but the side effect never ran. Recovery must replay it —
+    /// exactly once.
+    BeforeEffect,
+    /// Death after the effect but before the acknowledgement: the
+    /// caller re-delivers, and the idempotency key must make the
+    /// second delivery an observed no-op.
+    AfterEffect,
+}
+
+impl CrashKind {
+    /// Stable lowercase name, for digests and tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            CrashKind::TornWrite => "torn_write",
+            CrashKind::BeforeEffect => "before_effect",
+            CrashKind::AfterEffect => "after_effect",
+        }
+    }
+}
+
+/// A deterministic crash plan keyed by idempotency key: when armed,
+/// the durability layer consults [`CrashSchedule::take`] with each
+/// mutation's key and dies in the prescribed window if the key is a
+/// victim. Keys — not byte offsets — make the schedule independent of
+/// the interleaving worker threads impose on the journal, so the same
+/// seed crashes the same logical operations on any worker count.
+///
+/// Starts disarmed; [`FaultPlan::crash_storm`] arms it as an ordinary
+/// scheduled fault transition.
+#[derive(Debug, Default)]
+pub struct CrashSchedule {
+    armed: AtomicBool,
+    victims: Mutex<HashMap<u64, CrashKind>>,
+}
+
+impl CrashSchedule {
+    /// A disarmed schedule with the given `(idempotency key, kind)`
+    /// victims.
+    pub fn new(victims: impl IntoIterator<Item = (u64, CrashKind)>) -> Arc<Self> {
+        Arc::new(Self {
+            armed: AtomicBool::new(false),
+            victims: Mutex::new(victims.into_iter().collect()),
+        })
+    }
+
+    /// Arms the schedule: victims start dying.
+    pub fn arm(&self) {
+        self.armed.store(true, Ordering::Release);
+    }
+
+    /// Whether the schedule is live.
+    pub fn is_armed(&self) -> bool {
+        self.armed.load(Ordering::Acquire)
+    }
+
+    /// Consumes and returns the crash prescribed for `key`, when the
+    /// schedule is armed and `key` is a victim. Each victim dies once:
+    /// the retry re-delivering the same key finds no entry and
+    /// survives.
+    pub fn take(&self, key: u64) -> Option<CrashKind> {
+        if !self.is_armed() {
+            return None;
+        }
+        self.victims.lock().remove(&key)
+    }
+
+    /// Victims that have not crashed yet.
+    pub fn remaining(&self) -> usize {
+        self.victims.lock().len()
+    }
 }
 
 /// A deterministic schedule of failure-hook transitions for one
@@ -209,6 +293,17 @@ impl FaultPlan {
         self
     }
 
+    /// Arms a [`CrashSchedule`] at `at_ms`: from that instant the
+    /// middleware layer consulting the schedule starts dying at its
+    /// victims' prescribed windows. The arming is an ordinary fault
+    /// transition — counted, epoch-bumping, replayable — so cache
+    /// stamps and chaos traces see the storm begin.
+    pub fn crash_storm(&self, at_ms: u64, schedule: &Arc<CrashSchedule>) -> &Self {
+        let schedule = Arc::clone(schedule);
+        self.schedule(at_ms, "fault.crash.armed", move |_| schedule.arm());
+        self
+    }
+
     /// Seeded-probabilistic partitions: `count` network outages of
     /// `outage_ms` each, at splitmix64-derived offsets within
     /// `from_ms..until_ms`. The same seed always yields the same outage
@@ -339,6 +434,31 @@ mod tests {
         assert!(!device.signal_strength().in_coverage(), "inside the window");
         device.advance_ms(2_000);
         assert!(device.signal_strength().in_coverage(), "restored");
+    }
+
+    #[test]
+    fn crash_storm_arms_on_the_simulated_clock_and_victims_die_once() {
+        let device = device();
+        let schedule =
+            CrashSchedule::new([(7, CrashKind::TornWrite), (9, CrashKind::BeforeEffect)]);
+        FaultPlan::new(&device).crash_storm(1_000, &schedule);
+        assert!(!schedule.is_armed());
+        assert_eq!(schedule.take(7), None, "disarmed schedules never kill");
+        device.advance_ms(1_500);
+        assert!(schedule.is_armed());
+        assert_eq!(schedule.take(7), Some(CrashKind::TornWrite));
+        assert_eq!(schedule.take(7), None, "each victim dies exactly once");
+        assert_eq!(schedule.take(8), None, "non-victims survive");
+        assert_eq!(schedule.remaining(), 1);
+        assert_eq!(schedule.take(9), Some(CrashKind::BeforeEffect));
+        assert_eq!(schedule.remaining(), 0);
+    }
+
+    #[test]
+    fn crash_kind_names_are_stable() {
+        assert_eq!(CrashKind::TornWrite.name(), "torn_write");
+        assert_eq!(CrashKind::BeforeEffect.name(), "before_effect");
+        assert_eq!(CrashKind::AfterEffect.name(), "after_effect");
     }
 
     #[test]

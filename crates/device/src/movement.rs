@@ -167,7 +167,10 @@ impl MovementModel {
                     }
                     while cache.len() < steps + 1 {
                         let bearing: f64 = rng.gen::<f64>() * 360.0;
-                        let last = *cache.last().expect("cache is non-empty");
+                        // The cache always holds the origin (pushed above),
+                        // so the fallback never fires; it keeps this path
+                        // total without a panic.
+                        let last = *cache.last().unwrap_or(&origin);
                         cache.push(last.destination(bearing, *step_m));
                     }
                 }
@@ -180,21 +183,25 @@ impl MovementModel {
 /// Walks `travelled_m` metres along `route` (optionally looping) and
 /// returns the reached point.
 fn position_on_route(route: &[GeoPoint], travelled_m: f64, loop_route: bool) -> GeoPoint {
+    // Constructors assert routes are non-empty, so `first`/`last` always
+    // exist; the fallbacks keep this helper total without a panic path.
+    let Some(&first) = route.first() else {
+        return GeoPoint::new(0.0, 0.0);
+    };
+    let last = *route.last().unwrap_or(&first);
     if route.len() == 1 {
-        return route[0];
+        return first;
     }
     let mut legs: Vec<(GeoPoint, GeoPoint, f64)> = route
         .windows(2)
         .map(|w| (w[0], w[1], w[0].distance_m(&w[1])))
         .collect();
     if loop_route {
-        let last = *route.last().expect("route is non-empty");
-        let first = route[0];
         legs.push((last, first, last.distance_m(&first)));
     }
     let total: f64 = legs.iter().map(|l| l.2).sum();
     if total <= f64::EPSILON {
-        return route[0];
+        return first;
     }
     let mut remaining = if loop_route {
         travelled_m % total
@@ -212,7 +219,7 @@ fn position_on_route(route: &[GeoPoint], travelled_m: f64, loop_route: bool) -> 
         }
         remaining -= len;
     }
-    *route.last().expect("route is non-empty")
+    last
 }
 
 #[cfg(test)]

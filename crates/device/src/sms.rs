@@ -367,10 +367,13 @@ impl Smsc {
                         delivered_at_ms: at,
                         segment_count,
                     };
+                    // The inbox exists (delivery requires `contains_key`
+                    // above, under the same lock); `entry` keeps the path
+                    // total either way.
                     guard
                         .inboxes
-                        .get_mut(&to)
-                        .expect("checked above")
+                        .entry(to.clone())
+                        .or_default()
                         .push(message.clone());
                     // Take listeners out so callbacks run without the lock.
                     let listeners = guard.inbox_listeners.remove(&to);

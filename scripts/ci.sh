@@ -61,6 +61,29 @@ fi
 # a promoted trace for every deadline-blown call.
 cargo run -q --release -p mobivine-bench --bin fleet -- --brownout
 
+# Crash-storm smoke: run the durable fleet twice — once under a
+# deterministic crash storm (torn writes, intent gaps, post-effect
+# wipes at scheduled idempotency keys), once crash-free — and exit
+# non-zero unless the stormed arm recovers every shard to the
+# crash-free checksum with zero duplicated effects. The binary gates
+# this itself; the greps below keep the raw exactly-once evidence
+# (recoveries happened, duplicates stayed zero) in the CI log.
+crash_digest="$(mktemp)"
+cargo run -q --release -p mobivine-bench --bin fleet -- --crash \
+    | tee "$crash_digest"
+if ! grep -q '"recoveries":[1-9]' "$crash_digest"; then
+    echo "error: the crash-storm arm never recovered a shard" >&2
+    rm -f "$crash_digest"
+    exit 1
+fi
+if ! grep -q '"duplicates":0' "$crash_digest"; then
+    echo "error: the crash storm duplicated an effect:" >&2
+    grep -o '"duplicates":[0-9]*' "$crash_digest" >&2 || true
+    rm -f "$crash_digest"
+    exit 1
+fi
+rm -f "$crash_digest"
+
 # SLO route smoke: a struggling traced runtime must serve a parsing
 # GET /slo report (validated against mobivine.slo.v1) and a /health
 # document — tests/flight_recorder.rs and the apps::server suite cover
@@ -127,6 +150,43 @@ if [ -n "$hot_labels" ]; then
     echo "error: label construction on the traced hot path (use the" >&2
     echo "cached CallInstruments handles resolved at wiring time):" >&2
     echo "$hot_labels" >&2
+    exit 1
+fi
+
+# The write-ahead invariant, pinned at review time: no mutating path
+# may apply an effect before its intent is journaled. In the server's
+# durable_mutate, `apply_record` must not appear above the
+# `journal.append` call; in the client decorators (everything below the
+# Decorators banner in core/journal.rs), every `self.inner.…` effect
+# call must be preceded — in the same function — by a journal-engine
+# touch (`self.engine.intent/check/memoized_message`).
+# (tests/journal_recovery.rs and the crash smoke above prove the
+# property dynamically; this guard catches a reordered edit statically.)
+wal_order=$(awk '
+    /#\[cfg\(test\)\]/ { exit }
+    /fn durable_mutate/ { in_fn = 1; appended = 0 }
+    in_fn && /journal\.append/ { appended = 1 }
+    in_fn && /apply_record\(/ && !appended {
+        print "crates/apps/src/server.rs:" FNR ": effect before journal append: " $0
+    }
+    in_fn && /^}/ { in_fn = 0 }
+' crates/apps/src/server.rs)
+wal_order="$wal_order$(awk '
+    /^\/\/ -+$/ { banner = 1; next }
+    banner && /^\/\/ Decorators$/ { in_decorators = 1 }
+    { banner = 0 }
+    !in_decorators { next }
+    /#\[cfg\(test\)\]/ { exit }
+    /fn / { covered = 0 }
+    /self\.engine/ { covered = 1 }
+    /self\.inner\./ && !covered {
+        print "crates/core/src/journal.rs:" FNR ": effect before intent: " $0
+    }
+' crates/core/src/journal.rs)"
+if [ -n "$wal_order" ]; then
+    echo "error: write-ahead ordering violated (journal the intent" >&2
+    echo "before the effect it covers):" >&2
+    echo "$wal_order" >&2
     exit 1
 fi
 

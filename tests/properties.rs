@@ -552,6 +552,148 @@ proptest! {
 }
 
 proptest! {
+    // ---- Write-ahead journal -------------------------------------
+
+    /// Recovery is idempotent on a clean journal: scanning the durable
+    /// image twice returns identical record sequences, and every
+    /// fsynced payload comes back byte-identical in append order. (The
+    /// deterministic mirror lives in `tests/journal_recovery.rs`,
+    /// which actually executes under the offline proptest stub.)
+    #[test]
+    fn journal_recovery_is_idempotent(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..64),
+            1..20,
+        ),
+    ) {
+        use mobivine::{Journal, JournalMetrics, JournalPolicy, Lsn};
+        let mut journal = Journal::new(&JournalPolicy::default(), JournalMetrics::shared());
+        for payload in &payloads {
+            journal.append(payload);
+            journal.fsync();
+        }
+        let first = journal.recover(Lsn(0));
+        let second = journal.recover(Lsn(0));
+        prop_assert_eq!(&first, &second, "a clean scan must be repeatable");
+        prop_assert_eq!(first.records.len(), payloads.len());
+        for (record, payload) in first.records.iter().zip(&payloads) {
+            prop_assert_eq!(&record.payload, payload);
+        }
+    }
+
+    /// Whatever prefix of a mid-write frame reaches the disk queue
+    /// before the crash, recovery surfaces exactly the fsynced records:
+    /// a partial tail is truncated (and flagged torn), a complete tail
+    /// frame commits, and nothing in between ever leaks. A second scan
+    /// after the truncation reproduces the first byte-for-byte.
+    #[test]
+    fn torn_tails_never_surface_uncommitted_records(
+        committed in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..48),
+            0..12,
+        ),
+        tail in proptest::collection::vec(any::<u8>(), 0..48),
+        torn_keep in any::<usize>(),
+    ) {
+        use mobivine::{Journal, JournalMetrics, JournalPolicy, Lsn};
+        let mut journal = Journal::new(&JournalPolicy::default(), JournalMetrics::shared());
+        for payload in &committed {
+            journal.append(payload);
+        }
+        journal.fsync();
+        journal.append(&tail);
+        let frame_len = journal.volatile_len();
+        let keep = torn_keep % (frame_len + 1);
+        journal.crash(Some(keep));
+        let recovery = journal.recover(Lsn(0));
+        let tail_committed = keep == frame_len;
+        prop_assert_eq!(
+            recovery.records.len(),
+            committed.len() + usize::from(tail_committed),
+        );
+        for (record, payload) in recovery.records.iter().zip(&committed) {
+            prop_assert_eq!(&record.payload, payload);
+        }
+        if tail_committed {
+            prop_assert_eq!(&recovery.records[committed.len()].payload, &tail);
+        }
+        prop_assert_eq!(
+            recovery.torn_records,
+            u64::from(keep > 0 && !tail_committed),
+            "a partial frame is torn, an empty or complete one is not"
+        );
+        let again = journal.recover(Lsn(0));
+        prop_assert_eq!(again.records, recovery.records);
+        prop_assert_eq!(again.torn_records, 0, "the tail was already truncated");
+    }
+
+    /// A crash-stormed durable server converges to the same state as a
+    /// crash-free one fed the identical request stream: wipe +
+    /// checkpoint + replay must be invisible in the state digest, and
+    /// every effect lands exactly once no matter which crash kind hits
+    /// which key.
+    #[test]
+    fn crash_recovery_converges_to_the_crash_free_digest(
+        seed in any::<u64>(),
+        ops in 1u64..24,
+        crash_at in 0u64..24,
+        kind_tag in 0u8..3,
+    ) {
+        use mobivine::IdempotencyKey;
+        use mobivine_apps::server::{DurabilityConfig, WfmServer};
+        use mobivine_device::fault::{CrashKind, CrashSchedule};
+        use mobivine_device::net::HttpRequest;
+        use mobivine_device::Device;
+        use std::sync::Arc;
+
+        let kind = match kind_tag {
+            0 => CrashKind::TornWrite,
+            1 => CrashKind::BeforeEffect,
+            _ => CrashKind::AfterEffect,
+        };
+        let crash_key = IdempotencyKey::derive(seed, 1, 1, crash_at % ops);
+        let schedule = CrashSchedule::new([(crash_key.0, kind)]);
+        schedule.arm();
+
+        let drive = |crash: Option<Arc<CrashSchedule>>| -> (Device, WfmServer) {
+            let device = Device::builder().build();
+            let server = WfmServer::durable(DurabilityConfig {
+                checkpoint_every: 1,
+                crash,
+                ..Default::default()
+            });
+            server.install(device.network(), "wfm.example");
+            for op in 0..ops {
+                let key = IdempotencyKey::derive(seed, 1, 1, op);
+                let body = format!(
+                    "{{\"agent_id\":1,\"latitude\":28.5,\"longitude\":77.{op},\"at_ms\":{}}}",
+                    1_000 + op,
+                );
+                let url = format!(
+                    "http://wfm.example/report-location?idem={}",
+                    key.to_hex()
+                );
+                let post = || {
+                    let req = HttpRequest::post(&url, body.clone().into_bytes()).unwrap();
+                    device.network().execute(&req).unwrap().0.status
+                };
+                if post() == 503 {
+                    assert_eq!(post(), 200, "the retry after a crash commits");
+                }
+            }
+            (device, server)
+        };
+        let (_stormed_device, stormed) = drive(Some(Arc::clone(&schedule)));
+        let (_clean_device, clean) = drive(None);
+        prop_assert_eq!(stormed.state_digest(), clean.state_digest());
+        prop_assert_eq!(stormed.counts().tracks, ops);
+        let ledger = stormed.recovery_snapshot().expect("durable server");
+        prop_assert_eq!(ledger.duplicates(), 0, "exactly-once under the crash");
+        prop_assert_eq!(ledger.recoveries, 1);
+    }
+}
+
+proptest! {
     // ---- Overload admission invariants ---------------------------
 
     /// However acquire/release interleave, the bulkhead never lets more
